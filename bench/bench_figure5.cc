@@ -1,0 +1,238 @@
+// The reproduction artifact: Figure 5 of the paper, regenerated.
+//
+// For every cell of the results matrix this harness runs a representative
+// instance through the library and reports the paper's claim next to the
+// observed behaviour (method used, verdict, time). Undecidable cells are
+// "run" in the only possible sense: the checker refuses with the reduction
+// citation, and the executable Theorem 3.1 / Lemma 3.3 constructions are
+// exercised by bench_undecidable_frontier.
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "core/consistency.h"
+#include "core/implication.h"
+#include "workloads/generators.h"
+#include "workloads/paper_examples.h"
+
+namespace xicc {
+namespace {
+
+struct Row {
+  std::string problem;
+  std::string klass;
+  std::string paper_claim;
+  std::string observed;
+  double ms = 0;
+};
+
+void Print(const Row& row) {
+  std::printf("| %-11s | %-28s | %-14s | %-36s | %8.2f |\n",
+              row.problem.c_str(), row.klass.c_str(),
+              row.paper_claim.c_str(), row.observed.c_str(), row.ms);
+}
+
+std::string Verdict(bool consistent) { return consistent ? "SAT" : "UNSAT"; }
+
+}  // namespace
+
+int Run() {
+  std::printf(
+      "bench_figure5 — Figure 5 of Fan & Libkin (JACM 49(3), 2002), "
+      "reproduced\n\n");
+  std::printf("| %-11s | %-28s | %-14s | %-36s | %8s |\n", "problem",
+              "constraint class", "paper", "observed", "ms");
+  std::printf(
+      "|-------------|------------------------------|----------------|"
+      "--------------------------------------|----------|\n");
+
+  // --- consistency, multi-attribute keys + foreign keys: undecidable.
+  {
+    Row row{"consistency", "multi-attr keys+FKs", "undecidable", "", 0};
+    row.ms = bench::TimeMs([&] {
+      auto r = CheckConsistency(workloads::SchoolDtd(),
+                                workloads::SchoolSigma());
+      if (r.ok() || r.status().code() != StatusCode::kUndecidableClass) {
+        std::abort();
+      }
+    });
+    row.observed = "refused: kUndecidableClass (Thm 3.1)";
+    Print(row);
+  }
+
+  // --- consistency, unary keys + foreign keys: NP-complete.
+  {
+    Row row{"consistency", "unary keys+FKs", "NP-complete", "", 0};
+    bool verdict = true;
+    std::string method;
+    row.ms = bench::TimeMs([&] {
+      auto r = CheckConsistency(workloads::TeacherDtd(),
+                                workloads::TeacherSigma());
+      if (!r.ok()) std::abort();
+      verdict = r->consistent;
+      method = r->method;
+    });
+    row.observed = Verdict(verdict) + " via " + method + " (D1+Sigma1)";
+    Print(row);
+  }
+
+  // --- consistency, primary unary keys + FKs: still NP-complete.
+  {
+    Row row{"consistency", "primary unary keys+FKs", "NP-complete", "", 0};
+    workloads::BinaryLipInstance lip = workloads::RandomLip(7, 4, 6, 3);
+    auto enc = workloads::EncodeLipAsConsistency(lip);
+    if (!enc.sigma.SatisfiesPrimaryKeyRestriction()) std::abort();
+    bool verdict = false;
+    row.ms = bench::TimeMs([&] {
+      auto r = CheckConsistency(enc.dtd, enc.sigma);
+      if (!r.ok()) std::abort();
+      verdict = r->consistent;
+    });
+    bool oracle = workloads::LipHasBinarySolution(lip);
+    row.observed = Verdict(verdict) + " (LIP gadget; oracle " +
+                   Verdict(oracle) + ")";
+    if (verdict != oracle) row.observed += " MISMATCH";
+    Print(row);
+  }
+
+  // --- consistency, fixed DTD: PTIME.
+  {
+    Row row{"consistency", "DTD fixed, unary", "PTIME", "", 0};
+    Dtd dtd = workloads::CatalogDtd(6);
+    ConstraintSet sigma = workloads::RandomUnarySigma(dtd, 3, 20, 20);
+    ConsistencyOptions options;
+    options.build_witness = false;
+    bool verdict = false;
+    row.ms = bench::TimeMs([&] {
+      auto r = CheckConsistency(dtd, sigma, options);
+      if (!r.ok()) std::abort();
+      verdict = r->consistent;
+    });
+    row.observed = Verdict(verdict) + " with 40 constraints";
+    Print(row);
+  }
+
+  // --- consistency, keys only: linear.
+  {
+    Row row{"consistency", "multi-attr keys only", "linear time", "", 0};
+    Dtd dtd = workloads::WideDtd(20000);
+    ConstraintSet keys = workloads::AllKeysSigma(dtd);
+    ConsistencyOptions options;
+    options.build_witness = false;
+    bool verdict = false;
+    row.ms = bench::TimeMs([&] {
+      auto r = CheckConsistency(dtd, keys, options);
+      if (!r.ok()) std::abort();
+      verdict = r->consistent;
+    });
+    row.observed = Verdict(verdict) + " over 20k element types";
+    Print(row);
+  }
+
+  // --- implication, multi-attribute: undecidable.
+  {
+    Row row{"implication", "multi-attr keys+FKs", "undecidable", "", 0};
+    ConstraintSet sigma;
+    sigma.Add(Constraint::Inclusion("enroll", {"student_id"}, "student",
+                                    {"student_id"}));
+    row.ms = bench::TimeMs([&] {
+      auto r = CheckImplication(
+          workloads::SchoolDtd(), sigma,
+          Constraint::Inclusion("enroll", {"dept", "course_no"}, "course",
+                                {"dept", "course_no"}));
+      if (r.ok() || r.status().code() != StatusCode::kUndecidableClass) {
+        std::abort();
+      }
+    });
+    row.observed = "refused: kUndecidableClass (Cor 3.4)";
+    Print(row);
+  }
+
+  // --- implication, unary: coNP-complete.
+  {
+    Row row{"implication", "unary keys+FKs", "coNP-complete", "", 0};
+    Dtd dtd = workloads::TeacherDtd();
+    ConstraintSet sigma;
+    sigma.Add(Constraint::ForeignKey("subject", {"taught_by"}, "teacher",
+                                     {"name"}));
+    bool implied = false;
+    row.ms = bench::TimeMs([&] {
+      auto r = CheckImplication(dtd, sigma,
+                                Constraint::Key("teacher", {"name"}));
+      if (!r.ok()) std::abort();
+      implied = r->implied;
+    });
+    row.observed = std::string(implied ? "implied" : "not implied") +
+                   " via refutation (Cor 4.9 system)";
+    Print(row);
+  }
+
+  // --- implication, primary unary: coNP-complete.
+  {
+    Row row{"implication", "primary unary keys+FKs", "coNP-complete", "", 0};
+    Dtd dtd = workloads::TeacherDtd();
+    ConstraintSet sigma = workloads::TeacherSigma();
+    if (!sigma.SatisfiesPrimaryKeyRestriction()) std::abort();
+    bool implied = false;
+    row.ms = bench::TimeMs([&] {
+      auto r = CheckImplication(dtd, sigma,
+                                Constraint::Key("subject", {"taught_by"}));
+      if (!r.ok()) std::abort();
+      implied = r->implied;
+    });
+    row.observed = std::string(implied ? "implied" : "not implied") +
+                   " (vacuous: Sigma1 inconsistent)";
+    Print(row);
+  }
+
+  // --- implication, fixed DTD: PTIME.
+  {
+    Row row{"implication", "DTD fixed, unary", "PTIME", "", 0};
+    Dtd dtd = workloads::CatalogDtd(4);
+    ConstraintSet sigma;
+    sigma.Add(Constraint::Inclusion("item1", {"id"}, "item2", {"id"}));
+    sigma.Add(Constraint::Inclusion("item2", {"id"}, "item3", {"id"}));
+    bool implied = false;
+    row.ms = bench::TimeMs([&] {
+      auto r = CheckImplication(
+          dtd, sigma, Constraint::Inclusion("item1", {"id"}, "item3",
+                                            {"id"}));
+      if (!r.ok()) std::abort();
+      implied = r->implied;
+    });
+    row.observed = std::string(implied ? "implied" : "not implied") +
+                   " (IC transitivity, Section 5)";
+    Print(row);
+  }
+
+  // --- implication, keys only: linear.
+  {
+    Row row{"implication", "multi-attr keys only", "linear time", "", 0};
+    Dtd dtd = workloads::ChainDtd(20000);
+    ConstraintSet sigma;
+    sigma.Add(Constraint::Key("e1", {"id"}));
+    ConsistencyOptions options;
+    options.build_witness = false;
+    bool implied = false;
+    row.ms = bench::TimeMs([&] {
+      auto r = CheckImplication(dtd, sigma,
+                                Constraint::Key("e2", {"id"}), options);
+      if (!r.ok()) std::abort();
+      implied = r->implied;
+    });
+    row.observed = std::string(implied ? "implied" : "not implied") +
+                   " over 20k-deep chain (Lemma 3.7)";
+    Print(row);
+  }
+
+  std::printf(
+      "\nAll verdicts above are produced by the decision procedures the\n"
+      "paper's upper-bound proofs describe; undecidable cells are refused\n"
+      "with the matching lower-bound citation.\n");
+  return 0;
+}
+
+}  // namespace xicc
+
+int main() { return xicc::Run(); }

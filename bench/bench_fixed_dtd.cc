@@ -1,0 +1,111 @@
+// Figure 5, "DTD fixed" column (Corollaries 4.11 / 5.5): with the DTD held
+// constant the number of system variables is bounded, so consistency and
+// implication are PTIME in |Σ|. The sweep grows Σ over a fixed catalog DTD
+// and reports time per constraint — a flat-ish ratio (no exponential blowup)
+// is the claimed shape.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/consistency.h"
+#include "core/implication.h"
+#include "core/incremental.h"
+#include "workloads/generators.h"
+
+namespace xicc {
+namespace {
+
+constexpr size_t kSections = 6;  // The fixed DTD.
+
+void RunConsistency() {
+  bench::Header("F5-C4 / Cor 4.11: fixed DTD, growing unary Σ");
+  Dtd dtd = workloads::CatalogDtd(kSections);
+  std::printf("%12s %12s %12s %16s\n", "constraints", "sys vars", "time(ms)",
+              "ms per constraint");
+  for (size_t n : {4, 8, 16, 32, 64, 128}) {
+    ConstraintSet sigma =
+        workloads::RandomUnarySigma(dtd, /*seed=*/n * 7 + 1, n / 2, n / 2);
+    ConsistencyOptions options;
+    options.build_witness = false;
+    ConsistencyResult result;
+    double ms = bench::BestTimeMs(3, [&] {
+      auto r = CheckConsistency(dtd, sigma, options);
+      if (!r.ok()) std::abort();
+      result = std::move(*r);
+    });
+    std::printf("%12zu %12zu %12.3f %16.4f\n", sigma.size(),
+                result.stats.system_variables, ms, ms / sigma.size());
+  }
+}
+
+void RunImplication() {
+  bench::Header("F5-I4 / Cor 5.5: fixed DTD, implication vs growing Σ");
+  Dtd dtd = workloads::CatalogDtd(kSections);
+  Constraint phi = Constraint::Key("item1", {"id"});
+  std::printf("%12s %12s %10s\n", "constraints", "time(ms)", "implied");
+  for (size_t n : {4, 8, 16, 32, 64}) {
+    ConstraintSet sigma =
+        workloads::RandomUnarySigma(dtd, /*seed=*/n * 13 + 5, n / 2, n / 2);
+    ConsistencyOptions options;
+    options.build_witness = false;
+    bool implied = false;
+    double ms = bench::BestTimeMs(3, [&] {
+      auto r = CheckImplication(dtd, sigma, phi, options);
+      if (!r.ok()) std::abort();
+      implied = r->implied;
+    });
+    std::printf("%12zu %12.3f %10s\n", sigma.size(), ms,
+                implied ? "yes" : "no");
+  }
+}
+
+void RunIncremental() {
+  bench::Header(
+      "incremental authoring (the Cor 4.11 workflow): per-addition cost");
+  Dtd dtd = workloads::CatalogDtd(4);
+  ConstraintSet sigma = workloads::RandomUnarySigma(dtd, 99, 10, 10);
+  // Redundancy labeling routes implied-inclusion checks through the
+  // exponential Section 5 system; the authoring loop here only needs the
+  // accept/reject verdicts.
+  IncrementalChecker checker(&dtd, ConsistencyOptions(),
+                             /*check_redundancy=*/false);
+  size_t accepted = 0;
+  size_t redundant = 0;
+  size_t rejected = 0;
+  double total_ms = bench::TimeMs([&] {
+    for (const Constraint& c : sigma.constraints()) {
+      auto result = checker.TryAdd(c);
+      if (!result.ok()) std::abort();
+      switch (result->outcome) {
+        case IncrementalChecker::Outcome::kAccepted:
+          ++accepted;
+          break;
+        case IncrementalChecker::Outcome::kAcceptedRedundant:
+          ++redundant;
+          break;
+        case IncrementalChecker::Outcome::kRejected:
+          ++rejected;
+          break;
+      }
+    }
+  });
+  std::printf(
+      "%zu additions in %.3f ms (%.3f ms each): %zu accepted, %zu "
+      "redundant, %zu rejected\n",
+      sigma.size(), total_ms, total_ms / sigma.size(), accepted, redundant,
+      rejected);
+}
+
+}  // namespace
+}  // namespace xicc
+
+int main() {
+  std::printf(
+      "bench_fixed_dtd — the PTIME cells of Figure 5 (fixed DTD)\n"
+      "paper claim: for a fixed DTD the linear systems have a bounded\n"
+      "number of variables (Lenstra), so both analyses are PTIME in |Σ|.\n");
+  xicc::RunConsistency();
+  xicc::RunImplication();
+  xicc::RunIncremental();
+  return 0;
+}

@@ -1,0 +1,37 @@
+#ifndef XICC_BENCH_BENCH_UTIL_H_
+#define XICC_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+
+namespace xicc {
+namespace bench {
+
+/// Wall-clock milliseconds of one invocation of `fn`.
+inline double TimeMs(const std::function<void()>& fn) {
+  auto start = std::chrono::steady_clock::now();
+  fn();
+  auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+/// Best-of-`repeats` timing, for small fast operations.
+inline double BestTimeMs(int repeats, const std::function<void()>& fn) {
+  double best = 1e300;
+  for (int i = 0; i < repeats; ++i) {
+    double t = TimeMs(fn);
+    if (t < best) best = t;
+  }
+  return best;
+}
+
+inline void Header(const std::string& title) {
+  std::printf("\n== %s ==\n", title.c_str());
+}
+
+}  // namespace bench
+}  // namespace xicc
+
+#endif  // XICC_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,102 @@
+// Witness generation: the constructive side of Theorem 4.1 — when a
+// specification is consistent, xicc does not just say "yes": it solves the
+// cardinality system Ψ(D,Σ), reads the solution back through the proofs of
+// Lemmas 4.4/4.5, and emits an actual XML document that conforms to the DTD
+// and satisfies every constraint (including negations, via the Section 5
+// region realization). Useful as test-data generation for a schema.
+//
+// Build & run:  ./build/examples/witness_generation
+
+#include <cstdio>
+
+#include "core/spec.h"
+#include "xml/serializer.h"
+
+namespace {
+
+void Demo(const char* title, const char* dtd, const char* constraints) {
+  std::printf("=== %s ===\n", title);
+  auto spec = xicc::XmlSpec::Parse(dtd, constraints);
+  if (!spec.ok()) {
+    std::printf("spec error: %s\n\n", spec.status().ToString().c_str());
+    return;
+  }
+  auto result = spec->CheckConsistent();
+  if (!result.ok()) {
+    std::printf("analysis: %s\n\n", result.status().ToString().c_str());
+    return;
+  }
+  if (!result->consistent) {
+    std::printf("inconsistent: %s\n\n", result->explanation.c_str());
+    return;
+  }
+  std::printf("consistent (method %s; system %zu vars / %zu rows)\n",
+              result->method.c_str(), result->stats.system_variables,
+              result->stats.system_constraints);
+  if (result->witness.has_value()) {
+    auto check = spec->CheckDocument(*result->witness);
+    std::printf("witness (%zu nodes, re-checked: %s):\n%s\n",
+                result->witness->size(), check.conforms ? "ok" : "BUG",
+                xicc::SerializeXml(*result->witness).c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  Demo("ticketing: every booking names a seat, seats are keyed",
+       R"(
+    <!ELEMENT event (seats, bookings)>
+    <!ELEMENT seats (seat, seat, seat)>
+    <!ELEMENT bookings (booking*)>
+    <!ELEMENT seat EMPTY>
+    <!ELEMENT booking EMPTY>
+    <!ATTLIST seat no CDATA #REQUIRED>
+    <!ATTLIST booking seat_no CDATA #REQUIRED holder CDATA #REQUIRED>
+  )",
+       R"(
+    key seat(no)
+    key booking(seat_no)
+    fk booking(seat_no) => seat(no)
+  )");
+
+  Demo("audit demands a duplicate: negated key forces two copies",
+       R"(
+    <!ELEMENT log (entry+)>
+    <!ELEMENT entry EMPTY>
+    <!ATTLIST entry actor CDATA #REQUIRED>
+  )",
+       R"(
+    !key entry(actor)
+  )");
+
+  Demo("negated inclusion: staging ids must not all be live ids",
+       R"(
+    <!ELEMENT sync (live*, staging*)>
+    <!ELEMENT live EMPTY>
+    <!ELEMENT staging EMPTY>
+    <!ATTLIST live id CDATA #REQUIRED>
+    <!ATTLIST staging id CDATA #REQUIRED>
+  )",
+       R"(
+    key live(id)
+    !inclusion staging(id) <= live(id)
+  )");
+
+  Demo("and an impossible one: two subjects per teacher, keyed taught_by",
+       R"(
+    <!ELEMENT teachers (teacher+)>
+    <!ELEMENT teacher (teach, research)>
+    <!ELEMENT teach (subject, subject)>
+    <!ELEMENT subject (#PCDATA)>
+    <!ELEMENT research (#PCDATA)>
+    <!ATTLIST teacher name CDATA #REQUIRED>
+    <!ATTLIST subject taught_by CDATA #REQUIRED>
+  )",
+       R"(
+    key teacher(name)
+    key subject(taught_by)
+    fk subject(taught_by) => teacher(name)
+  )");
+  return 0;
+}

@@ -1,0 +1,367 @@
+#include "base/bigint.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace xicc {
+
+using uint128 = unsigned __int128;
+
+BigInt::BigInt(int64_t v) {
+  if (v == 0) return;
+  negative_ = v < 0;
+  // Negate via uint64 to avoid overflow on INT64_MIN.
+  uint64_t mag =
+      negative_ ? ~static_cast<uint64_t>(v) + 1 : static_cast<uint64_t>(v);
+  limbs_.push_back(mag);
+}
+
+void BigInt::Trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+  if (limbs_.empty()) negative_ = false;
+}
+
+Result<BigInt> BigInt::FromString(const std::string& s) {
+  size_t i = 0;
+  bool neg = false;
+  if (i < s.size() && (s[i] == '-' || s[i] == '+')) {
+    neg = s[i] == '-';
+    ++i;
+  }
+  if (i >= s.size()) {
+    return Status::ParseError("empty integer literal: '" + s + "'");
+  }
+  BigInt out;
+  for (; i < s.size(); ++i) {
+    if (s[i] < '0' || s[i] > '9') {
+      return Status::ParseError("bad digit in integer literal: '" + s + "'");
+    }
+    out *= BigInt(10);
+    out += BigInt(s[i] - '0');
+  }
+  if (neg && !out.is_zero()) out.negative_ = true;
+  return out;
+}
+
+BigInt BigInt::Pow(const BigInt& base, uint64_t exp) {
+  BigInt result(1);
+  BigInt b = base;
+  while (exp > 0) {
+    if (exp & 1) result *= b;
+    exp >>= 1;
+    if (exp > 0) b *= b;
+  }
+  return result;
+}
+
+BigInt BigInt::Gcd(BigInt a, BigInt b) {
+  a = a.Abs();
+  b = b.Abs();
+  while (!b.is_zero()) {
+    BigInt r = a % b;
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+size_t BigInt::BitLength() const {
+  if (limbs_.empty()) return 0;
+  uint64_t top = limbs_.back();
+  size_t bits = (limbs_.size() - 1) * 64;
+  while (top != 0) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+bool BigInt::FitsInt64() const {
+  if (limbs_.size() > 1) return false;
+  if (limbs_.empty()) return true;
+  uint64_t mag = limbs_[0];
+  if (negative_) return mag <= (uint64_t{1} << 63);
+  return mag < (uint64_t{1} << 63);
+}
+
+int64_t BigInt::ToInt64() const {
+  assert(FitsInt64());
+  if (limbs_.empty()) return 0;
+  uint64_t mag = limbs_[0];
+  if (negative_) return static_cast<int64_t>(~mag + 1);
+  return static_cast<int64_t>(mag);
+}
+
+std::string BigInt::ToString() const {
+  if (is_zero()) return "0";
+  // Repeatedly divide the magnitude by 10^19 (largest power of 10 in uint64)
+  // and format 19 digits per chunk.
+  constexpr uint64_t kChunkBase = 10000000000000000000ULL;  // 10^19
+  constexpr int kChunkDigits = 19;
+  std::vector<uint64_t> mag = limbs_;
+  std::string digits;  // Little-endian decimal digits.
+  while (!mag.empty()) {
+    uint128 rem = 0;
+    for (size_t i = mag.size(); i-- > 0;) {
+      uint128 cur = (rem << 64) | mag[i];
+      mag[i] = static_cast<uint64_t>(cur / kChunkBase);
+      rem = cur % kChunkBase;
+    }
+    while (!mag.empty() && mag.back() == 0) mag.pop_back();
+    uint64_t chunk = static_cast<uint64_t>(rem);
+    for (int d = 0; d < kChunkDigits; ++d) {
+      digits.push_back(static_cast<char>('0' + chunk % 10));
+      chunk /= 10;
+    }
+  }
+  while (digits.size() > 1 && digits.back() == '0') digits.pop_back();
+  std::string out;
+  if (negative_) out.push_back('-');
+  out.append(digits.rbegin(), digits.rend());
+  return out;
+}
+
+BigInt BigInt::operator-() const {
+  BigInt out = *this;
+  if (!out.is_zero()) out.negative_ = !out.negative_;
+  return out;
+}
+
+BigInt BigInt::Abs() const {
+  BigInt out = *this;
+  out.negative_ = false;
+  return out;
+}
+
+int BigInt::CompareMagnitude(const std::vector<uint64_t>& a,
+                             const std::vector<uint64_t>& b) {
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  for (size_t i = a.size(); i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+std::vector<uint64_t> BigInt::AddMagnitude(const std::vector<uint64_t>& a,
+                                           const std::vector<uint64_t>& b) {
+  const std::vector<uint64_t>& lo = a.size() >= b.size() ? b : a;
+  const std::vector<uint64_t>& hi = a.size() >= b.size() ? a : b;
+  std::vector<uint64_t> out;
+  out.reserve(hi.size() + 1);
+  uint64_t carry = 0;
+  for (size_t i = 0; i < hi.size(); ++i) {
+    uint128 sum = static_cast<uint128>(hi[i]) + carry;
+    if (i < lo.size()) sum += lo[i];
+    out.push_back(static_cast<uint64_t>(sum));
+    carry = static_cast<uint64_t>(sum >> 64);
+  }
+  if (carry != 0) out.push_back(carry);
+  return out;
+}
+
+std::vector<uint64_t> BigInt::SubMagnitude(const std::vector<uint64_t>& a,
+                                           const std::vector<uint64_t>& b) {
+  assert(CompareMagnitude(a, b) >= 0);
+  std::vector<uint64_t> out;
+  out.reserve(a.size());
+  uint64_t borrow = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    uint64_t bi = i < b.size() ? b[i] : 0;
+    uint64_t ai = a[i];
+    uint64_t res = ai - bi - borrow;
+    // Borrow occurred iff the true difference was negative.
+    borrow = (ai < bi || (ai == bi && borrow)) ? 1 : 0;
+    out.push_back(res);
+  }
+  while (!out.empty() && out.back() == 0) out.pop_back();
+  return out;
+}
+
+std::vector<uint64_t> BigInt::MulMagnitude(const std::vector<uint64_t>& a,
+                                           const std::vector<uint64_t>& b) {
+  if (a.empty() || b.empty()) return {};
+  std::vector<uint64_t> out(a.size() + b.size(), 0);
+  for (size_t i = 0; i < a.size(); ++i) {
+    uint64_t carry = 0;
+    for (size_t j = 0; j < b.size(); ++j) {
+      uint128 cur = static_cast<uint128>(a[i]) * b[j] + out[i + j] + carry;
+      out[i + j] = static_cast<uint64_t>(cur);
+      carry = static_cast<uint64_t>(cur >> 64);
+    }
+    out[i + b.size()] += carry;
+  }
+  while (!out.empty() && out.back() == 0) out.pop_back();
+  return out;
+}
+
+namespace {
+
+// Shifts magnitude left by `bits` (< 64).
+std::vector<uint64_t> ShiftLeft(const std::vector<uint64_t>& a, unsigned bits) {
+  if (bits == 0 || a.empty()) return a;
+  std::vector<uint64_t> out(a.size() + 1, 0);
+  for (size_t i = 0; i < a.size(); ++i) {
+    out[i] |= a[i] << bits;
+    out[i + 1] = a[i] >> (64 - bits);
+  }
+  while (!out.empty() && out.back() == 0) out.pop_back();
+  return out;
+}
+
+// Shifts magnitude right by `bits` (< 64).
+std::vector<uint64_t> ShiftRight(const std::vector<uint64_t>& a,
+                                 unsigned bits) {
+  if (bits == 0 || a.empty()) return a;
+  std::vector<uint64_t> out(a.size(), 0);
+  for (size_t i = 0; i < a.size(); ++i) {
+    out[i] = a[i] >> bits;
+    if (i + 1 < a.size()) out[i] |= a[i + 1] << (64 - bits);
+  }
+  while (!out.empty() && out.back() == 0) out.pop_back();
+  return out;
+}
+
+}  // namespace
+
+void BigInt::DivModMagnitude(const std::vector<uint64_t>& a,
+                             const std::vector<uint64_t>& b,
+                             std::vector<uint64_t>* quot,
+                             std::vector<uint64_t>* rem) {
+  assert(!b.empty() && "division by zero");
+  quot->clear();
+  rem->clear();
+  if (CompareMagnitude(a, b) < 0) {
+    *rem = a;
+    return;
+  }
+  if (b.size() == 1) {
+    // Single-limb fast path.
+    uint64_t d = b[0];
+    quot->assign(a.size(), 0);
+    uint128 r = 0;
+    for (size_t i = a.size(); i-- > 0;) {
+      uint128 cur = (r << 64) | a[i];
+      (*quot)[i] = static_cast<uint64_t>(cur / d);
+      r = cur % d;
+    }
+    while (!quot->empty() && quot->back() == 0) quot->pop_back();
+    if (r != 0) rem->push_back(static_cast<uint64_t>(r));
+    return;
+  }
+
+  // Knuth TAOCP vol.2 Algorithm D. Normalize so the divisor's top limb has
+  // its high bit set; this keeps the quotient-digit estimate within 2.
+  unsigned shift = 0;
+  uint64_t top = b.back();
+  while ((top & (uint64_t{1} << 63)) == 0) {
+    top <<= 1;
+    ++shift;
+  }
+  std::vector<uint64_t> u = ShiftLeft(a, shift);
+  std::vector<uint64_t> v = ShiftLeft(b, shift);
+  const size_t n = v.size();
+  const size_t m = u.size() - n;
+  u.resize(u.size() + 1, 0);  // Extra high limb for the algorithm.
+  quot->assign(m + 1, 0);
+
+  const uint64_t v1 = v[n - 1];
+  const uint64_t v2 = v[n - 2];
+  for (size_t j = m + 1; j-- > 0;) {
+    // Estimate q_hat = (u[j+n]*B + u[j+n-1]) / v1, then refine.
+    uint128 num = (static_cast<uint128>(u[j + n]) << 64) | u[j + n - 1];
+    uint128 q_hat = num / v1;
+    uint128 r_hat = num % v1;
+    while (q_hat >> 64 != 0 ||
+           q_hat * v2 > ((r_hat << 64) | u[j + n - 2])) {
+      --q_hat;
+      r_hat += v1;
+      if (r_hat >> 64 != 0) break;
+    }
+    // Multiply-subtract q_hat * v from u[j .. j+n].
+    uint128 borrow = 0;
+    uint128 carry = 0;
+    for (size_t i = 0; i < n; ++i) {
+      uint128 p = q_hat * v[i] + carry;
+      carry = p >> 64;
+      uint64_t sub = static_cast<uint64_t>(p);
+      uint128 diff = static_cast<uint128>(u[i + j]) - sub - borrow;
+      u[i + j] = static_cast<uint64_t>(diff);
+      borrow = (diff >> 64) != 0 ? 1 : 0;
+    }
+    uint128 diff = static_cast<uint128>(u[j + n]) - carry - borrow;
+    u[j + n] = static_cast<uint64_t>(diff);
+    bool negative = (diff >> 64) != 0;
+    if (negative) {
+      // Estimate was one too large; add back.
+      --q_hat;
+      uint128 carry2 = 0;
+      for (size_t i = 0; i < n; ++i) {
+        uint128 sum = static_cast<uint128>(u[i + j]) + v[i] + carry2;
+        u[i + j] = static_cast<uint64_t>(sum);
+        carry2 = sum >> 64;
+      }
+      u[j + n] += static_cast<uint64_t>(carry2);
+    }
+    (*quot)[j] = static_cast<uint64_t>(q_hat);
+  }
+  while (!quot->empty() && quot->back() == 0) quot->pop_back();
+  u.resize(n);
+  while (!u.empty() && u.back() == 0) u.pop_back();
+  *rem = ShiftRight(u, shift);
+}
+
+BigInt& BigInt::operator+=(const BigInt& rhs) {
+  if (negative_ == rhs.negative_) {
+    limbs_ = AddMagnitude(limbs_, rhs.limbs_);
+  } else if (CompareMagnitude(limbs_, rhs.limbs_) >= 0) {
+    limbs_ = SubMagnitude(limbs_, rhs.limbs_);
+  } else {
+    limbs_ = SubMagnitude(rhs.limbs_, limbs_);
+    negative_ = rhs.negative_;
+  }
+  Trim();
+  return *this;
+}
+
+BigInt& BigInt::operator-=(const BigInt& rhs) { return *this += -rhs; }
+
+BigInt& BigInt::operator*=(const BigInt& rhs) {
+  negative_ = negative_ != rhs.negative_;
+  limbs_ = MulMagnitude(limbs_, rhs.limbs_);
+  Trim();
+  return *this;
+}
+
+void BigInt::DivMod(const BigInt& num, const BigInt& den, BigInt* quot,
+                    BigInt* rem) {
+  BigInt q, r;
+  DivModMagnitude(num.limbs_, den.limbs_, &q.limbs_, &r.limbs_);
+  q.negative_ = num.negative_ != den.negative_;
+  r.negative_ = num.negative_;
+  q.Trim();
+  r.Trim();
+  *quot = std::move(q);
+  *rem = std::move(r);
+}
+
+BigInt& BigInt::operator/=(const BigInt& rhs) {
+  BigInt q, r;
+  DivMod(*this, rhs, &q, &r);
+  *this = std::move(q);
+  return *this;
+}
+
+BigInt& BigInt::operator%=(const BigInt& rhs) {
+  BigInt q, r;
+  DivMod(*this, rhs, &q, &r);
+  *this = std::move(r);
+  return *this;
+}
+
+int BigInt::Compare(const BigInt& lhs, const BigInt& rhs) {
+  if (lhs.negative_ != rhs.negative_) return lhs.negative_ ? -1 : 1;
+  int mag = CompareMagnitude(lhs.limbs_, rhs.limbs_);
+  return lhs.negative_ ? -mag : mag;
+}
+
+}  // namespace xicc

@@ -1,0 +1,124 @@
+#ifndef XICC_BASE_BIGINT_H_
+#define XICC_BASE_BIGINT_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+
+namespace xicc {
+
+/// Arbitrary-precision signed integer.
+///
+/// The ILP substrate needs exact arithmetic: Papadimitriou's bound on minimal
+/// solutions of `Ax >= b` is `n * (m*a)^(2m+1)` (J.ACM 28(4), 1981), which
+/// overflows any fixed-width type for systems of realistic size, and the
+/// rational simplex must not round. Magnitude is stored little-endian in
+/// 64-bit limbs; zero is canonically represented by an empty limb vector and
+/// a non-negative sign.
+class BigInt {
+ public:
+  /// Constructs zero.
+  BigInt() = default;
+  BigInt(int64_t v);  // NOLINT(google-explicit-constructor): numeric literal
+                      // interop is intended, mirroring standard int widening.
+
+  /// Parses a decimal string with optional leading '-'.
+  static Result<BigInt> FromString(const std::string& s);
+
+  /// Returns base^exp. `base` may be negative; exp is a machine integer
+  /// because every use in the library has a small exponent (2m+1).
+  static BigInt Pow(const BigInt& base, uint64_t exp);
+
+  /// Greatest common divisor of |a| and |b|; Gcd(0,0) == 0.
+  static BigInt Gcd(BigInt a, BigInt b);
+
+  bool is_zero() const { return limbs_.empty(); }
+  bool is_negative() const { return negative_; }
+  /// -1, 0, or +1.
+  int sign() const { return is_zero() ? 0 : (negative_ ? -1 : 1); }
+
+  /// Number of significant bits in the magnitude (0 for zero).
+  size_t BitLength() const;
+
+  /// True if the value fits in int64_t; `FitsInt64` guards `ToInt64`.
+  bool FitsInt64() const;
+  /// Value as int64_t; must only be called when FitsInt64().
+  int64_t ToInt64() const;
+
+  std::string ToString() const;
+
+  BigInt operator-() const;
+  BigInt Abs() const;
+
+  BigInt& operator+=(const BigInt& rhs);
+  BigInt& operator-=(const BigInt& rhs);
+  BigInt& operator*=(const BigInt& rhs);
+  /// Truncated division (C++ semantics: quotient rounds toward zero,
+  /// remainder has the dividend's sign). Divisor must be nonzero.
+  BigInt& operator/=(const BigInt& rhs);
+  BigInt& operator%=(const BigInt& rhs);
+
+  friend BigInt operator+(BigInt lhs, const BigInt& rhs) { return lhs += rhs; }
+  friend BigInt operator-(BigInt lhs, const BigInt& rhs) { return lhs -= rhs; }
+  friend BigInt operator*(BigInt lhs, const BigInt& rhs) { return lhs *= rhs; }
+  friend BigInt operator/(BigInt lhs, const BigInt& rhs) { return lhs /= rhs; }
+  friend BigInt operator%(BigInt lhs, const BigInt& rhs) { return lhs %= rhs; }
+
+  /// Computes quotient and remainder in one pass (truncated division).
+  static void DivMod(const BigInt& num, const BigInt& den, BigInt* quot,
+                     BigInt* rem);
+
+  /// Three-way comparison: negative/zero/positive as lhs <=> rhs.
+  static int Compare(const BigInt& lhs, const BigInt& rhs);
+
+  friend bool operator==(const BigInt& a, const BigInt& b) {
+    return Compare(a, b) == 0;
+  }
+  friend bool operator!=(const BigInt& a, const BigInt& b) {
+    return Compare(a, b) != 0;
+  }
+  friend bool operator<(const BigInt& a, const BigInt& b) {
+    return Compare(a, b) < 0;
+  }
+  friend bool operator<=(const BigInt& a, const BigInt& b) {
+    return Compare(a, b) <= 0;
+  }
+  friend bool operator>(const BigInt& a, const BigInt& b) {
+    return Compare(a, b) > 0;
+  }
+  friend bool operator>=(const BigInt& a, const BigInt& b) {
+    return Compare(a, b) >= 0;
+  }
+
+ private:
+  /// Magnitude comparison ignoring signs.
+  static int CompareMagnitude(const std::vector<uint64_t>& a,
+                              const std::vector<uint64_t>& b);
+  static std::vector<uint64_t> AddMagnitude(const std::vector<uint64_t>& a,
+                                            const std::vector<uint64_t>& b);
+  /// Requires |a| >= |b|.
+  static std::vector<uint64_t> SubMagnitude(const std::vector<uint64_t>& a,
+                                            const std::vector<uint64_t>& b);
+  static std::vector<uint64_t> MulMagnitude(const std::vector<uint64_t>& a,
+                                            const std::vector<uint64_t>& b);
+  /// Knuth Algorithm D on 64-bit limbs.
+  static void DivModMagnitude(const std::vector<uint64_t>& a,
+                              const std::vector<uint64_t>& b,
+                              std::vector<uint64_t>* quot,
+                              std::vector<uint64_t>* rem);
+  void Trim();
+
+  bool negative_ = false;
+  std::vector<uint64_t> limbs_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const BigInt& v) {
+  return os << v.ToString();
+}
+
+}  // namespace xicc
+
+#endif  // XICC_BASE_BIGINT_H_

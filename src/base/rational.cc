@@ -1,0 +1,104 @@
+#include "base/rational.h"
+
+#include <cassert>
+
+namespace xicc {
+
+Rational::Rational(BigInt num, BigInt den)
+    : num_(std::move(num)), den_(std::move(den)) {
+  assert(!den_.is_zero() && "rational with zero denominator");
+  Normalize();
+}
+
+void Rational::Normalize() {
+  if (den_.is_negative()) {
+    num_ = -num_;
+    den_ = -den_;
+  }
+  if (num_.is_zero()) {
+    den_ = BigInt(1);
+    return;
+  }
+  BigInt g = BigInt::Gcd(num_, den_);
+  if (g != BigInt(1)) {
+    num_ /= g;
+    den_ /= g;
+  }
+}
+
+BigInt Rational::Floor() const {
+  BigInt q, r;
+  BigInt::DivMod(num_, den_, &q, &r);
+  // Truncated quotient rounds toward zero; adjust for negative values with a
+  // nonzero remainder.
+  if (r.is_negative()) q -= BigInt(1);
+  return q;
+}
+
+BigInt Rational::Ceil() const {
+  BigInt q, r;
+  BigInt::DivMod(num_, den_, &q, &r);
+  if (!r.is_zero() && !r.is_negative()) q += BigInt(1);
+  return q;
+}
+
+Rational Rational::operator-() const {
+  Rational out = *this;
+  out.num_ = -out.num_;
+  return out;
+}
+
+Rational& Rational::operator+=(const Rational& rhs) {
+  // Integer fast path: the simplex tableaus are integer-dominated, and
+  // skipping the cross-multiplication + gcd there is a large win.
+  if (is_integer() && rhs.is_integer()) {
+    num_ += rhs.num_;
+    return *this;
+  }
+  num_ = num_ * rhs.den_ + rhs.num_ * den_;
+  den_ *= rhs.den_;
+  Normalize();
+  return *this;
+}
+
+Rational& Rational::operator-=(const Rational& rhs) {
+  if (is_integer() && rhs.is_integer()) {
+    num_ -= rhs.num_;
+    return *this;
+  }
+  num_ = num_ * rhs.den_ - rhs.num_ * den_;
+  den_ *= rhs.den_;
+  Normalize();
+  return *this;
+}
+
+Rational& Rational::operator*=(const Rational& rhs) {
+  if (is_integer() && rhs.is_integer()) {
+    num_ *= rhs.num_;
+    return *this;
+  }
+  num_ *= rhs.num_;
+  den_ *= rhs.den_;
+  Normalize();
+  return *this;
+}
+
+Rational& Rational::operator/=(const Rational& rhs) {
+  assert(!rhs.is_zero() && "division by zero rational");
+  num_ *= rhs.den_;
+  den_ *= rhs.num_;
+  Normalize();
+  return *this;
+}
+
+int Rational::Compare(const Rational& lhs, const Rational& rhs) {
+  // Denominators are positive, so cross-multiplication preserves order.
+  return BigInt::Compare(lhs.num_ * rhs.den_, rhs.num_ * lhs.den_);
+}
+
+std::string Rational::ToString() const {
+  if (is_integer()) return num_.ToString();
+  return num_.ToString() + "/" + den_.ToString();
+}
+
+}  // namespace xicc

@@ -1,0 +1,96 @@
+#ifndef XICC_BASE_RATIONAL_H_
+#define XICC_BASE_RATIONAL_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+#include "base/bigint.h"
+
+namespace xicc {
+
+/// Exact rational number over BigInt, always kept in canonical form:
+/// denominator positive, gcd(|num|, den) == 1, zero is 0/1.
+///
+/// The simplex solver pivots on Rationals so LP relaxations are solved
+/// without rounding; branch & bound then needs only floor/ceil.
+class Rational {
+ public:
+  /// Constructs zero.
+  Rational() : num_(0), den_(1) {}
+  Rational(BigInt value) : num_(std::move(value)), den_(1) {}
+  Rational(int64_t value) : num_(value), den_(1) {}
+  /// `den` must be nonzero.
+  Rational(BigInt num, BigInt den);
+
+  const BigInt& num() const { return num_; }
+  const BigInt& den() const { return den_; }
+
+  bool is_zero() const { return num_.is_zero(); }
+  bool is_integer() const { return den_ == BigInt(1); }
+  int sign() const { return num_.sign(); }
+
+  /// Largest integer <= this.
+  BigInt Floor() const;
+  /// Smallest integer >= this.
+  BigInt Ceil() const;
+
+  Rational operator-() const;
+
+  Rational& operator+=(const Rational& rhs);
+  Rational& operator-=(const Rational& rhs);
+  Rational& operator*=(const Rational& rhs);
+  /// rhs must be nonzero.
+  Rational& operator/=(const Rational& rhs);
+
+  friend Rational operator+(Rational lhs, const Rational& rhs) {
+    return lhs += rhs;
+  }
+  friend Rational operator-(Rational lhs, const Rational& rhs) {
+    return lhs -= rhs;
+  }
+  friend Rational operator*(Rational lhs, const Rational& rhs) {
+    return lhs *= rhs;
+  }
+  friend Rational operator/(Rational lhs, const Rational& rhs) {
+    return lhs /= rhs;
+  }
+
+  static int Compare(const Rational& lhs, const Rational& rhs);
+
+  friend bool operator==(const Rational& a, const Rational& b) {
+    return Compare(a, b) == 0;
+  }
+  friend bool operator!=(const Rational& a, const Rational& b) {
+    return Compare(a, b) != 0;
+  }
+  friend bool operator<(const Rational& a, const Rational& b) {
+    return Compare(a, b) < 0;
+  }
+  friend bool operator<=(const Rational& a, const Rational& b) {
+    return Compare(a, b) <= 0;
+  }
+  friend bool operator>(const Rational& a, const Rational& b) {
+    return Compare(a, b) > 0;
+  }
+  friend bool operator>=(const Rational& a, const Rational& b) {
+    return Compare(a, b) >= 0;
+  }
+
+  /// "7" for integers, "7/3" otherwise.
+  std::string ToString() const;
+
+ private:
+  void Normalize();
+
+  BigInt num_;
+  BigInt den_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Rational& v) {
+  return os << v.ToString();
+}
+
+}  // namespace xicc
+
+#endif  // XICC_BASE_RATIONAL_H_

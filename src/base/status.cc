@@ -1,0 +1,31 @@
+#include "base/status.h"
+
+namespace xicc {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kParseError:
+      return "parse-error";
+    case StatusCode::kInvalidArgument:
+      return "invalid-argument";
+    case StatusCode::kUndecidableClass:
+      return "undecidable-class";
+    case StatusCode::kResourceExhausted:
+      return "resource-exhausted";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "ok";
+  std::string out = StatusCodeName(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+}  // namespace xicc

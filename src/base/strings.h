@@ -1,0 +1,34 @@
+#ifndef XICC_BASE_STRINGS_H_
+#define XICC_BASE_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xicc {
+
+/// Returns `s` with ASCII whitespace removed from both ends.
+std::string_view StripWhitespace(std::string_view s);
+
+/// Splits on `sep`; empty pieces are kept. Split("a,,b", ',') -> {a, "", b}.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True iff `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// True iff `c` may start an XML name (letter, '_' or ':').
+bool IsNameStartChar(char c);
+/// True iff `c` may continue an XML name (name start, digit, '-', '.').
+bool IsNameChar(char c);
+/// True iff `s` is a nonempty XML name.
+bool IsValidName(std::string_view s);
+
+/// Escapes &, <, >, ", ' for embedding in XML text or attribute values.
+std::string XmlEscape(std::string_view s);
+
+}  // namespace xicc
+
+#endif  // XICC_BASE_STRINGS_H_

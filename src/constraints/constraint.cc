@@ -1,0 +1,251 @@
+#include "constraints/constraint.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "base/strings.h"
+
+namespace xicc {
+
+Constraint Constraint::Key(std::string type, std::vector<std::string> attrs) {
+  Constraint c;
+  c.kind = ConstraintKind::kKey;
+  c.type1 = std::move(type);
+  c.attrs1 = std::move(attrs);
+  return c;
+}
+
+Constraint Constraint::Inclusion(std::string type1,
+                                 std::vector<std::string> attrs1,
+                                 std::string type2,
+                                 std::vector<std::string> attrs2) {
+  Constraint c;
+  c.kind = ConstraintKind::kInclusion;
+  c.type1 = std::move(type1);
+  c.attrs1 = std::move(attrs1);
+  c.type2 = std::move(type2);
+  c.attrs2 = std::move(attrs2);
+  return c;
+}
+
+Constraint Constraint::ForeignKey(std::string type1,
+                                  std::vector<std::string> attrs1,
+                                  std::string type2,
+                                  std::vector<std::string> attrs2) {
+  Constraint c = Inclusion(std::move(type1), std::move(attrs1),
+                           std::move(type2), std::move(attrs2));
+  c.kind = ConstraintKind::kForeignKey;
+  return c;
+}
+
+Constraint Constraint::NegKey(std::string type,
+                              std::vector<std::string> attrs) {
+  Constraint c = Key(std::move(type), std::move(attrs));
+  c.kind = ConstraintKind::kNegKey;
+  return c;
+}
+
+Constraint Constraint::NegInclusion(std::string type1,
+                                    std::vector<std::string> attrs1,
+                                    std::string type2,
+                                    std::vector<std::string> attrs2) {
+  Constraint c = Inclusion(std::move(type1), std::move(attrs1),
+                           std::move(type2), std::move(attrs2));
+  c.kind = ConstraintKind::kNegInclusion;
+  return c;
+}
+
+bool Constraint::IsUnary() const {
+  return attrs1.size() == 1 && attrs2.size() <= 1;
+}
+
+bool Constraint::IsNegation() const {
+  return kind == ConstraintKind::kNegKey ||
+         kind == ConstraintKind::kNegInclusion;
+}
+
+namespace {
+
+std::string AttrList(const std::string& type,
+                     const std::vector<std::string>& attrs) {
+  if (attrs.size() == 1) return type + "." + attrs[0];
+  std::string out = type + "[";
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    if (i > 0) out += ",";
+    out += attrs[i];
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace
+
+std::string Constraint::ToString() const {
+  switch (kind) {
+    case ConstraintKind::kKey:
+      return AttrList(type1, attrs1) + " -> " + type1;
+    case ConstraintKind::kNegKey:
+      return AttrList(type1, attrs1) + " -/-> " + type1;
+    case ConstraintKind::kInclusion:
+      return AttrList(type1, attrs1) + " <= " + AttrList(type2, attrs2);
+    case ConstraintKind::kForeignKey:
+      return AttrList(type1, attrs1) + " <= " + AttrList(type2, attrs2) +
+             ", " + AttrList(type2, attrs2) + " -> " + type2;
+    case ConstraintKind::kNegInclusion:
+      return AttrList(type1, attrs1) + " </= " + AttrList(type2, attrs2);
+  }
+  return "?";
+}
+
+const char* ConstraintClassName(ConstraintClass c) {
+  switch (c) {
+    case ConstraintClass::kEmpty:
+      return "empty";
+    case ConstraintClass::kKeysOnly:
+      return "keys-only";
+    case ConstraintClass::kUnaryKeyFk:
+      return "unary-keys-fks";
+    case ConstraintClass::kUnaryWithNegKey:
+      return "unary-with-neg-keys";
+    case ConstraintClass::kUnaryWithNegIc:
+      return "unary-with-neg-inclusions";
+    case ConstraintClass::kMultiAttribute:
+      return "multi-attribute";
+  }
+  return "unknown";
+}
+
+Status ConstraintSet::CheckAgainst(const Dtd& dtd) const {
+  for (const Constraint& c : constraints_) {
+    auto check_side = [&](const std::string& type,
+                          const std::vector<std::string>& attrs) -> Status {
+      if (!dtd.HasElement(type)) {
+        return Status::InvalidArgument("constraint '" + c.ToString() +
+                                       "' refers to undeclared element type '" +
+                                       type + "'");
+      }
+      if (attrs.empty()) {
+        return Status::InvalidArgument("constraint '" + c.ToString() +
+                                       "' has an empty attribute list");
+      }
+      std::set<std::string> seen;
+      for (const std::string& attr : attrs) {
+        if (!dtd.HasAttribute(type, attr)) {
+          return Status::InvalidArgument(
+              "constraint '" + c.ToString() + "' uses attribute '" + attr +
+              "' not defined for element type '" + type + "'");
+        }
+        if (!seen.insert(attr).second) {
+          return Status::InvalidArgument("constraint '" + c.ToString() +
+                                         "' repeats attribute '" + attr +
+                                         "'");
+        }
+      }
+      return Status::Ok();
+    };
+
+    XICC_RETURN_IF_ERROR(check_side(c.type1, c.attrs1));
+    if (c.kind == ConstraintKind::kInclusion ||
+        c.kind == ConstraintKind::kForeignKey ||
+        c.kind == ConstraintKind::kNegInclusion) {
+      XICC_RETURN_IF_ERROR(check_side(c.type2, c.attrs2));
+      if (c.attrs1.size() != c.attrs2.size()) {
+        return Status::InvalidArgument(
+            "constraint '" + c.ToString() +
+            "' has sides of different arity");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+ConstraintClass ConstraintSet::Classify() const {
+  if (constraints_.empty()) return ConstraintClass::kEmpty;
+
+  bool keys_only = true;
+  bool has_neg_key = false;
+  bool has_neg_ic = false;
+  for (const Constraint& c : constraints_) {
+    switch (c.kind) {
+      case ConstraintKind::kKey:
+        break;
+      case ConstraintKind::kInclusion:
+      case ConstraintKind::kForeignKey:
+        keys_only = false;
+        // A multi-attribute inclusion makes the whole set C_{K,FK}-general.
+        if (!c.IsUnary()) return ConstraintClass::kMultiAttribute;
+        break;
+      case ConstraintKind::kNegKey:
+        keys_only = false;
+        has_neg_key = true;
+        if (!c.IsUnary()) return ConstraintClass::kMultiAttribute;
+        break;
+      case ConstraintKind::kNegInclusion:
+        keys_only = false;
+        has_neg_ic = true;
+        if (!c.IsUnary()) return ConstraintClass::kMultiAttribute;
+        break;
+    }
+  }
+  if (keys_only) return ConstraintClass::kKeysOnly;
+  // Inclusion-like constraints present; unary ones only from here on. A
+  // *key* over multiple attributes alongside unary inclusions falls outside
+  // every unary class, so classify as multi-attribute.
+  for (const Constraint& c : constraints_) {
+    if (c.kind == ConstraintKind::kKey && !c.IsUnary()) {
+      return ConstraintClass::kMultiAttribute;
+    }
+  }
+  if (has_neg_ic) return ConstraintClass::kUnaryWithNegIc;
+  if (has_neg_key) return ConstraintClass::kUnaryWithNegKey;
+  return ConstraintClass::kUnaryKeyFk;
+}
+
+ConstraintSet ConstraintSet::Normalize() const {
+  std::vector<Constraint> out;
+  std::set<std::string> seen;  // Keyed by rendering, which is injective.
+  auto push_unique = [&](Constraint c) {
+    if (seen.insert(c.ToString()).second) {
+      out.push_back(std::move(c));
+    }
+  };
+  for (const Constraint& c : constraints_) {
+    if (c.kind == ConstraintKind::kForeignKey) {
+      push_unique(Constraint::Inclusion(c.type1, c.attrs1, c.type2, c.attrs2));
+      push_unique(Constraint::Key(c.type2, c.attrs2));
+    } else {
+      push_unique(c);
+    }
+  }
+  return ConstraintSet(std::move(out));
+}
+
+bool ConstraintSet::SatisfiesPrimaryKeyRestriction() const {
+  // Collect the distinct key attribute-sets declared per element type.
+  std::map<std::string, std::set<std::vector<std::string>>> keys_per_type;
+  for (const Constraint& c : constraints_) {
+    if (c.kind == ConstraintKind::kKey) {
+      std::vector<std::string> sorted = c.attrs1;
+      std::sort(sorted.begin(), sorted.end());
+      keys_per_type[c.type1].insert(sorted);
+    } else if (c.kind == ConstraintKind::kForeignKey) {
+      std::vector<std::string> sorted = c.attrs2;
+      std::sort(sorted.begin(), sorted.end());
+      keys_per_type[c.type2].insert(sorted);
+    }
+  }
+  for (const auto& [type, keys] : keys_per_type) {
+    if (keys.size() > 1) return false;
+  }
+  return true;
+}
+
+std::string ConstraintSet::ToString() const {
+  std::vector<std::string> lines;
+  lines.reserve(constraints_.size());
+  for (const Constraint& c : constraints_) lines.push_back(c.ToString());
+  return Join(lines, "\n");
+}
+
+}  // namespace xicc

@@ -1,0 +1,119 @@
+#ifndef XICC_CONSTRAINTS_CONSTRAINT_H_
+#define XICC_CONSTRAINTS_CONSTRAINT_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "dtd/dtd.h"
+
+namespace xicc {
+
+/// The constraint forms of Section 2.2. A foreign key is *represented* as an
+/// inclusion constraint flagged `requires_key`: the paper defines
+/// τ1[X] ⊆ τ2[Y], τ2[Y] → τ2 as the combination of an inclusion constraint
+/// and a key, and the flag records that the key component is part of the
+/// foreign key (ConstraintSet::Normalize materializes it).
+enum class ConstraintKind {
+  kKey,           ///< τ[X] → τ.
+  kInclusion,     ///< τ1[X] ⊆ τ2[Y].
+  kForeignKey,    ///< τ1[X] ⊆ τ2[Y] together with τ2[Y] → τ2.
+  kNegKey,        ///< τ[X] ↛ τ   (only unary negations appear in the paper).
+  kNegInclusion,  ///< τ1[X] ⊄ τ2[Y].
+};
+
+/// A single integrity constraint over a DTD.
+struct Constraint {
+  ConstraintKind kind;
+  /// Key / negated key: the keyed element type. Inclusion-like forms: τ1.
+  std::string type1;
+  /// X — attribute set (keys) or list (inclusions). Nonempty.
+  std::vector<std::string> attrs1;
+  /// Inclusion-like forms: τ2. Empty for keys.
+  std::string type2;
+  /// Y — same length as attrs1 for inclusion-like forms.
+  std::vector<std::string> attrs2;
+
+  static Constraint Key(std::string type, std::vector<std::string> attrs);
+  static Constraint Inclusion(std::string type1,
+                              std::vector<std::string> attrs1,
+                              std::string type2,
+                              std::vector<std::string> attrs2);
+  static Constraint ForeignKey(std::string type1,
+                               std::vector<std::string> attrs1,
+                               std::string type2,
+                               std::vector<std::string> attrs2);
+  static Constraint NegKey(std::string type, std::vector<std::string> attrs);
+  static Constraint NegInclusion(std::string type1,
+                                 std::vector<std::string> attrs1,
+                                 std::string type2,
+                                 std::vector<std::string> attrs2);
+
+  /// Single-attribute on every side.
+  bool IsUnary() const;
+  /// True for kNegKey / kNegInclusion.
+  bool IsNegation() const;
+
+  /// Paper-style rendering, e.g. "teacher.name -> teacher",
+  /// "subject.taught_by <= teacher.name", "enroll[sid,dept] <= ...".
+  std::string ToString() const;
+
+  friend bool operator==(const Constraint& a, const Constraint& b) = default;
+};
+
+/// The constraint classes whose consistency/implication problems the paper
+/// separates (Figure 5).
+enum class ConstraintClass {
+  kEmpty,          ///< No constraints: DTD validity only (Thm 3.5(1)).
+  kKeysOnly,       ///< C_K — keys only (Thm 3.5(2,3)): linear time.
+  kUnaryKeyFk,     ///< C^unary_{K,FK} ∪ unary ICs (C^unary_{K,IC}): NP.
+  kUnaryWithNegKey,///< C^unary_{K¬,IC}: + negated unary keys: NP (Cor 4.9).
+  kUnaryWithNegIc, ///< C^unary_{K¬,IC¬}: + negated unary ICs: NP (Thm 5.1).
+  kMultiAttribute, ///< C_{K,FK} with some multi-attribute FK/IC: undecidable.
+};
+
+const char* ConstraintClassName(ConstraintClass c);
+
+/// An ordered collection of constraints with class detection and per-DTD
+/// well-formedness checking.
+class ConstraintSet {
+ public:
+  ConstraintSet() = default;
+  explicit ConstraintSet(std::vector<Constraint> constraints)
+      : constraints_(std::move(constraints)) {}
+
+  void Add(Constraint constraint) {
+    constraints_.push_back(std::move(constraint));
+  }
+
+  const std::vector<Constraint>& constraints() const { return constraints_; }
+  size_t size() const { return constraints_.size(); }
+  bool empty() const { return constraints_.empty(); }
+
+  /// Verifies every constraint refers to declared element types and
+  /// attributes of `dtd`, and that inclusion sides have equal arity.
+  Status CheckAgainst(const Dtd& dtd) const;
+
+  /// The smallest Figure-5 class containing this set. Multi-attribute *keys*
+  /// alone still classify as kKeysOnly (they are linear-time); any
+  /// multi-attribute inclusion/foreign-key forces kMultiAttribute.
+  ConstraintClass Classify() const;
+
+  /// Expands foreign keys into inclusion + key pairs and deduplicates.
+  /// The result contains only kKey/kInclusion/kNegKey/kNegInclusion.
+  ConstraintSet Normalize() const;
+
+  /// True if at most one key per element type is declared (keys arising from
+  /// foreign keys included) — the primary-key restriction of Corollary 4.8.
+  bool SatisfiesPrimaryKeyRestriction() const;
+
+  /// One constraint per line.
+  std::string ToString() const;
+
+ private:
+  std::vector<Constraint> constraints_;
+};
+
+}  // namespace xicc
+
+#endif  // XICC_CONSTRAINTS_CONSTRAINT_H_

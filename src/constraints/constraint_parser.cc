@@ -1,0 +1,137 @@
+#include "constraints/constraint_parser.h"
+
+#include <string>
+#include <vector>
+
+#include "base/strings.h"
+
+namespace xicc {
+
+namespace {
+
+/// Parses "type(attr1, attr2, ...)" from the front of `s`, advancing it.
+Status ParseSide(std::string_view* s, std::string* type,
+                 std::vector<std::string>* attrs) {
+  *s = StripWhitespace(*s);
+  size_t open = s->find('(');
+  if (open == std::string_view::npos) {
+    return Status::ParseError("expected 'type(attrs)' in constraint near '" +
+                              std::string(*s) + "'");
+  }
+  std::string_view name = StripWhitespace(s->substr(0, open));
+  if (!IsValidName(name)) {
+    return Status::ParseError("invalid element type name '" +
+                              std::string(name) + "'");
+  }
+  size_t close = s->find(')', open);
+  if (close == std::string_view::npos) {
+    return Status::ParseError("missing ')' in constraint");
+  }
+  *type = std::string(name);
+  attrs->clear();
+  for (const std::string& piece :
+       Split(s->substr(open + 1, close - open - 1), ',')) {
+    std::string_view attr = StripWhitespace(piece);
+    if (!IsValidName(attr)) {
+      return Status::ParseError("invalid attribute name '" +
+                                std::string(attr) + "'");
+    }
+    attrs->push_back(std::string(attr));
+  }
+  if (attrs->empty()) {
+    return Status::ParseError("empty attribute list in constraint");
+  }
+  *s = s->substr(close + 1);
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<Constraint> ParseConstraint(std::string_view line) {
+  std::string_view s = StripWhitespace(line);
+
+  auto take_keyword = [&](std::string_view keyword) {
+    if (!StartsWith(s, keyword)) return false;
+    // Keyword must end at a word boundary.
+    if (s.size() > keyword.size() && IsNameChar(s[keyword.size()])) {
+      return false;
+    }
+    s = StripWhitespace(s.substr(keyword.size()));
+    return true;
+  };
+
+  bool negated = false;
+  if (!s.empty() && s[0] == '!') {
+    negated = true;
+    s = StripWhitespace(s.substr(1));
+  }
+
+  std::string type1, type2;
+  std::vector<std::string> attrs1, attrs2;
+
+  if (take_keyword("key")) {
+    XICC_RETURN_IF_ERROR(ParseSide(&s, &type1, &attrs1));
+    if (!StripWhitespace(s).empty()) {
+      return Status::ParseError("trailing input after key constraint: '" +
+                                std::string(s) + "'");
+    }
+    return negated ? Constraint::NegKey(type1, attrs1)
+                   : Constraint::Key(type1, attrs1);
+  }
+
+  bool is_fk = false;
+  if (take_keyword("inclusion")) {
+    is_fk = false;
+  } else if (take_keyword("fk")) {
+    is_fk = true;
+  } else {
+    return Status::ParseError(
+        "expected 'key', 'inclusion' or 'fk' in constraint: '" +
+        std::string(line) + "'");
+  }
+  if (is_fk && negated) {
+    return Status::ParseError(
+        "negated foreign keys are not a form of the paper; negate the "
+        "inclusion or the key separately");
+  }
+
+  XICC_RETURN_IF_ERROR(ParseSide(&s, &type1, &attrs1));
+  s = StripWhitespace(s);
+  std::string_view arrow = is_fk ? "=>" : "<=";
+  if (!StartsWith(s, arrow)) {
+    return Status::ParseError("expected '" + std::string(arrow) +
+                              "' in constraint: '" + std::string(line) + "'");
+  }
+  s = s.substr(arrow.size());
+  XICC_RETURN_IF_ERROR(ParseSide(&s, &type2, &attrs2));
+  if (!StripWhitespace(s).empty()) {
+    return Status::ParseError("trailing input after constraint: '" +
+                              std::string(s) + "'");
+  }
+  if (attrs1.size() != attrs2.size()) {
+    return Status::ParseError("sides of '" + std::string(line) +
+                              "' have different arity");
+  }
+  if (is_fk) return Constraint::ForeignKey(type1, attrs1, type2, attrs2);
+  return negated ? Constraint::NegInclusion(type1, attrs1, type2, attrs2)
+                 : Constraint::Inclusion(type1, attrs1, type2, attrs2);
+}
+
+Result<ConstraintSet> ParseConstraints(std::string_view input) {
+  ConstraintSet out;
+  int line_number = 0;
+  for (const std::string& raw : Split(input, '\n')) {
+    ++line_number;
+    std::string_view line = StripWhitespace(raw);
+    if (line.empty() || line[0] == '#') continue;
+    auto constraint = ParseConstraint(line);
+    if (!constraint.ok()) {
+      return Status::ParseError("constraints:" + std::to_string(line_number) +
+                                ": " + constraint.status().message());
+    }
+    out.Add(std::move(constraint).value());
+  }
+  return out;
+}
+
+}  // namespace xicc

@@ -1,0 +1,29 @@
+#ifndef XICC_CONSTRAINTS_CONSTRAINT_PARSER_H_
+#define XICC_CONSTRAINTS_CONSTRAINT_PARSER_H_
+
+#include <string_view>
+
+#include "base/status.h"
+#include "constraints/constraint.h"
+
+namespace xicc {
+
+/// Parses the textual constraint language, one constraint per line:
+///
+///   key      teacher(name)
+///   key      course(dept, course_no)
+///   inclusion enroll(student_id) <= student(student_id)
+///   fk       enroll(dept, course_no) => course(dept, course_no)
+///   !key     teacher(name)
+///   !inclusion a(x) <= b(y)
+///
+/// Blank lines and `#`-comments are skipped. `fk p(X) => q(Y)` is the
+/// foreign key p[X] ⊆ q[Y], q[Y] → q.
+Result<ConstraintSet> ParseConstraints(std::string_view input);
+
+/// Parses a single constraint (no comments / newlines).
+Result<Constraint> ParseConstraint(std::string_view line);
+
+}  // namespace xicc
+
+#endif  // XICC_CONSTRAINTS_CONSTRAINT_PARSER_H_

@@ -1,0 +1,174 @@
+#include "constraints/evaluator.h"
+
+#include <map>
+#include <optional>
+
+#include "base/strings.h"
+
+namespace xicc {
+
+namespace {
+
+/// x[X]: the tuple of X-attribute values of `node`, or nullopt if any
+/// attribute is missing.
+std::optional<std::vector<std::string>> TupleOf(
+    const XmlTree& tree, NodeId node, const std::vector<std::string>& attrs) {
+  std::vector<std::string> tuple;
+  tuple.reserve(attrs.size());
+  for (const std::string& attr : attrs) {
+    auto value = tree.AttributeValue(node, attr);
+    if (!value.has_value()) return std::nullopt;
+    tuple.emplace_back(*value);
+  }
+  return tuple;
+}
+
+std::string RenderTuple(const std::vector<std::string>& tuple) {
+  std::string out = "(";
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "\"" + tuple[i] + "\"";
+  }
+  return out + ")";
+}
+
+void CheckMissing(const XmlTree& tree, const Constraint& c,
+                  const std::string& type,
+                  const std::vector<std::string>& attrs,
+                  EvaluationReport* report) {
+  for (NodeId node : tree.ExtOfType(type)) {
+    if (!TupleOf(tree, node, attrs).has_value()) {
+      report->satisfied = false;
+      report->violations.emplace_back(
+          c, node, kInvalidNode,
+          "element '" + type + "' lacks an attribute referenced by " +
+              c.ToString());
+    }
+  }
+}
+
+void EvaluateKey(const XmlTree& tree, const Constraint& c,
+                 EvaluationReport* report) {
+  CheckMissing(tree, c, c.type1, c.attrs1, report);
+  std::map<std::vector<std::string>, NodeId> seen;
+  for (NodeId node : tree.ExtOfType(c.type1)) {
+    auto tuple = TupleOf(tree, node, c.attrs1);
+    if (!tuple.has_value()) continue;
+    auto [it, inserted] = seen.emplace(*tuple, node);
+    if (!inserted) {
+      report->satisfied = false;
+      report->violations.emplace_back(
+          c, node, it->second,
+          "two '" + c.type1 + "' elements share key value " +
+              RenderTuple(*tuple));
+    }
+  }
+}
+
+void EvaluateInclusion(const XmlTree& tree, const Constraint& c,
+                       EvaluationReport* report) {
+  CheckMissing(tree, c, c.type1, c.attrs1, report);
+  std::map<std::vector<std::string>, NodeId> targets;
+  for (NodeId node : tree.ExtOfType(c.type2)) {
+    auto tuple = TupleOf(tree, node, c.attrs2);
+    if (tuple.has_value()) targets.emplace(*tuple, node);
+  }
+  for (NodeId node : tree.ExtOfType(c.type1)) {
+    auto tuple = TupleOf(tree, node, c.attrs1);
+    if (!tuple.has_value()) continue;
+    if (targets.find(*tuple) == targets.end()) {
+      report->satisfied = false;
+      report->violations.emplace_back(
+          c, node, kInvalidNode,
+          "value " + RenderTuple(*tuple) + " of '" + c.type1 +
+              "' has no matching '" + c.type2 + "' element");
+    }
+  }
+}
+
+void EvaluateNegKey(const XmlTree& tree, const Constraint& c,
+                    EvaluationReport* report) {
+  std::map<std::vector<std::string>, NodeId> seen;
+  for (NodeId node : tree.ExtOfType(c.type1)) {
+    auto tuple = TupleOf(tree, node, c.attrs1);
+    if (!tuple.has_value()) continue;
+    auto [it, inserted] = seen.emplace(*tuple, node);
+    if (!inserted) return;  // Witness pair exists: negation satisfied.
+  }
+  report->satisfied = false;
+  report->violations.emplace_back(
+      c, kInvalidNode, kInvalidNode,
+      "no two '" + c.type1 + "' elements share a value; " + c.ToString() +
+          " requires a clash");
+}
+
+void EvaluateNegInclusion(const XmlTree& tree, const Constraint& c,
+                          EvaluationReport* report) {
+  std::map<std::vector<std::string>, NodeId> targets;
+  for (NodeId node : tree.ExtOfType(c.type2)) {
+    auto tuple = TupleOf(tree, node, c.attrs2);
+    if (tuple.has_value()) targets.emplace(*tuple, node);
+  }
+  for (NodeId node : tree.ExtOfType(c.type1)) {
+    auto tuple = TupleOf(tree, node, c.attrs1);
+    if (!tuple.has_value()) continue;
+    if (targets.find(*tuple) == targets.end()) return;  // Witness exists.
+  }
+  report->satisfied = false;
+  report->violations.emplace_back(
+      c, kInvalidNode, kInvalidNode,
+      "every '" + c.type1 + "' value occurs among '" + c.type2 + "'; " +
+          c.ToString() + " requires a dangling value");
+}
+
+}  // namespace
+
+std::string EvaluationReport::ToString() const {
+  if (satisfied) return "satisfied";
+  std::vector<std::string> lines;
+  lines.reserve(violations.size());
+  for (const ConstraintViolation& v : violations) {
+    lines.push_back(v.message);
+  }
+  return Join(lines, "\n");
+}
+
+EvaluationReport Evaluate(const XmlTree& tree, const Constraint& constraint) {
+  EvaluationReport report;
+  switch (constraint.kind) {
+    case ConstraintKind::kKey:
+      EvaluateKey(tree, constraint, &report);
+      break;
+    case ConstraintKind::kInclusion:
+      EvaluateInclusion(tree, constraint, &report);
+      break;
+    case ConstraintKind::kForeignKey: {
+      EvaluateInclusion(tree, constraint, &report);
+      Constraint key = Constraint::Key(constraint.type2, constraint.attrs2);
+      EvaluateKey(tree, key, &report);
+      break;
+    }
+    case ConstraintKind::kNegKey:
+      EvaluateNegKey(tree, constraint, &report);
+      break;
+    case ConstraintKind::kNegInclusion:
+      EvaluateNegInclusion(tree, constraint, &report);
+      break;
+  }
+  return report;
+}
+
+EvaluationReport Evaluate(const XmlTree& tree, const ConstraintSet& set) {
+  EvaluationReport report;
+  for (const Constraint& constraint : set.constraints()) {
+    EvaluationReport one = Evaluate(tree, constraint);
+    if (!one.satisfied) {
+      report.satisfied = false;
+      report.violations.insert(report.violations.end(),
+                               one.violations.begin(), one.violations.end());
+    }
+  }
+  return report;
+}
+
+}  // namespace xicc

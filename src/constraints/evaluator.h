@@ -1,0 +1,49 @@
+#ifndef XICC_CONSTRAINTS_EVALUATOR_H_
+#define XICC_CONSTRAINTS_EVALUATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "constraints/constraint.h"
+#include "xml/tree.h"
+
+namespace xicc {
+
+/// One reason a tree fails a constraint. For a key violation, `node` and
+/// `other` are the two clashing elements; for an inclusion violation, `node`
+/// is the dangling element; for failed negations (which assert existence)
+/// both are kInvalidNode.
+struct ConstraintViolation {
+  ConstraintViolation(const Constraint& c, NodeId node_in, NodeId other_in,
+                      std::string message_in)
+      : constraint(c),
+        node(node_in),
+        other(other_in),
+        message(std::move(message_in)) {}
+
+  Constraint constraint;
+  NodeId node = kInvalidNode;
+  NodeId other = kInvalidNode;
+  std::string message;
+};
+
+struct EvaluationReport {
+  bool satisfied = true;
+  std::vector<ConstraintViolation> violations;
+
+  std::string ToString() const;
+};
+
+/// Dynamic validation: checks T ⊨ φ per the satisfaction definitions of
+/// Section 2.2, with two notions of equality — string equality on attribute
+/// values and node identity on elements. Elements missing a referenced
+/// attribute (possible only on DTD-invalid trees) are reported as
+/// violations.
+EvaluationReport Evaluate(const XmlTree& tree, const Constraint& constraint);
+
+/// Checks T ⊨ Σ; collects violations across all constraints.
+EvaluationReport Evaluate(const XmlTree& tree, const ConstraintSet& set);
+
+}  // namespace xicc
+
+#endif  // XICC_CONSTRAINTS_EVALUATOR_H_

@@ -1,0 +1,71 @@
+#include "constraints/id_idref.h"
+
+namespace xicc {
+
+Result<IdConstraintTranslation> DeriveIdConstraints(const Dtd& dtd) {
+  IdConstraintTranslation out;
+
+  // Collect ID and IDREF attribute pairs in declaration order.
+  std::vector<std::pair<std::string, std::string>> ids;
+  std::vector<std::pair<std::string, std::string>> idrefs;
+  for (const auto& [element, attr] : dtd.AllAttributePairs()) {
+    switch (dtd.AttributeKind(element, attr)) {
+      case AttrKind::kId:
+        ids.emplace_back(element, attr);
+        break;
+      case AttrKind::kIdref:
+        idrefs.emplace_back(element, attr);
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Every ID is a unary key of its element type.
+  for (const auto& [element, attr] : ids) {
+    out.constraints.Add(Constraint::Key(element, {attr}));
+  }
+  if (ids.size() > 1) {
+    std::string note =
+        "XML IDs are unique across the whole document, but the constraint "
+        "language expresses per-element-type keys only; cross-type "
+        "disjointness of";
+    for (const auto& [element, attr] : ids) {
+      note += " " + element + "." + attr;
+    }
+    note += " is not captured";
+    out.notes.push_back(std::move(note));
+  }
+
+  if (idrefs.empty()) return out;
+
+  if (ids.empty()) {
+    return Status::InvalidArgument(
+        "the DTD declares IDREF attributes but no ID attribute; the "
+        "references cannot point anywhere");
+  }
+  if (ids.size() > 1) {
+    std::string targets;
+    for (const auto& [element, attr] : ids) {
+      if (!targets.empty()) targets += ", ";
+      targets += element + "." + attr;
+    }
+    return Status::InvalidArgument(
+        "IDREF attributes are unscoped: they may reference any of {" +
+        targets +
+        "}, and no C_{K,FK} constraint expresses a union-typed reference. "
+        "This is the footnote-1 limitation the paper sets DTD "
+        "id-constraints aside for; scope the reference by keeping a single "
+        "ID-bearing element type, or write explicit fk constraints.");
+  }
+
+  // Exactly one ID-bearing type: every IDREF is a scoped foreign key.
+  const auto& [id_element, id_attr] = ids.front();
+  for (const auto& [element, attr] : idrefs) {
+    out.constraints.Add(
+        Constraint::ForeignKey(element, {attr}, id_element, {id_attr}));
+  }
+  return out;
+}
+
+}  // namespace xicc

@@ -1,0 +1,40 @@
+#ifndef XICC_CONSTRAINTS_ID_IDREF_H_
+#define XICC_CONSTRAINTS_ID_IDREF_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "constraints/constraint.h"
+#include "dtd/dtd.h"
+
+namespace xicc {
+
+/// Translation of a DTD's ID/IDREF attribute declarations into the paper's
+/// constraint language.
+///
+/// Footnote 1 of the paper sets DTD id-constraints aside because of their
+/// well-known limitations; this module makes those limitations concrete:
+///
+///  - An ID attribute `l` on element type τ yields the unary key τ.l → τ.
+///    XML IDs are additionally unique *across* element types, which the
+///    constraint language cannot express when several types carry IDs; the
+///    translation then notes the approximation.
+///  - An IDREF attribute is *unscoped*: it may point at any ID in the
+///    document. When exactly one element type carries an ID, the reference
+///    is effectively scoped and translates to the foreign key
+///    τ'.l' ⊆ τ.l, τ.l → τ. With several ID-bearing types there is no
+///    C_{K,FK} equivalent — precisely the critique of Buneman et al. and
+///    Fan & Siméon that the paper cites — and the translation fails with an
+///    explanatory error listing the candidate targets.
+struct IdConstraintTranslation {
+  ConstraintSet constraints;
+  /// Human-readable caveats (e.g. cross-type ID uniqueness not captured).
+  std::vector<std::string> notes;
+};
+
+Result<IdConstraintTranslation> DeriveIdConstraints(const Dtd& dtd);
+
+}  // namespace xicc
+
+#endif  // XICC_CONSTRAINTS_ID_IDREF_H_

@@ -1,0 +1,44 @@
+#ifndef XICC_CORE_CLOSURE_H_
+#define XICC_CORE_CLOSURE_H_
+
+#include <vector>
+
+#include "core/implication.h"
+
+namespace xicc {
+
+/// Implied-constraint enumeration — the data-integration workflow from the
+/// paper's introduction, batched: a mediator publishes (D, Σ) and an
+/// optimizer wants to know every unary key and inclusion that *follows*
+/// from the specification without being stated.
+struct UnaryClosure {
+  /// Unary keys τ.l → τ implied by (D, Σ) but not syntactically present.
+  std::vector<Constraint> implied_keys;
+  /// Unary inclusions τ1.l1 ⊆ τ2.l2 (distinct pairs) implied but absent.
+  std::vector<Constraint> implied_inclusions;
+};
+
+struct ClosureOptions {
+  ConsistencyOptions consistency;
+  /// Also enumerate implied inclusions (quadratic in the number of
+  /// attribute pairs; each candidate costs one Section 5 refutation).
+  bool include_inclusions = true;
+};
+
+/// Runs one implication check per candidate over all attribute pairs of the
+/// DTD. Σ must be unary (kUndecidableClass otherwise, per Corollary 3.4).
+/// Note that over an inconsistent specification *everything* is implied —
+/// check consistency first if that distinction matters.
+Result<UnaryClosure> ComputeUnaryClosure(const Dtd& dtd,
+                                         const ConstraintSet& sigma,
+                                         const ClosureOptions& options = {});
+
+/// Constraints φ ∈ Σ with (D, Σ \ {φ}) ⊢ φ — stated but redundant. Foreign
+/// keys are redundant only if both components are implied by the rest.
+Result<std::vector<Constraint>> FindRedundantConstraints(
+    const Dtd& dtd, const ConstraintSet& sigma,
+    const ConsistencyOptions& options = {});
+
+}  // namespace xicc
+
+#endif  // XICC_CORE_CLOSURE_H_

@@ -1,0 +1,129 @@
+#include "core/conditional_solver.h"
+
+#include "ilp/simplex.h"
+
+namespace xicc {
+
+namespace {
+
+class CaseSplitSolver {
+ public:
+  CaseSplitSolver(const LinearSystem& base,
+                  const std::vector<Conditional>& conditionals,
+                  const IlpOptions& options)
+      : base_(base), conditionals_(conditionals), options_(options) {}
+
+  Result<IlpSolution> Run() {
+    // Optimistic leaf: resolve every conditional to its conclusion ≥ 1 and
+    // try that single system first. Consistent specifications normally
+    // populate all their element types, so this one ILP call settles them
+    // without touching the exponential split.
+    {
+      LinearSystem optimistic = base_;
+      for (const Conditional& cond : conditionals_) {
+        optimistic.AddConstraint(cond.conclusion, RelOp::kGe, BigInt(1));
+      }
+      XICC_ASSIGN_OR_RETURN(IlpSolution leaf,
+                            SolveIlp(optimistic, options_));
+      if (leaf.feasible) return leaf;
+      stats_nodes_ += leaf.nodes_explored;
+      stats_pivots_ += leaf.lp_pivots;
+    }
+
+    // Presolve: a conditional whose premise cannot vanish (base + premise=0
+    // is LP-infeasible) has a forced conclusion; install it as a hard row
+    // and drop the conditional from the exponential split. Typical win:
+    // ext(τ) of unavoidable element types, which the DTD pins ≥ 1.
+    LinearSystem system = base_;
+    for (const Conditional& cond : conditionals_) {
+      LinearSystem test = system;
+      test.AddConstraint(cond.premise, RelOp::kEq, BigInt(0));
+      LpResult lp = SolveLpFeasibility(test);
+      stats_pivots_ += lp.pivots;
+      if (!lp.feasible) {
+        system.AddConstraint(cond.conclusion, RelOp::kGe, BigInt(1));
+      } else {
+        active_.push_back(cond);
+      }
+    }
+    Status status = Explore(&system, 0);
+    if (!status.ok()) return status;
+    if (!found_) {
+      IlpSolution out;
+      out.feasible = false;
+      out.nodes_explored = stats_nodes_;
+      out.lp_pivots = stats_pivots_;
+      return out;
+    }
+    solution_.nodes_explored += stats_nodes_;
+    solution_.lp_pivots += stats_pivots_;
+    return std::move(solution_);
+  }
+
+ private:
+  /// Resolves conditionals from index `depth` on; `system` carries the
+  /// resolutions made so far.
+  Status Explore(LinearSystem* system, size_t depth) {
+    if (found_) return Status::Ok();
+    ++stats_nodes_;
+    if (options_.max_nodes != 0 && stats_nodes_ > options_.max_nodes) {
+      return Status::ResourceExhausted(
+          "conditional case-split exceeded node budget");
+    }
+
+    // LP pruning: if even the relaxation (ignoring unresolved conditionals)
+    // is infeasible, no resolution below can succeed.
+    LpResult lp = SolveLpFeasibility(*system);
+    stats_pivots_ += lp.pivots;
+    if (!lp.feasible) return Status::Ok();
+
+    if (depth == active_.size()) {
+      // Fully resolved: the conditionals now hold for *any* solution of
+      // `system`, so plain integer feasibility decides this leaf.
+      XICC_ASSIGN_OR_RETURN(IlpSolution leaf, SolveIlp(*system, options_));
+      if (leaf.feasible) {
+        found_ = true;
+        solution_ = std::move(leaf);
+      }
+      return Status::Ok();
+    }
+
+    const Conditional& cond = active_[depth];
+
+    // Branch 1: conclusion ≥ 1 (the conditional is discharged outright).
+    {
+      LinearSystem extended = *system;
+      extended.AddConstraint(cond.conclusion, RelOp::kGe, BigInt(1));
+      XICC_RETURN_IF_ERROR(Explore(&extended, depth + 1));
+      if (found_) return Status::Ok();
+    }
+    // Branch 2: premise = 0 (the premise is false; over nonnegative
+    // variables this pins every term of the premise to zero).
+    {
+      LinearSystem extended = *system;
+      extended.AddConstraint(cond.premise, RelOp::kEq, BigInt(0));
+      XICC_RETURN_IF_ERROR(Explore(&extended, depth + 1));
+    }
+    return Status::Ok();
+  }
+
+  const LinearSystem& base_;
+  const std::vector<Conditional>& conditionals_;
+  std::vector<Conditional> active_;  // Survivors of presolve.
+  IlpOptions options_;
+  bool found_ = false;
+  IlpSolution solution_;
+  size_t stats_nodes_ = 0;
+  size_t stats_pivots_ = 0;
+};
+
+}  // namespace
+
+Result<IlpSolution> SolveWithConditionals(
+    const LinearSystem& base, const std::vector<Conditional>& conditionals,
+    const IlpOptions& options) {
+  CaseSplitSolver solver(base, conditionals, options);
+  return solver.Run();
+}
+
+}  // namespace xicc

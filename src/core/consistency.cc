@@ -1,0 +1,214 @@
+#include "core/consistency.h"
+
+#include <utility>
+
+#include "constraints/evaluator.h"
+#include "core/encoding_solver.h"
+#include "dtd/analysis.h"
+#include "dtd/validator.h"
+
+namespace xicc {
+
+namespace {
+
+EncodingSolveOptions ToSolveOptions(const ConsistencyOptions& options) {
+  EncodingSolveOptions out;
+  out.strategy = options.strategy == SolveStrategy::kCaseSplit
+                     ? EncodingStrategy::kCaseSplit
+                     : EncodingStrategy::kBigM;
+  out.ilp = options.ilp;
+  return out;
+}
+
+/// Installs Σ_τ ext(τ) ≥ min_witness_nodes when a minimum size is asked for.
+void ApplyMinimumSize(const ConsistencyOptions& options,
+                      CardinalityEncoding* encoding) {
+  if (options.min_witness_nodes == 0) return;
+  LinearExpr total;
+  for (const auto& [symbol, var] : encoding->ext_var) {
+    // Count the document's element nodes: no text nodes, no synthetic
+    // intermediates (those are erased by the Lemma 4.3 collapse).
+    if (symbol == "S" || encoding->simplified.IsSynthetic(symbol)) continue;
+    total.Add(var, BigInt(1));
+  }
+  encoding->system.AddConstraint(
+      total, RelOp::kGe,
+      BigInt(static_cast<int64_t>(options.min_witness_nodes)));
+}
+
+/// Validates + evaluates a freshly built witness; any failure is a bug in
+/// the encoding or the constructor, surfaced as kInternal.
+Status VerifyWitness(const XmlTree& tree, const Dtd& dtd,
+                     const ConstraintSet& sigma) {
+  ValidationReport validation = ValidateXml(tree, dtd);
+  if (!validation.valid) {
+    return Status::Internal("witness fails DTD validation:\n" +
+                            validation.ToString());
+  }
+  EvaluationReport evaluation = Evaluate(tree, sigma);
+  if (!evaluation.satisfied) {
+    return Status::Internal("witness fails constraint evaluation:\n" +
+                            evaluation.ToString());
+  }
+  return Status::Ok();
+}
+
+Status AttachWitness(const Dtd& dtd, const ConstraintSet& sigma,
+                     const ConsistencyOptions& options, Result<XmlTree> tree,
+                     ConsistencyResult* result) {
+  if (!tree.ok()) {
+    // Witnesses can legitimately be too large to materialize; surface the
+    // reason but keep the verdict.
+    if (tree.status().code() == StatusCode::kResourceExhausted) {
+      result->explanation = tree.status().message();
+      return Status::Ok();
+    }
+    return tree.status();
+  }
+  if (options.verify_witness) {
+    XICC_RETURN_IF_ERROR(VerifyWitness(*tree, dtd, sigma));
+  }
+  result->witness = std::move(tree).value();
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<ConsistencyResult> CheckConsistency(const Dtd& dtd,
+                                           const ConstraintSet& sigma,
+                                           const ConsistencyOptions& options) {
+  XICC_RETURN_IF_ERROR(sigma.CheckAgainst(dtd));
+  ConstraintSet normalized = sigma.Normalize();
+
+  ConsistencyResult result;
+  result.constraint_class = sigma.Classify();
+
+  switch (result.constraint_class) {
+    case ConstraintClass::kEmpty:
+    case ConstraintClass::kKeysOnly: {
+      // Theorem 3.5(1,2): consistent iff the DTD has a valid tree; keys are
+      // always satisfiable by distinct re-valuation.
+      result.method = result.constraint_class == ConstraintClass::kEmpty
+                          ? "grammar-emptiness"
+                          : "keys-only";
+      result.consistent = DtdHasValidTree(dtd);
+      if (!result.consistent) {
+        result.explanation =
+            "no finite tree conforms to the DTD (the root element type "
+            "cannot derive a finite document)";
+        return result;
+      }
+      if (options.min_witness_nodes > 0) {
+        // Route sizing through the cardinality system over Σ = ∅; the
+        // resulting witness gets globally distinct attribute values, which
+        // satisfy every key (Theorem 3.5(2)'s construction).
+        XICC_ASSIGN_OR_RETURN(CardinalityEncoding enc,
+                              BuildCardinalityEncoding(dtd, ConstraintSet()));
+        ApplyMinimumSize(options, &enc);
+        XICC_ASSIGN_OR_RETURN(
+            IlpSolution solved,
+            SolveEncodingSystem(enc, enc.system, ToSolveOptions(options)));
+        result.consistent = solved.feasible;
+        if (!result.consistent) {
+          result.explanation =
+              "the DTD admits no document with the requested minimum size";
+          return result;
+        }
+        if (options.build_witness) {
+          XICC_RETURN_IF_ERROR(AttachWitness(
+              dtd, normalized, options,
+              BuildWitnessTree(enc, solved, /*value_sets=*/{},
+                               options.witness),
+              &result));
+        }
+        return result;
+      }
+      if (options.build_witness) {
+        XICC_RETURN_IF_ERROR(AttachWitness(dtd, normalized, options,
+                                           BuildMinimalTree(dtd), &result));
+      }
+      return result;
+    }
+
+    case ConstraintClass::kUnaryKeyFk:
+    case ConstraintClass::kUnaryWithNegKey: {
+      XICC_ASSIGN_OR_RETURN(CardinalityEncoding enc,
+                            BuildCardinalityEncoding(dtd, normalized));
+      ApplyMinimumSize(options, &enc);
+      result.stats.system_variables = enc.system.NumVariables();
+      result.stats.system_constraints =
+          enc.system.NumConstraints() + enc.conditionals.size();
+
+      Result<IlpSolution> solved =
+          SolveEncodingSystem(enc, enc.system, ToSolveOptions(options));
+      if (!solved.ok()) return solved.status();
+      result.method = options.strategy == SolveStrategy::kCaseSplit
+                          ? "ilp-case-split"
+                          : "ilp-big-m";
+      result.stats.ilp_nodes = solved->nodes_explored;
+      result.stats.lp_pivots = solved->lp_pivots;
+      result.consistent = solved->feasible;
+      if (!result.consistent) {
+        result.explanation =
+            "the cardinality system Ψ(D,Σ) has no solution over the "
+            "nonnegative integers (Lemma 4.6): the DTD's counting "
+            "constraints contradict the keys/foreign keys";
+        return result;
+      }
+      if (options.build_witness) {
+        auto value_sets = PrefixValueSets(enc, *solved);
+        XICC_RETURN_IF_ERROR(AttachWitness(
+            dtd, normalized, options,
+            BuildWitnessTree(enc, *solved, value_sets, options.witness),
+            &result));
+      }
+      return result;
+    }
+
+    case ConstraintClass::kUnaryWithNegIc: {
+      XICC_ASSIGN_OR_RETURN(
+          SetRepresentationEncoding enc,
+          BuildSetRepresentation(dtd, normalized,
+                                 options.set_representation));
+      ApplyMinimumSize(options, &enc.base);
+      result.stats.system_variables = enc.base.system.NumVariables();
+      result.stats.system_constraints =
+          enc.base.system.NumConstraints() + enc.base.conditionals.size();
+
+      Result<IlpSolution> solved = SolveEncodingSystem(
+          enc.base, enc.base.system, ToSolveOptions(options));
+      if (!solved.ok()) return solved.status();
+      result.method = "set-representation";
+      result.stats.ilp_nodes = solved->nodes_explored;
+      result.stats.lp_pivots = solved->lp_pivots;
+      result.consistent = solved->feasible;
+      if (!result.consistent) {
+        result.explanation =
+            "the Section 5 region system Ψ'(D,Σ) has no solution: no "
+            "family of value sets realizes the inclusions and their "
+            "negations under the DTD's cardinalities (Lemma 5.2)";
+        return result;
+      }
+      if (options.build_witness) {
+        auto value_sets = RealizeValueSets(enc, *solved);
+        if (!value_sets.ok()) return value_sets.status();
+        XICC_RETURN_IF_ERROR(AttachWitness(
+            dtd, normalized, options,
+            BuildWitnessTree(enc.base, *solved, *value_sets, options.witness),
+            &result));
+      }
+      return result;
+    }
+
+    case ConstraintClass::kMultiAttribute:
+      return Status::UndecidableClass(
+          "Σ contains multi-attribute foreign keys or inclusion "
+          "constraints; consistency for C_{K,FK} is undecidable "
+          "(Theorem 3.1) — no decision procedure exists. Restrict to unary "
+          "constraints, or validate concrete documents with the dynamic "
+          "evaluator instead.");
+  }
+  return Status::Internal("unhandled constraint class");
+}
+
+}  // namespace xicc

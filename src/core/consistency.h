@@ -1,0 +1,86 @@
+#ifndef XICC_CORE_CONSISTENCY_H_
+#define XICC_CORE_CONSISTENCY_H_
+
+#include <optional>
+#include <string>
+
+#include "constraints/constraint.h"
+#include "core/cardinality_encoding.h"
+#include "core/set_representation.h"
+#include "core/witness.h"
+#include "dtd/dtd.h"
+#include "ilp/solver.h"
+#include "xml/tree.h"
+
+namespace xicc {
+
+/// How the conditional rows (ext(τ) > 0 → ext(τ.l) > 0) are discharged.
+enum class SolveStrategy {
+  /// Exact DFS over the 9_X resolutions with LP pruning (default).
+  kCaseSplit,
+  /// The Theorem 4.1 big-M linearization c·y ≥ x with the Papadimitriou
+  /// bound as c. Exact, single ILP call, but with astronomically large
+  /// coefficients; kept for the ablation bench.
+  kBigM,
+};
+
+struct ConsistencyOptions {
+  SolveStrategy strategy = SolveStrategy::kCaseSplit;
+  /// Materialize a witness document when consistent.
+  bool build_witness = true;
+  /// Require the witness to contain at least this many element nodes
+  /// (0 = no requirement). Added as Σ_τ ext(τ) ≥ n to the cardinality
+  /// system, so the verdict itself is unaffected unless the DTD cannot
+  /// grow (then the result is honestly inconsistent *at that size*).
+  /// Useful as a schema-aware test-data generator.
+  size_t min_witness_nodes = 0;
+  /// Re-validate the witness against the DTD and re-evaluate Σ on it
+  /// (witnesses are checked, not trusted); a failure is reported as an
+  /// internal error.
+  bool verify_witness = true;
+  IlpOptions ilp;
+  SetRepresentationOptions set_representation;
+  WitnessOptions witness;
+};
+
+struct ConsistencyStats {
+  size_t system_variables = 0;
+  size_t system_constraints = 0;
+  size_t ilp_nodes = 0;
+  size_t lp_pivots = 0;
+};
+
+struct ConsistencyResult {
+  bool consistent = false;
+  /// The Figure-5 class the input was dispatched to.
+  ConstraintClass constraint_class = ConstraintClass::kEmpty;
+  /// Which decision procedure ran: "grammar-emptiness" (Thm 3.5(1)),
+  /// "keys-only" (Thm 3.5(2)), "ilp-case-split" / "ilp-big-m" (Thm 4.1 /
+  /// Cor 4.9), "set-representation" (Thm 5.1).
+  std::string method;
+  std::string explanation;
+  /// A checked witness document when consistent and requested.
+  std::optional<XmlTree> witness;
+  ConsistencyStats stats;
+};
+
+/// The XML SPECIFICATION CONSISTENCY problem: is there a finite tree T with
+/// T ⊨ D and T ⊨ Σ?
+///
+/// Dispatch per Figure 5:
+///  - Σ empty        → grammar emptiness, linear time (Theorem 3.5(1));
+///  - keys only      → emptiness again, since any valid tree can be re-valued
+///                     to satisfy all keys (Theorem 3.5(2)); multi-attribute
+///                     keys included;
+///  - unary keys/FKs/ICs (± negated keys) → the Ψ(D,Σ) integer encoding
+///                     (Theorem 4.1, Corollary 4.9), NP;
+///  - with negated inclusions → the Section 5 region system (Theorem 5.1);
+///  - multi-attribute FKs/ICs → Status kUndecidableClass (Theorem 3.1: no
+///                     algorithm exists).
+Result<ConsistencyResult> CheckConsistency(
+    const Dtd& dtd, const ConstraintSet& sigma,
+    const ConsistencyOptions& options = {});
+
+}  // namespace xicc
+
+#endif  // XICC_CORE_CONSISTENCY_H_

@@ -1,0 +1,95 @@
+#include "core/encoding_solver.h"
+
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+
+namespace xicc {
+
+namespace {
+
+/// Element types with ext(τ) > 0 that no chain of positive occurrence
+/// variables connects to the root; empty set ⇔ realizable as a tree.
+std::set<std::string> PhantomSupport(const CardinalityEncoding& encoding,
+                                     const IlpSolution& solution) {
+  const Dtd& dn = encoding.simplified.dtd;
+  // Support adjacency: parent type → child symbols along positive edges.
+  std::map<std::string, std::vector<std::string>> edges;
+  for (const auto& occ : encoding.occurrences) {
+    if (solution.values[occ.var] > BigInt(0)) {
+      edges[occ.parent].push_back(occ.child);
+    }
+  }
+  std::set<std::string> reached;
+  std::deque<std::string> queue;
+  reached.insert(dn.root());
+  queue.push_back(dn.root());
+  while (!queue.empty()) {
+    std::string type = queue.front();
+    queue.pop_front();
+    auto it = edges.find(type);
+    if (it == edges.end()) continue;
+    for (const std::string& child : it->second) {
+      if (child == "S") continue;
+      if (reached.insert(child).second) queue.push_back(child);
+    }
+  }
+
+  std::set<std::string> phantom;
+  for (const auto& [symbol, var] : encoding.ext_var) {
+    if (symbol == "S") continue;
+    if (solution.values[var] > BigInt(0) && reached.count(symbol) == 0) {
+      phantom.insert(symbol);
+    }
+  }
+  return phantom;
+}
+
+}  // namespace
+
+bool SupportIsConnected(const CardinalityEncoding& encoding,
+                        const IlpSolution& solution) {
+  return PhantomSupport(encoding, solution).empty();
+}
+
+Result<IlpSolution> SolveEncodingSystem(const CardinalityEncoding& encoding,
+                                        const LinearSystem& system,
+                                        const EncodingSolveOptions& options) {
+  std::vector<Conditional> conditionals = encoding.conditionals;
+  IlpSolution accumulated;
+  for (size_t round = 0; round < options.max_connectivity_rounds; ++round) {
+    Result<IlpSolution> solved =
+        options.strategy == EncodingStrategy::kCaseSplit
+            ? SolveWithConditionals(system, conditionals, options.ilp)
+            : SolveIlp(ApplyBigMLinearization(system, conditionals),
+                       options.ilp);
+    if (!solved.ok()) return solved.status();
+    solved->nodes_explored += accumulated.nodes_explored;
+    solved->lp_pivots += accumulated.lp_pivots;
+    solved->cuts_added += accumulated.cuts_added;
+    if (!solved->feasible) return solved;
+
+    std::set<std::string> phantom = PhantomSupport(encoding, *solved);
+    if (phantom.empty()) return solved;
+
+    // Subtour-style cut: if any phantom type is populated, some occurrence
+    // edge must enter the set from outside.
+    Conditional cut;
+    for (const std::string& type : phantom) {
+      cut.premise.Add(encoding.ext_var.at(type), BigInt(1));
+    }
+    for (const auto& occ : encoding.occurrences) {
+      if (phantom.count(occ.child) > 0 && phantom.count(occ.parent) == 0) {
+        cut.conclusion.Add(occ.var, BigInt(1));
+      }
+    }
+    conditionals.push_back(std::move(cut));
+    accumulated = std::move(*solved);
+  }
+  return Status::ResourceExhausted(
+      "support-connectivity cuts did not converge within " +
+      std::to_string(options.max_connectivity_rounds) + " rounds");
+}
+
+}  // namespace xicc

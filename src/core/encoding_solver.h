@@ -1,0 +1,49 @@
+#ifndef XICC_CORE_ENCODING_SOLVER_H_
+#define XICC_CORE_ENCODING_SOLVER_H_
+
+#include <vector>
+
+#include "core/cardinality_encoding.h"
+#include "ilp/solver.h"
+
+namespace xicc {
+
+/// Strategy for discharging the conditional rows (see consistency.h for the
+/// user-facing enum; this header is shared by consistency and implication).
+enum class EncodingStrategy {
+  kCaseSplit,
+  kBigM,
+};
+
+struct EncodingSolveOptions {
+  EncodingStrategy strategy = EncodingStrategy::kCaseSplit;
+  IlpOptions ilp;
+  /// Cap on lazy support-connectivity rounds.
+  size_t max_connectivity_rounds = 64;
+};
+
+/// Solves `system` (the encoding's system, possibly extended by the caller)
+/// under the encoding's conditionals, with *tree-realizability* enforced by
+/// lazy support-connectivity cuts:
+///
+/// The Ψ_D equations alone admit solutions whose support is a disconnected
+/// "phantom cycle" (e.g. P(a) = a | end allows k a-elements parenting each
+/// other in a ring that no tree contains). A solution is realizable iff
+/// every element type with ext(τ) > 0 is reachable from the root through
+/// positive occurrence variables. Violations are repaired TSP-subtour
+/// style: for the unreachable set U, add the sound conditional
+///   Σ_{τ∈U} ext(τ) > 0  →  Σ_{occurrence edges entering U} x > 0
+/// and re-solve. The loop is sound and complete; the round cap yields
+/// kResourceExhausted (never a wrong verdict) if it binds.
+Result<IlpSolution> SolveEncodingSystem(const CardinalityEncoding& encoding,
+                                        const LinearSystem& system,
+                                        const EncodingSolveOptions& options);
+
+/// True iff every element type with ext > 0 is reachable from the root via
+/// occurrence variables with positive solution values. Exposed for tests.
+bool SupportIsConnected(const CardinalityEncoding& encoding,
+                        const IlpSolution& solution);
+
+}  // namespace xicc
+
+#endif  // XICC_CORE_ENCODING_SOLVER_H_

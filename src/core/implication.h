@@ -1,0 +1,44 @@
+#ifndef XICC_CORE_IMPLICATION_H_
+#define XICC_CORE_IMPLICATION_H_
+
+#include <optional>
+#include <string>
+
+#include "constraints/constraint.h"
+#include "core/consistency.h"
+#include "dtd/dtd.h"
+#include "xml/tree.h"
+
+namespace xicc {
+
+struct ImplicationResult {
+  bool implied = false;
+  /// "keys-only" (Theorem 3.5(3)/Lemma 3.7, linear) or "refutation" (via
+  /// consistency of Σ ∪ {¬φ}, Theorems 4.10/5.4).
+  std::string method;
+  std::string explanation;
+  /// When not implied and witness construction is enabled: a checked tree
+  /// with T ⊨ D, T ⊨ Σ, T ⊭ φ.
+  std::optional<XmlTree> counterexample;
+  ConsistencyStats stats;
+};
+
+/// The implication problem: does every T with T ⊨ D and T ⊨ Σ also satisfy
+/// φ, written (D,Σ) ⊢ φ?
+///
+/// Dispatch:
+///  - Σ keys-only and φ a key (any arity): Lemma 3.7 — (D,Σ) ⊢ φ iff Σ
+///    subsumes φ (some key τ[Y] → τ with Y ⊆ X) or no valid tree has two τ
+///    elements. Linear time.
+///  - φ a unary key / inclusion: (D,Σ) ⊢ φ iff Σ ∪ {¬φ} is inconsistent
+///    over D (coNP; Theorem 4.10 / 5.4).
+///  - φ a unary foreign key ℓ1 ∧ ℓ2: implied iff both components are.
+///  - multi-attribute Σ or φ outside these cases: kUndecidableClass
+///    (Corollary 3.4).
+Result<ImplicationResult> CheckImplication(
+    const Dtd& dtd, const ConstraintSet& sigma, const Constraint& phi,
+    const ConsistencyOptions& options = {});
+
+}  // namespace xicc
+
+#endif  // XICC_CORE_IMPLICATION_H_

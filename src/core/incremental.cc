@@ -1,0 +1,98 @@
+#include "core/incremental.h"
+
+#include <algorithm>
+
+namespace xicc {
+
+Result<IncrementalChecker::AddResult> IncrementalChecker::TryAdd(
+    const Constraint& constraint) {
+  {
+    ConstraintSet single;
+    single.Add(constraint);
+    XICC_RETURN_IF_ERROR(single.CheckAgainst(*dtd_));
+  }
+
+  // Syntactic duplicates are redundant without any solving.
+  {
+    ConstraintSet normalized = accepted_.Normalize();
+    const auto& all = normalized.constraints();
+    ConstraintSet candidate_set;
+    candidate_set.Add(constraint);
+    ConstraintSet candidate_parts = candidate_set.Normalize();
+    bool duplicate = true;
+    for (const Constraint& part : candidate_parts.constraints()) {
+      if (std::find(all.begin(), all.end(), part) == all.end()) {
+        duplicate = false;
+        break;
+      }
+    }
+    if (duplicate) {
+      accepted_.Add(constraint);
+      return AddResult{Outcome::kAcceptedRedundant,
+                       "already stated by the accepted constraints"};
+    }
+  }
+
+  // Semantically implied? Then adding it cannot change anything.
+  if (check_redundancy_) {
+    XICC_ASSIGN_OR_RETURN(
+        ImplicationResult implication,
+        CheckImplication(*dtd_, accepted_, constraint, options_));
+    if (implication.implied) {
+      accepted_.Add(constraint);
+      return AddResult{Outcome::kAcceptedRedundant,
+                       "already implied by the accepted constraints"};
+    }
+  }
+
+  ConstraintSet candidate = accepted_;
+  candidate.Add(constraint);
+  XICC_ASSIGN_OR_RETURN(ConsistencyResult consistency,
+                        CheckConsistency(*dtd_, candidate, options_));
+  if (!consistency.consistent) {
+    return AddResult{
+        Outcome::kRejected,
+        "adding '" + constraint.ToString() +
+            "' makes the specification inconsistent: " +
+            consistency.explanation};
+  }
+  accepted_ = std::move(candidate);
+  return AddResult{Outcome::kAccepted, ""};
+}
+
+Result<EquivalenceResult> CheckEquivalence(const Dtd& dtd,
+                                           const ConstraintSet& sigma1,
+                                           const ConstraintSet& sigma2,
+                                           const ConsistencyOptions& options) {
+  ConsistencyOptions verdict_only = options;
+  verdict_only.build_witness = false;
+  verdict_only.verify_witness = false;
+
+  EquivalenceResult out;
+  ConstraintSet normalized2 = sigma2.Normalize();
+  for (const Constraint& c : normalized2.constraints()) {
+    XICC_ASSIGN_OR_RETURN(ImplicationResult implied,
+                          CheckImplication(dtd, sigma1, c, verdict_only));
+    if (!implied.implied) {
+      out.equivalent = false;
+      out.separating_constraint =
+          "Σ1 does not imply " + c.ToString();
+      return out;
+    }
+  }
+  ConstraintSet normalized1 = sigma1.Normalize();
+  for (const Constraint& c : normalized1.constraints()) {
+    XICC_ASSIGN_OR_RETURN(ImplicationResult implied,
+                          CheckImplication(dtd, sigma2, c, verdict_only));
+    if (!implied.implied) {
+      out.equivalent = false;
+      out.separating_constraint =
+          "Σ2 does not imply " + c.ToString();
+      return out;
+    }
+  }
+  out.equivalent = true;
+  return out;
+}
+
+}  // namespace xicc

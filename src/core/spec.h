@@ -1,0 +1,54 @@
+#ifndef XICC_CORE_SPEC_H_
+#define XICC_CORE_SPEC_H_
+
+#include <string>
+#include <string_view>
+
+#include "constraints/constraint.h"
+#include "core/consistency.h"
+#include "core/implication.h"
+#include "dtd/dtd.h"
+#include "xml/tree.h"
+
+namespace xicc {
+
+/// An XML specification: a DTD plus a set of integrity constraints — the
+/// input of the XML SPECIFICATION CONSISTENCY problem. This is the
+/// top-level convenience API; the individual analyses are also available
+/// directly (CheckConsistency, CheckImplication, ValidateXml, Evaluate).
+struct XmlSpec {
+  Dtd dtd;
+  ConstraintSet constraints;
+
+  /// Parses a DTD (dtd_parser.h syntax) and a constraint block
+  /// (constraint_parser.h syntax) and cross-checks them.
+  static Result<XmlSpec> Parse(std::string_view dtd_text,
+                               std::string_view constraints_text);
+
+  /// Static validation: is the specification meaningful at all?
+  Result<ConsistencyResult> CheckConsistent(
+      const ConsistencyOptions& options = {}) const;
+
+  /// Does the specification imply `phi`?
+  Result<ImplicationResult> Implies(const Constraint& phi,
+                                    const ConsistencyOptions& options = {})
+      const;
+  /// Parses `phi` from the constraint syntax first.
+  Result<ImplicationResult> Implies(std::string_view phi_text,
+                                    const ConsistencyOptions& options = {})
+      const;
+
+  /// Dynamic validation of a concrete document against both the DTD and the
+  /// constraints; works for every constraint class, including the
+  /// undecidable ones (checking a *given* tree is easy — it is the
+  /// existential question that is hard).
+  struct DocumentReport {
+    bool conforms = false;
+    std::string details;
+  };
+  DocumentReport CheckDocument(const XmlTree& tree) const;
+};
+
+}  // namespace xicc
+
+#endif  // XICC_CORE_SPEC_H_

@@ -1,0 +1,56 @@
+#ifndef XICC_CORE_WITNESS_H_
+#define XICC_CORE_WITNESS_H_
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/cardinality_encoding.h"
+#include "ilp/solver.h"
+#include "xml/tree.h"
+
+namespace xicc {
+
+/// Builds a smallest-node-count tree valid w.r.t. `dtd` (which must have
+/// one: check DtdHasValidTree first). Implementation: Knuth's Dijkstra-like
+/// shortest-derivation algorithm over the grammar's and/or graph, then a
+/// top-down expansion following the recorded choices — near-linear, so the
+/// Theorem 3.5 fast paths stay fast.
+Result<XmlTree> BuildMinimalTree(const Dtd& dtd);
+
+/// The Lemma 4.4 value realization for constraint sets *without* negated
+/// inclusions: every mentioned pair (τ,l) takes the first ext(τ.l) values of
+/// one global chain a_1, a_2, …, so ext(τ1.l1) ≤ ext(τ2.l2) materializes as
+/// prefix containment and keys as bijections.
+std::map<std::pair<std::string, std::string>, std::vector<std::string>>
+PrefixValueSets(const CardinalityEncoding& encoding,
+                const IlpSolution& solution);
+
+struct WitnessOptions {
+  /// Refuse to materialize witnesses above this node count.
+  size_t max_nodes = 1000000;
+};
+
+/// The constructive proof of Lemma 4.5 (+ 4.4/5.2 for values): turns an
+/// integer solution of Ψ(D,Σ) into an actual XML tree.
+///
+/// Topology: create ext(τ) elements per type; each parent draws its children
+/// from the occurrence-variable pools of its (simple) production, which the
+/// production and sum rows guarantee to deplete exactly. Values: element
+/// nodes of a mentioned pair (τ,l) cycle through `value_sets[(τ,l)]`
+/// (surjective since ext(τ.l) ≤ ext(τ); injective when Σ forces
+/// ext(τ.l) = ext(τ); duplicating when a negated key forces slack).
+/// Unmentioned attributes receive globally fresh values.
+///
+/// The caller re-validates the result against the DTD and re-evaluates Σ —
+/// witnesses are checked, not trusted.
+Result<XmlTree> BuildWitnessTree(
+    const CardinalityEncoding& encoding, const IlpSolution& solution,
+    const std::map<std::pair<std::string, std::string>,
+                   std::vector<std::string>>& value_sets,
+    const WitnessOptions& options = {});
+
+}  // namespace xicc
+
+#endif  // XICC_CORE_WITNESS_H_

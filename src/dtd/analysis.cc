@@ -1,0 +1,308 @@
+#include "dtd/analysis.h"
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <vector>
+
+namespace xicc {
+
+namespace {
+
+/// Worklist propagation over the and/or graph formed by the content-model
+/// ASTs: a regex node is *derivable* when it can produce some word over
+/// productive symbols; an element type is *productive* when its content root
+/// is derivable. `banned` types are treated as never-productive (used to
+/// decide avoidability in TypeIsUnavoidable).
+std::set<std::string> ProductiveImpl(const Dtd& dtd,
+                                     const std::string& banned) {
+  struct AstNode {
+    Regex::Kind kind;
+    int left = -1;   // AST child ids for union/concat.
+    int right = -1;
+    std::string elem;        // For kElement: referenced type.
+    int parent = -1;         // Dependent AST node.
+    std::string owner;       // Element type whose P(τ) this AST belongs to.
+    bool is_content_root = false;
+    bool derivable = false;
+    int pending = 0;  // For kConcat: children still unknown.
+  };
+
+  std::vector<AstNode> nodes;
+  std::map<std::string, std::vector<int>> elem_leaves;  // type -> leaf ids.
+  std::map<std::string, int> content_root;              // type -> root id.
+
+  std::function<int(const Regex&, const std::string&)> build =
+      [&](const Regex& regex, const std::string& owner) -> int {
+    int id = static_cast<int>(nodes.size());
+    nodes.emplace_back();
+    nodes[id].kind = regex.kind();
+    nodes[id].owner = owner;
+    switch (regex.kind()) {
+      case Regex::Kind::kElement:
+        nodes[id].elem = regex.name();
+        elem_leaves[regex.name()].push_back(id);
+        break;
+      case Regex::Kind::kUnion:
+      case Regex::Kind::kConcat: {
+        int left = build(*regex.left(), owner);
+        int right = build(*regex.right(), owner);
+        nodes[id].left = left;
+        nodes[id].right = right;
+        nodes[left].parent = id;
+        nodes[right].parent = id;
+        nodes[id].pending = 2;
+        break;
+      }
+      case Regex::Kind::kStar: {
+        // Star derives ε regardless of its child; the child subtree is
+        // built only so ids stay consistent, but contributes nothing here.
+        break;
+      }
+      case Regex::Kind::kEpsilon:
+      case Regex::Kind::kString:
+        break;
+    }
+    return id;
+  };
+
+  for (const std::string& type : dtd.elements()) {
+    int root = build(*dtd.ContentOf(type), type);
+    nodes[root].is_content_root = true;
+    content_root[type] = root;
+  }
+
+  std::set<std::string> productive;
+  std::deque<int> queue;
+
+  auto mark_derivable = [&](int id) {
+    if (nodes[id].derivable) return;
+    nodes[id].derivable = true;
+    queue.push_back(id);
+  };
+
+  // Seeds: ε, S, and α* derive words immediately.
+  for (size_t id = 0; id < nodes.size(); ++id) {
+    Regex::Kind kind = nodes[id].kind;
+    if (kind == Regex::Kind::kEpsilon || kind == Regex::Kind::kString ||
+        kind == Regex::Kind::kStar) {
+      mark_derivable(static_cast<int>(id));
+    }
+  }
+
+  auto on_type_productive = [&](const std::string& type) {
+    if (type == banned) return;
+    if (!productive.insert(type).second) return;
+    auto it = elem_leaves.find(type);
+    if (it == elem_leaves.end()) return;
+    for (int leaf : it->second) mark_derivable(leaf);
+  };
+
+  while (!queue.empty()) {
+    int id = queue.front();
+    queue.pop_front();
+    const AstNode& node = nodes[id];
+    if (node.is_content_root) on_type_productive(node.owner);
+    int parent = node.parent;
+    if (parent < 0) continue;
+    if (nodes[parent].kind == Regex::Kind::kUnion) {
+      mark_derivable(parent);
+    } else {  // kConcat
+      if (--nodes[parent].pending == 0) mark_derivable(parent);
+    }
+  }
+  return productive;
+}
+
+}  // namespace
+
+std::set<std::string> ProductiveElements(const Dtd& dtd) {
+  return ProductiveImpl(dtd, /*banned=*/"");
+}
+
+bool DtdHasValidTree(const Dtd& dtd) {
+  return ProductiveElements(dtd).count(dtd.root()) > 0;
+}
+
+std::set<std::string> ReachableElements(const Dtd& dtd) {
+  std::set<std::string> reachable;
+  std::deque<std::string> queue;
+  reachable.insert(dtd.root());
+  queue.push_back(dtd.root());
+
+  std::function<void(const Regex&, std::deque<std::string>*,
+                     std::set<std::string>*)>
+      visit = [&](const Regex& node, std::deque<std::string>* q,
+                  std::set<std::string>* seen) {
+        switch (node.kind()) {
+          case Regex::Kind::kElement:
+            if (seen->insert(node.name()).second) q->push_back(node.name());
+            break;
+          case Regex::Kind::kUnion:
+          case Regex::Kind::kConcat:
+            visit(*node.left(), q, seen);
+            visit(*node.right(), q, seen);
+            break;
+          case Regex::Kind::kStar:
+            visit(*node.child(), q, seen);
+            break;
+          default:
+            break;
+        }
+      };
+
+  while (!queue.empty()) {
+    std::string type = queue.front();
+    queue.pop_front();
+    visit(*dtd.ContentOf(type), &queue, &reachable);
+  }
+  return reachable;
+}
+
+namespace {
+
+/// Lattice for occurrence counting: kBottom (< 0) means "derives no tree";
+/// otherwise the max number of `target` elements in one derivable tree,
+/// saturated at 2.
+constexpr int kBottom = -1;
+
+int SatAdd(int a, int b) {
+  if (a == kBottom || b == kBottom) return kBottom;
+  return std::min(2, a + b);
+}
+
+}  // namespace
+
+Multiplicity MaxMultiplicity(const Dtd& dtd, const std::string& type) {
+  // Worklist fixpoint over element values: elem_val(σ) = [σ == type] +
+  // val(P(σ)), with regex values per the lattice kBottom < 0 < 1 < 2.
+  // Values only increase and are drawn from a 4-element chain, so the total
+  // number of recomputations is linear in |D| — this is what keeps the
+  // Lemma 3.6 / Theorem 3.5(3) analyses linear on deep grammars.
+  struct AstNode {
+    Regex::Kind kind;
+    int left = -1;
+    int right = -1;
+    std::string elem;
+    int parent = -1;
+    std::string owner;
+    bool is_content_root = false;
+    int value = kBottom;
+  };
+
+  std::vector<AstNode> nodes;
+  std::map<std::string, std::vector<int>> elem_leaves;
+  std::map<std::string, int> elem_val;
+  for (const std::string& e : dtd.elements()) elem_val[e] = kBottom;
+
+  std::function<int(const Regex&, const std::string&)> build =
+      [&](const Regex& regex, const std::string& owner) -> int {
+    int id = static_cast<int>(nodes.size());
+    nodes.emplace_back();
+    nodes[id].kind = regex.kind();
+    nodes[id].owner = owner;
+    switch (regex.kind()) {
+      case Regex::Kind::kElement:
+        nodes[id].elem = regex.name();
+        elem_leaves[regex.name()].push_back(id);
+        break;
+      case Regex::Kind::kUnion:
+      case Regex::Kind::kConcat: {
+        int left = build(*regex.left(), owner);
+        int right = build(*regex.right(), owner);
+        nodes[id].left = left;
+        nodes[id].right = right;
+        nodes[left].parent = id;
+        nodes[right].parent = id;
+        break;
+      }
+      case Regex::Kind::kStar: {
+        int child = build(*regex.child(), owner);
+        nodes[id].left = child;
+        nodes[child].parent = id;
+        break;
+      }
+      default:
+        break;
+    }
+    return id;
+  };
+  std::map<std::string, int> content_root;
+  for (const std::string& e : dtd.elements()) {
+    int root = build(*dtd.ContentOf(e), e);
+    nodes[root].is_content_root = true;
+    content_root[e] = root;
+  }
+
+  std::deque<int> queue;
+  // Recomputes a node's value from its inputs; enqueues on increase.
+  auto refresh = [&](int id) {
+    AstNode& node = nodes[id];
+    int value = node.value;
+    switch (node.kind) {
+      case Regex::Kind::kEpsilon:
+      case Regex::Kind::kString:
+        value = 0;
+        break;
+      case Regex::Kind::kElement:
+        value = elem_val[node.elem];
+        break;
+      case Regex::Kind::kUnion:
+        value = std::max(nodes[node.left].value, nodes[node.right].value);
+        break;
+      case Regex::Kind::kConcat:
+        value = SatAdd(nodes[node.left].value, nodes[node.right].value);
+        break;
+      case Regex::Kind::kStar:
+        value = nodes[node.left].value >= 1 ? 2 : 0;
+        break;
+    }
+    if (value > node.value) {
+      node.value = value;
+      queue.push_back(id);
+    }
+  };
+  for (size_t id = 0; id < nodes.size(); ++id) {
+    refresh(static_cast<int>(id));
+  }
+
+  auto on_type_update = [&](const std::string& e) {
+    int root_value = nodes[content_root[e]].value;
+    int value = root_value == kBottom
+                    ? kBottom
+                    : SatAdd(root_value, e == type ? 1 : 0);
+    if (value > elem_val[e]) {
+      elem_val[e] = value;
+      auto it = elem_leaves.find(e);
+      if (it != elem_leaves.end()) {
+        for (int leaf : it->second) refresh(leaf);
+      }
+    }
+  };
+
+  while (!queue.empty()) {
+    int id = queue.front();
+    queue.pop_front();
+    if (nodes[id].is_content_root) on_type_update(nodes[id].owner);
+    if (nodes[id].parent >= 0) refresh(nodes[id].parent);
+  }
+
+  int result = elem_val[dtd.root()];
+  if (result <= 0) return Multiplicity::kNone;
+  if (result == 1) return Multiplicity::kExactlyOne;
+  return Multiplicity::kAtLeastTwo;
+}
+
+bool CanHaveTwo(const Dtd& dtd, const std::string& type) {
+  return MaxMultiplicity(dtd, type) == Multiplicity::kAtLeastTwo;
+}
+
+bool TypeIsUnavoidable(const Dtd& dtd, const std::string& type) {
+  if (!DtdHasValidTree(dtd)) return false;
+  // The root derives a type-free tree iff the root is productive in the
+  // grammar where `type` is banned.
+  std::set<std::string> avoiding = ProductiveImpl(dtd, type);
+  return avoiding.count(dtd.root()) == 0;
+}
+
+}  // namespace xicc

@@ -1,0 +1,254 @@
+#include "dtd/dtd_parser.h"
+
+#include <string>
+#include <vector>
+
+#include "base/strings.h"
+
+namespace xicc {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : input_(input) {}
+
+  Result<Dtd> Parse() {
+    SkipMisc();
+    if (Consume("<!DOCTYPE")) {
+      SkipSpace();
+      XICC_ASSIGN_OR_RETURN(std::string root, ParseName());
+      builder_.SetRoot(root);
+      have_root_ = true;
+      SkipSpace();
+      if (!Consume("[")) return Error("expected '[' after DOCTYPE name");
+      XICC_RETURN_IF_ERROR(ParseDeclarations(/*in_subset=*/true));
+      if (!Consume("]")) return Error("expected ']' closing DOCTYPE subset");
+      SkipSpace();
+      if (!Consume(">")) return Error("expected '>' closing DOCTYPE");
+    } else {
+      XICC_RETURN_IF_ERROR(ParseDeclarations(/*in_subset=*/false));
+    }
+    SkipMisc();
+    if (!AtEnd()) return Error("unexpected content after declarations");
+    return builder_.Build();
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+
+  void Advance() {
+    if (input_[pos_] == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    ++pos_;
+  }
+
+  bool Consume(std::string_view token) {
+    if (input_.substr(pos_).substr(0, token.size()) != token) return false;
+    for (size_t i = 0; i < token.size(); ++i) Advance();
+    return true;
+  }
+
+  Status Error(const std::string& message) const {
+    return Status::ParseError("dtd:" + std::to_string(line_) + ":" +
+                              std::to_string(column_) + ": " + message);
+  }
+
+  void SkipSpace() {
+    while (!AtEnd() && (Peek() == ' ' || Peek() == '\t' || Peek() == '\n' ||
+                        Peek() == '\r')) {
+      Advance();
+    }
+  }
+
+  void SkipMisc() {
+    for (;;) {
+      SkipSpace();
+      if (Consume("<!--")) {
+        while (!AtEnd() && !Consume("-->")) Advance();
+      } else if (Consume("<?")) {
+        while (!AtEnd() && !Consume("?>")) Advance();
+      } else {
+        return;
+      }
+    }
+  }
+
+  Result<std::string> ParseName() {
+    if (AtEnd() || !IsNameStartChar(Peek())) return Error("expected a name");
+    std::string name;
+    while (!AtEnd() && IsNameChar(Peek())) {
+      name.push_back(Peek());
+      Advance();
+    }
+    return name;
+  }
+
+  Status ParseDeclarations(bool in_subset) {
+    for (;;) {
+      SkipMisc();
+      if (AtEnd()) return Status::Ok();
+      if (in_subset && Peek() == ']') return Status::Ok();
+      if (Consume("<!ELEMENT")) {
+        XICC_RETURN_IF_ERROR(ParseElementDecl());
+      } else if (Consume("<!ATTLIST")) {
+        XICC_RETURN_IF_ERROR(ParseAttlistDecl());
+      } else if (Consume("<!ENTITY") || Consume("<!NOTATION")) {
+        // Accepted and ignored: entities/notations have no counterpart in
+        // the paper's model.
+        while (!AtEnd() && !Consume(">")) Advance();
+      } else {
+        return Error("expected a markup declaration");
+      }
+    }
+  }
+
+  Status ParseElementDecl() {
+    SkipSpace();
+    XICC_ASSIGN_OR_RETURN(std::string name, ParseName());
+    SkipSpace();
+    XICC_ASSIGN_OR_RETURN(RegexPtr content, ParseContentSpec());
+    SkipSpace();
+    if (!Consume(">")) return Error("expected '>' closing <!ELEMENT>");
+    builder_.AddElement(name, std::move(content));
+    if (!have_root_) {
+      builder_.SetRoot(name);
+      have_root_ = true;
+    }
+    return Status::Ok();
+  }
+
+  Result<RegexPtr> ParseContentSpec() {
+    if (Consume("EMPTY")) return Regex::Epsilon();
+    if (Consume("ANY")) {
+      return Error("ANY content is outside the model of the paper");
+    }
+    if (AtEnd() || Peek() != '(') return Error("expected content model");
+    return ParseGroupOrAtom();
+  }
+
+  /// cp ::= (name | group) ('?' | '*' | '+')?
+  Result<RegexPtr> ParseCp() {
+    SkipSpace();
+    RegexPtr base;
+    if (!AtEnd() && Peek() == '(') {
+      XICC_ASSIGN_OR_RETURN(base, ParseGroupOrAtom());
+    } else if (Consume("#PCDATA")) {
+      base = Regex::Str();
+    } else {
+      XICC_ASSIGN_OR_RETURN(std::string name, ParseName());
+      base = Regex::Elem(std::move(name));
+    }
+    return ApplyOccurrence(std::move(base));
+  }
+
+  Result<RegexPtr> ApplyOccurrence(RegexPtr base) {
+    if (!AtEnd()) {
+      if (Peek() == '?') {
+        Advance();
+        return Regex::Optional(std::move(base));
+      }
+      if (Peek() == '*') {
+        Advance();
+        return Regex::Star(std::move(base));
+      }
+      if (Peek() == '+') {
+        Advance();
+        return Regex::Plus(std::move(base));
+      }
+    }
+    return base;
+  }
+
+  /// group ::= '(' cp ((',' cp)* | ('|' cp)*) ')' occurrence?
+  Result<RegexPtr> ParseGroupOrAtom() {
+    if (!Consume("(")) return Error("expected '('");
+    SkipSpace();
+    std::vector<RegexPtr> parts;
+    XICC_ASSIGN_OR_RETURN(RegexPtr first, ParseCp());
+    parts.push_back(std::move(first));
+    SkipSpace();
+    char sep = '\0';
+    while (!AtEnd() && (Peek() == ',' || Peek() == '|')) {
+      if (sep == '\0') {
+        sep = Peek();
+      } else if (Peek() != sep) {
+        return Error("cannot mix ',' and '|' in one group");
+      }
+      Advance();
+      XICC_ASSIGN_OR_RETURN(RegexPtr next, ParseCp());
+      parts.push_back(std::move(next));
+      SkipSpace();
+    }
+    if (!Consume(")")) return Error("expected ')' closing group");
+    RegexPtr group = sep == '|' ? Regex::UnionAll(std::move(parts))
+                                : Regex::ConcatAll(std::move(parts));
+    return ApplyOccurrence(std::move(group));
+  }
+
+  Status ParseAttlistDecl() {
+    SkipSpace();
+    XICC_ASSIGN_OR_RETURN(std::string element, ParseName());
+    for (;;) {
+      SkipSpace();
+      if (Consume(">")) return Status::Ok();
+      if (AtEnd()) return Error("unterminated <!ATTLIST>");
+      XICC_ASSIGN_OR_RETURN(std::string attr, ParseName());
+      // Attribute type: a name (CDATA/ID/IDREF/...) or an enumeration.
+      // ID/IDREF kinds are recorded so they can be translated into
+      // constraints (constraints/id_idref.h); everything else is a string.
+      AttrKind kind = AttrKind::kCdata;
+      SkipSpace();
+      if (!AtEnd() && Peek() == '(') {
+        while (!AtEnd() && !Consume(")")) Advance();
+        kind = AttrKind::kOther;
+      } else {
+        XICC_ASSIGN_OR_RETURN(std::string type, ParseName());
+        if (type == "ID") {
+          kind = AttrKind::kId;
+        } else if (type == "IDREF") {
+          kind = AttrKind::kIdref;
+        } else if (type != "CDATA") {
+          kind = AttrKind::kOther;
+        }
+      }
+      builder_.AddAttribute(element, attr, kind);
+      // Skip the default declaration.
+      SkipSpace();
+      if (Consume("#REQUIRED") || Consume("#IMPLIED")) {
+        // Nothing further.
+      } else {
+        Consume("#FIXED");
+        SkipSpace();
+        if (!AtEnd() && (Peek() == '"' || Peek() == '\'')) {
+          char quote = Peek();
+          Advance();
+          while (!AtEnd() && Peek() != quote) Advance();
+          if (AtEnd()) return Error("unterminated default value");
+          Advance();
+        }
+      }
+    }
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+  DtdBuilder builder_;
+  bool have_root_ = false;
+};
+
+}  // namespace
+
+Result<Dtd> ParseDtd(std::string_view input) {
+  Parser parser(input);
+  return parser.Parse();
+}
+
+}  // namespace xicc

@@ -1,0 +1,32 @@
+#ifndef XICC_DTD_DTD_PARSER_H_
+#define XICC_DTD_DTD_PARSER_H_
+
+#include <string_view>
+
+#include "base/status.h"
+#include "dtd/dtd.h"
+
+namespace xicc {
+
+/// Parses DTD markup declarations into a Dtd.
+///
+/// Accepted input is a sequence of `<!ELEMENT name content>` and
+/// `<!ATTLIST name (attr TYPE DEFAULT)*>` declarations, optionally wrapped in
+/// `<!DOCTYPE root [ ... ]>` (which also fixes the root element type;
+/// otherwise the first declared element is the root). Comments are skipped.
+///
+/// Content models follow XML syntax: EMPTY, (#PCDATA), element names,
+/// sequences `(a, b)`, choices `(a | b)`, and the occurrence operators
+/// `?`, `*`, `+`. Mixed content `(#PCDATA | a | b)*` is accepted. `ANY` is
+/// rejected — the paper's model (Definition 2.1) has no ANY.
+///
+/// Attribute declarations: the attribute type and default tokens (CDATA,
+/// #REQUIRED, quoted defaults, enumerations) are accepted and ignored —
+/// in the paper's model every declared attribute is required and
+/// string-valued. ID/IDREF attributes are treated as plain attributes
+/// (the paper explicitly sets DTD id-constraints aside; see footnote 1).
+Result<Dtd> ParseDtd(std::string_view input);
+
+}  // namespace xicc
+
+#endif  // XICC_DTD_DTD_PARSER_H_

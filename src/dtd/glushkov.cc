@@ -1,0 +1,142 @@
+#include "dtd/glushkov.h"
+
+#include <utility>
+
+namespace xicc {
+
+namespace {
+
+/// first/last/nullable computed bottom-up over the AST; positions are
+/// assigned to leaves in left-to-right order.
+struct BuildResult {
+  std::set<int> first;
+  std::set<int> last;
+  bool nullable;
+};
+
+class Builder {
+ public:
+  Builder(std::vector<std::string>* symbols, std::vector<std::set<int>>* follow)
+      : symbols_(symbols), follow_(follow) {}
+
+  BuildResult Visit(const Regex& node) {
+    switch (node.kind()) {
+      case Regex::Kind::kEpsilon:
+        return {{}, {}, true};
+      case Regex::Kind::kString:
+        return Leaf("S");
+      case Regex::Kind::kElement:
+        return Leaf(node.name());
+      case Regex::Kind::kUnion: {
+        BuildResult a = Visit(*node.left());
+        BuildResult b = Visit(*node.right());
+        a.first.insert(b.first.begin(), b.first.end());
+        a.last.insert(b.last.begin(), b.last.end());
+        a.nullable = a.nullable || b.nullable;
+        return a;
+      }
+      case Regex::Kind::kConcat: {
+        BuildResult a = Visit(*node.left());
+        BuildResult b = Visit(*node.right());
+        for (int p : a.last) {
+          (*follow_)[p].insert(b.first.begin(), b.first.end());
+        }
+        BuildResult out;
+        out.first = a.first;
+        if (a.nullable) out.first.insert(b.first.begin(), b.first.end());
+        out.last = b.last;
+        if (b.nullable) out.last.insert(a.last.begin(), a.last.end());
+        out.nullable = a.nullable && b.nullable;
+        return out;
+      }
+      case Regex::Kind::kStar: {
+        BuildResult a = Visit(*node.child());
+        for (int p : a.last) {
+          (*follow_)[p].insert(a.first.begin(), a.first.end());
+        }
+        a.nullable = true;
+        return a;
+      }
+    }
+    return {{}, {}, true};
+  }
+
+ private:
+  BuildResult Leaf(const std::string& symbol) {
+    int pos = static_cast<int>(symbols_->size());
+    symbols_->push_back(symbol);
+    follow_->emplace_back();
+    return {{pos}, {pos}, false};
+  }
+
+  std::vector<std::string>* symbols_;
+  std::vector<std::set<int>>* follow_;
+};
+
+}  // namespace
+
+ContentModelMatcher::ContentModelMatcher(const RegexPtr& regex) {
+  Builder builder(&symbols_, &follow_);
+  BuildResult root = builder.Visit(*regex);
+  first_ = std::move(root.first);
+  last_ = std::move(root.last);
+  nullable_ = root.nullable;
+}
+
+int ContentModelMatcher::StateFor(const PositionSet& positions) const {
+  auto [it, inserted] = state_ids_.emplace(positions, states_.size());
+  if (inserted) {
+    states_.push_back(positions);
+    bool accept = false;
+    for (int p : positions) {
+      if (last_.count(p) > 0) {
+        accept = true;
+        break;
+      }
+    }
+    accepting_.push_back(accept);
+    transitions_.emplace_back();
+  }
+  return it->second;
+}
+
+int ContentModelMatcher::Step(int state, const std::string& symbol) const {
+  // A DFA state is the set of *occupied* positions — positions whose symbol
+  // was just consumed; from the start state the enterable positions are
+  // `first`, afterwards the union of `follow`.
+  if (state == kDeadState) return kDeadState;
+  PositionSet next;
+  if (state == kStartState) {
+    for (int p : first_) {
+      if (symbols_[p] == symbol) next.insert(p);
+    }
+  } else {
+    auto it = transitions_[state].find(symbol);
+    if (it != transitions_[state].end()) return it->second;
+    for (int q : states_[state]) {
+      for (int p : follow_[q]) {
+        if (symbols_[p] == symbol) next.insert(p);
+      }
+    }
+  }
+  int next_state = next.empty() ? kDeadState : StateFor(next);
+  if (state != kStartState) transitions_[state][symbol] = next_state;
+  return next_state;
+}
+
+bool ContentModelMatcher::AcceptsAt(int state) const {
+  if (state == kStartState) return nullable_;
+  if (state == kDeadState) return false;
+  return accepting_[state];
+}
+
+bool ContentModelMatcher::Matches(const std::vector<std::string>& word) const {
+  int state = kStartState;
+  for (const std::string& symbol : word) {
+    state = Step(state, symbol);
+    if (state == kDeadState) return false;
+  }
+  return AcceptsAt(state);
+}
+
+}  // namespace xicc

@@ -1,0 +1,63 @@
+#ifndef XICC_DTD_GLUSHKOV_H_
+#define XICC_DTD_GLUSHKOV_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dtd/regex.h"
+
+namespace xicc {
+
+/// Word membership for content-model regular expressions via the Glushkov
+/// (position) automaton.
+///
+/// Construction is the classic first/last/follow computation: each kString /
+/// kElement leaf becomes a position; the automaton has one state per position
+/// plus an initial state and is ε-free. Matching simulates the NFA over
+/// position sets, memoizing the subset construction lazily, so repeated
+/// validation against the same content model amortizes to DFA speed.
+class ContentModelMatcher {
+ public:
+  explicit ContentModelMatcher(const RegexPtr& regex);
+
+  /// True iff the label word (element-type names, with "S" for text nodes)
+  /// is in the language of the content model.
+  bool Matches(const std::vector<std::string>& word) const;
+
+  /// Stepwise interface for streaming validation. States are small ints:
+  /// kStartState before any symbol, kDeadState once no run survives,
+  /// otherwise a lazily-created DFA state.
+  static constexpr int kStartState = -2;
+  static constexpr int kDeadState = -1;
+  /// Consumes one symbol; returns the successor state (possibly dead).
+  int Step(int state, const std::string& symbol) const;
+  /// True iff the word consumed so far is in the language.
+  bool AcceptsAt(int state) const;
+
+  /// Number of positions (NFA states minus the initial state).
+  size_t PositionCount() const { return symbols_.size(); }
+
+ private:
+  using PositionSet = std::set<int>;
+
+  /// DFA state id for a position set, creating it on first sight.
+  int StateFor(const PositionSet& positions) const;
+
+  std::vector<std::string> symbols_;       // Symbol at each position.
+  PositionSet first_;                      // Positions reachable first.
+  std::set<int> last_;                     // Accepting positions.
+  std::vector<PositionSet> follow_;        // follow(p).
+  bool nullable_ = false;
+
+  // Lazy subset construction.
+  mutable std::map<PositionSet, int> state_ids_;
+  mutable std::vector<PositionSet> states_;
+  mutable std::vector<bool> accepting_;
+  mutable std::vector<std::map<std::string, int>> transitions_;
+};
+
+}  // namespace xicc
+
+#endif  // XICC_DTD_GLUSHKOV_H_

@@ -1,0 +1,144 @@
+#include "dtd/regex.h"
+
+#include <cassert>
+
+namespace xicc {
+
+namespace {
+// shared_ptr factory with access to the private constructor.
+struct RegexFactory : Regex {};
+}  // namespace
+
+RegexPtr Regex::Epsilon() {
+  static const RegexPtr kInstance(new Regex(Kind::kEpsilon));
+  return kInstance;
+}
+
+RegexPtr Regex::Str() {
+  static const RegexPtr kInstance(new Regex(Kind::kString));
+  return kInstance;
+}
+
+RegexPtr Regex::Elem(std::string name) {
+  auto* node = new Regex(Kind::kElement);
+  node->name_ = std::move(name);
+  return RegexPtr(node);
+}
+
+RegexPtr Regex::Union(RegexPtr left, RegexPtr right) {
+  assert(left && right);
+  auto* node = new Regex(Kind::kUnion);
+  node->left_ = std::move(left);
+  node->right_ = std::move(right);
+  return RegexPtr(node);
+}
+
+RegexPtr Regex::Concat(RegexPtr left, RegexPtr right) {
+  assert(left && right);
+  auto* node = new Regex(Kind::kConcat);
+  node->left_ = std::move(left);
+  node->right_ = std::move(right);
+  return RegexPtr(node);
+}
+
+RegexPtr Regex::Star(RegexPtr child) {
+  assert(child);
+  auto* node = new Regex(Kind::kStar);
+  node->left_ = std::move(child);
+  return RegexPtr(node);
+}
+
+RegexPtr Regex::ConcatAll(std::vector<RegexPtr> parts) {
+  if (parts.empty()) return Epsilon();
+  RegexPtr out = parts.back();
+  for (size_t i = parts.size() - 1; i-- > 0;) {
+    out = Concat(parts[i], std::move(out));
+  }
+  return out;
+}
+
+RegexPtr Regex::UnionAll(std::vector<RegexPtr> parts) {
+  assert(!parts.empty());
+  RegexPtr out = parts.back();
+  for (size_t i = parts.size() - 1; i-- > 0;) {
+    out = Union(parts[i], std::move(out));
+  }
+  return out;
+}
+
+RegexPtr Regex::Optional(RegexPtr child) {
+  return Union(std::move(child), Epsilon());
+}
+
+RegexPtr Regex::Plus(RegexPtr child) {
+  RegexPtr star = Star(child);
+  return Concat(std::move(child), std::move(star));
+}
+
+bool Regex::Nullable() const {
+  switch (kind_) {
+    case Kind::kEpsilon:
+    case Kind::kStar:
+      return true;
+    case Kind::kString:
+    case Kind::kElement:
+      return false;
+    case Kind::kUnion:
+      return left_->Nullable() || right_->Nullable();
+    case Kind::kConcat:
+      return left_->Nullable() && right_->Nullable();
+  }
+  return false;
+}
+
+size_t Regex::Size() const {
+  switch (kind_) {
+    case Kind::kEpsilon:
+    case Kind::kString:
+    case Kind::kElement:
+      return 1;
+    case Kind::kUnion:
+    case Kind::kConcat:
+      return 1 + left_->Size() + right_->Size();
+    case Kind::kStar:
+      return 1 + left_->Size();
+  }
+  return 1;
+}
+
+std::string Regex::ToString() const {
+  switch (kind_) {
+    case Kind::kEpsilon:
+      return "EMPTY";
+    case Kind::kString:
+      return "#PCDATA";
+    case Kind::kElement:
+      return name_;
+    case Kind::kUnion:
+      return "(" + left_->ToString() + " | " + right_->ToString() + ")";
+    case Kind::kConcat:
+      return "(" + left_->ToString() + ", " + right_->ToString() + ")";
+    case Kind::kStar:
+      return "(" + left_->ToString() + ")*";
+  }
+  return "?";
+}
+
+bool Regex::Equal(const Regex& a, const Regex& b) {
+  if (a.kind_ != b.kind_) return false;
+  switch (a.kind_) {
+    case Kind::kEpsilon:
+    case Kind::kString:
+      return true;
+    case Kind::kElement:
+      return a.name_ == b.name_;
+    case Kind::kUnion:
+    case Kind::kConcat:
+      return Equal(*a.left_, *b.left_) && Equal(*a.right_, *b.right_);
+    case Kind::kStar:
+      return Equal(*a.left_, *b.left_);
+  }
+  return false;
+}
+
+}  // namespace xicc

@@ -1,0 +1,83 @@
+#ifndef XICC_DTD_REGEX_H_
+#define XICC_DTD_REGEX_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace xicc {
+
+class Regex;
+/// Content-model expressions are immutable and freely shared.
+using RegexPtr = std::shared_ptr<const Regex>;
+
+/// Content-model regular expression over element types, per Definition 2.1:
+///
+///   α ::= S | τ' | ε | α|α | α,α | α*
+///
+/// where S is the string type and τ' ranges over element types. Union and
+/// concatenation are binary (the DTD parser folds longer sequences into
+/// right-nested binaries), which matches the grammar the simplification of
+/// Section 4.1 is defined on.
+class Regex {
+ public:
+  enum class Kind {
+    kEpsilon,  ///< ε — the empty word.
+    kString,   ///< S — string type (#PCDATA).
+    kElement,  ///< τ' — a single element type.
+    kUnion,    ///< α1 | α2.
+    kConcat,   ///< α1 , α2.
+    kStar,     ///< α1* — Kleene closure.
+  };
+
+  static RegexPtr Epsilon();
+  static RegexPtr Str();
+  static RegexPtr Elem(std::string name);
+  static RegexPtr Union(RegexPtr left, RegexPtr right);
+  static RegexPtr Concat(RegexPtr left, RegexPtr right);
+  static RegexPtr Star(RegexPtr child);
+
+  /// Right-folds a list into nested binary concats; empty list is ε,
+  /// singleton is the element itself.
+  static RegexPtr ConcatAll(std::vector<RegexPtr> parts);
+  /// Right-folds a list into nested binary unions; must be nonempty.
+  static RegexPtr UnionAll(std::vector<RegexPtr> parts);
+  /// α? desugars to (α | ε).
+  static RegexPtr Optional(RegexPtr child);
+  /// α+ desugars to (α, α*).
+  static RegexPtr Plus(RegexPtr child);
+
+  Kind kind() const { return kind_; }
+  /// Element-type name; only for kElement.
+  const std::string& name() const { return name_; }
+  /// Left operand of kUnion/kConcat.
+  const RegexPtr& left() const { return left_; }
+  /// Right operand of kUnion/kConcat.
+  const RegexPtr& right() const { return right_; }
+  /// Operand of kStar.
+  const RegexPtr& child() const { return left_; }
+
+  /// True if the language of this expression contains the empty word.
+  bool Nullable() const;
+
+  /// Number of AST nodes; the size measure used for complexity accounting.
+  size_t Size() const;
+
+  /// DTD-flavored rendering: "EMPTY", "#PCDATA", "(a,b)", "(a|b)", "(a)*".
+  std::string ToString() const;
+
+  /// Structural equality.
+  static bool Equal(const Regex& a, const Regex& b);
+
+ private:
+  explicit Regex(Kind kind) : kind_(kind) {}
+
+  Kind kind_;
+  std::string name_;
+  RegexPtr left_;
+  RegexPtr right_;
+};
+
+}  // namespace xicc
+
+#endif  // XICC_DTD_REGEX_H_

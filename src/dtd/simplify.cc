@@ -1,0 +1,122 @@
+#include "dtd/simplify.h"
+
+#include <functional>
+#include <map>
+
+namespace xicc {
+
+namespace {
+
+bool IsAtom(const Regex& node) {
+  return node.kind() == Regex::Kind::kElement ||
+         node.kind() == Regex::Kind::kString;
+}
+
+}  // namespace
+
+bool IsSimpleDtd(const Dtd& dtd) {
+  for (const std::string& type : dtd.elements()) {
+    const Regex& content = *dtd.ContentOf(type);
+    switch (content.kind()) {
+      case Regex::Kind::kEpsilon:
+      case Regex::Kind::kString:
+      case Regex::Kind::kElement:
+        break;
+      case Regex::Kind::kUnion:
+      case Regex::Kind::kConcat:
+        if (!IsAtom(*content.left()) || !IsAtom(*content.right())) {
+          return false;
+        }
+        break;
+      case Regex::Kind::kStar:
+        return false;
+    }
+  }
+  return true;
+}
+
+Result<SimplifiedDtd> SimplifyDtd(const Dtd& dtd) {
+  DtdBuilder builder;
+  std::set<std::string> synthetic;
+  std::map<std::string, int> counters;  // Fresh-name counters per owner.
+
+  auto fresh_name = [&](const std::string& owner) {
+    for (;;) {
+      int n = ++counters[owner];
+      std::string name = "_" + owner + "." + std::to_string(n);
+      if (!dtd.HasElement(name) && synthetic.count(name) == 0) return name;
+    }
+  };
+
+  // process(name, α) installs a simple production for `name`, introducing
+  // fresh types for non-atomic operands. `owner` tracks the original element
+  // type for fresh-name generation.
+  std::function<void(const std::string&, const RegexPtr&, const std::string&)>
+      process = [&](const std::string& name, const RegexPtr& alpha,
+                    const std::string& owner) {
+        // operand(): an atom stays inline; anything else becomes a fresh
+        // element type processed recursively.
+        auto operand = [&](const RegexPtr& part) -> RegexPtr {
+          if (IsAtom(*part)) return part;
+          std::string sub = fresh_name(owner);
+          synthetic.insert(sub);
+          process(sub, part, owner);
+          return Regex::Elem(sub);
+        };
+
+        switch (alpha->kind()) {
+          case Regex::Kind::kEpsilon:
+          case Regex::Kind::kString:
+          case Regex::Kind::kElement:
+            builder.AddElement(name, alpha);
+            break;
+          case Regex::Kind::kUnion:
+            builder.AddElement(
+                name, Regex::Union(operand(alpha->left()),
+                                   operand(alpha->right())));
+            break;
+          case Regex::Kind::kConcat:
+            builder.AddElement(
+                name, Regex::Concat(operand(alpha->left()),
+                                    operand(alpha->right())));
+            break;
+          case Regex::Kind::kStar: {
+            // τ → α*  becomes  τ → τ1 with τ1 → ε | (α, τ1). When `name` is
+            // itself synthetic it can serve as the recursion variable τ1
+            // directly (no constraint mentions it, and its ext counts are
+            // internal), which matches the paper's worked example D_N1.
+            if (synthetic.count(name) > 0) {
+              RegexPtr unrolled = Regex::Union(
+                  Regex::Epsilon(),
+                  Regex::Concat(alpha->child(), Regex::Elem(name)));
+              process(name, unrolled, owner);
+            } else {
+              std::string tau1 = fresh_name(owner);
+              synthetic.insert(tau1);
+              builder.AddElement(name, Regex::Elem(tau1));
+              RegexPtr unrolled = Regex::Union(
+                  Regex::Epsilon(),
+                  Regex::Concat(alpha->child(), Regex::Elem(tau1)));
+              process(tau1, unrolled, owner);
+            }
+            break;
+          }
+        }
+      };
+
+  for (const std::string& type : dtd.elements()) {
+    process(type, dtd.ContentOf(type), type);
+    for (const std::string& attr : dtd.AttributesOf(type)) {
+      builder.AddAttribute(type, attr);
+    }
+  }
+  builder.SetRoot(dtd.root());
+
+  XICC_ASSIGN_OR_RETURN(Dtd simple, builder.Build());
+  SimplifiedDtd out;
+  out.dtd = std::move(simple);
+  out.synthetic = std::move(synthetic);
+  return out;
+}
+
+}  // namespace xicc

@@ -1,0 +1,43 @@
+#ifndef XICC_DTD_SIMPLIFY_H_
+#define XICC_DTD_SIMPLIFY_H_
+
+#include <set>
+#include <string>
+
+#include "base/status.h"
+#include "dtd/dtd.h"
+
+namespace xicc {
+
+/// The simplified DTD D_N of Section 4.1: same trees up to the insertion of
+/// synthetic intermediate elements, but every production has one of the
+/// five simple forms
+///
+///   τ → τ1,τ2   τ → τ1|τ2   τ → τ1   τ → S   τ → ε
+///
+/// where τ1, τ2 range over E ∪ N ∪ {S}. Lemma 4.3: an XML tree valid w.r.t.
+/// D satisfying Σ exists iff one valid w.r.t. D_N satisfying Σ exists, and
+/// |ext(τ)| / ext(τ.l) agree for every original type τ.
+struct SimplifiedDtd {
+  Dtd dtd;
+  /// N: the fresh element types introduced; they carry no attributes.
+  std::set<std::string> synthetic;
+
+  bool IsSynthetic(const std::string& type) const {
+    return synthetic.count(type) > 0;
+  }
+};
+
+/// True iff every production of `dtd` already has a simple form.
+bool IsSimpleDtd(const Dtd& dtd);
+
+/// Runs the rewriting of Section 4.1 (linear time, linear output size):
+///   α1,α2 / α1|α2  → binary nodes over atoms, fresh types for non-atoms;
+///   α*             → fresh τ1 with τ1 → ε | (α, τ1), recursively simplified.
+/// Synthetic names are derived from the owning element type and are
+/// guaranteed fresh.
+Result<SimplifiedDtd> SimplifyDtd(const Dtd& dtd);
+
+}  // namespace xicc
+
+#endif  // XICC_DTD_SIMPLIFY_H_

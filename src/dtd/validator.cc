@@ -1,0 +1,83 @@
+#include "dtd/validator.h"
+
+#include <map>
+
+#include "base/strings.h"
+#include "dtd/glushkov.h"
+
+namespace xicc {
+
+std::string ValidationReport::ToString() const {
+  if (valid) return "valid";
+  std::vector<std::string> lines;
+  lines.reserve(violations.size());
+  for (const DtdViolation& v : violations) {
+    lines.push_back("node " + std::to_string(v.node) + ": " + v.message);
+  }
+  return Join(lines, "\n");
+}
+
+ValidationReport ValidateXml(const XmlTree& tree, const Dtd& dtd,
+                             const ValidateOptions& options) {
+  ValidationReport report;
+  auto add = [&](NodeId node, std::string message) {
+    report.valid = false;
+    report.violations.push_back({node, std::move(message)});
+  };
+
+  if (tree.label(tree.root()) != dtd.root()) {
+    add(tree.root(), "root is <" + tree.label(tree.root()) +
+                         ">, DTD requires <" + dtd.root() + ">");
+  }
+
+  // One matcher per element type, built on demand.
+  std::map<std::string, ContentModelMatcher> matchers;
+  auto matcher_for = [&](const std::string& type) -> ContentModelMatcher& {
+    auto it = matchers.find(type);
+    if (it == matchers.end()) {
+      it = matchers.emplace(type, ContentModelMatcher(dtd.ContentOf(type)))
+               .first;
+    }
+    return it->second;
+  };
+
+  for (NodeId node = 0; node < tree.size(); ++node) {
+    if (!tree.IsElement(node)) continue;
+    const std::string& type = tree.label(node);
+    if (!dtd.HasElement(type)) {
+      add(node, "element type '" + type + "' is not declared in the DTD");
+      continue;
+    }
+
+    // Content model check.
+    std::vector<std::string> word = tree.ChildLabelWord(node);
+    ContentModelMatcher& matcher = matcher_for(type);
+    bool matches = matcher.Matches(word);
+    if (!matches && options.implicit_empty_text && word.empty()) {
+      matches = matcher.Matches({"S"});
+    }
+    if (!matches) {
+      std::string rendered = word.empty() ? "(empty)" : Join(word, " ");
+      add(node, "children of '" + type + "' are [" + rendered +
+                    "], not in L(" + dtd.ContentOf(type)->ToString() + ")");
+    }
+
+    // Attribute check: exactly R(τ), each single-valued (guaranteed by the
+    // tree representation).
+    for (const std::string& required : dtd.AttributesOf(type)) {
+      if (!tree.AttributeValue(node, required).has_value()) {
+        add(node, "element '" + type + "' is missing required attribute '" +
+                      required + "'");
+      }
+    }
+    for (const auto& [name, value] : tree.attributes(node)) {
+      if (!dtd.HasAttribute(type, name)) {
+        add(node, "element '" + type + "' carries undeclared attribute '" +
+                      name + "'");
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace xicc

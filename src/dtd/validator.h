@@ -1,0 +1,42 @@
+#ifndef XICC_DTD_VALIDATOR_H_
+#define XICC_DTD_VALIDATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "dtd/dtd.h"
+#include "xml/tree.h"
+
+namespace xicc {
+
+/// One validity defect found while checking a tree against a DTD.
+struct DtdViolation {
+  NodeId node;
+  std::string message;
+};
+
+struct ValidationReport {
+  bool valid = true;
+  std::vector<DtdViolation> violations;
+
+  /// All messages joined with newlines ("valid" when empty).
+  std::string ToString() const;
+};
+
+struct ValidateOptions {
+  /// Treat an element with no children whose content model requires exactly
+  /// one text child (P(τ) accepts the word "S") as carrying an empty text
+  /// node. Parsers commonly drop empty/whitespace text, so this is on by
+  /// default.
+  bool implicit_empty_text = true;
+};
+
+/// Checks T |= D per Definition 2.2: every element's type is declared, its
+/// child label word is in L(P(τ)), and it carries exactly the attributes
+/// R(τ). Collects all violations rather than stopping at the first.
+ValidationReport ValidateXml(const XmlTree& tree, const Dtd& dtd,
+                             const ValidateOptions& options = {});
+
+}  // namespace xicc
+
+#endif  // XICC_DTD_VALIDATOR_H_

@@ -1,0 +1,96 @@
+#include "ilp/linear_system.h"
+
+#include "base/strings.h"
+
+namespace xicc {
+
+LinearExpr& LinearExpr::Add(VarId var, BigInt coeff) {
+  if (coeff.is_zero()) return *this;
+  auto it = terms_.find(var);
+  if (it == terms_.end()) {
+    terms_.emplace(var, std::move(coeff));
+  } else {
+    it->second += coeff;
+    if (it->second.is_zero()) terms_.erase(it);
+  }
+  return *this;
+}
+
+LinearExpr& LinearExpr::AddConstant(const BigInt& value) {
+  constant_ += value;
+  return *this;
+}
+
+VarId LinearSystem::AddVariable(std::string name) {
+  names_.push_back(std::move(name));
+  return static_cast<VarId>(names_.size()) - 1;
+}
+
+void LinearSystem::AddConstraint(const LinearExpr& expr, RelOp op,
+                                 BigInt rhs) {
+  LinearConstraint c;
+  c.coeffs = expr.terms();
+  c.op = op;
+  c.rhs = std::move(rhs);
+  c.rhs -= expr.constant();
+  constraints_.push_back(std::move(c));
+}
+
+void LinearSystem::AddEq(const LinearExpr& lhs, const LinearExpr& rhs) {
+  LinearExpr diff;
+  for (const auto& [var, coeff] : lhs.terms()) diff.Add(var, coeff);
+  for (const auto& [var, coeff] : rhs.terms()) diff.Add(var, -coeff);
+  AddConstraint(diff, RelOp::kEq, rhs.constant() - lhs.constant());
+}
+
+void LinearSystem::AddLe(const LinearExpr& lhs, const LinearExpr& rhs) {
+  LinearExpr diff;
+  for (const auto& [var, coeff] : lhs.terms()) diff.Add(var, coeff);
+  for (const auto& [var, coeff] : rhs.terms()) diff.Add(var, -coeff);
+  AddConstraint(diff, RelOp::kLe, rhs.constant() - lhs.constant());
+}
+
+BigInt LinearSystem::MaxAbsValue() const {
+  BigInt max(1);
+  for (const LinearConstraint& c : constraints_) {
+    for (const auto& [var, coeff] : c.coeffs) {
+      BigInt abs = coeff.Abs();
+      if (abs > max) max = abs;
+    }
+    BigInt abs = c.rhs.Abs();
+    if (abs > max) max = abs;
+  }
+  return max;
+}
+
+std::string LinearSystem::ToString() const {
+  std::vector<std::string> lines;
+  lines.reserve(constraints_.size());
+  for (const LinearConstraint& c : constraints_) {
+    std::string line;
+    bool first = true;
+    for (const auto& [var, coeff] : c.coeffs) {
+      if (!first) line += " + ";
+      first = false;
+      if (coeff != BigInt(1)) line += coeff.ToString() + "*";
+      line += names_[var];
+    }
+    if (first) line += "0";
+    switch (c.op) {
+      case RelOp::kLe:
+        line += " <= ";
+        break;
+      case RelOp::kGe:
+        line += " >= ";
+        break;
+      case RelOp::kEq:
+        line += " == ";
+        break;
+    }
+    line += c.rhs.ToString();
+    lines.push_back(std::move(line));
+  }
+  return Join(lines, "\n");
+}
+
+}  // namespace xicc

@@ -1,0 +1,96 @@
+#ifndef XICC_ILP_LINEAR_SYSTEM_H_
+#define XICC_ILP_LINEAR_SYSTEM_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/bigint.h"
+#include "base/status.h"
+
+namespace xicc {
+
+/// Index of a variable within a LinearSystem.
+using VarId = int;
+
+/// A linear combination of variables plus a constant term. Terms with the
+/// same variable are merged; zero-coefficient terms are dropped.
+class LinearExpr {
+ public:
+  LinearExpr() = default;
+  explicit LinearExpr(BigInt constant) : constant_(std::move(constant)) {}
+
+  /// Adds coeff · var.
+  LinearExpr& Add(VarId var, BigInt coeff);
+  LinearExpr& AddConstant(const BigInt& value);
+
+  const std::map<VarId, BigInt>& terms() const { return terms_; }
+  const BigInt& constant() const { return constant_; }
+
+  /// Convenience: the expression consisting of a single variable.
+  static LinearExpr Var(VarId var) {
+    LinearExpr e;
+    e.Add(var, BigInt(1));
+    return e;
+  }
+
+ private:
+  std::map<VarId, BigInt> terms_;
+  BigInt constant_;
+};
+
+enum class RelOp {
+  kLe,  ///< expr <= rhs
+  kGe,  ///< expr >= rhs
+  kEq,  ///< expr == rhs
+};
+
+/// One row: expr (op) rhs, with rhs folded together with expr's constant.
+struct LinearConstraint {
+  std::map<VarId, BigInt> coeffs;
+  RelOp op;
+  BigInt rhs;
+};
+
+/// A system of linear constraints over nonnegative integer variables — the
+/// target language of the paper's encodings (all cardinality variables are
+/// counts, hence ≥ 0; Section 4 relies on this for the Papadimitriou bound).
+class LinearSystem {
+ public:
+  /// Creates a variable; `name` is used in diagnostics and printouts.
+  VarId AddVariable(std::string name);
+
+  /// Adds `expr (op) rhs`. The expression's constant is moved to the rhs.
+  void AddConstraint(const LinearExpr& expr, RelOp op, BigInt rhs);
+
+  /// Adds an already-assembled row (used by the cut generator).
+  void AddRaw(LinearConstraint constraint) {
+    constraints_.push_back(std::move(constraint));
+  }
+
+  /// expr1 == expr2, expr1 <= expr2 conveniences.
+  void AddEq(const LinearExpr& lhs, const LinearExpr& rhs);
+  void AddLe(const LinearExpr& lhs, const LinearExpr& rhs);
+
+  size_t NumVariables() const { return names_.size(); }
+  size_t NumConstraints() const { return constraints_.size(); }
+  const std::string& VarName(VarId var) const { return names_[var]; }
+  const std::vector<LinearConstraint>& constraints() const {
+    return constraints_;
+  }
+
+  /// Largest absolute value among coefficients and right-hand sides — the
+  /// `a` of the Papadimitriou bound.
+  BigInt MaxAbsValue() const;
+
+  /// Human-readable rendering, one constraint per line.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<LinearConstraint> constraints_;
+};
+
+}  // namespace xicc
+
+#endif  // XICC_ILP_LINEAR_SYSTEM_H_

@@ -1,0 +1,196 @@
+#include "ilp/simplex.h"
+
+#include <cassert>
+
+namespace xicc {
+
+namespace {
+
+/// Dense phase-1 tableau over exact rationals.
+///
+/// Layout: rows 0..m-1 are constraints, row m is the phase-1 objective
+/// (reduced costs). Columns 0..total-1 are variables (structural, then
+/// slack, then artificial); column `total` is the rhs.
+class Tableau {
+ public:
+  Tableau(size_t rows, size_t cols)
+      : cols_(cols), cells_(rows * cols) {}
+
+  Rational& At(size_t row, size_t col) { return cells_[row * cols_ + col]; }
+  const Rational& At(size_t row, size_t col) const {
+    return cells_[row * cols_ + col];
+  }
+
+ private:
+  size_t cols_;
+  std::vector<Rational> cells_;
+};
+
+}  // namespace
+
+LpResult SolveLpFeasibility(const LinearSystem& system, LpTableau* tableau) {
+  const size_t m = system.NumConstraints();
+  const size_t n = system.NumVariables();
+
+  // Column plan: structural, then one slack per inequality, then artificials
+  // for rows whose slack cannot seed the basis.
+  std::vector<LpColumnInfo> columns;
+  columns.reserve(n + m);
+  for (size_t j = 0; j < n; ++j) {
+    columns.push_back({LpColumnInfo::Kind::kStructural, static_cast<int>(j)});
+  }
+  std::vector<int> slack_col(m, -1);
+  for (size_t i = 0; i < m; ++i) {
+    if (system.constraints()[i].op != RelOp::kEq) {
+      slack_col[i] = static_cast<int>(columns.size());
+      columns.push_back({LpColumnInfo::Kind::kSlack, static_cast<int>(i)});
+    }
+  }
+  const size_t num_structural_slack = columns.size();
+
+  // A ≤-row with rhs ≥ 0 (or a ≥-row with rhs ≤ 0, which flips to one) can
+  // use its slack as the initial basic variable; other rows need an
+  // artificial. Decide per row, after rhs normalization.
+  struct RowPlan {
+    bool negate = false;       // Row multiplied by -1 to get rhs ≥ 0.
+    bool use_slack = false;    // Slack seeds the basis.
+    int artificial_col = -1;   // Otherwise: its artificial column.
+  };
+  std::vector<RowPlan> plan(m);
+  size_t num_artificial = 0;
+  for (size_t i = 0; i < m; ++i) {
+    const LinearConstraint& c = system.constraints()[i];
+    bool rhs_negative = c.rhs.is_negative();
+    plan[i].negate = rhs_negative;
+    // After negation the slack coefficient is +1 for (kLe, rhs ≥ 0) and for
+    // (kGe, rhs < 0); only then can the slack start basic.
+    if (c.op == RelOp::kLe) {
+      plan[i].use_slack = !rhs_negative;
+    } else if (c.op == RelOp::kGe) {
+      plan[i].use_slack = rhs_negative;
+    }
+    if (!plan[i].use_slack) ++num_artificial;
+  }
+  const size_t total = num_structural_slack + num_artificial;
+  const size_t rhs_col = total;
+
+  Tableau tab(m + 1, total + 1);
+  std::vector<int> basis(m);
+  size_t next_artificial = num_structural_slack;
+  for (size_t i = 0; i < m; ++i) {
+    const LinearConstraint& c = system.constraints()[i];
+    int sign = plan[i].negate ? -1 : 1;
+    for (const auto& [var, coeff] : c.coeffs) {
+      tab.At(i, static_cast<size_t>(var)) =
+          Rational(sign < 0 ? -coeff : coeff);
+    }
+    tab.At(i, rhs_col) = Rational(plan[i].negate ? -c.rhs : c.rhs);
+    if (slack_col[i] >= 0) {
+      // Original slack sign: +1 for ≤, −1 for ≥; then the row negation.
+      int slack_sign = (c.op == RelOp::kLe ? 1 : -1) * sign;
+      tab.At(i, static_cast<size_t>(slack_col[i])) = Rational(slack_sign);
+    }
+    if (plan[i].use_slack) {
+      basis[i] = slack_col[i];
+    } else {
+      plan[i].artificial_col = static_cast<int>(next_artificial);
+      tab.At(i, next_artificial) = Rational(1);
+      basis[i] = static_cast<int>(next_artificial);
+      ++next_artificial;
+    }
+  }
+
+  // Phase-1 objective: minimize the sum of artificial variables. In tableau
+  // form the reduced-cost row is -(sum of artificial rows) over
+  // non-artificial columns; the objective value sits in the rhs cell.
+  for (size_t j = 0; j <= rhs_col; ++j) {
+    if (j >= num_structural_slack && j < total) continue;  // Artificial.
+    Rational sum;
+    for (size_t i = 0; i < m; ++i) {
+      if (!plan[i].use_slack) sum += tab.At(i, j);
+    }
+    tab.At(m, j) = -sum;
+  }
+
+  LpResult result;
+
+  // Simplex iterations with Bland's rule (smallest entering index; ratio
+  // ties broken by smallest basic index) — guarantees no cycling.
+  for (;;) {
+    size_t entering = total;
+    for (size_t j = 0; j < total; ++j) {
+      if (tab.At(m, j).sign() < 0) {
+        entering = j;
+        break;
+      }
+    }
+    if (entering == total) break;  // Optimal.
+
+    size_t pivot_row = m;
+    Rational best_ratio;
+    for (size_t i = 0; i < m; ++i) {
+      if (tab.At(i, entering).sign() <= 0) continue;
+      Rational ratio = tab.At(i, rhs_col) / tab.At(i, entering);
+      if (pivot_row == m || ratio < best_ratio ||
+          (ratio == best_ratio && basis[i] < basis[pivot_row])) {
+        pivot_row = i;
+        best_ratio = ratio;
+      }
+    }
+    if (pivot_row == m) break;  // Phase-1 cannot be unbounded; defensive.
+
+    ++result.pivots;
+    Rational pivot = tab.At(pivot_row, entering);
+    for (size_t j = 0; j <= rhs_col; ++j) {
+      Rational& cell = tab.At(pivot_row, j);
+      if (!cell.is_zero()) cell /= pivot;
+    }
+    for (size_t i = 0; i <= m; ++i) {
+      if (i == pivot_row) continue;
+      Rational factor = tab.At(i, entering);
+      if (factor.is_zero()) continue;
+      for (size_t j = 0; j <= rhs_col; ++j) {
+        // The tableaus of the cardinality encodings are sparse; skipping
+        // zero cells in the pivot row is the single biggest speedup here.
+        const Rational& p = tab.At(pivot_row, j);
+        if (p.is_zero()) continue;
+        tab.At(i, j) -= factor * p;
+      }
+    }
+    basis[pivot_row] = static_cast<int>(entering);
+  }
+
+  // Feasible iff the artificial mass is zero (objective value = -tab(m,rhs)).
+  if (!tab.At(m, rhs_col).is_zero()) {
+    result.feasible = false;
+    return result;
+  }
+  result.feasible = true;
+  result.values.assign(n, Rational());
+  for (size_t i = 0; i < m; ++i) {
+    if (basis[i] >= 0 && static_cast<size_t>(basis[i]) < n) {
+      result.values[basis[i]] = tab.At(i, rhs_col);
+    }
+  }
+
+  if (tableau != nullptr) {
+    tableau->columns = columns;
+    tableau->basis.assign(m, -1);
+    tableau->rows.assign(m, std::vector<Rational>(num_structural_slack));
+    tableau->rhs.assign(m, Rational());
+    for (size_t i = 0; i < m; ++i) {
+      // Rows still basic in an artificial are degenerate (value 0) and are
+      // not exported for cuts.
+      if (static_cast<size_t>(basis[i]) < num_structural_slack) {
+        tableau->basis[i] = basis[i];
+      }
+      for (size_t j = 0; j < num_structural_slack; ++j) {
+        tableau->rows[i][j] = tab.At(i, j);
+      }
+      tableau->rhs[i] = tab.At(i, rhs_col);
+    }
+  }
+  return result;
+}
+
+}  // namespace xicc

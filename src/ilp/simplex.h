@@ -1,0 +1,57 @@
+#ifndef XICC_ILP_SIMPLEX_H_
+#define XICC_ILP_SIMPLEX_H_
+
+#include <vector>
+
+#include "base/rational.h"
+#include "ilp/linear_system.h"
+
+namespace xicc {
+
+/// A column of the simplex tableau, as seen by cut generation: the original
+/// (structural) variables come first, then one slack per inequality.
+/// Artificial columns are internal and never escape the solver.
+struct LpColumnInfo {
+  enum class Kind { kStructural, kSlack };
+  Kind kind;
+  /// kStructural: the VarId. kSlack: the constraint index it belongs to.
+  int index;
+};
+
+/// The final basis rows, for Gomory cut derivation. Row i reads
+///   x_{basis[i]} = rhs[i] - Σ_j coeffs[i][j]·x_j   (j over all columns),
+/// where basic columns carry coefficient 0 except their own unit entry.
+struct LpTableau {
+  std::vector<LpColumnInfo> columns;
+  /// basis[i] indexes into `columns`; -1 marks a (degenerate, zero-valued)
+  /// artificial still in the basis — rows like that are unusable for cuts.
+  std::vector<int> basis;
+  std::vector<std::vector<Rational>> rows;  ///< Per row, per column.
+  std::vector<Rational> rhs;
+};
+
+/// Outcome of an LP-relaxation feasibility check.
+struct LpResult {
+  bool feasible = false;
+  /// Values for the system's original variables when feasible.
+  std::vector<Rational> values;
+  /// Pivot count, for the solver statistics.
+  size_t pivots = 0;
+};
+
+/// Decides feasibility of the LP relaxation of `system` (variables rational,
+/// ≥ 0) and returns a vertex solution.
+///
+/// Implementation: phase-1 simplex on exact rationals with Bland's rule.
+/// Constraints become equalities via slack/surplus columns; where a slack
+/// can seed the basis directly (≤ rows with nonnegative rhs) no artificial
+/// is created. Feasible iff the artificial mass minimizes to 0.
+///
+/// When `tableau` is non-null and the LP is feasible, the final basis rows
+/// are exported for Gomory cut generation.
+LpResult SolveLpFeasibility(const LinearSystem& system,
+                            LpTableau* tableau = nullptr);
+
+}  // namespace xicc
+
+#endif  // XICC_ILP_SIMPLEX_H_

@@ -1,0 +1,215 @@
+#include "ilp/solver.h"
+
+#include <optional>
+#include <utility>
+
+#include "ilp/simplex.h"
+
+namespace xicc {
+
+BigInt PapadimitriouBound(size_t num_constraints, size_t num_variables,
+                          const BigInt& max_abs_value) {
+  if (num_constraints == 0 || num_variables == 0) return BigInt(1);
+  BigInt ma = BigInt(static_cast<int64_t>(num_constraints)) * max_abs_value;
+  return BigInt(static_cast<int64_t>(num_variables)) *
+         BigInt::Pow(ma, 2 * static_cast<uint64_t>(num_constraints) + 1);
+}
+
+namespace {
+
+/// Fractional part f(x) = x - ⌊x⌋ ∈ [0, 1).
+Rational Frac(const Rational& value) {
+  return value - Rational(value.Floor());
+}
+
+/// Derives a Gomory fractional cut from a basis row with fractional rhs.
+///
+/// For a row  x_B + Σ_j ā_j·x_j = b̄  over integer variables (structural and
+/// slack; nonbasic artificials are identically zero and ignored), every
+/// integer-feasible point satisfies  Σ_j f(ā_j)·x_j ≥ f(b̄). Slack variables
+/// are then substituted out (s_k = ±(rhs_k − expr_k)) and denominators
+/// cleared, yielding a pure structural-variable row to append. A cut with
+/// empty support and positive rhs certifies integer infeasibility — the
+/// caller appends it and the next LP round reports infeasible.
+std::optional<LinearConstraint> DeriveGomoryCut(const LinearSystem& system,
+                                                const LpTableau& tableau) {
+  // Pick the usable fractional row whose rhs fraction is closest to 1/2
+  // (strongest cut).
+  int best_row = -1;
+  Rational best_score;
+  const Rational half(BigInt(1), BigInt(2));
+  for (size_t i = 0; i < tableau.rhs.size(); ++i) {
+    if (tableau.basis[i] < 0) continue;  // Artificial still basic.
+    Rational f = Frac(tableau.rhs[i]);
+    if (f.is_zero()) continue;
+    Rational score = f <= half ? f : Rational(BigInt(1)) - f;
+    if (best_row < 0 || score > best_score) {
+      best_row = static_cast<int>(i);
+      best_score = score;
+    }
+  }
+  if (best_row < 0) return std::nullopt;
+
+  const std::vector<Rational>& row = tableau.rows[best_row];
+  Rational rhs = Frac(tableau.rhs[best_row]);
+  // Accumulate structural coefficients; slack columns substitute to
+  // structural terms plus a constant folded into the rhs.
+  std::map<VarId, Rational> coeffs;
+  for (size_t j = 0; j < row.size(); ++j) {
+    Rational f = Frac(row[j]);
+    if (f.is_zero()) continue;
+    const LpColumnInfo& column = tableau.columns[j];
+    if (column.kind == LpColumnInfo::Kind::kStructural) {
+      coeffs[column.index] += f;
+      continue;
+    }
+    // Slack of constraint k: kLe has s = rhs_k − expr_k, kGe has
+    // s = expr_k − rhs_k.
+    const LinearConstraint& c = system.constraints()[column.index];
+    int sign = c.op == RelOp::kLe ? -1 : 1;
+    for (const auto& [var, coeff] : c.coeffs) {
+      Rational term = f * Rational(coeff);
+      coeffs[var] += sign < 0 ? -term : term;
+    }
+    // f·s contributes f·(∓rhs_k) as a constant on the left; move it right.
+    Rational constant = f * Rational(c.rhs);
+    rhs += sign < 0 ? -constant : constant;
+  }
+
+  // Clear denominators: multiply by the LCM.
+  BigInt lcm(1);
+  auto fold = [&lcm](const Rational& value) {
+    BigInt g = BigInt::Gcd(lcm, value.den());
+    lcm = lcm / g * value.den();
+  };
+  for (const auto& [var, value] : coeffs) fold(value);
+  fold(rhs);
+
+  LinearConstraint cut;
+  cut.op = RelOp::kGe;
+  const Rational scale((lcm));
+  for (const auto& [var, value] : coeffs) {
+    Rational scaled = value * scale;
+    if (!scaled.is_zero()) cut.coeffs[var] = scaled.num();
+  }
+  cut.rhs = (rhs * scale).num();
+  return cut;
+}
+
+/// One branch decision: var ≤ bound or var ≥ bound.
+struct Branch {
+  VarId var;
+  RelOp op;  // kLe or kGe.
+  BigInt bound;
+};
+
+/// Depth-first cut-and-branch. `branches` carries the decisions on the
+/// current path; each node rebuilds the LP with them appended.
+class BranchAndBound {
+ public:
+  BranchAndBound(const LinearSystem& system, const IlpOptions& options)
+      : base_(system), options_(options) {}
+
+  Result<IlpSolution> Run() {
+    if (options_.apply_papadimitriou_bound) {
+      // Upper-bound every variable by the minimal-solution bound, making
+      // the search space finite — but only when the bound is cheap to carry
+      // (see IlpOptions::max_bound_bits).
+      size_t m = base_.NumConstraints();
+      size_t n = base_.NumVariables();
+      BigInt a = base_.MaxAbsValue();
+      size_t estimated_bits =
+          (2 * m + 1) * (64 - __builtin_clzll(m | 1) + a.BitLength()) + 8;
+      if (m > 0 && estimated_bits <= options_.max_bound_bits) {
+        BigInt bound = PapadimitriouBound(m, n, a);
+        for (VarId v = 0; v < static_cast<VarId>(n); ++v) {
+          base_.AddConstraint(LinearExpr::Var(v), RelOp::kLe, bound);
+        }
+      }
+    }
+    std::vector<Branch> branches;
+    bool found = Explore(&branches);
+    if (!found && budget_hit_) {
+      return Status::ResourceExhausted(
+          "ILP search exceeded " + std::to_string(options_.max_nodes) +
+          " branch-and-bound nodes");
+    }
+    solution_.feasible = found;
+    return std::move(solution_);
+  }
+
+ private:
+  /// Returns true when an integer solution was found (stored in solution_).
+  bool Explore(std::vector<Branch>* branches) {
+    if (options_.max_nodes != 0 &&
+        solution_.nodes_explored >= options_.max_nodes) {
+      budget_hit_ = true;
+      return false;
+    }
+    ++solution_.nodes_explored;
+
+    LinearSystem node = base_;
+    for (const Branch& b : *branches) {
+      node.AddConstraint(LinearExpr::Var(b.var), b.op, b.bound);
+    }
+
+    // Cut loop: solve, finish/prune, else strengthen with a Gomory cut and
+    // re-solve. Cuts derived under the current branches are valid only in
+    // this subtree; they are kept local to the node (children re-derive).
+    LpResult lp;
+    VarId fractional = -1;
+    for (size_t round = 0; round <= options_.max_cut_rounds; ++round) {
+      LpTableau tableau;
+      lp = SolveLpFeasibility(node, &tableau);
+      solution_.lp_pivots += lp.pivots;
+      if (!lp.feasible) return false;
+
+      fractional = -1;
+      for (size_t i = 0; i < lp.values.size(); ++i) {
+        if (!lp.values[i].is_integer()) {
+          fractional = static_cast<VarId>(i);
+          break;
+        }
+      }
+      if (fractional < 0) {
+        solution_.values.clear();
+        solution_.values.reserve(lp.values.size());
+        for (const Rational& v : lp.values) {
+          solution_.values.push_back(v.num());
+        }
+        return true;
+      }
+      if (round == options_.max_cut_rounds) break;
+      std::optional<LinearConstraint> cut = DeriveGomoryCut(node, tableau);
+      if (!cut.has_value()) break;
+      node.AddRaw(std::move(*cut));
+      ++solution_.cuts_added;
+    }
+
+    const Rational& value = lp.values[fractional];
+    branches->push_back({fractional, RelOp::kLe, value.Floor()});
+    if (Explore(branches)) {
+      branches->pop_back();
+      return true;
+    }
+    branches->back() = {fractional, RelOp::kGe, value.Ceil()};
+    bool found = Explore(branches);
+    branches->pop_back();
+    return found;
+  }
+
+  LinearSystem base_;
+  IlpOptions options_;
+  IlpSolution solution_;
+  bool budget_hit_ = false;
+};
+
+}  // namespace
+
+Result<IlpSolution> SolveIlp(const LinearSystem& system,
+                             const IlpOptions& options) {
+  BranchAndBound solver(system, options);
+  return solver.Run();
+}
+
+}  // namespace xicc

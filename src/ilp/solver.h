@@ -1,0 +1,63 @@
+#ifndef XICC_ILP_SOLVER_H_
+#define XICC_ILP_SOLVER_H_
+
+#include <vector>
+
+#include "base/bigint.h"
+#include "base/status.h"
+#include "ilp/linear_system.h"
+
+namespace xicc {
+
+struct IlpOptions {
+  /// Hard cap on branch & bound nodes; exceeding it yields
+  /// kResourceExhausted. 0 means unlimited.
+  size_t max_nodes = 200000;
+  /// Gomory fractional-cut rounds attempted per node before branching.
+  /// Cuts settle parity-style integer infeasibilities (e.g. 2x = 2y + 1)
+  /// that pure branching would chase toward the variable bound.
+  size_t max_cut_rounds = 20;
+  /// Clamp every variable by the Papadimitriou minimal-solution bound before
+  /// searching, which makes the search space finite — but only when the
+  /// bound fits in `max_bound_bits` (the bound is n·(m·a)^(2m+1); carrying
+  /// wide constants through every simplex pivot dwarfs the search itself,
+  /// so the default keeps the box at machine-word scale). Without the box,
+  /// Gomory cuts settle the common divergent cases and max_nodes is the
+  /// honest termination backstop.
+  bool apply_papadimitriou_bound = true;
+  size_t max_bound_bits = 64;
+};
+
+struct IlpSolution {
+  bool feasible = false;
+  /// Integer values per variable when feasible.
+  std::vector<BigInt> values;
+  /// Statistics.
+  size_t nodes_explored = 0;
+  size_t lp_pivots = 0;
+  size_t cuts_added = 0;
+};
+
+/// The Papadimitriou bound (J.ACM 28(4), 1981), as used in Theorem 4.1 and
+/// Lemma 5.3: if a system of `m` inequalities over `n` nonnegative integer
+/// variables with magnitudes ≤ `a` has a solution, it has one with every
+/// component ≤ n·(m·a)^(2m+1).
+BigInt PapadimitriouBound(size_t num_constraints, size_t num_variables,
+                          const BigInt& max_abs_value);
+
+/// Decides whether `system` has a solution over nonnegative integers and
+/// produces one if so.
+///
+/// Algorithm: cut-and-branch on the exact-rational LP relaxation. Each node
+/// solves phase-1 simplex; an infeasible relaxation prunes, an integral
+/// vertex finishes; otherwise up to max_cut_rounds Gomory fractional cuts
+/// are derived from the final tableau, and if the vertex stays fractional
+/// the first fractional variable x = v branches into x ≤ ⌊v⌋ and x ≥ ⌈v⌉
+/// (DFS, floor side first — cardinality systems tend to have small
+/// solutions).
+Result<IlpSolution> SolveIlp(const LinearSystem& system,
+                             const IlpOptions& options = {});
+
+}  // namespace xicc
+
+#endif  // XICC_ILP_SOLVER_H_

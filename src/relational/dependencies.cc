@@ -1,0 +1,147 @@
+#include "relational/dependencies.h"
+
+#include <map>
+
+namespace xicc {
+namespace relational {
+
+Dependency Dependency::Key(std::string relation,
+                           std::vector<std::string> attrs) {
+  Dependency d;
+  d.kind = DependencyKind::kKey;
+  d.relation1 = std::move(relation);
+  d.attrs1 = std::move(attrs);
+  return d;
+}
+
+Dependency Dependency::ForeignKey(std::string relation1,
+                                  std::vector<std::string> attrs1,
+                                  std::string relation2,
+                                  std::vector<std::string> attrs2) {
+  Dependency d;
+  d.kind = DependencyKind::kForeignKey;
+  d.relation1 = std::move(relation1);
+  d.attrs1 = std::move(attrs1);
+  d.relation2 = std::move(relation2);
+  d.attrs2 = std::move(attrs2);
+  return d;
+}
+
+Dependency Dependency::Fd(std::string relation, std::vector<std::string> lhs,
+                          std::vector<std::string> rhs) {
+  Dependency d;
+  d.kind = DependencyKind::kFd;
+  d.relation1 = std::move(relation);
+  d.attrs1 = std::move(lhs);
+  d.fd_rhs = std::move(rhs);
+  return d;
+}
+
+Dependency Dependency::Id(std::string relation1,
+                          std::vector<std::string> attrs1,
+                          std::string relation2,
+                          std::vector<std::string> attrs2) {
+  Dependency d;
+  d.kind = DependencyKind::kId;
+  d.relation1 = std::move(relation1);
+  d.attrs1 = std::move(attrs1);
+  d.relation2 = std::move(relation2);
+  d.attrs2 = std::move(attrs2);
+  return d;
+}
+
+namespace {
+
+std::string RenderAttrs(const std::vector<std::string>& attrs) {
+  std::string out = "[";
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    if (i > 0) out += ",";
+    out += attrs[i];
+  }
+  return out + "]";
+}
+
+std::vector<std::string> Project(const Tuple& tuple,
+                                 const std::vector<std::string>& attrs) {
+  std::vector<std::string> out;
+  out.reserve(attrs.size());
+  for (const std::string& attr : attrs) out.push_back(tuple.at(attr));
+  return out;
+}
+
+bool SatisfiesFd(const Instance& instance, const std::string& relation,
+                 const std::vector<std::string>& lhs,
+                 const std::vector<std::string>& rhs) {
+  std::map<std::vector<std::string>, std::vector<std::string>> seen;
+  for (const Tuple& t : instance.RelationOf(relation)) {
+    auto key = Project(t, lhs);
+    auto value = Project(t, rhs);
+    auto [it, inserted] = seen.emplace(std::move(key), value);
+    if (!inserted && it->second != value) return false;
+  }
+  return true;
+}
+
+bool SatisfiesInclusion(const Instance& instance, const std::string& r1,
+                        const std::vector<std::string>& attrs1,
+                        const std::string& r2,
+                        const std::vector<std::string>& attrs2) {
+  std::map<std::vector<std::string>, bool> targets;
+  for (const Tuple& t : instance.RelationOf(r2)) {
+    targets.emplace(Project(t, attrs2), true);
+  }
+  for (const Tuple& t : instance.RelationOf(r1)) {
+    if (targets.find(Project(t, attrs1)) == targets.end()) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string Dependency::ToString() const {
+  switch (kind) {
+    case DependencyKind::kKey:
+      return relation1 + RenderAttrs(attrs1) + " -> " + relation1;
+    case DependencyKind::kForeignKey:
+      return relation1 + RenderAttrs(attrs1) + " <= " + relation2 +
+             RenderAttrs(attrs2) + " (key)";
+    case DependencyKind::kFd:
+      return relation1 + " : " + RenderAttrs(attrs1) + " -> " +
+             RenderAttrs(fd_rhs);
+    case DependencyKind::kId:
+      return relation1 + RenderAttrs(attrs1) + " <= " + relation2 +
+             RenderAttrs(attrs2);
+  }
+  return "?";
+}
+
+bool Satisfies(const Instance& instance, const Dependency& dep) {
+  switch (dep.kind) {
+    case DependencyKind::kKey:
+      // A key is the FD X → Att(R).
+      return SatisfiesFd(instance, dep.relation1, dep.attrs1,
+                         instance.schema().AttributesOf(dep.relation1));
+    case DependencyKind::kFd:
+      return SatisfiesFd(instance, dep.relation1, dep.attrs1, dep.fd_rhs);
+    case DependencyKind::kForeignKey:
+      return SatisfiesFd(instance, dep.relation2, dep.attrs2,
+                         instance.schema().AttributesOf(dep.relation2)) &&
+             SatisfiesInclusion(instance, dep.relation1, dep.attrs1,
+                                dep.relation2, dep.attrs2);
+    case DependencyKind::kId:
+      return SatisfiesInclusion(instance, dep.relation1, dep.attrs1,
+                                dep.relation2, dep.attrs2);
+  }
+  return false;
+}
+
+bool SatisfiesAll(const Instance& instance,
+                  const std::vector<Dependency>& deps) {
+  for (const Dependency& dep : deps) {
+    if (!Satisfies(instance, dep)) return false;
+  }
+  return true;
+}
+
+}  // namespace relational
+}  // namespace xicc

@@ -1,0 +1,53 @@
+#ifndef XICC_RELATIONAL_DEPENDENCIES_H_
+#define XICC_RELATIONAL_DEPENDENCIES_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/schema.h"
+
+namespace xicc {
+namespace relational {
+
+/// Relational dependency forms used by the Section 3 proofs:
+///  - kKey:        R[l1..lk] → R        (key)
+///  - kForeignKey: R[X] ⊆ R'[Y], R'[Y] → R'
+///  - kFd:         R : X → Y            (functional dependency)
+///  - kId:         R[X] ⊆ R'[Y]         (inclusion dependency; Y not
+///                                        necessarily a key)
+enum class DependencyKind { kKey, kForeignKey, kFd, kId };
+
+struct Dependency {
+  DependencyKind kind;
+  std::string relation1;
+  std::vector<std::string> attrs1;  ///< X (keys: the key attributes).
+  /// FD: Y (right side). FK/ID: empty.
+  std::vector<std::string> fd_rhs;
+  /// FK/ID: target relation and attributes.
+  std::string relation2;
+  std::vector<std::string> attrs2;
+
+  static Dependency Key(std::string relation, std::vector<std::string> attrs);
+  static Dependency ForeignKey(std::string relation1,
+                               std::vector<std::string> attrs1,
+                               std::string relation2,
+                               std::vector<std::string> attrs2);
+  static Dependency Fd(std::string relation, std::vector<std::string> lhs,
+                       std::vector<std::string> rhs);
+  static Dependency Id(std::string relation1, std::vector<std::string> attrs1,
+                       std::string relation2, std::vector<std::string> attrs2);
+
+  std::string ToString() const;
+};
+
+/// I ⊨ dep, per the standard definitions quoted in Section 3.1.
+bool Satisfies(const Instance& instance, const Dependency& dep);
+
+/// I ⊨ Σ.
+bool SatisfiesAll(const Instance& instance,
+                  const std::vector<Dependency>& deps);
+
+}  // namespace relational
+}  // namespace xicc
+
+#endif  // XICC_RELATIONAL_DEPENDENCIES_H_

@@ -1,0 +1,438 @@
+#include "relational/reduction.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace xicc {
+namespace relational {
+
+namespace {
+
+/// Canonically ordered union of attribute lists (the proofs write XY, XYZ
+/// for unions; inclusion sides built from the same union align positionally).
+std::vector<std::string> UnionAttrs(
+    const std::vector<std::vector<std::string>>& lists) {
+  std::vector<std::string> out;
+  std::set<std::string> seen;
+  for (const auto& list : lists) {
+    for (const std::string& attr : list) {
+      if (seen.insert(attr).second) out.push_back(attr);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string FreshName(std::string base, const std::set<std::string>& taken) {
+  if (taken.count(base) == 0) return base;
+  for (int i = 1;; ++i) {
+    std::string candidate = base + "_" + std::to_string(i);
+    if (taken.count(candidate) == 0) return candidate;
+  }
+}
+
+}  // namespace
+
+Result<FdIdEncoding> EncodeFdIdImplication(
+    const Schema& schema, const std::vector<Dependency>& sigma_fd_id,
+    const Dependency& theta) {
+  if (theta.kind != DependencyKind::kFd) {
+    return Status::InvalidArgument("theta must be a functional dependency");
+  }
+  FdIdEncoding out;
+  out.schema = schema;
+  std::set<std::string> taken(schema.relations().begin(),
+                              schema.relations().end());
+
+  // Encodes one FD R : X → Y. Z = Att(R) serves as the designated key of R.
+  // Returns the key ℓ1 = Rnew[X] → Rnew; pushes ℓ2..ℓ4 into out.sigma.
+  auto encode_fd = [&](const Dependency& fd) -> Result<Dependency> {
+    if (!schema.HasRelation(fd.relation1)) {
+      return Status::InvalidArgument("FD over unknown relation '" +
+                                     fd.relation1 + "'");
+    }
+    const std::vector<std::string>& att_r =
+        schema.AttributesOf(fd.relation1);
+    std::vector<std::string> xy = UnionAttrs({fd.attrs1, fd.fd_rhs});
+    std::vector<std::string> xyz = UnionAttrs({xy, att_r});  // = Att(R).
+
+    std::string rnew = FreshName(fd.relation1 + "_new", taken);
+    taken.insert(rnew);
+    out.fresh_relations.push_back(rnew);
+    XICC_RETURN_IF_ERROR(out.schema.AddRelation(rnew, xyz));
+
+    // ℓ2 = R[XY] ⊆ Rnew[XY] with Rnew[XY] a key (ℓ4), hence a foreign key.
+    out.sigma.push_back(
+        Dependency::ForeignKey(fd.relation1, xy, rnew, xy));
+    // ℓ3 = Rnew[XYZ] ⊆ R[XYZ]; XYZ ⊇ Att(R) is a (super)key of R.
+    out.sigma.push_back(Dependency::ForeignKey(rnew, xyz, fd.relation1, xyz));
+    // ℓ4 = Rnew[XY] → Rnew.
+    out.sigma.push_back(Dependency::Key(rnew, xy));
+    // ℓ1 = Rnew[X] → Rnew.
+    return Dependency::Key(rnew, fd.attrs1);
+  };
+
+  for (const Dependency& dep : sigma_fd_id) {
+    switch (dep.kind) {
+      case DependencyKind::kKey:
+        // Keys are FDs X → Att(R); they are already in the target language.
+        out.sigma.push_back(dep);
+        break;
+      case DependencyKind::kForeignKey:
+        out.sigma.push_back(dep);
+        break;
+      case DependencyKind::kFd: {
+        XICC_ASSIGN_OR_RETURN(Dependency l1, encode_fd(dep));
+        out.sigma.push_back(std::move(l1));
+        break;
+      }
+      case DependencyKind::kId: {
+        // ID R1[X] ⊆ R2[Y]; Z = Att(R2).
+        if (!schema.HasRelation(dep.relation2)) {
+          return Status::InvalidArgument("ID over unknown relation '" +
+                                         dep.relation2 + "'");
+        }
+        std::vector<std::string> yz =
+            UnionAttrs({dep.attrs2, schema.AttributesOf(dep.relation2)});
+        std::string rnew = FreshName(dep.relation2 + "_new", taken);
+        taken.insert(rnew);
+        out.fresh_relations.push_back(rnew);
+        XICC_RETURN_IF_ERROR(out.schema.AddRelation(rnew, yz));
+        // ℓ1 = Rnew[Y] → Rnew.
+        out.sigma.push_back(Dependency::Key(rnew, dep.attrs2));
+        // ℓ2 = R1[X] ⊆ Rnew[Y]  (foreign key, by ℓ1).
+        out.sigma.push_back(
+            Dependency::ForeignKey(dep.relation1, dep.attrs1, rnew,
+                                   dep.attrs2));
+        // ℓ3 = Rnew[YZ] ⊆ R2[YZ]  (YZ ⊇ Att(R2) is a superkey of R2).
+        out.sigma.push_back(
+            Dependency::ForeignKey(rnew, yz, dep.relation2, yz));
+        break;
+      }
+    }
+  }
+
+  // The target FD θ gets the same four-constraint encoding; ℓ1 becomes the
+  // implied key and ℓ2..ℓ4 join Σ'.
+  XICC_ASSIGN_OR_RETURN(Dependency target, encode_fd(theta));
+  out.target_key = std::move(target);
+  return out;
+}
+
+Result<Instance> ExtendInstanceForFdIdEncoding(
+    const FdIdEncoding& encoding, const Schema& original_schema,
+    const std::vector<Dependency>& sigma_fd_id, const Dependency& theta,
+    const Instance& instance) {
+  Instance extended(&encoding.schema);
+  // Original relations carry over untouched.
+  for (const std::string& relation : original_schema.relations()) {
+    for (const Tuple& tuple : instance.RelationOf(relation)) {
+      XICC_RETURN_IF_ERROR(extended.Insert(relation, tuple));
+    }
+  }
+
+  // Replay the encoding's fresh-relation order: one per FD/ID in Σ, then θ.
+  size_t next_fresh = 0;
+  auto populate = [&](const std::string& source_relation,
+                      const std::vector<std::string>& group_attrs) -> Status {
+    if (next_fresh >= encoding.fresh_relations.size()) {
+      return Status::Internal("fresh relation ordering out of sync");
+    }
+    const std::string& fresh = encoding.fresh_relations[next_fresh++];
+    const std::vector<std::string>& fresh_attrs =
+        encoding.schema.AttributesOf(fresh);
+    std::set<std::vector<std::string>> groups_seen;
+    for (const Tuple& tuple : instance.RelationOf(source_relation)) {
+      std::vector<std::string> group;
+      group.reserve(group_attrs.size());
+      for (const std::string& attr : group_attrs) {
+        group.push_back(tuple.at(attr));
+      }
+      // One representative per key group: keeps the fresh relation's key
+      // while preserving the projection on the key attributes.
+      if (!groups_seen.insert(std::move(group)).second) continue;
+      Tuple projected;
+      for (const std::string& attr : fresh_attrs) {
+        projected[attr] = tuple.at(attr);
+      }
+      XICC_RETURN_IF_ERROR(extended.Insert(fresh, std::move(projected)));
+    }
+    return Status::Ok();
+  };
+
+  for (const Dependency& dep : sigma_fd_id) {
+    if (dep.kind == DependencyKind::kFd) {
+      XICC_RETURN_IF_ERROR(
+          populate(dep.relation1, UnionAttrs({dep.attrs1, dep.fd_rhs})));
+    } else if (dep.kind == DependencyKind::kId) {
+      XICC_RETURN_IF_ERROR(populate(dep.relation2, dep.attrs2));
+    }
+  }
+  XICC_RETURN_IF_ERROR(
+      populate(theta.relation1, UnionAttrs({theta.attrs1, theta.fd_rhs})));
+  return extended;
+}
+
+Result<XmlConsistencyEncoding> EncodeImplicationComplementAsConsistency(
+    const Schema& schema, const std::vector<Dependency>& theta,
+    const Dependency& phi) {
+  if (phi.kind != DependencyKind::kKey) {
+    return Status::InvalidArgument("phi must be a key");
+  }
+  if (!schema.HasRelation(phi.relation1)) {
+    return Status::InvalidArgument("phi over unknown relation '" +
+                                   phi.relation1 + "'");
+  }
+  // X and Y = Att(R) \ X.
+  const std::vector<std::string>& att_r = schema.AttributesOf(phi.relation1);
+  std::vector<std::string> x = phi.attrs1;
+  std::vector<std::string> y;
+  {
+    std::set<std::string> in_x(x.begin(), x.end());
+    for (const std::string& attr : att_r) {
+      if (in_x.count(attr) == 0) y.push_back(attr);
+    }
+  }
+  if (y.empty()) {
+    return Status::InvalidArgument(
+        "phi keys all attributes of '" + phi.relation1 +
+        "'; such a key is implied by every Σ (two tuples equal on all "
+        "attributes are equal), so ¬φ has no witness and the reduction is "
+        "undefined");
+  }
+
+  std::set<std::string> taken(schema.relations().begin(),
+                              schema.relations().end());
+  XmlConsistencyEncoding out;
+  std::string root = FreshName("r", taken);
+  taken.insert(root);
+  out.dy_type = FreshName("Dy", taken);
+  taken.insert(out.dy_type);
+  out.ex_type = FreshName("Ex", taken);
+  taken.insert(out.ex_type);
+
+  DtdBuilder builder;
+  std::vector<RegexPtr> root_children;
+  std::string t_phi;
+  for (const std::string& relation : schema.relations()) {
+    std::string tuple_type = FreshName("t_" + relation, taken);
+    taken.insert(tuple_type);
+    out.tuple_types.push_back(tuple_type);
+    if (relation == phi.relation1) t_phi = tuple_type;
+
+    builder.AddElement(relation, Regex::Star(Regex::Elem(tuple_type)));
+    builder.AddElement(tuple_type, Regex::Epsilon());
+    for (const std::string& attr : schema.AttributesOf(relation)) {
+      builder.AddAttribute(tuple_type, attr);
+    }
+    root_children.push_back(Regex::Elem(relation));
+  }
+  root_children.push_back(Regex::Elem(out.dy_type));
+  root_children.push_back(Regex::Elem(out.dy_type));
+  root_children.push_back(Regex::Elem(out.ex_type));
+  builder.AddElement(root, Regex::ConcatAll(std::move(root_children)));
+  builder.SetRoot(root);
+  builder.AddElement(out.dy_type, Regex::Epsilon());
+  builder.AddElement(out.ex_type, Regex::Epsilon());
+  for (const std::string& attr : UnionAttrs({x, y})) {
+    builder.AddAttribute(out.dy_type, attr);
+  }
+  for (const std::string& attr : x) {
+    builder.AddAttribute(out.ex_type, attr);
+  }
+  XICC_ASSIGN_OR_RETURN(out.dtd, builder.Build());
+
+  // Σ_Θ: Θ's keys and foreign keys transplanted onto the tuple types.
+  std::map<std::string, std::string> tuple_of;
+  for (size_t i = 0; i < schema.relations().size(); ++i) {
+    tuple_of[schema.relations()[i]] = out.tuple_types[i];
+  }
+  for (const Dependency& dep : theta) {
+    switch (dep.kind) {
+      case DependencyKind::kKey:
+        out.sigma.Add(
+            Constraint::Key(tuple_of.at(dep.relation1), dep.attrs1));
+        break;
+      case DependencyKind::kForeignKey:
+        out.sigma.Add(Constraint::ForeignKey(
+            tuple_of.at(dep.relation1), dep.attrs1,
+            tuple_of.at(dep.relation2), dep.attrs2));
+        break;
+      case DependencyKind::kFd:
+      case DependencyKind::kId:
+        return Status::InvalidArgument(
+            "theta must contain keys and foreign keys only; got " +
+            dep.ToString());
+    }
+  }
+
+  // Σ_φ: the ¬φ gadget.
+  std::vector<std::string> xy = UnionAttrs({x, y});
+  out.sigma.Add(Constraint::Key(out.dy_type, y));
+  out.sigma.Add(Constraint::Key(out.ex_type, x));
+  out.sigma.Add(Constraint::Inclusion(out.dy_type, x, out.ex_type, x));
+  out.sigma.Add(Constraint::Inclusion(out.dy_type, xy, t_phi, xy));
+  out.sigma.Add(Constraint::Key(t_phi, xy));
+  return out;
+}
+
+Result<XmlTree> BuildTreeFromInstance(const XmlConsistencyEncoding& encoding,
+                                      const Schema& schema,
+                                      const Instance& instance,
+                                      const Dependency& phi) {
+  XmlTree tree(encoding.dtd.root());
+  for (size_t i = 0; i < schema.relations().size(); ++i) {
+    const std::string& relation = schema.relations()[i];
+    const std::string& tuple_type = encoding.tuple_types[i];
+    NodeId relation_node = tree.AddElement(tree.root(), relation);
+    for (const Tuple& tuple : instance.RelationOf(relation)) {
+      NodeId node = tree.AddElement(relation_node, tuple_type);
+      for (const auto& [attr, value] : tuple) {
+        tree.SetAttribute(node, attr, value);
+      }
+    }
+  }
+
+  // Find the ¬φ witness pair p, p' with p[X] = p'[X] and p[Y] ≠ p'[Y].
+  const Relation& r_phi = instance.RelationOf(phi.relation1);
+  const Tuple* p = nullptr;
+  const Tuple* q = nullptr;
+  for (size_t i = 0; i < r_phi.size() && p == nullptr; ++i) {
+    for (size_t j = i + 1; j < r_phi.size(); ++j) {
+      bool same_x = true;
+      for (const std::string& attr : phi.attrs1) {
+        if (r_phi[i].at(attr) != r_phi[j].at(attr)) {
+          same_x = false;
+          break;
+        }
+      }
+      if (same_x && r_phi[i] != r_phi[j]) {
+        p = &r_phi[i];
+        q = &r_phi[j];
+        break;
+      }
+    }
+  }
+  if (p == nullptr) {
+    return Status::InvalidArgument(
+        "instance satisfies phi; no witness pair for the D_Y gadget");
+  }
+
+  NodeId d1 = tree.AddElement(tree.root(), encoding.dy_type);
+  NodeId d2 = tree.AddElement(tree.root(), encoding.dy_type);
+  for (const std::string& attr : encoding.dtd.AttributesOf(encoding.dy_type)) {
+    tree.SetAttribute(d1, attr, p->at(attr));
+    tree.SetAttribute(d2, attr, q->at(attr));
+  }
+  NodeId e = tree.AddElement(tree.root(), encoding.ex_type);
+  for (const std::string& attr : encoding.dtd.AttributesOf(encoding.ex_type)) {
+    tree.SetAttribute(e, attr, p->at(attr));
+  }
+  return tree;
+}
+
+Result<Instance> ExtractInstanceFromTree(
+    const XmlConsistencyEncoding& encoding, const Schema& schema,
+    const XmlTree& tree) {
+  Instance instance(&schema);
+  for (size_t i = 0; i < schema.relations().size(); ++i) {
+    const std::string& relation = schema.relations()[i];
+    for (NodeId node : tree.ExtOfType(encoding.tuple_types[i])) {
+      Tuple tuple;
+      for (const std::string& attr : schema.AttributesOf(relation)) {
+        auto value = tree.AttributeValue(node, attr);
+        if (!value.has_value()) {
+          return Status::InvalidArgument(
+              "tuple element missing attribute '" + attr + "'");
+        }
+        tuple[attr] = std::string(*value);
+      }
+      XICC_RETURN_IF_ERROR(instance.Insert(relation, std::move(tuple)));
+    }
+  }
+  return instance;
+}
+
+namespace {
+
+/// Shared construction for the two Lemma 3.3 variants: D' plus the gadget
+/// types/attribute.
+struct Gadget {
+  Dtd dtd;
+  std::string dy;
+  std::string ex;
+  std::string key_attr;
+};
+
+Result<Gadget> BuildImplicationGadget(const Dtd& dtd) {
+  std::set<std::string> taken(dtd.elements().begin(), dtd.elements().end());
+  Gadget g;
+  g.dy = FreshName("Dy", taken);
+  taken.insert(g.dy);
+  g.ex = FreshName("Ex", taken);
+  taken.insert(g.ex);
+
+  std::set<std::string> attr_names;
+  for (const auto& [element, attr] : dtd.AllAttributePairs()) {
+    attr_names.insert(attr);
+  }
+  g.key_attr = FreshName("K", attr_names);
+
+  DtdBuilder builder;
+  for (const std::string& element : dtd.elements()) {
+    RegexPtr content = dtd.ContentOf(element);
+    if (element == dtd.root()) {
+      content = Regex::Concat(
+          content, Regex::Concat(Regex::Elem(g.dy),
+                                 Regex::Concat(Regex::Elem(g.dy),
+                                               Regex::Elem(g.ex))));
+    }
+    builder.AddElement(element, content);
+    for (const std::string& attr : dtd.AttributesOf(element)) {
+      builder.AddAttribute(element, attr);
+    }
+  }
+  builder.AddElement(g.dy, Regex::Epsilon());
+  builder.AddElement(g.ex, Regex::Epsilon());
+  builder.AddAttribute(g.dy, g.key_attr);
+  builder.AddAttribute(g.ex, g.key_attr);
+  builder.SetRoot(dtd.root());
+  XICC_ASSIGN_OR_RETURN(g.dtd, builder.Build());
+  return g;
+}
+
+}  // namespace
+
+Result<ImplicationEncoding> EncodeConsistencyAsKeyImplication(
+    const Dtd& dtd, const ConstraintSet& sigma) {
+  XICC_ASSIGN_OR_RETURN(Gadget g, BuildImplicationGadget(dtd));
+  ImplicationEncoding out;
+  out.dtd = std::move(g.dtd);
+  out.sigma = sigma;
+  // ℓ = E_X.K → E_X and φ2 = D_Y.K ⊆ E_X.K join Σ; φ1 = D_Y.K → D_Y is
+  // implied iff Σ is inconsistent over D.
+  out.sigma.Add(Constraint::Key(g.ex, {g.key_attr}));
+  out.sigma.Add(Constraint::Inclusion(g.dy, {g.key_attr}, g.ex,
+                                      {g.key_attr}));
+  out.implied = Constraint::Key(g.dy, {g.key_attr});
+  return out;
+}
+
+Result<ImplicationEncoding> EncodeConsistencyAsInclusionImplication(
+    const Dtd& dtd, const ConstraintSet& sigma) {
+  XICC_ASSIGN_OR_RETURN(Gadget g, BuildImplicationGadget(dtd));
+  ImplicationEncoding out;
+  out.dtd = std::move(g.dtd);
+  out.sigma = sigma;
+  // ℓ = E_X.K → E_X and φ1 = D_Y.K → D_Y join Σ; φ2 = D_Y.K ⊆ E_X.K is
+  // implied iff Σ is inconsistent over D.
+  out.sigma.Add(Constraint::Key(g.ex, {g.key_attr}));
+  out.sigma.Add(Constraint::Key(g.dy, {g.key_attr}));
+  out.implied =
+      Constraint::Inclusion(g.dy, {g.key_attr}, g.ex, {g.key_attr});
+  return out;
+}
+
+}  // namespace relational
+}  // namespace xicc

@@ -1,0 +1,105 @@
+#ifndef XICC_RELATIONAL_REDUCTION_H_
+#define XICC_RELATIONAL_REDUCTION_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "constraints/constraint.h"
+#include "dtd/dtd.h"
+#include "relational/dependencies.h"
+#include "relational/schema.h"
+#include "xml/tree.h"
+
+namespace xicc {
+namespace relational {
+
+/// Executable forms of the Section 3 reductions. These are the PTIME
+/// constructions whose correctness proves the undecidability results
+/// (Theorem 3.1, Lemma 3.2, Lemma 3.3, Corollary 3.4). They cannot decide
+/// the undecidable problems — nothing can — but they are runnable, and the
+/// equivalences claimed in the proofs are machine-checked in the test suite
+/// via the accompanying witness converters.
+
+/// Output of the Lemma 3.2 encoding: FD-by-FD+ID implication reduced to
+/// key-by-key+FK implication over an extended schema.
+struct FdIdEncoding {
+  Schema schema;                      ///< R' = R plus the fresh relations.
+  std::vector<Dependency> sigma;      ///< Σ' — keys and foreign keys.
+  Dependency target_key;              ///< φ': Σ ⊢ θ iff Σ' ⊢ φ'.
+  std::vector<std::string> fresh_relations;
+};
+
+/// Lemma 3.2: encodes (R, Σ of FDs/IDs, FD θ) such that Σ ⊢ θ over R iff
+/// sigma ⊢ target_key over schema. θ must be an FD, each dependency in
+/// `sigma_fd_id` an FD or ID over `schema`.
+Result<FdIdEncoding> EncodeFdIdImplication(
+    const Schema& schema, const std::vector<Dependency>& sigma_fd_id,
+    const Dependency& theta);
+
+/// The constructive direction (1) of the Lemma 3.2 proof: extends an
+/// instance I of the original schema to an instance I' of encoding.schema by
+/// populating each fresh relation R_new with the key-respecting projection
+/// the proof describes (a subset of π_XYZ(I) with π_XY preserved and the
+/// key X Y enforced by keeping the first tuple per XY-group; for ID-derived
+/// relations, π_YZ with key Y). If I ⊨ Σ ∧ ¬θ then I' ⊨ Σ' ∧ ¬φ' — the
+/// test suite machine-checks this on concrete instances.
+Result<Instance> ExtendInstanceForFdIdEncoding(
+    const FdIdEncoding& encoding, const Schema& original_schema,
+    const std::vector<Dependency>& sigma_fd_id, const Dependency& theta,
+    const Instance& instance);
+
+/// Output of the Theorem 3.1 reduction: the complement of relational
+/// key-by-keys+FKs implication as an XML consistency instance.
+struct XmlConsistencyEncoding {
+  Dtd dtd;
+  ConstraintSet sigma;  ///< C_{K,FK} constraints (multi-attribute).
+  /// Element type names chosen for the proof gadget (fresh w.r.t. the
+  /// relation names): the two-copy D_Y type, the singleton E_X type, and the
+  /// per-relation tuple types t_i.
+  std::string dy_type;
+  std::string ex_type;
+  std::vector<std::string> tuple_types;  ///< Parallel to schema.relations().
+};
+
+/// Theorem 3.1: encodes (R, Θ of keys/FKs, key φ = R[X] → R) as (D, Σ) with:
+/// Θ ∧ ¬φ satisfiable over R  ⇔  some T ⊨ D with T ⊨ Σ.
+Result<XmlConsistencyEncoding> EncodeImplicationComplementAsConsistency(
+    const Schema& schema, const std::vector<Dependency>& theta,
+    const Dependency& phi);
+
+/// The constructive halves of the Theorem 3.1 proof, used to machine-check
+/// the equivalence on concrete instances:
+/// builds the tree of Figure 2 from an instance I ⊨ Θ ∧ ¬φ...
+Result<XmlTree> BuildTreeFromInstance(const XmlConsistencyEncoding& encoding,
+                                      const Schema& schema,
+                                      const Instance& instance,
+                                      const Dependency& phi);
+/// ...and extracts the instance I from a tree T ⊨ D ∧ Σ.
+Result<Instance> ExtractInstanceFromTree(
+    const XmlConsistencyEncoding& encoding, const Schema& schema,
+    const XmlTree& tree);
+
+/// Output of the Lemma 3.3 reduction: XML consistency reduced to the
+/// complement of implication.
+struct ImplicationEncoding {
+  Dtd dtd;                ///< D' — D with two D_Y children and one E_X child
+                          ///  appended to the root's content model.
+  ConstraintSet sigma;    ///< Σ ∪ {ℓ} (+ φ2 or φ1 depending on variant).
+  Constraint implied;     ///< The constraint whose implication is tested.
+};
+
+/// Lemma 3.3(1): Σ consistent over D iff NOT (D', Σ ∪ {ℓ, φ2} ⊢ φ1), where
+/// φ1 = D_Y.K → D_Y (a unary key).
+Result<ImplicationEncoding> EncodeConsistencyAsKeyImplication(
+    const Dtd& dtd, const ConstraintSet& sigma);
+
+/// Lemma 3.3(2): Σ consistent over D iff NOT (D', Σ ∪ {ℓ, φ1} ⊢ φ2), where
+/// φ2 = D_Y.K ⊆ E_X.K (a unary inclusion constraint).
+Result<ImplicationEncoding> EncodeConsistencyAsInclusionImplication(
+    const Dtd& dtd, const ConstraintSet& sigma);
+
+}  // namespace relational
+}  // namespace xicc
+
+#endif  // XICC_RELATIONAL_REDUCTION_H_

@@ -1,0 +1,66 @@
+#include "relational/schema.h"
+
+#include <set>
+
+namespace xicc {
+namespace relational {
+
+Status Schema::AddRelation(const std::string& name,
+                           std::vector<std::string> attrs) {
+  if (attrs_.count(name) > 0) {
+    return Status::InvalidArgument("relation '" + name +
+                                   "' declared twice");
+  }
+  if (attrs.empty()) {
+    return Status::InvalidArgument("relation '" + name +
+                                   "' has no attributes");
+  }
+  std::set<std::string> seen;
+  for (const std::string& attr : attrs) {
+    if (!seen.insert(attr).second) {
+      return Status::InvalidArgument("relation '" + name +
+                                     "' repeats attribute '" + attr + "'");
+    }
+  }
+  order_.push_back(name);
+  attrs_.emplace(name, std::move(attrs));
+  return Status::Ok();
+}
+
+bool Schema::HasAttribute(const std::string& relation,
+                          const std::string& attr) const {
+  auto it = attrs_.find(relation);
+  if (it == attrs_.end()) return false;
+  for (const std::string& a : it->second) {
+    if (a == attr) return true;
+  }
+  return false;
+}
+
+Status Instance::Insert(const std::string& relation, Tuple tuple) {
+  if (!schema_->HasRelation(relation)) {
+    return Status::InvalidArgument("unknown relation '" + relation + "'");
+  }
+  const auto& attrs = schema_->AttributesOf(relation);
+  if (tuple.size() != attrs.size()) {
+    return Status::InvalidArgument("tuple arity mismatch for '" + relation +
+                                   "'");
+  }
+  for (const std::string& attr : attrs) {
+    if (tuple.find(attr) == tuple.end()) {
+      return Status::InvalidArgument("tuple for '" + relation +
+                                     "' missing attribute '" + attr + "'");
+    }
+  }
+  data_[relation].push_back(std::move(tuple));
+  return Status::Ok();
+}
+
+const Relation& Instance::RelationOf(const std::string& name) const {
+  static const Relation kEmpty;
+  auto it = data_.find(name);
+  return it == data_.end() ? kEmpty : it->second;
+}
+
+}  // namespace relational
+}  // namespace xicc

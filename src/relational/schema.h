@@ -1,0 +1,65 @@
+#ifndef XICC_RELATIONAL_SCHEMA_H_
+#define XICC_RELATIONAL_SCHEMA_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+
+namespace xicc {
+namespace relational {
+
+/// A relational schema R = (R1, ..., Rn): relation names with attribute
+/// lists. Substrate for the Section 3 reductions, which translate relational
+/// dependency problems into XML consistency problems.
+class Schema {
+ public:
+  /// Declares relation `name` with attribute list `attrs` (distinct,
+  /// nonempty).
+  Status AddRelation(const std::string& name,
+                     std::vector<std::string> attrs);
+
+  bool HasRelation(const std::string& name) const {
+    return attrs_.count(name) > 0;
+  }
+  const std::vector<std::string>& AttributesOf(const std::string& name) const {
+    return attrs_.at(name);
+  }
+  bool HasAttribute(const std::string& relation,
+                    const std::string& attr) const;
+  const std::vector<std::string>& relations() const { return order_; }
+
+ private:
+  std::vector<std::string> order_;
+  std::map<std::string, std::vector<std::string>> attrs_;
+};
+
+/// A tuple: attribute name → string value.
+using Tuple = std::map<std::string, std::string>;
+
+/// A finite instance of one relation.
+using Relation = std::vector<Tuple>;
+
+/// A finite database instance I of a Schema.
+class Instance {
+ public:
+  explicit Instance(const Schema* schema) : schema_(schema) {}
+
+  const Schema& schema() const { return *schema_; }
+
+  /// Appends `tuple` to `relation`; the tuple must bind exactly the
+  /// relation's attributes.
+  Status Insert(const std::string& relation, Tuple tuple);
+
+  const Relation& RelationOf(const std::string& name) const;
+
+ private:
+  const Schema* schema_;
+  std::map<std::string, Relation> data_;
+};
+
+}  // namespace relational
+}  // namespace xicc
+
+#endif  // XICC_RELATIONAL_SCHEMA_H_

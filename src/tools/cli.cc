@@ -1,0 +1,534 @@
+#include "tools/cli.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "constraints/constraint_parser.h"
+#include "constraints/id_idref.h"
+#include "core/cardinality_encoding.h"
+#include "core/closure.h"
+#include "core/incremental.h"
+#include "core/spec.h"
+#include "core/streaming_validator.h"
+#include "dtd/dtd_parser.h"
+#include "dtd/simplify.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace xicc {
+namespace tools {
+
+namespace {
+
+constexpr int kOk = 0;
+constexpr int kNegative = 1;
+constexpr int kError = 2;
+
+constexpr const char* kUsage = R"(usage: xicc <command> ...
+
+  check    <dtd> <constraints> [--witness FILE] [--min-nodes N] [--big-m]
+           Is the specification consistent? (exit 0 yes / 1 no)
+  implies  <dtd> <constraints> <phi> [--counterexample FILE]
+           Does the specification imply the constraint <phi>?
+  validate <dtd> <constraints> <document.xml> [--stream]
+           Check a concrete document against DTD and constraints
+           (--stream: single pass, no tree materialized).
+  witness  <dtd> <constraints> [--min-nodes N]
+           Print an example document satisfying the specification.
+  classify <dtd> <constraints>
+           Report the Figure-5 constraint class and decidability.
+  simplify <dtd>
+           Print the Section 4.1 simplified DTD.
+  encode   <dtd> <constraints>
+           Print the Ψ(D,Σ) cardinality system (Theorem 4.1).
+  closure  <dtd> <constraints> [--no-inclusions]
+           List implied-but-unstated unary keys/inclusions and redundant
+           constraints.
+  equiv    <dtd> <constraints1> <constraints2>
+           Are two constraint sets equivalent over the DTD? (exit 0/1)
+  idrefs   <dtd>
+           Translate ID/IDREF attribute declarations into constraints.
+
+Constraint syntax (one per line):
+  key teacher(name)
+  fk subject(taught_by) => teacher(name)
+  inclusion a(x) <= b(y)
+  !key a(x)          !inclusion a(x) <= b(y)
+)";
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::InvalidArgument("cannot open '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+Status WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::InvalidArgument("cannot write '" + path + "'");
+  }
+  out << content;
+  return Status::Ok();
+}
+
+/// Positional / flag splitter: flags may carry one value.
+struct ParsedArgs {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> flags;  // --name -> value ("" if bare).
+};
+
+Result<ParsedArgs> ParseArgs(const std::vector<std::string>& args,
+                             size_t from,
+                             const std::map<std::string, bool>& known_flags) {
+  ParsedArgs out;
+  for (size_t i = from; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg.rfind("--", 0) != 0) {
+      out.positional.push_back(arg);
+      continue;
+    }
+    auto it = known_flags.find(arg);
+    if (it == known_flags.end()) {
+      return Status::InvalidArgument("unknown flag '" + arg + "'");
+    }
+    if (it->second) {  // Takes a value.
+      if (i + 1 >= args.size()) {
+        return Status::InvalidArgument("flag '" + arg + "' needs a value");
+      }
+      out.flags[arg] = args[++i];
+    } else {
+      out.flags[arg] = "";
+    }
+  }
+  return out;
+}
+
+Result<XmlSpec> LoadSpec(const std::string& dtd_path,
+                         const std::string& constraints_path) {
+  XICC_ASSIGN_OR_RETURN(std::string dtd_text, ReadFile(dtd_path));
+  XICC_ASSIGN_OR_RETURN(std::string sigma_text, ReadFile(constraints_path));
+  return XmlSpec::Parse(dtd_text, sigma_text);
+}
+
+Result<ConsistencyOptions> OptionsFromFlags(const ParsedArgs& parsed) {
+  ConsistencyOptions options;
+  if (parsed.flags.count("--big-m")) {
+    options.strategy = SolveStrategy::kBigM;
+  }
+  auto it = parsed.flags.find("--min-nodes");
+  if (it != parsed.flags.end()) {
+    char* end = nullptr;
+    long n = std::strtol(it->second.c_str(), &end, 10);
+    if (end == it->second.c_str() || *end != '\0' || n < 0) {
+      return Status::InvalidArgument("--min-nodes needs a nonnegative integer");
+    }
+    options.min_witness_nodes = static_cast<size_t>(n);
+  }
+  return options;
+}
+
+int CmdCheck(const std::vector<std::string>& args, std::ostream& out,
+             std::ostream& err) {
+  auto parsed = ParseArgs(args, 1,
+                          {{"--witness", true},
+                           {"--min-nodes", true},
+                           {"--big-m", false}});
+  if (!parsed.ok() || parsed->positional.size() != 2) {
+    err << (parsed.ok() ? std::string("check needs <dtd> <constraints>")
+                        : parsed.status().message())
+        << "\n";
+    return kError;
+  }
+  auto spec = LoadSpec(parsed->positional[0], parsed->positional[1]);
+  if (!spec.ok()) {
+    err << spec.status() << "\n";
+    return kError;
+  }
+  auto options = OptionsFromFlags(*parsed);
+  if (!options.ok()) {
+    err << options.status() << "\n";
+    return kError;
+  }
+  auto result = spec->CheckConsistent(*options);
+  if (!result.ok()) {
+    err << result.status() << "\n";
+    return kError;
+  }
+  out << "class:      " << ConstraintClassName(result->constraint_class)
+      << "\n";
+  out << "method:     " << result->method << "\n";
+  out << "consistent: " << (result->consistent ? "yes" : "no") << "\n";
+  if (!result->explanation.empty()) {
+    out << "why:        " << result->explanation << "\n";
+  }
+  auto witness_flag = parsed->flags.find("--witness");
+  if (witness_flag != parsed->flags.end() && result->witness.has_value()) {
+    Status written =
+        WriteFile(witness_flag->second, SerializeXml(*result->witness));
+    if (!written.ok()) {
+      err << written << "\n";
+      return kError;
+    }
+    out << "witness:    " << witness_flag->second << " ("
+        << result->witness->size() << " nodes)\n";
+  }
+  return result->consistent ? kOk : kNegative;
+}
+
+int CmdImplies(const std::vector<std::string>& args, std::ostream& out,
+               std::ostream& err) {
+  auto parsed = ParseArgs(args, 1, {{"--counterexample", true}});
+  if (!parsed.ok() || parsed->positional.size() != 3) {
+    err << (parsed.ok()
+                ? std::string("implies needs <dtd> <constraints> <phi>")
+                : parsed.status().message())
+        << "\n";
+    return kError;
+  }
+  auto spec = LoadSpec(parsed->positional[0], parsed->positional[1]);
+  if (!spec.ok()) {
+    err << spec.status() << "\n";
+    return kError;
+  }
+  auto result = spec->Implies(parsed->positional[2]);
+  if (!result.ok()) {
+    err << result.status() << "\n";
+    return kError;
+  }
+  out << "method:  " << result->method << "\n";
+  out << "implied: " << (result->implied ? "yes" : "no") << "\n";
+  if (!result->explanation.empty()) {
+    out << "why:     " << result->explanation << "\n";
+  }
+  auto flag = parsed->flags.find("--counterexample");
+  if (flag != parsed->flags.end() && result->counterexample.has_value()) {
+    Status written =
+        WriteFile(flag->second, SerializeXml(*result->counterexample));
+    if (!written.ok()) {
+      err << written << "\n";
+      return kError;
+    }
+    out << "counterexample: " << flag->second << "\n";
+  }
+  return result->implied ? kOk : kNegative;
+}
+
+int CmdValidate(const std::vector<std::string>& args, std::ostream& out,
+                std::ostream& err) {
+  auto parsed = ParseArgs(args, 1, {{"--stream", false}});
+  if (!parsed.ok() || parsed->positional.size() != 3) {
+    err << (parsed.ok()
+                ? std::string("validate needs <dtd> <constraints> "
+                              "<document.xml> [--stream]")
+                : parsed.status().message())
+        << "\n";
+    return kError;
+  }
+  auto spec = LoadSpec(parsed->positional[0], parsed->positional[1]);
+  if (!spec.ok()) {
+    err << spec.status() << "\n";
+    return kError;
+  }
+  auto text = ReadFile(parsed->positional[2]);
+  if (!text.ok()) {
+    err << text.status() << "\n";
+    return kError;
+  }
+  if (parsed->flags.count("--stream")) {
+    auto summary = ValidateStream(*text, spec->dtd, spec->constraints);
+    if (!summary.ok()) {
+      err << summary.status() << "\n";
+      return kError;
+    }
+    out << summary->ToString() << "\n";
+    out << "(streamed " << summary->elements_seen << " elements)\n";
+    return summary->conforms ? kOk : kNegative;
+  }
+  auto tree = ParseXml(*text);
+  if (!tree.ok()) {
+    err << tree.status() << "\n";
+    return kError;
+  }
+  auto report = spec->CheckDocument(*tree);
+  out << report.details << "\n";
+  return report.conforms ? kOk : kNegative;
+}
+
+int CmdWitness(const std::vector<std::string>& args, std::ostream& out,
+               std::ostream& err) {
+  auto parsed = ParseArgs(args, 1, {{"--min-nodes", true}});
+  if (!parsed.ok() || parsed->positional.size() != 2) {
+    err << (parsed.ok() ? std::string("witness needs <dtd> <constraints>")
+                        : parsed.status().message())
+        << "\n";
+    return kError;
+  }
+  auto spec = LoadSpec(parsed->positional[0], parsed->positional[1]);
+  if (!spec.ok()) {
+    err << spec.status() << "\n";
+    return kError;
+  }
+  auto options = OptionsFromFlags(*parsed);
+  if (!options.ok()) {
+    err << options.status() << "\n";
+    return kError;
+  }
+  auto result = spec->CheckConsistent(*options);
+  if (!result.ok()) {
+    err << result.status() << "\n";
+    return kError;
+  }
+  if (!result->consistent) {
+    err << "inconsistent: " << result->explanation << "\n";
+    return kNegative;
+  }
+  if (!result->witness.has_value()) {
+    err << "consistent, but the witness could not be materialized: "
+        << result->explanation << "\n";
+    return kError;
+  }
+  out << SerializeXml(*result->witness);
+  return kOk;
+}
+
+int CmdClassify(const std::vector<std::string>& args, std::ostream& out,
+                std::ostream& err) {
+  if (args.size() != 3) {
+    err << "classify needs <dtd> <constraints>\n";
+    return kError;
+  }
+  auto spec = LoadSpec(args[1], args[2]);
+  if (!spec.ok()) {
+    err << spec.status() << "\n";
+    return kError;
+  }
+  ConstraintClass klass = spec->constraints.Classify();
+  out << "class:   " << ConstraintClassName(klass) << "\n";
+  out << "primary: "
+      << (spec->constraints.SatisfiesPrimaryKeyRestriction() ? "yes" : "no")
+      << "\n";
+  switch (klass) {
+    case ConstraintClass::kEmpty:
+    case ConstraintClass::kKeysOnly:
+      out << "consistency: decidable in linear time (Theorem 3.5)\n";
+      break;
+    case ConstraintClass::kUnaryKeyFk:
+    case ConstraintClass::kUnaryWithNegKey:
+      out << "consistency: NP-complete (Theorem 4.7 / Corollary 4.9)\n";
+      break;
+    case ConstraintClass::kUnaryWithNegIc:
+      out << "consistency: NP-complete (Theorem 5.1)\n";
+      break;
+    case ConstraintClass::kMultiAttribute:
+      out << "consistency: undecidable (Theorem 3.1); dynamic document\n"
+             "validation remains available\n";
+      break;
+  }
+  return kOk;
+}
+
+int CmdSimplify(const std::vector<std::string>& args, std::ostream& out,
+                std::ostream& err) {
+  if (args.size() != 2) {
+    err << "simplify needs <dtd>\n";
+    return kError;
+  }
+  auto text = ReadFile(args[1]);
+  if (!text.ok()) {
+    err << text.status() << "\n";
+    return kError;
+  }
+  auto dtd = ParseDtd(*text);
+  if (!dtd.ok()) {
+    err << dtd.status() << "\n";
+    return kError;
+  }
+  auto simplified = SimplifyDtd(*dtd);
+  if (!simplified.ok()) {
+    err << simplified.status() << "\n";
+    return kError;
+  }
+  out << simplified->dtd.ToString();
+  out << "<!-- synthetic element types: " << simplified->synthetic.size()
+      << " -->\n";
+  return kOk;
+}
+
+int CmdEncode(const std::vector<std::string>& args, std::ostream& out,
+              std::ostream& err) {
+  if (args.size() != 3) {
+    err << "encode needs <dtd> <constraints>\n";
+    return kError;
+  }
+  auto spec = LoadSpec(args[1], args[2]);
+  if (!spec.ok()) {
+    err << spec.status() << "\n";
+    return kError;
+  }
+  auto enc =
+      BuildCardinalityEncoding(spec->dtd, spec->constraints.Normalize());
+  if (!enc.ok()) {
+    err << enc.status() << "\n";
+    return kError;
+  }
+  out << "# Ψ(D,Σ): " << enc->system.NumVariables() << " variables, "
+      << enc->system.NumConstraints() << " rows, "
+      << enc->conditionals.size() << " conditionals\n";
+  out << enc->system.ToString() << "\n";
+  for (const Conditional& cond : enc->conditionals) {
+    // Conditionals have single-variable sides in Ψ(D,Σ).
+    out << "# conditional: premise>0 -> conclusion>0 over vars";
+    for (const auto& [var, coeff] : cond.premise.terms()) {
+      out << " " << enc->system.VarName(var);
+    }
+    out << " ->";
+    for (const auto& [var, coeff] : cond.conclusion.terms()) {
+      out << " " << enc->system.VarName(var);
+    }
+    out << "\n";
+  }
+  return kOk;
+}
+
+int CmdClosure(const std::vector<std::string>& args, std::ostream& out,
+               std::ostream& err) {
+  auto parsed = ParseArgs(args, 1, {{"--no-inclusions", false}});
+  if (!parsed.ok() || parsed->positional.size() != 2) {
+    err << (parsed.ok() ? std::string("closure needs <dtd> <constraints>")
+                        : parsed.status().message())
+        << "\n";
+    return kError;
+  }
+  auto spec = LoadSpec(parsed->positional[0], parsed->positional[1]);
+  if (!spec.ok()) {
+    err << spec.status() << "\n";
+    return kError;
+  }
+  ClosureOptions options;
+  options.include_inclusions = parsed->flags.count("--no-inclusions") == 0;
+  auto closure = ComputeUnaryClosure(spec->dtd, spec->constraints, options);
+  if (!closure.ok()) {
+    err << closure.status() << "\n";
+    return kError;
+  }
+  out << "implied keys (" << closure->implied_keys.size() << "):\n";
+  for (const Constraint& c : closure->implied_keys) {
+    out << "  " << c.ToString() << "\n";
+  }
+  out << "implied inclusions (" << closure->implied_inclusions.size()
+      << "):\n";
+  for (const Constraint& c : closure->implied_inclusions) {
+    out << "  " << c.ToString() << "\n";
+  }
+  auto redundant = FindRedundantConstraints(spec->dtd, spec->constraints);
+  if (!redundant.ok()) {
+    err << redundant.status() << "\n";
+    return kError;
+  }
+  out << "redundant constraints (" << redundant->size() << "):\n";
+  for (const Constraint& c : *redundant) {
+    out << "  " << c.ToString() << "\n";
+  }
+  return kOk;
+}
+
+int CmdEquiv(const std::vector<std::string>& args, std::ostream& out,
+             std::ostream& err) {
+  if (args.size() != 4) {
+    err << "equiv needs <dtd> <constraints1> <constraints2>\n";
+    return kError;
+  }
+  auto spec1 = LoadSpec(args[1], args[2]);
+  if (!spec1.ok()) {
+    err << spec1.status() << "\n";
+    return kError;
+  }
+  auto sigma2_text = ReadFile(args[3]);
+  if (!sigma2_text.ok()) {
+    err << sigma2_text.status() << "\n";
+    return kError;
+  }
+  auto sigma2 = ParseConstraints(*sigma2_text);
+  if (!sigma2.ok()) {
+    err << sigma2.status() << "\n";
+    return kError;
+  }
+  Status against = sigma2->CheckAgainst(spec1->dtd);
+  if (!against.ok()) {
+    err << against << "\n";
+    return kError;
+  }
+  auto result = CheckEquivalence(spec1->dtd, spec1->constraints, *sigma2);
+  if (!result.ok()) {
+    err << result.status() << "\n";
+    return kError;
+  }
+  out << "equivalent: " << (result->equivalent ? "yes" : "no") << "\n";
+  if (!result->equivalent) {
+    out << "separated by: " << result->separating_constraint << "\n";
+  }
+  return result->equivalent ? kOk : kNegative;
+}
+
+int CmdIdrefs(const std::vector<std::string>& args, std::ostream& out,
+              std::ostream& err) {
+  if (args.size() != 2) {
+    err << "idrefs needs <dtd>\n";
+    return kError;
+  }
+  auto text = ReadFile(args[1]);
+  if (!text.ok()) {
+    err << text.status() << "\n";
+    return kError;
+  }
+  auto dtd = ParseDtd(*text);
+  if (!dtd.ok()) {
+    err << dtd.status() << "\n";
+    return kError;
+  }
+  auto translation = DeriveIdConstraints(*dtd);
+  if (!translation.ok()) {
+    err << translation.status() << "\n";
+    return kError;
+  }
+  out << translation->constraints.ToString() << "\n";
+  for (const std::string& note : translation->notes) {
+    out << "# note: " << note << "\n";
+  }
+  return kOk;
+}
+
+}  // namespace
+
+int RunCli(const std::vector<std::string>& args, std::ostream& out,
+           std::ostream& err) {
+  if (args.empty()) {
+    err << kUsage;
+    return kError;
+  }
+  const std::string& command = args[0];
+  if (command == "check") return CmdCheck(args, out, err);
+  if (command == "implies") return CmdImplies(args, out, err);
+  if (command == "validate") return CmdValidate(args, out, err);
+  if (command == "witness") return CmdWitness(args, out, err);
+  if (command == "classify") return CmdClassify(args, out, err);
+  if (command == "simplify") return CmdSimplify(args, out, err);
+  if (command == "encode") return CmdEncode(args, out, err);
+  if (command == "closure") return CmdClosure(args, out, err);
+  if (command == "equiv") return CmdEquiv(args, out, err);
+  if (command == "idrefs") return CmdIdrefs(args, out, err);
+  if (command == "help" || command == "--help" || command == "-h") {
+    out << kUsage;
+    return kOk;
+  }
+  err << "unknown command '" << command << "'\n" << kUsage;
+  return kError;
+}
+
+}  // namespace tools
+}  // namespace xicc

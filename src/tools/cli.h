@@ -1,0 +1,33 @@
+#ifndef XICC_TOOLS_CLI_H_
+#define XICC_TOOLS_CLI_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace xicc {
+namespace tools {
+
+/// The `xicc` command-line interface, exposed as a function so the test
+/// suite can drive it. `args` excludes argv[0]. Returns the process exit
+/// code: 0 success / "yes", 1 negative verdict ("inconsistent", "not
+/// implied", "document rejected"), 2 usage or input error.
+///
+/// Subcommands:
+///   check    <dtd> <constraints> [--witness FILE] [--min-nodes N] [--big-m]
+///   implies  <dtd> <constraints> <phi> [--counterexample FILE]
+///   validate <dtd> <constraints> <document.xml>
+///   witness  <dtd> <constraints> [--min-nodes N]      (print to stdout)
+///   classify <dtd> <constraints>
+///   simplify <dtd>
+///   encode   <dtd> <constraints>
+///   closure  <dtd> <constraints> [--no-inclusions]
+///   idrefs   <dtd>
+/// File arguments use the dtd_parser.h / constraint_parser.h syntaxes.
+int RunCli(const std::vector<std::string>& args, std::ostream& out,
+           std::ostream& err);
+
+}  // namespace tools
+}  // namespace xicc
+
+#endif  // XICC_TOOLS_CLI_H_

@@ -1,0 +1,13 @@
+// The xicc command-line tool; all logic lives in tools/cli.h so the test
+// suite can drive it.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tools/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return xicc::tools::RunCli(args, std::cout, std::cerr);
+}

@@ -1,0 +1,90 @@
+#include "workloads/paper_examples.h"
+
+#include <cassert>
+
+namespace xicc {
+namespace workloads {
+
+namespace {
+
+/// All example DTDs are well-formed by construction.
+Dtd MustBuild(const DtdBuilder& builder) {
+  Result<Dtd> dtd = builder.Build();
+  assert(dtd.ok());
+  return std::move(dtd).value();
+}
+
+}  // namespace
+
+Dtd TeacherDtd() {
+  DtdBuilder builder;
+  builder.SetRoot("teachers");
+  // <!ELEMENT teachers (teacher+)>, written as (teacher, teacher*) as in
+  // the paper's formalization P1(teachers) = teacher, teacher*.
+  builder.AddElement(
+      "teachers",
+      Regex::Concat(Regex::Elem("teacher"), Regex::Star(Regex::Elem("teacher"))));
+  builder.AddElement("teacher", Regex::Concat(Regex::Elem("teach"),
+                                              Regex::Elem("research")));
+  builder.AddElement("teach", Regex::Concat(Regex::Elem("subject"),
+                                            Regex::Elem("subject")));
+  builder.AddElement("subject", Regex::Str());
+  builder.AddElement("research", Regex::Str());
+  builder.AddAttribute("teacher", "name");
+  builder.AddAttribute("subject", "taught_by");
+  return MustBuild(builder);
+}
+
+ConstraintSet TeacherSigma() {
+  ConstraintSet sigma;
+  sigma.Add(Constraint::Key("teacher", {"name"}));
+  sigma.Add(Constraint::Key("subject", {"taught_by"}));
+  sigma.Add(Constraint::ForeignKey("subject", {"taught_by"}, "teacher",
+                                   {"name"}));
+  return sigma;
+}
+
+Dtd InfiniteDtd() {
+  DtdBuilder builder;
+  builder.SetRoot("db");
+  builder.AddElement("db", Regex::Elem("foo"));
+  builder.AddElement("foo", Regex::Elem("foo"));
+  return MustBuild(builder);
+}
+
+Dtd SchoolDtd() {
+  DtdBuilder builder;
+  builder.SetRoot("school");
+  builder.AddElement(
+      "school",
+      Regex::ConcatAll({Regex::Star(Regex::Elem("course")),
+                        Regex::Star(Regex::Elem("student")),
+                        Regex::Star(Regex::Elem("enroll"))}));
+  builder.AddElement("course", Regex::Elem("subject"));
+  builder.AddElement("student", Regex::Elem("name"));
+  builder.AddElement("enroll", Regex::Epsilon());
+  builder.AddElement("name", Regex::Str());
+  builder.AddElement("subject", Regex::Str());
+  builder.AddAttribute("course", "dept");
+  builder.AddAttribute("course", "course_no");
+  builder.AddAttribute("student", "student_id");
+  builder.AddAttribute("enroll", "student_id");
+  builder.AddAttribute("enroll", "dept");
+  builder.AddAttribute("enroll", "course_no");
+  return MustBuild(builder);
+}
+
+ConstraintSet SchoolSigma() {
+  ConstraintSet sigma;
+  sigma.Add(Constraint::Key("student", {"student_id"}));
+  sigma.Add(Constraint::Key("course", {"dept", "course_no"}));
+  sigma.Add(Constraint::Key("enroll", {"student_id", "dept", "course_no"}));
+  sigma.Add(Constraint::ForeignKey("enroll", {"student_id"}, "student",
+                                   {"student_id"}));
+  sigma.Add(Constraint::ForeignKey("enroll", {"dept", "course_no"}, "course",
+                                   {"dept", "course_no"}));
+  return sigma;
+}
+
+}  // namespace workloads
+}  // namespace xicc

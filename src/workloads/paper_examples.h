@@ -1,0 +1,37 @@
+#ifndef XICC_WORKLOADS_PAPER_EXAMPLES_H_
+#define XICC_WORKLOADS_PAPER_EXAMPLES_H_
+
+#include "constraints/constraint.h"
+#include "dtd/dtd.h"
+
+namespace xicc {
+namespace workloads {
+
+/// D1 (Section 1): the teacher DTD —
+///   teachers → teacher, teacher*; teacher → teach, research;
+///   teach → subject, subject; subject/research → S;
+///   teacher@name, subject@taught_by.
+Dtd TeacherDtd();
+
+/// Σ1 (Section 1): name keys teacher, taught_by keys subject and is a
+/// foreign key into teacher.name. Inconsistent with D1: the DTD forces
+/// |ext(subject)| = 2·|ext(teacher)| while Σ1 forces
+/// |ext(subject)| ≤ |ext(teacher)|.
+ConstraintSet TeacherSigma();
+
+/// D2 (Section 1): db → foo, foo → foo — no finite tree conforms.
+Dtd InfiniteDtd();
+
+/// D3 (Section 2.2): the school DTD — school → course*, student*, enroll*,
+/// with student@student_id, course@{dept,course_no},
+/// enroll@{student_id,dept,course_no}.
+Dtd SchoolDtd();
+
+/// The five example constraints over D3 (three multi-attribute keys, two
+/// multi-attribute foreign keys) — the C_{K,FK} showcase.
+ConstraintSet SchoolSigma();
+
+}  // namespace workloads
+}  // namespace xicc
+
+#endif  // XICC_WORKLOADS_PAPER_EXAMPLES_H_

@@ -1,0 +1,260 @@
+#include "xml/event_parser.h"
+
+#include <cstdlib>
+
+#include "base/strings.h"
+
+namespace xicc {
+
+namespace {
+
+/// Recursive-descent XML parser over a string_view cursor, emitting events.
+class EventParser {
+ public:
+  EventParser(std::string_view input, const XmlParseOptions& options,
+              XmlEventHandler* handler)
+      : input_(input), options_(options), handler_(handler) {}
+
+  Status Parse() {
+    SkipProlog();
+    if (AtEnd() || Peek() != '<') {
+      return Error("expected root element");
+    }
+    XICC_ASSIGN_OR_RETURN(std::string root_name, ParseOpenTagName());
+    XICC_RETURN_IF_ERROR(ParseElementRest(root_name));
+    SkipMisc();
+    if (!AtEnd()) return Error("content after root element");
+    return Status::Ok();
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  char PeekAt(size_t offset) const {
+    return pos_ + offset < input_.size() ? input_[pos_ + offset] : '\0';
+  }
+
+  void Advance() {
+    if (input_[pos_] == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    ++pos_;
+  }
+
+  bool Consume(std::string_view token) {
+    if (input_.substr(pos_).substr(0, token.size()) != token) return false;
+    for (size_t i = 0; i < token.size(); ++i) Advance();
+    return true;
+  }
+
+  Status Error(const std::string& message) const {
+    return Status::ParseError("xml:" + std::to_string(line_) + ":" +
+                              std::to_string(column_) + ": " + message);
+  }
+
+  void SkipSpace() {
+    while (!AtEnd() && (Peek() == ' ' || Peek() == '\t' || Peek() == '\n' ||
+                        Peek() == '\r')) {
+      Advance();
+    }
+  }
+
+  /// Skips comments, PIs, DOCTYPE, and whitespace before/after the root.
+  void SkipMisc() {
+    for (;;) {
+      SkipSpace();
+      if (Consume("<!--")) {
+        while (!AtEnd() && !Consume("-->")) Advance();
+      } else if (Consume("<?")) {
+        while (!AtEnd() && !Consume("?>")) Advance();
+      } else {
+        return;
+      }
+    }
+  }
+
+  void SkipProlog() {
+    SkipMisc();
+    if (Consume("<!DOCTYPE")) {
+      // Skip to the matching '>' allowing one level of [...] internal subset.
+      int bracket_depth = 0;
+      while (!AtEnd()) {
+        char c = Peek();
+        Advance();
+        if (c == '[') ++bracket_depth;
+        if (c == ']') --bracket_depth;
+        if (c == '>' && bracket_depth <= 0) break;
+      }
+    }
+    SkipMisc();
+  }
+
+  Result<std::string> ParseName() {
+    if (AtEnd() || !IsNameStartChar(Peek())) return Error("expected a name");
+    std::string name;
+    while (!AtEnd() && IsNameChar(Peek())) {
+      name.push_back(Peek());
+      Advance();
+    }
+    return name;
+  }
+
+  /// Consumes '<name' and returns the name.
+  Result<std::string> ParseOpenTagName() {
+    if (!Consume("<")) return Error("expected '<'");
+    return ParseName();
+  }
+
+  Result<std::string> ParseReference() {
+    // Leading '&' already consumed.
+    if (Consume("amp;")) return std::string("&");
+    if (Consume("lt;")) return std::string("<");
+    if (Consume("gt;")) return std::string(">");
+    if (Consume("quot;")) return std::string("\"");
+    if (Consume("apos;")) return std::string("'");
+    if (Consume("#")) {
+      int base = 10;
+      if (Consume("x")) base = 16;
+      std::string digits;
+      while (!AtEnd() && Peek() != ';') {
+        digits.push_back(Peek());
+        Advance();
+      }
+      if (!Consume(";")) return Error("unterminated character reference");
+      char* end = nullptr;
+      long code = std::strtol(digits.c_str(), &end, base);
+      if (end == digits.c_str() || *end != '\0' || code <= 0 || code > 127) {
+        return Error("unsupported character reference &#" + digits + ";");
+      }
+      return std::string(1, static_cast<char>(code));
+    }
+    return Error("unknown entity reference");
+  }
+
+  Result<std::string> ParseAttributeValue() {
+    if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+      return Error("expected quoted attribute value");
+    }
+    char quote = Peek();
+    Advance();
+    std::string value;
+    while (!AtEnd() && Peek() != quote) {
+      if (Peek() == '&') {
+        Advance();
+        XICC_ASSIGN_OR_RETURN(std::string expanded, ParseReference());
+        value += expanded;
+      } else if (Peek() == '<') {
+        return Error("'<' in attribute value");
+      } else {
+        value.push_back(Peek());
+        Advance();
+      }
+    }
+    if (AtEnd()) return Error("unterminated attribute value");
+    Advance();  // Closing quote.
+    return value;
+  }
+
+  /// Parses attributes, then either '/>' or '>' + content + '</name>',
+  /// emitting Start/Text/End events along the way.
+  Status ParseElementRest(const std::string& name) {
+    std::vector<std::pair<std::string, std::string>> attrs;
+    for (;;) {
+      SkipSpace();
+      if (AtEnd()) return Error("unterminated start tag <" + name + ">");
+      if (Consume("/>")) {
+        XICC_RETURN_IF_ERROR(handler_->StartElement(name, attrs));
+        return handler_->EndElement(name);
+      }
+      if (Consume(">")) break;
+      XICC_ASSIGN_OR_RETURN(std::string attr_name, ParseName());
+      SkipSpace();
+      if (!Consume("=")) return Error("expected '=' after attribute name");
+      SkipSpace();
+      XICC_ASSIGN_OR_RETURN(std::string attr_value, ParseAttributeValue());
+      for (const auto& [existing, value] : attrs) {
+        if (existing == attr_name) {
+          return Error("duplicate attribute '" + attr_name + "'");
+        }
+      }
+      attrs.emplace_back(std::move(attr_name), std::move(attr_value));
+    }
+    XICC_RETURN_IF_ERROR(handler_->StartElement(name, attrs));
+    return ParseContent(name);
+  }
+
+  Status ParseContent(const std::string& name) {
+    std::string text;
+    auto flush_text = [&]() -> Status {
+      if (text.empty()) return Status::Ok();
+      Status status = Status::Ok();
+      if (!options_.skip_whitespace_text || !StripWhitespace(text).empty()) {
+        status = handler_->Text(text);
+      }
+      text.clear();
+      return status;
+    };
+    for (;;) {
+      if (AtEnd()) return Error("unterminated element <" + name + ">");
+      if (Peek() == '<') {
+        if (Consume("<!--")) {
+          while (!AtEnd() && !Consume("-->")) Advance();
+          continue;
+        }
+        if (Consume("<![CDATA[")) {
+          while (!AtEnd() && !Consume("]]>")) {
+            text.push_back(Peek());
+            Advance();
+          }
+          continue;
+        }
+        if (Consume("<?")) {
+          while (!AtEnd() && !Consume("?>")) Advance();
+          continue;
+        }
+        if (PeekAt(1) == '/') {
+          XICC_RETURN_IF_ERROR(flush_text());
+          Consume("</");
+          XICC_ASSIGN_OR_RETURN(std::string close_name, ParseName());
+          SkipSpace();
+          if (!Consume(">")) return Error("expected '>' in end tag");
+          if (close_name != name) {
+            return Error("mismatched end tag: expected </" + name +
+                         ">, got </" + close_name + ">");
+          }
+          return handler_->EndElement(name);
+        }
+        XICC_RETURN_IF_ERROR(flush_text());
+        XICC_ASSIGN_OR_RETURN(std::string child_name, ParseOpenTagName());
+        XICC_RETURN_IF_ERROR(ParseElementRest(child_name));
+      } else if (Peek() == '&') {
+        Advance();
+        XICC_ASSIGN_OR_RETURN(std::string expanded, ParseReference());
+        text += expanded;
+      } else {
+        text.push_back(Peek());
+        Advance();
+      }
+    }
+  }
+
+  std::string_view input_;
+  XmlParseOptions options_;
+  XmlEventHandler* handler_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+}  // namespace
+
+Status ParseXmlEvents(std::string_view input, XmlEventHandler* handler,
+                      const XmlParseOptions& options) {
+  EventParser parser(input, options, handler);
+  return parser.Parse();
+}
+
+}  // namespace xicc

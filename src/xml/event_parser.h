@@ -1,0 +1,46 @@
+#ifndef XICC_XML_EVENT_PARSER_H_
+#define XICC_XML_EVENT_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "base/status.h"
+
+namespace xicc {
+
+struct XmlParseOptions {
+  /// Drop text nodes that consist only of whitespace (layout text between
+  /// elements). The paper's model has no mixed content, so this is on by
+  /// default.
+  bool skip_whitespace_text = true;
+};
+
+/// SAX-style event sink for ParseXmlEvents. Returning a non-OK status from
+/// any callback aborts the parse with that status — streaming validators
+/// use this to fail fast.
+class XmlEventHandler {
+ public:
+  virtual ~XmlEventHandler() = default;
+
+  /// Start tag, with its (name, value) attributes in document order.
+  /// Duplicate attribute names are rejected by the parser before this call.
+  virtual Status StartElement(
+      const std::string& name,
+      const std::vector<std::pair<std::string, std::string>>& attrs) = 0;
+  /// Character data (entities expanded, CDATA included).
+  virtual Status Text(const std::string& value) = 0;
+  /// Matching end tag (also emitted for self-closing elements).
+  virtual Status EndElement(const std::string& name) = 0;
+};
+
+/// Single-pass XML parse, emitting events instead of building a tree. Same
+/// dialect as ParseXml (xml/parser.h documents it); the tree parser is a
+/// handler over this function.
+Status ParseXmlEvents(std::string_view input, XmlEventHandler* handler,
+                      const XmlParseOptions& options = {});
+
+}  // namespace xicc
+
+#endif  // XICC_XML_EVENT_PARSER_H_

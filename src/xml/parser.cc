@@ -1,0 +1,57 @@
+#include "xml/parser.h"
+
+#include <optional>
+#include <vector>
+
+namespace xicc {
+
+namespace {
+
+/// Builds an XmlTree from the event stream.
+class TreeBuilder : public XmlEventHandler {
+ public:
+  Status StartElement(
+      const std::string& name,
+      const std::vector<std::pair<std::string, std::string>>& attrs) override {
+    NodeId node;
+    if (!tree_.has_value()) {
+      tree_.emplace(name);
+      node = tree_->root();
+    } else {
+      node = tree_->AddElement(stack_.back(), name);
+    }
+    for (const auto& [attr, value] : attrs) {
+      tree_->SetAttribute(node, attr, value);
+    }
+    stack_.push_back(node);
+    return Status::Ok();
+  }
+
+  Status Text(const std::string& value) override {
+    tree_->AddText(stack_.back(), value);
+    return Status::Ok();
+  }
+
+  Status EndElement(const std::string& name) override {
+    (void)name;  // The parser guarantees proper nesting.
+    stack_.pop_back();
+    return Status::Ok();
+  }
+
+  XmlTree TakeTree() { return *std::move(tree_); }
+
+ private:
+  std::optional<XmlTree> tree_;
+  std::vector<NodeId> stack_;
+};
+
+}  // namespace
+
+Result<XmlTree> ParseXml(std::string_view input,
+                         const XmlParseOptions& options) {
+  TreeBuilder builder;
+  XICC_RETURN_IF_ERROR(ParseXmlEvents(input, &builder, options));
+  return builder.TakeTree();
+}
+
+}  // namespace xicc

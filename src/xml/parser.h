@@ -1,0 +1,24 @@
+#ifndef XICC_XML_PARSER_H_
+#define XICC_XML_PARSER_H_
+
+#include <string_view>
+
+#include "base/status.h"
+#include "xml/event_parser.h"
+#include "xml/tree.h"
+
+namespace xicc {
+
+/// Parses an XML document into an XmlTree (a handler over ParseXmlEvents).
+///
+/// Supported: one root element, nested elements, attributes (single- or
+/// double-quoted), character data, the five predefined entities, numeric
+/// character references (ASCII range), comments, processing instructions,
+/// CDATA sections, and a DOCTYPE declaration (skipped, including an internal
+/// subset). Errors carry 1-based line:column positions.
+Result<XmlTree> ParseXml(std::string_view input,
+                         const XmlParseOptions& options = {});
+
+}  // namespace xicc
+
+#endif  // XICC_XML_PARSER_H_

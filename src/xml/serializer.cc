@@ -1,0 +1,65 @@
+#include "xml/serializer.h"
+
+#include "base/strings.h"
+
+namespace xicc {
+
+namespace {
+
+void SerializeNode(const XmlTree& tree, NodeId node, int depth,
+                   const XmlSerializeOptions& options, std::string* out) {
+  auto newline_indent = [&](int d) {
+    if (options.indent <= 0) return;
+    out->push_back('\n');
+    out->append(static_cast<size_t>(d) * options.indent, ' ');
+  };
+
+  if (tree.kind(node) == NodeKind::kText) {
+    out->append(XmlEscape(tree.text(node)));
+    return;
+  }
+  out->push_back('<');
+  out->append(tree.label(node));
+  for (const auto& [name, value] : tree.attributes(node)) {
+    out->push_back(' ');
+    out->append(name);
+    out->append("=\"");
+    out->append(XmlEscape(value));
+    out->push_back('"');
+  }
+  const auto& children = tree.children(node);
+  if (children.empty()) {
+    out->append("/>");
+    return;
+  }
+  out->push_back('>');
+  // Text-only content stays inline; element content gets one child per line.
+  bool has_element_child = false;
+  for (NodeId child : children) {
+    if (tree.kind(child) == NodeKind::kElement) has_element_child = true;
+  }
+  for (NodeId child : children) {
+    if (has_element_child) newline_indent(depth + 1);
+    SerializeNode(tree, child, depth + 1, options, out);
+  }
+  if (has_element_child) newline_indent(depth);
+  out->append("</");
+  out->append(tree.label(node));
+  out->push_back('>');
+}
+
+}  // namespace
+
+std::string SerializeXml(const XmlTree& tree,
+                         const XmlSerializeOptions& options) {
+  std::string out;
+  if (options.declaration) {
+    out = "<?xml version=\"1.0\"?>";
+    if (options.indent > 0) out.push_back('\n');
+  }
+  SerializeNode(tree, tree.root(), 0, options, &out);
+  if (options.indent > 0) out.push_back('\n');
+  return out;
+}
+
+}  // namespace xicc

@@ -1,0 +1,25 @@
+#ifndef XICC_XML_SERIALIZER_H_
+#define XICC_XML_SERIALIZER_H_
+
+#include <string>
+
+#include "xml/tree.h"
+
+namespace xicc {
+
+struct XmlSerializeOptions {
+  /// Indent nested elements by `indent` spaces per depth level; 0 produces a
+  /// single line.
+  int indent = 2;
+  /// Emit the `<?xml version="1.0"?>` declaration.
+  bool declaration = true;
+};
+
+/// Renders `tree` as an XML document. Round-trips through ParseXml for trees
+/// without mixed content (the paper's model).
+std::string SerializeXml(const XmlTree& tree,
+                         const XmlSerializeOptions& options = {});
+
+}  // namespace xicc
+
+#endif  // XICC_XML_SERIALIZER_H_

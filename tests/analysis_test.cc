@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "dtd/analysis.h"
+#include "workloads/generators.h"
+#include "workloads/paper_examples.h"
+
+namespace xicc {
+namespace {
+
+Dtd MustParseBuilder(DtdBuilder& builder) {
+  auto dtd = builder.Build();
+  EXPECT_TRUE(dtd.ok()) << dtd.status();
+  return std::move(dtd).value();
+}
+
+TEST(AnalysisTest, TeacherDtdHasValidTree) {
+  EXPECT_TRUE(DtdHasValidTree(workloads::TeacherDtd()));
+}
+
+TEST(AnalysisTest, InfiniteDtdHasNone) {
+  // D2: db → foo, foo → foo (the Section 1 example).
+  Dtd d2 = workloads::InfiniteDtd();
+  EXPECT_FALSE(DtdHasValidTree(d2));
+  auto productive = ProductiveElements(d2);
+  EXPECT_TRUE(productive.empty());
+}
+
+TEST(AnalysisTest, RecursionEscapedByUnion) {
+  // list → (item, list) | ε : productive despite recursion.
+  DtdBuilder builder;
+  builder.SetRoot("r");
+  builder.AddElement("r", Regex::Elem("list"));
+  builder.AddElement("list",
+                     Regex::Union(Regex::Concat(Regex::Elem("item"),
+                                                Regex::Elem("list")),
+                                  Regex::Epsilon()));
+  builder.AddElement("item", Regex::Epsilon());
+  Dtd dtd = MustParseBuilder(builder);
+  EXPECT_TRUE(DtdHasValidTree(dtd));
+  EXPECT_EQ(ProductiveElements(dtd).size(), 3u);
+}
+
+TEST(AnalysisTest, StarOfUnproductiveIsProductive) {
+  // r → bad*, bad → bad: r valid via zero repetitions.
+  DtdBuilder builder;
+  builder.SetRoot("r");
+  builder.AddElement("r", Regex::Star(Regex::Elem("bad")));
+  builder.AddElement("bad", Regex::Elem("bad"));
+  Dtd dtd = MustParseBuilder(builder);
+  EXPECT_TRUE(DtdHasValidTree(dtd));
+  EXPECT_EQ(ProductiveElements(dtd).count("bad"), 0u);
+}
+
+TEST(AnalysisTest, ConcatWithUnproductiveArmIsUnproductive) {
+  // r → (a, bad): unproductive even though a is fine.
+  DtdBuilder builder;
+  builder.SetRoot("r");
+  builder.AddElement("r", Regex::Concat(Regex::Elem("a"), Regex::Elem("bad")));
+  builder.AddElement("a", Regex::Epsilon());
+  builder.AddElement("bad", Regex::Elem("bad"));
+  EXPECT_FALSE(DtdHasValidTree(MustParseBuilder(builder)));
+}
+
+TEST(AnalysisTest, ReachableElements) {
+  DtdBuilder builder;
+  builder.SetRoot("r");
+  builder.AddElement("r", Regex::Elem("a"));
+  builder.AddElement("a", Regex::Star(Regex::Elem("b")));
+  builder.AddElement("b", Regex::Epsilon());
+  builder.AddElement("island", Regex::Epsilon());  // Unreachable.
+  Dtd dtd = MustParseBuilder(builder);
+  auto reachable = ReachableElements(dtd);
+  EXPECT_EQ(reachable.size(), 3u);
+  EXPECT_EQ(reachable.count("island"), 0u);
+}
+
+// ------------------------------------------------- Multiplicity (Lemma 3.6).
+
+TEST(MultiplicityTest, TeacherCanHaveTwoTeachers) {
+  Dtd d1 = workloads::TeacherDtd();
+  // teachers → teacher, teacher*: two teachers possible.
+  EXPECT_TRUE(CanHaveTwo(d1, "teacher"));
+  EXPECT_TRUE(CanHaveTwo(d1, "subject"));  // Two per teacher already.
+  // Exactly one teachers (root).
+  EXPECT_EQ(MaxMultiplicity(d1, "teachers"), Multiplicity::kExactlyOne);
+}
+
+TEST(MultiplicityTest, SingleOccurrenceChain) {
+  Dtd chain = workloads::ChainDtd(5);
+  EXPECT_EQ(MaxMultiplicity(chain, "e3"), Multiplicity::kExactlyOne);
+  EXPECT_FALSE(CanHaveTwo(chain, "e5"));
+}
+
+TEST(MultiplicityTest, UnreachableTypeIsNone) {
+  DtdBuilder builder;
+  builder.SetRoot("r");
+  builder.AddElement("r", Regex::Epsilon());
+  builder.AddElement("island", Regex::Epsilon());
+  Dtd dtd = MustParseBuilder(builder);
+  EXPECT_EQ(MaxMultiplicity(dtd, "island"), Multiplicity::kNone);
+}
+
+TEST(MultiplicityTest, UnionForcesChoice) {
+  // r → a | b: at most one of each.
+  DtdBuilder builder;
+  builder.SetRoot("r");
+  builder.AddElement("r", Regex::Union(Regex::Elem("a"), Regex::Elem("b")));
+  builder.AddElement("a", Regex::Epsilon());
+  builder.AddElement("b", Regex::Epsilon());
+  Dtd dtd = MustParseBuilder(builder);
+  EXPECT_EQ(MaxMultiplicity(dtd, "a"), Multiplicity::kExactlyOne);
+  EXPECT_EQ(MaxMultiplicity(dtd, "b"), Multiplicity::kExactlyOne);
+}
+
+TEST(MultiplicityTest, StarGivesUnbounded) {
+  Dtd school = workloads::SchoolDtd();
+  EXPECT_TRUE(CanHaveTwo(school, "course"));
+  EXPECT_TRUE(CanHaveTwo(school, "enroll"));
+  EXPECT_FALSE(CanHaveTwo(school, "school"));
+}
+
+TEST(MultiplicityTest, TwoViaDistinctPaths) {
+  // r → (a, a) with a → x: two x's via the two a's.
+  DtdBuilder builder;
+  builder.SetRoot("r");
+  builder.AddElement("r", Regex::Concat(Regex::Elem("a"), Regex::Elem("a")));
+  builder.AddElement("a", Regex::Elem("x"));
+  builder.AddElement("x", Regex::Epsilon());
+  Dtd dtd = MustParseBuilder(builder);
+  EXPECT_TRUE(CanHaveTwo(dtd, "x"));
+}
+
+TEST(MultiplicityTest, NoValidTreeGivesNone) {
+  EXPECT_EQ(MaxMultiplicity(workloads::InfiniteDtd(), "foo"),
+            Multiplicity::kNone);
+}
+
+// ---------------------------------------------------------- Unavoidability.
+
+TEST(UnavoidabilityTest, MandatoryChild) {
+  Dtd d1 = workloads::TeacherDtd();
+  EXPECT_TRUE(TypeIsUnavoidable(d1, "teacher"));
+  EXPECT_TRUE(TypeIsUnavoidable(d1, "subject"));
+  EXPECT_TRUE(TypeIsUnavoidable(d1, "teachers"));
+}
+
+TEST(UnavoidabilityTest, StarredChildIsAvoidable) {
+  Dtd school = workloads::SchoolDtd();
+  EXPECT_FALSE(TypeIsUnavoidable(school, "course"));
+  EXPECT_FALSE(TypeIsUnavoidable(school, "enroll"));
+  EXPECT_TRUE(TypeIsUnavoidable(school, "school"));
+}
+
+TEST(UnavoidabilityTest, OptionalChildIsAvoidable) {
+  DtdBuilder builder;
+  builder.SetRoot("r");
+  builder.AddElement("r", Regex::Union(Regex::Elem("a"), Regex::Epsilon()));
+  builder.AddElement("a", Regex::Epsilon());
+  EXPECT_FALSE(TypeIsUnavoidable(MustParseBuilder(builder), "a"));
+}
+
+TEST(UnavoidabilityTest, FalseWhenNoValidTree) {
+  EXPECT_FALSE(TypeIsUnavoidable(workloads::InfiniteDtd(), "foo"));
+}
+
+}  // namespace
+}  // namespace xicc

@@ -1,0 +1,274 @@
+#include <gtest/gtest.h>
+
+#include "base/bigint.h"
+#include "base/rational.h"
+#include "base/status.h"
+#include "base/strings.h"
+
+namespace xicc {
+namespace {
+
+// ---------------------------------------------------------------- Status.
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::ParseError("bad token");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_EQ(s.ToString(), "parse-error: bad token");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "ok");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUndecidableClass),
+               "undecidable-class");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
+               "resource-exhausted");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "internal");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInvalidArgument),
+               "invalid-argument");
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  XICC_ASSIGN_OR_RETURN(int half, Half(x));
+  return Half(half);
+}
+
+TEST(ResultTest, ValueAndErrorPaths) {
+  Result<int> ok = Half(10);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 5);
+
+  Result<int> err = Half(3);
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_TRUE(Quarter(8).ok());
+  EXPECT_EQ(*Quarter(8), 2);
+  EXPECT_FALSE(Quarter(6).ok());  // 6/2 = 3 is odd.
+}
+
+// ---------------------------------------------------------------- BigInt.
+
+TEST(BigIntTest, ZeroBasics) {
+  BigInt zero;
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_EQ(zero.sign(), 0);
+  EXPECT_EQ(zero.ToString(), "0");
+  EXPECT_EQ(zero.BitLength(), 0u);
+  EXPECT_EQ((-zero).ToString(), "0");
+}
+
+TEST(BigIntTest, Int64RoundTrip) {
+  for (int64_t v : {int64_t{0}, int64_t{1}, int64_t{-1}, int64_t{123456789},
+                    INT64_MAX, INT64_MIN}) {
+    BigInt b(v);
+    ASSERT_TRUE(b.FitsInt64()) << v;
+    EXPECT_EQ(b.ToInt64(), v);
+  }
+}
+
+TEST(BigIntTest, ToStringSmall) {
+  EXPECT_EQ(BigInt(42).ToString(), "42");
+  EXPECT_EQ(BigInt(-42).ToString(), "-42");
+  EXPECT_EQ(BigInt(INT64_MIN).ToString(), "-9223372036854775808");
+}
+
+TEST(BigIntTest, FromStringRoundTrip) {
+  const std::string big = "123456789012345678901234567890123456789";
+  auto parsed = BigInt::FromString(big);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->ToString(), big);
+  EXPECT_FALSE(parsed->FitsInt64());
+
+  auto negative = BigInt::FromString("-987654321987654321987654321");
+  ASSERT_TRUE(negative.ok());
+  EXPECT_EQ(negative->ToString(), "-987654321987654321987654321");
+}
+
+TEST(BigIntTest, FromStringRejectsGarbage) {
+  EXPECT_FALSE(BigInt::FromString("").ok());
+  EXPECT_FALSE(BigInt::FromString("-").ok());
+  EXPECT_FALSE(BigInt::FromString("12a4").ok());
+}
+
+TEST(BigIntTest, AdditionCarries) {
+  auto a = *BigInt::FromString("18446744073709551615");  // 2^64 - 1.
+  EXPECT_EQ((a + BigInt(1)).ToString(), "18446744073709551616");
+  EXPECT_EQ((a + a).ToString(), "36893488147419103230");
+}
+
+TEST(BigIntTest, SubtractionSigns) {
+  EXPECT_EQ((BigInt(5) - BigInt(7)).ToString(), "-2");
+  EXPECT_EQ((BigInt(-5) - BigInt(-7)).ToString(), "2");
+  EXPECT_EQ((BigInt(-5) + BigInt(5)).ToString(), "0");
+}
+
+TEST(BigIntTest, MultiplicationLarge) {
+  auto a = *BigInt::FromString("123456789123456789");
+  auto b = *BigInt::FromString("987654321987654321");
+  EXPECT_EQ((a * b).ToString(), "121932631356500531347203169112635269");
+  EXPECT_EQ((a * BigInt(0)).ToString(), "0");
+  EXPECT_EQ(((-a) * b).sign(), -1);
+}
+
+TEST(BigIntTest, DivModTruncatesTowardZero) {
+  BigInt q, r;
+  BigInt::DivMod(BigInt(7), BigInt(2), &q, &r);
+  EXPECT_EQ(q.ToInt64(), 3);
+  EXPECT_EQ(r.ToInt64(), 1);
+  BigInt::DivMod(BigInt(-7), BigInt(2), &q, &r);
+  EXPECT_EQ(q.ToInt64(), -3);
+  EXPECT_EQ(r.ToInt64(), -1);
+  BigInt::DivMod(BigInt(7), BigInt(-2), &q, &r);
+  EXPECT_EQ(q.ToInt64(), -3);
+  EXPECT_EQ(r.ToInt64(), 1);
+}
+
+TEST(BigIntTest, LargeDivision) {
+  auto a = *BigInt::FromString("121932631356500531347203169112635269");
+  auto b = *BigInt::FromString("123456789123456789");
+  EXPECT_EQ((a / b).ToString(), "987654321987654321");
+  EXPECT_EQ((a % b).ToString(), "0");
+
+  auto c = a + BigInt(17);
+  EXPECT_EQ((c / b).ToString(), "987654321987654321");
+  EXPECT_EQ((c % b).ToString(), "17");
+}
+
+TEST(BigIntTest, MultiLimbDivisionStress) {
+  // (2^192 + 12345) / (2^96 + 7) exercises the multi-limb Knuth path.
+  BigInt two_192 = BigInt::Pow(BigInt(2), 192) + BigInt(12345);
+  BigInt two_96 = BigInt::Pow(BigInt(2), 96) + BigInt(7);
+  BigInt q = two_192 / two_96;
+  BigInt r = two_192 % two_96;
+  EXPECT_EQ((q * two_96 + r), two_192);
+  EXPECT_TRUE(r >= BigInt(0) && r < two_96);
+}
+
+TEST(BigIntTest, PowMatchesRepeatedMultiply) {
+  EXPECT_EQ(BigInt::Pow(BigInt(3), 0).ToInt64(), 1);
+  EXPECT_EQ(BigInt::Pow(BigInt(3), 5).ToInt64(), 243);
+  EXPECT_EQ(BigInt::Pow(BigInt(-2), 3).ToInt64(), -8);
+  EXPECT_EQ(BigInt::Pow(BigInt(10), 30).ToString(),
+            "1000000000000000000000000000000");
+}
+
+TEST(BigIntTest, GcdBasics) {
+  EXPECT_EQ(BigInt::Gcd(BigInt(12), BigInt(18)).ToInt64(), 6);
+  EXPECT_EQ(BigInt::Gcd(BigInt(-12), BigInt(18)).ToInt64(), 6);
+  EXPECT_EQ(BigInt::Gcd(BigInt(0), BigInt(5)).ToInt64(), 5);
+  EXPECT_EQ(BigInt::Gcd(BigInt(0), BigInt(0)).ToInt64(), 0);
+}
+
+TEST(BigIntTest, ComparisonTotalOrder) {
+  EXPECT_LT(BigInt(-3), BigInt(-2));
+  EXPECT_LT(BigInt(-1), BigInt(0));
+  EXPECT_LT(BigInt(0), BigInt(1));
+  EXPECT_LT(BigInt(1), *BigInt::FromString("99999999999999999999"));
+  EXPECT_LT(*BigInt::FromString("-99999999999999999999"), BigInt(-1));
+}
+
+TEST(BigIntTest, BitLength) {
+  EXPECT_EQ(BigInt(1).BitLength(), 1u);
+  EXPECT_EQ(BigInt(255).BitLength(), 8u);
+  EXPECT_EQ(BigInt(256).BitLength(), 9u);
+  EXPECT_EQ(BigInt::Pow(BigInt(2), 100).BitLength(), 101u);
+}
+
+// -------------------------------------------------------------- Rational.
+
+TEST(RationalTest, NormalizesSignAndGcd) {
+  Rational r(BigInt(4), BigInt(-6));
+  EXPECT_EQ(r.num().ToInt64(), -2);
+  EXPECT_EQ(r.den().ToInt64(), 3);
+  EXPECT_EQ(r.ToString(), "-2/3");
+}
+
+TEST(RationalTest, ZeroIsCanonical) {
+  Rational r(BigInt(0), BigInt(-7));
+  EXPECT_TRUE(r.is_zero());
+  EXPECT_EQ(r.den().ToInt64(), 1);
+}
+
+TEST(RationalTest, Arithmetic) {
+  Rational half(BigInt(1), BigInt(2));
+  Rational third(BigInt(1), BigInt(3));
+  EXPECT_EQ((half + third).ToString(), "5/6");
+  EXPECT_EQ((half - third).ToString(), "1/6");
+  EXPECT_EQ((half * third).ToString(), "1/6");
+  EXPECT_EQ((half / third).ToString(), "3/2");
+  EXPECT_EQ((half - half).ToString(), "0");
+}
+
+TEST(RationalTest, FloorCeil) {
+  Rational seven_halves(BigInt(7), BigInt(2));
+  EXPECT_EQ(seven_halves.Floor().ToInt64(), 3);
+  EXPECT_EQ(seven_halves.Ceil().ToInt64(), 4);
+  Rational negative(BigInt(-7), BigInt(2));
+  EXPECT_EQ(negative.Floor().ToInt64(), -4);
+  EXPECT_EQ(negative.Ceil().ToInt64(), -3);
+  Rational integral(BigInt(6), BigInt(2));
+  EXPECT_EQ(integral.Floor().ToInt64(), 3);
+  EXPECT_EQ(integral.Ceil().ToInt64(), 3);
+  EXPECT_TRUE(integral.is_integer());
+}
+
+TEST(RationalTest, Comparison) {
+  Rational a(BigInt(1), BigInt(3));
+  Rational b(BigInt(2), BigInt(5));
+  EXPECT_LT(a, b);
+  EXPECT_GT(b, a);
+  EXPECT_EQ(a, Rational(BigInt(2), BigInt(6)));
+  EXPECT_LT(Rational(BigInt(-1), BigInt(2)), Rational());
+}
+
+// --------------------------------------------------------------- Strings.
+
+TEST(StringsTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  a b \t\n"), "a b");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace(" \t "), "");
+}
+
+TEST(StringsTest, SplitKeepsEmptyPieces) {
+  auto parts = Split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(Split("", ',').size(), 1u);
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ", "), "");
+}
+
+TEST(StringsTest, NameValidation) {
+  EXPECT_TRUE(IsValidName("teacher"));
+  EXPECT_TRUE(IsValidName("_t1.x-y"));
+  EXPECT_FALSE(IsValidName(""));
+  EXPECT_FALSE(IsValidName("1abc"));
+  EXPECT_FALSE(IsValidName("a b"));
+}
+
+TEST(StringsTest, XmlEscape) {
+  EXPECT_EQ(XmlEscape("a<b>&\"c'"), "a&lt;b&gt;&amp;&quot;c&apos;");
+  EXPECT_EQ(XmlEscape("plain"), "plain");
+}
+
+}  // namespace
+}  // namespace xicc

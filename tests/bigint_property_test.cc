@@ -1,0 +1,149 @@
+// Property-based sweeps over the exact-arithmetic substrate: algebraic laws
+// of BigInt/Rational checked against seeded random operands, including
+// multi-limb magnitudes. The ILP solver's correctness rests on these.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "base/bigint.h"
+#include "base/rational.h"
+
+namespace xicc {
+namespace {
+
+/// Produces a random BigInt with up to `max_limbs` limbs, either sign.
+BigInt RandomBigInt(std::mt19937_64* rng, int max_limbs) {
+  std::uniform_int_distribution<int> limb_count(0, max_limbs);
+  int limbs = limb_count(*rng);
+  BigInt out(0);
+  for (int i = 0; i < limbs; ++i) {
+    out = out * BigInt::Pow(BigInt(2), 64) +
+          BigInt(static_cast<int64_t>((*rng)() >> 1));
+  }
+  if ((*rng)() % 2 == 0) out = -out;
+  return out;
+}
+
+class BigIntPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BigIntPropertyTest, AdditionCommutesAndAssociates) {
+  std::mt19937_64 rng(GetParam());
+  for (int i = 0; i < 50; ++i) {
+    BigInt a = RandomBigInt(&rng, 4);
+    BigInt b = RandomBigInt(&rng, 4);
+    BigInt c = RandomBigInt(&rng, 4);
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ(a + BigInt(0), a);
+    EXPECT_EQ(a - a, BigInt(0));
+  }
+}
+
+TEST_P(BigIntPropertyTest, MultiplicationDistributes) {
+  std::mt19937_64 rng(GetParam());
+  for (int i = 0; i < 50; ++i) {
+    BigInt a = RandomBigInt(&rng, 3);
+    BigInt b = RandomBigInt(&rng, 3);
+    BigInt c = RandomBigInt(&rng, 3);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a * BigInt(1), a);
+    EXPECT_EQ(a * BigInt(0), BigInt(0));
+  }
+}
+
+TEST_P(BigIntPropertyTest, DivModInvariant) {
+  std::mt19937_64 rng(GetParam());
+  for (int i = 0; i < 50; ++i) {
+    BigInt a = RandomBigInt(&rng, 5);
+    BigInt b = RandomBigInt(&rng, 3);
+    if (b.is_zero()) b = BigInt(1);
+    BigInt q, r;
+    BigInt::DivMod(a, b, &q, &r);
+    // a == q*b + r, |r| < |b|, sign(r) in {0, sign(a)}.
+    EXPECT_EQ(q * b + r, a);
+    EXPECT_LT(r.Abs(), b.Abs());
+    if (!r.is_zero()) {
+      EXPECT_EQ(r.sign(), a.sign());
+    }
+  }
+}
+
+TEST_P(BigIntPropertyTest, StringRoundTrip) {
+  std::mt19937_64 rng(GetParam());
+  for (int i = 0; i < 30; ++i) {
+    BigInt a = RandomBigInt(&rng, 6);
+    auto parsed = BigInt::FromString(a.ToString());
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, a);
+  }
+}
+
+TEST_P(BigIntPropertyTest, GcdDividesBoth) {
+  std::mt19937_64 rng(GetParam());
+  for (int i = 0; i < 30; ++i) {
+    BigInt a = RandomBigInt(&rng, 3);
+    BigInt b = RandomBigInt(&rng, 3);
+    BigInt g = BigInt::Gcd(a, b);
+    if (g.is_zero()) {
+      EXPECT_TRUE(a.is_zero() && b.is_zero());
+      continue;
+    }
+    EXPECT_EQ(a % g, BigInt(0));
+    EXPECT_EQ(b % g, BigInt(0));
+  }
+}
+
+TEST_P(BigIntPropertyTest, CompareConsistentWithSubtraction) {
+  std::mt19937_64 rng(GetParam());
+  for (int i = 0; i < 50; ++i) {
+    BigInt a = RandomBigInt(&rng, 4);
+    BigInt b = RandomBigInt(&rng, 4);
+    EXPECT_EQ(BigInt::Compare(a, b), (a - b).sign());
+  }
+}
+
+TEST_P(BigIntPropertyTest, RationalFieldLaws) {
+  std::mt19937_64 rng(GetParam());
+  for (int i = 0; i < 30; ++i) {
+    BigInt an = RandomBigInt(&rng, 2);
+    BigInt bn = RandomBigInt(&rng, 2);
+    BigInt ad = RandomBigInt(&rng, 2);
+    BigInt bd = RandomBigInt(&rng, 2);
+    if (ad.is_zero()) ad = BigInt(1);
+    if (bd.is_zero()) bd = BigInt(1);
+    Rational a(an, ad);
+    Rational b(bn, bd);
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ(a + (-a), Rational());
+    EXPECT_EQ(a * b, b * a);
+    if (!b.is_zero()) {
+      EXPECT_EQ((a / b) * b, a);
+    }
+  }
+}
+
+TEST_P(BigIntPropertyTest, RationalFloorCeilBracket) {
+  std::mt19937_64 rng(GetParam());
+  for (int i = 0; i < 30; ++i) {
+    BigInt n = RandomBigInt(&rng, 2);
+    BigInt d = RandomBigInt(&rng, 1);
+    if (d.is_zero()) d = BigInt(3);
+    Rational r(n, d);
+    BigInt floor = r.Floor();
+    BigInt ceil = r.Ceil();
+    EXPECT_LE(Rational(floor), r);
+    EXPECT_GE(Rational(ceil), r);
+    EXPECT_LE((ceil - floor), BigInt(1));
+    if (r.is_integer()) {
+      EXPECT_EQ(floor, ceil);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BigIntPropertyTest,
+                         ::testing::Values(1u, 7u, 42u, 1234u, 99991u));
+
+}  // namespace
+}  // namespace xicc

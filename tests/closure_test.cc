@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "core/closure.h"
+#include "workloads/generators.h"
+#include "workloads/paper_examples.h"
+
+namespace xicc {
+namespace {
+
+TEST(ClosureTest, TransitiveInclusionSurfaces) {
+  Dtd dtd = workloads::CatalogDtd(3);
+  ConstraintSet sigma;
+  sigma.Add(Constraint::Inclusion("item1", {"id"}, "item2", {"id"}));
+  sigma.Add(Constraint::Inclusion("item2", {"id"}, "item3", {"id"}));
+  auto closure = ComputeUnaryClosure(dtd, sigma);
+  ASSERT_TRUE(closure.ok()) << closure.status();
+  Constraint expected =
+      Constraint::Inclusion("item1", {"id"}, "item3", {"id"});
+  bool found = false;
+  for (const Constraint& c : closure->implied_inclusions) {
+    if (c == expected) found = true;
+    // Implied inclusions must not repeat stated ones.
+    EXPECT_NE(c, sigma.constraints()[0]);
+    EXPECT_NE(c, sigma.constraints()[1]);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ClosureTest, SingletonTypesYieldVacuousKeys) {
+  // In a chain DTD every type occurs exactly once, so every unary key is
+  // implied vacuously (Lemma 3.6 route through refutation).
+  Dtd dtd = workloads::ChainDtd(3);
+  ConstraintSet sigma;
+  ClosureOptions options;
+  options.include_inclusions = false;
+  auto closure = ComputeUnaryClosure(dtd, sigma, options);
+  ASSERT_TRUE(closure.ok()) << closure.status();
+  // e1..e3 each carry `id`; all three keys are implied.
+  EXPECT_EQ(closure->implied_keys.size(), 3u);
+  EXPECT_TRUE(closure->implied_inclusions.empty());
+}
+
+TEST(ClosureTest, RepeatableTypesImplyNothing) {
+  Dtd dtd = workloads::CatalogDtd(2);
+  ConstraintSet sigma;
+  ClosureOptions options;
+  options.include_inclusions = false;
+  auto closure = ComputeUnaryClosure(dtd, sigma, options);
+  ASSERT_TRUE(closure.ok()) << closure.status();
+  EXPECT_TRUE(closure->implied_keys.empty());
+}
+
+TEST(ClosureTest, RedundantConstraintDetected) {
+  Dtd dtd = workloads::CatalogDtd(3);
+  ConstraintSet sigma;
+  sigma.Add(Constraint::Inclusion("item1", {"id"}, "item2", {"id"}));
+  sigma.Add(Constraint::Inclusion("item2", {"id"}, "item3", {"id"}));
+  sigma.Add(Constraint::Inclusion("item1", {"id"}, "item3", {"id"}));  // Redundant.
+  auto redundant = FindRedundantConstraints(dtd, sigma);
+  ASSERT_TRUE(redundant.ok()) << redundant.status();
+  ASSERT_EQ(redundant->size(), 1u);
+  EXPECT_EQ((*redundant)[0],
+            Constraint::Inclusion("item1", {"id"}, "item3", {"id"}));
+}
+
+TEST(ClosureTest, IrredundantSetStaysClean) {
+  Dtd dtd = workloads::CatalogDtd(2);
+  ConstraintSet sigma;
+  sigma.Add(Constraint::Key("item1", {"id"}));
+  sigma.Add(Constraint::Inclusion("item1", {"id"}, "item2", {"id"}));
+  auto redundant = FindRedundantConstraints(dtd, sigma);
+  ASSERT_TRUE(redundant.ok()) << redundant.status();
+  EXPECT_TRUE(redundant->empty());
+}
+
+TEST(ClosureTest, ForeignKeyMakesItsKeyComponentRedundant) {
+  // fk item1.ref ⊆ item2.id states key(item2.id) as its component, so the
+  // standalone key is redundant — a useful lint for specification authors.
+  Dtd dtd = workloads::CatalogDtd(2);
+  ConstraintSet sigma = workloads::CatalogFkChainSigma(2);
+  auto redundant = FindRedundantConstraints(dtd, sigma);
+  ASSERT_TRUE(redundant.ok()) << redundant.status();
+  ASSERT_EQ(redundant->size(), 1u);
+  EXPECT_EQ((*redundant)[0], Constraint::Key("item2", {"id"}));
+}
+
+TEST(ClosureTest, InconsistentSigmaImpliesEverything) {
+  // Over D1 + Σ1, every candidate is vacuously implied; the closure makes
+  // that visible (it is the caller's cue to check consistency first).
+  Dtd dtd = workloads::TeacherDtd();
+  ConstraintSet sigma = workloads::TeacherSigma();
+  ClosureOptions options;
+  options.include_inclusions = false;
+  auto closure = ComputeUnaryClosure(dtd, sigma, options);
+  ASSERT_TRUE(closure.ok()) << closure.status();
+  // teacher.name and subject.taught_by keys are stated (via FK expansion);
+  // no further pairs exist, so nothing new shows — extend the DTD view by
+  // asking with a fresh Σ subset instead: drop the subject key and the
+  // subject key becomes implied? No — Σ1 minus it is consistent and does
+  // not imply it. Keep the vacuous check on the full Σ1: zero *new* keys
+  // since both pairs are already stated.
+  EXPECT_TRUE(closure->implied_keys.empty());
+}
+
+TEST(ClosureTest, MultiAttributeSigmaRefused) {
+  Dtd dtd = workloads::SchoolDtd();
+  auto closure = ComputeUnaryClosure(dtd, workloads::SchoolSigma());
+  ASSERT_FALSE(closure.ok());
+  EXPECT_EQ(closure.status().code(), StatusCode::kUndecidableClass);
+}
+
+}  // namespace
+}  // namespace xicc

@@ -1,0 +1,297 @@
+// End-to-end tests of the consistency checker across all Figure-5 classes,
+// with checked witnesses.
+
+#include <gtest/gtest.h>
+
+#include "constraints/evaluator.h"
+#include "core/consistency.h"
+#include "dtd/validator.h"
+#include "workloads/generators.h"
+#include "workloads/paper_examples.h"
+
+namespace xicc {
+namespace {
+
+// ------------------------------------------- Empty Σ (Theorem 3.5(1) cell).
+
+TEST(ConsistencyTest, EmptySigmaValidDtd) {
+  auto result = CheckConsistency(workloads::TeacherDtd(), ConstraintSet());
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->consistent);
+  EXPECT_EQ(result->method, "grammar-emptiness");
+  ASSERT_TRUE(result->witness.has_value());
+  EXPECT_TRUE(ValidateXml(*result->witness, workloads::TeacherDtd()).valid);
+}
+
+TEST(ConsistencyTest, EmptySigmaInfiniteDtd) {
+  auto result = CheckConsistency(workloads::InfiniteDtd(), ConstraintSet());
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->consistent);
+  EXPECT_FALSE(result->witness.has_value());
+}
+
+// ----------------------------------------------- Keys only (Theorem 3.5(2)).
+
+TEST(ConsistencyTest, KeysAlwaysConsistentOnValidDtd) {
+  Dtd school = workloads::SchoolDtd();
+  ConstraintSet keys;
+  keys.Add(Constraint::Key("student", {"student_id"}));
+  keys.Add(Constraint::Key("course", {"dept", "course_no"}));
+  auto result = CheckConsistency(school, keys);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->consistent);
+  EXPECT_EQ(result->method, "keys-only");
+  ASSERT_TRUE(result->witness.has_value());
+  EXPECT_TRUE(ValidateXml(*result->witness, school).valid);
+  EXPECT_TRUE(Evaluate(*result->witness, keys).satisfied);
+}
+
+TEST(ConsistencyTest, KeysOverInfiniteDtdInconsistent) {
+  ConstraintSet keys;
+  // InfiniteDtd has no attributes, so build keys over a DTD that has them
+  // yet no valid tree.
+  DtdBuilder builder;
+  builder.SetRoot("r");
+  builder.AddElement("r", Regex::Elem("a"));
+  builder.AddElement("a", Regex::Elem("a"));
+  builder.AddAttribute("a", "id");
+  auto dtd = builder.Build();
+  ASSERT_TRUE(dtd.ok());
+  keys.Add(Constraint::Key("a", {"id"}));
+  auto result = CheckConsistency(*dtd, keys);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->consistent);
+}
+
+// ------------------------------------- Unary keys + FKs (Theorem 4.1/4.7).
+
+TEST(ConsistencyTest, Flagship_D1Sigma1_Inconsistent) {
+  auto result =
+      CheckConsistency(workloads::TeacherDtd(), workloads::TeacherSigma());
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_FALSE(result->consistent);
+  EXPECT_EQ(result->constraint_class, ConstraintClass::kUnaryKeyFk);
+  EXPECT_EQ(result->method, "ilp-case-split");
+  EXPECT_NE(result->explanation.find("Ψ(D,Σ)"), std::string::npos);
+}
+
+TEST(ConsistencyTest, Flagship_D1Sigma1_BigMStrategyAgrees) {
+  ConsistencyOptions options;
+  options.strategy = SolveStrategy::kBigM;
+  auto result = CheckConsistency(workloads::TeacherDtd(),
+                                 workloads::TeacherSigma(), options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_FALSE(result->consistent);
+  EXPECT_EQ(result->method, "ilp-big-m");
+}
+
+TEST(ConsistencyTest, ConsistentUnarySpecWithWitness) {
+  // Reverse the inclusion: teacher.name ⊆ subject.taught_by (every teacher
+  // teaches at least one of their own subjects) — consistent over D1.
+  Dtd d1 = workloads::TeacherDtd();
+  ConstraintSet sigma;
+  sigma.Add(Constraint::Key("teacher", {"name"}));
+  sigma.Add(Constraint::ForeignKey("teacher", {"name"}, "subject",
+                                   {"taught_by"}));
+  auto result = CheckConsistency(d1, sigma);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->consistent);
+  ASSERT_TRUE(result->witness.has_value());
+  EXPECT_TRUE(ValidateXml(*result->witness, d1).valid);
+  EXPECT_TRUE(Evaluate(*result->witness, sigma).satisfied);
+}
+
+TEST(ConsistencyTest, CatalogFkChainConsistent) {
+  Dtd dtd = workloads::CatalogDtd(4);
+  ConstraintSet sigma = workloads::CatalogFkChainSigma(4);
+  auto result = CheckConsistency(dtd, sigma);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->consistent);
+  ASSERT_TRUE(result->witness.has_value());
+  EXPECT_TRUE(ValidateXml(*result->witness, dtd).valid);
+  EXPECT_TRUE(Evaluate(*result->witness, sigma).satisfied)
+      << Evaluate(*result->witness, sigma).ToString();
+}
+
+TEST(ConsistencyTest, MutualInclusionForcesEqualCounts) {
+  // Dy-style gadget: two types forced to exactly one value each.
+  Dtd dtd = workloads::CatalogDtd(2);
+  ConstraintSet sigma;
+  sigma.Add(Constraint::Key("item1", {"id"}));
+  sigma.Add(Constraint::Key("item2", {"id"}));
+  sigma.Add(Constraint::Inclusion("item1", {"id"}, "item2", {"id"}));
+  sigma.Add(Constraint::Inclusion("item2", {"id"}, "item1", {"id"}));
+  auto result = CheckConsistency(dtd, sigma);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->consistent);
+  ASSERT_TRUE(result->witness.has_value());
+  // Equal numbers of item1/item2 elements.
+  EXPECT_EQ(result->witness->ExtOfType("item1").size(),
+            result->witness->ExtOfType("item2").size());
+}
+
+// --------------------------------------- Negated keys (Corollary 4.9 cell).
+
+TEST(ConsistencyTest, NegKeyNeedsTwoElements) {
+  Dtd d1 = workloads::TeacherDtd();
+  ConstraintSet sigma;
+  sigma.Add(Constraint::NegKey("teacher", {"name"}));
+  auto result = CheckConsistency(d1, sigma);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->constraint_class, ConstraintClass::kUnaryWithNegKey);
+  ASSERT_TRUE(result->consistent);
+  ASSERT_TRUE(result->witness.has_value());
+  // The witness must contain two teachers sharing a name.
+  EXPECT_GE(result->witness->ExtOfType("teacher").size(), 2u);
+  EXPECT_TRUE(Evaluate(*result->witness, sigma).satisfied);
+  EXPECT_TRUE(ValidateXml(*result->witness, d1).valid);
+}
+
+TEST(ConsistencyTest, NegKeyImpossibleWhenSingleton) {
+  // The root is unique, so ¬(key) over a once-occurring type is
+  // inconsistent.
+  Dtd chain = workloads::ChainDtd(2);
+  ConstraintSet sigma;
+  sigma.Add(Constraint::NegKey("e1", {"id"}));
+  auto result = CheckConsistency(chain, sigma);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->consistent);
+}
+
+TEST(ConsistencyTest, KeyAndItsNegationContradict) {
+  Dtd school = workloads::SchoolDtd();
+  ConstraintSet sigma;
+  sigma.Add(Constraint::Key("student", {"student_id"}));
+  sigma.Add(Constraint::NegKey("student", {"student_id"}));
+  auto result = CheckConsistency(school, sigma);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->consistent);
+}
+
+TEST(ConsistencyTest, PhantomCycleRepairedByConnectivityCuts) {
+  // P(a) = (a | end) lets the raw Ψ_D equations place a's in a parentless
+  // cycle (ext(a) = k, x(a,a) = k, nothing from the root). The negated key
+  // needs ext(a) ≥ 2, which such phantom solutions "satisfy"; the
+  // support-connectivity cuts must steer the solver to a real chain, and
+  // the checked witness proves it.
+  DtdBuilder builder;
+  builder.SetRoot("r");
+  builder.AddElement("r", Regex::Union(Regex::Elem("a"), Regex::Elem("end")));
+  builder.AddElement("a", Regex::Union(Regex::Elem("a"), Regex::Elem("end")));
+  builder.AddElement("end", Regex::Epsilon());
+  builder.AddAttribute("a", "id");
+  auto dtd = builder.Build();
+  ASSERT_TRUE(dtd.ok());
+  ConstraintSet sigma;
+  sigma.Add(Constraint::NegKey("a", {"id"}));
+  auto result = CheckConsistency(*dtd, sigma);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_TRUE(result->consistent);
+  ASSERT_TRUE(result->witness.has_value());
+  // ≥ 2 a's, all on a root-connected chain (witness verification would have
+  // failed otherwise).
+  EXPECT_GE(result->witness->ExtOfType("a").size(), 2u);
+  EXPECT_TRUE(Evaluate(*result->witness, sigma).satisfied);
+  EXPECT_TRUE(ValidateXml(*result->witness, *dtd).valid);
+}
+
+TEST(ConsistencyTest, UnproductiveTypesPinnedToZero) {
+  // P(loop) = loop is reachable but unproductive; the ext(loop) = 0 row
+  // makes any constraint requiring loops inconsistent, while leaving the
+  // rest of the document satisfiable.
+  DtdBuilder builder;
+  builder.SetRoot("r");
+  builder.AddElement(
+      "r", Regex::Concat(Regex::Elem("a"),
+                         Regex::Star(Regex::Elem("loop"))));
+  builder.AddElement("a", Regex::Epsilon());
+  builder.AddElement("loop", Regex::Elem("loop"));
+  builder.AddAttribute("a", "id");
+  builder.AddAttribute("loop", "id");
+  auto dtd = builder.Build();
+  ASSERT_TRUE(dtd.ok());
+
+  ConstraintSet fine;
+  fine.Add(Constraint::Key("a", {"id"}));
+  fine.Add(Constraint::Inclusion("a", {"id"}, "a", {"id"}));
+  auto ok = CheckConsistency(*dtd, fine);
+  ASSERT_TRUE(ok.ok()) << ok.status();
+  EXPECT_TRUE(ok->consistent);
+  EXPECT_TRUE(ok->witness->ExtOfType("loop").empty());
+
+  ConstraintSet needs_loop;
+  needs_loop.Add(Constraint::Inclusion("a", {"id"}, "loop", {"id"}));
+  auto bad = CheckConsistency(*dtd, needs_loop);
+  ASSERT_TRUE(bad.ok()) << bad.status();
+  // a occurs in every document, so its id needs a home among loop ids —
+  // but loops cannot exist.
+  EXPECT_FALSE(bad->consistent);
+}
+
+// ----------------------------- Multi-attribute (undecidable; Theorem 3.1).
+
+TEST(ConsistencyTest, MultiAttributeRefused) {
+  auto result =
+      CheckConsistency(workloads::SchoolDtd(), workloads::SchoolSigma());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUndecidableClass);
+  EXPECT_NE(result.status().message().find("Theorem 3.1"), std::string::npos);
+}
+
+// -------------------------------------------------- Theorem 4.7 instances.
+
+TEST(ConsistencyTest, LipGadgetMatchesBruteForce) {
+  // Hand-crafted satisfiable system: rows {x1}, {x1,x2} — x = (1,0).
+  workloads::BinaryLipInstance sat;
+  sat.rows = 2;
+  sat.cols = 2;
+  sat.a = {1, 0, 1, 1};
+  ASSERT_TRUE(workloads::LipHasBinarySolution(sat));
+  auto enc = workloads::EncodeLipAsConsistency(sat);
+  auto result = CheckConsistency(enc.dtd, enc.sigma);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->consistent);
+
+  // Unsatisfiable: rows {x1}, {x2}, {x1,x2} — x1=x2=1 breaks row 3.
+  workloads::BinaryLipInstance unsat;
+  unsat.rows = 3;
+  unsat.cols = 2;
+  unsat.a = {1, 0, 0, 1, 1, 1};
+  ASSERT_FALSE(workloads::LipHasBinarySolution(unsat));
+  auto enc2 = workloads::EncodeLipAsConsistency(unsat);
+  auto result2 = CheckConsistency(enc2.dtd, enc2.sigma);
+  ASSERT_TRUE(result2.ok()) << result2.status();
+  EXPECT_FALSE(result2->consistent);
+}
+
+// -------------------------------------------------------------- Options.
+
+TEST(ConsistencyTest, WitnessCanBeDisabled) {
+  ConsistencyOptions options;
+  options.build_witness = false;
+  auto result = CheckConsistency(workloads::TeacherDtd(), ConstraintSet(),
+                                 options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->consistent);
+  EXPECT_FALSE(result->witness.has_value());
+}
+
+TEST(ConsistencyTest, BadConstraintsRejectedUpfront) {
+  ConstraintSet sigma;
+  sigma.Add(Constraint::Key("ghost", {"x"}));
+  auto result = CheckConsistency(workloads::TeacherDtd(), sigma);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ConsistencyTest, StatsPopulatedOnIlpPath) {
+  auto result =
+      CheckConsistency(workloads::TeacherDtd(), workloads::TeacherSigma());
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->stats.system_variables, 0u);
+  EXPECT_GT(result->stats.system_constraints, 0u);
+  EXPECT_GT(result->stats.ilp_nodes, 0u);
+}
+
+}  // namespace
+}  // namespace xicc

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "constraints/constraint.h"
+#include "constraints/constraint_parser.h"
+#include "workloads/paper_examples.h"
+
+namespace xicc {
+namespace {
+
+TEST(ConstraintTest, FactoriesAndToString) {
+  Constraint key = Constraint::Key("teacher", {"name"});
+  EXPECT_EQ(key.ToString(), "teacher.name -> teacher");
+
+  Constraint multi = Constraint::Key("course", {"dept", "course_no"});
+  EXPECT_EQ(multi.ToString(), "course[dept,course_no] -> course");
+  EXPECT_FALSE(multi.IsUnary());
+
+  Constraint inc =
+      Constraint::Inclusion("subject", {"taught_by"}, "teacher", {"name"});
+  EXPECT_EQ(inc.ToString(), "subject.taught_by <= teacher.name");
+  EXPECT_TRUE(inc.IsUnary());
+
+  Constraint fk =
+      Constraint::ForeignKey("subject", {"taught_by"}, "teacher", {"name"});
+  EXPECT_EQ(fk.ToString(),
+            "subject.taught_by <= teacher.name, teacher.name -> teacher");
+
+  Constraint neg_key = Constraint::NegKey("teacher", {"name"});
+  EXPECT_EQ(neg_key.ToString(), "teacher.name -/-> teacher");
+  EXPECT_TRUE(neg_key.IsNegation());
+
+  Constraint neg_inc =
+      Constraint::NegInclusion("a", {"x"}, "b", {"y"});
+  EXPECT_EQ(neg_inc.ToString(), "a.x </= b.y");
+  EXPECT_TRUE(neg_inc.IsNegation());
+}
+
+TEST(ConstraintTest, CheckAgainstDtd) {
+  Dtd d1 = workloads::TeacherDtd();
+  EXPECT_TRUE(workloads::TeacherSigma().CheckAgainst(d1).ok());
+
+  ConstraintSet bad_type;
+  bad_type.Add(Constraint::Key("ghost", {"x"}));
+  EXPECT_FALSE(bad_type.CheckAgainst(d1).ok());
+
+  ConstraintSet bad_attr;
+  bad_attr.Add(Constraint::Key("teacher", {"salary"}));
+  EXPECT_FALSE(bad_attr.CheckAgainst(d1).ok());
+
+  ConstraintSet repeated;
+  repeated.Add(Constraint::Key("teacher", {"name", "name"}));
+  EXPECT_FALSE(repeated.CheckAgainst(d1).ok());
+
+  ConstraintSet arity;
+  arity.Add(Constraint{ConstraintKind::kInclusion,
+                       "subject",
+                       {"taught_by"},
+                       "teacher",
+                       {}});
+  EXPECT_FALSE(arity.CheckAgainst(d1).ok());
+}
+
+TEST(ConstraintTest, ClassifyLadder) {
+  ConstraintSet empty;
+  EXPECT_EQ(empty.Classify(), ConstraintClass::kEmpty);
+
+  ConstraintSet keys;
+  keys.Add(Constraint::Key("course", {"dept", "course_no"}));
+  keys.Add(Constraint::Key("student", {"student_id"}));
+  // Multi-attribute *keys* stay in the linear class (Theorem 3.5).
+  EXPECT_EQ(keys.Classify(), ConstraintClass::kKeysOnly);
+
+  ConstraintSet unary = workloads::TeacherSigma();
+  EXPECT_EQ(unary.Classify(), ConstraintClass::kUnaryKeyFk);
+
+  ConstraintSet with_neg_key = unary;
+  with_neg_key.Add(Constraint::NegKey("teacher", {"name"}));
+  EXPECT_EQ(with_neg_key.Classify(), ConstraintClass::kUnaryWithNegKey);
+
+  ConstraintSet with_neg_ic = with_neg_key;
+  with_neg_ic.Add(
+      Constraint::NegInclusion("teacher", {"name"}, "subject", {"taught_by"}));
+  EXPECT_EQ(with_neg_ic.Classify(), ConstraintClass::kUnaryWithNegIc);
+
+  EXPECT_EQ(workloads::SchoolSigma().Classify(),
+            ConstraintClass::kMultiAttribute);
+
+  // A multi-attribute key *mixed with* unary inclusions leaves the unary
+  // classes too.
+  ConstraintSet mixed;
+  mixed.Add(Constraint::Key("course", {"dept", "course_no"}));
+  mixed.Add(Constraint::Inclusion("enroll", {"student_id"}, "student",
+                                  {"student_id"}));
+  EXPECT_EQ(mixed.Classify(), ConstraintClass::kMultiAttribute);
+}
+
+TEST(ConstraintTest, NormalizeExpandsForeignKeys) {
+  ConstraintSet sigma = workloads::TeacherSigma();
+  ConstraintSet normalized = sigma.Normalize();
+  // key(teacher.name), key(subject.taught_by), inclusion, key from FK
+  // (deduplicated with the explicit teacher.name key).
+  EXPECT_EQ(normalized.size(), 3u);
+  for (const Constraint& c : normalized.constraints()) {
+    EXPECT_NE(c.kind, ConstraintKind::kForeignKey);
+  }
+}
+
+TEST(ConstraintTest, PrimaryKeyRestriction) {
+  ConstraintSet one;
+  one.Add(Constraint::Key("teacher", {"name"}));
+  EXPECT_TRUE(one.SatisfiesPrimaryKeyRestriction());
+
+  ConstraintSet two;
+  two.Add(Constraint::Key("teacher", {"name"}));
+  two.Add(Constraint::Key("teacher", {"office"}));
+  EXPECT_FALSE(two.SatisfiesPrimaryKeyRestriction());
+
+  // The same key twice (also via a foreign key) is still primary.
+  ConstraintSet dup;
+  dup.Add(Constraint::Key("teacher", {"name"}));
+  dup.Add(Constraint::ForeignKey("subject", {"taught_by"}, "teacher",
+                                 {"name"}));
+  EXPECT_TRUE(dup.SatisfiesPrimaryKeyRestriction());
+}
+
+// ------------------------------------------------------------------ Parser.
+
+TEST(ConstraintParserTest, ParsesAllForms) {
+  auto sigma = ParseConstraints(R"(
+    # the teacher constraints
+    key teacher(name)
+    key subject(taught_by)
+    fk subject(taught_by) => teacher(name)
+
+    inclusion enroll(student_id) <= student(student_id)
+    !key teacher(name)
+    !inclusion subject(taught_by) <= teacher(name)
+    key course(dept, course_no)
+  )");
+  ASSERT_TRUE(sigma.ok()) << sigma.status();
+  ASSERT_EQ(sigma->size(), 7u);
+  EXPECT_EQ(sigma->constraints()[0].kind, ConstraintKind::kKey);
+  EXPECT_EQ(sigma->constraints()[2].kind, ConstraintKind::kForeignKey);
+  EXPECT_EQ(sigma->constraints()[3].kind, ConstraintKind::kInclusion);
+  EXPECT_EQ(sigma->constraints()[4].kind, ConstraintKind::kNegKey);
+  EXPECT_EQ(sigma->constraints()[5].kind, ConstraintKind::kNegInclusion);
+  EXPECT_EQ(sigma->constraints()[6].attrs1.size(), 2u);
+}
+
+TEST(ConstraintParserTest, RoundTripThroughToString) {
+  ConstraintSet original = workloads::TeacherSigma();
+  // ToString is paper notation, not parser notation, so round-trip via the
+  // parser syntax instead.
+  auto reparsed = ParseConstraints(
+      "key teacher(name)\nkey subject(taught_by)\n"
+      "fk subject(taught_by) => teacher(name)\n");
+  ASSERT_TRUE(reparsed.ok());
+  ASSERT_EQ(reparsed->size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(reparsed->constraints()[i], original.constraints()[i]);
+  }
+}
+
+TEST(ConstraintParserTest, Rejections) {
+  EXPECT_FALSE(ParseConstraint("key teacher()").ok());
+  EXPECT_FALSE(ParseConstraint("key teacher").ok());
+  EXPECT_FALSE(ParseConstraint("primary teacher(name)").ok());
+  EXPECT_FALSE(ParseConstraint("inclusion a(x) => b(y)").ok());  // Wrong arrow.
+  EXPECT_FALSE(ParseConstraint("fk a(x) <= b(y)").ok());         // Wrong arrow.
+  EXPECT_FALSE(ParseConstraint("inclusion a(x,y) <= b(z)").ok());  // Arity.
+  EXPECT_FALSE(ParseConstraint("!fk a(x) => b(y)").ok());  // No negated FKs.
+  EXPECT_FALSE(ParseConstraint("key teacher(name) extra").ok());
+  EXPECT_FALSE(ParseConstraint("key 1bad(name)").ok());
+}
+
+TEST(ConstraintParserTest, ErrorsNameTheLine) {
+  auto sigma = ParseConstraints("key a(x)\nbogus line\n");
+  ASSERT_FALSE(sigma.ok());
+  EXPECT_NE(sigma.status().message().find("constraints:2"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace xicc

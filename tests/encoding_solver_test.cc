@@ -1,0 +1,128 @@
+// Tests for the tree-realizability layer: support connectivity, phantom
+// cuts, and the minimum-size feature built on the same machinery.
+
+#include <gtest/gtest.h>
+
+#include "constraints/evaluator.h"
+#include "core/consistency.h"
+#include "core/encoding_solver.h"
+#include "dtd/validator.h"
+#include "workloads/generators.h"
+#include "workloads/paper_examples.h"
+
+namespace xicc {
+namespace {
+
+/// The phantom-prone DTD: r → (a | end), a → (a | end).
+Result<Dtd> PhantomDtd() {
+  DtdBuilder builder;
+  builder.SetRoot("r");
+  builder.AddElement("r", Regex::Union(Regex::Elem("a"), Regex::Elem("end")));
+  builder.AddElement("a", Regex::Union(Regex::Elem("a"), Regex::Elem("end")));
+  builder.AddElement("end", Regex::Epsilon());
+  builder.AddAttribute("a", "id");
+  return builder.Build();
+}
+
+TEST(EncodingSolverTest, ConnectedSolutionPassesCheck) {
+  auto dtd = PhantomDtd();
+  ASSERT_TRUE(dtd.ok());
+  auto enc = BuildCardinalityEncoding(*dtd, ConstraintSet());
+  ASSERT_TRUE(enc.ok());
+  EncodingSolveOptions options;
+  auto solved = SolveEncodingSystem(*enc, enc->system, options);
+  ASSERT_TRUE(solved.ok()) << solved.status();
+  ASSERT_TRUE(solved->feasible);
+  EXPECT_TRUE(SupportIsConnected(*enc, *solved));
+}
+
+TEST(EncodingSolverTest, ForcedCountGetsConnectedSolution) {
+  // ext(a) ≥ 3 has phantom solutions (a 3-ring); the cuts must deliver a
+  // connected one.
+  auto dtd = PhantomDtd();
+  ASSERT_TRUE(dtd.ok());
+  auto enc = BuildCardinalityEncoding(*dtd, ConstraintSet());
+  ASSERT_TRUE(enc.ok());
+  enc->system.AddConstraint(LinearExpr::Var(enc->ext_var.at("a")), RelOp::kGe,
+                            BigInt(3));
+  EncodingSolveOptions options;
+  auto solved = SolveEncodingSystem(*enc, enc->system, options);
+  ASSERT_TRUE(solved.ok()) << solved.status();
+  ASSERT_TRUE(solved->feasible);
+  EXPECT_TRUE(SupportIsConnected(*enc, *solved));
+  EXPECT_GE(solved->values[enc->ext_var.at("a")], BigInt(3));
+}
+
+TEST(EncodingSolverTest, ImpossibleCountStaysInfeasible) {
+  // D1: |ext(subject)| is always even; forcing subject = 2·teacher + parity
+  // trap via ext(subject) == 3 must come back infeasible, not phantom-SAT.
+  Dtd d1 = workloads::TeacherDtd();
+  auto enc = BuildCardinalityEncoding(d1, ConstraintSet());
+  ASSERT_TRUE(enc.ok());
+  enc->system.AddConstraint(LinearExpr::Var(enc->ext_var.at("subject")),
+                            RelOp::kEq, BigInt(3));
+  EncodingSolveOptions options;
+  auto solved = SolveEncodingSystem(*enc, enc->system, options);
+  ASSERT_TRUE(solved.ok()) << solved.status();
+  EXPECT_FALSE(solved->feasible);
+}
+
+// --------------------------------------------------- min_witness_nodes.
+
+TEST(MinWitnessTest, KeysOnlyPathGrowsOnDemand) {
+  Dtd school = workloads::SchoolDtd();
+  ConstraintSet keys;
+  keys.Add(Constraint::Key("student", {"student_id"}));
+  ConsistencyOptions options;
+  options.min_witness_nodes = 25;
+  auto result = CheckConsistency(school, keys, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_TRUE(result->consistent);
+  ASSERT_TRUE(result->witness.has_value());
+  size_t elements = 0;
+  for (NodeId node = 0; node < result->witness->size(); ++node) {
+    if (result->witness->IsElement(node)) ++elements;
+  }
+  EXPECT_GE(elements, 25u);
+  EXPECT_TRUE(ValidateXml(*result->witness, school).valid);
+  EXPECT_TRUE(Evaluate(*result->witness, keys).satisfied);
+}
+
+TEST(MinWitnessTest, UnaryPathRespectsConstraintsAtSize) {
+  Dtd dtd = workloads::CatalogDtd(2);
+  ConstraintSet sigma = workloads::CatalogFkChainSigma(2);
+  ConsistencyOptions options;
+  options.min_witness_nodes = 30;
+  auto result = CheckConsistency(dtd, sigma, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_TRUE(result->consistent);
+  ASSERT_TRUE(result->witness.has_value());
+  size_t elements = 0;
+  for (NodeId node = 0; node < result->witness->size(); ++node) {
+    if (result->witness->IsElement(node)) ++elements;
+  }
+  EXPECT_GE(elements, 30u);
+  EXPECT_TRUE(Evaluate(*result->witness, sigma).satisfied);
+}
+
+TEST(MinWitnessTest, RigidDtdCannotGrow) {
+  // A chain DTD has exactly one document; asking for more nodes than it has
+  // is honestly infeasible.
+  Dtd chain = workloads::ChainDtd(3);  // r + e1..e3 = 4 elements.
+  ConsistencyOptions options;
+  options.min_witness_nodes = 10;
+  auto result = CheckConsistency(chain, ConstraintSet(), options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_FALSE(result->consistent);
+  EXPECT_NE(result->explanation.find("minimum size"), std::string::npos);
+}
+
+TEST(MinWitnessTest, ZeroMeansUnconstrained) {
+  Dtd chain = workloads::ChainDtd(3);
+  auto result = CheckConsistency(chain, ConstraintSet());
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->consistent);
+}
+
+}  // namespace
+}  // namespace xicc

@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include "constraints/evaluator.h"
+#include "workloads/paper_examples.h"
+#include "xml/parser.h"
+
+namespace xicc {
+namespace {
+
+XmlTree MustParse(const std::string& text) {
+  auto tree = ParseXml(text);
+  EXPECT_TRUE(tree.ok()) << tree.status();
+  return std::move(tree).value();
+}
+
+XmlTree Figure1Tree() {
+  // The Figure 1 document: both subjects point at Joe, so
+  // subject.taught_by → subject fails (as the paper observes).
+  return MustParse(R"(
+    <teachers>
+      <teacher name="Joe">
+        <teach>
+          <subject taught_by="Joe">XML</subject>
+          <subject taught_by="Joe">DB</subject>
+        </teach>
+        <research>Web DB</research>
+      </teacher>
+    </teachers>)");
+}
+
+TEST(EvaluatorTest, KeySatisfied) {
+  XmlTree tree = Figure1Tree();
+  EXPECT_TRUE(Evaluate(tree, Constraint::Key("teacher", {"name"})).satisfied);
+}
+
+TEST(EvaluatorTest, Figure1ViolatesSubjectKey) {
+  XmlTree tree = Figure1Tree();
+  EvaluationReport report =
+      Evaluate(tree, Constraint::Key("subject", {"taught_by"}));
+  EXPECT_FALSE(report.satisfied);
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_NE(report.violations[0].node, kInvalidNode);
+  EXPECT_NE(report.violations[0].other, kInvalidNode);
+  EXPECT_NE(report.violations[0].message.find("Joe"), std::string::npos);
+}
+
+TEST(EvaluatorTest, InclusionSatisfiedAndViolated) {
+  XmlTree tree = Figure1Tree();
+  EXPECT_TRUE(Evaluate(tree, Constraint::Inclusion("subject", {"taught_by"},
+                                                   "teacher", {"name"}))
+                  .satisfied);
+  // Reverse direction: teacher.name ⊆ subject.taught_by holds here too
+  // (Joe appears in both). Change the name to break it.
+  XmlTree other = MustParse(R"(
+    <teachers>
+      <teacher name="Ann">
+        <teach>
+          <subject taught_by="Joe">XML</subject>
+          <subject taught_by="Joe">DB</subject>
+        </teach>
+        <research>R</research>
+      </teacher>
+    </teachers>)");
+  EvaluationReport report = Evaluate(
+      other, Constraint::Inclusion("subject", {"taught_by"}, "teacher",
+                                   {"name"}));
+  EXPECT_FALSE(report.satisfied);
+  EXPECT_NE(report.violations[0].message.find("no matching"),
+            std::string::npos);
+}
+
+TEST(EvaluatorTest, ForeignKeyChecksBothParts) {
+  XmlTree tree = Figure1Tree();
+  // Inclusion holds but the target key teacher.name holds as well; the
+  // FK as a whole holds.
+  EXPECT_TRUE(
+      Evaluate(tree, Constraint::ForeignKey("subject", {"taught_by"},
+                                            "teacher", {"name"}))
+          .satisfied);
+  // Duplicate teacher names break the key component.
+  XmlTree dup = MustParse(R"(
+    <teachers>
+      <teacher name="Joe">
+        <teach>
+          <subject taught_by="Joe">A</subject>
+          <subject taught_by="Joe">B</subject>
+        </teach>
+        <research>R</research>
+      </teacher>
+      <teacher name="Joe">
+        <teach>
+          <subject taught_by="Joe">C</subject>
+          <subject taught_by="Joe">D</subject>
+        </teach>
+        <research>R</research>
+      </teacher>
+    </teachers>)");
+  EXPECT_FALSE(
+      Evaluate(dup, Constraint::ForeignKey("subject", {"taught_by"},
+                                           "teacher", {"name"}))
+          .satisfied);
+}
+
+TEST(EvaluatorTest, WholeSigmaOnFigure1) {
+  // The paper: the Figure 1 tree violates subject.taught_by → subject.
+  EvaluationReport report = Evaluate(Figure1Tree(), workloads::TeacherSigma());
+  EXPECT_FALSE(report.satisfied);
+}
+
+TEST(EvaluatorTest, MultiAttributeKey) {
+  XmlTree tree = MustParse(R"(
+    <school>
+      <course dept="CS" course_no="1"><subject>A</subject></course>
+      <course dept="CS" course_no="2"><subject>B</subject></course>
+      <course dept="EE" course_no="1"><subject>C</subject></course>
+    </school>)");
+  // Pairwise distinct (dept, course_no) pairs.
+  EXPECT_TRUE(
+      Evaluate(tree, Constraint::Key("course", {"dept", "course_no"}))
+          .satisfied);
+  // course_no alone is not a key here.
+  EXPECT_FALSE(Evaluate(tree, Constraint::Key("course", {"course_no"}))
+                   .satisfied);
+}
+
+TEST(EvaluatorTest, MultiAttributeInclusion) {
+  XmlTree tree = MustParse(R"(
+    <school>
+      <course dept="CS" course_no="1"><subject>A</subject></course>
+      <enroll student_id="s1" dept="CS" course_no="1"/>
+      <enroll student_id="s1" dept="EE" course_no="9"/>
+    </school>)");
+  EvaluationReport report = Evaluate(
+      tree, Constraint::Inclusion("enroll", {"dept", "course_no"}, "course",
+                                  {"dept", "course_no"}));
+  EXPECT_FALSE(report.satisfied);
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_NE(report.violations[0].message.find("EE"), std::string::npos);
+}
+
+TEST(EvaluatorTest, NegatedKeyNeedsAClash) {
+  XmlTree tree = Figure1Tree();
+  // Subjects clash on taught_by: ¬key satisfied.
+  EXPECT_TRUE(Evaluate(tree, Constraint::NegKey("subject", {"taught_by"}))
+                  .satisfied);
+  // Teachers are unique: ¬key violated.
+  EvaluationReport report =
+      Evaluate(tree, Constraint::NegKey("teacher", {"name"}));
+  EXPECT_FALSE(report.satisfied);
+  EXPECT_EQ(report.violations[0].node, kInvalidNode);
+}
+
+TEST(EvaluatorTest, NegatedInclusionNeedsADangler) {
+  XmlTree tree = Figure1Tree();
+  // Every taught_by matches a name: ¬inclusion violated.
+  EXPECT_FALSE(Evaluate(tree, Constraint::NegInclusion(
+                                  "subject", {"taught_by"}, "teacher",
+                                  {"name"}))
+                   .satisfied);
+  // name "Joe" ⊆ taught_by values holds, so its negation fails too.
+  EXPECT_FALSE(Evaluate(tree, Constraint::NegInclusion(
+                                  "teacher", {"name"}, "subject",
+                                  {"taught_by"}))
+                   .satisfied);
+}
+
+TEST(EvaluatorTest, EmptyExtensionEdgeCases) {
+  XmlTree tree = MustParse("<school/>");
+  // Keys over empty extensions hold; negated keys do not.
+  EXPECT_TRUE(Evaluate(tree, Constraint::Key("course", {"dept"})).satisfied);
+  EXPECT_FALSE(
+      Evaluate(tree, Constraint::NegKey("course", {"dept"})).satisfied);
+  // Inclusions from an empty source hold vacuously.
+  EXPECT_TRUE(Evaluate(tree, Constraint::Inclusion("enroll", {"student_id"},
+                                                   "student", {"student_id"}))
+                  .satisfied);
+  // A negated inclusion needs a source element.
+  EXPECT_FALSE(
+      Evaluate(tree, Constraint::NegInclusion("enroll", {"student_id"},
+                                              "student", {"student_id"}))
+          .satisfied);
+}
+
+TEST(EvaluatorTest, MissingAttributeIsViolation) {
+  XmlTree tree("r");
+  NodeId a = tree.AddElement(tree.root(), "a");
+  (void)a;  // No attribute set.
+  EvaluationReport report = Evaluate(tree, Constraint::Key("a", {"id"}));
+  EXPECT_FALSE(report.satisfied);
+  EXPECT_NE(report.violations[0].message.find("lacks an attribute"),
+            std::string::npos);
+}
+
+TEST(EvaluatorTest, SetEvaluationAggregates) {
+  XmlTree tree = Figure1Tree();
+  ConstraintSet sigma = workloads::TeacherSigma();
+  sigma.Add(Constraint::NegKey("teacher", {"name"}));
+  EvaluationReport report = Evaluate(tree, sigma);
+  EXPECT_FALSE(report.satisfied);
+  EXPECT_GE(report.violations.size(), 2u);
+}
+
+}  // namespace
+}  // namespace xicc

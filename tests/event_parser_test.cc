@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "dtd/glushkov.h"
+#include "xml/event_parser.h"
+
+namespace xicc {
+namespace {
+
+/// Records the event stream as strings like "start:a[x=1]", "text:hi",
+/// "end:a"; can abort on a chosen element name.
+class RecordingHandler : public XmlEventHandler {
+ public:
+  explicit RecordingHandler(std::string abort_on = "")
+      : abort_on_(std::move(abort_on)) {}
+
+  Status StartElement(
+      const std::string& name,
+      const std::vector<std::pair<std::string, std::string>>& attrs) override {
+    if (name == abort_on_) {
+      return Status::InvalidArgument("handler aborted on <" + name + ">");
+    }
+    std::string event = "start:" + name;
+    for (const auto& [attr, value] : attrs) {
+      event += "[" + attr + "=" + value + "]";
+    }
+    events.push_back(std::move(event));
+    return Status::Ok();
+  }
+
+  Status Text(const std::string& value) override {
+    events.push_back("text:" + value);
+    return Status::Ok();
+  }
+
+  Status EndElement(const std::string& name) override {
+    events.push_back("end:" + name);
+    return Status::Ok();
+  }
+
+  std::vector<std::string> events;
+
+ private:
+  std::string abort_on_;
+};
+
+TEST(EventParserTest, EventOrderAndAttributes) {
+  RecordingHandler handler;
+  Status status = ParseXmlEvents(
+      "<a x=\"1\" y=\"2\"><b>hi</b><c/></a>", &handler);
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_EQ(handler.events,
+            (std::vector<std::string>{"start:a[x=1][y=2]", "start:b",
+                                      "text:hi", "end:b", "start:c", "end:c",
+                                      "end:a"}));
+}
+
+TEST(EventParserTest, SelfClosingGetsBothEvents) {
+  RecordingHandler handler;
+  ASSERT_TRUE(ParseXmlEvents("<only/>", &handler).ok());
+  EXPECT_EQ(handler.events,
+            (std::vector<std::string>{"start:only", "end:only"}));
+}
+
+TEST(EventParserTest, HandlerErrorAbortsParse) {
+  RecordingHandler handler("bad");
+  Status status =
+      ParseXmlEvents("<a><ok/><bad/><never/></a>", &handler);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("aborted on <bad>"), std::string::npos);
+  // Events before the abort were delivered; nothing after.
+  EXPECT_EQ(handler.events,
+            (std::vector<std::string>{"start:a", "start:ok", "end:ok"}));
+}
+
+TEST(EventParserTest, WhitespaceTextPolicy) {
+  RecordingHandler squashed;
+  ASSERT_TRUE(ParseXmlEvents("<a>\n  <b/>\n</a>", &squashed).ok());
+  EXPECT_EQ(squashed.events,
+            (std::vector<std::string>{"start:a", "start:b", "end:b",
+                                      "end:a"}));
+
+  XmlParseOptions keep;
+  keep.skip_whitespace_text = false;
+  RecordingHandler kept;
+  ASSERT_TRUE(ParseXmlEvents("<a>\n  <b/>\n</a>", &kept, keep).ok());
+  EXPECT_EQ(kept.events.size(), 6u);  // Two whitespace text events survive.
+}
+
+// ---------------------------------------------- Stepwise Glushkov matching.
+
+TEST(GlushkovStepwiseTest, StepAndAccept) {
+  // (a, b*) — streaming through the automaton.
+  ContentModelMatcher m(
+      Regex::Concat(Regex::Elem("a"), Regex::Star(Regex::Elem("b"))));
+  int state = ContentModelMatcher::kStartState;
+  EXPECT_FALSE(m.AcceptsAt(state));
+  state = m.Step(state, "a");
+  EXPECT_TRUE(m.AcceptsAt(state));
+  state = m.Step(state, "b");
+  EXPECT_TRUE(m.AcceptsAt(state));
+  state = m.Step(state, "b");
+  EXPECT_TRUE(m.AcceptsAt(state));
+  state = m.Step(state, "a");
+  EXPECT_EQ(state, ContentModelMatcher::kDeadState);
+  EXPECT_FALSE(m.AcceptsAt(state));
+  // Dead is absorbing.
+  EXPECT_EQ(m.Step(state, "b"), ContentModelMatcher::kDeadState);
+}
+
+TEST(GlushkovStepwiseTest, StartStateNullability) {
+  ContentModelMatcher nullable(Regex::Star(Regex::Elem("a")));
+  EXPECT_TRUE(nullable.AcceptsAt(ContentModelMatcher::kStartState));
+  ContentModelMatcher strict(Regex::Elem("a"));
+  EXPECT_FALSE(strict.AcceptsAt(ContentModelMatcher::kStartState));
+}
+
+TEST(GlushkovStepwiseTest, StepwiseMatchesBatch) {
+  RegexPtr r = Regex::Concat(
+      Regex::Union(Regex::Elem("a"),
+                   Regex::Concat(Regex::Elem("a"), Regex::Elem("b"))),
+      Regex::Elem("b"));
+  ContentModelMatcher m(r);
+  for (const std::vector<std::string>& word :
+       {std::vector<std::string>{"a", "b"},
+        std::vector<std::string>{"a", "b", "b"},
+        std::vector<std::string>{"a"},
+        std::vector<std::string>{"b"},
+        std::vector<std::string>{}}) {
+    int state = ContentModelMatcher::kStartState;
+    for (const std::string& symbol : word) state = m.Step(state, symbol);
+    EXPECT_EQ(m.AcceptsAt(state), m.Matches(word));
+  }
+}
+
+}  // namespace
+}  // namespace xicc

@@ -1,0 +1,125 @@
+// Robustness sweeps: the parsers must return error statuses — never crash,
+// hang, or accept garbage silently — on mutated and random inputs.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+
+#include "constraints/constraint_parser.h"
+#include "dtd/dtd_parser.h"
+#include "xml/parser.h"
+
+namespace xicc {
+namespace {
+
+const char* kSeedXml =
+    "<teachers><teacher name=\"Joe\"><teach><subject taught_by=\"Joe\">XML"
+    "</subject><subject taught_by=\"Joe\">DB</subject></teach>"
+    "<research>R&amp;D</research></teacher></teachers>";
+
+const char* kSeedDtd =
+    "<!ELEMENT teachers (teacher+)>\n"
+    "<!ELEMENT teacher (teach, research)>\n"
+    "<!ELEMENT teach (subject, subject)>\n"
+    "<!ELEMENT subject (#PCDATA)>\n"
+    "<!ELEMENT research (#PCDATA)>\n"
+    "<!ATTLIST teacher name CDATA #REQUIRED>\n"
+    "<!ATTLIST subject taught_by IDREF #REQUIRED>\n";
+
+const char* kSeedSigma =
+    "key teacher(name)\n"
+    "fk subject(taught_by) => teacher(name)\n"
+    "!inclusion subject(taught_by) <= teacher(name)\n";
+
+std::string Mutate(const std::string& input, std::mt19937_64* rng) {
+  std::string out = input;
+  std::uniform_int_distribution<int> op_dist(0, 3);
+  std::uniform_int_distribution<size_t> pos_dist(0, out.size());
+  // ASCII printable plus a few hostile bytes.
+  const std::string alphabet = "<>&\"'()|,*#!x0 \t\n\x01\x7f";
+  std::uniform_int_distribution<size_t> chr_dist(0, alphabet.size() - 1);
+  int mutations = 1 + static_cast<int>((*rng)() % 4);
+  for (int i = 0; i < mutations; ++i) {
+    if (out.empty()) break;
+    size_t pos = pos_dist(*rng) % out.size();
+    switch (op_dist(*rng)) {
+      case 0:  // Flip a character.
+        out[pos] = alphabet[chr_dist(*rng)];
+        break;
+      case 1:  // Delete a span.
+        out.erase(pos, 1 + (*rng)() % 5);
+        break;
+      case 2:  // Duplicate a span.
+        out.insert(pos, out.substr(pos, 1 + (*rng)() % 8));
+        break;
+      default:  // Insert noise.
+        out.insert(pos, 1, alphabet[chr_dist(*rng)]);
+        break;
+    }
+  }
+  return out;
+}
+
+class FuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzTest, XmlParserNeverCrashes) {
+  std::mt19937_64 rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string input = Mutate(kSeedXml, &rng);
+    auto tree = ParseXml(input);  // Must return, ok or not.
+    if (tree.ok()) {
+      // Accepted documents must be internally consistent.
+      EXPECT_GE(tree->size(), 1u);
+      EXPECT_TRUE(tree->IsElement(tree->root()));
+    }
+  }
+}
+
+TEST_P(FuzzTest, DtdParserNeverCrashes) {
+  std::mt19937_64 rng(GetParam() * 31 + 1);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string input = Mutate(kSeedDtd, &rng);
+    auto dtd = ParseDtd(input);
+    if (dtd.ok()) {
+      EXPECT_FALSE(dtd->elements().empty());
+      EXPECT_TRUE(dtd->HasElement(dtd->root()));
+    }
+  }
+}
+
+TEST_P(FuzzTest, ConstraintParserNeverCrashes) {
+  std::mt19937_64 rng(GetParam() * 17 + 5);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string input = Mutate(kSeedSigma, &rng);
+    auto sigma = ParseConstraints(input);
+    if (sigma.ok()) {
+      for (const Constraint& c : sigma->constraints()) {
+        EXPECT_FALSE(c.type1.empty());
+        EXPECT_FALSE(c.attrs1.empty());
+      }
+    }
+  }
+}
+
+TEST_P(FuzzTest, RandomBytesRejectedGracefully) {
+  std::mt19937_64 rng(GetParam() * 101 + 7);
+  std::uniform_int_distribution<int> byte_dist(1, 126);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string input;
+    size_t len = (rng() % 300);
+    input.reserve(len);
+    for (size_t i = 0; i < len; ++i) {
+      input.push_back(static_cast<char>(byte_dist(rng)));
+    }
+    (void)ParseXml(input);
+    (void)ParseDtd(input);
+    (void)ParseConstraints(input);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace
+}  // namespace xicc

@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "dtd/glushkov.h"
+
+namespace xicc {
+namespace {
+
+using Word = std::vector<std::string>;
+
+TEST(GlushkovTest, EpsilonAcceptsOnlyEmpty) {
+  ContentModelMatcher m(Regex::Epsilon());
+  EXPECT_TRUE(m.Matches({}));
+  EXPECT_FALSE(m.Matches({"a"}));
+}
+
+TEST(GlushkovTest, SingleSymbol) {
+  ContentModelMatcher m(Regex::Elem("a"));
+  EXPECT_TRUE(m.Matches({"a"}));
+  EXPECT_FALSE(m.Matches({}));
+  EXPECT_FALSE(m.Matches({"b"}));
+  EXPECT_FALSE(m.Matches({"a", "a"}));
+}
+
+TEST(GlushkovTest, StringType) {
+  ContentModelMatcher m(Regex::Str());
+  EXPECT_TRUE(m.Matches({"S"}));
+  EXPECT_FALSE(m.Matches({}));
+}
+
+TEST(GlushkovTest, Concat) {
+  ContentModelMatcher m(
+      Regex::Concat(Regex::Elem("a"), Regex::Elem("b")));
+  EXPECT_TRUE(m.Matches({"a", "b"}));
+  EXPECT_FALSE(m.Matches({"b", "a"}));
+  EXPECT_FALSE(m.Matches({"a"}));
+  EXPECT_FALSE(m.Matches({"a", "b", "b"}));
+}
+
+TEST(GlushkovTest, Union) {
+  ContentModelMatcher m(Regex::Union(Regex::Elem("a"), Regex::Elem("b")));
+  EXPECT_TRUE(m.Matches({"a"}));
+  EXPECT_TRUE(m.Matches({"b"}));
+  EXPECT_FALSE(m.Matches({}));
+  EXPECT_FALSE(m.Matches({"a", "b"}));
+}
+
+TEST(GlushkovTest, Star) {
+  ContentModelMatcher m(Regex::Star(Regex::Elem("a")));
+  EXPECT_TRUE(m.Matches({}));
+  EXPECT_TRUE(m.Matches({"a"}));
+  EXPECT_TRUE(m.Matches({"a", "a", "a", "a"}));
+  EXPECT_FALSE(m.Matches({"a", "b"}));
+}
+
+TEST(GlushkovTest, TeacherPlus) {
+  // teacher, teacher* — i.e. teacher+.
+  ContentModelMatcher m(Regex::Concat(Regex::Elem("teacher"),
+                                      Regex::Star(Regex::Elem("teacher"))));
+  EXPECT_FALSE(m.Matches({}));
+  EXPECT_TRUE(m.Matches({"teacher"}));
+  EXPECT_TRUE(m.Matches({"teacher", "teacher", "teacher"}));
+}
+
+TEST(GlushkovTest, NestedAmbiguity) {
+  // (a | a,b), b  — matching "a b" can take either branch; "a b b" only one.
+  RegexPtr r = Regex::Concat(
+      Regex::Union(Regex::Elem("a"),
+                   Regex::Concat(Regex::Elem("a"), Regex::Elem("b"))),
+      Regex::Elem("b"));
+  ContentModelMatcher m(r);
+  EXPECT_TRUE(m.Matches({"a", "b"}));
+  EXPECT_TRUE(m.Matches({"a", "b", "b"}));
+  EXPECT_FALSE(m.Matches({"a"}));
+  EXPECT_FALSE(m.Matches({"a", "b", "b", "b"}));
+}
+
+TEST(GlushkovTest, StarOfUnionMixed) {
+  // (#PCDATA | a)* — classic mixed content.
+  ContentModelMatcher m(
+      Regex::Star(Regex::Union(Regex::Str(), Regex::Elem("a"))));
+  EXPECT_TRUE(m.Matches({}));
+  EXPECT_TRUE(m.Matches({"S", "a", "S", "S", "a"}));
+  EXPECT_FALSE(m.Matches({"b"}));
+}
+
+TEST(GlushkovTest, NullableConcatOfStars) {
+  ContentModelMatcher m(Regex::Concat(Regex::Star(Regex::Elem("a")),
+                                      Regex::Star(Regex::Elem("b"))));
+  EXPECT_TRUE(m.Matches({}));
+  EXPECT_TRUE(m.Matches({"a", "a"}));
+  EXPECT_TRUE(m.Matches({"b", "b"}));
+  EXPECT_TRUE(m.Matches({"a", "b"}));
+  EXPECT_FALSE(m.Matches({"b", "a"}));
+}
+
+// Reference matcher: naive recursive language membership via derivative-free
+// splitting (exponential; used only on tiny inputs for cross-checking).
+bool SlowMatch(const Regex& r, const Word& w, size_t lo, size_t hi) {
+  switch (r.kind()) {
+    case Regex::Kind::kEpsilon:
+      return lo == hi;
+    case Regex::Kind::kString:
+      return hi - lo == 1 && w[lo] == "S";
+    case Regex::Kind::kElement:
+      return hi - lo == 1 && w[lo] == r.name();
+    case Regex::Kind::kUnion:
+      return SlowMatch(*r.left(), w, lo, hi) ||
+             SlowMatch(*r.right(), w, lo, hi);
+    case Regex::Kind::kConcat:
+      for (size_t mid = lo; mid <= hi; ++mid) {
+        if (SlowMatch(*r.left(), w, lo, mid) &&
+            SlowMatch(*r.right(), w, mid, hi)) {
+          return true;
+        }
+      }
+      return false;
+    case Regex::Kind::kStar:
+      if (lo == hi) return true;
+      for (size_t mid = lo + 1; mid <= hi; ++mid) {
+        if (SlowMatch(*r.child(), w, lo, mid) &&
+            SlowMatch(r, w, mid, hi)) {
+          return true;
+        }
+      }
+      return false;
+  }
+  return false;
+}
+
+/// Random regex over alphabet {a, b, S}.
+RegexPtr RandomRegex(std::mt19937_64* rng, int depth) {
+  std::uniform_int_distribution<int> dist(0, depth <= 0 ? 2 : 5);
+  switch (dist(*rng)) {
+    case 0:
+      return Regex::Elem("a");
+    case 1:
+      return Regex::Elem("b");
+    case 2:
+      return (*rng)() % 2 ? Regex::Str() : Regex::Epsilon();
+    case 3:
+      return Regex::Union(RandomRegex(rng, depth - 1),
+                          RandomRegex(rng, depth - 1));
+    case 4:
+      return Regex::Concat(RandomRegex(rng, depth - 1),
+                           RandomRegex(rng, depth - 1));
+    default:
+      return Regex::Star(RandomRegex(rng, depth - 1));
+  }
+}
+
+class GlushkovPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GlushkovPropertyTest, AgreesWithReferenceMatcher) {
+  std::mt19937_64 rng(GetParam());
+  const std::vector<std::string> alphabet = {"a", "b", "S"};
+  for (int trial = 0; trial < 40; ++trial) {
+    RegexPtr r = RandomRegex(&rng, 3);
+    ContentModelMatcher fast(r);
+    // All words up to length 4 over the alphabet.
+    std::vector<Word> words = {{}};
+    for (int len = 0; len < 4; ++len) {
+      size_t start = words.size();
+      for (size_t i = 0; i < start; ++i) {
+        if (words[i].size() != static_cast<size_t>(len)) continue;
+        for (const auto& sym : alphabet) {
+          Word next = words[i];
+          next.push_back(sym);
+          words.push_back(std::move(next));
+        }
+      }
+    }
+    for (const Word& w : words) {
+      EXPECT_EQ(fast.Matches(w), SlowMatch(*r, w, 0, w.size()))
+          << r->ToString() << " on word of length " << w.size();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GlushkovPropertyTest,
+                         ::testing::Values(3u, 17u, 2024u));
+
+}  // namespace
+}  // namespace xicc

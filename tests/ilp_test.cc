@@ -1,0 +1,307 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ilp/linear_system.h"
+#include "ilp/simplex.h"
+#include "ilp/solver.h"
+
+namespace xicc {
+namespace {
+
+// ------------------------------------------------------------ LinearSystem.
+
+TEST(LinearSystemTest, BuildAndRender) {
+  LinearSystem sys;
+  VarId x = sys.AddVariable("x");
+  VarId y = sys.AddVariable("y");
+  LinearExpr expr;
+  expr.Add(x, BigInt(2)).Add(y, BigInt(-1));
+  sys.AddConstraint(expr, RelOp::kGe, BigInt(3));
+  EXPECT_EQ(sys.NumVariables(), 2u);
+  EXPECT_EQ(sys.NumConstraints(), 1u);
+  EXPECT_NE(sys.ToString().find("2*x"), std::string::npos);
+  EXPECT_EQ(sys.MaxAbsValue(), BigInt(3));
+}
+
+TEST(LinearSystemTest, ExprMergesAndDropsZeroTerms) {
+  LinearExpr expr;
+  expr.Add(0, BigInt(2));
+  expr.Add(0, BigInt(-2));
+  EXPECT_TRUE(expr.terms().empty());
+  expr.Add(1, BigInt(0));
+  EXPECT_TRUE(expr.terms().empty());
+}
+
+TEST(LinearSystemTest, AddEqFoldsConstants) {
+  LinearSystem sys;
+  VarId x = sys.AddVariable("x");
+  LinearExpr lhs = LinearExpr::Var(x);
+  lhs.AddConstant(BigInt(5));
+  LinearExpr rhs(BigInt(12));
+  sys.AddEq(lhs, rhs);  // x + 5 == 12  →  x == 7.
+  const LinearConstraint& c = sys.constraints()[0];
+  EXPECT_EQ(c.op, RelOp::kEq);
+  EXPECT_EQ(c.rhs, BigInt(7));
+}
+
+// ----------------------------------------------------------------- Simplex.
+
+TEST(SimplexTest, TrivialFeasible) {
+  LinearSystem sys;
+  VarId x = sys.AddVariable("x");
+  sys.AddConstraint(LinearExpr::Var(x), RelOp::kGe, BigInt(3));
+  LpResult lp = SolveLpFeasibility(sys);
+  ASSERT_TRUE(lp.feasible);
+  EXPECT_GE(lp.values[x], Rational(3));
+}
+
+TEST(SimplexTest, InfeasibleBounds) {
+  LinearSystem sys;
+  VarId x = sys.AddVariable("x");
+  sys.AddConstraint(LinearExpr::Var(x), RelOp::kGe, BigInt(5));
+  sys.AddConstraint(LinearExpr::Var(x), RelOp::kLe, BigInt(4));
+  EXPECT_FALSE(SolveLpFeasibility(sys).feasible);
+}
+
+TEST(SimplexTest, NegativityImpliedInfeasible) {
+  // Nonnegative variables: x + y <= -1 has no solution.
+  LinearSystem sys;
+  VarId x = sys.AddVariable("x");
+  VarId y = sys.AddVariable("y");
+  LinearExpr expr;
+  expr.Add(x, BigInt(1)).Add(y, BigInt(1));
+  sys.AddConstraint(expr, RelOp::kLe, BigInt(-1));
+  EXPECT_FALSE(SolveLpFeasibility(sys).feasible);
+}
+
+TEST(SimplexTest, EqualitySystem) {
+  // x + y == 10, x - y == 4 → x = 7, y = 3.
+  LinearSystem sys;
+  VarId x = sys.AddVariable("x");
+  VarId y = sys.AddVariable("y");
+  LinearExpr sum;
+  sum.Add(x, BigInt(1)).Add(y, BigInt(1));
+  sys.AddConstraint(sum, RelOp::kEq, BigInt(10));
+  LinearExpr diff;
+  diff.Add(x, BigInt(1)).Add(y, BigInt(-1));
+  sys.AddConstraint(diff, RelOp::kEq, BigInt(4));
+  LpResult lp = SolveLpFeasibility(sys);
+  ASSERT_TRUE(lp.feasible);
+  EXPECT_EQ(lp.values[x], Rational(7));
+  EXPECT_EQ(lp.values[y], Rational(3));
+}
+
+TEST(SimplexTest, FractionalVertex) {
+  // 2x == 5 → x = 5/2 (rational, exact).
+  LinearSystem sys;
+  VarId x = sys.AddVariable("x");
+  LinearExpr expr;
+  expr.Add(x, BigInt(2));
+  sys.AddConstraint(expr, RelOp::kEq, BigInt(5));
+  LpResult lp = SolveLpFeasibility(sys);
+  ASSERT_TRUE(lp.feasible);
+  EXPECT_EQ(lp.values[x], Rational(BigInt(5), BigInt(2)));
+}
+
+TEST(SimplexTest, SolutionSatisfiesAllConstraints) {
+  std::mt19937_64 rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    LinearSystem sys;
+    const int n = 4;
+    for (int i = 0; i < n; ++i) sys.AddVariable("x" + std::to_string(i));
+    std::uniform_int_distribution<int> coeff(-3, 3);
+    std::uniform_int_distribution<int> rhs(0, 10);
+    for (int c = 0; c < 5; ++c) {
+      LinearExpr expr;
+      for (int i = 0; i < n; ++i) expr.Add(i, BigInt(coeff(rng)));
+      sys.AddConstraint(expr, c % 2 == 0 ? RelOp::kLe : RelOp::kGe,
+                        BigInt(rhs(rng) * (c % 2 == 0 ? 1 : -1)));
+    }
+    LpResult lp = SolveLpFeasibility(sys);
+    if (!lp.feasible) continue;
+    for (const LinearConstraint& c : sys.constraints()) {
+      Rational lhs;
+      for (const auto& [var, coef] : c.coeffs) {
+        lhs += Rational(coef) * lp.values[var];
+      }
+      Rational bound((c.rhs));
+      switch (c.op) {
+        case RelOp::kLe:
+          EXPECT_LE(lhs, bound);
+          break;
+        case RelOp::kGe:
+          EXPECT_GE(lhs, bound);
+          break;
+        case RelOp::kEq:
+          EXPECT_EQ(lhs, bound);
+          break;
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------------ Solver.
+
+TEST(IlpTest, IntegralVertexDirect) {
+  LinearSystem sys;
+  VarId x = sys.AddVariable("x");
+  VarId y = sys.AddVariable("y");
+  LinearExpr sum;
+  sum.Add(x, BigInt(1)).Add(y, BigInt(1));
+  sys.AddConstraint(sum, RelOp::kEq, BigInt(10));
+  auto solution = SolveIlp(sys);
+  ASSERT_TRUE(solution.ok());
+  ASSERT_TRUE(solution->feasible);
+  EXPECT_EQ(solution->values[x] + solution->values[y], BigInt(10));
+}
+
+TEST(IlpTest, BranchingRequired) {
+  // 2x == 5 is LP-feasible but integer-infeasible.
+  LinearSystem sys;
+  VarId x = sys.AddVariable("x");
+  LinearExpr expr;
+  expr.Add(x, BigInt(2));
+  sys.AddConstraint(expr, RelOp::kEq, BigInt(5));
+  auto solution = SolveIlp(sys);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_FALSE(solution->feasible);
+}
+
+TEST(IlpTest, BranchingFindsLatticePoint) {
+  // 2x + 3y == 12 with x,y ≥ 0 integer: (0,4), (3,2), (6,0).
+  LinearSystem sys;
+  VarId x = sys.AddVariable("x");
+  VarId y = sys.AddVariable("y");
+  LinearExpr expr;
+  expr.Add(x, BigInt(2)).Add(y, BigInt(3));
+  sys.AddConstraint(expr, RelOp::kEq, BigInt(12));
+  // Forbid the all-easy corner to force some branching.
+  sys.AddConstraint(LinearExpr::Var(x), RelOp::kGe, BigInt(1));
+  auto solution = SolveIlp(sys);
+  ASSERT_TRUE(solution.ok());
+  ASSERT_TRUE(solution->feasible);
+  BigInt value = solution->values[x] * BigInt(2) + solution->values[y] * BigInt(3);
+  EXPECT_EQ(value, BigInt(12));
+  EXPECT_GE(solution->values[x], BigInt(1));
+}
+
+TEST(IlpTest, InfeasibleParity) {
+  // 2x == 2y + 1: no integer solution (parity).
+  LinearSystem sys;
+  VarId x = sys.AddVariable("x");
+  VarId y = sys.AddVariable("y");
+  LinearExpr expr;
+  expr.Add(x, BigInt(2)).Add(y, BigInt(-2));
+  sys.AddConstraint(expr, RelOp::kEq, BigInt(1));
+  auto solution = SolveIlp(sys);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_FALSE(solution->feasible);
+}
+
+TEST(IlpTest, GomoryCutProvesParityInfeasibilityFast) {
+  // 2x == 2y + 1: with cuts enabled the infeasibility certificate comes out
+  // of the very first node instead of a branching climb.
+  LinearSystem sys;
+  VarId x = sys.AddVariable("x");
+  VarId y = sys.AddVariable("y");
+  LinearExpr expr;
+  expr.Add(x, BigInt(2)).Add(y, BigInt(-2));
+  sys.AddConstraint(expr, RelOp::kEq, BigInt(1));
+  IlpOptions options;
+  options.max_nodes = 4;  // Tiny budget: cuts must carry the proof.
+  auto solution = SolveIlp(sys, options);
+  ASSERT_TRUE(solution.ok()) << solution.status();
+  EXPECT_FALSE(solution->feasible);
+  EXPECT_GE(solution->cuts_added, 1u);
+}
+
+TEST(IlpTest, NodeBudgetRespectedWithoutCuts) {
+  // Same parity system with cuts disabled: branching alone climbs toward
+  // the variable bound and the node budget must stop it.
+  LinearSystem sys;
+  VarId x = sys.AddVariable("x");
+  VarId y = sys.AddVariable("y");
+  LinearExpr expr;
+  expr.Add(x, BigInt(2)).Add(y, BigInt(-2));
+  sys.AddConstraint(expr, RelOp::kEq, BigInt(1));
+  IlpOptions options;
+  options.max_nodes = 16;
+  options.max_cut_rounds = 0;
+  auto solution = SolveIlp(sys, options);
+  EXPECT_FALSE(solution.ok());
+  EXPECT_EQ(solution.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(IlpTest, PapadimitriouBound) {
+  EXPECT_EQ(PapadimitriouBound(0, 5, BigInt(10)), BigInt(1));
+  // n(ma)^{2m+1} with n=2, m=1, a=3: 2*(3)^3 = 54.
+  EXPECT_EQ(PapadimitriouBound(1, 2, BigInt(3)), BigInt(54));
+  // Grows fast but stays exact.
+  BigInt big = PapadimitriouBound(10, 10, BigInt(100));
+  EXPECT_GT(big.BitLength(), 100u);
+}
+
+TEST(IlpTest, LargeCoefficientsExact) {
+  // x == 10^30, y == x / 2 over integers: solvable exactly with bignums.
+  LinearSystem sys;
+  VarId x = sys.AddVariable("x");
+  VarId y = sys.AddVariable("y");
+  BigInt huge = BigInt::Pow(BigInt(10), 30);
+  sys.AddConstraint(LinearExpr::Var(x), RelOp::kEq, huge);
+  LinearExpr expr;
+  expr.Add(y, BigInt(2)).Add(x, BigInt(-1));
+  sys.AddConstraint(expr, RelOp::kEq, BigInt(0));
+  auto solution = SolveIlp(sys);
+  ASSERT_TRUE(solution.ok());
+  ASSERT_TRUE(solution->feasible);
+  EXPECT_EQ(solution->values[x], huge);
+  EXPECT_EQ(solution->values[y], huge / BigInt(2));
+}
+
+class IlpPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IlpPropertyTest, SolutionsSatisfyTheSystem) {
+  std::mt19937_64 rng(GetParam());
+  std::uniform_int_distribution<int> coeff(-2, 3);
+  std::uniform_int_distribution<int> rhs_dist(-5, 15);
+  for (int trial = 0; trial < 15; ++trial) {
+    LinearSystem sys;
+    const int n = 3;
+    for (int i = 0; i < n; ++i) sys.AddVariable("x" + std::to_string(i));
+    for (int c = 0; c < 4; ++c) {
+      LinearExpr expr;
+      for (int i = 0; i < n; ++i) expr.Add(i, BigInt(coeff(rng)));
+      RelOp op = c % 3 == 0 ? RelOp::kEq : (c % 3 == 1 ? RelOp::kLe : RelOp::kGe);
+      sys.AddConstraint(expr, op, BigInt(rhs_dist(rng)));
+    }
+    auto solution = SolveIlp(sys);
+    if (!solution.ok() || !solution->feasible) continue;
+    for (const LinearConstraint& c : sys.constraints()) {
+      BigInt lhs(0);
+      for (const auto& [var, coef] : c.coeffs) {
+        lhs += coef * solution->values[var];
+      }
+      switch (c.op) {
+        case RelOp::kLe:
+          EXPECT_LE(lhs, c.rhs);
+          break;
+        case RelOp::kGe:
+          EXPECT_GE(lhs, c.rhs);
+          break;
+        case RelOp::kEq:
+          EXPECT_EQ(lhs, c.rhs);
+          break;
+      }
+    }
+    for (const BigInt& v : solution->values) {
+      EXPECT_GE(v, BigInt(0));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IlpPropertyTest,
+                         ::testing::Values(11u, 23u, 47u, 101u));
+
+}  // namespace
+}  // namespace xicc

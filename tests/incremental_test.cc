@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "core/incremental.h"
+#include "workloads/generators.h"
+#include "workloads/paper_examples.h"
+
+namespace xicc {
+namespace {
+
+using Outcome = IncrementalChecker::Outcome;
+
+TEST(IncrementalTest, Sigma1RejectedAtTheFatalStep) {
+  // Adding Σ1 constraint by constraint over D1: the first two go in, the
+  // foreign key is the one that breaks the specification — exactly the
+  // authoring experience the paper's introduction describes.
+  Dtd d1 = workloads::TeacherDtd();
+  IncrementalChecker checker(&d1);
+
+  auto first = checker.TryAdd(Constraint::Key("teacher", {"name"}));
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_EQ(first->outcome, Outcome::kAccepted);
+
+  auto second = checker.TryAdd(Constraint::Key("subject", {"taught_by"}));
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->outcome, Outcome::kAccepted);
+
+  auto third = checker.TryAdd(Constraint::ForeignKey(
+      "subject", {"taught_by"}, "teacher", {"name"}));
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(third->outcome, Outcome::kRejected);
+  EXPECT_NE(third->explanation.find("inconsistent"), std::string::npos);
+  // The accepted set is untouched by the rejection.
+  EXPECT_EQ(checker.accepted().size(), 2u);
+}
+
+TEST(IncrementalTest, RedundantAdditionsFlagged) {
+  Dtd dtd = workloads::CatalogDtd(3);
+  IncrementalChecker checker(&dtd);
+  ASSERT_TRUE(checker
+                  .TryAdd(Constraint::Inclusion("item1", {"id"}, "item2",
+                                                {"id"}))
+                  .ok());
+  ASSERT_TRUE(checker
+                  .TryAdd(Constraint::Inclusion("item2", {"id"}, "item3",
+                                                {"id"}))
+                  .ok());
+  auto transitive = checker.TryAdd(
+      Constraint::Inclusion("item1", {"id"}, "item3", {"id"}));
+  ASSERT_TRUE(transitive.ok()) << transitive.status();
+  EXPECT_EQ(transitive->outcome, Outcome::kAcceptedRedundant);
+  EXPECT_EQ(checker.accepted().size(), 3u);
+}
+
+TEST(IncrementalTest, BadConstraintReported) {
+  Dtd dtd = workloads::CatalogDtd(1);
+  IncrementalChecker checker(&dtd);
+  auto result = checker.TryAdd(Constraint::Key("ghost", {"x"}));
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(checker.accepted().empty());
+}
+
+TEST(IncrementalTest, OrderIndependenceOfFinalVerdict) {
+  // Whatever order the Σ1 constraints arrive in, exactly one is rejected.
+  Dtd d1 = workloads::TeacherDtd();
+  std::vector<Constraint> sigma1 = workloads::TeacherSigma().constraints();
+  std::vector<std::vector<size_t>> orders = {{0, 1, 2}, {2, 1, 0}, {1, 2, 0}};
+  for (const auto& order : orders) {
+    IncrementalChecker checker(&d1);
+    int rejected = 0;
+    for (size_t idx : order) {
+      auto result = checker.TryAdd(sigma1[idx]);
+      ASSERT_TRUE(result.ok()) << result.status();
+      if (result->outcome == Outcome::kRejected) ++rejected;
+    }
+    EXPECT_EQ(rejected, 1);
+  }
+}
+
+// ----------------------------------------------------------- Equivalence.
+
+TEST(EquivalenceTest, FkEqualsInclusionPlusKey) {
+  Dtd dtd = workloads::CatalogDtd(2);
+  ConstraintSet as_fk;
+  as_fk.Add(Constraint::ForeignKey("item1", {"ref"}, "item2", {"id"}));
+  ConstraintSet as_parts;
+  as_parts.Add(Constraint::Inclusion("item1", {"ref"}, "item2", {"id"}));
+  as_parts.Add(Constraint::Key("item2", {"id"}));
+  auto result = CheckEquivalence(dtd, as_fk, as_parts);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->equivalent);
+}
+
+TEST(EquivalenceTest, StrictlyStrongerSideDetected) {
+  Dtd dtd = workloads::CatalogDtd(2);
+  ConstraintSet weaker;
+  weaker.Add(Constraint::Inclusion("item1", {"ref"}, "item2", {"id"}));
+  ConstraintSet stronger = weaker;
+  stronger.Add(Constraint::Key("item2", {"id"}));
+  auto result = CheckEquivalence(dtd, weaker, stronger);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_FALSE(result->equivalent);
+  EXPECT_NE(result->separating_constraint.find("Σ1 does not imply"),
+            std::string::npos);
+}
+
+TEST(EquivalenceTest, VacuouslyImpliedKeysCollapse) {
+  // Over a chain DTD (each type occurs once) every key holds, so any two
+  // keys-only sets are equivalent.
+  Dtd chain = workloads::ChainDtd(3);
+  ConstraintSet a;
+  a.Add(Constraint::Key("e1", {"id"}));
+  ConstraintSet b;
+  b.Add(Constraint::Key("e3", {"id"}));
+  auto result = CheckEquivalence(chain, a, b);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->equivalent);
+}
+
+TEST(EquivalenceTest, EmptySetsAreEquivalent) {
+  Dtd dtd = workloads::CatalogDtd(1);
+  auto result = CheckEquivalence(dtd, ConstraintSet(), ConstraintSet());
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->equivalent);
+}
+
+}  // namespace
+}  // namespace xicc

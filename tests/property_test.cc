@@ -1,0 +1,140 @@
+// Cross-cutting property sweeps: the whole pipeline is self-checking —
+// every "consistent" verdict must come with a witness that independently
+// passes DTD validation and constraint evaluation, and the Theorem 4.7
+// gadget must agree with a brute-force LIP oracle.
+
+#include <gtest/gtest.h>
+
+#include "constraints/evaluator.h"
+#include "core/consistency.h"
+#include "core/implication.h"
+#include "dtd/validator.h"
+#include "workloads/generators.h"
+
+namespace xicc {
+namespace {
+
+class RandomSpecTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomSpecTest, WitnessesAlwaysCheckOut) {
+  const uint64_t seed = GetParam();
+  Dtd dtd = workloads::RandomDtd(seed, 10, 2);
+  ConstraintSet sigma = workloads::RandomUnarySigma(dtd, seed * 31 + 7, 3, 3);
+  ConsistencyOptions options;
+  // verify_witness is on by default: CheckConsistency internally
+  // re-validates. We additionally re-check here with fresh calls.
+  auto result = CheckConsistency(dtd, sigma, options);
+  ASSERT_TRUE(result.ok()) << result.status() << " seed=" << seed;
+  if (result->consistent && result->witness.has_value()) {
+    EXPECT_TRUE(ValidateXml(*result->witness, dtd).valid) << "seed " << seed;
+    EXPECT_TRUE(Evaluate(*result->witness, sigma).satisfied)
+        << "seed " << seed;
+  }
+}
+
+// The big-M linearization carries Papadimitriou-sized coefficients, so the
+// strategy-agreement sweep runs on smaller instances and fewer seeds than
+// the other properties.
+class StrategyAgreementTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StrategyAgreementTest, StrategiesAgree) {
+  const uint64_t seed = GetParam();
+  Dtd dtd = workloads::RandomDtd(seed, 5, 1);
+  ConstraintSet sigma = workloads::RandomUnarySigma(dtd, seed * 17 + 3, 1, 1);
+  ConsistencyOptions split;
+  split.build_witness = false;
+  ConsistencyOptions big_m = split;
+  big_m.strategy = SolveStrategy::kBigM;
+  auto a = CheckConsistency(dtd, sigma, split);
+  auto b = CheckConsistency(dtd, sigma, big_m);
+  ASSERT_TRUE(a.ok()) << a.status();
+  ASSERT_TRUE(b.ok()) << b.status();
+  EXPECT_EQ(a->consistent, b->consistent) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StrategyAgreementTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{7}));
+
+TEST_P(RandomSpecTest, MonotonicityUnderConstraintRemoval) {
+  // Removing constraints can only keep or gain consistency.
+  const uint64_t seed = GetParam();
+  Dtd dtd = workloads::RandomDtd(seed, 9, 2);
+  ConstraintSet sigma = workloads::RandomUnarySigma(dtd, seed * 13 + 1, 3, 3);
+  ConsistencyOptions options;
+  options.build_witness = false;
+  auto full = CheckConsistency(dtd, sigma, options);
+  ASSERT_TRUE(full.ok()) << full.status();
+  if (full->consistent) {
+    // Any subset must be consistent too.
+    ConstraintSet subset;
+    const auto& all = sigma.constraints();
+    for (size_t i = 0; i < all.size(); i += 2) subset.Add(all[i]);
+    auto sub = CheckConsistency(dtd, subset, options);
+    ASSERT_TRUE(sub.ok());
+    EXPECT_TRUE(sub->consistent) << "seed " << seed;
+  }
+}
+
+TEST_P(RandomSpecTest, ImpliedConstraintsAreSound) {
+  // If (D,Σ) ⊢ φ, then adding φ to Σ must not change consistency.
+  const uint64_t seed = GetParam();
+  Dtd dtd = workloads::RandomDtd(seed, 8, 2);
+  ConstraintSet sigma = workloads::RandomUnarySigma(dtd, seed * 37 + 5, 2, 1);
+  auto pairs = dtd.AllAttributePairs();
+  if (pairs.empty()) return;
+  const auto& [type, attr] = pairs[seed % pairs.size()];
+  Constraint phi = Constraint::Key(type, {attr});
+  ConsistencyOptions options;
+  options.build_witness = false;
+  auto implication = CheckImplication(dtd, sigma, phi, options);
+  ASSERT_TRUE(implication.ok()) << implication.status();
+  auto before = CheckConsistency(dtd, sigma, options);
+  ASSERT_TRUE(before.ok());
+  ConstraintSet extended = sigma;
+  extended.Add(phi);
+  auto after = CheckConsistency(dtd, extended, options);
+  ASSERT_TRUE(after.ok());
+  if (implication->implied) {
+    EXPECT_EQ(before->consistent, after->consistent) << "seed " << seed;
+  }
+  // Soundness of "not implied": the counterexample (when built) violates φ
+  // while satisfying Σ — CheckImplication already verifies this internally
+  // with verify_witness; exercise the verified path on a few seeds.
+  if (!implication->implied && before->consistent) {
+    ConsistencyOptions with_witness;
+    auto again = CheckImplication(dtd, sigma, phi, with_witness);
+    ASSERT_TRUE(again.ok()) << again.status();
+    if (again->counterexample.has_value()) {
+      EXPECT_FALSE(Evaluate(*again->counterexample, phi).satisfied);
+      EXPECT_TRUE(Evaluate(*again->counterexample, sigma).satisfied);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSpecTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{21}));
+
+class LipOracleTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LipOracleTest, GadgetAgreesWithBruteForce) {
+  const uint64_t seed = GetParam();
+  workloads::BinaryLipInstance instance =
+      workloads::RandomLip(seed, /*rows=*/3, /*cols=*/4, /*ones_per_row=*/2);
+  bool expected = workloads::LipHasBinarySolution(instance);
+  workloads::LipEncoding enc = workloads::EncodeLipAsConsistency(instance);
+  ConsistencyOptions options;
+  auto result = CheckConsistency(enc.dtd, enc.sigma, options);
+  ASSERT_TRUE(result.ok()) << result.status() << " seed=" << seed;
+  EXPECT_EQ(result->consistent, expected) << "seed " << seed;
+  if (result->consistent) {
+    ASSERT_TRUE(result->witness.has_value());
+    EXPECT_TRUE(ValidateXml(*result->witness, enc.dtd).valid);
+    EXPECT_TRUE(Evaluate(*result->witness, enc.sigma).satisfied);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LipOracleTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{13}));
+
+}  // namespace
+}  // namespace xicc

@@ -1,0 +1,299 @@
+// Machine-checks of the Section 3 reduction constructions. Undecidability
+// itself cannot be tested; what can be — and is — tested are the concrete
+// equivalences the proofs claim, on decidable instances.
+
+#include <gtest/gtest.h>
+
+#include "constraints/evaluator.h"
+#include "core/consistency.h"
+#include "core/implication.h"
+#include "dtd/validator.h"
+#include "relational/reduction.h"
+#include "workloads/paper_examples.h"
+
+namespace xicc {
+namespace relational {
+namespace {
+
+// ------------------------------------------------ Lemma 3.2 (FD/ID → K/FK).
+
+TEST(FdIdEncodingTest, FdIntroducesFreshRelationAndFourConstraints) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddRelation("R", {"a", "b", "c"}).ok());
+  Dependency theta = Dependency::Fd("R", {"a"}, {"b"});
+  auto encoding = EncodeFdIdImplication(schema, {}, theta);
+  ASSERT_TRUE(encoding.ok()) << encoding.status();
+  // θ's own encoding adds one fresh relation and ℓ2..ℓ4 to Σ'.
+  EXPECT_EQ(encoding->fresh_relations.size(), 1u);
+  EXPECT_EQ(encoding->sigma.size(), 3u);
+  EXPECT_EQ(encoding->target_key.kind, DependencyKind::kKey);
+  EXPECT_EQ(encoding->target_key.relation1, encoding->fresh_relations[0]);
+  EXPECT_EQ(encoding->target_key.attrs1, std::vector<std::string>{"a"});
+  // Fresh relation carries X ∪ Y ∪ Z = Att(R).
+  EXPECT_EQ(encoding->schema.AttributesOf(encoding->fresh_relations[0]).size(),
+            3u);
+}
+
+TEST(FdIdEncodingTest, IdIntroducesThreeConstraints) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddRelation("R1", {"x"}).ok());
+  ASSERT_TRUE(schema.AddRelation("R2", {"y", "z"}).ok());
+  Dependency id = Dependency::Id("R1", {"x"}, "R2", {"y"});
+  Dependency theta = Dependency::Fd("R2", {"y"}, {"z"});
+  auto encoding = EncodeFdIdImplication(schema, {id}, theta);
+  ASSERT_TRUE(encoding.ok()) << encoding.status();
+  // ID: 3 constraints + fresh relation; θ: 3 constraints + fresh relation.
+  EXPECT_EQ(encoding->fresh_relations.size(), 2u);
+  EXPECT_EQ(encoding->sigma.size(), 6u);
+}
+
+TEST(FdIdEncodingTest, KeysAndFksPassThrough) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddRelation("R", {"a", "b"}).ok());
+  Dependency key = Dependency::Key("R", {"a"});
+  Dependency theta = Dependency::Fd("R", {"a"}, {"b"});
+  auto encoding = EncodeFdIdImplication(schema, {key}, theta);
+  ASSERT_TRUE(encoding.ok());
+  EXPECT_EQ(encoding->sigma.size(), 4u);  // key + ℓ2..ℓ4 of θ.
+  EXPECT_EQ(encoding->sigma[0].kind, DependencyKind::kKey);
+}
+
+TEST(FdIdEncodingTest, InstanceExtensionMachineChecksDirectionOne) {
+  // Σ = {FD a→b} does not imply θ = FD a→c: witness instance I with two
+  // tuples agreeing on a,b and differing on c. The extension I' of the
+  // Lemma 3.2 proof must satisfy Σ' while violating the target key φ'.
+  Schema schema;
+  ASSERT_TRUE(schema.AddRelation("R", {"a", "b", "c"}).ok());
+  std::vector<Dependency> sigma = {Dependency::Fd("R", {"a"}, {"b"})};
+  Dependency theta = Dependency::Fd("R", {"a"}, {"c"});
+  auto encoding = EncodeFdIdImplication(schema, sigma, theta);
+  ASSERT_TRUE(encoding.ok()) << encoding.status();
+
+  Instance instance(&schema);
+  ASSERT_TRUE(
+      instance.Insert("R", {{"a", "1"}, {"b", "x"}, {"c", "p"}}).ok());
+  ASSERT_TRUE(
+      instance.Insert("R", {{"a", "1"}, {"b", "x"}, {"c", "q"}}).ok());
+  ASSERT_TRUE(SatisfiesAll(instance, sigma));
+  ASSERT_FALSE(Satisfies(instance, theta));
+
+  auto extended = ExtendInstanceForFdIdEncoding(*encoding, schema, sigma,
+                                                theta, instance);
+  ASSERT_TRUE(extended.ok()) << extended.status();
+  EXPECT_TRUE(SatisfiesAll(*extended, encoding->sigma));
+  EXPECT_FALSE(Satisfies(*extended, encoding->target_key));
+}
+
+TEST(FdIdEncodingTest, InstanceExtensionWhenImplied) {
+  // Σ = {FD a→bc} implies θ = FD a→c; on an instance satisfying Σ, the
+  // extension also satisfies the target key (no refutation exists).
+  Schema schema;
+  ASSERT_TRUE(schema.AddRelation("R", {"a", "b", "c"}).ok());
+  std::vector<Dependency> sigma = {Dependency::Fd("R", {"a"}, {"b", "c"})};
+  Dependency theta = Dependency::Fd("R", {"a"}, {"c"});
+  auto encoding = EncodeFdIdImplication(schema, sigma, theta);
+  ASSERT_TRUE(encoding.ok());
+
+  Instance instance(&schema);
+  ASSERT_TRUE(
+      instance.Insert("R", {{"a", "1"}, {"b", "x"}, {"c", "p"}}).ok());
+  ASSERT_TRUE(
+      instance.Insert("R", {{"a", "2"}, {"b", "x"}, {"c", "q"}}).ok());
+  ASSERT_TRUE(SatisfiesAll(instance, sigma));
+  ASSERT_TRUE(Satisfies(instance, theta));
+
+  auto extended = ExtendInstanceForFdIdEncoding(*encoding, schema, sigma,
+                                                theta, instance);
+  ASSERT_TRUE(extended.ok()) << extended.status();
+  EXPECT_TRUE(SatisfiesAll(*extended, encoding->sigma));
+  EXPECT_TRUE(Satisfies(*extended, encoding->target_key));
+}
+
+TEST(FdIdEncodingTest, InstanceExtensionWithIds) {
+  // Mixed Σ: an ID plus an FD, extension still closes direction (1).
+  Schema schema;
+  ASSERT_TRUE(schema.AddRelation("R1", {"x"}).ok());
+  ASSERT_TRUE(schema.AddRelation("R2", {"y", "z"}).ok());
+  std::vector<Dependency> sigma = {
+      Dependency::Id("R1", {"x"}, "R2", {"y"}),
+      Dependency::Fd("R2", {"y"}, {"y"}),  // Trivial FD, keeps shape mixed.
+  };
+  Dependency theta = Dependency::Fd("R2", {"y"}, {"z"});
+  auto encoding = EncodeFdIdImplication(schema, sigma, theta);
+  ASSERT_TRUE(encoding.ok()) << encoding.status();
+
+  Instance instance(&schema);
+  ASSERT_TRUE(instance.Insert("R1", {{"x", "k"}}).ok());
+  ASSERT_TRUE(instance.Insert("R2", {{"y", "k"}, {"z", "1"}}).ok());
+  ASSERT_TRUE(instance.Insert("R2", {{"y", "k"}, {"z", "2"}}).ok());
+  ASSERT_TRUE(SatisfiesAll(instance, sigma));
+  ASSERT_FALSE(Satisfies(instance, theta));
+
+  auto extended = ExtendInstanceForFdIdEncoding(*encoding, schema, sigma,
+                                                theta, instance);
+  ASSERT_TRUE(extended.ok()) << extended.status();
+  EXPECT_TRUE(SatisfiesAll(*extended, encoding->sigma));
+  EXPECT_FALSE(Satisfies(*extended, encoding->target_key));
+}
+
+TEST(FdIdEncodingTest, RejectsNonFdTheta) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddRelation("R", {"a"}).ok());
+  EXPECT_FALSE(
+      EncodeFdIdImplication(schema, {}, Dependency::Key("R", {"a"})).ok());
+}
+
+// -------------------------------- Theorem 3.1 (¬implication → consistency).
+
+struct Thm31Fixture {
+  Schema schema;
+  std::vector<Dependency> theta;
+  Dependency phi = Dependency::Key("R", {"x"});
+
+  Thm31Fixture() {
+    EXPECT_TRUE(schema.AddRelation("R", {"x", "y"}).ok());
+    EXPECT_TRUE(schema.AddRelation("Sr", {"u"}).ok());
+    theta.push_back(Dependency::Key("Sr", {"u"}));
+  }
+};
+
+TEST(Thm31Test, EncodingShape) {
+  Thm31Fixture fx;
+  auto encoding =
+      EncodeImplicationComplementAsConsistency(fx.schema, fx.theta, fx.phi);
+  ASSERT_TRUE(encoding.ok()) << encoding.status();
+  // Root has children R, Sr, Dy, Dy, Ex.
+  EXPECT_TRUE(encoding->dtd.HasElement(encoding->dy_type));
+  EXPECT_TRUE(encoding->dtd.HasElement(encoding->ex_type));
+  EXPECT_EQ(encoding->tuple_types.size(), 2u);
+  // Dy carries X∪Y = {x,y}; Ex carries X = {x}.
+  EXPECT_EQ(encoding->dtd.AttributesOf(encoding->dy_type).size(), 2u);
+  EXPECT_EQ(encoding->dtd.AttributesOf(encoding->ex_type).size(), 1u);
+  // Σ is genuinely multi-attribute (the Dy[X,Y] ⊆ t_R[X,Y] part).
+  EXPECT_EQ(encoding->sigma.Classify(), ConstraintClass::kMultiAttribute);
+}
+
+TEST(Thm31Test, ForwardDirection) {
+  // I ⊨ Θ ∧ ¬φ  ⇒  the built tree satisfies D and Σ.
+  Thm31Fixture fx;
+  auto encoding =
+      EncodeImplicationComplementAsConsistency(fx.schema, fx.theta, fx.phi);
+  ASSERT_TRUE(encoding.ok());
+
+  Instance instance(&fx.schema);
+  ASSERT_TRUE(instance.Insert("R", {{"x", "1"}, {"y", "p"}}).ok());
+  ASSERT_TRUE(instance.Insert("R", {{"x", "1"}, {"y", "q"}}).ok());
+  ASSERT_TRUE(instance.Insert("Sr", {{"u", "a"}}).ok());
+  ASSERT_TRUE(SatisfiesAll(instance, fx.theta));
+  ASSERT_FALSE(Satisfies(instance, fx.phi));
+
+  auto tree = BuildTreeFromInstance(*encoding, fx.schema, instance, fx.phi);
+  ASSERT_TRUE(tree.ok()) << tree.status();
+  ValidationReport validation = ValidateXml(*tree, encoding->dtd);
+  EXPECT_TRUE(validation.valid) << validation.ToString();
+  EvaluationReport evaluation = Evaluate(*tree, encoding->sigma);
+  EXPECT_TRUE(evaluation.satisfied) << evaluation.ToString();
+}
+
+TEST(Thm31Test, BackwardDirection) {
+  // A tree ⊨ D ∧ Σ decodes to an instance ⊨ Θ ∧ ¬φ.
+  Thm31Fixture fx;
+  auto encoding =
+      EncodeImplicationComplementAsConsistency(fx.schema, fx.theta, fx.phi);
+  ASSERT_TRUE(encoding.ok());
+  Instance instance(&fx.schema);
+  ASSERT_TRUE(instance.Insert("R", {{"x", "1"}, {"y", "p"}}).ok());
+  ASSERT_TRUE(instance.Insert("R", {{"x", "1"}, {"y", "q"}}).ok());
+  auto tree = BuildTreeFromInstance(*encoding, fx.schema, instance, fx.phi);
+  ASSERT_TRUE(tree.ok());
+
+  auto decoded = ExtractInstanceFromTree(*encoding, fx.schema, *tree);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->RelationOf("R").size(), 2u);
+  EXPECT_TRUE(SatisfiesAll(*decoded, fx.theta));
+  EXPECT_FALSE(Satisfies(*decoded, fx.phi));
+}
+
+TEST(Thm31Test, NoWitnessPairRejected) {
+  Thm31Fixture fx;
+  auto encoding =
+      EncodeImplicationComplementAsConsistency(fx.schema, fx.theta, fx.phi);
+  ASSERT_TRUE(encoding.ok());
+  Instance instance(&fx.schema);
+  ASSERT_TRUE(instance.Insert("R", {{"x", "1"}, {"y", "p"}}).ok());
+  // φ holds; no ¬φ witness pair exists.
+  EXPECT_FALSE(
+      BuildTreeFromInstance(*encoding, fx.schema, instance, fx.phi).ok());
+}
+
+TEST(Thm31Test, KeyOverAllAttributesRejected) {
+  Thm31Fixture fx;
+  Dependency all_attrs = Dependency::Key("R", {"x", "y"});
+  auto encoding =
+      EncodeImplicationComplementAsConsistency(fx.schema, fx.theta, all_attrs);
+  EXPECT_FALSE(encoding.ok());
+}
+
+// ---------------------------- Lemma 3.3 (consistency → ¬implication), both
+// variants, closed end-to-end through the *decidable* unary checker.
+
+TEST(Lemma33Test, ConsistentSpecMeansNotImplied) {
+  // Σ = {key teacher.name} over D1 is consistent, so in D' the key
+  // φ1 = Dy.K → Dy must NOT be implied (variant 1), nor φ2 (variant 2).
+  Dtd d1 = workloads::TeacherDtd();
+  ConstraintSet sigma;
+  sigma.Add(Constraint::Key("teacher", {"name"}));
+
+  auto enc1 = EncodeConsistencyAsKeyImplication(d1, sigma);
+  ASSERT_TRUE(enc1.ok()) << enc1.status();
+  auto implied1 = CheckImplication(enc1->dtd, enc1->sigma, enc1->implied);
+  ASSERT_TRUE(implied1.ok()) << implied1.status();
+  EXPECT_FALSE(implied1->implied);
+
+  auto enc2 = EncodeConsistencyAsInclusionImplication(d1, sigma);
+  ASSERT_TRUE(enc2.ok()) << enc2.status();
+  auto implied2 = CheckImplication(enc2->dtd, enc2->sigma, enc2->implied);
+  ASSERT_TRUE(implied2.ok()) << implied2.status();
+  EXPECT_FALSE(implied2->implied);
+}
+
+TEST(Lemma33Test, InconsistentSpecMeansImplied) {
+  // Σ1 over D1 is the paper's inconsistent flagship example; in D' both
+  // gadget constraints are then implied (vacuously: no tree satisfies Σ).
+  Dtd d1 = workloads::TeacherDtd();
+  ConstraintSet sigma = workloads::TeacherSigma();
+
+  auto enc1 = EncodeConsistencyAsKeyImplication(d1, sigma);
+  ASSERT_TRUE(enc1.ok());
+  auto implied1 = CheckImplication(enc1->dtd, enc1->sigma, enc1->implied);
+  ASSERT_TRUE(implied1.ok()) << implied1.status();
+  EXPECT_TRUE(implied1->implied);
+
+  auto enc2 = EncodeConsistencyAsInclusionImplication(d1, sigma);
+  ASSERT_TRUE(enc2.ok());
+  auto implied2 = CheckImplication(enc2->dtd, enc2->sigma, enc2->implied);
+  ASSERT_TRUE(implied2.ok()) << implied2.status();
+  EXPECT_TRUE(implied2->implied);
+}
+
+TEST(Lemma33Test, GadgetNamesAreFresh) {
+  // A DTD already using Dy/Ex/K gets uniquified gadget names.
+  DtdBuilder builder;
+  builder.SetRoot("r");
+  builder.AddElement("r", Regex::Elem("Dy"));
+  builder.AddElement("Dy", Regex::Elem("Ex"));
+  builder.AddElement("Ex", Regex::Epsilon());
+  builder.AddAttribute("Ex", "K");
+  auto dtd = builder.Build();
+  ASSERT_TRUE(dtd.ok());
+  ConstraintSet sigma;
+  auto encoding = EncodeConsistencyAsKeyImplication(*dtd, sigma);
+  ASSERT_TRUE(encoding.ok()) << encoding.status();
+  // The implied key's type is a fresh Dy variant, not the user's "Dy".
+  EXPECT_NE(encoding->implied.type1, "Dy");
+  EXPECT_TRUE(encoding->dtd.HasElement(encoding->implied.type1));
+}
+
+}  // namespace
+}  // namespace relational
+}  // namespace xicc

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "relational/dependencies.h"
+#include "relational/schema.h"
+
+namespace xicc {
+namespace relational {
+namespace {
+
+Schema EmployeeSchema() {
+  Schema schema;
+  EXPECT_TRUE(schema.AddRelation("emp", {"id", "name", "dept"}).ok());
+  EXPECT_TRUE(schema.AddRelation("dept", {"dno", "head"}).ok());
+  return schema;
+}
+
+Instance SampleInstance(const Schema* schema) {
+  Instance instance(schema);
+  EXPECT_TRUE(
+      instance.Insert("emp", {{"id", "1"}, {"name", "Ann"}, {"dept", "d1"}})
+          .ok());
+  EXPECT_TRUE(
+      instance.Insert("emp", {{"id", "2"}, {"name", "Bob"}, {"dept", "d1"}})
+          .ok());
+  EXPECT_TRUE(
+      instance.Insert("dept", {{"dno", "d1"}, {"head", "1"}}).ok());
+  return instance;
+}
+
+TEST(SchemaTest, DeclarationRules) {
+  Schema schema;
+  EXPECT_TRUE(schema.AddRelation("r", {"a", "b"}).ok());
+  EXPECT_FALSE(schema.AddRelation("r", {"c"}).ok());     // Duplicate.
+  EXPECT_FALSE(schema.AddRelation("s", {}).ok());        // Empty attrs.
+  EXPECT_FALSE(schema.AddRelation("t", {"a", "a"}).ok());  // Repeated attr.
+  EXPECT_TRUE(schema.HasAttribute("r", "a"));
+  EXPECT_FALSE(schema.HasAttribute("r", "z"));
+  EXPECT_FALSE(schema.HasAttribute("zzz", "a"));
+}
+
+TEST(InstanceTest, InsertValidation) {
+  Schema schema = EmployeeSchema();
+  Instance instance(&schema);
+  EXPECT_FALSE(instance.Insert("ghost", {{"x", "1"}}).ok());
+  EXPECT_FALSE(instance.Insert("emp", {{"id", "1"}}).ok());  // Missing attrs.
+  EXPECT_FALSE(
+      instance.Insert("emp", {{"id", "1"}, {"name", "A"}, {"wrong", "x"}})
+          .ok());
+  EXPECT_TRUE(
+      instance.Insert("emp", {{"id", "1"}, {"name", "A"}, {"dept", "d"}})
+          .ok());
+  EXPECT_EQ(instance.RelationOf("emp").size(), 1u);
+  EXPECT_TRUE(instance.RelationOf("dept").empty());
+}
+
+TEST(DependencyTest, KeySatisfaction) {
+  Schema schema = EmployeeSchema();
+  Instance instance = SampleInstance(&schema);
+  EXPECT_TRUE(Satisfies(instance, Dependency::Key("emp", {"id"})));
+  // dept is shared: not a key.
+  EXPECT_FALSE(Satisfies(instance, Dependency::Key("emp", {"dept"})));
+  // Composite always-key.
+  EXPECT_TRUE(
+      Satisfies(instance, Dependency::Key("emp", {"id", "name", "dept"})));
+}
+
+TEST(DependencyTest, FdSatisfaction) {
+  Schema schema = EmployeeSchema();
+  Instance instance = SampleInstance(&schema);
+  EXPECT_TRUE(Satisfies(instance, Dependency::Fd("emp", {"id"}, {"name"})));
+  EXPECT_FALSE(Satisfies(instance, Dependency::Fd("emp", {"dept"}, {"name"})));
+  // X → X trivially.
+  EXPECT_TRUE(Satisfies(instance, Dependency::Fd("emp", {"dept"}, {"dept"})));
+}
+
+TEST(DependencyTest, InclusionAndForeignKey) {
+  Schema schema = EmployeeSchema();
+  Instance instance = SampleInstance(&schema);
+  // dept.head ⊆ emp.id holds.
+  EXPECT_TRUE(Satisfies(
+      instance, Dependency::Id("dept", {"head"}, "emp", {"id"})));
+  // emp.dept ⊆ dept.dno holds.
+  EXPECT_TRUE(Satisfies(
+      instance, Dependency::Id("emp", {"dept"}, "dept", {"dno"})));
+  // FK needs the target to be a key too: emp.id is one.
+  EXPECT_TRUE(Satisfies(
+      instance, Dependency::ForeignKey("dept", {"head"}, "emp", {"id"})));
+  // Reverse inclusion fails (emp.id = 2 has no dept.head = 2).
+  EXPECT_FALSE(Satisfies(
+      instance, Dependency::Id("emp", {"id"}, "dept", {"head"})));
+}
+
+TEST(DependencyTest, ForeignKeyFailsWhenTargetNotKey) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddRelation("a", {"x"}).ok());
+  ASSERT_TRUE(schema.AddRelation("b", {"y", "z"}).ok());
+  Instance instance(&schema);
+  ASSERT_TRUE(instance.Insert("a", {{"x", "1"}}).ok());
+  ASSERT_TRUE(instance.Insert("b", {{"y", "1"}, {"z", "p"}}).ok());
+  ASSERT_TRUE(instance.Insert("b", {{"y", "1"}, {"z", "q"}}).ok());
+  // Inclusion holds but y is not a key of b.
+  EXPECT_TRUE(Satisfies(instance, Dependency::Id("a", {"x"}, "b", {"y"})));
+  EXPECT_FALSE(
+      Satisfies(instance, Dependency::ForeignKey("a", {"x"}, "b", {"y"})));
+}
+
+TEST(DependencyTest, SatisfiesAllAggregates) {
+  Schema schema = EmployeeSchema();
+  Instance instance = SampleInstance(&schema);
+  std::vector<Dependency> deps = {
+      Dependency::Key("emp", {"id"}),
+      Dependency::Id("dept", {"head"}, "emp", {"id"}),
+  };
+  EXPECT_TRUE(SatisfiesAll(instance, deps));
+  deps.push_back(Dependency::Key("emp", {"dept"}));
+  EXPECT_FALSE(SatisfiesAll(instance, deps));
+}
+
+TEST(DependencyTest, ToStringForms) {
+  EXPECT_EQ(Dependency::Key("r", {"a", "b"}).ToString(), "r[a,b] -> r");
+  EXPECT_EQ(Dependency::Fd("r", {"a"}, {"b"}).ToString(), "r : [a] -> [b]");
+  EXPECT_EQ(Dependency::Id("r", {"a"}, "s", {"b"}).ToString(),
+            "r[a] <= s[b]");
+  EXPECT_EQ(Dependency::ForeignKey("r", {"a"}, "s", {"b"}).ToString(),
+            "r[a] <= s[b] (key)");
+}
+
+TEST(DependencyTest, EmptyInstanceSatisfiesEverythingPositive) {
+  Schema schema = EmployeeSchema();
+  Instance instance(&schema);
+  EXPECT_TRUE(Satisfies(instance, Dependency::Key("emp", {"id"})));
+  EXPECT_TRUE(
+      Satisfies(instance, Dependency::Id("emp", {"id"}, "dept", {"dno"})));
+  EXPECT_TRUE(Satisfies(
+      instance, Dependency::ForeignKey("emp", {"id"}, "dept", {"dno"})));
+}
+
+}  // namespace
+}  // namespace relational
+}  // namespace xicc

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "dtd/analysis.h"
+#include "dtd/glushkov.h"
+#include "dtd/simplify.h"
+#include "workloads/generators.h"
+#include "workloads/paper_examples.h"
+
+namespace xicc {
+namespace {
+
+TEST(SimplifyTest, TeacherDtdBecomesSimple) {
+  Dtd d1 = workloads::TeacherDtd();
+  EXPECT_FALSE(IsSimpleDtd(d1));  // teachers → teacher, teacher* has a star.
+  auto simplified = SimplifyDtd(d1);
+  ASSERT_TRUE(simplified.ok()) << simplified.status();
+  EXPECT_TRUE(IsSimpleDtd(simplified->dtd));
+  EXPECT_EQ(simplified->dtd.root(), "teachers");
+  // The paper's worked example introduces three fresh types for D1
+  // (τ^1_t, τ^2_t, τ_ε).
+  EXPECT_EQ(simplified->synthetic.size(), 3u);
+  // Original element types survive with their attributes.
+  EXPECT_TRUE(simplified->dtd.HasAttribute("teacher", "name"));
+  EXPECT_TRUE(simplified->dtd.HasAttribute("subject", "taught_by"));
+  for (const std::string& synth : simplified->synthetic) {
+    EXPECT_TRUE(simplified->dtd.AttributesOf(synth).empty());
+    EXPECT_TRUE(simplified->IsSynthetic(synth));
+  }
+}
+
+TEST(SimplifyTest, AlreadySimpleIsUntouched) {
+  Dtd d2 = workloads::InfiniteDtd();
+  EXPECT_TRUE(IsSimpleDtd(d2));
+  auto simplified = SimplifyDtd(d2);
+  ASSERT_TRUE(simplified.ok());
+  EXPECT_TRUE(simplified->synthetic.empty());
+  EXPECT_EQ(simplified->dtd.elements().size(), d2.elements().size());
+}
+
+TEST(SimplifyTest, PreservesHasValidTree) {
+  for (const Dtd& dtd :
+       {workloads::TeacherDtd(), workloads::InfiniteDtd(),
+        workloads::SchoolDtd(), workloads::ChainDtd(4),
+        workloads::CatalogDtd(3)}) {
+    auto simplified = SimplifyDtd(dtd);
+    ASSERT_TRUE(simplified.ok());
+    EXPECT_EQ(DtdHasValidTree(dtd), DtdHasValidTree(simplified->dtd));
+  }
+}
+
+TEST(SimplifyTest, SimpleFormsOnly) {
+  auto simplified = SimplifyDtd(workloads::SchoolDtd());
+  ASSERT_TRUE(simplified.ok());
+  for (const std::string& type : simplified->dtd.elements()) {
+    const Regex& content = *simplified->dtd.ContentOf(type);
+    switch (content.kind()) {
+      case Regex::Kind::kEpsilon:
+      case Regex::Kind::kString:
+      case Regex::Kind::kElement:
+        break;
+      case Regex::Kind::kUnion:
+      case Regex::Kind::kConcat: {
+        auto is_atom = [](const Regex& node) {
+          return node.kind() == Regex::Kind::kElement ||
+                 node.kind() == Regex::Kind::kString;
+        };
+        EXPECT_TRUE(is_atom(*content.left())) << type;
+        EXPECT_TRUE(is_atom(*content.right())) << type;
+        break;
+      }
+      case Regex::Kind::kStar:
+        ADD_FAILURE() << "star survived simplification in " << type;
+    }
+  }
+}
+
+TEST(SimplifyTest, StarExpansion) {
+  // r → a* becomes r → τ1, τ1 → τε | τ2, τ2 → a, τ1 (modulo naming).
+  DtdBuilder builder;
+  builder.SetRoot("r");
+  builder.AddElement("r", Regex::Star(Regex::Elem("a")));
+  builder.AddElement("a", Regex::Epsilon());
+  auto dtd = builder.Build();
+  ASSERT_TRUE(dtd.ok());
+  auto simplified = SimplifyDtd(*dtd);
+  ASSERT_TRUE(simplified.ok());
+  EXPECT_TRUE(IsSimpleDtd(simplified->dtd));
+  EXPECT_TRUE(DtdHasValidTree(simplified->dtd));
+  // a must still be able to occur arbitrarily often.
+  EXPECT_TRUE(CanHaveTwo(simplified->dtd, "a"));
+}
+
+TEST(SimplifyTest, FreshNamesDoNotClash) {
+  DtdBuilder builder;
+  builder.SetRoot("r");
+  // Deliberately occupy a likely fresh name.
+  builder.AddElement("r", Regex::Concat(Regex::Star(Regex::Elem("_r.1")),
+                                        Regex::Elem("_r.1")));
+  builder.AddElement("_r.1", Regex::Epsilon());
+  auto dtd = builder.Build();
+  ASSERT_TRUE(dtd.ok());
+  auto simplified = SimplifyDtd(*dtd);
+  ASSERT_TRUE(simplified.ok()) << simplified.status();
+  EXPECT_TRUE(IsSimpleDtd(simplified->dtd));
+  EXPECT_EQ(simplified->synthetic.count("_r.1"), 0u);
+}
+
+/// Lemma 4.3's structural core, checked empirically: words derivable from
+/// P(τ) in D correspond to τ-subtree frontiers in D_N once synthetic
+/// elements are erased. We verify a weaker but telling invariant — the
+/// multiplicity lattice agrees on all original types.
+class SimplifyPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SimplifyPropertyTest, MultiplicityAgreesOnOriginalTypes) {
+  Dtd dtd = workloads::RandomDtd(GetParam(), 12, 2);
+  auto simplified = SimplifyDtd(dtd);
+  ASSERT_TRUE(simplified.ok());
+  EXPECT_TRUE(IsSimpleDtd(simplified->dtd));
+  for (const std::string& type : dtd.elements()) {
+    EXPECT_EQ(MaxMultiplicity(dtd, type),
+              MaxMultiplicity(simplified->dtd, type))
+        << "type " << type << " in seed " << GetParam();
+  }
+}
+
+TEST_P(SimplifyPropertyTest, SimplifiedSizeIsLinear) {
+  Dtd dtd = workloads::RandomDtd(GetParam(), 20, 1);
+  auto simplified = SimplifyDtd(dtd);
+  ASSERT_TRUE(simplified.ok());
+  // The rewriting introduces O(1) fresh types per AST node.
+  EXPECT_LE(simplified->dtd.Size(), 6 * dtd.Size() + 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplifyPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u));
+
+}  // namespace
+}  // namespace xicc

@@ -1,0 +1,214 @@
+// The streaming validator must agree with the tree-based pipeline
+// (ParseXml + ValidateXml + Evaluate) on every document: hand-picked cases
+// covering each problem type, witnesses from the checker, and random
+// mutations.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "constraints/evaluator.h"
+#include "core/consistency.h"
+#include "core/streaming_validator.h"
+#include "dtd/validator.h"
+#include "workloads/generators.h"
+#include "workloads/paper_examples.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace xicc {
+namespace {
+
+/// Tree-based verdict for comparison.
+bool TreeVerdict(const std::string& xml, const Dtd& dtd,
+                 const ConstraintSet& sigma, bool* parse_ok) {
+  auto tree = ParseXml(xml);
+  *parse_ok = tree.ok();
+  if (!tree.ok()) return false;
+  return ValidateXml(*tree, dtd).valid && Evaluate(*tree, sigma).satisfied;
+}
+
+void ExpectAgreement(const std::string& xml, const Dtd& dtd,
+                     const ConstraintSet& sigma, const char* label) {
+  bool parse_ok = false;
+  bool tree_verdict = TreeVerdict(xml, dtd, sigma, &parse_ok);
+  auto stream = ValidateStream(xml, dtd, sigma);
+  if (!parse_ok) {
+    EXPECT_FALSE(stream.ok()) << label;
+    return;
+  }
+  ASSERT_TRUE(stream.ok()) << label << ": " << stream.status();
+  EXPECT_EQ(stream->conforms, tree_verdict)
+      << label << "\nstreaming said:\n"
+      << stream->ToString() << "\ndocument:\n"
+      << xml;
+}
+
+TEST(StreamingTest, Figure1Document) {
+  const char* xml = R"(
+    <teachers>
+      <teacher name="Joe">
+        <teach>
+          <subject taught_by="Joe">XML</subject>
+          <subject taught_by="Joe">DB</subject>
+        </teach>
+        <research>Web DB</research>
+      </teacher>
+    </teachers>)";
+  Dtd d1 = workloads::TeacherDtd();
+  // DTD-valid…
+  ConstraintSet empty;
+  auto stream = ValidateStream(xml, d1, empty);
+  ASSERT_TRUE(stream.ok());
+  EXPECT_TRUE(stream->conforms) << stream->ToString();
+  EXPECT_EQ(stream->elements_seen, 6u);
+  // …but Σ1-violating (the subject key), and the streaming pass says why.
+  auto with_sigma = ValidateStream(xml, d1, workloads::TeacherSigma());
+  ASSERT_TRUE(with_sigma.ok());
+  EXPECT_FALSE(with_sigma->conforms);
+  EXPECT_NE(with_sigma->ToString().find("share key value"),
+            std::string::npos);
+}
+
+TEST(StreamingTest, ProblemTaxonomy) {
+  Dtd d1 = workloads::TeacherDtd();
+  ConstraintSet sigma = workloads::TeacherSigma();
+  struct Case {
+    const char* label;
+    const char* xml;
+  };
+  Case cases[] = {
+      {"wrong root", "<nope/>"},
+      {"undeclared element", "<teachers><intruder/></teachers>"},
+      {"content model dead end",
+       "<teachers><teacher name='x'><research>r</research>"
+       "<teach><subject taught_by='x'>s</subject>"
+       "<subject taught_by='y'>s</subject></teach></teacher></teachers>"},
+      {"content model stops short",
+       "<teachers><teacher name='x'><teach>"
+       "<subject taught_by='x'>s</subject></teach>"
+       "<research>r</research></teacher></teachers>"},
+      {"missing attribute",
+       "<teachers><teacher><teach><subject taught_by='x'>s</subject>"
+       "<subject taught_by='y'>s</subject></teach>"
+       "<research>r</research></teacher></teachers>"},
+      {"undeclared attribute",
+       "<teachers><teacher name='x' age='9'><teach>"
+       "<subject taught_by='x'>s</subject>"
+       "<subject taught_by='y'>s</subject></teach>"
+       "<research>r</research></teacher></teachers>"},
+      {"dangling foreign key",
+       "<teachers><teacher name='x'><teach>"
+       "<subject taught_by='ghost'>s</subject>"
+       "<subject taught_by='x'>s</subject></teach>"
+       "<research>r</research></teacher></teachers>"},
+  };
+  for (const Case& c : cases) {
+    ExpectAgreement(c.xml, d1, sigma, c.label);
+    auto stream = ValidateStream(c.xml, d1, sigma);
+    ASSERT_TRUE(stream.ok()) << c.label;
+    EXPECT_FALSE(stream->conforms) << c.label;
+  }
+}
+
+TEST(StreamingTest, NegationsNeedWholeDocument) {
+  Dtd dtd = workloads::CatalogDtd(2);
+  ConstraintSet sigma;
+  sigma.Add(Constraint::NegKey("item1", {"id"}));
+  sigma.Add(Constraint::NegInclusion("item1", {"id"}, "item2", {"id"}));
+
+  // Duplicates present + a dangling value: both negations satisfied.
+  ExpectAgreement(
+      "<catalog><section1><item1 id='a' ref='r'/><item1 id='a' ref='r'/>"
+      "</section1><section2><item2 id='b' ref='r'/></section2></catalog>",
+      dtd, sigma, "negations satisfied");
+  // All unique and covered: both negations violated.
+  ExpectAgreement(
+      "<catalog><section1><item1 id='a' ref='r'/></section1>"
+      "<section2><item2 id='a' ref='r'/></section2></catalog>",
+      dtd, sigma, "negations violated");
+}
+
+TEST(StreamingTest, MultiAttributeConstraints) {
+  Dtd school = workloads::SchoolDtd();
+  ConstraintSet sigma = workloads::SchoolSigma();
+  ExpectAgreement(R"(
+    <school>
+      <course dept="CS" course_no="1"><subject>DB</subject></course>
+      <student student_id="s1"><name>Kim</name></student>
+      <enroll student_id="s1" dept="CS" course_no="1"/>
+    </school>)", school, sigma, "clean school");
+  ExpectAgreement(R"(
+    <school>
+      <course dept="CS" course_no="1"><subject>DB</subject></course>
+      <student student_id="s1"><name>Kim</name></student>
+      <enroll student_id="s1" dept="EE" course_no="9"/>
+    </school>)", school, sigma, "dangling enrollment");
+  ExpectAgreement(R"(
+    <school>
+      <student student_id="s1"><name>A</name></student>
+      <student student_id="s1"><name>B</name></student>
+    </school>)", school, sigma, "duplicate student");
+}
+
+TEST(StreamingTest, CheckerWitnessesAlwaysConform) {
+  for (size_t n : {1, 2, 4}) {
+    Dtd dtd = workloads::AuctionDtd(n);
+    ConstraintSet sigma = workloads::AuctionSigma(n);
+    ConsistencyOptions options;
+    options.min_witness_nodes = 12 * n;
+    auto result = CheckConsistency(dtd, sigma, options);
+    ASSERT_TRUE(result.ok()) << result.status();
+    ASSERT_TRUE(result->witness.has_value());
+    std::string xml = SerializeXml(*result->witness);
+    auto stream = ValidateStream(xml, dtd, sigma);
+    ASSERT_TRUE(stream.ok()) << stream.status();
+    EXPECT_TRUE(stream->conforms) << stream->ToString();
+  }
+}
+
+class StreamingDifferentialTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(StreamingDifferentialTest, AgreesWithTreePipelineUnderMutation) {
+  std::mt19937_64 rng(GetParam());
+  Dtd d1 = workloads::TeacherDtd();
+  ConstraintSet sigma = workloads::TeacherSigma();
+  const std::string seed_doc =
+      "<teachers><teacher name=\"a\"><teach>"
+      "<subject taught_by=\"a\">x</subject>"
+      "<subject taught_by=\"b\">y</subject></teach>"
+      "<research>r</research></teacher>"
+      "<teacher name=\"b\"><teach>"
+      "<subject taught_by=\"c\">x</subject>"
+      "<subject taught_by=\"d\">y</subject></teach>"
+      "<research>r</research></teacher></teachers>";
+  // Structured mutations that usually keep the document well-formed:
+  // attribute value swaps, element duplication, subtree deletion.
+  for (int trial = 0; trial < 40; ++trial) {
+    std::string doc = seed_doc;
+    // Swap two quoted values.
+    std::vector<size_t> quotes;
+    for (size_t i = 0; i < doc.size(); ++i) {
+      if (doc[i] == '"') quotes.push_back(i);
+    }
+    if (quotes.size() >= 4) {
+      size_t a = (rng() % (quotes.size() / 2)) * 2;
+      size_t b = (rng() % (quotes.size() / 2)) * 2;
+      std::string va = doc.substr(quotes[a] + 1, quotes[a + 1] - quotes[a] - 1);
+      std::string vb = doc.substr(quotes[b] + 1, quotes[b + 1] - quotes[b] - 1);
+      if (va.size() == vb.size()) {
+        for (size_t i = 0; i < va.size(); ++i) {
+          std::swap(doc[quotes[a] + 1 + i], doc[quotes[b] + 1 + i]);
+        }
+      }
+    }
+    ExpectAgreement(doc, d1, sigma, "mutated");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StreamingDifferentialTest,
+                         ::testing::Values(1u, 7u, 23u, 99u));
+
+}  // namespace
+}  // namespace xicc

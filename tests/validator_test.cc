@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "dtd/validator.h"
+#include "xml/parser.h"
+#include "workloads/paper_examples.h"
+
+namespace xicc {
+namespace {
+
+XmlTree MustParse(const std::string& text) {
+  auto tree = ParseXml(text);
+  EXPECT_TRUE(tree.ok()) << tree.status();
+  return std::move(tree).value();
+}
+
+TEST(ValidatorTest, Figure1TreeConformsToD1) {
+  // The tree of Figure 1.
+  XmlTree tree = MustParse(R"(
+    <teachers>
+      <teacher name="Joe">
+        <teach>
+          <subject taught_by="Joe">XML</subject>
+          <subject taught_by="Joe">DB</subject>
+        </teach>
+        <research>Web DB</research>
+      </teacher>
+      <teacher name="Ann">
+        <teach>
+          <subject taught_by="Ann">Logic</subject>
+          <subject taught_by="Ann">Automata</subject>
+        </teach>
+        <research>Theory</research>
+      </teacher>
+    </teachers>)");
+  ValidationReport report = ValidateXml(tree, workloads::TeacherDtd());
+  EXPECT_TRUE(report.valid) << report.ToString();
+}
+
+TEST(ValidatorTest, WrongRootRejected) {
+  XmlTree tree = MustParse("<teacher name=\"X\"><teach/><research/></teacher>");
+  ValidationReport report = ValidateXml(tree, workloads::TeacherDtd());
+  EXPECT_FALSE(report.valid);
+  EXPECT_NE(report.ToString().find("root"), std::string::npos);
+}
+
+TEST(ValidatorTest, ContentModelViolation) {
+  // One subject instead of two.
+  XmlTree tree = MustParse(R"(
+    <teachers>
+      <teacher name="Joe">
+        <teach><subject taught_by="Joe">XML</subject></teach>
+        <research>DB</research>
+      </teacher>
+    </teachers>)");
+  ValidationReport report = ValidateXml(tree, workloads::TeacherDtd());
+  EXPECT_FALSE(report.valid);
+  EXPECT_NE(report.ToString().find("teach"), std::string::npos);
+}
+
+TEST(ValidatorTest, MissingAttributeReported) {
+  XmlTree tree = MustParse(R"(
+    <teachers>
+      <teacher>
+        <teach>
+          <subject taught_by="Joe">X</subject>
+          <subject taught_by="Joe">Y</subject>
+        </teach>
+        <research>R</research>
+      </teacher>
+    </teachers>)");
+  ValidationReport report = ValidateXml(tree, workloads::TeacherDtd());
+  EXPECT_FALSE(report.valid);
+  EXPECT_NE(report.ToString().find("missing required attribute 'name'"),
+            std::string::npos);
+}
+
+TEST(ValidatorTest, UndeclaredAttributeReported) {
+  XmlTree tree = MustParse(R"(
+    <teachers>
+      <teacher name="Joe" age="44">
+        <teach>
+          <subject taught_by="Joe">X</subject>
+          <subject taught_by="Joe">Y</subject>
+        </teach>
+        <research>R</research>
+      </teacher>
+    </teachers>)");
+  ValidationReport report = ValidateXml(tree, workloads::TeacherDtd());
+  EXPECT_FALSE(report.valid);
+  EXPECT_NE(report.ToString().find("undeclared attribute 'age'"),
+            std::string::npos);
+}
+
+TEST(ValidatorTest, UndeclaredElementReported) {
+  XmlTree tree = MustParse("<teachers><intruder/></teachers>");
+  ValidationReport report = ValidateXml(tree, workloads::TeacherDtd());
+  EXPECT_FALSE(report.valid);
+  EXPECT_NE(report.ToString().find("intruder"), std::string::npos);
+}
+
+TEST(ValidatorTest, ImplicitEmptyTextOption) {
+  // <research/> has no text child but P(research) = S.
+  XmlTree tree = MustParse(R"(
+    <teachers>
+      <teacher name="Joe">
+        <teach>
+          <subject taught_by="Joe">X</subject>
+          <subject taught_by="Joe">Y</subject>
+        </teach>
+        <research/>
+      </teacher>
+    </teachers>)");
+  EXPECT_TRUE(ValidateXml(tree, workloads::TeacherDtd()).valid);
+
+  ValidateOptions strict;
+  strict.implicit_empty_text = false;
+  EXPECT_FALSE(ValidateXml(tree, workloads::TeacherDtd(), strict).valid);
+}
+
+TEST(ValidatorTest, SchoolDocumentWithStars) {
+  XmlTree tree = MustParse(R"(
+    <school>
+      <course dept="CS" course_no="101"><subject>DB</subject></course>
+      <course dept="CS" course_no="102"><subject>XML</subject></course>
+      <student student_id="s1"><name>Kim</name></student>
+      <enroll student_id="s1" dept="CS" course_no="101"/>
+    </school>)");
+  ValidationReport report = ValidateXml(tree, workloads::SchoolDtd());
+  EXPECT_TRUE(report.valid) << report.ToString();
+}
+
+TEST(ValidatorTest, SchoolStarOrderMatters) {
+  // enroll before student violates course*,student*,enroll*.
+  XmlTree tree = MustParse(R"(
+    <school>
+      <enroll student_id="s1" dept="CS" course_no="101"/>
+      <student student_id="s1"><name>Kim</name></student>
+    </school>)");
+  EXPECT_FALSE(ValidateXml(tree, workloads::SchoolDtd()).valid);
+}
+
+TEST(ValidatorTest, EmptySchoolIsValid) {
+  XmlTree tree = MustParse("<school/>");
+  EXPECT_TRUE(ValidateXml(tree, workloads::SchoolDtd()).valid);
+}
+
+TEST(ValidatorTest, CollectsMultipleViolations) {
+  XmlTree tree = MustParse(R"(
+    <teachers>
+      <teacher><teach/><research/></teacher>
+    </teachers>)");
+  ValidationReport report = ValidateXml(tree, workloads::TeacherDtd());
+  EXPECT_FALSE(report.valid);
+  // Missing name + teach content model.
+  EXPECT_GE(report.violations.size(), 2u);
+}
+
+}  // namespace
+}  // namespace xicc

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "dtd/analysis.h"
+#include "workloads/generators.h"
+#include "workloads/paper_examples.h"
+
+namespace xicc {
+namespace workloads {
+namespace {
+
+TEST(WorkloadsTest, PaperExamplesWellFormed) {
+  EXPECT_EQ(TeacherDtd().root(), "teachers");
+  EXPECT_EQ(InfiniteDtd().root(), "db");
+  EXPECT_EQ(SchoolDtd().root(), "school");
+  EXPECT_EQ(TeacherSigma().size(), 3u);
+  EXPECT_EQ(SchoolSigma().size(), 5u);
+  EXPECT_TRUE(TeacherSigma().CheckAgainst(TeacherDtd()).ok());
+  EXPECT_TRUE(SchoolSigma().CheckAgainst(SchoolDtd()).ok());
+}
+
+TEST(WorkloadsTest, ChainAndWideScaleLinearly) {
+  Dtd chain10 = ChainDtd(10);
+  Dtd chain20 = ChainDtd(20);
+  EXPECT_TRUE(DtdHasValidTree(chain10));
+  EXPECT_GT(chain20.Size(), chain10.Size());
+  EXPECT_EQ(chain10.elements().size(), 11u);  // r + e1..e10.
+
+  Dtd wide = WideDtd(7);
+  EXPECT_TRUE(DtdHasValidTree(wide));
+  EXPECT_EQ(wide.elements().size(), 8u);
+}
+
+TEST(WorkloadsTest, CatalogShape) {
+  Dtd catalog = CatalogDtd(3);
+  EXPECT_TRUE(DtdHasValidTree(catalog));
+  EXPECT_TRUE(catalog.HasAttribute("item2", "id"));
+  EXPECT_TRUE(catalog.HasAttribute("item2", "ref"));
+  EXPECT_TRUE(CanHaveTwo(catalog, "item1"));
+  ConstraintSet sigma = CatalogFkChainSigma(3);
+  EXPECT_TRUE(sigma.CheckAgainst(catalog).ok());
+  EXPECT_EQ(sigma.size(), 5u);  // 3 keys + 2 FKs.
+}
+
+TEST(WorkloadsTest, AllKeysSigmaCoversAttributedTypes) {
+  Dtd school = SchoolDtd();
+  ConstraintSet keys = AllKeysSigma(school);
+  EXPECT_EQ(keys.size(), 3u);  // course, student, enroll.
+  EXPECT_EQ(keys.Classify(), ConstraintClass::kKeysOnly);
+}
+
+TEST(WorkloadsTest, RandomDtdAlwaysProductive) {
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    Dtd dtd = RandomDtd(seed, 15, 2);
+    EXPECT_TRUE(DtdHasValidTree(dtd)) << "seed " << seed;
+  }
+}
+
+TEST(WorkloadsTest, RandomDtdDeterministic) {
+  Dtd a = RandomDtd(7, 10, 1);
+  Dtd b = RandomDtd(7, 10, 1);
+  EXPECT_EQ(a.ToString(), b.ToString());
+  Dtd c = RandomDtd(8, 10, 1);
+  EXPECT_NE(a.ToString(), c.ToString());
+}
+
+TEST(WorkloadsTest, RandomSigmaChecksOut) {
+  Dtd dtd = RandomDtd(3, 12, 2);
+  ConstraintSet sigma = RandomUnarySigma(dtd, 11, 4, 3);
+  EXPECT_EQ(sigma.size(), 7u);
+  EXPECT_TRUE(sigma.CheckAgainst(dtd).ok());
+  for (const Constraint& c : sigma.constraints()) {
+    EXPECT_TRUE(c.IsUnary());
+  }
+}
+
+TEST(WorkloadsTest, LipInstanceInvariants) {
+  BinaryLipInstance instance = RandomLip(5, 6, 8, 3);
+  EXPECT_EQ(instance.rows, 6u);
+  EXPECT_EQ(instance.cols, 8u);
+  for (size_t i = 0; i < instance.rows; ++i) {
+    size_t ones = 0;
+    for (size_t j = 0; j < instance.cols; ++j) {
+      if (instance.At(i, j)) ++ones;
+    }
+    EXPECT_EQ(ones, 3u);
+  }
+}
+
+TEST(WorkloadsTest, LipBruteForce) {
+  BinaryLipInstance sat;
+  sat.rows = 2;
+  sat.cols = 3;
+  // Rows {x1,x2}, {x2,x3}: x2=1 alone solves both.
+  sat.a = {1, 1, 0, 0, 1, 1};
+  EXPECT_TRUE(LipHasBinarySolution(sat));
+
+  BinaryLipInstance unsat;
+  unsat.rows = 3;
+  unsat.cols = 2;
+  unsat.a = {1, 0, 0, 1, 1, 1};
+  EXPECT_FALSE(LipHasBinarySolution(unsat));
+}
+
+TEST(WorkloadsTest, LipEncodingStructure) {
+  BinaryLipInstance instance = RandomLip(1, 3, 4, 2);
+  LipEncoding enc = EncodeLipAsConsistency(instance);
+  EXPECT_TRUE(DtdHasValidTree(enc.dtd));
+  EXPECT_TRUE(enc.sigma.CheckAgainst(enc.dtd).ok());
+  // Unary constraints only: the Theorem 4.7 gadget lives in C^unary_{K,FK}.
+  EXPECT_EQ(enc.sigma.Classify(), ConstraintClass::kUnaryKeyFk);
+}
+
+}  // namespace
+}  // namespace workloads
+}  // namespace xicc

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "xml/parser.h"
+#include "xml/serializer.h"
+#include "xml/tree.h"
+
+namespace xicc {
+namespace {
+
+TEST(XmlTreeTest, RootOnly) {
+  XmlTree tree("db");
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree.root(), 0u);
+  EXPECT_EQ(tree.label(tree.root()), "db");
+  EXPECT_TRUE(tree.children(tree.root()).empty());
+  EXPECT_EQ(tree.parent(tree.root()), kInvalidNode);
+}
+
+TEST(XmlTreeTest, BuildHierarchy) {
+  XmlTree tree("teachers");
+  NodeId teacher = tree.AddElement(tree.root(), "teacher");
+  NodeId teach = tree.AddElement(teacher, "teach");
+  NodeId s1 = tree.AddElement(teach, "subject");
+  NodeId s2 = tree.AddElement(teach, "subject");
+  tree.AddText(s1, "XML");
+  tree.AddText(s2, "DB");
+
+  EXPECT_EQ(tree.children(teach).size(), 2u);
+  EXPECT_EQ(tree.parent(s1), teach);
+  EXPECT_EQ(tree.ChildLabelWord(teach),
+            (std::vector<std::string>{"subject", "subject"}));
+  EXPECT_EQ(tree.ChildLabelWord(s1), (std::vector<std::string>{"S"}));
+}
+
+TEST(XmlTreeTest, AttributesAreSingleValuedAndSorted) {
+  XmlTree tree("r");
+  tree.SetAttribute(tree.root(), "zeta", "1");
+  tree.SetAttribute(tree.root(), "alpha", "2");
+  tree.SetAttribute(tree.root(), "zeta", "3");  // Overwrite.
+  ASSERT_EQ(tree.attributes(tree.root()).size(), 2u);
+  EXPECT_EQ(tree.attributes(tree.root())[0].first, "alpha");
+  EXPECT_EQ(*tree.AttributeValue(tree.root(), "zeta"), "3");
+  EXPECT_FALSE(tree.AttributeValue(tree.root(), "missing").has_value());
+}
+
+TEST(XmlTreeTest, ExtOfTypeDocumentOrder) {
+  XmlTree tree("r");
+  NodeId a1 = tree.AddElement(tree.root(), "a");
+  tree.AddElement(tree.root(), "b");
+  NodeId a2 = tree.AddElement(tree.root(), "a");
+  EXPECT_EQ(tree.ExtOfType("a"), (std::vector<NodeId>{a1, a2}));
+  EXPECT_TRUE(tree.ExtOfType("zzz").empty());
+}
+
+TEST(XmlTreeTest, ExtOfAttributeDeduplicates) {
+  XmlTree tree("r");
+  NodeId a1 = tree.AddElement(tree.root(), "a");
+  NodeId a2 = tree.AddElement(tree.root(), "a");
+  NodeId a3 = tree.AddElement(tree.root(), "a");
+  tree.SetAttribute(a1, "id", "x");
+  tree.SetAttribute(a2, "id", "y");
+  tree.SetAttribute(a3, "id", "x");
+  EXPECT_EQ(tree.ExtOfAttribute("a", "id"),
+            (std::vector<std::string>{"x", "y"}));
+}
+
+// ----------------------------------------------------------------- Parser.
+
+TEST(XmlParserTest, MinimalDocument) {
+  auto tree = ParseXml("<db/>");
+  ASSERT_TRUE(tree.ok()) << tree.status();
+  EXPECT_EQ(tree->label(tree->root()), "db");
+  EXPECT_EQ(tree->size(), 1u);
+}
+
+TEST(XmlParserTest, NestedWithAttributes) {
+  auto tree = ParseXml(R"(<?xml version="1.0"?>
+    <teachers>
+      <teacher name="Joe">
+        <teach><subject taught_by="Joe">XML</subject></teach>
+      </teacher>
+    </teachers>)");
+  ASSERT_TRUE(tree.ok()) << tree.status();
+  auto teachers = tree->ExtOfType("teacher");
+  ASSERT_EQ(teachers.size(), 1u);
+  EXPECT_EQ(*tree->AttributeValue(teachers[0], "name"), "Joe");
+  auto subjects = tree->ExtOfType("subject");
+  ASSERT_EQ(subjects.size(), 1u);
+  ASSERT_EQ(tree->children(subjects[0]).size(), 1u);
+  EXPECT_EQ(tree->text(tree->children(subjects[0])[0]), "XML");
+}
+
+TEST(XmlParserTest, EntitiesAndCharRefs) {
+  auto tree = ParseXml("<a v=\"x&amp;y\">&lt;tag&gt; &#65;&#x42;</a>");
+  ASSERT_TRUE(tree.ok()) << tree.status();
+  EXPECT_EQ(*tree->AttributeValue(tree->root(), "v"), "x&y");
+  ASSERT_EQ(tree->children(tree->root()).size(), 1u);
+  EXPECT_EQ(tree->text(tree->children(tree->root())[0]), "<tag> AB");
+}
+
+TEST(XmlParserTest, CommentsAndPiSkipped) {
+  auto tree = ParseXml(
+      "<!-- head --><?pi data?><a><!-- inner --><b/><?x?></a><!-- tail -->");
+  ASSERT_TRUE(tree.ok()) << tree.status();
+  EXPECT_EQ(tree->ExtOfType("b").size(), 1u);
+}
+
+TEST(XmlParserTest, CdataPreserved) {
+  auto tree = ParseXml("<a><![CDATA[<not-a-tag>&amp;]]></a>");
+  ASSERT_TRUE(tree.ok()) << tree.status();
+  ASSERT_EQ(tree->children(tree->root()).size(), 1u);
+  EXPECT_EQ(tree->text(tree->children(tree->root())[0]), "<not-a-tag>&amp;");
+}
+
+TEST(XmlParserTest, DoctypeSkipped) {
+  auto tree = ParseXml(
+      "<!DOCTYPE db [<!ELEMENT db EMPTY>]>\n<db/>");
+  ASSERT_TRUE(tree.ok()) << tree.status();
+  EXPECT_EQ(tree->label(tree->root()), "db");
+}
+
+TEST(XmlParserTest, WhitespaceTextDroppedByDefault) {
+  auto tree = ParseXml("<a>\n  <b/>\n</a>");
+  ASSERT_TRUE(tree.ok()) << tree.status();
+  EXPECT_EQ(tree->children(tree->root()).size(), 1u);
+
+  XmlParseOptions keep;
+  keep.skip_whitespace_text = false;
+  auto kept = ParseXml("<a>\n  <b/>\n</a>", keep);
+  ASSERT_TRUE(kept.ok());
+  EXPECT_EQ(kept->children(kept->root()).size(), 3u);
+}
+
+TEST(XmlParserTest, ErrorsCarryPositions) {
+  auto mismatched = ParseXml("<a><b></a>");
+  ASSERT_FALSE(mismatched.ok());
+  EXPECT_NE(mismatched.status().message().find("mismatched end tag"),
+            std::string::npos);
+
+  auto duplicate = ParseXml("<a x=\"1\" x=\"2\"/>");
+  ASSERT_FALSE(duplicate.ok());
+  EXPECT_NE(duplicate.status().message().find("duplicate attribute"),
+            std::string::npos);
+
+  EXPECT_FALSE(ParseXml("").ok());
+  EXPECT_FALSE(ParseXml("<a>").ok());
+  EXPECT_FALSE(ParseXml("<a/><b/>").ok());
+  EXPECT_FALSE(ParseXml("<a v=unquoted/>").ok());
+}
+
+// -------------------------------------------------------------- Serializer.
+
+TEST(XmlSerializerTest, RoundTrip) {
+  XmlTree tree("school");
+  NodeId course = tree.AddElement(tree.root(), "course");
+  tree.SetAttribute(course, "dept", "CS");
+  tree.SetAttribute(course, "course_no", "101");
+  NodeId subject = tree.AddElement(course, "subject");
+  tree.AddText(subject, "Databases & XML <fun>");
+
+  std::string text = SerializeXml(tree);
+  auto parsed = ParseXml(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status() << "\n" << text;
+  EXPECT_EQ(parsed->size(), tree.size());
+  auto courses = parsed->ExtOfType("course");
+  ASSERT_EQ(courses.size(), 1u);
+  EXPECT_EQ(*parsed->AttributeValue(courses[0], "dept"), "CS");
+  auto subjects = parsed->ExtOfType("subject");
+  ASSERT_EQ(subjects.size(), 1u);
+  EXPECT_EQ(parsed->text(parsed->children(subjects[0])[0]),
+            "Databases & XML <fun>");
+}
+
+TEST(XmlSerializerTest, CompactMode) {
+  XmlTree tree("a");
+  tree.AddElement(tree.root(), "b");
+  XmlSerializeOptions options;
+  options.indent = 0;
+  options.declaration = false;
+  EXPECT_EQ(SerializeXml(tree, options), "<a><b/></a>");
+}
+
+}  // namespace
+}  // namespace xicc
