@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_keys_only.dir/bench_keys_only.cc.o"
+  "CMakeFiles/bench_keys_only.dir/bench_keys_only.cc.o.d"
+  "bench_keys_only"
+  "bench_keys_only.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_keys_only.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

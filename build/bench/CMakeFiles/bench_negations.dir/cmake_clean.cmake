@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_negations.dir/bench_negations.cc.o"
+  "CMakeFiles/bench_negations.dir/bench_negations.cc.o.d"
+  "bench_negations"
+  "bench_negations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_negations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_undecidable_frontier.dir/bench_undecidable_frontier.cc.o"
+  "CMakeFiles/bench_undecidable_frontier.dir/bench_undecidable_frontier.cc.o.d"
+  "bench_undecidable_frontier"
+  "bench_undecidable_frontier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_undecidable_frontier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incremental_authoring.dir/incremental_authoring.cpp.o"
+  "CMakeFiles/incremental_authoring.dir/incremental_authoring.cpp.o.d"
+  "incremental_authoring"
+  "incremental_authoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incremental_authoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/school_registry.dir/school_registry.cpp.o"
+  "CMakeFiles/school_registry.dir/school_registry.cpp.o.d"
+  "school_registry"
+  "school_registry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/school_registry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/witness_generation.dir/witness_generation.cpp.o"
+  "CMakeFiles/witness_generation.dir/witness_generation.cpp.o.d"
+  "witness_generation"
+  "witness_generation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/witness_generation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xicc_base.dir/bigint.cc.o"
+  "CMakeFiles/xicc_base.dir/bigint.cc.o.d"
+  "CMakeFiles/xicc_base.dir/rational.cc.o"
+  "CMakeFiles/xicc_base.dir/rational.cc.o.d"
+  "CMakeFiles/xicc_base.dir/status.cc.o"
+  "CMakeFiles/xicc_base.dir/status.cc.o.d"
+  "CMakeFiles/xicc_base.dir/strings.cc.o"
+  "CMakeFiles/xicc_base.dir/strings.cc.o.d"
+  "libxicc_base.a"
+  "libxicc_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xicc_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/constraints/constraint.cc" "src/constraints/CMakeFiles/xicc_constraints.dir/constraint.cc.o" "gcc" "src/constraints/CMakeFiles/xicc_constraints.dir/constraint.cc.o.d"
+  "/root/repo/src/constraints/constraint_parser.cc" "src/constraints/CMakeFiles/xicc_constraints.dir/constraint_parser.cc.o" "gcc" "src/constraints/CMakeFiles/xicc_constraints.dir/constraint_parser.cc.o.d"
+  "/root/repo/src/constraints/evaluator.cc" "src/constraints/CMakeFiles/xicc_constraints.dir/evaluator.cc.o" "gcc" "src/constraints/CMakeFiles/xicc_constraints.dir/evaluator.cc.o.d"
+  "/root/repo/src/constraints/id_idref.cc" "src/constraints/CMakeFiles/xicc_constraints.dir/id_idref.cc.o" "gcc" "src/constraints/CMakeFiles/xicc_constraints.dir/id_idref.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/xicc_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/dtd/CMakeFiles/xicc_dtd.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/xicc_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

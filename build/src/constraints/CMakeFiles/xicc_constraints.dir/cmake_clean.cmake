@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xicc_constraints.dir/constraint.cc.o"
+  "CMakeFiles/xicc_constraints.dir/constraint.cc.o.d"
+  "CMakeFiles/xicc_constraints.dir/constraint_parser.cc.o"
+  "CMakeFiles/xicc_constraints.dir/constraint_parser.cc.o.d"
+  "CMakeFiles/xicc_constraints.dir/evaluator.cc.o"
+  "CMakeFiles/xicc_constraints.dir/evaluator.cc.o.d"
+  "CMakeFiles/xicc_constraints.dir/id_idref.cc.o"
+  "CMakeFiles/xicc_constraints.dir/id_idref.cc.o.d"
+  "libxicc_constraints.a"
+  "libxicc_constraints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xicc_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cardinality_encoding.cc" "src/core/CMakeFiles/xicc_core.dir/cardinality_encoding.cc.o" "gcc" "src/core/CMakeFiles/xicc_core.dir/cardinality_encoding.cc.o.d"
+  "/root/repo/src/core/closure.cc" "src/core/CMakeFiles/xicc_core.dir/closure.cc.o" "gcc" "src/core/CMakeFiles/xicc_core.dir/closure.cc.o.d"
+  "/root/repo/src/core/conditional_solver.cc" "src/core/CMakeFiles/xicc_core.dir/conditional_solver.cc.o" "gcc" "src/core/CMakeFiles/xicc_core.dir/conditional_solver.cc.o.d"
+  "/root/repo/src/core/consistency.cc" "src/core/CMakeFiles/xicc_core.dir/consistency.cc.o" "gcc" "src/core/CMakeFiles/xicc_core.dir/consistency.cc.o.d"
+  "/root/repo/src/core/encoding_solver.cc" "src/core/CMakeFiles/xicc_core.dir/encoding_solver.cc.o" "gcc" "src/core/CMakeFiles/xicc_core.dir/encoding_solver.cc.o.d"
+  "/root/repo/src/core/implication.cc" "src/core/CMakeFiles/xicc_core.dir/implication.cc.o" "gcc" "src/core/CMakeFiles/xicc_core.dir/implication.cc.o.d"
+  "/root/repo/src/core/incremental.cc" "src/core/CMakeFiles/xicc_core.dir/incremental.cc.o" "gcc" "src/core/CMakeFiles/xicc_core.dir/incremental.cc.o.d"
+  "/root/repo/src/core/set_representation.cc" "src/core/CMakeFiles/xicc_core.dir/set_representation.cc.o" "gcc" "src/core/CMakeFiles/xicc_core.dir/set_representation.cc.o.d"
+  "/root/repo/src/core/spec.cc" "src/core/CMakeFiles/xicc_core.dir/spec.cc.o" "gcc" "src/core/CMakeFiles/xicc_core.dir/spec.cc.o.d"
+  "/root/repo/src/core/streaming_validator.cc" "src/core/CMakeFiles/xicc_core.dir/streaming_validator.cc.o" "gcc" "src/core/CMakeFiles/xicc_core.dir/streaming_validator.cc.o.d"
+  "/root/repo/src/core/witness.cc" "src/core/CMakeFiles/xicc_core.dir/witness.cc.o" "gcc" "src/core/CMakeFiles/xicc_core.dir/witness.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/xicc_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/xicc_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/dtd/CMakeFiles/xicc_dtd.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraints/CMakeFiles/xicc_constraints.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/xicc_ilp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xicc_core.dir/cardinality_encoding.cc.o"
+  "CMakeFiles/xicc_core.dir/cardinality_encoding.cc.o.d"
+  "CMakeFiles/xicc_core.dir/closure.cc.o"
+  "CMakeFiles/xicc_core.dir/closure.cc.o.d"
+  "CMakeFiles/xicc_core.dir/conditional_solver.cc.o"
+  "CMakeFiles/xicc_core.dir/conditional_solver.cc.o.d"
+  "CMakeFiles/xicc_core.dir/consistency.cc.o"
+  "CMakeFiles/xicc_core.dir/consistency.cc.o.d"
+  "CMakeFiles/xicc_core.dir/encoding_solver.cc.o"
+  "CMakeFiles/xicc_core.dir/encoding_solver.cc.o.d"
+  "CMakeFiles/xicc_core.dir/implication.cc.o"
+  "CMakeFiles/xicc_core.dir/implication.cc.o.d"
+  "CMakeFiles/xicc_core.dir/incremental.cc.o"
+  "CMakeFiles/xicc_core.dir/incremental.cc.o.d"
+  "CMakeFiles/xicc_core.dir/set_representation.cc.o"
+  "CMakeFiles/xicc_core.dir/set_representation.cc.o.d"
+  "CMakeFiles/xicc_core.dir/spec.cc.o"
+  "CMakeFiles/xicc_core.dir/spec.cc.o.d"
+  "CMakeFiles/xicc_core.dir/streaming_validator.cc.o"
+  "CMakeFiles/xicc_core.dir/streaming_validator.cc.o.d"
+  "CMakeFiles/xicc_core.dir/witness.cc.o"
+  "CMakeFiles/xicc_core.dir/witness.cc.o.d"
+  "libxicc_core.a"
+  "libxicc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xicc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dtd/analysis.cc" "src/dtd/CMakeFiles/xicc_dtd.dir/analysis.cc.o" "gcc" "src/dtd/CMakeFiles/xicc_dtd.dir/analysis.cc.o.d"
+  "/root/repo/src/dtd/dtd.cc" "src/dtd/CMakeFiles/xicc_dtd.dir/dtd.cc.o" "gcc" "src/dtd/CMakeFiles/xicc_dtd.dir/dtd.cc.o.d"
+  "/root/repo/src/dtd/dtd_parser.cc" "src/dtd/CMakeFiles/xicc_dtd.dir/dtd_parser.cc.o" "gcc" "src/dtd/CMakeFiles/xicc_dtd.dir/dtd_parser.cc.o.d"
+  "/root/repo/src/dtd/glushkov.cc" "src/dtd/CMakeFiles/xicc_dtd.dir/glushkov.cc.o" "gcc" "src/dtd/CMakeFiles/xicc_dtd.dir/glushkov.cc.o.d"
+  "/root/repo/src/dtd/regex.cc" "src/dtd/CMakeFiles/xicc_dtd.dir/regex.cc.o" "gcc" "src/dtd/CMakeFiles/xicc_dtd.dir/regex.cc.o.d"
+  "/root/repo/src/dtd/simplify.cc" "src/dtd/CMakeFiles/xicc_dtd.dir/simplify.cc.o" "gcc" "src/dtd/CMakeFiles/xicc_dtd.dir/simplify.cc.o.d"
+  "/root/repo/src/dtd/validator.cc" "src/dtd/CMakeFiles/xicc_dtd.dir/validator.cc.o" "gcc" "src/dtd/CMakeFiles/xicc_dtd.dir/validator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/xicc_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/xicc_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

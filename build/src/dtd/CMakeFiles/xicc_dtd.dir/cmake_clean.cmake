@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xicc_dtd.dir/analysis.cc.o"
+  "CMakeFiles/xicc_dtd.dir/analysis.cc.o.d"
+  "CMakeFiles/xicc_dtd.dir/dtd.cc.o"
+  "CMakeFiles/xicc_dtd.dir/dtd.cc.o.d"
+  "CMakeFiles/xicc_dtd.dir/dtd_parser.cc.o"
+  "CMakeFiles/xicc_dtd.dir/dtd_parser.cc.o.d"
+  "CMakeFiles/xicc_dtd.dir/glushkov.cc.o"
+  "CMakeFiles/xicc_dtd.dir/glushkov.cc.o.d"
+  "CMakeFiles/xicc_dtd.dir/regex.cc.o"
+  "CMakeFiles/xicc_dtd.dir/regex.cc.o.d"
+  "CMakeFiles/xicc_dtd.dir/simplify.cc.o"
+  "CMakeFiles/xicc_dtd.dir/simplify.cc.o.d"
+  "CMakeFiles/xicc_dtd.dir/validator.cc.o"
+  "CMakeFiles/xicc_dtd.dir/validator.cc.o.d"
+  "libxicc_dtd.a"
+  "libxicc_dtd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xicc_dtd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xicc_ilp.dir/linear_system.cc.o"
+  "CMakeFiles/xicc_ilp.dir/linear_system.cc.o.d"
+  "CMakeFiles/xicc_ilp.dir/simplex.cc.o"
+  "CMakeFiles/xicc_ilp.dir/simplex.cc.o.d"
+  "CMakeFiles/xicc_ilp.dir/solver.cc.o"
+  "CMakeFiles/xicc_ilp.dir/solver.cc.o.d"
+  "libxicc_ilp.a"
+  "libxicc_ilp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xicc_ilp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

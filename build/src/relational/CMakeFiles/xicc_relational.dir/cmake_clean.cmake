@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xicc_relational.dir/dependencies.cc.o"
+  "CMakeFiles/xicc_relational.dir/dependencies.cc.o.d"
+  "CMakeFiles/xicc_relational.dir/reduction.cc.o"
+  "CMakeFiles/xicc_relational.dir/reduction.cc.o.d"
+  "CMakeFiles/xicc_relational.dir/schema.cc.o"
+  "CMakeFiles/xicc_relational.dir/schema.cc.o.d"
+  "libxicc_relational.a"
+  "libxicc_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xicc_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

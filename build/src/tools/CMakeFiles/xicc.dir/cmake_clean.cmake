@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xicc.dir/xicc_main.cc.o"
+  "CMakeFiles/xicc.dir/xicc_main.cc.o.d"
+  "xicc"
+  "xicc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xicc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

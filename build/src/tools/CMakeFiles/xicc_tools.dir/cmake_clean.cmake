@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xicc_tools.dir/cli.cc.o"
+  "CMakeFiles/xicc_tools.dir/cli.cc.o.d"
+  "libxicc_tools.a"
+  "libxicc_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xicc_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xicc_workloads.dir/generators.cc.o"
+  "CMakeFiles/xicc_workloads.dir/generators.cc.o.d"
+  "CMakeFiles/xicc_workloads.dir/paper_examples.cc.o"
+  "CMakeFiles/xicc_workloads.dir/paper_examples.cc.o.d"
+  "libxicc_workloads.a"
+  "libxicc_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xicc_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

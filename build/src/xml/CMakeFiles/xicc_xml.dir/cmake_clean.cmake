@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xicc_xml.dir/event_parser.cc.o"
+  "CMakeFiles/xicc_xml.dir/event_parser.cc.o.d"
+  "CMakeFiles/xicc_xml.dir/parser.cc.o"
+  "CMakeFiles/xicc_xml.dir/parser.cc.o.d"
+  "CMakeFiles/xicc_xml.dir/serializer.cc.o"
+  "CMakeFiles/xicc_xml.dir/serializer.cc.o.d"
+  "CMakeFiles/xicc_xml.dir/tree.cc.o"
+  "CMakeFiles/xicc_xml.dir/tree.cc.o.d"
+  "libxicc_xml.a"
+  "libxicc_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xicc_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bigint_property_test.dir/bigint_property_test.cc.o"
+  "CMakeFiles/bigint_property_test.dir/bigint_property_test.cc.o.d"
+  "bigint_property_test"
+  "bigint_property_test.pdb"
+  "bigint_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bigint_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encoding_solver_test.dir/encoding_solver_test.cc.o"
+  "CMakeFiles/encoding_solver_test.dir/encoding_solver_test.cc.o.d"
+  "encoding_solver_test"
+  "encoding_solver_test.pdb"
+  "encoding_solver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encoding_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/event_parser_test.dir/event_parser_test.cc.o"
+  "CMakeFiles/event_parser_test.dir/event_parser_test.cc.o.d"
+  "event_parser_test"
+  "event_parser_test.pdb"
+  "event_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/event_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glushkov_test.dir/glushkov_test.cc.o"
+  "CMakeFiles/glushkov_test.dir/glushkov_test.cc.o.d"
+  "glushkov_test"
+  "glushkov_test.pdb"
+  "glushkov_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glushkov_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for glushkov_test.
+# This may be replaced when dependencies are built.

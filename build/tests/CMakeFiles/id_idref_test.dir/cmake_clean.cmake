@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/id_idref_test.dir/id_idref_test.cc.o"
+  "CMakeFiles/id_idref_test.dir/id_idref_test.cc.o.d"
+  "id_idref_test"
+  "id_idref_test.pdb"
+  "id_idref_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/id_idref_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

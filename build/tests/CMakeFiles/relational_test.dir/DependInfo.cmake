@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/relational_test.cc" "tests/CMakeFiles/relational_test.dir/relational_test.cc.o" "gcc" "tests/CMakeFiles/relational_test.dir/relational_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tools/CMakeFiles/xicc_tools.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/xicc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/xicc_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/xicc_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/xicc_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraints/CMakeFiles/xicc_constraints.dir/DependInfo.cmake"
+  "/root/repo/build/src/dtd/CMakeFiles/xicc_dtd.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/xicc_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/xicc_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

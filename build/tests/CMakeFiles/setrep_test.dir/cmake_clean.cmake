@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/setrep_test.dir/setrep_test.cc.o"
+  "CMakeFiles/setrep_test.dir/setrep_test.cc.o.d"
+  "setrep_test"
+  "setrep_test.pdb"
+  "setrep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/setrep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
