@@ -18,7 +18,7 @@
 namespace xicc {
 namespace {
 
-void RunConstruction() {
+void RunConstruction(bench::JsonReport& report) {
   bench::Header("Thm 4.1: encoding construction cost vs |D| + |Σ|");
   std::printf("%10s %10s %10s %10s %12s\n", "sections", "|D|", "sys vars",
               "sys rows", "build(ms)");
@@ -35,10 +35,16 @@ void RunConstruction() {
     });
     std::printf("%10zu %10zu %10zu %10zu %12.3f\n", n, dtd.Size(), vars,
                 rows, ms);
+    report.AddRow("construction")
+        .Set("sections", n)
+        .Set("dtd_size", dtd.Size())
+        .Set("system_variables", vars)
+        .Set("system_rows", rows)
+        .Set("build_ms", ms);
   }
 }
 
-void RunSimplification() {
+void RunSimplification(bench::JsonReport& report) {
   bench::Header("Lemma 4.3 ablation: simplified-DTD size blowup");
   std::printf("%10s %10s %12s %10s\n", "elements", "|D|", "|D_N|", "ratio");
   for (uint64_t seed : {1, 2, 3, 4}) {
@@ -49,10 +55,15 @@ void RunSimplification() {
         static_cast<double>(simplified->dtd.Size()) / dtd.Size();
     std::printf("%10zu %10zu %12zu %10.2f\n", dtd.elements().size(),
                 dtd.Size(), simplified->dtd.Size(), ratio);
+    report.AddRow("simplification")
+        .Set("seed", static_cast<size_t>(seed))
+        .Set("dtd_size", dtd.Size())
+        .Set("simplified_size", simplified->dtd.Size())
+        .Set("ratio", ratio);
   }
 }
 
-void RunStrategies() {
+void RunStrategies(bench::JsonReport& report) {
   bench::Header(
       "Thm 4.1 ablation: case-split (9_X DFS) vs big-M (c·y ≥ x rows)");
   std::printf("%10s %14s %12s %12s\n", "sections", "split(ms)", "bigM(ms)",
@@ -81,10 +92,15 @@ void RunStrategies() {
     });
     std::printf("%10zu %14.3f %12.3f %12s\n", n, split_ms, big_m_ms,
                 sat_split == sat_big_m ? "yes" : "NO!");
+    report.AddRow("strategies")
+        .Set("sections", n)
+        .Set("split_ms", split_ms)
+        .Set("big_m_ms", big_m_ms)
+        .Set("agree", sat_split == sat_big_m);
   }
 }
 
-void RunCutsAblation() {
+void RunCutsAblation(bench::JsonReport& report) {
   bench::Header("ILP ablation: Gomory cuts on vs off (parity system)");
   // 2x = 2y + 1 embedded among padding rows.
   auto build = [] {
@@ -107,6 +123,8 @@ void RunCutsAblation() {
     });
     std::printf("cuts on : %10.3f ms, %zu nodes (infeasibility certified)\n",
                 ms, nodes);
+    report.AddRow("cuts_ablation").Set("cuts", true).Set("time_ms", ms).Set(
+        "nodes", nodes);
   }
   {
     LinearSystem sys = build();
@@ -120,6 +138,7 @@ void RunCutsAblation() {
       if (r.ok() && r->feasible) std::abort();
     });
     std::printf("cuts off: %10.3f ms (exhausts %d-node budget)\n", ms, 5000);
+    report.AddRow("cuts_ablation").Set("cuts", false).Set("time_ms", ms);
   }
 }
 
@@ -128,9 +147,11 @@ void RunCutsAblation() {
 
 int main() {
   std::printf("bench_encoding — encoding construction and design ablations\n");
-  xicc::RunConstruction();
-  xicc::RunSimplification();
-  xicc::RunStrategies();
-  xicc::RunCutsAblation();
+  xicc::bench::JsonReport report("encoding");
+  xicc::RunConstruction(report);
+  xicc::RunSimplification(report);
+  xicc::RunStrategies(report);
+  xicc::RunCutsAblation(report);
+  report.Write();
   return 0;
 }

@@ -27,10 +27,19 @@ struct Row {
   double ms = 0;
 };
 
+bench::JsonReport* g_report = nullptr;
+
 void Print(const Row& row) {
   std::printf("| %-11s | %-28s | %-14s | %-36s | %8.2f |\n",
               row.problem.c_str(), row.klass.c_str(),
               row.paper_claim.c_str(), row.observed.c_str(), row.ms);
+  if (g_report != nullptr) {
+    g_report->AddRow(row.problem)
+        .Set("constraint_class", row.klass)
+        .Set("paper_claim", row.paper_claim)
+        .Set("observed", row.observed)
+        .Set("time_ms", row.ms);
+  }
 }
 
 std::string Verdict(bool consistent) { return consistent ? "SAT" : "UNSAT"; }
@@ -38,6 +47,8 @@ std::string Verdict(bool consistent) { return consistent ? "SAT" : "UNSAT"; }
 }  // namespace
 
 int Run() {
+  bench::JsonReport report("figure5");
+  g_report = &report;
   std::printf(
       "bench_figure5 — Figure 5 of Fan & Libkin (JACM 49(3), 2002), "
       "reproduced\n\n");
@@ -230,6 +241,8 @@ int Run() {
       "\nAll verdicts above are produced by the decision procedures the\n"
       "paper's upper-bound proofs describe; undecidable cells are refused\n"
       "with the matching lower-bound citation.\n");
+  report.Write();
+  g_report = nullptr;
   return 0;
 }
 

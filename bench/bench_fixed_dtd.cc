@@ -3,6 +3,9 @@
 // implication are PTIME in |Σ|. The sweep grows Σ over a fixed catalog DTD
 // and reports time per constraint — a flat-ish ratio (no exponential blowup)
 // is the claimed shape.
+//
+// Each consistency point is also re-run with the dual-simplex warm start
+// disabled, feeding the warm-start ablation table in EXPERIMENTS.md.
 
 #include <cstdio>
 
@@ -17,28 +20,55 @@ namespace {
 
 constexpr size_t kSections = 6;  // The fixed DTD.
 
-void RunConsistency() {
+void RunConsistency(bench::JsonReport& report) {
   bench::Header("F5-C4 / Cor 4.11: fixed DTD, growing unary Σ");
   Dtd dtd = workloads::CatalogDtd(kSections);
-  std::printf("%12s %12s %12s %16s\n", "constraints", "sys vars", "time(ms)",
-              "ms per constraint");
+  std::printf("%12s %12s %12s %16s %12s %12s\n", "constraints", "sys vars",
+              "time(ms)", "ms per constraint", "pivots warm", "pivots cold");
+  size_t total_pivots[2] = {0, 0};  // [0]=cold, [1]=warm
   for (size_t n : {4, 8, 16, 32, 64, 128}) {
     ConstraintSet sigma =
         workloads::RandomUnarySigma(dtd, /*seed=*/n * 7 + 1, n / 2, n / 2);
-    ConsistencyOptions options;
-    options.build_witness = false;
-    ConsistencyResult result;
-    double ms = bench::BestTimeMs(3, [&] {
-      auto r = CheckConsistency(dtd, sigma, options);
-      if (!r.ok()) std::abort();
-      result = std::move(*r);
-    });
-    std::printf("%12zu %12zu %12.3f %16.4f\n", sigma.size(),
-                result.stats.system_variables, ms, ms / sigma.size());
+    ConsistencyResult results[2];
+    double ms[2] = {0.0, 0.0};
+    for (int warm_on : {1, 0}) {
+      ConsistencyOptions options;
+      options.build_witness = false;
+      options.ilp.warm_start = warm_on != 0;
+      ms[warm_on] = bench::BestTimeMs(3, [&] {
+        auto r = CheckConsistency(dtd, sigma, options);
+        if (!r.ok()) std::abort();
+        results[warm_on] = std::move(*r);
+      });
+      total_pivots[warm_on] += results[warm_on].stats.lp_pivots;
+      report.AddRow("consistency")
+          .Set("constraints", sigma.size())
+          .Set("warm_start", warm_on != 0)
+          .Set("system_variables", results[warm_on].stats.system_variables)
+          .Set("lp_pivots", results[warm_on].stats.lp_pivots)
+          .Set("warm_starts", results[warm_on].stats.warm_starts)
+          .Set("cold_restarts", results[warm_on].stats.cold_restarts)
+          .Set("time_ms", ms[warm_on])
+          .Set("consistent", results[warm_on].consistent);
+    }
+    if (results[0].consistent != results[1].consistent) std::abort();
+    std::printf("%12zu %12zu %12.3f %16.4f %12zu %12zu\n", sigma.size(),
+                results[1].stats.system_variables, ms[1], ms[1] / sigma.size(),
+                results[1].stats.lp_pivots, results[0].stats.lp_pivots);
   }
+  double ratio = total_pivots[1] > 0
+                     ? static_cast<double>(total_pivots[0]) /
+                           static_cast<double>(total_pivots[1])
+                     : 0.0;
+  std::printf("total pivots: cold=%zu warm=%zu  →  %.2fx reduction\n",
+              total_pivots[0], total_pivots[1], ratio);
+  report.AddRow("warm_ablation_summary")
+      .Set("total_pivots_cold", total_pivots[0])
+      .Set("total_pivots_warm", total_pivots[1])
+      .Set("pivot_reduction_x", ratio);
 }
 
-void RunImplication() {
+void RunImplication(bench::JsonReport& report) {
   bench::Header("F5-I4 / Cor 5.5: fixed DTD, implication vs growing Σ");
   Dtd dtd = workloads::CatalogDtd(kSections);
   Constraint phi = Constraint::Key("item1", {"id"});
@@ -56,10 +86,14 @@ void RunImplication() {
     });
     std::printf("%12zu %12.3f %10s\n", sigma.size(), ms,
                 implied ? "yes" : "no");
+    report.AddRow("implication")
+        .Set("constraints", sigma.size())
+        .Set("time_ms", ms)
+        .Set("implied", implied);
   }
 }
 
-void RunIncremental() {
+void RunIncremental(bench::JsonReport& report) {
   bench::Header(
       "incremental authoring (the Cor 4.11 workflow): per-addition cost");
   Dtd dtd = workloads::CatalogDtd(4);
@@ -94,6 +128,12 @@ void RunIncremental() {
       "redundant, %zu rejected\n",
       sigma.size(), total_ms, total_ms / sigma.size(), accepted, redundant,
       rejected);
+  report.AddRow("incremental")
+      .Set("additions", sigma.size())
+      .Set("time_ms", total_ms)
+      .Set("accepted", accepted)
+      .Set("redundant", redundant)
+      .Set("rejected", rejected);
 }
 
 }  // namespace
@@ -104,8 +144,10 @@ int main() {
       "bench_fixed_dtd — the PTIME cells of Figure 5 (fixed DTD)\n"
       "paper claim: for a fixed DTD the linear systems have a bounded\n"
       "number of variables (Lenstra), so both analyses are PTIME in |Σ|.\n");
-  xicc::RunConsistency();
-  xicc::RunImplication();
-  xicc::RunIncremental();
+  xicc::bench::JsonReport report("fixed_dtd");
+  xicc::RunConsistency(report);
+  xicc::RunImplication(report);
+  xicc::RunIncremental(report);
+  report.Write();
   return 0;
 }

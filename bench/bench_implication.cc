@@ -13,7 +13,7 @@
 namespace xicc {
 namespace {
 
-void RunKeyImplication() {
+void RunKeyImplication(bench::JsonReport& report) {
   bench::Header("F5-I2 / Thm 4.10: key implication via ¬key refutation");
   std::printf("%10s %12s %12s %10s\n", "sections", "constraints", "time(ms)",
               "implied");
@@ -32,10 +32,15 @@ void RunKeyImplication() {
     });
     std::printf("%10zu %12zu %12.3f %10s\n", n, sigma.size(), ms,
                 implied ? "yes" : "no");
+    report.AddRow("key_implication")
+        .Set("sections", n)
+        .Set("constraints", sigma.size())
+        .Set("time_ms", ms)
+        .Set("implied", implied);
   }
 }
 
-void RunInclusionImplication() {
+void RunInclusionImplication(bench::JsonReport& report) {
   bench::Header(
       "F5-I2 / Thm 5.4: inclusion implication via the Section 5 system");
   std::printf("%10s %12s %12s %10s\n", "chain len", "constraints",
@@ -62,10 +67,15 @@ void RunInclusionImplication() {
     });
     if (!implied) std::abort();
     std::printf("%10zu %12zu %12.3f %10s\n", n, sigma.size(), ms, "yes");
+    report.AddRow("inclusion_implication")
+        .Set("chain_len", n)
+        .Set("constraints", sigma.size())
+        .Set("time_ms", ms)
+        .Set("implied", true);
   }
 }
 
-void RunNotImpliedWithCounterexample() {
+void RunNotImpliedWithCounterexample(bench::JsonReport& report) {
   bench::Header("counterexample construction (checked witnesses)");
   std::printf("%10s %12s %14s\n", "sections", "time(ms)", "witness nodes");
   for (size_t n : {2, 4, 8, 16}) {
@@ -83,6 +93,10 @@ void RunNotImpliedWithCounterexample() {
       nodes = r->counterexample->size();
     });
     std::printf("%10zu %12.3f %14zu\n", n, ms, nodes);
+    report.AddRow("counterexample")
+        .Set("sections", n)
+        .Set("time_ms", ms)
+        .Set("witness_nodes", nodes);
   }
 }
 
@@ -94,8 +108,10 @@ int main() {
       "bench_implication — the coNP-complete implication cells\n"
       "paper claim: coNP-complete for unary keys and foreign keys (also\n"
       "under primary keys); decided as inconsistency of Σ ∪ {¬φ}.\n");
-  xicc::RunKeyImplication();
-  xicc::RunInclusionImplication();
-  xicc::RunNotImpliedWithCounterexample();
+  xicc::bench::JsonReport report("implication");
+  xicc::RunKeyImplication(report);
+  xicc::RunInclusionImplication(report);
+  xicc::RunNotImpliedWithCounterexample(report);
+  report.Write();
   return 0;
 }

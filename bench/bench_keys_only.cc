@@ -14,7 +14,7 @@
 namespace xicc {
 namespace {
 
-void RunValidity() {
+void RunValidity(bench::JsonReport& report) {
   bench::Header(
       "X1 / Thm 3.5(1): DTD validity (grammar emptiness), chain DTDs");
   std::printf("%10s %12s %16s\n", "elements", "time(ms)", "us per element");
@@ -25,10 +25,11 @@ void RunValidity() {
       if (!ok) std::abort();
     });
     std::printf("%10zu %12.3f %16.4f\n", n, ms, ms * 1000.0 / n);
+    report.AddRow("validity").Set("elements", n).Set("time_ms", ms);
   }
 }
 
-void RunKeysConsistency() {
+void RunKeysConsistency(bench::JsonReport& report) {
   bench::Header(
       "F5-C5 / Thm 3.5(2): keys-only consistency (+ witness), wide DTDs");
   std::printf("%10s %12s %16s\n", "elements", "time(ms)", "us per element");
@@ -43,10 +44,11 @@ void RunKeysConsistency() {
       if (!result.ok() || !result->consistent) std::abort();
     });
     std::printf("%10zu %12.3f %16.4f\n", n, ms, ms * 1000.0 / n);
+    report.AddRow("keys_consistency").Set("elements", n).Set("time_ms", ms);
   }
 }
 
-void RunKeysImplication() {
+void RunKeysImplication(bench::JsonReport& report) {
   bench::Header(
       "F5-I5 / Thm 3.5(3): keys-only implication (subsumption + Lemma 3.6)");
   std::printf("%10s %12s %16s\n", "elements", "time(ms)", "us per element");
@@ -63,6 +65,7 @@ void RunKeysImplication() {
       if (!result.ok() || !result->implied) std::abort();
     });
     std::printf("%10zu %12.3f %16.4f\n", n, ms, ms * 1000.0 / n);
+    report.AddRow("keys_implication").Set("elements", n).Set("time_ms", ms);
   }
 }
 
@@ -73,8 +76,10 @@ int main() {
   std::printf("bench_keys_only — the linear-time cells of Figure 5\n");
   std::printf("paper claim: decidable in linear time; expected shape: the\n");
   std::printf("per-element column stays flat as sizes double.\n");
-  xicc::RunValidity();
-  xicc::RunKeysConsistency();
-  xicc::RunKeysImplication();
+  xicc::bench::JsonReport report("keys_only");
+  xicc::RunValidity(report);
+  xicc::RunKeysConsistency(report);
+  xicc::RunKeysImplication(report);
+  report.Write();
   return 0;
 }

@@ -4,6 +4,8 @@
 #include <benchmark/benchmark.h>
 
 #include <random>
+#include <string>
+#include <vector>
 
 #include "base/bigint.h"
 #include "base/rational.h"
@@ -177,4 +179,21 @@ BENCHMARK(BM_SimplexFeasibility)->Arg(4)->Arg(16)->Arg(64);
 }  // namespace
 }  // namespace xicc
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN, except the JSON sidecar defaults on (BENCH_micro.json,
+// same convention as the JsonReport benches); command-line flags still
+// override since they come later in argv.
+int main(int argc, char** argv) {
+  std::string out_flag = "--benchmark_out=BENCH_micro.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  std::vector<char*> args;
+  args.push_back(argv[0]);
+  args.push_back(out_flag.data());
+  args.push_back(fmt_flag.data());
+  for (int i = 1; i < argc; ++i) args.push_back(argv[i]);
+  int new_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&new_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(new_argc, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -3,8 +3,11 @@
 
 #include <chrono>
 #include <cstdio>
+#include <deque>
 #include <functional>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace xicc {
 namespace bench {
@@ -30,6 +33,103 @@ inline double BestTimeMs(int repeats, const std::function<void()>& fn) {
 inline void Header(const std::string& title) {
   std::printf("\n== %s ==\n", title.c_str());
 }
+
+/// Machine-readable sidecar for a bench run: collects flat key/value rows
+/// and writes them to BENCH_<name>.json in the working directory, so the
+/// ablation tables in EXPERIMENTS.md can be regenerated without scraping
+/// the human-oriented stdout tables.
+///
+///   JsonReport report("unary_consistency");
+///   report.AddRow("catalog").Set("sections", n).Set("time_ms", ms);
+///   ...
+///   report.Write();  // or rely on the destructor
+class JsonReport {
+ public:
+  class Row {
+   public:
+    Row& Set(const std::string& key, const std::string& value) {
+      fields_.emplace_back(key, Quote(value));
+      return *this;
+    }
+    Row& Set(const std::string& key, const char* value) {
+      return Set(key, std::string(value));
+    }
+    Row& Set(const std::string& key, double value) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.6g", value);
+      fields_.emplace_back(key, buf);
+      return *this;
+    }
+    Row& Set(const std::string& key, size_t value) {
+      fields_.emplace_back(key, std::to_string(value));
+      return *this;
+    }
+    Row& Set(const std::string& key, int value) {
+      fields_.emplace_back(key, std::to_string(value));
+      return *this;
+    }
+    Row& Set(const std::string& key, bool value) {
+      fields_.emplace_back(key, value ? "true" : "false");
+      return *this;
+    }
+
+   private:
+    friend class JsonReport;
+    static std::string Quote(const std::string& s) {
+      std::string out = "\"";
+      for (char c : s) {
+        if (c == '"' || c == '\\') out.push_back('\\');
+        out.push_back(c);
+      }
+      out.push_back('"');
+      return out;
+    }
+    std::vector<std::pair<std::string, std::string>> fields_;
+  };
+
+  explicit JsonReport(std::string name) : name_(std::move(name)) {}
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+  ~JsonReport() {
+    if (!written_) Write();
+  }
+
+  /// Starts a new row tagged with `section`; the returned reference stays
+  /// valid for the lifetime of the report.
+  Row& AddRow(const std::string& section) {
+    rows_.emplace_back();
+    rows_.back().fields_.emplace_back("section", Row::Quote(section));
+    return rows_.back();
+  }
+
+  void Write() {
+    written_ = true;
+    std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"rows\": [\n", name_.c_str());
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f, "    {");
+      const auto& fields = rows_[i].fields_;
+      for (size_t j = 0; j < fields.size(); ++j) {
+        std::fprintf(f, "%s\"%s\": %s", j == 0 ? "" : ", ",
+                     fields[j].first.c_str(), fields[j].second.c_str());
+      }
+      std::fprintf(f, "}%s\n", i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\n[json] wrote %s (%zu rows)\n", path.c_str(), rows_.size());
+  }
+
+ private:
+  std::string name_;
+  std::deque<Row> rows_;
+  bool written_ = false;
+};
 
 }  // namespace bench
 }  // namespace xicc

@@ -1,0 +1,104 @@
+#ifndef XICC_BASE_WORKSTEAL_H_
+#define XICC_BASE_WORKSTEAL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace xicc {
+
+/// A small work-stealing thread pool for coarse-grained search tasks (the
+/// parallel top of the conditional case-split tree).
+///
+/// Each worker owns a deque: it pops its own work from the front (LIFO-ish
+/// locality for DFS prefixes) and, when empty, steals from the back of a
+/// sibling's deque. Tasks are distributed round-robin at submission. The
+/// task count here is tiny (≤ 2^levels), so one lock guards the deques —
+/// the stealing discipline is about load balance, not lock-free throughput:
+/// a worker stuck in a deep subtree keeps its siblings busy with the tasks
+/// it never got to.
+class WorkStealingPool {
+ public:
+  explicit WorkStealingPool(size_t num_threads)
+      : queues_(num_threads == 0 ? 1 : num_threads) {
+    workers_.reserve(queues_.size());
+    for (size_t i = 0; i < queues_.size(); ++i) {
+      workers_.emplace_back([this, i] { WorkerLoop(i); });
+    }
+  }
+
+  WorkStealingPool(const WorkStealingPool&) = delete;
+  WorkStealingPool& operator=(const WorkStealingPool&) = delete;
+
+  ~WorkStealingPool() {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+  }
+
+  /// Enqueues a task. Safe from any thread, including pool workers.
+  void Submit(std::function<void()> task) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queues_[next_queue_++ % queues_.size()].push_back(std::move(task));
+      ++pending_;
+    }
+    wake_.notify_one();
+  }
+
+  /// Blocks until every submitted task has finished running.
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    drained_.wait(lock, [this] { return pending_ == 0; });
+  }
+
+ private:
+  void WorkerLoop(size_t self) {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      std::function<void()> task;
+      if (!queues_[self].empty()) {
+        task = std::move(queues_[self].front());
+        queues_[self].pop_front();
+      } else {
+        for (size_t k = 1; k < queues_.size() && !task; ++k) {
+          std::deque<std::function<void()>>& victim =
+              queues_[(self + k) % queues_.size()];
+          if (!victim.empty()) {
+            task = std::move(victim.back());
+            victim.pop_back();
+          }
+        }
+      }
+      if (task) {
+        lock.unlock();
+        task();
+        lock.lock();
+        if (--pending_ == 0) drained_.notify_all();
+        continue;
+      }
+      if (stopping_) return;
+      wake_.wait(lock);
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable wake_;
+  std::condition_variable drained_;
+  std::vector<std::deque<std::function<void()>>> queues_;
+  std::vector<std::thread> workers_;
+  size_t next_queue_ = 0;
+  size_t pending_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace xicc
+
+#endif  // XICC_BASE_WORKSTEAL_H_

@@ -1,128 +1,413 @@
 #include "core/conditional_solver.h"
 
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <utility>
+
+#include "base/worksteal.h"
 #include "ilp/simplex.h"
 
 namespace xicc {
 
 namespace {
 
+/// Search state shared by every DFS worker of one solve — a single worker
+/// sequentially (num_threads = 1), or one per fanned-out prefix in the
+/// parallel regime. Only the node counter and the terminal flags are
+/// contended; per-worker statistics are accumulated locally and flushed
+/// once per task.
+struct SearchShared {
+  const std::vector<Conditional>* active = nullptr;
+  IlpOptions options;
+  std::atomic<size_t> nodes{0};
+  std::atomic<bool> found{false};
+  std::atomic<bool> budget_hit{false};
+  std::atomic<bool> failed{false};
+  std::mutex mu;
+  /// Guarded by mu. `solution` carries feasible + values only (statistics
+  /// are assembled from the aggregated counters); `error` is the first leaf
+  /// failure.
+  IlpSolution solution;
+  Status error;
+};
+
+/// One case-split DFS over a private trail-managed system. Resolutions are
+/// pushed/popped on the trail — O(1) amortized per node instead of an
+/// O(rows) system copy — and each node's LP prune warm starts from the
+/// parent's basis; the basis that survives the prune then seeds the leaf
+/// ILP's root.
+class SplitWorker {
+ public:
+  SplitWorker(SearchShared* shared, LinearSystem* system)
+      : shared_(shared), system_(system) {}
+
+  /// Resolves conditionals from index `depth` on; `system_` carries the
+  /// resolutions made so far, `parent` the basis of the node above (null →
+  /// cold).
+  void Explore(size_t depth, const LpTableau* parent) {
+    if (Done()) return;
+    size_t node = shared_->nodes.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (shared_->options.max_nodes != 0 &&
+        node > shared_->options.max_nodes) {
+      shared_->budget_hit.store(true, std::memory_order_relaxed);
+      return;
+    }
+
+    // LP pruning: if even the relaxation (ignoring unresolved conditionals)
+    // is infeasible, no resolution below can succeed.
+    LpTableau tab;
+    bool have_tab = false;
+    if (parent != nullptr && shared_->options.warm_start) {
+      tab = *parent;
+      WarmResult warm = ReSolveLpFeasibilityDual(*system_, &tab);
+      pivots += warm.lp.pivots;
+      if (warm.status == WarmStatus::kOk) {
+        ++warm_starts;
+        if (!warm.lp.feasible) return;
+        have_tab = true;
+      }
+    }
+    if (!have_tab) {
+      ++cold_restarts;
+      LpResult lp = SolveLpFeasibility(*system_, &tab);
+      pivots += lp.pivots;
+      if (!lp.feasible) return;
+    }
+
+    if (depth == shared_->active->size()) {
+      // Fully resolved: the conditionals now hold for *any* solution of
+      // `system`, so plain integer feasibility decides this leaf — its root
+      // LP warm-seeded from the pruning basis just computed.
+      Result<IlpSolution> leaf =
+          SolveIlp(*system_, shared_->options, &tab);
+      if (!leaf.ok()) {
+        std::lock_guard<std::mutex> lock(shared_->mu);
+        if (shared_->error.ok()) shared_->error = leaf.status();
+        shared_->failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+      ilp_nodes += leaf->nodes_explored;
+      pivots += leaf->lp_pivots;
+      cuts += leaf->cuts_added;
+      warm_starts += leaf->warm_starts;
+      cold_restarts += leaf->cold_restarts;
+      if (leaf->feasible) {
+        std::lock_guard<std::mutex> lock(shared_->mu);
+        if (!shared_->found.load(std::memory_order_relaxed)) {
+          shared_->solution.feasible = true;
+          shared_->solution.values = std::move(leaf->values);
+          shared_->found.store(true, std::memory_order_relaxed);
+        }
+      }
+      return;
+    }
+
+    const Conditional& cond = (*shared_->active)[depth];
+
+    // Branch 1: conclusion ≥ 1 (the conditional is discharged outright).
+    system_->PushCheckpoint();
+    system_->AddConstraint(cond.conclusion, RelOp::kGe, BigInt(1));
+    Explore(depth + 1, &tab);
+    system_->PopCheckpoint();
+    if (Done()) return;
+    // Branch 2: premise = 0 (the premise is false; over nonnegative
+    // variables this pins every term of the premise to zero).
+    system_->PushCheckpoint();
+    system_->AddConstraint(cond.premise, RelOp::kEq, BigInt(0));
+    Explore(depth + 1, &tab);
+    system_->PopCheckpoint();
+  }
+
+  // Per-worker statistics, flushed by the caller after the task finishes.
+  size_t pivots = 0;
+  size_t warm_starts = 0;
+  size_t cold_restarts = 0;
+  size_t cuts = 0;
+  size_t ilp_nodes = 0;  ///< Branch-and-bound nodes inside leaf solves.
+
+ private:
+  bool Done() const {
+    return shared_->found.load(std::memory_order_relaxed) ||
+           shared_->failed.load(std::memory_order_relaxed) ||
+           shared_->budget_hit.load(std::memory_order_relaxed);
+  }
+
+  SearchShared* shared_;
+  LinearSystem* system_;
+};
+
 class CaseSplitSolver {
  public:
   CaseSplitSolver(const LinearSystem& base,
                   const std::vector<Conditional>& conditionals,
-                  const IlpOptions& options)
-      : base_(base), conditionals_(conditionals), options_(options) {}
+                  const IlpOptions& options, CaseSplitWarmContext* warm)
+      : work_(base),
+        conditionals_(conditionals),
+        options_(options),
+        warm_(warm) {}
 
   Result<IlpSolution> Run() {
+    const auto start = std::chrono::steady_clock::now();
+
+    // The base basis: factorized cold exactly once — taken from the caller's
+    // cross-round context when available (the connectivity-cut loop re-enters
+    // here with the same base every round), solved otherwise. It warm-seeds
+    // the optimistic leaf, the presolve probes, and the DFS root alike.
+    LpTableau base_tab;
+    bool tab_ok = false;
+    if (options_.warm_start && warm_ != nullptr && warm_->valid) {
+      base_tab = warm_->base_tableau;
+      tab_ok = true;
+    } else {
+      ++cold_restarts_;
+      LpResult lp = SolveLpFeasibility(work_, &base_tab);
+      pivots_ += lp.pivots;
+      if (!lp.feasible) return AssembleInfeasible(start);
+      tab_ok = true;
+      if (warm_ != nullptr) {
+        warm_->base_tableau = base_tab;
+        warm_->valid = true;
+      }
+    }
+
     // Optimistic leaf: resolve every conditional to its conclusion ≥ 1 and
     // try that single system first. Consistent specifications normally
     // populate all their element types, so this one ILP call settles them
     // without touching the exponential split.
     {
-      LinearSystem optimistic = base_;
+      work_.PushCheckpoint();
       for (const Conditional& cond : conditionals_) {
-        optimistic.AddConstraint(cond.conclusion, RelOp::kGe, BigInt(1));
+        work_.AddConstraint(cond.conclusion, RelOp::kGe, BigInt(1));
       }
-      XICC_ASSIGN_OR_RETURN(IlpSolution leaf,
-                            SolveIlp(optimistic, options_));
-      if (leaf.feasible) return leaf;
-      stats_nodes_ += leaf.nodes_explored;
-      stats_pivots_ += leaf.lp_pivots;
+      Result<IlpSolution> leaf =
+          SolveIlp(work_, options_, tab_ok ? &base_tab : nullptr);
+      work_.PopCheckpoint();
+      if (!leaf.ok()) return leaf.status();
+      if (leaf->feasible) {
+        Accumulate(*leaf);
+        IlpSolution out = std::move(*leaf);
+        out.nodes_explored = nodes_;
+        out.lp_pivots = pivots_;
+        out.cuts_added = cuts_;
+        out.warm_starts = warm_starts_;
+        out.cold_restarts = cold_restarts_;
+        out.wall_ms = ElapsedMs(start);
+        return out;
+      }
+      Accumulate(*leaf);
     }
 
     // Presolve: a conditional whose premise cannot vanish (base + premise=0
     // is LP-infeasible) has a forced conclusion; install it as a hard row
     // and drop the conditional from the exponential split. Typical win:
-    // ext(τ) of unavoidable element types, which the DTD pins ≥ 1.
-    LinearSystem system = base_;
+    // ext(τ) of unavoidable element types, which the DTD pins ≥ 1. Each
+    // probe is a push/solve/pop round on the one working system, re-solved
+    // warm from the base basis.
     for (const Conditional& cond : conditionals_) {
-      LinearSystem test = system;
-      test.AddConstraint(cond.premise, RelOp::kEq, BigInt(0));
-      LpResult lp = SolveLpFeasibility(test);
-      stats_pivots_ += lp.pivots;
-      if (!lp.feasible) {
-        system.AddConstraint(cond.conclusion, RelOp::kGe, BigInt(1));
-      } else {
+      work_.PushCheckpoint();
+      work_.AddConstraint(cond.premise, RelOp::kEq, BigInt(0));
+      bool premise_can_vanish = ProbeLp(base_tab, tab_ok);
+      work_.PopCheckpoint();
+      if (premise_can_vanish) {
         active_.push_back(cond);
+        continue;
+      }
+      work_.AddConstraint(cond.conclusion, RelOp::kGe, BigInt(1));
+      if (tab_ok && options_.warm_start) {
+        // Extend the working basis over the freshly forced row so later
+        // probes and the DFS root stay warm; on failure the basis simply
+        // keeps covering its old prefix (still a valid warm seed).
+        WarmResult warm = ReSolveLpFeasibilityDual(work_, &base_tab);
+        pivots_ += warm.lp.pivots;
+        if (warm.status == WarmStatus::kOk) {
+          ++warm_starts_;
+          // Forced conclusions hold in every solution satisfying the
+          // conditionals, so their joint infeasibility settles the verdict.
+          if (!warm.lp.feasible) return AssembleInfeasible(start);
+        }
       }
     }
-    Status status = Explore(&system, 0);
-    if (!status.ok()) return status;
-    if (!found_) {
-      IlpSolution out;
-      out.feasible = false;
-      out.nodes_explored = stats_nodes_;
-      out.lp_pivots = stats_pivots_;
+
+    // The (possibly parallel) case-split DFS over the surviving
+    // conditionals.
+    SearchShared shared;
+    shared.active = &active_;
+    shared.options = options_;
+    RunSearch(&base_tab, tab_ok, &shared);
+
+    if (shared.found.load()) {
+      IlpSolution out = std::move(shared.solution);
+      FillStats(&out, shared);
+      out.wall_ms = ElapsedMs(start);
       return out;
     }
-    solution_.nodes_explored += stats_nodes_;
-    solution_.lp_pivots += stats_pivots_;
-    return std::move(solution_);
-  }
-
- private:
-  /// Resolves conditionals from index `depth` on; `system` carries the
-  /// resolutions made so far.
-  Status Explore(LinearSystem* system, size_t depth) {
-    if (found_) return Status::Ok();
-    ++stats_nodes_;
-    if (options_.max_nodes != 0 && stats_nodes_ > options_.max_nodes) {
+    if (shared.failed.load()) {
+      std::lock_guard<std::mutex> lock(shared.mu);
+      return shared.error;
+    }
+    if (shared.budget_hit.load()) {
       return Status::ResourceExhausted(
           "conditional case-split exceeded node budget");
     }
-
-    // LP pruning: if even the relaxation (ignoring unresolved conditionals)
-    // is infeasible, no resolution below can succeed.
-    LpResult lp = SolveLpFeasibility(*system);
-    stats_pivots_ += lp.pivots;
-    if (!lp.feasible) return Status::Ok();
-
-    if (depth == active_.size()) {
-      // Fully resolved: the conditionals now hold for *any* solution of
-      // `system`, so plain integer feasibility decides this leaf.
-      XICC_ASSIGN_OR_RETURN(IlpSolution leaf, SolveIlp(*system, options_));
-      if (leaf.feasible) {
-        found_ = true;
-        solution_ = std::move(leaf);
-      }
-      return Status::Ok();
-    }
-
-    const Conditional& cond = active_[depth];
-
-    // Branch 1: conclusion ≥ 1 (the conditional is discharged outright).
-    {
-      LinearSystem extended = *system;
-      extended.AddConstraint(cond.conclusion, RelOp::kGe, BigInt(1));
-      XICC_RETURN_IF_ERROR(Explore(&extended, depth + 1));
-      if (found_) return Status::Ok();
-    }
-    // Branch 2: premise = 0 (the premise is false; over nonnegative
-    // variables this pins every term of the premise to zero).
-    {
-      LinearSystem extended = *system;
-      extended.AddConstraint(cond.premise, RelOp::kEq, BigInt(0));
-      XICC_RETURN_IF_ERROR(Explore(&extended, depth + 1));
-    }
-    return Status::Ok();
+    IlpSolution out;
+    out.feasible = false;
+    FillStats(&out, shared);
+    out.wall_ms = ElapsedMs(start);
+    return out;
   }
 
-  const LinearSystem& base_;
+ private:
+  static double ElapsedMs(std::chrono::steady_clock::time_point start) {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+  }
+
+  void Accumulate(const IlpSolution& partial) {
+    nodes_ += partial.nodes_explored;
+    pivots_ += partial.lp_pivots;
+    cuts_ += partial.cuts_added;
+    warm_starts_ += partial.warm_starts;
+    cold_restarts_ += partial.cold_restarts;
+  }
+
+  /// LP feasibility of the current work_ state, warm from `base_tab` when
+  /// usable; used by the presolve probes (verdict only, no tableau kept).
+  bool ProbeLp(const LpTableau& base_tab, bool tab_ok) {
+    if (tab_ok && options_.warm_start) {
+      LpTableau probe = base_tab;
+      WarmResult warm = ReSolveLpFeasibilityDual(work_, &probe);
+      pivots_ += warm.lp.pivots;
+      if (warm.status == WarmStatus::kOk) {
+        ++warm_starts_;
+        return warm.lp.feasible;
+      }
+    }
+    ++cold_restarts_;
+    LpResult lp = SolveLpFeasibility(work_);
+    pivots_ += lp.pivots;
+    return lp.feasible;
+  }
+
+  void RunSearch(LpTableau* root_tab, bool tab_ok, SearchShared* shared) {
+    const LpTableau* root = tab_ok ? root_tab : nullptr;
+    const size_t threads = options_.num_threads;
+    if (threads <= 1 || active_.size() < 2) {
+      SplitWorker worker(shared, &work_);
+      worker.Explore(0, root);
+      FlushWorker(worker);
+      return;
+    }
+
+    // Fan the first `levels` resolutions out as 2^levels prefix tasks on a
+    // work-stealing pool; each task owns a private copy of the system and
+    // runs the deeper levels sequential-warm-started. One extra level past
+    // log2(threads) oversubscribes the pool so an uneven subtree cannot
+    // leave workers idle.
+    size_t levels = 1;
+    while (levels < active_.size() && (size_t{1} << levels) < 2 * threads) {
+      ++levels;
+    }
+    if (levels > active_.size()) levels = active_.size();
+    const size_t num_tasks = size_t{1} << levels;
+
+    std::atomic<size_t> pivots{0};
+    std::atomic<size_t> warm_starts{0};
+    std::atomic<size_t> cold_restarts{0};
+    std::atomic<size_t> cuts{0};
+    std::atomic<size_t> ilp_nodes{0};
+    {
+      WorkStealingPool pool(threads);
+      for (size_t mask = 0; mask < num_tasks; ++mask) {
+        // Bit i of `mask` picks conditional i's resolution; enumeration
+        // order matches the sequential DFS (conclusion side first).
+        pool.Submit([this, mask, levels, root, shared, &pivots, &warm_starts,
+                     &cold_restarts, &cuts, &ilp_nodes] {
+          if (shared->found.load(std::memory_order_relaxed) ||
+              shared->failed.load(std::memory_order_relaxed) ||
+              shared->budget_hit.load(std::memory_order_relaxed)) {
+            return;
+          }
+          LinearSystem local = work_;
+          for (size_t level = 0; level < levels; ++level) {
+            const Conditional& cond = active_[level];
+            if ((mask >> level) & 1) {
+              local.AddConstraint(cond.premise, RelOp::kEq, BigInt(0));
+            } else {
+              local.AddConstraint(cond.conclusion, RelOp::kGe, BigInt(1));
+            }
+          }
+          SplitWorker worker(shared, &local);
+          worker.Explore(levels, root);
+          pivots.fetch_add(worker.pivots, std::memory_order_relaxed);
+          warm_starts.fetch_add(worker.warm_starts,
+                                std::memory_order_relaxed);
+          cold_restarts.fetch_add(worker.cold_restarts,
+                                  std::memory_order_relaxed);
+          cuts.fetch_add(worker.cuts, std::memory_order_relaxed);
+          ilp_nodes.fetch_add(worker.ilp_nodes, std::memory_order_relaxed);
+        });
+      }
+      pool.Wait();
+    }
+    pivots_ += pivots.load();
+    warm_starts_ += warm_starts.load();
+    cold_restarts_ += cold_restarts.load();
+    cuts_ += cuts.load();
+    nodes_ += ilp_nodes.load();
+  }
+
+  void FlushWorker(const SplitWorker& worker) {
+    pivots_ += worker.pivots;
+    warm_starts_ += worker.warm_starts;
+    cold_restarts_ += worker.cold_restarts;
+    cuts_ += worker.cuts;
+    nodes_ += worker.ilp_nodes;
+  }
+
+  void FillStats(IlpSolution* out, const SearchShared& shared) {
+    out->nodes_explored = nodes_ + shared.nodes.load();
+    out->lp_pivots = pivots_;
+    out->cuts_added = cuts_;
+    out->warm_starts = warm_starts_;
+    out->cold_restarts = cold_restarts_;
+  }
+
+  Result<IlpSolution> AssembleInfeasible(
+      std::chrono::steady_clock::time_point start) {
+    IlpSolution out;
+    out.feasible = false;
+    out.nodes_explored = nodes_;
+    out.lp_pivots = pivots_;
+    out.cuts_added = cuts_;
+    out.warm_starts = warm_starts_;
+    out.cold_restarts = cold_restarts_;
+    out.wall_ms = ElapsedMs(start);
+    return out;
+  }
+
+  LinearSystem work_;
   const std::vector<Conditional>& conditionals_;
   std::vector<Conditional> active_;  // Survivors of presolve.
   IlpOptions options_;
-  bool found_ = false;
-  IlpSolution solution_;
-  size_t stats_nodes_ = 0;
-  size_t stats_pivots_ = 0;
+  CaseSplitWarmContext* warm_;
+
+  // Statistics accumulated outside the DFS (optimistic leaf, presolve) and
+  // flushed from workers after it.
+  size_t nodes_ = 0;
+  size_t pivots_ = 0;
+  size_t cuts_ = 0;
+  size_t warm_starts_ = 0;
+  size_t cold_restarts_ = 0;
 };
 
 }  // namespace
 
 Result<IlpSolution> SolveWithConditionals(
     const LinearSystem& base, const std::vector<Conditional>& conditionals,
-    const IlpOptions& options) {
-  CaseSplitSolver solver(base, conditionals, options);
+    const IlpOptions& options, CaseSplitWarmContext* warm) {
+  CaseSplitSolver solver(base, conditionals, options, warm);
   return solver.Run();
 }
 

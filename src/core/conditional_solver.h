@@ -4,6 +4,7 @@
 #include <utility>
 #include <vector>
 
+#include "ilp/simplex.h"
 #include "ilp/solver.h"
 
 namespace xicc {
@@ -18,6 +19,16 @@ struct Conditional {
   LinearExpr conclusion;
 };
 
+/// Reusable warm-start state across repeated SolveWithConditionals calls on
+/// the SAME base system with a growing conditional set — the shape of the
+/// lazy connectivity-cut loop in SolveEncodingSystem. The base LP is solved
+/// cold exactly once; every later round's presolve probes and DFS root
+/// re-solve warm from this basis.
+struct CaseSplitWarmContext {
+  LpTableau base_tableau;
+  bool valid = false;
+};
+
 /// Decides feasibility of `base` (nonnegative integers) subject to the
 /// conditionals.
 ///
@@ -28,12 +39,23 @@ struct Conditional {
 /// solver only on fully resolved leaves. The conclusion ≥ 1 side is tried
 /// first — consistent specifications usually populate their element types.
 ///
+/// Incrementality: the DFS runs on ONE trail-managed system (push a
+/// resolution, recurse, pop), and every prune/leaf solve warm starts from
+/// the parent node's LP basis via dual simplex — the presolve probes and
+/// the fully-resolved leaf ILPs included. With options.num_threads > 1 the
+/// first ~log2(num_threads)+1 levels of the split tree fan out onto a small
+/// work-stealing pool (each task owns a private copy of the system; deeper
+/// levels stay sequential-warm-started within the task); statistics are
+/// aggregated atomically and the verdict is identical to the sequential
+/// one — num_threads = 1 (the default) keeps behaviour and statistics fully
+/// deterministic.
+///
 /// Compared with the big-M linearization (ApplyBigMLinearization) this
 /// avoids astronomically large coefficients; the ablation bench compares
 /// both.
 Result<IlpSolution> SolveWithConditionals(
     const LinearSystem& base, const std::vector<Conditional>& conditionals,
-    const IlpOptions& options = {});
+    const IlpOptions& options = {}, CaseSplitWarmContext* warm = nullptr);
 
 }  // namespace xicc
 

@@ -147,6 +147,9 @@ Result<ConsistencyResult> CheckConsistency(const Dtd& dtd,
                           : "ilp-big-m";
       result.stats.ilp_nodes = solved->nodes_explored;
       result.stats.lp_pivots = solved->lp_pivots;
+      result.stats.warm_starts = solved->warm_starts;
+      result.stats.cold_restarts = solved->cold_restarts;
+      result.stats.ilp_wall_ms = solved->wall_ms;
       result.consistent = solved->feasible;
       if (!result.consistent) {
         result.explanation =
@@ -181,6 +184,9 @@ Result<ConsistencyResult> CheckConsistency(const Dtd& dtd,
       result.method = "set-representation";
       result.stats.ilp_nodes = solved->nodes_explored;
       result.stats.lp_pivots = solved->lp_pivots;
+      result.stats.warm_starts = solved->warm_starts;
+      result.stats.cold_restarts = solved->cold_restarts;
+      result.stats.ilp_wall_ms = solved->wall_ms;
       result.consistent = solved->feasible;
       if (!result.consistent) {
         result.explanation =

@@ -48,6 +48,12 @@ struct ConsistencyStats {
   size_t system_constraints = 0;
   size_t ilp_nodes = 0;
   size_t lp_pivots = 0;
+  /// LP solves that restored feasibility via dual simplex from the parent
+  /// node's basis, vs. those that fell back to a cold phase-1 solve.
+  size_t warm_starts = 0;
+  size_t cold_restarts = 0;
+  /// Wall time spent inside the ILP search (case-split + branch-and-bound).
+  double ilp_wall_ms = 0.0;
 };
 
 struct ConsistencyResult {

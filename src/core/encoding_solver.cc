@@ -58,16 +58,24 @@ Result<IlpSolution> SolveEncodingSystem(const CardinalityEncoding& encoding,
                                         const EncodingSolveOptions& options) {
   std::vector<Conditional> conditionals = encoding.conditionals;
   IlpSolution accumulated;
+  // The base system never changes across connectivity rounds — only the
+  // conditional set grows by one lazy cut per round — so the base LP basis
+  // is factorized cold once and every later round's presolve probes and DFS
+  // root become warm dual-simplex re-solves against it.
+  CaseSplitWarmContext warm;
   for (size_t round = 0; round < options.max_connectivity_rounds; ++round) {
     Result<IlpSolution> solved =
         options.strategy == EncodingStrategy::kCaseSplit
-            ? SolveWithConditionals(system, conditionals, options.ilp)
+            ? SolveWithConditionals(system, conditionals, options.ilp, &warm)
             : SolveIlp(ApplyBigMLinearization(system, conditionals),
                        options.ilp);
     if (!solved.ok()) return solved.status();
     solved->nodes_explored += accumulated.nodes_explored;
     solved->lp_pivots += accumulated.lp_pivots;
     solved->cuts_added += accumulated.cuts_added;
+    solved->warm_starts += accumulated.warm_starts;
+    solved->cold_restarts += accumulated.cold_restarts;
+    solved->wall_ms += accumulated.wall_ms;
     if (!solved->feasible) return solved;
 
     std::set<std::string> phantom = PhantomSupport(encoding, *solved);

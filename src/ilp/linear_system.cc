@@ -50,6 +50,17 @@ void LinearSystem::AddLe(const LinearExpr& lhs, const LinearExpr& rhs) {
   AddConstraint(diff, RelOp::kLe, rhs.constant() - lhs.constant());
 }
 
+void LinearSystem::PushCheckpoint() {
+  trail_.push_back({names_.size(), constraints_.size()});
+}
+
+void LinearSystem::PopCheckpoint() {
+  const Checkpoint& mark = trail_.back();
+  names_.resize(mark.num_variables);
+  constraints_.resize(mark.num_constraints);
+  trail_.pop_back();
+}
+
 BigInt LinearSystem::MaxAbsValue() const {
   BigInt max(1);
   for (const LinearConstraint& c : constraints_) {

@@ -83,12 +83,29 @@ class LinearSystem {
   /// `a` of the Papadimitriou bound.
   BigInt MaxAbsValue() const;
 
+  /// Trail checkpointing: since rows and variables are only ever appended,
+  /// a checkpoint is the pair of current sizes and popping truncates back to
+  /// it. This lets branch-and-bound, the Gomory cut loop, the case-split DFS
+  /// and the presolve loop explore by push/solve/pop on ONE system — O(1)
+  /// amortized per node — instead of deep-copying O(rows) at every node.
+  void PushCheckpoint();
+  /// Undoes every AddVariable/AddConstraint/AddRaw since the matching
+  /// PushCheckpoint. Must pair with a prior push.
+  void PopCheckpoint();
+  size_t CheckpointDepth() const { return trail_.size(); }
+
   /// Human-readable rendering, one constraint per line.
   std::string ToString() const;
 
  private:
+  struct Checkpoint {
+    size_t num_variables;
+    size_t num_constraints;
+  };
+
   std::vector<std::string> names_;
   std::vector<LinearConstraint> constraints_;
+  std::vector<Checkpoint> trail_;
 };
 
 }  // namespace xicc

@@ -37,13 +37,16 @@ LpResult SolveLpFeasibility(const LinearSystem& system, LpTableau* tableau) {
   std::vector<LpColumnInfo> columns;
   columns.reserve(n + m);
   for (size_t j = 0; j < n; ++j) {
-    columns.push_back({LpColumnInfo::Kind::kStructural, static_cast<int>(j)});
+    columns.push_back(
+        {LpColumnInfo::Kind::kStructural, static_cast<int>(j), 0});
   }
   std::vector<int> slack_col(m, -1);
   for (size_t i = 0; i < m; ++i) {
-    if (system.constraints()[i].op != RelOp::kEq) {
+    const RelOp op = system.constraints()[i].op;
+    if (op != RelOp::kEq) {
       slack_col[i] = static_cast<int>(columns.size());
-      columns.push_back({LpColumnInfo::Kind::kSlack, static_cast<int>(i)});
+      columns.push_back({LpColumnInfo::Kind::kSlack, static_cast<int>(i),
+                         op == RelOp::kLe ? -1 : 1});
     }
   }
   const size_t num_structural_slack = columns.size();
@@ -166,6 +169,43 @@ LpResult SolveLpFeasibility(const LinearSystem& system, LpTableau* tableau) {
     return result;
   }
   result.feasible = true;
+
+  // Drive degenerate artificials (basic at value 0 — routine for equality
+  // rows) out of the basis: pivot on any nonzero structural/slack entry in
+  // the row. The pivot is at rhs = 0, so no value or feasibility changes —
+  // it only makes the exported basis artificial-free, which the dual-simplex
+  // warm re-solve requires. A row with no such entry is a redundant
+  // constraint and keeps its artificial (basis[i] = -1 below).
+  if (tableau != nullptr) {
+    for (size_t i = 0; i < m; ++i) {
+      if (static_cast<size_t>(basis[i]) < num_structural_slack) continue;
+      size_t entering = num_structural_slack;
+      for (size_t j = 0; j < num_structural_slack; ++j) {
+        if (!tab.At(i, j).is_zero()) {
+          entering = j;
+          break;
+        }
+      }
+      if (entering == num_structural_slack) continue;  // Redundant row.
+      ++result.pivots;
+      Rational pivot = tab.At(i, entering);
+      for (size_t j = 0; j <= rhs_col; ++j) {
+        Rational& cell = tab.At(i, j);
+        if (!cell.is_zero()) cell /= pivot;
+      }
+      for (size_t r = 0; r <= m; ++r) {
+        if (r == i) continue;
+        Rational factor = tab.At(r, entering);
+        if (factor.is_zero()) continue;
+        for (size_t j = 0; j <= rhs_col; ++j) {
+          const Rational& p = tab.At(i, j);
+          if (p.is_zero()) continue;
+          tab.At(r, j) -= factor * p;
+        }
+      }
+      basis[i] = static_cast<int>(entering);
+    }
+  }
   result.values.assign(n, Rational());
   for (size_t i = 0; i < m; ++i) {
     if (basis[i] >= 0 && static_cast<size_t>(basis[i]) < n) {
@@ -178,9 +218,11 @@ LpResult SolveLpFeasibility(const LinearSystem& system, LpTableau* tableau) {
     tableau->basis.assign(m, -1);
     tableau->rows.assign(m, std::vector<Rational>(num_structural_slack));
     tableau->rhs.assign(m, Rational());
+    tableau->num_constraints = m;
     for (size_t i = 0; i < m; ++i) {
       // Rows still basic in an artificial are degenerate (value 0) and are
-      // not exported for cuts.
+      // not exported for cuts; they also make the basis unusable for warm
+      // re-solves (the artificial column is not exported).
       if (static_cast<size_t>(basis[i]) < num_structural_slack) {
         tableau->basis[i] = basis[i];
       }
@@ -191,6 +233,167 @@ LpResult SolveLpFeasibility(const LinearSystem& system, LpTableau* tableau) {
     }
   }
   return result;
+}
+
+WarmResult ReSolveLpFeasibilityDual(const LinearSystem& system,
+                                    LpTableau* tableau) {
+  WarmResult out;
+  const size_t n = system.NumVariables();
+  const size_t m_new = system.NumConstraints();
+
+  // Usability: the parent basis must be artificial-free (artificials are not
+  // exported, so a row basic in one cannot be re-seeded), the variable set
+  // must not have grown since the parent solve, and the parent must actually
+  // be a prefix of `system`.
+  if (tableau->num_constraints > m_new) return out;
+  size_t num_structural = 0;
+  for (const LpColumnInfo& column : tableau->columns) {
+    if (column.kind == LpColumnInfo::Kind::kStructural) ++num_structural;
+  }
+  if (num_structural != n) return out;
+  for (int b : tableau->basis) {
+    if (b < 0) return out;
+  }
+
+  const size_t old_rows = tableau->rows.size();
+  const size_t old_cols = tableau->columns.size();
+
+  // One working row per parent row, plus one per appended inequality and two
+  // per appended equality (split into its ≤ and ≥ halves so each half gets a
+  // basic slack — dual simplex needs a basic variable per row).
+  struct NewRow {
+    size_t constraint;  // Index into system.constraints().
+    int sub_sign;       // -1: s = rhs − expr; +1: s = expr − rhs.
+  };
+  std::vector<NewRow> appended;
+  for (size_t k = tableau->num_constraints; k < m_new; ++k) {
+    const RelOp op = system.constraints()[k].op;
+    if (op == RelOp::kLe || op == RelOp::kEq) appended.push_back({k, -1});
+    if (op == RelOp::kGe || op == RelOp::kEq) appended.push_back({k, 1});
+  }
+  const size_t rows = old_rows + appended.size();
+  const size_t total = old_cols + appended.size();
+  const size_t rhs_col = total;
+
+  std::vector<std::vector<Rational>> tab(rows,
+                                         std::vector<Rational>(total + 1));
+  std::vector<int> basis(tableau->basis.begin(), tableau->basis.end());
+  basis.reserve(rows);
+  for (size_t i = 0; i < old_rows; ++i) {
+    for (size_t j = 0; j < old_cols; ++j) tab[i][j] = tableau->rows[i][j];
+    tab[i][rhs_col] = tableau->rhs[i];
+  }
+
+  for (size_t r = 0; r < appended.size(); ++r) {
+    const size_t row = old_rows + r;
+    const size_t slack = old_cols + r;
+    const NewRow& plan = appended[r];
+    const LinearConstraint& c = system.constraints()[plan.constraint];
+    // ≤-half: expr + s = rhs. ≥-half, negated so the surplus comes out +1:
+    // −expr + s = −rhs.
+    const int sign = plan.sub_sign < 0 ? 1 : -1;
+    std::vector<Rational>& cells = tab[row];
+    for (const auto& [var, coeff] : c.coeffs) {
+      cells[static_cast<size_t>(var)] = Rational(sign < 0 ? -coeff : coeff);
+    }
+    cells[slack] = Rational(1);
+    cells[rhs_col] = Rational(sign < 0 ? -c.rhs : c.rhs);
+    // Price out the parent's basic variables so basic columns stay unit.
+    // Parent rows carry zeros in the fresh slack columns, so elimination
+    // never spills into other appended rows.
+    for (size_t i = 0; i < old_rows; ++i) {
+      const Rational factor = cells[static_cast<size_t>(basis[i])];
+      if (factor.is_zero()) continue;
+      const std::vector<Rational>& pivot_row = tab[i];
+      for (size_t j = 0; j <= rhs_col; ++j) {
+        if (pivot_row[j].is_zero()) continue;
+        cells[j] -= factor * pivot_row[j];
+      }
+    }
+    basis.push_back(static_cast<int>(slack));
+  }
+
+  // Dual simplex with Bland's rule: leaving row = infeasible row whose basic
+  // column index is smallest; entering = smallest column with a negative
+  // entry in that row. The pivot cap is a defensive backstop — tripping it
+  // reports kPivotLimit and the caller re-solves cold, so it can only cost
+  // time, never correctness.
+  const size_t pivot_cap = 200 + 16 * rows;
+  for (;;) {
+    int leaving = -1;
+    for (size_t i = 0; i < rows; ++i) {
+      if (tab[i][rhs_col].sign() < 0 &&
+          (leaving < 0 || basis[i] < basis[leaving])) {
+        leaving = static_cast<int>(i);
+      }
+    }
+    if (leaving < 0) break;  // Primal feasible again.
+
+    const std::vector<Rational>& leaving_row = tab[leaving];
+    size_t entering = total;
+    for (size_t j = 0; j < total; ++j) {
+      if (leaving_row[j].sign() < 0) {
+        entering = j;
+        break;
+      }
+    }
+    if (entering == total) {
+      // Certificate: Σ (nonnegative coeffs)·(nonnegative vars) = rhs < 0.
+      out.status = WarmStatus::kOk;
+      out.lp.feasible = false;
+      return out;
+    }
+    if (out.lp.pivots >= pivot_cap) {
+      out.status = WarmStatus::kPivotLimit;
+      return out;
+    }
+    ++out.lp.pivots;
+
+    std::vector<Rational>& pivot_cells = tab[leaving];
+    const Rational pivot = pivot_cells[entering];
+    for (size_t j = 0; j <= rhs_col; ++j) {
+      Rational& cell = pivot_cells[j];
+      if (!cell.is_zero()) cell /= pivot;
+    }
+    for (size_t i = 0; i < rows; ++i) {
+      if (i == static_cast<size_t>(leaving)) continue;
+      std::vector<Rational>& cells = tab[i];
+      const Rational factor = cells[entering];
+      if (factor.is_zero()) continue;
+      for (size_t j = 0; j <= rhs_col; ++j) {
+        if (pivot_cells[j].is_zero()) continue;
+        cells[j] -= factor * pivot_cells[j];
+      }
+    }
+    basis[leaving] = static_cast<int>(entering);
+  }
+
+  out.status = WarmStatus::kOk;
+  out.lp.feasible = true;
+  out.lp.values.assign(n, Rational());
+  for (size_t i = 0; i < rows; ++i) {
+    if (static_cast<size_t>(basis[i]) < n) {
+      out.lp.values[basis[i]] = tab[i][rhs_col];
+    }
+  }
+
+  // Fold the extended state back into `tableau` so the next warm re-solve
+  // (or a Gomory derivation) starts from here.
+  for (const NewRow& plan : appended) {
+    tableau->columns.push_back({LpColumnInfo::Kind::kSlack,
+                                static_cast<int>(plan.constraint),
+                                plan.sub_sign});
+  }
+  tableau->basis = std::move(basis);
+  tableau->rhs.resize(rows);
+  tableau->rows.resize(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    tableau->rhs[i] = tab[i][rhs_col];
+    tab[i].resize(total);
+    tableau->rows[i] = std::move(tab[i]);
+  }
+  tableau->num_constraints = m_new;
+  return out;
 }
 
 }  // namespace xicc

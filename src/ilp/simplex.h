@@ -8,26 +8,39 @@
 
 namespace xicc {
 
-/// A column of the simplex tableau, as seen by cut generation: the original
-/// (structural) variables come first, then one slack per inequality.
-/// Artificial columns are internal and never escape the solver.
+/// A column of the simplex tableau, as seen by cut generation and the warm
+/// re-solver: the original (structural) variables come first, then one slack
+/// per inequality. Artificial columns are internal and never escape the
+/// solver.
 struct LpColumnInfo {
   enum class Kind { kStructural, kSlack };
   Kind kind;
   /// kStructural: the VarId. kSlack: the constraint index it belongs to.
   int index;
+  /// kSlack only — how the slack substitutes back into structural terms:
+  ///  -1:  s = rhs − expr  (≤-style slack)
+  ///  +1:  s = expr − rhs  (≥-style surplus)
+  /// An appended equality row is split into a ≤ and a ≥ half by the warm
+  /// re-solver, so the constraint's RelOp alone no longer determines the
+  /// sign; cut derivation must consult this field.
+  int sub_sign = 0;
 };
 
-/// The final basis rows, for Gomory cut derivation. Row i reads
+/// The final basis rows, for Gomory cut derivation and warm re-solving.
+/// Row i reads
 ///   x_{basis[i]} = rhs[i] - Σ_j coeffs[i][j]·x_j   (j over all columns),
 /// where basic columns carry coefficient 0 except their own unit entry.
 struct LpTableau {
   std::vector<LpColumnInfo> columns;
   /// basis[i] indexes into `columns`; -1 marks a (degenerate, zero-valued)
-  /// artificial still in the basis — rows like that are unusable for cuts.
+  /// artificial still in the basis — rows like that are unusable for cuts
+  /// and poison warm re-solves (the artificial column is not exported).
   std::vector<int> basis;
   std::vector<std::vector<Rational>> rows;  ///< Per row, per column.
   std::vector<Rational> rhs;
+  /// How many rows of the originating LinearSystem this tableau covers.
+  /// A warm re-solve treats system rows past this index as appended.
+  size_t num_constraints = 0;
 };
 
 /// Outcome of an LP-relaxation feasibility check.
@@ -48,9 +61,49 @@ struct LpResult {
 /// is created. Feasible iff the artificial mass minimizes to 0.
 ///
 /// When `tableau` is non-null and the LP is feasible, the final basis rows
-/// are exported for Gomory cut generation.
+/// are exported for Gomory cut generation and warm re-solving.
 LpResult SolveLpFeasibility(const LinearSystem& system,
                             LpTableau* tableau = nullptr);
+
+/// Why a warm re-solve could not be served from the given basis.
+enum class WarmStatus {
+  kOk,
+  /// The parent basis cannot seed a re-solve: a degenerate artificial was
+  /// still basic, or the system gained variables since the parent solve.
+  kUnusableBasis,
+  /// The anti-cycling backstop tripped; `lp.pivots` still reports the work
+  /// spent so callers can account for it before falling back cold.
+  kPivotLimit,
+};
+
+struct WarmResult {
+  WarmStatus status = WarmStatus::kUnusableBasis;
+  /// Valid only when status == kOk; `lp.pivots` is filled in all cases.
+  LpResult lp;
+};
+
+/// Dual-simplex warm re-solve — the incremental entry point of the ILP
+/// substrate.
+///
+/// Precondition: `tableau` is the final exported tableau of a *feasible*
+/// solve (cold or warm) of the first `tableau->num_constraints` rows of
+/// `system`, and every row appended since only references variables that
+/// already existed at that solve. Each appended inequality becomes one new
+/// slack-basic row; an appended equality is split into its ≤ and ≥ halves.
+/// New rows are priced out against the parent basis and primal feasibility
+/// is restored by dual simplex with Bland's rule (leaving row = infeasible
+/// row with the smallest basic column, entering = smallest negative column),
+/// pivoting from the parent's dual-feasible basis instead of re-running
+/// phase-1 from scratch.
+///
+/// On kOk, `tableau` is updated in place to cover all of `system` (and is
+/// only meaningful when `lp.feasible`); an infeasible verdict out of the
+/// dual loop is exact — the certificate row has nonnegative coefficients and
+/// a negative rhs over nonnegative variables. On kUnusableBasis/kPivotLimit
+/// the caller must fall back to SolveLpFeasibility; verdicts are identical
+/// either way, warm start only changes who does the pivoting.
+WarmResult ReSolveLpFeasibilityDual(const LinearSystem& system,
+                                    LpTableau* tableau);
 
 }  // namespace xicc
 

@@ -1,5 +1,6 @@
 #include "ilp/solver.h"
 
+#include <chrono>
 #include <optional>
 #include <utility>
 
@@ -27,10 +28,11 @@ Rational Frac(const Rational& value) {
 /// For a row  x_B + Σ_j ā_j·x_j = b̄  over integer variables (structural and
 /// slack; nonbasic artificials are identically zero and ignored), every
 /// integer-feasible point satisfies  Σ_j f(ā_j)·x_j ≥ f(b̄). Slack variables
-/// are then substituted out (s_k = ±(rhs_k − expr_k)) and denominators
-/// cleared, yielding a pure structural-variable row to append. A cut with
-/// empty support and positive rhs certifies integer infeasibility — the
-/// caller appends it and the next LP round reports infeasible.
+/// are then substituted out via their column's sub_sign
+/// (s = ±(rhs_k − expr_k)) and denominators cleared, yielding a pure
+/// structural-variable row to append. A cut with empty support and positive
+/// rhs certifies integer infeasibility — the caller appends it and the next
+/// LP round reports infeasible.
 std::optional<LinearConstraint> DeriveGomoryCut(const LinearSystem& system,
                                                 const LpTableau& tableau) {
   // Pick the usable fractional row whose rhs fraction is closest to 1/2
@@ -63,10 +65,11 @@ std::optional<LinearConstraint> DeriveGomoryCut(const LinearSystem& system,
       coeffs[column.index] += f;
       continue;
     }
-    // Slack of constraint k: kLe has s = rhs_k − expr_k, kGe has
-    // s = expr_k − rhs_k.
+    // Slack of constraint k: sub_sign −1 has s = rhs_k − expr_k, +1 has
+    // s = expr_k − rhs_k (the op no longer decides — appended equalities
+    // are split into both halves by the warm re-solver).
     const LinearConstraint& c = system.constraints()[column.index];
-    int sign = c.op == RelOp::kLe ? -1 : 1;
+    int sign = column.sub_sign;
     for (const auto& [var, coeff] : c.coeffs) {
       Rational term = f * Rational(coeff);
       coeffs[var] += sign < 0 ? -term : term;
@@ -96,51 +99,72 @@ std::optional<LinearConstraint> DeriveGomoryCut(const LinearSystem& system,
   return cut;
 }
 
-/// One branch decision: var ≤ bound or var ≥ bound.
-struct Branch {
-  VarId var;
-  RelOp op;  // kLe or kGe.
-  BigInt bound;
-};
-
-/// Depth-first cut-and-branch. `branches` carries the decisions on the
-/// current path; each node rebuilds the LP with them appended.
+/// Depth-first cut-and-branch over ONE trail-managed system: branch bounds
+/// and node-local Gomory cuts are pushed/popped on `work_` (O(1) amortized
+/// per node instead of an O(rows) copy), and every non-root LP solve warm
+/// starts from the parent node's final basis via dual simplex.
 class BranchAndBound {
  public:
-  BranchAndBound(const LinearSystem& system, const IlpOptions& options)
-      : base_(system), options_(options) {}
+  BranchAndBound(const LinearSystem& system, const IlpOptions& options,
+                 const LpTableau* warm_hint)
+      : work_(system), options_(options), hint_(warm_hint) {}
 
   Result<IlpSolution> Run() {
+    const auto start = std::chrono::steady_clock::now();
     if (options_.apply_papadimitriou_bound) {
       // Upper-bound every variable by the minimal-solution bound, making
       // the search space finite — but only when the bound is cheap to carry
       // (see IlpOptions::max_bound_bits).
-      size_t m = base_.NumConstraints();
-      size_t n = base_.NumVariables();
-      BigInt a = base_.MaxAbsValue();
+      size_t m = work_.NumConstraints();
+      size_t n = work_.NumVariables();
+      BigInt a = work_.MaxAbsValue();
       size_t estimated_bits =
           (2 * m + 1) * (64 - __builtin_clzll(m | 1) + a.BitLength()) + 8;
       if (m > 0 && estimated_bits <= options_.max_bound_bits) {
         BigInt bound = PapadimitriouBound(m, n, a);
         for (VarId v = 0; v < static_cast<VarId>(n); ++v) {
-          base_.AddConstraint(LinearExpr::Var(v), RelOp::kLe, bound);
+          work_.AddConstraint(LinearExpr::Var(v), RelOp::kLe, bound);
         }
       }
     }
-    std::vector<Branch> branches;
-    bool found = Explore(&branches);
+    bool found = Explore(/*parent=*/hint_);
     if (!found && budget_hit_) {
       return Status::ResourceExhausted(
           "ILP search exceeded " + std::to_string(options_.max_nodes) +
           " branch-and-bound nodes");
     }
     solution_.feasible = found;
+    solution_.wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
     return std::move(solution_);
   }
 
  private:
+  /// One LP solve of the current work_ state into `tab`. When `try_warm`,
+  /// `tab` must hold a feasible ancestor basis of a row-prefix of work_ —
+  /// the appended rows go through the dual-simplex re-solve; any warm
+  /// failure falls back to the cold primal path (identical verdicts).
+  LpResult SolveNodeLp(LpTableau* tab, bool try_warm) {
+    if (try_warm && options_.warm_start) {
+      WarmResult warm = ReSolveLpFeasibilityDual(work_, tab);
+      solution_.lp_pivots += warm.lp.pivots;
+      if (warm.status == WarmStatus::kOk) {
+        ++solution_.warm_starts;
+        return std::move(warm.lp);
+      }
+    }
+    ++solution_.cold_restarts;
+    LpResult lp = SolveLpFeasibility(work_, tab);
+    solution_.lp_pivots += lp.pivots;
+    return lp;
+  }
+
   /// Returns true when an integer solution was found (stored in solution_).
-  bool Explore(std::vector<Branch>* branches) {
+  /// `parent` is the parent node's final tableau (null at the root); work_
+  /// already contains this node's branch row.
+  bool Explore(const LpTableau* parent) {
     if (options_.max_nodes != 0 &&
         solution_.nodes_explored >= options_.max_nodes) {
       budget_hit_ = true;
@@ -148,20 +172,24 @@ class BranchAndBound {
     }
     ++solution_.nodes_explored;
 
-    LinearSystem node = base_;
-    for (const Branch& b : *branches) {
-      node.AddConstraint(LinearExpr::Var(b.var), b.op, b.bound);
-    }
+    // Gomory cuts derived here stay pushed for the whole subtree (they are
+    // valid under the current branches) and are undone when the node exits.
+    work_.PushCheckpoint();
+    bool found = ExploreWithCuts(parent);
+    work_.PopCheckpoint();
+    return found;
+  }
+
+  bool ExploreWithCuts(const LpTableau* parent) {
+    LpTableau tab;
+    bool try_warm = parent != nullptr;
+    if (try_warm) tab = *parent;  // The sibling still needs `parent`.
+    LpResult lp = SolveNodeLp(&tab, try_warm);
 
     // Cut loop: solve, finish/prune, else strengthen with a Gomory cut and
-    // re-solve. Cuts derived under the current branches are valid only in
-    // this subtree; they are kept local to the node (children re-derive).
-    LpResult lp;
+    // warm re-solve from this node's own basis (one appended row).
     VarId fractional = -1;
     for (size_t round = 0; round <= options_.max_cut_rounds; ++round) {
-      LpTableau tableau;
-      lp = SolveLpFeasibility(node, &tableau);
-      solution_.lp_pivots += lp.pivots;
       if (!lp.feasible) return false;
 
       fractional = -1;
@@ -180,26 +208,31 @@ class BranchAndBound {
         return true;
       }
       if (round == options_.max_cut_rounds) break;
-      std::optional<LinearConstraint> cut = DeriveGomoryCut(node, tableau);
+      std::optional<LinearConstraint> cut = DeriveGomoryCut(work_, tab);
       if (!cut.has_value()) break;
-      node.AddRaw(std::move(*cut));
+      work_.AddRaw(std::move(*cut));
       ++solution_.cuts_added;
+      lp = SolveNodeLp(&tab, /*try_warm=*/true);
     }
 
-    const Rational& value = lp.values[fractional];
-    branches->push_back({fractional, RelOp::kLe, value.Floor()});
-    if (Explore(branches)) {
-      branches->pop_back();
-      return true;
-    }
-    branches->back() = {fractional, RelOp::kGe, value.Ceil()};
-    bool found = Explore(branches);
-    branches->pop_back();
+    const Rational value = lp.values[fractional];
+    work_.PushCheckpoint();
+    work_.AddConstraint(LinearExpr::Var(fractional), RelOp::kLe,
+                        value.Floor());
+    bool found = Explore(&tab);
+    work_.PopCheckpoint();
+    if (found) return true;
+    work_.PushCheckpoint();
+    work_.AddConstraint(LinearExpr::Var(fractional), RelOp::kGe,
+                        value.Ceil());
+    found = Explore(&tab);
+    work_.PopCheckpoint();
     return found;
   }
 
-  LinearSystem base_;
+  LinearSystem work_;
   IlpOptions options_;
+  const LpTableau* hint_;
   IlpSolution solution_;
   bool budget_hit_ = false;
 };
@@ -207,8 +240,9 @@ class BranchAndBound {
 }  // namespace
 
 Result<IlpSolution> SolveIlp(const LinearSystem& system,
-                             const IlpOptions& options) {
-  BranchAndBound solver(system, options);
+                             const IlpOptions& options,
+                             const LpTableau* warm_hint) {
+  BranchAndBound solver(system, options, warm_hint);
   return solver.Run();
 }
 

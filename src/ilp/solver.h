@@ -9,6 +9,8 @@
 
 namespace xicc {
 
+struct LpTableau;
+
 struct IlpOptions {
   /// Hard cap on branch & bound nodes; exceeding it yields
   /// kResourceExhausted. 0 means unlimited.
@@ -26,6 +28,16 @@ struct IlpOptions {
   /// honest termination backstop.
   bool apply_papadimitriou_bound = true;
   size_t max_bound_bits = 64;
+  /// Serve child-node and cut-round LP solves by dual-simplex re-solve from
+  /// the parent's final basis instead of a fresh phase-1 (the cold primal
+  /// path remains the fallback whenever a warm basis is unusable, so
+  /// verdicts are identical either way). Off is kept for the ablation bench.
+  bool warm_start = true;
+  /// Worker threads for the conditional case-split fan-out (see
+  /// SolveWithConditionals): 1 keeps everything sequential and the statistics
+  /// deterministic; >1 explores the top of the split tree in parallel with
+  /// an unchanged verdict. Plain SolveIlp is always single-threaded.
+  size_t num_threads = 1;
 };
 
 struct IlpSolution {
@@ -36,6 +48,13 @@ struct IlpSolution {
   size_t nodes_explored = 0;
   size_t lp_pivots = 0;
   size_t cuts_added = 0;
+  /// LP solves served incrementally from a parent basis (dual simplex).
+  size_t warm_starts = 0;
+  /// LP solves that ran the cold phase-1 path (root nodes, disabled warm
+  /// start, or warm-basis fallbacks).
+  size_t cold_restarts = 0;
+  /// Wall-clock time spent inside the solve.
+  double wall_ms = 0.0;
 };
 
 /// The Papadimitriou bound (J.ACM 28(4), 1981), as used in Theorem 4.1 and
@@ -48,15 +67,25 @@ BigInt PapadimitriouBound(size_t num_constraints, size_t num_variables,
 /// Decides whether `system` has a solution over nonnegative integers and
 /// produces one if so.
 ///
-/// Algorithm: cut-and-branch on the exact-rational LP relaxation. Each node
-/// solves phase-1 simplex; an infeasible relaxation prunes, an integral
-/// vertex finishes; otherwise up to max_cut_rounds Gomory fractional cuts
-/// are derived from the final tableau, and if the vertex stays fractional
-/// the first fractional variable x = v branches into x ≤ ⌊v⌋ and x ≥ ⌈v⌉
-/// (DFS, floor side first — cardinality systems tend to have small
-/// solutions).
+/// Algorithm: cut-and-branch on the exact-rational LP relaxation. The DFS
+/// runs on ONE system via the trail (PushCheckpoint/PopCheckpoint), and each
+/// non-root node re-solves warm: the parent's final basis plus the one
+/// appended row (branch bound or Gomory cut) goes through dual simplex
+/// instead of a fresh phase-1 (cold fallback when the warm basis is
+/// unusable). An infeasible relaxation prunes, an integral vertex finishes;
+/// otherwise up to max_cut_rounds Gomory fractional cuts are derived from
+/// the final tableau — cuts stay pushed for the subtree and are undone on
+/// exit — and if the vertex stays fractional the first fractional variable
+/// x = v branches into x ≤ ⌊v⌋ and x ≥ ⌈v⌉ (DFS, floor side first —
+/// cardinality systems tend to have small solutions).
+/// `warm_hint`, when given, must be the final tableau of a feasible LP solve
+/// of a row-prefix of `system` (e.g. the case-split DFS's pruning solve of
+/// the very system it hands to the leaf); the root node then warm starts
+/// from it instead of running phase-1 cold. A stale or foreign hint is
+/// rejected by the re-solver's usability checks and only costs the fallback.
 Result<IlpSolution> SolveIlp(const LinearSystem& system,
-                             const IlpOptions& options = {});
+                             const IlpOptions& options = {},
+                             const LpTableau* warm_hint = nullptr);
 
 }  // namespace xicc
 

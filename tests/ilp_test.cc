@@ -303,5 +303,169 @@ TEST_P(IlpPropertyTest, SolutionsSatisfyTheSystem) {
 INSTANTIATE_TEST_SUITE_P(Seeds, IlpPropertyTest,
                          ::testing::Values(11u, 23u, 47u, 101u));
 
+
+// ------------------------------------------------- trail checkpoints + warm.
+
+TEST(LinearSystemTest, PushPopCheckpointRestoresExactly) {
+  LinearSystem sys;
+  VarId x = sys.AddVariable("x");
+  VarId y = sys.AddVariable("y");
+  LinearExpr expr;
+  expr.Add(x, BigInt(2)).Add(y, BigInt(-1));
+  sys.AddConstraint(expr, RelOp::kGe, BigInt(3));
+  const size_t vars = sys.NumVariables();
+  const size_t rows = sys.NumConstraints();
+  const BigInt max_abs = sys.MaxAbsValue();
+  const std::string rendered = sys.ToString();
+
+  sys.PushCheckpoint();
+  EXPECT_EQ(sys.CheckpointDepth(), 1u);
+  VarId z = sys.AddVariable("z");
+  sys.AddConstraint(LinearExpr::Var(z), RelOp::kLe, BigInt(1000));
+  sys.AddConstraint(LinearExpr::Var(x), RelOp::kEq, BigInt(7));
+  EXPECT_EQ(sys.NumVariables(), vars + 1);
+  EXPECT_EQ(sys.NumConstraints(), rows + 2);
+  EXPECT_EQ(sys.MaxAbsValue(), BigInt(1000));
+
+  // Nested checkpoint: popped independently.
+  sys.PushCheckpoint();
+  sys.AddConstraint(LinearExpr::Var(y), RelOp::kGe, BigInt(2));
+  EXPECT_EQ(sys.NumConstraints(), rows + 3);
+  sys.PopCheckpoint();
+  EXPECT_EQ(sys.NumConstraints(), rows + 2);
+
+  sys.PopCheckpoint();
+  EXPECT_EQ(sys.CheckpointDepth(), 0u);
+  EXPECT_EQ(sys.NumVariables(), vars);
+  EXPECT_EQ(sys.NumConstraints(), rows);
+  EXPECT_EQ(sys.MaxAbsValue(), max_abs);
+  EXPECT_EQ(sys.ToString(), rendered);
+}
+
+TEST(SimplexTest, DualReSolveMatchesColdOnAppendedRows) {
+  // Parent: a feasible 2-var system; child: append rows of every RelOp and
+  // check the warm verdict and solution against a cold solve from scratch.
+  for (int variant = 0; variant < 3; ++variant) {
+    LinearSystem sys;
+    VarId x = sys.AddVariable("x");
+    VarId y = sys.AddVariable("y");
+    LinearExpr sum;
+    sum.Add(x, BigInt(1)).Add(y, BigInt(1));
+    sys.AddConstraint(sum, RelOp::kGe, BigInt(4));
+    sys.AddConstraint(LinearExpr::Var(x), RelOp::kLe, BigInt(10));
+
+    LpTableau tab;
+    LpResult parent = SolveLpFeasibility(sys, &tab);
+    ASSERT_TRUE(parent.feasible);
+
+    LinearExpr diff;
+    diff.Add(x, BigInt(1)).Add(y, BigInt(-1));
+    RelOp op = variant == 0 ? RelOp::kLe : (variant == 1 ? RelOp::kGe : RelOp::kEq);
+    sys.AddConstraint(diff, op, BigInt(2));
+
+    WarmResult warm = ReSolveLpFeasibilityDual(sys, &tab);
+    LpResult cold = SolveLpFeasibility(sys);
+    ASSERT_EQ(warm.status, WarmStatus::kOk) << "variant " << variant;
+    EXPECT_EQ(warm.lp.feasible, cold.feasible) << "variant " << variant;
+    if (warm.lp.feasible) {
+      // The warm vertex satisfies every row.
+      for (const LinearConstraint& c : sys.constraints()) {
+        Rational lhs;
+        for (const auto& [var, coef] : c.coeffs) {
+          lhs += Rational(coef) * warm.lp.values[var];
+        }
+        Rational rhs{c.rhs};
+        switch (c.op) {
+          case RelOp::kLe:
+            EXPECT_TRUE(lhs <= rhs);
+            break;
+          case RelOp::kGe:
+            EXPECT_TRUE(lhs >= rhs);
+            break;
+          case RelOp::kEq:
+            EXPECT_TRUE(lhs == rhs);
+            break;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimplexTest, DualReSolveCertifiesInfeasibility) {
+  LinearSystem sys;
+  VarId x = sys.AddVariable("x");
+  sys.AddConstraint(LinearExpr::Var(x), RelOp::kLe, BigInt(5));
+  LpTableau tab;
+  ASSERT_TRUE(SolveLpFeasibility(sys, &tab).feasible);
+  sys.AddConstraint(LinearExpr::Var(x), RelOp::kGe, BigInt(7));
+  WarmResult warm = ReSolveLpFeasibilityDual(sys, &tab);
+  ASSERT_EQ(warm.status, WarmStatus::kOk);
+  EXPECT_FALSE(warm.lp.feasible);
+}
+
+// Warm-started search must agree with cold search on verdicts, and any
+// solution it returns must satisfy the system — across a seeded random
+// workload (same generator shape as SolutionsSatisfyTheSystem, denser).
+class WarmColdEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WarmColdEquivalenceTest, VerdictsIdenticalSolutionsChecked) {
+  std::mt19937_64 rng(GetParam());
+  std::uniform_int_distribution<int> coeff(-2, 3);
+  std::uniform_int_distribution<int> rhs_dist(-5, 15);
+  std::uniform_int_distribution<int> rows_dist(3, 5);
+  for (int trial = 0; trial < 20; ++trial) {
+    LinearSystem sys;
+    const int n = 3;
+    for (int i = 0; i < n; ++i) sys.AddVariable("x" + std::to_string(i));
+    const int rows = rows_dist(rng);
+    for (int c = 0; c < rows; ++c) {
+      LinearExpr expr;
+      for (int i = 0; i < n; ++i) expr.Add(i, BigInt(coeff(rng)));
+      RelOp op =
+          c % 3 == 0 ? RelOp::kEq : (c % 3 == 1 ? RelOp::kLe : RelOp::kGe);
+      sys.AddConstraint(expr, op, BigInt(rhs_dist(rng)));
+    }
+
+    IlpOptions warm_opts;
+    warm_opts.warm_start = true;
+    warm_opts.max_nodes = 5000;
+    IlpOptions cold_opts;
+    cold_opts.warm_start = false;
+    cold_opts.max_nodes = 5000;
+    auto warm = SolveIlp(sys, warm_opts);
+    auto cold = SolveIlp(sys, cold_opts);
+    // Warm and cold LP solves may surface different optimal vertices, so the
+    // search trees (and a budget exhaustion) can legitimately differ; the
+    // decided verdicts may not.
+    if (!warm.ok() || !cold.ok()) continue;
+    EXPECT_EQ(warm->feasible, cold->feasible) << "trial " << trial;
+    EXPECT_EQ(cold->warm_starts, 0u);
+    for (const IlpSolution* solution : {&*warm, &*cold}) {
+      if (!solution->feasible) continue;
+      for (const LinearConstraint& c : sys.constraints()) {
+        BigInt lhs(0);
+        for (const auto& [var, coef] : c.coeffs) {
+          lhs += coef * solution->values[var];
+        }
+        switch (c.op) {
+          case RelOp::kLe:
+            EXPECT_LE(lhs, c.rhs);
+            break;
+          case RelOp::kGe:
+            EXPECT_GE(lhs, c.rhs);
+            break;
+          case RelOp::kEq:
+            EXPECT_EQ(lhs, c.rhs);
+            break;
+        }
+      }
+      for (const BigInt& v : solution->values) EXPECT_GE(v, BigInt(0));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WarmColdEquivalenceTest,
+                         ::testing::Values(5u, 19u, 71u, 131u, 257u));
+
 }  // namespace
 }  // namespace xicc
