@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Builds and installs googletest + google-benchmark from source so every CI
+# job (including the sanitizer builds) links against the same versions the
+# project is developed with, independent of what the runner image ships.
+set -euo pipefail
+
+GTEST_VERSION="${GTEST_VERSION:-v1.14.0}"
+BENCHMARK_VERSION="${BENCHMARK_VERSION:-v1.8.3}"
+SCRATCH="$(mktemp -d)"
+trap 'rm -rf "${SCRATCH}"' EXIT
+
+git clone --depth 1 --branch "${GTEST_VERSION}" \
+  https://github.com/google/googletest.git "${SCRATCH}/googletest"
+cmake -S "${SCRATCH}/googletest" -B "${SCRATCH}/googletest/build" -G Ninja \
+  -DCMAKE_BUILD_TYPE=Release -DBUILD_GMOCK=ON
+cmake --build "${SCRATCH}/googletest/build"
+sudo cmake --install "${SCRATCH}/googletest/build"
+
+git clone --depth 1 --branch "${BENCHMARK_VERSION}" \
+  https://github.com/google/benchmark.git "${SCRATCH}/benchmark"
+cmake -S "${SCRATCH}/benchmark" -B "${SCRATCH}/benchmark/build" -G Ninja \
+  -DCMAKE_BUILD_TYPE=Release -DBENCHMARK_ENABLE_TESTING=OFF \
+  -DBENCHMARK_ENABLE_GTEST_TESTS=OFF
+cmake --build "${SCRATCH}/benchmark/build"
+sudo cmake --install "${SCRATCH}/benchmark/build"

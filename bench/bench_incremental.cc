@@ -1,0 +1,192 @@
+// Compiled-DTD session ablation (Corollary 4.11's fixed-DTD regime): the
+// same authoring/batch workloads answered (a) by a SpecSession that compiles
+// the DTD once and re-checks each Σ as a trail delta over the shared
+// skeleton, and (b) by the fresh pipeline that rebuilds Ψ(D,Σ) from scratch
+// per query. Verdict sequences are asserted identical — the ablation only
+// counts if both sides answer the same thing — and the speedup column is the
+// headline number for EXPERIMENTS.md.
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/batch.h"
+#include "core/consistency.h"
+#include "core/incremental.h"
+#include "core/spec_session.h"
+#include "workloads/generators.h"
+
+namespace xicc {
+namespace {
+
+using Outcome = IncrementalChecker::Outcome;
+
+/// 50-constraint authoring stream over `dtd`: TryAdd each constraint through
+/// one checker in the given mode; returns the outcome sequence.
+std::vector<Outcome> RunAuthoring(const Dtd& dtd,
+                                  const std::vector<Constraint>& stream,
+                                  IncrementalChecker::Mode mode) {
+  ConsistencyOptions options;
+  options.build_witness = false;
+  IncrementalChecker checker(&dtd, options, /*check_redundancy=*/false, mode);
+  std::vector<Outcome> outcomes;
+  outcomes.reserve(stream.size());
+  for (const Constraint& c : stream) {
+    auto result = checker.TryAdd(c);
+    if (!result.ok()) std::abort();
+    outcomes.push_back(result->outcome);
+  }
+  return outcomes;
+}
+
+void RunAuthoringAblation(bench::JsonReport& report) {
+  bench::Header("authoring session: compile-once Σ-delta vs fresh rebuilds");
+  std::printf("%16s %12s %12s %12s %10s\n", "dtd", "additions",
+              "session(ms)", "fresh(ms)", "speedup");
+  struct Family {
+    const char* name;
+    Dtd dtd;
+    uint64_t seed;
+  };
+  std::vector<Family> families;
+  families.push_back({"catalog-6", workloads::CatalogDtd(6), 17});
+  families.push_back({"catalog-10", workloads::CatalogDtd(10), 29});
+  families.push_back({"auction-4", workloads::AuctionDtd(4), 41});
+  for (Family& family : families) {
+    // 50 additions: 25 keys + 25 foreign keys over random attribute pairs.
+    std::vector<Constraint> stream =
+        workloads::RandomUnarySigma(family.dtd, family.seed, 25, 25)
+            .constraints();
+
+    std::vector<Outcome> session_outcomes;
+    std::vector<Outcome> fresh_outcomes;
+    // Session timing includes CompileDtd (it happens inside the first
+    // TryAdd) — the compile is the cost being amortized, not excluded.
+    double session_ms = bench::BestTimeMs(3, [&] {
+      session_outcomes =
+          RunAuthoring(family.dtd, stream, IncrementalChecker::Mode::kSession);
+    });
+    double fresh_ms = bench::BestTimeMs(3, [&] {
+      fresh_outcomes =
+          RunAuthoring(family.dtd, stream, IncrementalChecker::Mode::kFresh);
+    });
+    if (session_outcomes != fresh_outcomes) std::abort();
+    double speedup = session_ms > 0 ? fresh_ms / session_ms : 0.0;
+    std::printf("%16s %12zu %12.3f %12.3f %9.2fx\n", family.name,
+                stream.size(), session_ms, fresh_ms, speedup);
+    report.AddRow("authoring")
+        .Set("dtd", family.name)
+        .Set("additions", stream.size())
+        .Set("session_ms", session_ms)
+        .Set("fresh_ms", fresh_ms)
+        .Set("speedup_x", speedup)
+        .Set("verdicts_identical", true);
+  }
+}
+
+void RunBatchAblation(bench::JsonReport& report) {
+  bench::Header("batch front-end: shared CompiledDtd, 1..8 threads");
+  Dtd dtd = workloads::CatalogDtd(8);
+  std::vector<ConstraintSet> queries;
+  for (uint64_t seed = 1; seed <= 64; ++seed) {
+    queries.push_back(workloads::RandomUnarySigma(dtd, seed, 4, 4));
+  }
+
+  ConsistencyOptions check;
+  check.build_witness = false;
+
+  // Sequential fresh loop: the no-artifact baseline.
+  std::vector<char> fresh_verdicts(queries.size());
+  double fresh_ms = bench::BestTimeMs(3, [&] {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      auto r = CheckConsistency(dtd, queries[i], check);
+      if (!r.ok()) std::abort();
+      fresh_verdicts[i] = r->consistent ? 1 : 0;
+    }
+  });
+
+  auto compiled = CompileDtd(dtd);
+  if (!compiled.ok()) std::abort();
+
+  std::printf("%10s %12s %12s %12s %10s\n", "threads", "queries", "time(ms)",
+              "fresh(ms)", "speedup");
+  for (size_t threads : {1, 2, 4, 8}) {
+    BatchOptions options;
+    options.num_threads = threads;
+    options.check = check;
+    std::vector<BatchItemResult> results;
+    double batch_ms = bench::BestTimeMs(3, [&] {
+      results = CheckBatch(*compiled, queries, options);
+    });
+    for (size_t i = 0; i < queries.size(); ++i) {
+      if (!results[i].status.ok()) std::abort();
+      // Bit-identical verdicts at every thread count, per the contract.
+      if ((results[i].result.consistent ? 1 : 0) != fresh_verdicts[i]) {
+        std::abort();
+      }
+    }
+    double speedup = batch_ms > 0 ? fresh_ms / batch_ms : 0.0;
+    std::printf("%10zu %12zu %12.3f %12.3f %9.2fx\n", threads, queries.size(),
+                batch_ms, fresh_ms, speedup);
+    report.AddRow("batch")
+        .Set("threads", threads)
+        .Set("queries", queries.size())
+        .Set("batch_ms", batch_ms)
+        .Set("fresh_ms", fresh_ms)
+        .Set("speedup_x", speedup)
+        .Set("verdicts_identical", true);
+  }
+}
+
+void RunMemoAblation(bench::JsonReport& report) {
+  bench::Header("memo: repeated Σ within a session, capacity 0 vs 128");
+  Dtd dtd = workloads::CatalogDtd(6);
+  auto compiled = CompileDtd(dtd);
+  if (!compiled.ok()) std::abort();
+  // 8 distinct queries, each asked 8 times.
+  std::vector<ConstraintSet> distinct;
+  for (uint64_t seed = 51; seed <= 58; ++seed) {
+    distinct.push_back(workloads::RandomUnarySigma(dtd, seed, 3, 3));
+  }
+  ConsistencyOptions check;
+  check.build_witness = false;
+  std::printf("%10s %12s %12s %12s\n", "memo", "checks", "time(ms)", "hits");
+  for (size_t capacity : {0, 128}) {
+    size_t hits = 0;
+    double ms = bench::BestTimeMs(3, [&] {
+      SpecSession session(*compiled, check, capacity);
+      for (int round = 0; round < 8; ++round) {
+        for (const ConstraintSet& sigma : distinct) {
+          auto r = session.Check(sigma);
+          if (!r.ok()) std::abort();
+        }
+      }
+      hits = session.stats().memo_hits;
+    });
+    std::printf("%10zu %12zu %12.3f %12zu\n", capacity, distinct.size() * 8,
+                ms, hits);
+    report.AddRow("memo")
+        .Set("capacity", capacity)
+        .Set("checks", distinct.size() * 8)
+        .Set("time_ms", ms)
+        .Set("memo_hits", hits);
+  }
+}
+
+}  // namespace
+}  // namespace xicc
+
+int main() {
+  std::printf(
+      "bench_incremental — compiled-DTD sessions vs per-query rebuilds\n"
+      "claim: compiling the DTD artifacts once and answering each Σ as a\n"
+      "trail delta turns the Cor 4.11 authoring loop from n rebuilds into\n"
+      "one build plus n deltas.\n");
+  xicc::bench::JsonReport report("incremental");
+  xicc::RunAuthoringAblation(report);
+  xicc::RunBatchAblation(report);
+  xicc::RunMemoAblation(report);
+  report.Write();
+  return 0;
+}

@@ -1,0 +1,56 @@
+#include "core/batch.h"
+
+#include <utility>
+
+#include "base/worksteal.h"
+
+namespace xicc {
+
+namespace {
+
+/// Runs queries `worker`, `worker + stride`, … through one session.
+void RunStripe(const std::shared_ptr<const CompiledDtd>& compiled,
+               const std::vector<ConstraintSet>& queries,
+               const BatchOptions& options, size_t worker, size_t stride,
+               std::vector<BatchItemResult>* results) {
+  SpecSession session(compiled, options.check, options.memo_capacity);
+  for (size_t i = worker; i < queries.size(); i += stride) {
+    Result<ConsistencyResult> checked = session.Check(queries[i]);
+    BatchItemResult& slot = (*results)[i];
+    if (checked.ok()) {
+      slot.status = Status::Ok();
+      slot.result = std::move(*checked);
+    } else {
+      slot.status = checked.status();
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<BatchItemResult> CheckBatch(
+    std::shared_ptr<const CompiledDtd> compiled,
+    const std::vector<ConstraintSet>& queries, const BatchOptions& options) {
+  std::vector<BatchItemResult> results(queries.size());
+  if (queries.empty()) return results;
+
+  size_t threads = options.num_threads == 0 ? 1 : options.num_threads;
+  if (threads > queries.size()) threads = queries.size();
+  if (threads <= 1) {
+    RunStripe(compiled, queries, options, 0, 1, &results);
+    return results;
+  }
+
+  // Each worker writes only its own stripe's slots, so the result vector
+  // needs no locking; the pool is just transport for the N stripes.
+  WorkStealingPool pool(threads);
+  for (size_t worker = 0; worker < threads; ++worker) {
+    pool.Submit([&, worker] {
+      RunStripe(compiled, queries, options, worker, threads, &results);
+    });
+  }
+  pool.Wait();
+  return results;
+}
+
+}  // namespace xicc

@@ -1,0 +1,45 @@
+#ifndef XICC_CORE_BATCH_H_
+#define XICC_CORE_BATCH_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/spec_session.h"
+
+namespace xicc {
+
+struct BatchOptions {
+  /// Worker count. 1 (the default) runs one session sequentially — fully
+  /// deterministic, including statistics. With N > 1 the queries are striped
+  /// round-robin over N sessions sharing the one CompiledDtd; per-query
+  /// verdicts/results are deterministic either way (each query's answer
+  /// depends only on its own constraint set), only the intra-worker memo
+  /// locality differs.
+  size_t num_threads = 1;
+  /// Options applied by every worker session.
+  ConsistencyOptions check;
+  /// Per-worker memo capacity (identical repeated queries hit within their
+  /// worker).
+  size_t memo_capacity = 128;
+};
+
+/// Per-query outcome. `status` carries per-query failures (e.g. a query
+/// referencing undeclared attributes, or the undecidable class) without
+/// aborting the rest of the batch; `result` is meaningful iff status.ok().
+struct BatchItemResult {
+  Status status;
+  ConsistencyResult result;
+};
+
+/// Answers many consistency queries against one compiled DTD — the batch
+/// shape of Corollary 4.11's fixed-DTD workflow. Worker w handles queries
+/// w, w + N, w + 2N, … with its own SpecSession; the CompiledDtd is shared
+/// read-only (its artifacts are immutable and its frozen DFAs thread-safe).
+std::vector<BatchItemResult> CheckBatch(
+    std::shared_ptr<const CompiledDtd> compiled,
+    const std::vector<ConstraintSet>& queries,
+    const BatchOptions& options = {});
+
+}  // namespace xicc
+
+#endif  // XICC_CORE_BATCH_H_

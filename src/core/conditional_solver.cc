@@ -3,6 +3,7 @@
 #include <atomic>
 #include <chrono>
 #include <mutex>
+#include <optional>
 #include <utility>
 
 #include "base/worksteal.h"
@@ -60,7 +61,7 @@ class SplitWorker {
     bool have_tab = false;
     if (parent != nullptr && shared_->options.warm_start) {
       tab = *parent;
-      WarmResult warm = ReSolveLpFeasibilityDual(*system_, &tab);
+      WarmResult warm = ReSolveLpFeasibilityDualInPlace(*system_, &tab);
       pivots += warm.lp.pivots;
       if (warm.status == WarmStatus::kOk) {
         ++warm_starts;
@@ -139,7 +140,19 @@ class SplitWorker {
 
 class CaseSplitSolver {
  public:
+  /// Copying mode: the solver works on a private copy of `base`.
   CaseSplitSolver(const LinearSystem& base,
+                  const std::vector<Conditional>& conditionals,
+                  const IlpOptions& options, CaseSplitWarmContext* warm)
+      : owned_(base),
+        work_(&*owned_),
+        conditionals_(conditionals),
+        options_(options),
+        warm_(warm) {}
+
+  /// In-place mode: the solver appends onto `*base`'s trail. The caller owns
+  /// the enclosing checkpoint that rolls those rows back.
+  CaseSplitSolver(LinearSystem* base,
                   const std::vector<Conditional>& conditionals,
                   const IlpOptions& options, CaseSplitWarmContext* warm)
       : work_(base),
@@ -154,17 +167,24 @@ class CaseSplitSolver {
     // cross-round context when available (the connectivity-cut loop re-enters
     // here with the same base every round), solved otherwise. It warm-seeds
     // the optimistic leaf, the presolve probes, and the DFS root alike.
+    // On the warm path the leaf reads the context's basis in place — no
+    // copy. `base_tab` (the solver's own mutable basis for presolve and the
+    // DFS) is only materialized if the leaf fails to settle the query, which
+    // keeps the common consistent-spec round at a single tableau duplication
+    // (the leaf root's, into the context's capacity-warmed scratch).
     LpTableau base_tab;
+    const LpTableau* base_ro = nullptr;
     bool tab_ok = false;
     if (options_.warm_start && warm_ != nullptr && warm_->valid) {
-      base_tab = warm_->base_tableau;
+      base_ro = &warm_->base_tableau;
       tab_ok = true;
     } else {
       ++cold_restarts_;
-      LpResult lp = SolveLpFeasibility(work_, &base_tab);
+      LpResult lp = SolveLpFeasibility(*work_, &base_tab);
       pivots_ += lp.pivots;
       if (!lp.feasible) return AssembleInfeasible(start);
       tab_ok = true;
+      base_ro = &base_tab;
       if (warm_ != nullptr) {
         warm_->base_tableau = base_tab;
         warm_->valid = true;
@@ -176,13 +196,17 @@ class CaseSplitSolver {
     // populate all their element types, so this one ILP call settles them
     // without touching the exponential split.
     {
-      work_.PushCheckpoint();
+      work_->PushCheckpoint();
       for (const Conditional& cond : conditionals_) {
-        work_.AddConstraint(cond.conclusion, RelOp::kGe, BigInt(1));
+        work_->AddConstraint(cond.conclusion, RelOp::kGe, BigInt(1));
+      }
+      IlpOptions leaf_options = options_;
+      if (warm_ != nullptr && leaf_options.root_scratch == nullptr) {
+        leaf_options.root_scratch = &warm_->root_scratch;
       }
       Result<IlpSolution> leaf =
-          SolveIlp(work_, options_, tab_ok ? &base_tab : nullptr);
-      work_.PopCheckpoint();
+          SolveIlp(*work_, leaf_options, tab_ok ? base_ro : nullptr);
+      work_->PopCheckpoint();
       if (!leaf.ok()) return leaf.status();
       if (leaf->feasible) {
         Accumulate(*leaf);
@@ -198,6 +222,11 @@ class CaseSplitSolver {
       Accumulate(*leaf);
     }
 
+    // The split machinery below mutates its basis (presolve extends it over
+    // forced rows); give it a private copy if it is still aliasing the
+    // caller's context.
+    if (base_ro != &base_tab) base_tab = *base_ro;
+
     // Presolve: a conditional whose premise cannot vanish (base + premise=0
     // is LP-infeasible) has a forced conclusion; install it as a hard row
     // and drop the conditional from the exponential split. Typical win:
@@ -205,20 +234,20 @@ class CaseSplitSolver {
     // probe is a push/solve/pop round on the one working system, re-solved
     // warm from the base basis.
     for (const Conditional& cond : conditionals_) {
-      work_.PushCheckpoint();
-      work_.AddConstraint(cond.premise, RelOp::kEq, BigInt(0));
+      work_->PushCheckpoint();
+      work_->AddConstraint(cond.premise, RelOp::kEq, BigInt(0));
       bool premise_can_vanish = ProbeLp(base_tab, tab_ok);
-      work_.PopCheckpoint();
+      work_->PopCheckpoint();
       if (premise_can_vanish) {
         active_.push_back(cond);
         continue;
       }
-      work_.AddConstraint(cond.conclusion, RelOp::kGe, BigInt(1));
+      work_->AddConstraint(cond.conclusion, RelOp::kGe, BigInt(1));
       if (tab_ok && options_.warm_start) {
         // Extend the working basis over the freshly forced row so later
         // probes and the DFS root stay warm; on failure the basis simply
         // keeps covering its old prefix (still a valid warm seed).
-        WarmResult warm = ReSolveLpFeasibilityDual(work_, &base_tab);
+        WarmResult warm = ReSolveLpFeasibilityDual(*work_, &base_tab);
         pivots_ += warm.lp.pivots;
         if (warm.status == WarmStatus::kOk) {
           ++warm_starts_;
@@ -234,6 +263,8 @@ class CaseSplitSolver {
     SearchShared shared;
     shared.active = &active_;
     shared.options = options_;
+    // DFS leaf solves may run on pool threads — a shared scratch would race.
+    shared.options.root_scratch = nullptr;
     RunSearch(&base_tab, tab_ok, &shared);
 
     if (shared.found.load()) {
@@ -277,7 +308,7 @@ class CaseSplitSolver {
   bool ProbeLp(const LpTableau& base_tab, bool tab_ok) {
     if (tab_ok && options_.warm_start) {
       LpTableau probe = base_tab;
-      WarmResult warm = ReSolveLpFeasibilityDual(work_, &probe);
+      WarmResult warm = ReSolveLpFeasibilityDualInPlace(*work_, &probe);
       pivots_ += warm.lp.pivots;
       if (warm.status == WarmStatus::kOk) {
         ++warm_starts_;
@@ -285,7 +316,7 @@ class CaseSplitSolver {
       }
     }
     ++cold_restarts_;
-    LpResult lp = SolveLpFeasibility(work_);
+    LpResult lp = SolveLpFeasibility(*work_);
     pivots_ += lp.pivots;
     return lp.feasible;
   }
@@ -294,7 +325,7 @@ class CaseSplitSolver {
     const LpTableau* root = tab_ok ? root_tab : nullptr;
     const size_t threads = options_.num_threads;
     if (threads <= 1 || active_.size() < 2) {
-      SplitWorker worker(shared, &work_);
+      SplitWorker worker(shared, work_);
       worker.Explore(0, root);
       FlushWorker(worker);
       return;
@@ -329,7 +360,7 @@ class CaseSplitSolver {
               shared->budget_hit.load(std::memory_order_relaxed)) {
             return;
           }
-          LinearSystem local = work_;
+          LinearSystem local = *work_;
           for (size_t level = 0; level < levels; ++level) {
             const Conditional& cond = active_[level];
             if ((mask >> level) & 1) {
@@ -387,7 +418,8 @@ class CaseSplitSolver {
     return out;
   }
 
-  LinearSystem work_;
+  std::optional<LinearSystem> owned_;  // Copying mode only.
+  LinearSystem* work_;                 // Points at owned_ or the caller's.
   const std::vector<Conditional>& conditionals_;
   std::vector<Conditional> active_;  // Survivors of presolve.
   IlpOptions options_;
@@ -407,6 +439,18 @@ class CaseSplitSolver {
 Result<IlpSolution> SolveWithConditionals(
     const LinearSystem& base, const std::vector<Conditional>& conditionals,
     const IlpOptions& options, CaseSplitWarmContext* warm) {
+  CaseSplitSolver solver(base, conditionals, options, warm);
+  return solver.Run();
+}
+
+Result<IlpSolution> SolveWithConditionalsInPlace(
+    LinearSystem* base, const std::vector<Conditional>& conditionals,
+    const IlpOptions& options, CaseSplitWarmContext* warm) {
+  // One enclosing checkpoint rolls back everything the solver appends —
+  // including presolve's forced-conclusion rows, which land outside the
+  // solver's own per-branch checkpoints by design (they hold for the whole
+  // solve, but not beyond it).
+  TrailScope scope(base);
   CaseSplitSolver solver(base, conditionals, options, warm);
   return solver.Run();
 }

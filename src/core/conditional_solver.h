@@ -27,6 +27,12 @@ struct Conditional {
 struct CaseSplitWarmContext {
   LpTableau base_tableau;
   bool valid = false;
+  /// Scratch the optimistic-leaf solve's root node copies `base_tableau`
+  /// into (see IlpOptions::root_scratch). Lives here so its vector capacity
+  /// persists across the context's many solves; never touched by the
+  /// parallel DFS workers, so single-ownership follows from the context's
+  /// own one-thread contract.
+  LpTableau root_scratch;
 };
 
 /// Decides feasibility of `base` (nonnegative integers) subject to the
@@ -55,6 +61,20 @@ struct CaseSplitWarmContext {
 /// both.
 Result<IlpSolution> SolveWithConditionals(
     const LinearSystem& base, const std::vector<Conditional>& conditionals,
+    const IlpOptions& options = {}, CaseSplitWarmContext* warm = nullptr);
+
+/// Same decision, but operates directly on `*base` through its trail instead
+/// of copying it: every row the solver appends (case resolutions, presolve's
+/// forced conclusions, branch bounds) sits above one checkpoint pushed on
+/// entry and popped before returning, so `*base` is byte-identical afterwards.
+/// This is what makes Σ-delta re-checks cheap — a session keeps ONE system
+/// holding the compiled skeleton, pushes the per-query rows, and solves here
+/// without ever re-copying the skeleton. `warm` follows the same contract as
+/// SolveWithConditionals: pass a context whose tableau was solved against the
+/// rows present in `*base` at entry (e.g. the skeleton basis) with
+/// `valid = true`, and it is reused as-is across calls.
+Result<IlpSolution> SolveWithConditionalsInPlace(
+    LinearSystem* base, const std::vector<Conditional>& conditionals,
     const IlpOptions& options = {}, CaseSplitWarmContext* warm = nullptr);
 
 }  // namespace xicc

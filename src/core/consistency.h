@@ -54,6 +54,17 @@ struct ConsistencyStats {
   size_t cold_restarts = 0;
   /// Wall time spent inside the ILP search (case-split + branch-and-bound).
   double ilp_wall_ms = 0.0;
+
+  // Spec-session counters (zero outside SpecSession / CheckBatch paths).
+  /// Wall time spent compiling the DTD artifact bundle, charged to the
+  /// query that triggered compilation (0 afterwards — that is the point).
+  double compile_ms = 0.0;
+  /// Queries answered by pushing only C_Σ rows onto the compiled skeleton's
+  /// trail instead of rebuilding Ψ(D,Σ) from scratch.
+  size_t sigma_delta_checks = 0;
+  /// Memo-cache hits/misses for canonicalized Σ within a session.
+  size_t memo_hits = 0;
+  size_t memo_misses = 0;
 };
 
 struct ConsistencyResult {

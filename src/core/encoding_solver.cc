@@ -56,18 +56,30 @@ bool SupportIsConnected(const CardinalityEncoding& encoding,
 Result<IlpSolution> SolveEncodingSystem(const CardinalityEncoding& encoding,
                                         const LinearSystem& system,
                                         const EncodingSolveOptions& options) {
-  std::vector<Conditional> conditionals = encoding.conditionals;
+  LinearSystem work = system;
+  return SolveEncodingSystemInPlace(encoding, &work, encoding.conditionals,
+                                    options, /*warm=*/nullptr);
+}
+
+Result<IlpSolution> SolveEncodingSystemInPlace(
+    const CardinalityEncoding& encoding, LinearSystem* system,
+    const std::vector<Conditional>& base_conditionals,
+    const EncodingSolveOptions& options, CaseSplitWarmContext* warm) {
+  std::vector<Conditional> conditionals = base_conditionals;
   IlpSolution accumulated;
   // The base system never changes across connectivity rounds — only the
   // conditional set grows by one lazy cut per round — so the base LP basis
-  // is factorized cold once and every later round's presolve probes and DFS
-  // root become warm dual-simplex re-solves against it.
-  CaseSplitWarmContext warm;
+  // is factorized cold once (or supplied pre-factorized by a session) and
+  // every later round's presolve probes and DFS root become warm
+  // dual-simplex re-solves against it.
+  CaseSplitWarmContext local_warm;
+  if (warm == nullptr) warm = &local_warm;
   for (size_t round = 0; round < options.max_connectivity_rounds; ++round) {
     Result<IlpSolution> solved =
         options.strategy == EncodingStrategy::kCaseSplit
-            ? SolveWithConditionals(system, conditionals, options.ilp, &warm)
-            : SolveIlp(ApplyBigMLinearization(system, conditionals),
+            ? SolveWithConditionalsInPlace(system, conditionals, options.ilp,
+                                           warm)
+            : SolveIlp(ApplyBigMLinearization(*system, conditionals),
                        options.ilp);
     if (!solved.ok()) return solved.status();
     solved->nodes_explored += accumulated.nodes_explored;

@@ -39,6 +39,20 @@ Result<IlpSolution> SolveEncodingSystem(const CardinalityEncoding& encoding,
                                         const LinearSystem& system,
                                         const EncodingSolveOptions& options);
 
+/// The Σ-delta entry point: same decision, but `*system` is solved in place
+/// through its trail (restored to its entry state on return) and the
+/// conditional set is the caller's — a spec session passes the conditionals
+/// of the pairs its query mentions rather than the full encoding's.
+/// `encoding` supplies only the support graph (ext_var / occurrences /
+/// simplified root) for the lazy connectivity cuts. `warm` follows the
+/// CaseSplitWarmContext contract: a caller-provided valid tableau must have
+/// been solved against a row-prefix of `*system`'s entry state (the compiled
+/// skeleton basis) and is then reused read-only across every round and call.
+Result<IlpSolution> SolveEncodingSystemInPlace(
+    const CardinalityEncoding& encoding, LinearSystem* system,
+    const std::vector<Conditional>& conditionals,
+    const EncodingSolveOptions& options, CaseSplitWarmContext* warm = nullptr);
+
 /// True iff every element type with ext > 0 is reachable from the root via
 /// occurrence variables with positive solution values. Exposed for tests.
 bool SupportIsConnected(const CardinalityEncoding& encoding,

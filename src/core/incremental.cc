@@ -4,6 +4,14 @@
 
 namespace xicc {
 
+Status IncrementalChecker::EnsureSession() {
+  if (mode_ != Mode::kSession || session_ != nullptr) return Status::Ok();
+  XICC_ASSIGN_OR_RETURN(std::shared_ptr<const CompiledDtd> compiled,
+                        CompileDtd(*dtd_));
+  session_ = std::make_unique<SpecSession>(std::move(compiled), options_);
+  return Status::Ok();
+}
+
 Result<IncrementalChecker::AddResult> IncrementalChecker::TryAdd(
     const Constraint& constraint) {
   {
@@ -11,6 +19,7 @@ Result<IncrementalChecker::AddResult> IncrementalChecker::TryAdd(
     single.Add(constraint);
     XICC_RETURN_IF_ERROR(single.CheckAgainst(*dtd_));
   }
+  XICC_RETURN_IF_ERROR(EnsureSession());
 
   // Syntactic duplicates are redundant without any solving.
   {
@@ -29,35 +38,68 @@ Result<IncrementalChecker::AddResult> IncrementalChecker::TryAdd(
     if (duplicate) {
       accepted_.Add(constraint);
       return AddResult{Outcome::kAcceptedRedundant,
-                       "already stated by the accepted constraints"};
+                       "already stated by the accepted constraints", {}};
     }
   }
 
-  // Semantically implied? Then adding it cannot change anything.
+  // Semantically implied? Then adding it cannot change anything. The
+  // session answers this against its committed set (= accepted_); fresh
+  // mode keeps the refutation verdict-only, as witnesses are never reported
+  // for redundant additions.
   if (check_redundancy_) {
-    XICC_ASSIGN_OR_RETURN(
-        ImplicationResult implication,
-        CheckImplication(*dtd_, accepted_, constraint, options_));
+    ImplicationResult implication;
+    if (session_ != nullptr) {
+      XICC_ASSIGN_OR_RETURN(implication, session_->Implies(constraint));
+    } else {
+      ConsistencyOptions verdict_only = options_;
+      verdict_only.build_witness = false;
+      verdict_only.verify_witness = false;
+      XICC_ASSIGN_OR_RETURN(
+          implication,
+          CheckImplication(*dtd_, accepted_, constraint, verdict_only));
+    }
     if (implication.implied) {
       accepted_.Add(constraint);
+      // Keep the session's committed set aligned with accepted_ (a
+      // normalization-level duplicate, so every canonical key is unchanged).
+      if (session_ != nullptr) {
+        ConstraintSet delta;
+        delta.Add(constraint);
+        XICC_RETURN_IF_ERROR(session_->Commit(delta));
+      }
       return AddResult{Outcome::kAcceptedRedundant,
-                       "already implied by the accepted constraints"};
+                       "already implied by the accepted constraints", {}};
     }
   }
 
-  ConstraintSet candidate = accepted_;
-  candidate.Add(constraint);
-  XICC_ASSIGN_OR_RETURN(ConsistencyResult consistency,
-                        CheckConsistency(*dtd_, candidate, options_));
+  ConsistencyResult consistency;
+  if (session_ != nullptr) {
+    // Σ-delta: accepted_ is committed in the session, so only the new
+    // constraint's C_Σ rows ride the trail.
+    ConstraintSet delta;
+    delta.Add(constraint);
+    XICC_ASSIGN_OR_RETURN(consistency, session_->Check(delta));
+  } else {
+    ConstraintSet candidate = accepted_;
+    candidate.Add(constraint);
+    XICC_ASSIGN_OR_RETURN(consistency,
+                          CheckConsistency(*dtd_, candidate, options_));
+  }
   if (!consistency.consistent) {
     return AddResult{
         Outcome::kRejected,
         "adding '" + constraint.ToString() +
             "' makes the specification inconsistent: " +
-            consistency.explanation};
+            consistency.explanation,
+        {}};
   }
-  accepted_ = std::move(candidate);
-  return AddResult{Outcome::kAccepted, ""};
+  accepted_.Add(constraint);
+  if (session_ != nullptr) {
+    ConstraintSet delta;
+    delta.Add(constraint);
+    XICC_RETURN_IF_ERROR(session_->Commit(delta));
+  }
+  return AddResult{Outcome::kAccepted, "", std::move(consistency.witness)};
 }
 
 Result<EquivalenceResult> CheckEquivalence(const Dtd& dtd,

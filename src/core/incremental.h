@@ -1,10 +1,13 @@
 #ifndef XICC_CORE_INCREMENTAL_H_
 #define XICC_CORE_INCREMENTAL_H_
 
+#include <memory>
+#include <optional>
 #include <string>
 
 #include "core/consistency.h"
 #include "core/implication.h"
+#include "core/spec_session.h"
 
 namespace xicc {
 
@@ -17,19 +20,34 @@ namespace xicc {
 /// each TryAdd re-runs consistency (PTIME for the fixed DTD) and either
 /// commits the constraint or reports why it must be rejected, flagging
 /// already-implied additions along the way.
+///
+/// By default the checker runs on a SpecSession: the DTD is compiled once on
+/// the first TryAdd and every later check appends only the new constraint's
+/// C_Σ rows onto the compiled skeleton's trail — one build plus n deltas
+/// instead of n full rebuilds. Mode::kFresh keeps the rebuild-per-call
+/// behaviour (the ablation baseline); verdicts are identical in both modes.
 class IncrementalChecker {
  public:
+  enum class Mode {
+    kSession,  ///< Compile once, Σ-delta per TryAdd (default).
+    kFresh,    ///< Rebuild Ψ(D,Σ) on every TryAdd.
+  };
+
   /// The DTD must outlive the checker. `check_redundancy` controls whether
   /// each addition is first tested for being implied (an extra refutation
   /// call — for inclusions it routes through the exponential Section 5
   /// system); with it off, every consistent addition reports kAccepted.
+  /// Witness construction follows `options.build_witness` (with
+  /// min_witness_nodes respected); disable it there to keep TryAdd
+  /// verdict-only.
   explicit IncrementalChecker(const Dtd* dtd,
                               const ConsistencyOptions& options = {},
-                              bool check_redundancy = true)
-      : dtd_(dtd), options_(options), check_redundancy_(check_redundancy) {
-    options_.build_witness = false;
-    options_.verify_witness = false;
-  }
+                              bool check_redundancy = true,
+                              Mode mode = Mode::kSession)
+      : dtd_(dtd),
+        options_(options),
+        check_redundancy_(check_redundancy),
+        mode_(mode) {}
 
   enum class Outcome {
     kAccepted,          ///< Consistent with everything accepted so far.
@@ -40,6 +58,9 @@ class IncrementalChecker {
   struct AddResult {
     Outcome outcome;
     std::string explanation;
+    /// On kAccepted with options.build_witness: a checked witness of the
+    /// whole accepted set including the new constraint.
+    std::optional<XmlTree> witness;
   };
 
   /// Attempts to add `constraint`. Rejected constraints leave the accepted
@@ -49,10 +70,22 @@ class IncrementalChecker {
   /// The constraints accepted so far (in acceptance order).
   const ConstraintSet& accepted() const { return accepted_; }
 
+  /// Session statistics (zero counters in Mode::kFresh or before the first
+  /// TryAdd).
+  SpecSessionStats session_stats() const {
+    return session_ != nullptr ? session_->stats() : SpecSessionStats{};
+  }
+
  private:
+  /// Compiles the DTD on first use (compilation can fail, so it cannot live
+  /// in the constructor).
+  Status EnsureSession();
+
   const Dtd* dtd_;
   ConsistencyOptions options_;
   bool check_redundancy_;
+  Mode mode_;
+  std::unique_ptr<SpecSession> session_;
   ConstraintSet accepted_;
 };
 

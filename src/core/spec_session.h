@@ -1,0 +1,187 @@
+#ifndef XICC_CORE_SPEC_SESSION_H_
+#define XICC_CORE_SPEC_SESSION_H_
+
+#include <list>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/consistency.h"
+#include "core/implication.h"
+#include "core/witness.h"
+#include "dtd/compiled.h"
+#include "ilp/simplex.h"
+
+namespace xicc {
+
+/// Everything about a DTD that consistency and implication queries reuse,
+/// compiled once and shared read-only — the systems realization of
+/// Corollary 4.11's fixed-DTD regime ("one often defines the DTD of a
+/// specification at one time, but writes constraints in stages"). All
+/// members are immutable after CompileDtd returns; a single instance may be
+/// shared by any number of sessions and threads.
+struct CompiledDtd {
+  /// Owning copy of the source DTD (regex ASTs are shared RegexPtr nodes,
+  /// so pointer-keyed tables below stay valid for this copy).
+  Dtd dtd;
+  /// Linear-time grammar facts: productive/reachable sets, emptiness,
+  /// Lemma 3.6 multiplicities.
+  DtdFacts facts;
+  /// Frozen Glushkov DFAs, one per content model (thread-safe matching).
+  CompiledContentModels content_models;
+  /// Knuth shortest-derivation table for minimal-witness construction.
+  MinimalTreePlan minimal_plan;
+  /// The Σ-independent skeleton of Ψ(D,Σ): simplified DTD, ext and
+  /// occurrence variables with their production/root/sum rows, unproductive
+  /// pins, and — unlike a fresh per-query encoding — ext(τ.l) variables with
+  /// their ext(τ.l) ≤ ext(τ) bound rows for EVERY declared attribute pair.
+  /// Pre-creating all pairs means a query only ever appends ROWS, never
+  /// variables, which is exactly the precondition for dual-simplex warm
+  /// starts from the skeleton basis. (Unmentioned pairs are sound: their
+  /// variables are constrained only by 0 ≤ ext(τ.l) ≤ ext(τ), so any
+  /// solution of the mentioned-pairs-only system extends to one here and
+  /// vice versa by projection — verdicts are identical.)
+  CardinalityEncoding skeleton;
+  /// The skeleton LP's optimal basis, factorized cold exactly once at
+  /// compile time. Valid for warm re-solves of any skeleton + C_Σ system
+  /// because the skeleton rows form a prefix of every session system.
+  LpTableau skeleton_tableau;
+  bool skeleton_tableau_valid = false;
+  /// Wall time CompileDtd spent, for the compile-vs-query ablation.
+  double compile_ms = 0.0;
+};
+
+/// Compiles `dtd` into the shared artifact bundle. Fails only if the DTD
+/// cannot be simplified (SimplifyDtd) — an empty-language DTD still compiles
+/// (facts.has_valid_tree = false answers every query immediately).
+Result<std::shared_ptr<const CompiledDtd>> CompileDtd(const Dtd& dtd);
+
+/// Session-cumulative counters, aggregated across every query answered.
+struct SpecSessionStats {
+  size_t queries = 0;
+  /// Queries answered by pushing only C_Σ rows onto the compiled skeleton's
+  /// trail (one PushCheckpoint / append / solve / PopCheckpoint round).
+  size_t sigma_delta_checks = 0;
+  /// Queries routed through the fresh CheckConsistency / CheckImplication
+  /// pipeline (negated inclusions, undecidable classes, key
+  /// counterexamples).
+  size_t fresh_fallbacks = 0;
+  size_t memo_hits = 0;
+  size_t memo_misses = 0;
+  size_t memo_evictions = 0;
+};
+
+/// A consistency-checking session against one compiled DTD.
+///
+/// The session owns ONE mutable copy of the skeleton system; each Check
+/// pushes a checkpoint, appends the query's C_Σ rows (Lemma 4.4: keys
+/// ext(τ.l) = ext(τ), inclusions ext(τ1.l1) ≤ ext(τ2.l2), negated keys
+/// ext(τ.l) ≤ ext(τ) − 1), solves in place warm-started from the compiled
+/// skeleton basis, and pops — Θ(|Σ|) incremental work where a fresh check
+/// rebuilds and refactorizes the full Ψ(D,Σ).
+///
+/// Verdicts are identical to CheckConsistency on the same (D, Σ); witness
+/// *bytes* may differ (a different LP vertex realizes a different tree), but
+/// session witnesses are verified the same way (re-validated against the DTD
+/// and re-evaluated on Σ) before being returned.
+///
+/// Committed constraints (Commit/Rollback) become part of every later
+/// query — the incremental-authoring workflow: commit the accepted set,
+/// Check each candidate as a one-constraint delta.
+///
+/// Not thread-safe: one session per thread. Sessions sharing a CompiledDtd
+/// are cheap (one LinearSystem + one tableau copy, no solving).
+class SpecSession {
+ public:
+  explicit SpecSession(std::shared_ptr<const CompiledDtd> compiled,
+                       const ConsistencyOptions& options = {},
+                       size_t memo_capacity = 128);
+
+  const CompiledDtd& compiled() const { return *compiled_; }
+  const ConsistencyOptions& options() const { return options_; }
+
+  /// Consistency of committed() ∪ `sigma` over the compiled DTD. Same
+  /// dispatch as CheckConsistency (Figure 5), with the NP cells answered by
+  /// the Σ-delta path and the linear cells by the precomputed facts.
+  Result<ConsistencyResult> Check(const ConstraintSet& sigma);
+
+  /// (D, committed()) ⊢ φ, same dispatch as CheckImplication; the
+  /// refutation path reuses Check (and therefore the skeleton + memo).
+  Result<ImplicationResult> Implies(const Constraint& phi);
+
+  /// Makes `sigma` part of every later query, as one layer. Does NOT check
+  /// consistency — pair with Check first when that matters.
+  ///
+  /// Committing is what makes the authoring loop Σ-delta rather than
+  /// Σ-rebuild: the layer's C_Σ rows are appended to the session system
+  /// permanently (under a commit checkpoint), so every later Check pushes
+  /// only its own delta's rows onto the trail; the committed rows ride the
+  /// solver's dual re-solve from the skeleton basis.
+  Status Commit(const ConstraintSet& sigma);
+  /// Drops the most recent Commit layer (no-op with nothing committed).
+  void Rollback();
+  const ConstraintSet& committed() const { return committed_; }
+
+  const SpecSessionStats& stats() const { return stats_; }
+
+ private:
+  struct MemoEntry {
+    ConsistencyResult result;
+    std::list<std::string>::iterator lru_pos;
+  };
+
+  enum class DeltaKind {
+    /// A linear-cell query with min_witness_nodes > 0: C_Σ = ∅, only the
+    /// size row rides the trail; method/explanations stay linear-cell.
+    kMinSizeOnly,
+    /// The NP cells (kUnaryKeyFk / kUnaryWithNegKey): full C_Σ delta.
+    kCardinality,
+  };
+
+  /// Trail-delta solve over the session system: pushes `encoded`'s C_Σ rows
+  /// (plus the min-size row), solves warm, pops. Witnesses are verified
+  /// against `evaluate` (the full normalized set — for min-size queries in
+  /// the keys-only cell, `encoded` is empty but the keys still hold by
+  /// distinct valuation).
+  Result<ConsistencyResult> CheckDelta(const ConstraintSet& encoded,
+                                       const ConstraintSet& evaluate,
+                                       ConsistencyResult result,
+                                       DeltaKind kind);
+
+  /// Appends the one C_Σ row of a normalized unary key / negated key /
+  /// inclusion to the session system (Lemma 4.4 shapes). The caller decides
+  /// which checkpoint the row lives under.
+  void AppendConstraintRow(const Constraint& c);
+
+  /// Cache plumbing around the dispatch.
+  Result<ConsistencyResult> CheckUncached(const ConstraintSet& combined);
+  const ConsistencyResult* MemoLookup(const std::string& key);
+  void MemoStore(const std::string& key, const ConsistencyResult& result);
+
+  std::shared_ptr<const CompiledDtd> compiled_;
+  ConsistencyOptions options_;
+  /// Session working system: the skeleton rows, with per-query C_Σ rows
+  /// living and dying above trail checkpoints.
+  LinearSystem system_;
+  /// The compiled skeleton basis wrapped for the solver; valid = true, so
+  /// the case-split solver reuses it read-only and never overwrites it.
+  CaseSplitWarmContext warm_;
+  ConstraintSet committed_;
+  std::vector<size_t> commit_layers_;  // Size of committed_ before each layer.
+  /// Normalized committed constraints whose C_Σ rows sit permanently in
+  /// system_ (rendered via ToString); CheckDelta skips re-pushing these.
+  std::set<std::string> encoded_committed_;
+
+  size_t memo_capacity_;
+  std::map<std::string, MemoEntry> memo_;
+  std::list<std::string> lru_;  // Front = most recently used.
+
+  SpecSessionStats stats_;
+  bool charged_compile_ = false;  // compile_ms reported on the first query.
+};
+
+}  // namespace xicc
+
+#endif  // XICC_CORE_SPEC_SESSION_H_

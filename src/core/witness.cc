@@ -1,9 +1,10 @@
 #include "core/witness.h"
 
+#include <array>
 #include <deque>
 #include <functional>
 #include <limits>
-#include <array>
+#include <memory>
 #include <queue>
 #include <set>
 
@@ -56,7 +57,7 @@ XmlTree CollapseSynthetic(const XmlTree& in,
 /// and the +1 of element expansion are monotone superior functions.
 class DerivationCosts {
  public:
-  explicit DerivationCosts(const Dtd& dtd) : dtd_(dtd) { Compute(); }
+  explicit DerivationCosts(const Dtd& dtd) { Compute(dtd); }
 
   bool Derivable(const std::string& type) const {
     return TypeCost(type) < kInfiniteCost;
@@ -88,7 +89,7 @@ class DerivationCosts {
     return it == type_cost_.end() ? kInfiniteCost : it->second;
   }
 
-  void Compute() {
+  void Compute(const Dtd& dtd) {
     // Build AST tables.
     std::function<int(const Regex&, const std::string&)> build =
         [&](const Regex& regex, const std::string& owner) -> int {
@@ -115,8 +116,8 @@ class DerivationCosts {
       }
       return id;
     };
-    for (const std::string& type : dtd_.elements()) {
-      int root = build(*dtd_.ContentOf(type), type);
+    for (const std::string& type : dtd.elements()) {
+      int root = build(*dtd.ContentOf(type), type);
       nodes_[root].is_content_root = true;
       content_root_[type] = root;
     }
@@ -222,7 +223,6 @@ class DerivationCosts {
     return it == record_of_.end() ? nullptr : it->second;
   }
 
-  const Dtd& dtd_;
   std::vector<AstNode> nodes_;
   std::map<std::string, std::vector<int>> elem_leaves_;
   std::map<std::string, int> content_root_;
@@ -230,14 +230,12 @@ class DerivationCosts {
   std::map<const Regex*, const AstNode*> record_of_;
 };
 
-}  // namespace
-
-Result<XmlTree> BuildMinimalTree(const Dtd& dtd) {
-  if (!DtdHasValidTree(dtd)) {
+Result<XmlTree> ExpandMinimalTree(const DerivationCosts& costs,
+                                  const Dtd& dtd) {
+  if (!costs.Derivable(dtd.root())) {
     return Status::InvalidArgument(
         "the DTD has no valid finite tree (root is unproductive)");
   }
-  DerivationCosts costs(dtd);
   XmlTree tree(dtd.root());
   costs.Expand(dtd, &tree, tree.root(), dtd.root());
 
@@ -251,6 +249,33 @@ Result<XmlTree> BuildMinimalTree(const Dtd& dtd) {
     }
   }
   return tree;
+}
+
+}  // namespace
+
+Result<XmlTree> BuildMinimalTree(const Dtd& dtd) {
+  DerivationCosts costs(dtd);
+  return ExpandMinimalTree(costs, dtd);
+}
+
+struct MinimalTreePlan::Impl {
+  explicit Impl(const Dtd& dtd) : costs(dtd) {}
+  DerivationCosts costs;
+};
+
+MinimalTreePlan::MinimalTreePlan(const Dtd& dtd)
+    : impl_(std::make_unique<Impl>(dtd)) {}
+MinimalTreePlan::~MinimalTreePlan() = default;
+MinimalTreePlan::MinimalTreePlan(MinimalTreePlan&&) noexcept = default;
+MinimalTreePlan& MinimalTreePlan::operator=(MinimalTreePlan&&) noexcept =
+    default;
+
+bool MinimalTreePlan::Derivable(const std::string& type) const {
+  return impl_->costs.Derivable(type);
+}
+
+Result<XmlTree> MinimalTreePlan::Build(const Dtd& dtd) const {
+  return ExpandMinimalTree(impl_->costs, dtd);
 }
 
 std::map<std::pair<std::string, std::string>, std::vector<std::string>>

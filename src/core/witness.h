@@ -2,6 +2,7 @@
 #define XICC_CORE_WITNESS_H_
 
 #include <map>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -18,6 +19,32 @@ namespace xicc {
 /// top-down expansion following the recorded choices — near-linear, so the
 /// Theorem 3.5 fast paths stay fast.
 Result<XmlTree> BuildMinimalTree(const Dtd& dtd);
+
+/// The Knuth shortest-derivation table behind BuildMinimalTree, computed
+/// once and reusable: Build() only walks the recorded choices, so repeated
+/// minimal-witness requests against the same DTD skip the Dijkstra pass.
+/// All mutation happens in the constructor; every const method is safe to
+/// call concurrently. The table keys on regex AST pointers (RegexPtr nodes
+/// are shared across Dtd copies), so Build() accepts the constructing Dtd
+/// or any copy of it.
+class MinimalTreePlan {
+ public:
+  explicit MinimalTreePlan(const Dtd& dtd);
+  ~MinimalTreePlan();
+  MinimalTreePlan(MinimalTreePlan&&) noexcept;
+  MinimalTreePlan& operator=(MinimalTreePlan&&) noexcept;
+
+  /// True iff a finite tree rooted at `type` exists (`type` is productive).
+  bool Derivable(const std::string& type) const;
+
+  /// The BuildMinimalTree result, from the precomputed table. `dtd` must be
+  /// the DTD this plan was built from (or a copy sharing its regex ASTs).
+  Result<XmlTree> Build(const Dtd& dtd) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 /// The Lemma 4.4 value realization for constraint sets *without* negated
 /// inclusions: every mentioned pair (τ,l) takes the first ext(τ.l) values of

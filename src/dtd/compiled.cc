@@ -1,0 +1,34 @@
+#include "dtd/compiled.h"
+
+namespace xicc {
+
+DtdFacts ComputeDtdFacts(const Dtd& dtd) {
+  DtdFacts facts;
+  facts.productive = ProductiveElements(dtd);
+  facts.reachable = ReachableElements(dtd);
+  facts.has_valid_tree = DtdHasValidTree(dtd);
+  for (const std::string& type : dtd.elements()) {
+    facts.multiplicity[type] = MaxMultiplicity(dtd, type);
+  }
+  return facts;
+}
+
+CompiledContentModels CompiledContentModels::Build(const Dtd& dtd,
+                                                   size_t max_states) {
+  CompiledContentModels out;
+  for (const std::string& type : dtd.elements()) {
+    auto matcher = std::make_shared<ContentModelMatcher>(dtd.ContentOf(type));
+    if (matcher->Freeze(max_states)) {
+      out.matchers_.emplace(type, std::move(matcher));
+    }
+  }
+  return out;
+}
+
+const ContentModelMatcher* CompiledContentModels::MatcherFor(
+    const std::string& type) const {
+  auto it = matchers_.find(type);
+  return it == matchers_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace xicc

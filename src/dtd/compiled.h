@@ -1,0 +1,53 @@
+#ifndef XICC_DTD_COMPILED_H_
+#define XICC_DTD_COMPILED_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "dtd/analysis.h"
+#include "dtd/dtd.h"
+#include "dtd/glushkov.h"
+
+namespace xicc {
+
+/// The linear-time grammar facts of Section 3, computed once per DTD and
+/// shared read-only across queries and threads (Theorem 3.5(1), Lemma 3.6).
+struct DtdFacts {
+  std::set<std::string> productive;
+  std::set<std::string> reachable;
+  bool has_valid_tree = false;
+  /// Lemma 3.6 multiplicity per declared element type.
+  std::map<std::string, Multiplicity> multiplicity;
+};
+
+DtdFacts ComputeDtdFacts(const Dtd& dtd);
+
+/// One Glushkov matcher per element type, frozen into an immutable DFA so a
+/// single instance can serve concurrent validations. Content models whose
+/// subset construction blows past the state cap are simply not cached —
+/// MatcherFor returns nullptr and the caller builds a private lazy matcher.
+class CompiledContentModels {
+ public:
+  CompiledContentModels() = default;
+
+  /// Builds and freezes a matcher for every element type of `dtd`.
+  /// `max_states` caps the eager subset construction per content model.
+  static CompiledContentModels Build(const Dtd& dtd, size_t max_states = 4096);
+
+  /// The frozen matcher for `type`, or nullptr when the type is unknown or
+  /// its DFA exceeded the freeze cap. Never returns an unfrozen matcher.
+  const ContentModelMatcher* MatcherFor(const std::string& type) const;
+
+  size_t size() const { return matchers_.size(); }
+
+ private:
+  // shared_ptr so CompiledContentModels itself stays cheaply copyable while
+  // the (large) frozen DFAs are built exactly once.
+  std::map<std::string, std::shared_ptr<const ContentModelMatcher>> matchers_;
+};
+
+}  // namespace xicc
+
+#endif  // XICC_DTD_COMPILED_H_

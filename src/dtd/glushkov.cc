@@ -105,6 +105,17 @@ int ContentModelMatcher::Step(int state, const std::string& symbol) const {
   // was just consumed; from the start state the enterable positions are
   // `first`, afterwards the union of `follow`.
   if (state == kDeadState) return kDeadState;
+  if (frozen_) {
+    // Every reachable (state, position-symbol) transition was materialized
+    // by Freeze(); a lookup miss can only mean a symbol with no position,
+    // which always dies. Pure reads — safe under concurrent use.
+    if (state == kStartState) {
+      auto it = frozen_start_.find(symbol);
+      return it == frozen_start_.end() ? kDeadState : it->second;
+    }
+    auto it = transitions_[state].find(symbol);
+    return it == transitions_[state].end() ? kDeadState : it->second;
+  }
   PositionSet next;
   if (state == kStartState) {
     for (int p : first_) {
@@ -122,6 +133,30 @@ int ContentModelMatcher::Step(int state, const std::string& symbol) const {
   int next_state = next.empty() ? kDeadState : StateFor(next);
   if (state != kStartState) transitions_[state][symbol] = next_state;
   return next_state;
+}
+
+bool ContentModelMatcher::Freeze(size_t max_states) {
+  if (frozen_) return true;
+  // The only symbols that can lead anywhere are the position symbols; every
+  // other symbol's successor set is empty (dead) and needs no table entry.
+  std::set<std::string> alphabet(symbols_.begin(), symbols_.end());
+  std::map<std::string, int> start;
+  for (const std::string& symbol : alphabet) {
+    int next = Step(kStartState, symbol);
+    if (next != kDeadState) start[symbol] = next;
+  }
+  // BFS over the lazily numbered states: states_ grows monotonically as
+  // Step discovers successors, so a simple index sweep reaches closure.
+  for (size_t id = 0; id < states_.size(); ++id) {
+    if (states_.size() > max_states) return false;
+    for (const std::string& symbol : alphabet) {
+      Step(static_cast<int>(id), symbol);
+    }
+  }
+  if (states_.size() > max_states) return false;
+  frozen_start_ = std::move(start);
+  frozen_ = true;
+  return true;
 }
 
 bool ContentModelMatcher::AcceptsAt(int state) const {

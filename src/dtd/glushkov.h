@@ -26,6 +26,17 @@ class ContentModelMatcher {
   /// is in the language of the content model.
   bool Matches(const std::vector<std::string>& word) const;
 
+  /// Materializes the full subset construction eagerly, up to `max_states`
+  /// DFA states. Returns true on success; the matcher is then immutable and
+  /// every const method is safe to call from multiple threads concurrently
+  /// (the lazy path mutates memo tables on first sight and is NOT). The
+  /// closure only needs transitions over the symbols that actually occur as
+  /// positions — any other symbol steps to the dead state without a lookup
+  /// miss being recorded. On failure (state blowup past the cap) the matcher
+  /// stays in its lazy, single-threaded mode and keeps working.
+  bool Freeze(size_t max_states = 4096);
+  bool frozen() const { return frozen_; }
+
   /// Stepwise interface for streaming validation. States are small ints:
   /// kStartState before any symbol, kDeadState once no run survives,
   /// otherwise a lazily-created DFA state.
@@ -51,11 +62,13 @@ class ContentModelMatcher {
   std::vector<PositionSet> follow_;        // follow(p).
   bool nullable_ = false;
 
-  // Lazy subset construction.
+  // Lazy subset construction; read-only once frozen_ is set.
   mutable std::map<PositionSet, int> state_ids_;
   mutable std::vector<PositionSet> states_;
   mutable std::vector<bool> accepting_;
   mutable std::vector<std::map<std::string, int>> transitions_;
+  std::map<std::string, int> frozen_start_;  // Start transitions, frozen only.
+  bool frozen_ = false;
 };
 
 }  // namespace xicc

@@ -3,6 +3,7 @@
 #include <map>
 
 #include "base/strings.h"
+#include "dtd/compiled.h"
 #include "dtd/glushkov.h"
 
 namespace xicc {
@@ -19,6 +20,12 @@ std::string ValidationReport::ToString() const {
 
 ValidationReport ValidateXml(const XmlTree& tree, const Dtd& dtd,
                              const ValidateOptions& options) {
+  return ValidateXml(tree, dtd, /*models=*/nullptr, options);
+}
+
+ValidationReport ValidateXml(const XmlTree& tree, const Dtd& dtd,
+                             const CompiledContentModels* models,
+                             const ValidateOptions& options) {
   ValidationReport report;
   auto add = [&](NodeId node, std::string message) {
     report.valid = false;
@@ -30,9 +37,14 @@ ValidationReport ValidateXml(const XmlTree& tree, const Dtd& dtd,
                          ">, DTD requires <" + dtd.root() + ">");
   }
 
-  // One matcher per element type, built on demand.
+  // One matcher per element type: the caller's frozen DFA when compiled,
+  // a call-private lazy matcher otherwise.
   std::map<std::string, ContentModelMatcher> matchers;
-  auto matcher_for = [&](const std::string& type) -> ContentModelMatcher& {
+  auto matcher_for = [&](const std::string& type) -> const ContentModelMatcher& {
+    if (models != nullptr) {
+      const ContentModelMatcher* compiled = models->MatcherFor(type);
+      if (compiled != nullptr) return *compiled;
+    }
     auto it = matchers.find(type);
     if (it == matchers.end()) {
       it = matchers.emplace(type, ContentModelMatcher(dtd.ContentOf(type)))
@@ -51,7 +63,7 @@ ValidationReport ValidateXml(const XmlTree& tree, const Dtd& dtd,
 
     // Content model check.
     std::vector<std::string> word = tree.ChildLabelWord(node);
-    ContentModelMatcher& matcher = matcher_for(type);
+    const ContentModelMatcher& matcher = matcher_for(type);
     bool matches = matcher.Matches(word);
     if (!matches && options.implicit_empty_text && word.empty()) {
       matches = matcher.Matches({"S"});

@@ -31,11 +31,22 @@ struct ValidateOptions {
   bool implicit_empty_text = true;
 };
 
+class CompiledContentModels;
+
 /// Checks T |= D per Definition 2.2: every element's type is declared, its
 /// child label word is in L(P(τ)), and it carries exactly the attributes
 /// R(τ). Collects all violations rather than stopping at the first.
 ValidationReport ValidateXml(const XmlTree& tree, const Dtd& dtd,
                              const ValidateOptions& options = {});
+
+/// Same check, but content models are matched through `models` (the frozen
+/// Glushkov DFAs of a CompiledDtd) where available instead of rebuilding the
+/// automata per call. `models` may be null (plain fallback) and must have
+/// been built from a DTD with identical content models. Thread-safe for
+/// concurrent calls sharing one `models`.
+ValidationReport ValidateXml(const XmlTree& tree, const Dtd& dtd,
+                             const CompiledContentModels* models,
+                             const ValidateOptions& options);
 
 }  // namespace xicc
 

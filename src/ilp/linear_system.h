@@ -108,6 +108,23 @@ class LinearSystem {
   std::vector<Checkpoint> trail_;
 };
 
+/// RAII pairing of PushCheckpoint/PopCheckpoint: everything appended to the
+/// system while the scope is alive is rolled back when it closes. Used to
+/// guarantee a shared system (e.g. a compiled skeleton) is returned to its
+/// entry state no matter which path leaves the solver.
+class TrailScope {
+ public:
+  explicit TrailScope(LinearSystem* system) : system_(system) {
+    system_->PushCheckpoint();
+  }
+  ~TrailScope() { system_->PopCheckpoint(); }
+  TrailScope(const TrailScope&) = delete;
+  TrailScope& operator=(const TrailScope&) = delete;
+
+ private:
+  LinearSystem* system_;
+};
+
 }  // namespace xicc
 
 #endif  // XICC_ILP_LINEAR_SYSTEM_H_

@@ -396,4 +396,147 @@ WarmResult ReSolveLpFeasibilityDual(const LinearSystem& system,
   return out;
 }
 
+WarmResult ReSolveLpFeasibilityDualInPlace(const LinearSystem& system,
+                                           LpTableau* tableau) {
+  WarmResult out;
+  const size_t n = system.NumVariables();
+  const size_t m_new = system.NumConstraints();
+
+  // Usability gates identical to the copying variant; nothing has been
+  // touched yet, so kUnusableBasis leaves the tableau intact.
+  if (tableau->num_constraints > m_new) return out;
+  size_t num_structural = 0;
+  for (const LpColumnInfo& column : tableau->columns) {
+    if (column.kind == LpColumnInfo::Kind::kStructural) ++num_structural;
+  }
+  if (num_structural != n) return out;
+  for (int b : tableau->basis) {
+    if (b < 0) return out;
+  }
+
+  const size_t old_rows = tableau->rows.size();
+  const size_t old_cols = tableau->columns.size();
+
+  struct NewRow {
+    size_t constraint;
+    int sub_sign;
+  };
+  std::vector<NewRow> appended;
+  for (size_t k = tableau->num_constraints; k < m_new; ++k) {
+    const RelOp op = system.constraints()[k].op;
+    if (op == RelOp::kLe || op == RelOp::kEq) appended.push_back({k, -1});
+    if (op == RelOp::kGe || op == RelOp::kEq) appended.push_back({k, 1});
+  }
+  const size_t rows = old_rows + appended.size();
+  const size_t total = old_cols + appended.size();
+
+  // Extend the tableau in place: zero cells for the fresh slack columns in
+  // the parent rows (resize default-constructs zeros), then one slack-basic
+  // row per appended half, priced out against the parent basis. Parent rows
+  // carry zeros in the fresh slack columns, so elimination never spills into
+  // other appended rows — construction only reads rows < old_rows, which
+  // stay untouched until the pivot loop below.
+  for (size_t i = 0; i < old_rows; ++i) tableau->rows[i].resize(total);
+  tableau->rows.resize(rows);
+  tableau->rhs.resize(rows);
+  std::vector<int>& basis = tableau->basis;
+  basis.reserve(rows);
+  for (size_t r = 0; r < appended.size(); ++r) {
+    const size_t row = old_rows + r;
+    const size_t slack = old_cols + r;
+    const NewRow& plan = appended[r];
+    const LinearConstraint& c = system.constraints()[plan.constraint];
+    const int sign = plan.sub_sign < 0 ? 1 : -1;
+    std::vector<Rational>& cells = tableau->rows[row];
+    cells.assign(total, Rational());
+    for (const auto& [var, coeff] : c.coeffs) {
+      cells[static_cast<size_t>(var)] = Rational(sign < 0 ? -coeff : coeff);
+    }
+    cells[slack] = Rational(1);
+    tableau->rhs[row] = Rational(sign < 0 ? -c.rhs : c.rhs);
+    for (size_t i = 0; i < old_rows; ++i) {
+      const Rational factor = cells[static_cast<size_t>(basis[i])];
+      if (factor.is_zero()) continue;
+      const std::vector<Rational>& pivot_row = tableau->rows[i];
+      for (size_t j = 0; j < total; ++j) {
+        if (pivot_row[j].is_zero()) continue;
+        cells[j] -= factor * pivot_row[j];
+      }
+      if (!tableau->rhs[i].is_zero()) {
+        tableau->rhs[row] -= factor * tableau->rhs[i];
+      }
+    }
+    basis.push_back(static_cast<int>(slack));
+    tableau->columns.push_back({LpColumnInfo::Kind::kSlack,
+                                static_cast<int>(plan.constraint),
+                                plan.sub_sign});
+  }
+  tableau->num_constraints = m_new;
+
+  // Dual simplex with Bland's rule, pivoting the tableau's own rows.
+  const size_t pivot_cap = 200 + 16 * rows;
+  for (;;) {
+    int leaving = -1;
+    for (size_t i = 0; i < rows; ++i) {
+      if (tableau->rhs[i].sign() < 0 &&
+          (leaving < 0 || basis[i] < basis[leaving])) {
+        leaving = static_cast<int>(i);
+      }
+    }
+    if (leaving < 0) break;  // Primal feasible again.
+
+    std::vector<Rational>& pivot_cells = tableau->rows[leaving];
+    size_t entering = total;
+    for (size_t j = 0; j < total; ++j) {
+      if (pivot_cells[j].sign() < 0) {
+        entering = j;
+        break;
+      }
+    }
+    if (entering == total) {
+      // Exact certificate; the half-pivoted tableau is the caller's to
+      // discard, per the in-place contract.
+      out.status = WarmStatus::kOk;
+      out.lp.feasible = false;
+      return out;
+    }
+    if (out.lp.pivots >= pivot_cap) {
+      out.status = WarmStatus::kPivotLimit;
+      return out;
+    }
+    ++out.lp.pivots;
+
+    const Rational pivot = pivot_cells[entering];
+    for (size_t j = 0; j < total; ++j) {
+      Rational& cell = pivot_cells[j];
+      if (!cell.is_zero()) cell /= pivot;
+    }
+    if (!tableau->rhs[leaving].is_zero()) tableau->rhs[leaving] /= pivot;
+    for (size_t i = 0; i < rows; ++i) {
+      if (i == static_cast<size_t>(leaving)) continue;
+      std::vector<Rational>& cells = tableau->rows[i];
+      const Rational factor = cells[entering];
+      if (factor.is_zero()) continue;
+      for (size_t j = 0; j < total; ++j) {
+        if (pivot_cells[j].is_zero()) continue;
+        cells[j] -= factor * pivot_cells[j];
+      }
+      if (!tableau->rhs[leaving].is_zero()) {
+        tableau->rhs[i] -= factor * tableau->rhs[leaving];
+      }
+    }
+    basis[leaving] = static_cast<int>(entering);
+  }
+
+  out.status = WarmStatus::kOk;
+  out.lp.feasible = true;
+  out.lp.values.assign(n, Rational());
+  for (size_t i = 0; i < rows; ++i) {
+    if (static_cast<size_t>(basis[i]) < n) {
+      out.lp.values[basis[i]] = tableau->rhs[i];
+    }
+  }
+  return out;
+}
+
 }  // namespace xicc

@@ -105,6 +105,19 @@ struct WarmResult {
 WarmResult ReSolveLpFeasibilityDual(const LinearSystem& system,
                                     LpTableau* tableau);
 
+/// Same decision and the same basis mathematics as ReSolveLpFeasibilityDual,
+/// but pivots directly inside `tableau` instead of on a private dense copy
+/// that is folded back afterwards — the copy (and its one-allocation-per-
+/// nonzero-Rational burst) is the dominant cost of a re-solve whose appended
+/// rows need only a handful of pivots, which is exactly the Σ-delta session
+/// profile. The price is the failure contract: on kUnusableBasis the tableau
+/// is untouched, but on kPivotLimit — and on an exact kOk infeasible
+/// verdict — `*tableau` is left mid-pivot and MUST be discarded or rebuilt
+/// by a cold solve. Callers that keep their basis across failed re-solves
+/// (e.g. the presolve forced-row extension) stay on the copying variant.
+WarmResult ReSolveLpFeasibilityDualInPlace(const LinearSystem& system,
+                                           LpTableau* tableau);
+
 }  // namespace xicc
 
 #endif  // XICC_ILP_SIMPLEX_H_

@@ -148,7 +148,9 @@ class BranchAndBound {
   /// failure falls back to the cold primal path (identical verdicts).
   LpResult SolveNodeLp(LpTableau* tab, bool try_warm) {
     if (try_warm && options_.warm_start) {
-      WarmResult warm = ReSolveLpFeasibilityDual(work_, tab);
+      // In-place re-solve: `tab` is this node's private (or scratch) copy,
+      // and every failure path below overwrites it with a cold solve.
+      WarmResult warm = ReSolveLpFeasibilityDualInPlace(work_, tab);
       solution_.lp_pivots += warm.lp.pivots;
       if (warm.status == WarmStatus::kOk) {
         ++solution_.warm_starts;
@@ -181,10 +183,21 @@ class BranchAndBound {
   }
 
   bool ExploreWithCuts(const LpTableau* parent) {
-    LpTableau tab;
+    LpTableau local;
+    LpTableau* tab = &local;
     bool try_warm = parent != nullptr;
-    if (try_warm) tab = *parent;  // The sibling still needs `parent`.
-    LpResult lp = SolveNodeLp(&tab, try_warm);
+    if (try_warm) {
+      // The sibling still needs `parent`, so every node works on a copy. The
+      // root may copy into the caller's scratch tableau instead of a fresh
+      // stack-local — with warmed vector capacity that copy allocates
+      // nothing, where a cold duplicate of a dense rational tableau is an
+      // allocation per nonzero entry.
+      if (parent == hint_ && options_.root_scratch != nullptr) {
+        tab = options_.root_scratch;
+      }
+      *tab = *parent;
+    }
+    LpResult lp = SolveNodeLp(tab, try_warm);
 
     // Cut loop: solve, finish/prune, else strengthen with a Gomory cut and
     // warm re-solve from this node's own basis (one appended row).
@@ -208,24 +221,24 @@ class BranchAndBound {
         return true;
       }
       if (round == options_.max_cut_rounds) break;
-      std::optional<LinearConstraint> cut = DeriveGomoryCut(work_, tab);
+      std::optional<LinearConstraint> cut = DeriveGomoryCut(work_, *tab);
       if (!cut.has_value()) break;
       work_.AddRaw(std::move(*cut));
       ++solution_.cuts_added;
-      lp = SolveNodeLp(&tab, /*try_warm=*/true);
+      lp = SolveNodeLp(tab, /*try_warm=*/true);
     }
 
     const Rational value = lp.values[fractional];
     work_.PushCheckpoint();
     work_.AddConstraint(LinearExpr::Var(fractional), RelOp::kLe,
                         value.Floor());
-    bool found = Explore(&tab);
+    bool found = Explore(tab);
     work_.PopCheckpoint();
     if (found) return true;
     work_.PushCheckpoint();
     work_.AddConstraint(LinearExpr::Var(fractional), RelOp::kGe,
                         value.Ceil());
-    found = Explore(&tab);
+    found = Explore(tab);
     work_.PopCheckpoint();
     return found;
   }

@@ -38,6 +38,14 @@ struct IlpOptions {
   /// deterministic; >1 explores the top of the split tree in parallel with
   /// an unchanged verdict. Plain SolveIlp is always single-threaded.
   size_t num_threads = 1;
+  /// Caller-owned scratch tableau the ROOT branch-and-bound node copies the
+  /// warm hint into (instead of a fresh stack-local). Re-passing the same
+  /// scratch across many SolveIlp calls lets the copy reuse every limb
+  /// vector's capacity — the per-solve allocation burst of duplicating a
+  /// dense exact-rational tableau disappears after the first call. Must
+  /// outlive the solve, must not alias `warm_hint`, and must never be shared
+  /// across concurrent solves.
+  LpTableau* root_scratch = nullptr;
 };
 
 struct IlpSolution {

@@ -6,10 +6,12 @@
 
 #include "constraints/constraint_parser.h"
 #include "constraints/id_idref.h"
+#include "core/batch.h"
 #include "core/cardinality_encoding.h"
 #include "core/closure.h"
 #include "core/incremental.h"
 #include "core/spec.h"
+#include "core/spec_session.h"
 #include "core/streaming_validator.h"
 #include "dtd/dtd_parser.h"
 #include "dtd/simplify.h"
@@ -28,7 +30,12 @@ constexpr int kError = 2;
 constexpr const char* kUsage = R"(usage: xicc <command> ...
 
   check    <dtd> <constraints> [--witness FILE] [--min-nodes N] [--big-m]
+           [--stats]
            Is the specification consistent? (exit 0 yes / 1 no)
+  batch    <dtd> <queries> [--threads N] [--big-m] [--stats]
+           Answer many consistency queries against one compiled DTD.
+           <queries> holds constraint blocks separated by lines of `---`;
+           the DTD is compiled once and shared by all worker sessions.
   implies  <dtd> <constraints> <phi> [--counterexample FILE]
            Does the specification imply the constraint <phi>?
   validate <dtd> <constraints> <document.xml> [--stream]
@@ -132,12 +139,24 @@ Result<ConsistencyOptions> OptionsFromFlags(const ParsedArgs& parsed) {
   return options;
 }
 
+void PrintStats(const ConsistencyStats& stats, std::ostream& out) {
+  out << "stats:      " << stats.system_variables << " vars, "
+      << stats.system_constraints << " rows, " << stats.ilp_nodes
+      << " ilp nodes, " << stats.lp_pivots << " lp pivots ("
+      << stats.warm_starts << " warm / " << stats.cold_restarts
+      << " cold), ilp " << stats.ilp_wall_ms << " ms\n";
+  out << "session:    compile " << stats.compile_ms << " ms, "
+      << stats.sigma_delta_checks << " sigma-delta, " << stats.memo_hits
+      << " memo hits, " << stats.memo_misses << " memo misses\n";
+}
+
 int CmdCheck(const std::vector<std::string>& args, std::ostream& out,
              std::ostream& err) {
   auto parsed = ParseArgs(args, 1,
                           {{"--witness", true},
                            {"--min-nodes", true},
-                           {"--big-m", false}});
+                           {"--big-m", false},
+                           {"--stats", false}});
   if (!parsed.ok() || parsed->positional.size() != 2) {
     err << (parsed.ok() ? std::string("check needs <dtd> <constraints>")
                         : parsed.status().message())
@@ -166,6 +185,9 @@ int CmdCheck(const std::vector<std::string>& args, std::ostream& out,
   if (!result->explanation.empty()) {
     out << "why:        " << result->explanation << "\n";
   }
+  if (parsed->flags.count("--stats")) {
+    PrintStats(result->stats, out);
+  }
   auto witness_flag = parsed->flags.find("--witness");
   if (witness_flag != parsed->flags.end() && result->witness.has_value()) {
     Status written =
@@ -178,6 +200,134 @@ int CmdCheck(const std::vector<std::string>& args, std::ostream& out,
         << result->witness->size() << " nodes)\n";
   }
   return result->consistent ? kOk : kNegative;
+}
+
+/// Splits the batch query file into blocks on lines that are exactly `---`
+/// (ignoring surrounding whitespace). Blank blocks are kept: an empty Σ is a
+/// legitimate (trivially consistent) query.
+std::vector<std::string> SplitQueryBlocks(const std::string& text) {
+  std::vector<std::string> blocks;
+  std::string current;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    std::string trimmed = line;
+    size_t begin = trimmed.find_first_not_of(" \t\r");
+    size_t end = trimmed.find_last_not_of(" \t\r");
+    trimmed = begin == std::string::npos
+                  ? std::string()
+                  : trimmed.substr(begin, end - begin + 1);
+    if (trimmed == "---") {
+      blocks.push_back(current);
+      current.clear();
+    } else {
+      current += line;
+      current += '\n';
+    }
+  }
+  blocks.push_back(current);
+  return blocks;
+}
+
+int CmdBatch(const std::vector<std::string>& args, std::ostream& out,
+             std::ostream& err) {
+  auto parsed = ParseArgs(args, 1,
+                          {{"--threads", true},
+                           {"--big-m", false},
+                           {"--stats", false}});
+  if (!parsed.ok() || parsed->positional.size() != 2) {
+    err << (parsed.ok() ? std::string("batch needs <dtd> <queries>")
+                        : parsed.status().message())
+        << "\n";
+    return kError;
+  }
+  auto dtd_text = ReadFile(parsed->positional[0]);
+  if (!dtd_text.ok()) {
+    err << dtd_text.status() << "\n";
+    return kError;
+  }
+  auto dtd = ParseDtd(*dtd_text);
+  if (!dtd.ok()) {
+    err << dtd.status() << "\n";
+    return kError;
+  }
+  auto queries_text = ReadFile(parsed->positional[1]);
+  if (!queries_text.ok()) {
+    err << queries_text.status() << "\n";
+    return kError;
+  }
+  std::vector<ConstraintSet> queries;
+  for (const std::string& block : SplitQueryBlocks(*queries_text)) {
+    auto sigma = ParseConstraints(block);
+    if (!sigma.ok()) {
+      err << "query " << queries.size() << ": " << sigma.status() << "\n";
+      return kError;
+    }
+    queries.push_back(std::move(*sigma));
+  }
+
+  BatchOptions options;
+  if (parsed->flags.count("--big-m")) {
+    options.check.strategy = SolveStrategy::kBigM;
+  }
+  auto threads_flag = parsed->flags.find("--threads");
+  if (threads_flag != parsed->flags.end()) {
+    char* end = nullptr;
+    long n = std::strtol(threads_flag->second.c_str(), &end, 10);
+    if (end == threads_flag->second.c_str() || *end != '\0' || n < 1) {
+      err << "--threads needs a positive integer\n";
+      return kError;
+    }
+    options.num_threads = static_cast<size_t>(n);
+  }
+
+  auto compiled = CompileDtd(*dtd);
+  if (!compiled.ok()) {
+    err << compiled.status() << "\n";
+    return kError;
+  }
+  std::vector<BatchItemResult> results = CheckBatch(*compiled, queries, options);
+
+  bool any_error = false;
+  bool all_consistent = true;
+  ConsistencyStats total;
+  for (size_t i = 0; i < results.size(); ++i) {
+    const BatchItemResult& item = results[i];
+    if (!item.status.ok()) {
+      out << "[" << i << "] error: " << item.status.message() << "\n";
+      any_error = true;
+      continue;
+    }
+    out << "[" << i << "] "
+        << ConstraintClassName(item.result.constraint_class) << " via "
+        << item.result.method << ": "
+        << (item.result.consistent ? "consistent" : "inconsistent");
+    if (!item.result.consistent && !item.result.explanation.empty()) {
+      out << " (" << item.result.explanation << ")";
+    }
+    out << "\n";
+    all_consistent = all_consistent && item.result.consistent;
+    total.sigma_delta_checks += item.result.stats.sigma_delta_checks;
+    total.memo_hits += item.result.stats.memo_hits;
+    total.memo_misses += item.result.stats.memo_misses;
+    total.ilp_nodes += item.result.stats.ilp_nodes;
+    total.lp_pivots += item.result.stats.lp_pivots;
+    total.warm_starts += item.result.stats.warm_starts;
+    total.cold_restarts += item.result.stats.cold_restarts;
+    total.ilp_wall_ms += item.result.stats.ilp_wall_ms;
+  }
+  out << "queries:    " << results.size() << "\n";
+  if (parsed->flags.count("--stats")) {
+    out << "compile:    " << (*compiled)->compile_ms << " ms (once)\n";
+    out << "totals:     " << total.sigma_delta_checks << " sigma-delta, "
+        << total.memo_hits << " memo hits, " << total.memo_misses
+        << " memo misses, " << total.ilp_nodes << " ilp nodes, "
+        << total.lp_pivots << " lp pivots (" << total.warm_starts
+        << " warm / " << total.cold_restarts << " cold), ilp "
+        << total.ilp_wall_ms << " ms\n";
+  }
+  if (any_error) return kError;
+  return all_consistent ? kOk : kNegative;
 }
 
 int CmdImplies(const std::vector<std::string>& args, std::ostream& out,
@@ -513,6 +663,7 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
   }
   const std::string& command = args[0];
   if (command == "check") return CmdCheck(args, out, err);
+  if (command == "batch") return CmdBatch(args, out, err);
   if (command == "implies") return CmdImplies(args, out, err);
   if (command == "validate") return CmdValidate(args, out, err);
   if (command == "witness") return CmdWitness(args, out, err);

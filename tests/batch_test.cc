@@ -1,0 +1,189 @@
+// CheckBatch and CompiledDtd sharing under real concurrency. The batch
+// front-end stripes queries over worker sessions that share one compiled
+// artifact bundle; these tests pin (a) thread-count independence of every
+// per-query verdict and (b) the immutability contract of CompiledDtd — N
+// threads solving and validating against the same instance. The TSan CI job
+// runs this binary specifically.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "constraints/evaluator.h"
+#include "core/batch.h"
+#include "core/consistency.h"
+#include "core/spec_session.h"
+#include "dtd/validator.h"
+#include "workloads/generators.h"
+#include "workloads/paper_examples.h"
+
+namespace xicc {
+namespace {
+
+std::vector<ConstraintSet> MixedCatalogQueries(const Dtd& dtd) {
+  std::vector<ConstraintSet> queries;
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    queries.push_back(workloads::RandomUnarySigma(dtd, seed, 3, 2));
+  }
+  queries.push_back(workloads::AllKeysSigma(dtd));
+  queries.push_back(workloads::CatalogFkChainSigma(3));
+  queries.push_back(ConstraintSet());  // trivially consistent
+  {
+    ConstraintSet neg;  // negated key cell
+    neg.Add(Constraint::Key("item1", {"id"}));
+    neg.Add(Constraint::NegKey("item2", {"id"}));
+    queries.push_back(neg);
+  }
+  {
+    ConstraintSet multi;  // undecidable class → per-query error status
+    multi.Add(Constraint::ForeignKey("item1", {"id", "ref"}, "item2",
+                                     {"id", "ref"}));
+    queries.push_back(multi);
+  }
+  // Duplicates exercise the per-worker memo.
+  queries.push_back(workloads::AllKeysSigma(dtd));
+  queries.push_back(workloads::CatalogFkChainSigma(3));
+  return queries;
+}
+
+TEST(BatchTest, VerdictsIndependentOfThreadCount) {
+  Dtd dtd = workloads::CatalogDtd(3);
+  auto compiled = CompileDtd(dtd);
+  ASSERT_TRUE(compiled.ok()) << compiled.status();
+  std::vector<ConstraintSet> queries = MixedCatalogQueries(dtd);
+
+  BatchOptions sequential;
+  sequential.num_threads = 1;
+  std::vector<BatchItemResult> baseline =
+      CheckBatch(*compiled, queries, sequential);
+  ASSERT_EQ(baseline.size(), queries.size());
+
+  for (size_t threads : {2, 4, 8}) {
+    BatchOptions parallel = sequential;
+    parallel.num_threads = threads;
+    std::vector<BatchItemResult> results =
+        CheckBatch(*compiled, queries, parallel);
+    ASSERT_EQ(results.size(), queries.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      EXPECT_EQ(baseline[i].status.ok(), results[i].status.ok())
+          << "query " << i << " at " << threads << " threads";
+      if (!baseline[i].status.ok()) continue;
+      EXPECT_EQ(baseline[i].result.consistent, results[i].result.consistent)
+          << "query " << i << " at " << threads << " threads";
+      EXPECT_EQ(baseline[i].result.constraint_class,
+                results[i].result.constraint_class)
+          << "query " << i;
+      EXPECT_EQ(baseline[i].result.method, results[i].result.method)
+          << "query " << i;
+      if (results[i].result.witness.has_value()) {
+        EXPECT_TRUE(ValidateXml(*results[i].result.witness, dtd).valid);
+        EXPECT_TRUE(
+            Evaluate(*results[i].result.witness, queries[i]).satisfied);
+      }
+    }
+  }
+}
+
+TEST(BatchTest, PerQueryErrorsDoNotAbortTheBatch) {
+  Dtd dtd = workloads::CatalogDtd(3);
+  auto compiled = CompileDtd(dtd);
+  ASSERT_TRUE(compiled.ok());
+  std::vector<ConstraintSet> queries = MixedCatalogQueries(dtd);
+  std::vector<BatchItemResult> results = CheckBatch(*compiled, queries, {});
+
+  size_t errors = 0;
+  size_t answered = 0;
+  for (const BatchItemResult& item : results) {
+    if (item.status.ok()) {
+      ++answered;
+    } else {
+      ++errors;
+    }
+  }
+  EXPECT_EQ(errors, 1u);  // exactly the multi-attribute FK query
+  EXPECT_EQ(answered, queries.size() - 1);
+}
+
+TEST(BatchTest, MatchesFreshCheckConsistency) {
+  Dtd dtd = workloads::AuctionDtd(2);
+  auto compiled = CompileDtd(dtd);
+  ASSERT_TRUE(compiled.ok());
+  std::vector<ConstraintSet> queries;
+  queries.push_back(workloads::AuctionSigma(2));
+  for (uint64_t seed = 21; seed <= 24; ++seed) {
+    queries.push_back(workloads::RandomUnarySigma(dtd, seed, 4, 3));
+  }
+  BatchOptions options;
+  options.num_threads = 4;
+  std::vector<BatchItemResult> results = CheckBatch(*compiled, queries, options);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto fresh = CheckConsistency(dtd, queries[i]);
+    ASSERT_EQ(fresh.ok(), results[i].status.ok()) << "query " << i;
+    if (!fresh.ok()) continue;
+    EXPECT_EQ(fresh->consistent, results[i].result.consistent) << "query " << i;
+    EXPECT_EQ(fresh->method, results[i].result.method) << "query " << i;
+  }
+}
+
+TEST(BatchTest, SharedCompiledDtdHammeredFromManyThreads) {
+  // No CheckBatch plumbing at all: N raw threads, each with its own
+  // SpecSession over the SAME CompiledDtd, solving, building witnesses, and
+  // validating them through the shared frozen DFAs. Any mutation of the
+  // compiled artifacts is a data race TSan will flag here.
+  Dtd dtd = workloads::CatalogDtd(3);
+  auto compiled_or = CompileDtd(dtd);
+  ASSERT_TRUE(compiled_or.ok());
+  std::shared_ptr<const CompiledDtd> compiled = *compiled_or;
+
+  constexpr size_t kThreads = 8;
+  constexpr size_t kRounds = 5;
+  std::vector<std::string> failures(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      SpecSession session(compiled);
+      for (size_t round = 0; round < kRounds; ++round) {
+        uint64_t seed = t * kRounds + round + 1;
+        ConstraintSet sigma = workloads::RandomUnarySigma(
+            compiled->dtd, seed, 3, 2);
+        auto result = session.Check(sigma);
+        if (!result.ok()) {
+          failures[t] = result.status().message();
+          return;
+        }
+        if (result->consistent && result->witness.has_value() &&
+            !ValidateXml(*result->witness, compiled->dtd).valid) {
+          failures[t] = "witness failed validation";
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (size_t t = 0; t < kThreads; ++t) {
+    EXPECT_TRUE(failures[t].empty()) << "thread " << t << ": " << failures[t];
+  }
+}
+
+TEST(BatchTest, EmptyBatchAndThreadClamping) {
+  Dtd dtd = workloads::CatalogDtd(1);
+  auto compiled = CompileDtd(dtd);
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_TRUE(CheckBatch(*compiled, {}, {}).empty());
+
+  // More threads than queries: clamped, still one result per query.
+  std::vector<ConstraintSet> queries = {workloads::AllKeysSigma(dtd)};
+  BatchOptions options;
+  options.num_threads = 16;
+  std::vector<BatchItemResult> results = CheckBatch(*compiled, queries, options);
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_TRUE(results[0].status.ok());
+  EXPECT_TRUE(results[0].result.consistent);
+}
+
+}  // namespace
+}  // namespace xicc

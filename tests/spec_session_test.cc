@@ -1,0 +1,412 @@
+// Differential testing of SpecSession against the fresh per-query pipeline:
+// the session answers every query by pushing C_Σ rows onto the compiled
+// skeleton's trail with a warm-started dual simplex, so the cheap thing to
+// get wrong is exactly the verdict. Every test here runs the same (D, Σ)
+// through both paths and requires identical verdicts, classes, and methods;
+// witnesses may differ byte-wise (a different LP vertex realizes a
+// different tree) but must independently check out against D and Σ.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "constraints/evaluator.h"
+#include "core/consistency.h"
+#include "core/implication.h"
+#include "core/incremental.h"
+#include "core/spec_session.h"
+#include "dtd/validator.h"
+#include "workloads/generators.h"
+#include "workloads/paper_examples.h"
+
+namespace xicc {
+namespace {
+
+using Outcome = IncrementalChecker::Outcome;
+
+/// Fresh-vs-session check of one query; `label` names the corpus entry in
+/// failure output.
+void ExpectSameVerdict(const Dtd& dtd, SpecSession& session,
+                       const ConstraintSet& sigma,
+                       const ConsistencyOptions& options,
+                       const std::string& label) {
+  auto fresh = CheckConsistency(dtd, sigma, options);
+  auto via_session = session.Check(sigma);
+  ASSERT_EQ(fresh.ok(), via_session.ok())
+      << label << ": fresh=" << fresh.status()
+      << " session=" << via_session.status();
+  if (!fresh.ok()) return;
+  EXPECT_EQ(fresh->consistent, via_session->consistent)
+      << label << ": fresh says '" << fresh->explanation
+      << "', session says '" << via_session->explanation << "'";
+  EXPECT_EQ(fresh->constraint_class, via_session->constraint_class) << label;
+  EXPECT_EQ(fresh->method, via_session->method) << label;
+  EXPECT_EQ(fresh->witness.has_value(), via_session->witness.has_value())
+      << label;
+  if (via_session->witness.has_value()) {
+    EXPECT_TRUE(ValidateXml(*via_session->witness, dtd).valid) << label;
+    EXPECT_TRUE(Evaluate(*via_session->witness, sigma).satisfied) << label;
+  }
+}
+
+TEST(SpecSessionDifferentialTest, CatalogRandomUnaryCorpus) {
+  Dtd dtd = workloads::CatalogDtd(3);
+  auto compiled = CompileDtd(dtd);
+  ASSERT_TRUE(compiled.ok()) << compiled.status();
+  ConsistencyOptions options;
+  SpecSession session(*compiled, options);
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    ConstraintSet sigma = workloads::RandomUnarySigma(dtd, seed, 3, 2);
+    ExpectSameVerdict(dtd, session, sigma, options,
+                      "catalog seed " + std::to_string(seed));
+  }
+  ExpectSameVerdict(dtd, session, workloads::CatalogFkChainSigma(3), options,
+                    "catalog fk chain");
+  ExpectSameVerdict(dtd, session, workloads::AllKeysSigma(dtd), options,
+                    "catalog all keys");
+  ExpectSameVerdict(dtd, session, ConstraintSet(), options, "catalog empty");
+  EXPECT_GT(session.stats().sigma_delta_checks, 0u);
+}
+
+TEST(SpecSessionDifferentialTest, AuctionCorpus) {
+  Dtd dtd = workloads::AuctionDtd(2);
+  auto compiled = CompileDtd(dtd);
+  ASSERT_TRUE(compiled.ok()) << compiled.status();
+  ConsistencyOptions options;
+  SpecSession session(*compiled, options);
+  ExpectSameVerdict(dtd, session, workloads::AuctionSigma(2), options,
+                    "auction sigma");
+  for (uint64_t seed = 11; seed <= 14; ++seed) {
+    ConstraintSet sigma = workloads::RandomUnarySigma(dtd, seed, 4, 3);
+    ExpectSameVerdict(dtd, session, sigma, options,
+                      "auction seed " + std::to_string(seed));
+  }
+}
+
+TEST(SpecSessionDifferentialTest, ChainAndTeacher) {
+  Dtd chain = workloads::ChainDtd(5);
+  auto compiled_chain = CompileDtd(chain);
+  ASSERT_TRUE(compiled_chain.ok());
+  ConsistencyOptions options;
+  SpecSession chain_session(*compiled_chain, options);
+  ExpectSameVerdict(chain, chain_session, workloads::AllKeysSigma(chain),
+                    options, "chain all keys");
+
+  // Σ1 over D1 is the paper's flagship inconsistent instance; the session
+  // must reproduce the fresh explanation, not just the bit.
+  Dtd teacher = workloads::TeacherDtd();
+  auto compiled_teacher = CompileDtd(teacher);
+  ASSERT_TRUE(compiled_teacher.ok());
+  SpecSession teacher_session(*compiled_teacher, options);
+  auto fresh = CheckConsistency(teacher, workloads::TeacherSigma(), options);
+  auto via_session = teacher_session.Check(workloads::TeacherSigma());
+  ASSERT_TRUE(fresh.ok());
+  ASSERT_TRUE(via_session.ok());
+  EXPECT_FALSE(via_session->consistent);
+  EXPECT_EQ(fresh->explanation, via_session->explanation);
+}
+
+TEST(SpecSessionDifferentialTest, LipGadgets) {
+  // NP-hardness gadgets force real case-split search through the trail path.
+  ConsistencyOptions options;
+  for (uint64_t seed = 2; seed <= 5; ++seed) {
+    workloads::LipEncoding lip =
+        workloads::EncodeLipAsConsistency(workloads::RandomLip(seed, 3, 4, 2));
+    auto compiled = CompileDtd(lip.dtd);
+    ASSERT_TRUE(compiled.ok());
+    SpecSession session(*compiled, options);
+    ExpectSameVerdict(lip.dtd, session, lip.sigma, options,
+                      "lip seed " + std::to_string(seed));
+  }
+}
+
+TEST(SpecSessionDifferentialTest, NegatedConstraintsAndFallback) {
+  Dtd dtd = workloads::CatalogDtd(2);
+  auto compiled = CompileDtd(dtd);
+  ASSERT_TRUE(compiled.ok());
+  ConsistencyOptions options;
+  SpecSession session(*compiled, options);
+
+  // Negated keys ride the trail (kUnaryWithNegKey)...
+  ConstraintSet neg_key;
+  neg_key.Add(Constraint::Key("item1", {"id"}));
+  neg_key.Add(Constraint::NegKey("item2", {"id"}));
+  ExpectSameVerdict(dtd, session, neg_key, options, "negated key");
+  EXPECT_EQ(session.stats().fresh_fallbacks, 0u);
+
+  // ...while negated inclusions need the Section 5 region system, which the
+  // session routes through the fresh pipeline.
+  ConstraintSet neg_inc;
+  neg_inc.Add(Constraint::Inclusion("item1", {"ref"}, "item2", {"id"}));
+  neg_inc.Add(Constraint::NegInclusion("item1", {"id"}, "item2", {"id"}));
+  ExpectSameVerdict(dtd, session, neg_inc, options, "negated inclusion");
+  EXPECT_GT(session.stats().fresh_fallbacks, 0u);
+}
+
+TEST(SpecSessionDifferentialTest, MinWitnessNodesParity) {
+  Dtd dtd = workloads::CatalogDtd(2);
+  auto compiled = CompileDtd(dtd);
+  ASSERT_TRUE(compiled.ok());
+  ConsistencyOptions options;
+  options.min_witness_nodes = 12;
+  SpecSession session(*compiled, options);
+
+  // Keys-only cell: Σ itself is linear-cell but the size bound rides the
+  // trail as the one delta row.
+  ConstraintSet keys = workloads::AllKeysSigma(dtd);
+  ExpectSameVerdict(dtd, session, keys, options, "min-size keys-only");
+  auto sized = session.Check(keys);
+  ASSERT_TRUE(sized.ok());
+  ASSERT_TRUE(sized->witness.has_value());
+  EXPECT_GE(sized->witness->size(), 12u);
+
+  // NP cell with the same bound.
+  ExpectSameVerdict(dtd, session, workloads::CatalogFkChainSigma(2), options,
+                    "min-size fk chain");
+}
+
+TEST(SpecSessionTest, MemoHitsAndEviction) {
+  Dtd dtd = workloads::CatalogDtd(2);
+  auto compiled = CompileDtd(dtd);
+  ASSERT_TRUE(compiled.ok());
+  SpecSession session(*compiled, ConsistencyOptions(), /*memo_capacity=*/2);
+
+  ConstraintSet a = workloads::AllKeysSigma(dtd);
+  ConstraintSet b = workloads::CatalogFkChainSigma(2);
+  ConstraintSet c;
+  c.Add(Constraint::Key("item1", {"id"}));
+
+  ASSERT_TRUE(session.Check(a).ok());
+  auto again = session.Check(a);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(session.stats().memo_hits, 1u);
+  // The memo answer reports zero incremental cost.
+  EXPECT_EQ(again->stats.memo_hits, 1u);
+  EXPECT_EQ(again->stats.compile_ms, 0.0);
+
+  // Capacity 2: a third distinct key evicts the least recently used.
+  ASSERT_TRUE(session.Check(b).ok());
+  ASSERT_TRUE(session.Check(c).ok());
+  EXPECT_GE(session.stats().memo_evictions, 1u);
+  EXPECT_EQ(session.stats().queries, 4u);
+}
+
+TEST(SpecSessionTest, MemoKeyIsCanonical) {
+  // The same Σ in a different order and with FKs split into parts must hit.
+  Dtd dtd = workloads::CatalogDtd(2);
+  auto compiled = CompileDtd(dtd);
+  ASSERT_TRUE(compiled.ok());
+  SpecSession session(*compiled);
+
+  ConstraintSet as_fk;
+  as_fk.Add(Constraint::ForeignKey("item1", {"ref"}, "item2", {"id"}));
+  ConstraintSet as_parts;
+  as_parts.Add(Constraint::Key("item2", {"id"}));
+  as_parts.Add(Constraint::Inclusion("item1", {"ref"}, "item2", {"id"}));
+
+  ASSERT_TRUE(session.Check(as_fk).ok());
+  ASSERT_TRUE(session.Check(as_parts).ok());
+  EXPECT_EQ(session.stats().memo_hits, 1u);
+}
+
+TEST(SpecSessionTest, CommitLayersAndRollback) {
+  Dtd dtd = workloads::CatalogDtd(2);
+  auto compiled = CompileDtd(dtd);
+  ASSERT_TRUE(compiled.ok());
+  SpecSession session(*compiled);
+
+  ConstraintSet keys;
+  keys.Add(Constraint::Key("item2", {"id"}));
+  ASSERT_TRUE(session.Commit(keys).ok());
+
+  // Committed constraints join every later query: check of just the
+  // inclusion is evaluated as key + inclusion.
+  ConstraintSet inclusion;
+  inclusion.Add(Constraint::Inclusion("item1", {"ref"}, "item2", {"id"}));
+  auto combined = session.Check(inclusion);
+  ASSERT_TRUE(combined.ok());
+  EXPECT_TRUE(combined->consistent);
+  ASSERT_TRUE(combined->witness.has_value());
+  ConstraintSet both = keys;
+  both.Add(Constraint::Inclusion("item1", {"ref"}, "item2", {"id"}));
+  EXPECT_TRUE(Evaluate(*combined->witness, both).satisfied);
+
+  session.Rollback();
+  EXPECT_TRUE(session.committed().empty());
+}
+
+TEST(SpecSessionTest, ImpliesMatchesFreshImplication) {
+  Dtd dtd = workloads::CatalogDtd(3);
+  auto compiled = CompileDtd(dtd);
+  ASSERT_TRUE(compiled.ok());
+  SpecSession session(*compiled);
+
+  ConstraintSet sigma;
+  sigma.Add(Constraint::Inclusion("item1", {"id"}, "item2", {"id"}));
+  sigma.Add(Constraint::Inclusion("item2", {"id"}, "item3", {"id"}));
+  sigma.Add(Constraint::Key("item3", {"id"}));
+  ASSERT_TRUE(session.Commit(sigma).ok());
+
+  std::vector<Constraint> phis = {
+      // Implied: transitivity of the inclusions.
+      Constraint::Inclusion("item1", {"id"}, "item3", {"id"}),
+      // Implied: FK = inclusion + key of the target.
+      Constraint::ForeignKey("item2", {"id"}, "item3", {"id"}),
+      // Not implied: nothing keys item1.
+      Constraint::Key("item1", {"id"}),
+      // Not implied: the reverse inclusion.
+      Constraint::Inclusion("item3", {"id"}, "item1", {"id"}),
+  };
+  for (const Constraint& phi : phis) {
+    auto fresh = CheckImplication(dtd, sigma, phi);
+    auto via_session = session.Implies(phi);
+    ASSERT_TRUE(fresh.ok()) << fresh.status();
+    ASSERT_TRUE(via_session.ok()) << via_session.status();
+    EXPECT_EQ(fresh->implied, via_session->implied) << phi.ToString();
+    if (via_session->counterexample.has_value()) {
+      // Counterexamples satisfy Σ and violate φ.
+      EXPECT_TRUE(ValidateXml(*via_session->counterexample, dtd).valid);
+      EXPECT_TRUE(Evaluate(*via_session->counterexample, sigma).satisfied);
+      EXPECT_FALSE(Evaluate(*via_session->counterexample, phi).satisfied);
+    }
+  }
+}
+
+TEST(SpecSessionTest, KeysOnlyImplicationLemma37) {
+  // Lemma 3.7 fast path: keys-only committed set, key φ.
+  Dtd dtd = workloads::TeacherDtd();
+  auto compiled = CompileDtd(dtd);
+  ASSERT_TRUE(compiled.ok());
+  SpecSession session(*compiled);
+  ConstraintSet keys;
+  keys.Add(Constraint::Key("teacher", {"name"}));
+  ASSERT_TRUE(session.Commit(keys).ok());
+
+  auto stated = session.Implies(Constraint::Key("teacher", {"name"}));
+  ASSERT_TRUE(stated.ok());
+  EXPECT_TRUE(stated->implied);
+
+  auto unstated = session.Implies(Constraint::Key("subject", {"taught_by"}));
+  auto fresh =
+      CheckImplication(dtd, keys, Constraint::Key("subject", {"taught_by"}));
+  ASSERT_TRUE(unstated.ok());
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(fresh->implied, unstated->implied);
+  EXPECT_EQ(unstated->counterexample.has_value(),
+            fresh->counterexample.has_value());
+}
+
+// ------------------------------------------- IncrementalChecker ablation.
+
+TEST(IncrementalSessionTest, SessionAndFreshModesAgreeOnOutcomeSequences) {
+  Dtd dtd = workloads::CatalogDtd(3);
+  std::vector<Constraint> additions = {
+      Constraint::Key("item1", {"id"}),
+      Constraint::Key("item2", {"id"}),
+      Constraint::ForeignKey("item1", {"ref"}, "item2", {"id"}),
+      Constraint::ForeignKey("item1", {"ref"}, "item2", {"id"}),  // duplicate
+      Constraint::Inclusion("item1", {"ref"}, "item2", {"id"}),   // implied
+      Constraint::Key("item3", {"id"}),
+  };
+  IncrementalChecker session_mode(&dtd, {}, /*check_redundancy=*/true,
+                                  IncrementalChecker::Mode::kSession);
+  IncrementalChecker fresh_mode(&dtd, {}, /*check_redundancy=*/true,
+                                IncrementalChecker::Mode::kFresh);
+  for (const Constraint& c : additions) {
+    auto via_session = session_mode.TryAdd(c);
+    auto via_fresh = fresh_mode.TryAdd(c);
+    ASSERT_TRUE(via_session.ok()) << c.ToString() << ": "
+                                  << via_session.status();
+    ASSERT_TRUE(via_fresh.ok()) << c.ToString() << ": " << via_fresh.status();
+    EXPECT_EQ(via_session->outcome, via_fresh->outcome) << c.ToString();
+  }
+  EXPECT_EQ(session_mode.accepted().ToString(),
+            fresh_mode.accepted().ToString());
+  EXPECT_GT(session_mode.session_stats().sigma_delta_checks, 0u);
+  EXPECT_EQ(fresh_mode.session_stats().queries, 0u);
+
+  // Negated keys cannot be tested for redundancy (¬¬k is not a constraint —
+  // both modes reject that identically), so they ride with redundancy off.
+  IncrementalChecker session_neg(&dtd, {}, /*check_redundancy=*/false,
+                                 IncrementalChecker::Mode::kSession);
+  IncrementalChecker fresh_neg(&dtd, {}, /*check_redundancy=*/false,
+                               IncrementalChecker::Mode::kFresh);
+  std::vector<Constraint> with_neg = {
+      Constraint::Key("item1", {"id"}),
+      Constraint::NegKey("item3", {"ref"}),
+      Constraint::ForeignKey("item1", {"ref"}, "item2", {"id"}),
+  };
+  for (const Constraint& c : with_neg) {
+    auto via_session = session_neg.TryAdd(c);
+    auto via_fresh = fresh_neg.TryAdd(c);
+    ASSERT_TRUE(via_session.ok()) << c.ToString() << ": "
+                                  << via_session.status();
+    ASSERT_TRUE(via_fresh.ok()) << c.ToString() << ": " << via_fresh.status();
+    EXPECT_EQ(via_session->outcome, via_fresh->outcome) << c.ToString();
+  }
+  EXPECT_EQ(session_neg.accepted().ToString(), fresh_neg.accepted().ToString());
+}
+
+TEST(IncrementalSessionTest, Sigma1RejectionParity) {
+  // The paper's Σ1-over-D1 authoring story must play out identically in
+  // both modes, including which addition is the fatal one.
+  Dtd d1 = workloads::TeacherDtd();
+  for (auto mode : {IncrementalChecker::Mode::kSession,
+                    IncrementalChecker::Mode::kFresh}) {
+    IncrementalChecker checker(&d1, {}, true, mode);
+    std::vector<Constraint> sigma1 = workloads::TeacherSigma().constraints();
+    std::vector<Outcome> outcomes;
+    for (const Constraint& c : sigma1) {
+      auto result = checker.TryAdd(c);
+      ASSERT_TRUE(result.ok()) << result.status();
+      outcomes.push_back(result->outcome);
+    }
+    EXPECT_EQ(outcomes, (std::vector<Outcome>{Outcome::kAccepted,
+                                              Outcome::kAccepted,
+                                              Outcome::kRejected}));
+    EXPECT_EQ(checker.accepted().size(), 2u);
+  }
+}
+
+TEST(IncrementalSessionTest, AcceptedAdditionsCarryCheckedWitnesses) {
+  // The small fix: TryAdd no longer force-disables witness building, so an
+  // accepted addition reports a witness of the whole accepted set.
+  Dtd dtd = workloads::CatalogDtd(2);
+  ConsistencyOptions options;
+  options.min_witness_nodes = 8;
+  IncrementalChecker checker(&dtd, options);
+
+  auto key = checker.TryAdd(Constraint::Key("item2", {"id"}));
+  ASSERT_TRUE(key.ok()) << key.status();
+  ASSERT_EQ(key->outcome, Outcome::kAccepted);
+  ASSERT_TRUE(key->witness.has_value());
+  EXPECT_GE(key->witness->size(), 8u);
+  EXPECT_TRUE(ValidateXml(*key->witness, dtd).valid);
+
+  auto fk = checker.TryAdd(
+      Constraint::ForeignKey("item1", {"ref"}, "item2", {"id"}));
+  ASSERT_TRUE(fk.ok()) << fk.status();
+  ASSERT_EQ(fk->outcome, Outcome::kAccepted);
+  ASSERT_TRUE(fk->witness.has_value());
+  EXPECT_TRUE(ValidateXml(*fk->witness, dtd).valid);
+  EXPECT_TRUE(Evaluate(*fk->witness, checker.accepted()).satisfied);
+}
+
+TEST(SpecSessionTest, EmptyLanguageDtdCompilesAndAnswers) {
+  // D2: db → foo, foo → foo — no finite tree. Compilation succeeds and the
+  // precomputed facts answer every query without touching the solver.
+  Dtd d2 = workloads::InfiniteDtd();
+  auto compiled = CompileDtd(d2);
+  ASSERT_TRUE(compiled.ok()) << compiled.status();
+  SpecSession session(*compiled);
+  auto fresh = CheckConsistency(d2, ConstraintSet());
+  auto via_session = session.Check(ConstraintSet());
+  ASSERT_TRUE(fresh.ok());
+  ASSERT_TRUE(via_session.ok());
+  EXPECT_FALSE(via_session->consistent);
+  EXPECT_EQ(fresh->explanation, via_session->explanation);
+}
+
+}  // namespace
+}  // namespace xicc
