@@ -1,0 +1,513 @@
+#include "analysis/lint_rules.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace xicc {
+
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// One physical line, pre-digested for the rules.
+struct Line {
+  std::string code;  ///< Comments, string and char literals blanked out.
+  std::string raw;
+  std::set<std::string> allows;  ///< Rules suppressed on this line.
+};
+
+/// Collects every `xicc-lint: allow(a, b)` rule name on the line.
+void CollectAllows(Line* line) {
+  const std::string tag = "xicc-lint: allow(";
+  size_t at = line->raw.find(tag);
+  while (at != std::string::npos) {
+    const size_t open = at + tag.size();
+    const size_t close = line->raw.find(')', open);
+    if (close == std::string::npos) break;
+    std::string name;
+    for (size_t i = open; i <= close; ++i) {
+      const char c = line->raw[i];
+      if (c == ',' || c == ')') {
+        const size_t first = name.find_first_not_of(' ');
+        const size_t last = name.find_last_not_of(' ');
+        if (first != std::string::npos) {
+          line->allows.insert(name.substr(first, last - first + 1));
+        }
+        name.clear();
+      } else {
+        name.push_back(c);
+      }
+    }
+    at = line->raw.find(tag, close);
+  }
+}
+
+/// Splits `content` into lines with comments, string literals (including
+/// multi-line raw strings), and char literals blanked out in `code`;
+/// suppressions are collected from the full raw text of each line.
+std::vector<Line> Digest(const std::string& content) {
+  std::vector<Line> lines(1);
+  enum class State { kCode, kLineComment, kBlockComment, kQuote, kRawString };
+  State state = State::kCode;
+  char quote = 0;
+  bool escaped = false;
+  std::string raw_terminator;  // ")delim\"" of the active raw string.
+  size_t block_open_at = 0;    // Index of the '/' that opened the comment.
+  const size_t n = content.size();
+
+  for (size_t i = 0; i < n; ++i) {
+    const char c = content[i];
+    if (c == '\n') {
+      CollectAllows(&lines.back());
+      // Line comments and (unterminated) ordinary literals end at newline;
+      // block comments and raw strings continue.
+      if (state == State::kLineComment || state == State::kQuote) {
+        state = State::kCode;
+      }
+      lines.emplace_back();
+      continue;
+    }
+    Line& cur = lines.back();
+    cur.raw.push_back(c);
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && i + 1 < n && content[i + 1] == '/') {
+          state = State::kLineComment;
+          cur.code.push_back(' ');
+        } else if (c == '/' && i + 1 < n && content[i + 1] == '*') {
+          state = State::kBlockComment;
+          block_open_at = i;
+          cur.code.push_back(' ');
+        } else if (c == '\'' && i > 0 &&
+                   std::isdigit(static_cast<unsigned char>(content[i - 1]))) {
+          cur.code.push_back(c);  // Digit separator, not a char literal.
+        } else if (c == '"' && i > 0 && content[i - 1] == 'R') {
+          // R"delim( ... )delim" — find the delimiter.
+          size_t open = content.find('(', i + 1);
+          raw_terminator =
+              ")" + content.substr(i + 1, open == std::string::npos
+                                              ? 0
+                                              : open - i - 1) +
+              "\"";
+          state = State::kRawString;
+          cur.code.push_back('"');
+        } else if (c == '"' || c == '\'') {
+          state = State::kQuote;
+          quote = c;
+          escaped = false;
+          cur.code.push_back(c);
+        } else {
+          cur.code.push_back(c);
+        }
+        break;
+      case State::kLineComment:
+      case State::kBlockComment:
+        cur.code.push_back(' ');
+        if (state == State::kBlockComment && c == '/' && i > 0 &&
+            content[i - 1] == '*' && i >= block_open_at + 3) {
+          state = State::kCode;
+        }
+        break;
+      case State::kQuote:
+        if (escaped) {
+          escaped = false;
+          cur.code.push_back(' ');
+        } else if (c == '\\') {
+          escaped = true;
+          cur.code.push_back(' ');
+        } else if (c == quote) {
+          state = State::kCode;
+          cur.code.push_back(quote);
+        } else {
+          cur.code.push_back(' ');
+        }
+        break;
+      case State::kRawString:
+        cur.code.push_back(' ');
+        if (c == '"' &&
+            i + 1 >= raw_terminator.size() &&
+            content.compare(i + 1 - raw_terminator.size(),
+                            raw_terminator.size(), raw_terminator) == 0) {
+          state = State::kCode;
+        }
+        break;
+    }
+  }
+  CollectAllows(&lines.back());
+  return lines;
+}
+
+/// True when `code` contains `token` as a whole word (identifier
+/// boundaries on both sides; ':' counts as part of qualified names so that
+/// "std::mutex" matches exactly and "my_mutex" does not match "mutex").
+bool HasToken(const std::string& code, const std::string& token) {
+  size_t at = code.find(token);
+  while (at != std::string::npos) {
+    const bool left_ok =
+        at == 0 || (!IsIdentChar(code[at - 1]) && code[at - 1] != ':');
+    const size_t end = at + token.size();
+    const bool right_ok =
+        end >= code.size() || (!IsIdentChar(code[end]) && code[end] != ':');
+    if (left_ok && right_ok) return true;
+    at = code.find(token, at + 1);
+  }
+  return false;
+}
+
+/// Top-level directory of a repo-relative "src/..." path, or "" if the file
+/// is not under src/.
+std::string SrcDir(const std::string& rel_path) {
+  const std::string prefix = "src/";
+  if (rel_path.compare(0, prefix.size(), prefix) != 0) return "";
+  size_t slash = rel_path.find('/', prefix.size());
+  if (slash == std::string::npos) return "";
+  return rel_path.substr(prefix.size(), slash - prefix.size());
+}
+
+bool IsHeader(const std::string& rel_path) {
+  return rel_path.size() > 2 &&
+         rel_path.compare(rel_path.size() - 2, 2, ".h") == 0;
+}
+
+/// The dependency layering: which src/ directories each directory's quoted
+/// includes may name. Kept in one place so the rule and the docs agree.
+const std::map<std::string, std::set<std::string>>& LayerMap() {
+  static const std::map<std::string, std::set<std::string>> kLayers = {
+      {"base", {"base"}},
+      {"analysis", {"base", "analysis"}},
+      {"xml", {"base", "xml"}},
+      {"ilp", {"base", "ilp"}},
+      {"dtd", {"base", "xml", "dtd"}},
+      {"constraints", {"base", "xml", "dtd", "constraints"}},
+      {"relational", {"base", "xml", "dtd", "constraints", "relational"}},
+      {"core", {"base", "xml", "dtd", "constraints", "ilp", "core"}},
+      {"workloads",
+       {"base", "xml", "dtd", "constraints", "ilp", "core", "workloads"}},
+      {"tools",
+       {"base", "analysis", "xml", "ilp", "dtd", "constraints", "relational",
+        "core", "workloads", "tools"}},
+  };
+  return kLayers;
+}
+
+struct TokenRule {
+  const char* rule;
+  std::vector<const char*> tokens;
+  const char* message;
+};
+
+void CheckTokens(const std::vector<Line>& lines, const TokenRule& spec,
+                 const std::string& rel_path, std::vector<LintIssue>* out) {
+  for (size_t k = 0; k < lines.size(); ++k) {
+    if (lines[k].allows.count(spec.rule) > 0) continue;
+    if (k > 0 && lines[k - 1].allows.count(spec.rule) > 0) continue;
+    for (const char* token : spec.tokens) {
+      if (HasToken(lines[k].code, token)) {
+        out->push_back({rel_path, k + 1, spec.rule,
+                        std::string("'") + token + "' " + spec.message});
+        break;
+      }
+    }
+  }
+}
+
+bool LineSuppressed(const std::vector<Line>& lines, size_t k,
+                    const char* rule) {
+  if (lines[k].allows.count(rule) > 0) return true;
+  return k > 0 && lines[k - 1].allows.count(rule) > 0;
+}
+
+/// `(void)Identifier(...)` — a muted call. `(void)param;` (no call) is the
+/// accepted unused-parameter idiom and is not flagged.
+void CheckVoidDiscard(const std::vector<Line>& lines,
+                      const std::string& rel_path,
+                      std::vector<LintIssue>* out) {
+  for (size_t k = 0; k < lines.size(); ++k) {
+    if (LineSuppressed(lines, k, "void-discard")) continue;
+    const std::string& code = lines[k].code;
+    size_t at = code.find("(void)");
+    while (at != std::string::npos) {
+      size_t p = at + 6;
+      while (p < code.size() && code[p] == ' ') ++p;
+      size_t ident_start = p;
+      while (p < code.size() &&
+             (IsIdentChar(code[p]) || code[p] == ':' || code[p] == '.' ||
+              (code[p] == '-' && p + 1 < code.size() && code[p + 1] == '>') ||
+              (code[p] == '>' && p > 0 && code[p - 1] == '-'))) {
+        ++p;
+      }
+      if (p > ident_start && p < code.size() && code[p] == '(') {
+        out->push_back(
+            {rel_path, k + 1, "void-discard",
+             "'(void)' discards a call result; handle the Status/Result or "
+             "suppress with a reasoned xicc-lint: allow(void-discard)"});
+        break;
+      }
+      at = code.find("(void)", at + 1);
+    }
+  }
+}
+
+void CheckPragmaOnce(const std::vector<Line>& lines,
+                     const std::string& rel_path,
+                     std::vector<LintIssue>* out) {
+  for (size_t k = 0; k < lines.size(); ++k) {
+    const std::string& code = lines[k].code;
+    const size_t first = code.find_first_not_of(" \t");
+    if (first == std::string::npos) continue;  // Blank / comment-only.
+    if (code.compare(first, 12, "#pragma once") == 0) return;
+    if (LineSuppressed(lines, k, "pragma-once")) return;
+    out->push_back({rel_path, k + 1, "pragma-once",
+                    "header must open with '#pragma once' (run --fix to "
+                    "rewrite an #ifndef guard)"});
+    return;
+  }
+}
+
+void CheckIncludeLayering(const std::vector<Line>& lines,
+                          const std::string& dir,
+                          const std::string& rel_path,
+                          std::vector<LintIssue>* out) {
+  auto it = LayerMap().find(dir);
+  if (it == LayerMap().end()) return;
+  const std::set<std::string>& allowed = it->second;
+  for (size_t k = 0; k < lines.size(); ++k) {
+    const std::string& raw = lines[k].raw;
+    size_t hash = raw.find_first_not_of(" \t");
+    if (hash == std::string::npos || raw[hash] != '#') continue;
+    size_t open = raw.find("include \"", hash);
+    if (open == std::string::npos) continue;
+    size_t start = open + 9;
+    size_t close = raw.find('"', start);
+    if (close == std::string::npos) continue;
+    std::string path = raw.substr(start, close - start);
+    size_t slash = path.find('/');
+    if (slash == std::string::npos) continue;  // Same-directory include.
+    std::string target = path.substr(0, slash);
+    if (LayerMap().count(target) == 0) continue;  // Not a src/ layer.
+    if (allowed.count(target) > 0) continue;
+    if (LineSuppressed(lines, k, "include-layering")) continue;
+    out->push_back({rel_path, k + 1, "include-layering",
+                    "src/" + dir + "/ must not include \"" + path +
+                        "\": layer '" + target +
+                        "' is above it (allowed: base ← {xml, ilp, "
+                        "analysis} ← dtd ← constraints ← {relational, "
+                        "core} ← {workloads, tools})"});
+  }
+}
+
+}  // namespace
+
+std::string LintIssue::ToString() const {
+  return file + ":" + std::to_string(line) + ": [" + rule + "] " + message;
+}
+
+const std::vector<LintRuleInfo>& LintRules() {
+  static const std::vector<LintRuleInfo> kRules = {
+      {"exact-arithmetic",
+       "no float/double in src/ilp/ or src/core/ verdict paths", false},
+      {"no-nondeterminism",
+       "no rand/random_device/mt19937/system_clock in src/ilp/ or src/core/",
+       false},
+      {"raw-concurrency",
+       "no naked std::mutex/std::thread outside src/base/ (use "
+       "base/thread_annotations.h)",
+       false},
+      {"void-discard", "no (void) swallowing of call results", false},
+      {"pragma-once", "headers open with #pragma once", true},
+      {"include-layering", "quoted includes respect the layer order", false},
+  };
+  return kRules;
+}
+
+std::vector<LintIssue> LintFile(const std::string& rel_path,
+                                const std::string& content) {
+  std::vector<LintIssue> out;
+  const std::vector<Line> lines = Digest(content);
+  const std::string dir = SrcDir(rel_path);
+
+  if (dir == "ilp" || dir == "core") {
+    CheckTokens(lines,
+                {"exact-arithmetic",
+                 {"float", "double"},
+                 "in a verdict path: the ILP/simplex core is exact "
+                 "BigInt/Rational arithmetic only"},
+                rel_path, &out);
+    CheckTokens(lines,
+                {"no-nondeterminism",
+                 {"rand", "srand", "random_device", "mt19937",
+                  "default_random_engine", "system_clock", "std::rand",
+                  "std::srand", "std::random_device", "std::mt19937",
+                  "std::default_random_engine", "std::chrono::system_clock",
+                  "<random>"},
+                 "in a verdict path: verdicts must be deterministic and "
+                 "replayable"},
+                rel_path, &out);
+  }
+  if (!dir.empty() && dir != "base") {
+    CheckTokens(lines,
+                {"raw-concurrency",
+                 {"std::mutex", "std::thread", "std::condition_variable",
+                  "std::condition_variable_any", "std::lock_guard",
+                  "std::unique_lock", "std::scoped_lock", "std::shared_mutex",
+                  "<mutex>", "<thread>", "<condition_variable>"},
+                 "outside src/base/: use the annotated primitives in "
+                 "base/thread_annotations.h and base/worksteal.h so the "
+                 "thread-safety analysis sees every lock"},
+                rel_path, &out);
+  }
+  CheckVoidDiscard(lines, rel_path, &out);
+  if (IsHeader(rel_path) && !dir.empty()) {
+    CheckPragmaOnce(lines, rel_path, &out);
+  }
+  if (!dir.empty()) {
+    CheckIncludeLayering(lines, dir, rel_path, &out);
+  }
+  std::sort(out.begin(), out.end(), [](const LintIssue& a, const LintIssue& b) {
+    return a.line != b.line ? a.line < b.line : a.rule < b.rule;
+  });
+  return out;
+}
+
+std::string ApplyLintFixes(const std::string& rel_path,
+                           const std::string& content, bool* changed) {
+  *changed = false;
+  if (!IsHeader(rel_path) || SrcDir(rel_path).empty()) return content;
+
+  // Only fix files that actually violate pragma-once.
+  bool violates = false;
+  for (const LintIssue& issue : LintFile(rel_path, content)) {
+    if (issue.rule == "pragma-once") violates = true;
+  }
+  if (!violates) return content;
+
+  // Rewrite the classic guard:  #ifndef G / #define G ... #endif[comment]
+  // becomes  #pragma once ...  — only when the first two directives are the
+  // matching guard pair and the last directive is #endif.
+  std::vector<std::string> lines;
+  {
+    std::istringstream in(content);
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+  int ifndef_at = -1;
+  int define_at = -1;
+  std::string guard;
+  for (size_t k = 0; k < lines.size(); ++k) {
+    const std::string& line = lines[k];
+    size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos) continue;
+    if (line.compare(first, 8, "#ifndef ") == 0 && ifndef_at < 0) {
+      ifndef_at = static_cast<int>(k);
+      guard = line.substr(first + 8);
+      while (!guard.empty() && (guard.back() == ' ' || guard.back() == '\r')) {
+        guard.pop_back();
+      }
+      continue;
+    }
+    if (ifndef_at >= 0) {
+      if (line.compare(first, 8, "#define ") == 0) {
+        std::string defined = line.substr(first + 8);
+        while (!defined.empty() &&
+               (defined.back() == ' ' || defined.back() == '\r')) {
+          defined.pop_back();
+        }
+        if (defined == guard) define_at = static_cast<int>(k);
+      }
+      break;  // Only the directive pair right after #ifndef qualifies.
+    }
+  }
+  int endif_at = -1;
+  for (int k = static_cast<int>(lines.size()) - 1; k >= 0; --k) {
+    const std::string& line = lines[k];
+    size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos) continue;
+    if (line.compare(first, 6, "#endif") == 0) endif_at = k;
+    break;
+  }
+  if (ifndef_at < 0 || define_at != ifndef_at + 1 || endif_at <= define_at) {
+    return content;  // Not a recognizable guard; leave for a human.
+  }
+
+  std::string out;
+  for (int k = 0; k < static_cast<int>(lines.size()); ++k) {
+    if (k == define_at || k == endif_at) continue;
+    if (k == ifndef_at) {
+      out += "#pragma once\n";
+      continue;
+    }
+    out += lines[k];
+    out += '\n';
+  }
+  // Drop a trailing blank line left behind by the removed #endif.
+  while (out.size() >= 2 && out[out.size() - 1] == '\n' &&
+         out[out.size() - 2] == '\n') {
+    out.pop_back();
+  }
+  *changed = true;
+  return out;
+}
+
+Result<LintRunReport> RunLint(const std::string& root, bool fix) {
+  namespace fs = std::filesystem;
+  LintRunReport report;
+  const fs::path src = fs::path(root) / "src";
+  std::error_code ec;
+  if (!fs::is_directory(src, ec)) {
+    return Status::InvalidArgument("no src/ directory under '" + root + "'");
+  }
+
+  std::vector<fs::path> files;
+  for (auto it = fs::recursive_directory_iterator(src, ec);
+       it != fs::recursive_directory_iterator(); it.increment(ec)) {
+    if (ec) {
+      return Status::Internal("walking '" + src.string() +
+                              "': " + ec.message());
+    }
+    if (!it->is_regular_file()) continue;
+    const std::string ext = it->path().extension().string();
+    if (ext == ".h" || ext == ".cc") files.push_back(it->path());
+  }
+  std::sort(files.begin(), files.end());
+
+  for (const fs::path& path : files) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      return Status::Internal("cannot read '" + path.string() + "'");
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::string content = buffer.str();
+    ++report.files_scanned;
+
+    const std::string rel =
+        fs::relative(path, fs::path(root), ec).generic_string();
+    if (fix) {
+      bool changed = false;
+      std::string fixed = ApplyLintFixes(rel, content, &changed);
+      if (changed) {
+        std::ofstream outf(path, std::ios::binary | std::ios::trunc);
+        if (!outf) {
+          return Status::Internal("cannot rewrite '" + path.string() + "'");
+        }
+        outf << fixed;
+        content = std::move(fixed);
+        ++report.files_fixed;
+      }
+    }
+    std::vector<LintIssue> issues = LintFile(rel, content);
+    report.issues.insert(report.issues.end(), issues.begin(), issues.end());
+  }
+  return report;
+}
+
+}  // namespace xicc

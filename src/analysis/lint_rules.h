@@ -1,0 +1,80 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+
+namespace xicc {
+
+/// File-scoped token lint for the repo's soundness invariants — the rules a
+/// compiler cannot check but a verdict depends on (see DESIGN.md §6):
+///
+///   exact-arithmetic   no float/double in src/ilp/ or src/core/ — the
+///                      verdict paths must stay in exact BigInt/Rational
+///                      arithmetic (one double in a pivot silently breaks
+///                      the NP-upper-bound encodings).
+///   no-nondeterminism  no rand/srand/random_device/mt19937/system_clock in
+///                      src/ilp/ or src/core/: verdicts must be replayable.
+///   raw-concurrency    no naked std::mutex / std::thread /
+///                      std::condition_variable (or their headers) outside
+///                      src/base/ — concurrency goes through the annotated
+///                      primitives in base/thread_annotations.h so Clang
+///                      thread-safety analysis sees every lock.
+///   void-discard       no `(void)Call(...)` swallowing of return values:
+///                      Status / Result<T> are [[nodiscard]], and a cast
+///                      that mutes the compiler must instead carry an
+///                      explicit lint suppression with a reason.
+///   pragma-once        headers open with `#pragma once` (fixable: --fix
+///                      rewrites a classic #ifndef guard in place).
+///   include-layering   quoted includes respect the dependency layering
+///                      base ← {xml, ilp, analysis} ← dtd ← constraints ←
+///                      {relational, core} ← {workloads, tools}.
+///
+/// Suppression: a trailing comment `// xicc-lint: allow(rule)` (or
+/// `allow(rule-a, rule-b)`) silences those rules on its own line and on the
+/// immediately following line, so a standalone comment can cover a long
+/// statement. Suppressions are deliberate, greppable exceptions.
+
+struct LintIssue {
+  std::string file;  ///< Repo-relative path, forward slashes.
+  size_t line = 0;   ///< 1-based.
+  std::string rule;
+  std::string message;
+
+  /// "file:line: [rule] message" — the tool's diagnostic format.
+  std::string ToString() const;
+};
+
+struct LintRuleInfo {
+  const char* name;
+  const char* summary;
+  bool fixable;
+};
+
+/// Every rule the linter knows, for --list-rules and the tests.
+const std::vector<LintRuleInfo>& LintRules();
+
+/// Lints one file's contents. `rel_path` (repo-relative, forward slashes)
+/// decides which directory-scoped rules apply; files outside src/ only get
+/// the path-independent rules.
+std::vector<LintIssue> LintFile(const std::string& rel_path,
+                                const std::string& content);
+
+/// Applies the mechanical fixes (currently: pragma-once guard rewriting).
+/// Returns the fixed content and sets *changed when a rewrite happened.
+std::string ApplyLintFixes(const std::string& rel_path,
+                           const std::string& content, bool* changed);
+
+struct LintRunReport {
+  std::vector<LintIssue> issues;
+  size_t files_scanned = 0;
+  size_t files_fixed = 0;
+};
+
+/// Walks `root`/src for .h/.cc files (sorted, deterministic) and lints each;
+/// with `fix`, rewrites fixable files in place before reporting what
+/// remains. Fails only on I/O errors — lint findings are data, not errors.
+Result<LintRunReport> RunLint(const std::string& root, bool fix);
+
+}  // namespace xicc

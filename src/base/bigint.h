@@ -1,5 +1,4 @@
-#ifndef XICC_BASE_BIGINT_H_
-#define XICC_BASE_BIGINT_H_
+#pragma once
 
 #include <cstdint>
 #include <ostream>
@@ -120,5 +119,3 @@ inline std::ostream& operator<<(std::ostream& os, const BigInt& v) {
 }
 
 }  // namespace xicc
-
-#endif  // XICC_BASE_BIGINT_H_

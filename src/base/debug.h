@@ -1,0 +1,70 @@
+#pragma once
+
+// Debug invariant hooks for the XICC_AUDIT build mode.
+//
+// The auditors themselves (AuditTableau, AuditTrail, AuditCompiledDtd) are
+// ordinary always-compiled functions returning a list of violations, so
+// tests can exercise them in any build. These macros are the wiring that
+// runs them at solver checkpoints: in a -DXICC_AUDIT=ON build a failing
+// check prints every violation and aborts; in a normal build the hooks
+// compile to nothing (the audit expression is NOT evaluated), keeping the
+// hot paths at zero cost.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace xicc::internal {
+
+/// Prints `violations` (any iterable of strings) under a header and aborts.
+template <typename Violations>
+[[noreturn]] inline void AuditFailure(const char* file, int line,
+                                      const char* expr,
+                                      const Violations& violations) {
+  std::fprintf(stderr, "%s:%d: XICC_DCHECK_AUDIT(%s) failed:\n", file, line,
+               expr);
+  for (const auto& v : violations) {
+    std::fprintf(stderr, "  invariant violated: %s\n", v.c_str());
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace xicc::internal
+
+#if defined(XICC_AUDIT) && XICC_AUDIT
+
+/// Plain invariant check, active only in audit builds.
+#define XICC_DCHECK(cond)                                                  \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "%s:%d: XICC_DCHECK(%s) failed\n", __FILE__,    \
+                   __LINE__, #cond);                                       \
+      std::fflush(stderr);                                                 \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+/// Runs an auditor returning a std::vector<std::string> of violations and
+/// aborts (printing all of them) if any were found.
+#define XICC_DCHECK_AUDIT(audit_expr)                                      \
+  do {                                                                     \
+    const auto _xicc_audit_violations = (audit_expr);                      \
+    if (!_xicc_audit_violations.empty()) {                                 \
+      ::xicc::internal::AuditFailure(__FILE__, __LINE__, #audit_expr,      \
+                                     _xicc_audit_violations);              \
+    }                                                                      \
+  } while (0)
+
+#define XICC_AUDIT_ENABLED 1
+
+#else
+
+#define XICC_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#define XICC_DCHECK_AUDIT(audit_expr) \
+  do {                                \
+  } while (0)
+#define XICC_AUDIT_ENABLED 0
+
+#endif  // XICC_AUDIT

@@ -1,5 +1,4 @@
-#ifndef XICC_BASE_RATIONAL_H_
-#define XICC_BASE_RATIONAL_H_
+#pragma once
 
 #include <ostream>
 #include <string>
@@ -92,5 +91,3 @@ inline std::ostream& operator<<(std::ostream& os, const Rational& v) {
 }
 
 }  // namespace xicc
-
-#endif  // XICC_BASE_RATIONAL_H_

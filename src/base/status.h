@@ -1,5 +1,4 @@
-#ifndef XICC_BASE_STATUS_H_
-#define XICC_BASE_STATUS_H_
+#pragma once
 
 #include <cassert>
 #include <optional>
@@ -32,7 +31,11 @@ enum class StatusCode {
 const char* StatusCodeName(StatusCode code);
 
 /// A success-or-error value. Cheap to copy in the OK case.
-class Status {
+///
+/// [[nodiscard]]: silently dropping a Status is how an inconsistent verdict
+/// escapes unnoticed; every call site must consume it (xicc_lint's
+/// void-discard rule keeps `(void)` muting out too).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -75,7 +78,7 @@ inline std::ostream& operator<<(std::ostream& os, const Status& s) {
 /// Holds either a value of type T or an error Status. Accessing the value of
 /// an errored Result is a programming error (asserts in debug builds).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit so functions can `return value;` / `return status;`.
   Result(T value) : value_(std::move(value)) {}
@@ -130,5 +133,3 @@ class Result {
   lhs = std::move(tmp).value()
 
 }  // namespace xicc
-
-#endif  // XICC_BASE_STATUS_H_

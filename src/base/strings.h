@@ -1,5 +1,4 @@
-#ifndef XICC_BASE_STRINGS_H_
-#define XICC_BASE_STRINGS_H_
+#pragma once
 
 #include <string>
 #include <string_view>
@@ -30,5 +29,3 @@ bool IsValidName(std::string_view s);
 std::string XmlEscape(std::string_view s);
 
 }  // namespace xicc
-
-#endif  // XICC_BASE_STRINGS_H_

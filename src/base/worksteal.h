@@ -1,13 +1,12 @@
-#ifndef XICC_BASE_WORKSTEAL_H_
-#define XICC_BASE_WORKSTEAL_H_
+#pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "base/thread_annotations.h"
 
 namespace xicc {
 
@@ -21,6 +20,11 @@ namespace xicc {
 /// the stealing discipline is about load balance, not lock-free throughput:
 /// a worker stuck in a deep subtree keeps its siblings busy with the tasks
 /// it never got to.
+///
+/// Locking discipline (machine-checked by -DXICC_THREAD_SAFETY=ON): every
+/// queue/counter field is guarded by `mu_`; tasks run with `mu_` released;
+/// the destructor drains every queued task before joining (workers only
+/// exit on `stopping_` when no task is findable anywhere).
 class WorkStealingPool {
  public:
   explicit WorkStealingPool(size_t num_threads)
@@ -36,69 +40,78 @@ class WorkStealingPool {
 
   ~WorkStealingPool() {
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       stopping_ = true;
     }
-    wake_.notify_all();
+    wake_.NotifyAll();
     for (std::thread& worker : workers_) worker.join();
   }
 
   /// Enqueues a task. Safe from any thread, including pool workers.
-  void Submit(std::function<void()> task) {
+  void Submit(std::function<void()> task) XICC_EXCLUDES(mu_) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       queues_[next_queue_++ % queues_.size()].push_back(std::move(task));
       ++pending_;
     }
-    wake_.notify_one();
+    wake_.NotifyOne();
   }
 
   /// Blocks until every submitted task has finished running.
-  void Wait() {
-    std::unique_lock<std::mutex> lock(mu_);
-    drained_.wait(lock, [this] { return pending_ == 0; });
+  void Wait() XICC_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    while (pending_ != 0) drained_.Wait(&mu_);
   }
 
  private:
-  void WorkerLoop(size_t self) {
-    std::unique_lock<std::mutex> lock(mu_);
-    for (;;) {
-      std::function<void()> task;
-      if (!queues_[self].empty()) {
-        task = std::move(queues_[self].front());
-        queues_[self].pop_front();
-      } else {
-        for (size_t k = 1; k < queues_.size() && !task; ++k) {
-          std::deque<std::function<void()>>& victim =
-              queues_[(self + k) % queues_.size()];
-          if (!victim.empty()) {
-            task = std::move(victim.back());
-            victim.pop_back();
-          }
-        }
-      }
-      if (task) {
-        lock.unlock();
-        task();
-        lock.lock();
-        if (--pending_ == 0) drained_.notify_all();
-        continue;
-      }
-      if (stopping_) return;
-      wake_.wait(lock);
+  /// Pops the worker's own front task or steals a sibling's back task;
+  /// returns an empty function when no task is findable anywhere.
+  std::function<void()> TakeTask(size_t self) XICC_REQUIRES(mu_) {
+    std::function<void()> task;
+    if (!queues_[self].empty()) {
+      task = std::move(queues_[self].front());
+      queues_[self].pop_front();
+      return task;
     }
+    for (size_t k = 1; k < queues_.size(); ++k) {
+      std::deque<std::function<void()>>& victim =
+          queues_[(self + k) % queues_.size()];
+      if (!victim.empty()) {
+        task = std::move(victim.back());
+        victim.pop_back();
+        return task;
+      }
+    }
+    return task;
   }
 
-  std::mutex mu_;
-  std::condition_variable wake_;
-  std::condition_variable drained_;
-  std::vector<std::deque<std::function<void()>>> queues_;
+  void WorkerLoop(size_t self) XICC_EXCLUDES(mu_) {
+    mu_.Lock();
+    for (;;) {
+      std::function<void()> task = TakeTask(self);
+      if (task) {
+        mu_.Unlock();
+        task();
+        mu_.Lock();
+        if (--pending_ == 0) drained_.NotifyAll();
+        continue;
+      }
+      if (stopping_) break;
+      wake_.Wait(&mu_);
+    }
+    mu_.Unlock();
+  }
+
+  Mutex mu_;
+  CondVar wake_;
+  CondVar drained_;
+  std::vector<std::deque<std::function<void()>>> queues_ XICC_GUARDED_BY(mu_);
+  /// Written only by the constructor and joined by the destructor, both of
+  /// which run strictly before/after any worker — no guard needed.
   std::vector<std::thread> workers_;
-  size_t next_queue_ = 0;
-  size_t pending_ = 0;
-  bool stopping_ = false;
+  size_t next_queue_ XICC_GUARDED_BY(mu_) = 0;
+  size_t pending_ XICC_GUARDED_BY(mu_) = 0;
+  bool stopping_ XICC_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace xicc
-
-#endif  // XICC_BASE_WORKSTEAL_H_

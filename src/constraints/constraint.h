@@ -1,5 +1,4 @@
-#ifndef XICC_CONSTRAINTS_CONSTRAINT_H_
-#define XICC_CONSTRAINTS_CONSTRAINT_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -115,5 +114,3 @@ class ConstraintSet {
 };
 
 }  // namespace xicc
-
-#endif  // XICC_CONSTRAINTS_CONSTRAINT_H_

@@ -1,5 +1,4 @@
-#ifndef XICC_CONSTRAINTS_CONSTRAINT_PARSER_H_
-#define XICC_CONSTRAINTS_CONSTRAINT_PARSER_H_
+#pragma once
 
 #include <string_view>
 
@@ -25,5 +24,3 @@ Result<ConstraintSet> ParseConstraints(std::string_view input);
 Result<Constraint> ParseConstraint(std::string_view line);
 
 }  // namespace xicc
-
-#endif  // XICC_CONSTRAINTS_CONSTRAINT_PARSER_H_

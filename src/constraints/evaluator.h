@@ -1,5 +1,4 @@
-#ifndef XICC_CONSTRAINTS_EVALUATOR_H_
-#define XICC_CONSTRAINTS_EVALUATOR_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -45,5 +44,3 @@ EvaluationReport Evaluate(const XmlTree& tree, const Constraint& constraint);
 EvaluationReport Evaluate(const XmlTree& tree, const ConstraintSet& set);
 
 }  // namespace xicc
-
-#endif  // XICC_CONSTRAINTS_EVALUATOR_H_

@@ -1,5 +1,4 @@
-#ifndef XICC_CONSTRAINTS_ID_IDREF_H_
-#define XICC_CONSTRAINTS_ID_IDREF_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -36,5 +35,3 @@ struct IdConstraintTranslation {
 Result<IdConstraintTranslation> DeriveIdConstraints(const Dtd& dtd);
 
 }  // namespace xicc
-
-#endif  // XICC_CONSTRAINTS_ID_IDREF_H_

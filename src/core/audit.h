@@ -1,0 +1,25 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/spec_session.h"
+
+namespace xicc {
+
+/// Content digest of the shared compiled artifact: the skeleton system's
+/// full rendering, the variable tables, the factorized skeleton basis, and
+/// the grammar facts that answer linear-cell queries. Two structurally
+/// identical artifacts digest equal; any mutation of a supposedly immutable
+/// field changes it.
+uint64_t CompiledDtdDigest(const CompiledDtd& compiled);
+
+/// Re-digests `compiled` and compares against the digest stored by
+/// CompileDtd. A mismatch means some session or solver path wrote through
+/// the shared read-only artifact — the immutability contract that makes one
+/// CompiledDtd safe to share across CheckBatch workers and SpecSessions.
+/// Returns the violations (empty = intact), like the ilp/audit.h auditors.
+std::vector<std::string> AuditCompiledDtd(const CompiledDtd& compiled);
+
+}  // namespace xicc

@@ -1,5 +1,4 @@
-#ifndef XICC_CORE_BATCH_H_
-#define XICC_CORE_BATCH_H_
+#pragma once
 
 #include <memory>
 #include <vector>
@@ -41,5 +40,3 @@ std::vector<BatchItemResult> CheckBatch(
     const BatchOptions& options = {});
 
 }  // namespace xicc
-
-#endif  // XICC_CORE_BATCH_H_

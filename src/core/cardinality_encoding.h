@@ -1,5 +1,4 @@
-#ifndef XICC_CORE_CARDINALITY_ENCODING_H_
-#define XICC_CORE_CARDINALITY_ENCODING_H_
+#pragma once
 
 #include <map>
 #include <string>
@@ -80,5 +79,3 @@ LinearSystem ApplyBigMLinearization(const LinearSystem& system,
                                         conditionals);
 
 }  // namespace xicc
-
-#endif  // XICC_CORE_CARDINALITY_ENCODING_H_

@@ -1,5 +1,4 @@
-#ifndef XICC_CORE_CLOSURE_H_
-#define XICC_CORE_CLOSURE_H_
+#pragma once
 
 #include <vector>
 
@@ -40,5 +39,3 @@ Result<std::vector<Constraint>> FindRedundantConstraints(
     const ConsistencyOptions& options = {});
 
 }  // namespace xicc
-
-#endif  // XICC_CORE_CLOSURE_H_

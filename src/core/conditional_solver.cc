@@ -2,11 +2,13 @@
 
 #include <atomic>
 #include <chrono>
-#include <mutex>
 #include <optional>
 #include <utility>
 
+#include "base/debug.h"
+#include "base/thread_annotations.h"
 #include "base/worksteal.h"
+#include "ilp/audit.h"
 #include "ilp/simplex.h"
 
 namespace xicc {
@@ -25,12 +27,11 @@ struct SearchShared {
   std::atomic<bool> found{false};
   std::atomic<bool> budget_hit{false};
   std::atomic<bool> failed{false};
-  std::mutex mu;
-  /// Guarded by mu. `solution` carries feasible + values only (statistics
-  /// are assembled from the aggregated counters); `error` is the first leaf
-  /// failure.
-  IlpSolution solution;
-  Status error;
+  Mutex mu;
+  /// `solution` carries feasible + values only (statistics are assembled
+  /// from the aggregated counters); `error` is the first leaf failure.
+  IlpSolution solution XICC_GUARDED_BY(mu);
+  Status error XICC_GUARDED_BY(mu);
 };
 
 /// One case-split DFS over a private trail-managed system. Resolutions are
@@ -48,6 +49,7 @@ class SplitWorker {
   /// cold).
   void Explore(size_t depth, const LpTableau* parent) {
     if (Done()) return;
+    XICC_DCHECK_AUDIT(AuditTrail(*system_));
     size_t node = shared_->nodes.fetch_add(1, std::memory_order_relaxed) + 1;
     if (shared_->options.max_nodes != 0 &&
         node > shared_->options.max_nodes) {
@@ -83,7 +85,7 @@ class SplitWorker {
       Result<IlpSolution> leaf =
           SolveIlp(*system_, shared_->options, &tab);
       if (!leaf.ok()) {
-        std::lock_guard<std::mutex> lock(shared_->mu);
+        MutexLock lock(&shared_->mu);
         if (shared_->error.ok()) shared_->error = leaf.status();
         shared_->failed.store(true, std::memory_order_relaxed);
         return;
@@ -94,7 +96,7 @@ class SplitWorker {
       warm_starts += leaf->warm_starts;
       cold_restarts += leaf->cold_restarts;
       if (leaf->feasible) {
-        std::lock_guard<std::mutex> lock(shared_->mu);
+        MutexLock lock(&shared_->mu);
         if (!shared_->found.load(std::memory_order_relaxed)) {
           shared_->solution.feasible = true;
           shared_->solution.values = std::move(leaf->values);
@@ -176,6 +178,7 @@ class CaseSplitSolver {
     const LpTableau* base_ro = nullptr;
     bool tab_ok = false;
     if (options_.warm_start && warm_ != nullptr && warm_->valid) {
+      XICC_DCHECK_AUDIT(AuditTableau(*work_, warm_->base_tableau));
       base_ro = &warm_->base_tableau;
       tab_ok = true;
     } else {
@@ -266,15 +269,19 @@ class CaseSplitSolver {
     // DFS leaf solves may run on pool threads — a shared scratch would race.
     shared.options.root_scratch = nullptr;
     RunSearch(&base_tab, tab_ok, &shared);
+    XICC_DCHECK_AUDIT(AuditTrail(*work_));
 
     if (shared.found.load()) {
+      // All workers have exited (pool.Wait / sequential return), but the
+      // annotated discipline still wants the lock for the guarded move.
+      MutexLock lock(&shared.mu);
       IlpSolution out = std::move(shared.solution);
       FillStats(&out, shared);
       out.wall_ms = ElapsedMs(start);
       return out;
     }
     if (shared.failed.load()) {
-      std::lock_guard<std::mutex> lock(shared.mu);
+      MutexLock lock(&shared.mu);
       return shared.error;
     }
     if (shared.budget_hit.load()) {
@@ -289,8 +296,9 @@ class CaseSplitSolver {
   }
 
  private:
+  // Timing only, never a verdict. xicc-lint: allow(exact-arithmetic)
   static double ElapsedMs(std::chrono::steady_clock::time_point start) {
-    return std::chrono::duration<double, std::milli>(
+    return std::chrono::duration<double, std::milli>(  // xicc-lint: allow(exact-arithmetic)
                std::chrono::steady_clock::now() - start)
         .count();
   }

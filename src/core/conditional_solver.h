@@ -1,5 +1,4 @@
-#ifndef XICC_CORE_CONDITIONAL_SOLVER_H_
-#define XICC_CORE_CONDITIONAL_SOLVER_H_
+#pragma once
 
 #include <utility>
 #include <vector>
@@ -78,5 +77,3 @@ Result<IlpSolution> SolveWithConditionalsInPlace(
     const IlpOptions& options = {}, CaseSplitWarmContext* warm = nullptr);
 
 }  // namespace xicc
-
-#endif  // XICC_CORE_CONDITIONAL_SOLVER_H_

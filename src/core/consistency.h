@@ -1,5 +1,4 @@
-#ifndef XICC_CORE_CONSISTENCY_H_
-#define XICC_CORE_CONSISTENCY_H_
+#pragma once
 
 #include <optional>
 #include <string>
@@ -53,12 +52,12 @@ struct ConsistencyStats {
   size_t warm_starts = 0;
   size_t cold_restarts = 0;
   /// Wall time spent inside the ILP search (case-split + branch-and-bound).
-  double ilp_wall_ms = 0.0;
+  double ilp_wall_ms = 0.0;  // xicc-lint: allow(exact-arithmetic)
 
   // Spec-session counters (zero outside SpecSession / CheckBatch paths).
   /// Wall time spent compiling the DTD artifact bundle, charged to the
   /// query that triggered compilation (0 afterwards — that is the point).
-  double compile_ms = 0.0;
+  double compile_ms = 0.0;  // xicc-lint: allow(exact-arithmetic)
   /// Queries answered by pushing only C_Σ rows onto the compiled skeleton's
   /// trail instead of rebuilding Ψ(D,Σ) from scratch.
   size_t sigma_delta_checks = 0;
@@ -99,5 +98,3 @@ Result<ConsistencyResult> CheckConsistency(
     const ConsistencyOptions& options = {});
 
 }  // namespace xicc
-
-#endif  // XICC_CORE_CONSISTENCY_H_

@@ -1,5 +1,4 @@
-#ifndef XICC_CORE_ENCODING_SOLVER_H_
-#define XICC_CORE_ENCODING_SOLVER_H_
+#pragma once
 
 #include <vector>
 
@@ -59,5 +58,3 @@ bool SupportIsConnected(const CardinalityEncoding& encoding,
                         const IlpSolution& solution);
 
 }  // namespace xicc
-
-#endif  // XICC_CORE_ENCODING_SOLVER_H_

@@ -1,5 +1,4 @@
-#ifndef XICC_CORE_IMPLICATION_H_
-#define XICC_CORE_IMPLICATION_H_
+#pragma once
 
 #include <optional>
 #include <string>
@@ -40,5 +39,3 @@ Result<ImplicationResult> CheckImplication(
     const ConsistencyOptions& options = {});
 
 }  // namespace xicc
-
-#endif  // XICC_CORE_IMPLICATION_H_

@@ -1,5 +1,4 @@
-#ifndef XICC_CORE_INCREMENTAL_H_
-#define XICC_CORE_INCREMENTAL_H_
+#pragma once
 
 #include <memory>
 #include <optional>
@@ -105,5 +104,3 @@ Result<EquivalenceResult> CheckEquivalence(
     const ConsistencyOptions& options = {});
 
 }  // namespace xicc
-
-#endif  // XICC_CORE_INCREMENTAL_H_

@@ -1,5 +1,4 @@
-#ifndef XICC_CORE_SET_REPRESENTATION_H_
-#define XICC_CORE_SET_REPRESENTATION_H_
+#pragma once
 
 #include <map>
 #include <string>
@@ -72,5 +71,3 @@ RealizeValueSets(const SetRepresentationEncoding& encoding,
                  const IlpSolution& solution);
 
 }  // namespace xicc
-
-#endif  // XICC_CORE_SET_REPRESENTATION_H_

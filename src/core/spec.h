@@ -1,5 +1,4 @@
-#ifndef XICC_CORE_SPEC_H_
-#define XICC_CORE_SPEC_H_
+#pragma once
 
 #include <string>
 #include <string_view>
@@ -50,5 +49,3 @@ struct XmlSpec {
 };
 
 }  // namespace xicc
-
-#endif  // XICC_CORE_SPEC_H_

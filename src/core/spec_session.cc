@@ -5,16 +5,20 @@
 #include <set>
 #include <utility>
 
+#include "base/debug.h"
 #include "constraints/evaluator.h"
+#include "core/audit.h"
 #include "core/encoding_solver.h"
 #include "dtd/validator.h"
+#include "ilp/audit.h"
 
 namespace xicc {
 
 namespace {
 
+// Timing only, never a verdict. xicc-lint: allow(exact-arithmetic)
 double ElapsedMs(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double, std::milli>(
+  return std::chrono::duration<double, std::milli>(  // xicc-lint: allow(exact-arithmetic)
              std::chrono::steady_clock::now() - start)
       .count();
 }
@@ -173,6 +177,7 @@ Result<std::shared_ptr<const CompiledDtd>> CompileDtd(const Dtd& dtd) {
   LpResult lp = SolveLpFeasibility(out->skeleton.system, &out->skeleton_tableau);
   out->skeleton_tableau_valid = lp.feasible;
   out->compile_ms = ElapsedMs(start);
+  out->audit_digest = CompiledDtdDigest(*out);
   return std::shared_ptr<const CompiledDtd>(std::move(out));
 }
 
@@ -204,7 +209,12 @@ Result<ConsistencyResult> SpecSession::Check(const ConstraintSet& sigma) {
   }
   ++stats_.memo_misses;
 
+  XICC_DCHECK_AUDIT(AuditCompiledDtd(*compiled_));
   Result<ConsistencyResult> result = CheckUncached(combined);
+  // The query must leave the shared artifact untouched and the session trail
+  // balanced (every push the solve made was popped).
+  XICC_DCHECK_AUDIT(AuditCompiledDtd(*compiled_));
+  XICC_DCHECK_AUDIT(AuditTrail(system_));
   if (result.ok()) {
     result->stats.memo_misses = 1;
     if (!charged_compile_) {
@@ -300,7 +310,13 @@ Result<ConsistencyResult> SpecSession::CheckDelta(const ConstraintSet& encoded,
   }
 
   // Everything below the checkpoint is this query's: the C_Σ rows, the
-  // min-size row, and whatever the in-place solver pushes.
+  // min-size row, and whatever the in-place solver pushes. Audit builds
+  // check the trail and the warm basis at this boundary — the exact
+  // precondition of the Σ-delta warm re-solve.
+  XICC_DCHECK_AUDIT(AuditTrail(system_));
+  if (warm_.valid) {
+    XICC_DCHECK_AUDIT(AuditTableau(system_, warm_.base_tableau));
+  }
   TrailScope scope(&system_);
 
   // Committed constraints' rows are already materialized below every
@@ -335,6 +351,10 @@ Result<ConsistencyResult> SpecSession::CheckDelta(const ConstraintSet& encoded,
 
   Result<IlpSolution> solved = SolveEncodingSystemInPlace(
       sk, &system_, conditionals, ToSolveOptions(options_), &warm_);
+  XICC_DCHECK_AUDIT(AuditTrail(system_));
+  if (warm_.valid) {
+    XICC_DCHECK_AUDIT(AuditTableau(system_, warm_.base_tableau));
+  }
   if (!solved.ok()) return solved.status();
 
   if (kind == DeltaKind::kCardinality) {

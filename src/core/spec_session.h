@@ -1,5 +1,4 @@
-#ifndef XICC_CORE_SPEC_SESSION_H_
-#define XICC_CORE_SPEC_SESSION_H_
+#pragma once
 
 #include <list>
 #include <map>
@@ -50,7 +49,11 @@ struct CompiledDtd {
   LpTableau skeleton_tableau;
   bool skeleton_tableau_valid = false;
   /// Wall time CompileDtd spent, for the compile-vs-query ablation.
-  double compile_ms = 0.0;
+  double compile_ms = 0.0;  // xicc-lint: allow(exact-arithmetic)
+  /// Content digest stamped by CompileDtd (core/audit.h); XICC_AUDIT builds
+  /// re-check it before and after every session query to machine-check the
+  /// artifact's immutability-under-sharing contract. 0 = not yet stamped.
+  uint64_t audit_digest = 0;
 };
 
 /// Compiles `dtd` into the shared artifact bundle. Fails only if the DTD
@@ -183,5 +186,3 @@ class SpecSession {
 };
 
 }  // namespace xicc
-
-#endif  // XICC_CORE_SPEC_SESSION_H_

@@ -1,5 +1,4 @@
-#ifndef XICC_CORE_STREAMING_VALIDATOR_H_
-#define XICC_CORE_STREAMING_VALIDATOR_H_
+#pragma once
 
 #include <map>
 #include <set>
@@ -99,5 +98,3 @@ Result<StreamingValidator::Summary> ValidateStream(
     const XmlParseOptions& options = {});
 
 }  // namespace xicc
-
-#endif  // XICC_CORE_STREAMING_VALIDATOR_H_

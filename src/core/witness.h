@@ -1,5 +1,4 @@
-#ifndef XICC_CORE_WITNESS_H_
-#define XICC_CORE_WITNESS_H_
+#pragma once
 
 #include <map>
 #include <memory>
@@ -79,5 +78,3 @@ Result<XmlTree> BuildWitnessTree(
     const WitnessOptions& options = {});
 
 }  // namespace xicc
-
-#endif  // XICC_CORE_WITNESS_H_

@@ -1,5 +1,4 @@
-#ifndef XICC_DTD_ANALYSIS_H_
-#define XICC_DTD_ANALYSIS_H_
+#pragma once
 
 #include <set>
 #include <string>
@@ -47,5 +46,3 @@ bool CanHaveTwo(const Dtd& dtd, const std::string& type);
 bool TypeIsUnavoidable(const Dtd& dtd, const std::string& type);
 
 }  // namespace xicc
-
-#endif  // XICC_DTD_ANALYSIS_H_

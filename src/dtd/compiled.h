@@ -1,5 +1,4 @@
-#ifndef XICC_DTD_COMPILED_H_
-#define XICC_DTD_COMPILED_H_
+#pragma once
 
 #include <map>
 #include <memory>
@@ -49,5 +48,3 @@ class CompiledContentModels {
 };
 
 }  // namespace xicc
-
-#endif  // XICC_DTD_COMPILED_H_

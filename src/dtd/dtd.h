@@ -1,5 +1,4 @@
-#ifndef XICC_DTD_DTD_H_
-#define XICC_DTD_DTD_H_
+#pragma once
 
 #include <map>
 #include <set>
@@ -102,5 +101,3 @@ class DtdBuilder {
 };
 
 }  // namespace xicc
-
-#endif  // XICC_DTD_DTD_H_

@@ -1,5 +1,4 @@
-#ifndef XICC_DTD_DTD_PARSER_H_
-#define XICC_DTD_DTD_PARSER_H_
+#pragma once
 
 #include <string_view>
 
@@ -28,5 +27,3 @@ namespace xicc {
 Result<Dtd> ParseDtd(std::string_view input);
 
 }  // namespace xicc
-
-#endif  // XICC_DTD_DTD_PARSER_H_

@@ -1,5 +1,4 @@
-#ifndef XICC_DTD_GLUSHKOV_H_
-#define XICC_DTD_GLUSHKOV_H_
+#pragma once
 
 #include <map>
 #include <set>
@@ -72,5 +71,3 @@ class ContentModelMatcher {
 };
 
 }  // namespace xicc
-
-#endif  // XICC_DTD_GLUSHKOV_H_

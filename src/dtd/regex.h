@@ -1,5 +1,4 @@
-#ifndef XICC_DTD_REGEX_H_
-#define XICC_DTD_REGEX_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -79,5 +78,3 @@ class Regex {
 };
 
 }  // namespace xicc
-
-#endif  // XICC_DTD_REGEX_H_

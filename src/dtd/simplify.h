@@ -1,5 +1,4 @@
-#ifndef XICC_DTD_SIMPLIFY_H_
-#define XICC_DTD_SIMPLIFY_H_
+#pragma once
 
 #include <set>
 #include <string>
@@ -39,5 +38,3 @@ bool IsSimpleDtd(const Dtd& dtd);
 Result<SimplifiedDtd> SimplifyDtd(const Dtd& dtd);
 
 }  // namespace xicc
-
-#endif  // XICC_DTD_SIMPLIFY_H_

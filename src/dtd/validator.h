@@ -1,5 +1,4 @@
-#ifndef XICC_DTD_VALIDATOR_H_
-#define XICC_DTD_VALIDATOR_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -49,5 +48,3 @@ ValidationReport ValidateXml(const XmlTree& tree, const Dtd& dtd,
                              const ValidateOptions& options);
 
 }  // namespace xicc
-
-#endif  // XICC_DTD_VALIDATOR_H_

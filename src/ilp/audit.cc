@@ -1,0 +1,178 @@
+#include "ilp/audit.h"
+
+#include <string>
+#include <vector>
+
+#include "base/bigint.h"
+#include "base/rational.h"
+
+namespace xicc {
+
+namespace {
+
+std::string RowCol(size_t row, size_t col) {
+  return "row " + std::to_string(row) + ", column " + std::to_string(col);
+}
+
+/// Canonical-form check for one exact cell: positive denominator, fully
+/// reduced. A cell that fails this was produced by arithmetic outside the
+/// Rational class's normalizing operations — the exactness invariant the
+/// NP-upper-bound encodings depend on.
+void CheckCell(const Rational& value, const std::string& where,
+               std::vector<std::string>* out) {
+  if (value.den().sign() <= 0) {
+    out->push_back("non-positive denominator at " + where);
+    return;
+  }
+  if (!(BigInt::Gcd(value.num(), value.den()) == BigInt(1))) {
+    out->push_back("unreduced rational at " + where);
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> AuditTrail(const LinearSystem& system) {
+  return AuditTrail(system.checkpoints(), system.NumVariables(),
+                    system.NumConstraints());
+}
+
+std::vector<std::string> AuditTrail(
+    const std::vector<LinearSystem::Checkpoint>& trail, size_t num_variables,
+    size_t num_constraints) {
+  std::vector<std::string> out;
+  size_t prev_vars = 0;
+  size_t prev_rows = 0;
+  for (size_t i = 0; i < trail.size(); ++i) {
+    const LinearSystem::Checkpoint& cp = trail[i];
+    if (cp.num_variables < prev_vars || cp.num_constraints < prev_rows) {
+      out.push_back("checkpoint " + std::to_string(i) +
+                    " is not monotone: (" + std::to_string(cp.num_variables) +
+                    " vars, " + std::to_string(cp.num_constraints) +
+                    " rows) below its predecessor (" +
+                    std::to_string(prev_vars) + " vars, " +
+                    std::to_string(prev_rows) + " rows)");
+    }
+    if (cp.num_variables > num_variables ||
+        cp.num_constraints > num_constraints) {
+      out.push_back("checkpoint " + std::to_string(i) + " records (" +
+                    std::to_string(cp.num_variables) + " vars, " +
+                    std::to_string(cp.num_constraints) +
+                    " rows) beyond the live system (" +
+                    std::to_string(num_variables) + " vars, " +
+                    std::to_string(num_constraints) + " rows)");
+    }
+    prev_vars = cp.num_variables;
+    prev_rows = cp.num_constraints;
+  }
+  return out;
+}
+
+std::vector<std::string> AuditTableau(const LinearSystem& system,
+                                      const LpTableau& tableau) {
+  std::vector<std::string> out;
+  const size_t m = tableau.rows.size();
+  const size_t cols = tableau.columns.size();
+
+  if (tableau.num_constraints > system.NumConstraints()) {
+    out.push_back("tableau covers " +
+                  std::to_string(tableau.num_constraints) +
+                  " system rows but the system has only " +
+                  std::to_string(system.NumConstraints()));
+  }
+  if (tableau.basis.size() != m || tableau.rhs.size() != m) {
+    out.push_back("shape mismatch: " + std::to_string(m) + " rows vs " +
+                  std::to_string(tableau.basis.size()) + " basis entries / " +
+                  std::to_string(tableau.rhs.size()) + " rhs entries");
+    return out;  // Nothing below indexes safely.
+  }
+
+  for (size_t j = 0; j < cols; ++j) {
+    const LpColumnInfo& column = tableau.columns[j];
+    if (column.kind == LpColumnInfo::Kind::kStructural) {
+      if (column.index < 0 ||
+          static_cast<size_t>(column.index) >= system.NumVariables()) {
+        out.push_back("structural column " + std::to_string(j) +
+                      " names unknown variable " +
+                      std::to_string(column.index));
+      }
+    } else {
+      if (column.index < 0 ||
+          static_cast<size_t>(column.index) >= tableau.num_constraints) {
+        out.push_back("slack column " + std::to_string(j) +
+                      " names row " + std::to_string(column.index) +
+                      " outside the covered prefix");
+      }
+      if (column.sub_sign != -1 && column.sub_sign != 1) {
+        out.push_back("slack column " + std::to_string(j) +
+                      " has substitution sign " +
+                      std::to_string(column.sub_sign) + " (want ±1)");
+      }
+    }
+  }
+
+  std::vector<int> basic_in(cols, -1);
+  for (size_t i = 0; i < m; ++i) {
+    if (tableau.rows[i].size() != cols) {
+      out.push_back("row " + std::to_string(i) + " has " +
+                    std::to_string(tableau.rows[i].size()) +
+                    " cells for " + std::to_string(cols) + " columns");
+      return out;
+    }
+    const int b = tableau.basis[i];
+    if (b >= static_cast<int>(cols)) {
+      out.push_back("basis entry " + std::to_string(i) +
+                    " names column " + std::to_string(b) + " of " +
+                    std::to_string(cols));
+      continue;
+    }
+    if (b < 0) {
+      // A degenerate artificial still basic: the row must be at value 0.
+      if (!tableau.rhs[i].is_zero()) {
+        out.push_back("artificial-basic row " + std::to_string(i) +
+                      " has nonzero rhs (must be degenerate)");
+      }
+      continue;
+    }
+    if (basic_in[b] >= 0) {
+      out.push_back("column " + std::to_string(b) + " is basic in rows " +
+                    std::to_string(basic_in[b]) + " and " +
+                    std::to_string(i));
+      continue;
+    }
+    basic_in[b] = static_cast<int>(i);
+  }
+
+  // Unit-column property: a basic column carries 1 in its own row and 0
+  // everywhere else — the algebraic core of "x_B = rhs − Σ nonbasic terms".
+  const Rational one(BigInt(1));
+  for (size_t j = 0; j < cols; ++j) {
+    if (basic_in[j] < 0) continue;
+    for (size_t i = 0; i < m; ++i) {
+      const Rational& cell = tableau.rows[i][j];
+      if (i == static_cast<size_t>(basic_in[j])) {
+        if (!(cell == one)) {
+          out.push_back("basic column " + std::to_string(j) +
+                        " is not unit in its own row " + std::to_string(i));
+        }
+      } else if (!cell.is_zero()) {
+        out.push_back("basic column " + std::to_string(j) +
+                      " has a nonzero entry outside its row, at " +
+                      RowCol(i, j));
+      }
+    }
+  }
+
+  for (size_t i = 0; i < m; ++i) {
+    if (tableau.rhs[i].sign() < 0) {
+      out.push_back("negative rhs in row " + std::to_string(i) +
+                    " (an infeasible re-solve leaked into a kept tableau)");
+    }
+    CheckCell(tableau.rhs[i], "rhs of row " + std::to_string(i), &out);
+    for (size_t j = 0; j < cols; ++j) {
+      CheckCell(tableau.rows[i][j], RowCol(i, j), &out);
+    }
+  }
+  return out;
+}
+
+}  // namespace xicc

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ilp/linear_system.h"
+#include "ilp/simplex.h"
+
+namespace xicc {
+
+/// Invariant auditors for the exact-ILP substrate. Each returns a list of
+/// human-readable violations — empty means every invariant holds — so tests
+/// can exercise them in any build; the XICC_AUDIT build wires them into
+/// solver checkpoints via XICC_DCHECK_AUDIT (base/debug.h), where any
+/// violation aborts with the full list.
+
+/// Trail discipline of a LinearSystem: checkpoints are monotone
+/// nondecreasing in both sizes (rows and variables are append-only) and
+/// never exceed the live system — the precondition every PopCheckpoint,
+/// warm re-solve prefix, and TrailScope relies on.
+std::vector<std::string> AuditTrail(const LinearSystem& system);
+
+/// The same check over raw trail data. LinearSystem's own API cannot build
+/// a bad trail (that is the invariant); this overload lets tests and
+/// external checkpointing code audit a candidate trail directly.
+std::vector<std::string> AuditTrail(
+    const std::vector<LinearSystem::Checkpoint>& trail, size_t num_variables,
+    size_t num_constraints);
+
+/// Consistency of a retained warm-start basis against the system it seeds:
+///  - the tableau covers a row prefix of `system` and no unknown variables;
+///  - column metadata is well formed (structural ids in range, slack rows in
+///    range with a ±1 substitution sign);
+///  - the basis is a valid simplex basis (each basic column is a unit
+///    column; no column basic in two rows; artificial-basic rows are
+///    degenerate);
+///  - the export is primal feasible (rhs ≥ 0 — infeasible re-solves must
+///    never fold back into a kept tableau);
+///  - every cell is an exact Rational in canonical form (positive
+///    denominator, reduced) — the invariant that catches any floating-point
+///    or un-normalized arithmetic leaking into a pivot.
+std::vector<std::string> AuditTableau(const LinearSystem& system,
+                                      const LpTableau& tableau);
+
+}  // namespace xicc

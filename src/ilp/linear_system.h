@@ -1,5 +1,4 @@
-#ifndef XICC_ILP_LINEAR_SYSTEM_H_
-#define XICC_ILP_LINEAR_SYSTEM_H_
+#pragma once
 
 #include <map>
 #include <string>
@@ -94,15 +93,19 @@ class LinearSystem {
   void PopCheckpoint();
   size_t CheckpointDepth() const { return trail_.size(); }
 
-  /// Human-readable rendering, one constraint per line.
-  std::string ToString() const;
-
- private:
+  /// One trail entry: the system sizes at PushCheckpoint time.
   struct Checkpoint {
     size_t num_variables;
     size_t num_constraints;
   };
+  /// The live trail, oldest first — read by AuditTrail (ilp/audit.h) to
+  /// machine-check checkpoint discipline in XICC_AUDIT builds.
+  const std::vector<Checkpoint>& checkpoints() const { return trail_; }
 
+  /// Human-readable rendering, one constraint per line.
+  std::string ToString() const;
+
+ private:
   std::vector<std::string> names_;
   std::vector<LinearConstraint> constraints_;
   std::vector<Checkpoint> trail_;
@@ -126,5 +129,3 @@ class TrailScope {
 };
 
 }  // namespace xicc
-
-#endif  // XICC_ILP_LINEAR_SYSTEM_H_

@@ -1,5 +1,4 @@
-#ifndef XICC_ILP_SIMPLEX_H_
-#define XICC_ILP_SIMPLEX_H_
+#pragma once
 
 #include <vector>
 
@@ -119,5 +118,3 @@ WarmResult ReSolveLpFeasibilityDualInPlace(const LinearSystem& system,
                                            LpTableau* tableau);
 
 }  // namespace xicc
-
-#endif  // XICC_ILP_SIMPLEX_H_

@@ -4,6 +4,8 @@
 #include <optional>
 #include <utility>
 
+#include "base/debug.h"
+#include "ilp/audit.h"
 #include "ilp/simplex.h"
 
 namespace xicc {
@@ -135,7 +137,7 @@ class BranchAndBound {
     }
     solution_.feasible = found;
     solution_.wall_ms =
-        std::chrono::duration<double, std::milli>(
+        std::chrono::duration<double, std::milli>(  // xicc-lint: allow(exact-arithmetic)
             std::chrono::steady_clock::now() - start)
             .count();
     return std::move(solution_);
@@ -154,12 +156,20 @@ class BranchAndBound {
       solution_.lp_pivots += warm.lp.pivots;
       if (warm.status == WarmStatus::kOk) {
         ++solution_.warm_starts;
+        // The folded-back warm tableau must satisfy the same invariants as
+        // a cold export — this is where a broken dual pivot would surface.
+        if (warm.lp.feasible) {
+          XICC_DCHECK_AUDIT(AuditTableau(work_, *tab));
+        }
         return std::move(warm.lp);
       }
     }
     ++solution_.cold_restarts;
     LpResult lp = SolveLpFeasibility(work_, tab);
     solution_.lp_pivots += lp.pivots;
+    if (lp.feasible && tab != nullptr) {
+      XICC_DCHECK_AUDIT(AuditTableau(work_, *tab));
+    }
     return lp;
   }
 
@@ -173,6 +183,7 @@ class BranchAndBound {
       return false;
     }
     ++solution_.nodes_explored;
+    XICC_DCHECK_AUDIT(AuditTrail(work_));
 
     // Gomory cuts derived here stay pushed for the whole subtree (they are
     // valid under the current branches) and are undone when the node exits.

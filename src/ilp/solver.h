@@ -1,5 +1,4 @@
-#ifndef XICC_ILP_SOLVER_H_
-#define XICC_ILP_SOLVER_H_
+#pragma once
 
 #include <vector>
 
@@ -62,7 +61,7 @@ struct IlpSolution {
   /// start, or warm-basis fallbacks).
   size_t cold_restarts = 0;
   /// Wall-clock time spent inside the solve.
-  double wall_ms = 0.0;
+  double wall_ms = 0.0;  // xicc-lint: allow(exact-arithmetic)
 };
 
 /// The Papadimitriou bound (J.ACM 28(4), 1981), as used in Theorem 4.1 and
@@ -96,5 +95,3 @@ Result<IlpSolution> SolveIlp(const LinearSystem& system,
                              const LpTableau* warm_hint = nullptr);
 
 }  // namespace xicc
-
-#endif  // XICC_ILP_SOLVER_H_

@@ -1,5 +1,4 @@
-#ifndef XICC_RELATIONAL_DEPENDENCIES_H_
-#define XICC_RELATIONAL_DEPENDENCIES_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -49,5 +48,3 @@ bool SatisfiesAll(const Instance& instance,
 
 }  // namespace relational
 }  // namespace xicc
-
-#endif  // XICC_RELATIONAL_DEPENDENCIES_H_

@@ -1,5 +1,4 @@
-#ifndef XICC_RELATIONAL_REDUCTION_H_
-#define XICC_RELATIONAL_REDUCTION_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -101,5 +100,3 @@ Result<ImplicationEncoding> EncodeConsistencyAsInclusionImplication(
 
 }  // namespace relational
 }  // namespace xicc
-
-#endif  // XICC_RELATIONAL_REDUCTION_H_

@@ -1,5 +1,4 @@
-#ifndef XICC_RELATIONAL_SCHEMA_H_
-#define XICC_RELATIONAL_SCHEMA_H_
+#pragma once
 
 #include <map>
 #include <string>
@@ -61,5 +60,3 @@ class Instance {
 
 }  // namespace relational
 }  // namespace xicc
-
-#endif  // XICC_RELATIONAL_SCHEMA_H_

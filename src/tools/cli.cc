@@ -62,6 +62,14 @@ Constraint syntax (one per line):
   fk subject(taught_by) => teacher(name)
   inclusion a(x) <= b(y)
   !key a(x)          !inclusion a(x) <= b(y)
+
+--stats prints the solver counters behind a verdict (system size, ILP
+nodes, warm/cold LP solves, compile-vs-query time, sigma-delta and memo
+hits). Verdict soundness itself is machine-checked separately: xicc_lint
+gates the source invariants (exact arithmetic, determinism, annotated
+concurrency), -DXICC_THREAD_SAFETY=ON makes clang verify the locking, and
+a -DXICC_AUDIT=ON build re-checks solver invariants at every checkpoint —
+see "Verifying correctness" in README.md.
 )";
 
 Result<std::string> ReadFile(const std::string& path) {

@@ -1,5 +1,4 @@
-#ifndef XICC_TOOLS_CLI_H_
-#define XICC_TOOLS_CLI_H_
+#pragma once
 
 #include <ostream>
 #include <string>
@@ -29,5 +28,3 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
 
 }  // namespace tools
 }  // namespace xicc
-
-#endif  // XICC_TOOLS_CLI_H_

@@ -1,0 +1,65 @@
+// xicc_lint — the repo's soundness linter (see src/analysis/lint_rules.h).
+//
+// Walks <root>/src and enforces the invariants no compiler checks for us:
+// exact arithmetic in the verdict paths, no nondeterminism, annotated
+// concurrency primitives only, no muted [[nodiscard]] results, #pragma once,
+// and include layering. Exits 0 when clean, 1 with file:line diagnostics
+// otherwise, 2 on usage/I/O errors.
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "analysis/lint_rules.h"
+
+namespace {
+
+constexpr const char* kUsage = R"(usage: xicc_lint [options]
+  --root DIR    repository root to lint (default: .); scans DIR/src
+  --fix         apply mechanical fixes in place (pragma-once guards), then
+                report what remains
+  --list-rules  print every rule with its summary and exit
+
+Suppress a finding with a trailing comment on (or directly above) the line:
+  // xicc-lint: allow(rule-name)
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  bool fix = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
+      root = argv[++i];
+    } else if (std::strcmp(argv[i], "--fix") == 0) {
+      fix = true;
+    } else if (std::strcmp(argv[i], "--list-rules") == 0) {
+      for (const xicc::LintRuleInfo& rule : xicc::LintRules()) {
+        std::cout << rule.name << (rule.fixable ? "  [fixable]" : "") << "\n    "
+                  << rule.summary << "\n";
+      }
+      return 0;
+    } else if (std::strcmp(argv[i], "--help") == 0 ||
+               std::strcmp(argv[i], "-h") == 0) {
+      std::cout << kUsage;
+      return 0;
+    } else {
+      std::cerr << "unknown argument '" << argv[i] << "'\n" << kUsage;
+      return 2;
+    }
+  }
+
+  xicc::Result<xicc::LintRunReport> run = xicc::RunLint(root, fix);
+  if (!run.ok()) {
+    std::cerr << "xicc_lint: " << run.status() << "\n";
+    return 2;
+  }
+  for (const xicc::LintIssue& issue : run->issues) {
+    std::cout << issue.ToString() << "\n";
+  }
+  std::cerr << "xicc_lint: " << run->files_scanned << " files scanned, "
+            << run->files_fixed << " fixed, " << run->issues.size()
+            << " finding" << (run->issues.size() == 1 ? "" : "s") << "\n";
+  return run->issues.empty() ? 0 : 1;
+}

@@ -1,5 +1,4 @@
-#ifndef XICC_WORKLOADS_GENERATORS_H_
-#define XICC_WORKLOADS_GENERATORS_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -87,5 +86,3 @@ bool LipHasBinarySolution(const BinaryLipInstance& instance);
 
 }  // namespace workloads
 }  // namespace xicc
-
-#endif  // XICC_WORKLOADS_GENERATORS_H_

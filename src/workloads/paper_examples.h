@@ -1,5 +1,4 @@
-#ifndef XICC_WORKLOADS_PAPER_EXAMPLES_H_
-#define XICC_WORKLOADS_PAPER_EXAMPLES_H_
+#pragma once
 
 #include "constraints/constraint.h"
 #include "dtd/dtd.h"
@@ -33,5 +32,3 @@ ConstraintSet SchoolSigma();
 
 }  // namespace workloads
 }  // namespace xicc
-
-#endif  // XICC_WORKLOADS_PAPER_EXAMPLES_H_

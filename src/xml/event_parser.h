@@ -1,5 +1,4 @@
-#ifndef XICC_XML_EVENT_PARSER_H_
-#define XICC_XML_EVENT_PARSER_H_
+#pragma once
 
 #include <string>
 #include <string_view>
@@ -42,5 +41,3 @@ Status ParseXmlEvents(std::string_view input, XmlEventHandler* handler,
                       const XmlParseOptions& options = {});
 
 }  // namespace xicc
-
-#endif  // XICC_XML_EVENT_PARSER_H_

@@ -1,5 +1,4 @@
-#ifndef XICC_XML_PARSER_H_
-#define XICC_XML_PARSER_H_
+#pragma once
 
 #include <string_view>
 
@@ -20,5 +19,3 @@ Result<XmlTree> ParseXml(std::string_view input,
                          const XmlParseOptions& options = {});
 
 }  // namespace xicc
-
-#endif  // XICC_XML_PARSER_H_

@@ -1,5 +1,4 @@
-#ifndef XICC_XML_SERIALIZER_H_
-#define XICC_XML_SERIALIZER_H_
+#pragma once
 
 #include <string>
 
@@ -21,5 +20,3 @@ std::string SerializeXml(const XmlTree& tree,
                          const XmlSerializeOptions& options = {});
 
 }  // namespace xicc
-
-#endif  // XICC_XML_SERIALIZER_H_

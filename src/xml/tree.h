@@ -1,5 +1,4 @@
-#ifndef XICC_XML_TREE_H_
-#define XICC_XML_TREE_H_
+#pragma once
 
 #include <cstdint>
 #include <optional>
@@ -99,5 +98,3 @@ class XmlTree {
 };
 
 }  // namespace xicc
-
-#endif  // XICC_XML_TREE_H_

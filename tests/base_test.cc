@@ -1,9 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <functional>
+
 #include "base/bigint.h"
 #include "base/rational.h"
 #include "base/status.h"
 #include "base/strings.h"
+#include "base/worksteal.h"
 
 namespace xicc {
 namespace {
@@ -268,6 +272,68 @@ TEST(StringsTest, NameValidation) {
 TEST(StringsTest, XmlEscape) {
   EXPECT_EQ(XmlEscape("a<b>&\"c'"), "a&lt;b&gt;&amp;&quot;c&apos;");
   EXPECT_EQ(XmlEscape("plain"), "plain");
+}
+
+// ------------------------------------------------------- WorkStealingPool.
+//
+// Regression coverage for the locking discipline the thread-safety
+// annotations machine-check (-DXICC_THREAD_SAFETY=ON): Wait() observes
+// every submitted task including ones submitted by running tasks, the
+// destructor drains queued work before joining, and the same discipline
+// holds under TSan (the sanitizer CI job runs this suite).
+
+TEST(WorkStealingPoolTest, WaitObservesEverySubmittedTask) {
+  WorkStealingPool pool(4);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.Submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 200);
+
+  // The pool is reusable after a drain.
+  pool.Submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 201);
+}
+
+TEST(WorkStealingPoolTest, TasksMaySubmitMoreWork) {
+  // The case-split search submits child subtrees from inside a running
+  // task; Wait() must count the children even though they were enqueued
+  // after it started blocking.
+  WorkStealingPool pool(3);
+  std::atomic<int> ran{0};
+  std::function<void(int)> spawn = [&](int depth) {
+    ran.fetch_add(1, std::memory_order_relaxed);
+    if (depth < 4) {
+      pool.Submit([&spawn, depth] { spawn(depth + 1); });
+      pool.Submit([&spawn, depth] { spawn(depth + 1); });
+    }
+  };
+  pool.Submit([&spawn] { spawn(0); });
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 31);  // Full binary tree, depths 0..4: 2^5 - 1.
+}
+
+TEST(WorkStealingPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  {
+    // One worker, many tasks: most are still queued when the destructor
+    // runs; workers only exit on `stopping_` when no task is findable.
+    WorkStealingPool pool(1);
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(WorkStealingPoolTest, ZeroThreadsClampsToOneWorker) {
+  WorkStealingPool pool(0);
+  std::atomic<int> ran{0};
+  pool.Submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 1);
 }
 
 }  // namespace
