@@ -109,8 +109,9 @@ void RunBatchAblation(bench::JsonReport& report) {
   auto compiled = CompileDtd(dtd);
   if (!compiled.ok()) std::abort();
 
-  std::printf("%10s %12s %12s %12s %10s\n", "threads", "queries", "time(ms)",
-              "fresh(ms)", "speedup");
+  std::printf("%10s %12s %12s %12s %10s %10s %10s\n", "threads", "queries",
+              "time(ms)", "fresh(ms)", "speedup", "promo", "arena(B)");
+  double one_thread_ms = 0.0;
   for (size_t threads : {1, 2, 4, 8}) {
     BatchOptions options;
     options.num_threads = threads;
@@ -119,23 +120,40 @@ void RunBatchAblation(bench::JsonReport& report) {
     double batch_ms = bench::BestTimeMs(3, [&] {
       results = CheckBatch(*compiled, queries, options);
     });
+    uint64_t small_ops = 0, promotions = 0, arena_bytes = 0;
     for (size_t i = 0; i < queries.size(); ++i) {
       if (!results[i].status.ok()) std::abort();
       // Bit-identical verdicts at every thread count, per the contract.
       if ((results[i].result.consistent ? 1 : 0) != fresh_verdicts[i]) {
         std::abort();
       }
+      small_ops += results[i].result.stats.num_small_ops;
+      promotions += results[i].result.stats.num_promotions;
+      arena_bytes += results[i].result.stats.arena_bytes;
     }
+    if (threads == 1) one_thread_ms = batch_ms;
     double speedup = batch_ms > 0 ? fresh_ms / batch_ms : 0.0;
-    std::printf("%10zu %12zu %12.3f %12.3f %9.2fx\n", threads, queries.size(),
-                batch_ms, fresh_ms, speedup);
+    const double promo_rate =  // xicc-lint: allow(exact-arithmetic)
+        small_ops > 0 ? static_cast<double>(promotions) / small_ops : 0.0;
+    std::printf("%10zu %12zu %12.3f %12.3f %9.2fx %10.2e %10zu\n", threads,
+                queries.size(), batch_ms, fresh_ms, speedup, promo_rate,
+                static_cast<size_t>(arena_bytes));
     report.AddRow("batch")
         .Set("threads", threads)
         .Set("queries", queries.size())
         .Set("batch_ms", batch_ms)
         .Set("fresh_ms", fresh_ms)
         .Set("speedup_x", speedup)
+        .Set("promotion_rate", promo_rate)
+        .Set("arena_bytes", arena_bytes)
         .Set("verdicts_identical", true);
+    // The scaling contract (CI bench-smoke gates on it): adding threads
+    // never loses throughput relative to the 1-thread batch.
+    report.AddRow("scaling")
+        .Set("threads", threads)
+        .Set("batch_ms", batch_ms)
+        .Set("speedup_vs_1thread_x",
+             batch_ms > 0 ? one_thread_ms / batch_ms : 0.0);
   }
 }
 

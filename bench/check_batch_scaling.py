@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""CI gate on batch parallel scaling.
+
+Reads the `scaling` section bench_incremental writes into
+BENCH_incremental.json (one row per thread count: threads, batch_ms,
+speedup_vs_1thread_x) and fails the build if adding threads LOSES
+throughput: the 4-thread batch must be at least as fast as the 1-thread
+batch, modulo a small noise tolerance. This is the regression the
+cache-line-padded deque shards and the per-thread arenas exist to prevent
+— a refactor that reintroduces a shared hot line or a global-allocator
+stampede shows up here as 4-thread speedup < 1.
+
+Usage: check_batch_scaling.py [BENCH_incremental.json]
+"""
+
+import json
+import sys
+
+# 5% grace for timer noise on busy CI runners; a real contention regression
+# (the failure mode this gate exists for) costs far more than 5%.
+TOLERANCE = 0.95
+GATE_THREADS = 4
+
+
+def main() -> int:
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_incremental.json"
+    with open(path) as fh:
+        report = json.load(fh)
+
+    scaling = {
+        row["threads"]: row
+        for row in report.get("rows", [])
+        if row.get("section") == "scaling"
+    }
+    if 1 not in scaling or GATE_THREADS not in scaling:
+        print(
+            f"error: {path} has no scaling rows for 1 and {GATE_THREADS} "
+            f"threads (found: {sorted(scaling)})",
+            file=sys.stderr,
+        )
+        return 2
+
+    base = scaling[1]["speedup_vs_1thread_x"]  # 1.0 by construction.
+    gated = scaling[GATE_THREADS]["speedup_vs_1thread_x"]
+    for threads in sorted(scaling):
+        row = scaling[threads]
+        print(
+            f"  {threads} thread(s): {row['batch_ms']:.3f} ms, "
+            f"{row['speedup_vs_1thread_x']:.3f}x vs 1-thread"
+        )
+
+    if gated < base * TOLERANCE:
+        print(
+            f"FAIL: {GATE_THREADS}-thread batch speedup {gated:.3f}x is below "
+            f"the 1-thread baseline {base:.3f}x (tolerance {TOLERANCE}) — "
+            "parallelism is losing throughput; suspect deque-shard or "
+            "allocator contention.",
+            file=sys.stderr,
+        )
+        return 1
+
+    print(f"OK: {GATE_THREADS}-thread speedup {gated:.3f}x >= "
+          f"{base:.3f}x * {TOLERANCE}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

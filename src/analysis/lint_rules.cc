@@ -226,6 +226,49 @@ bool LineSuppressed(const std::vector<Line>& lines, size_t k,
   return k > 0 && lines[k - 1].allows.count(rule) > 0;
 }
 
+/// Bare `int64_t` in src/ilp/ — the word type tableau coefficients must NOT
+/// live in. Coefficient arithmetic belongs in Num (base/num.h), whose small
+/// tier overflow-checks every op and promotes to BigInt; a raw int64_t
+/// add/mul silently wraps. `static_cast<int64_t>` stays legal: casting a
+/// size_t dimension for BigInt construction is bookkeeping, not coefficient
+/// arithmetic.
+void CheckRawCoefficientWords(const std::vector<Line>& lines,
+                              const std::string& rel_path,
+                              std::vector<LintIssue>* out) {
+  const std::string token = "int64_t";
+  for (size_t k = 0; k < lines.size(); ++k) {
+    if (LineSuppressed(lines, k, "raw-coefficient-words")) continue;
+    const std::string& code = lines[k].code;
+    size_t at = code.find(token);
+    while (at != std::string::npos) {
+      const bool left_ok =
+          at == 0 || (!IsIdentChar(code[at - 1]) && code[at - 1] != ':');
+      const size_t end = at + token.size();
+      const bool right_ok =
+          end >= code.size() || (!IsIdentChar(code[end]) && code[end] != ':');
+      if (left_ok && right_ok) {
+        // Allow `static_cast<int64_t>`: scan left past whitespace for '<'
+        // preceded by "static_cast".
+        size_t p = at;
+        while (p > 0 && code[p - 1] == ' ') --p;
+        const std::string cast = "static_cast<";
+        const bool is_cast =
+            p >= cast.size() && code.compare(p - cast.size(), cast.size(),
+                                             cast) == 0;
+        if (!is_cast) {
+          out->push_back(
+              {rel_path, k + 1, "raw-coefficient-words",
+               "'int64_t' in src/ilp/: tableau coefficients must use the "
+               "overflow-checked two-tier Num (base/num.h), never raw 64-bit "
+               "words; static_cast<int64_t> of a dimension is fine"});
+          break;
+        }
+      }
+      at = code.find(token, at + 1);
+    }
+  }
+}
+
 /// `(void)Identifier(...)` — a muted call. `(void)param;` (no call) is the
 /// accepted unused-parameter idiom and is not flagged.
 void CheckVoidDiscard(const std::vector<Line>& lines,
@@ -314,7 +357,13 @@ std::string LintIssue::ToString() const {
 const std::vector<LintRuleInfo>& LintRules() {
   static const std::vector<LintRuleInfo> kRules = {
       {"exact-arithmetic",
-       "no float/double in src/ilp/ or src/core/ verdict paths", false},
+       "no float/double in src/ilp/ or src/core/ verdict paths "
+       "(BigInt/Rational/Num only)",
+       false},
+      {"raw-coefficient-words",
+       "no bare int64_t on src/ilp/ coefficients (use the two-tier Num; "
+       "static_cast<int64_t> allowed)",
+       false},
       {"no-nondeterminism",
        "no rand/random_device/mt19937/system_clock in src/ilp/ or src/core/",
        false},
@@ -340,7 +389,7 @@ std::vector<LintIssue> LintFile(const std::string& rel_path,
                 {"exact-arithmetic",
                  {"float", "double"},
                  "in a verdict path: the ILP/simplex core is exact "
-                 "BigInt/Rational arithmetic only"},
+                 "BigInt/Rational/Num (two-tier) arithmetic only"},
                 rel_path, &out);
     CheckTokens(lines,
                 {"no-nondeterminism",
@@ -352,6 +401,9 @@ std::vector<LintIssue> LintFile(const std::string& rel_path,
                  "in a verdict path: verdicts must be deterministic and "
                  "replayable"},
                 rel_path, &out);
+  }
+  if (dir == "ilp") {
+    CheckRawCoefficientWords(lines, rel_path, &out);
   }
   if (!dir.empty() && dir != "base") {
     CheckTokens(lines,

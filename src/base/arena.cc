@@ -1,0 +1,10 @@
+#include "base/arena.h"
+
+namespace xicc {
+
+Arena& ThisThreadArena() {
+  static thread_local Arena arena;
+  return arena;
+}
+
+}  // namespace xicc

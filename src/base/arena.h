@@ -1,0 +1,143 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace xicc {
+
+/// Chunked bump allocator for solver scratch.
+///
+/// Not thread-safe by design: each worksteal worker gets its own arena via
+/// ThisThreadArena(), so the simplex hot loop never touches the global
+/// allocator or another worker's cache lines. Deallocation is wholesale —
+/// ArenaScope records the bump position and rewinds it on exit; individual
+/// frees are no-ops. Scopes must nest LIFO, and no arena-backed container
+/// may grow or be read across a rewind of its enclosing scope.
+class Arena {
+ public:
+  static constexpr size_t kDefaultChunkBytes = size_t{1} << 16;
+
+  explicit Arena(size_t chunk_bytes = kDefaultChunkBytes)
+      : chunk_bytes_(chunk_bytes) {}
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Bump position, cheap to copy. Ordering follows allocation order.
+  struct Mark {
+    size_t chunk = 0;
+    size_t offset = 0;
+  };
+
+  /// `align` must be a power of two no larger than alignof(max_align_t)
+  /// (chunks come from new char[], which guarantees exactly that much).
+  void* Allocate(size_t bytes, size_t align) {
+    for (;;) {
+      if (mark_.chunk < chunks_.size()) {
+        Chunk& chunk = chunks_[mark_.chunk];
+        const size_t aligned = (mark_.offset + (align - 1)) & ~(align - 1);
+        if (aligned + bytes <= chunk.size && aligned + bytes >= aligned) {
+          mark_.offset = aligned + bytes;
+          total_allocated_ += bytes;
+          return chunk.data.get() + aligned;
+        }
+        // Tail too small; the next chunk (fresh or rewound-over) takes it.
+        ++mark_.chunk;
+        mark_.offset = 0;
+        continue;
+      }
+      const size_t size = bytes + align > chunk_bytes_ ? bytes + align
+                                                       : chunk_bytes_;
+      chunks_.push_back(Chunk{std::make_unique<char[]>(size), size});
+    }
+  }
+
+  Mark Position() const { return mark_; }
+
+  /// Returns the bump position to `mark`; everything allocated after it is
+  /// dead. Chunks are retained for reuse — an arena's footprint is the high
+  ///-water mark of any scope that ran on it.
+  void Rewind(Mark mark) { mark_ = mark; }
+
+  /// Cumulative bytes handed out over the arena's lifetime (monotone; a
+  /// rewind does not subtract). Callers diff this around a solve to report
+  /// arena traffic in the stats.
+  uint64_t total_allocated() const { return total_allocated_; }
+
+  /// Bytes currently held in chunks (the footprint, not the traffic).
+  size_t footprint() const {
+    size_t total = 0;
+    for (const Chunk& chunk : chunks_) total += chunk.size;
+    return total;
+  }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<char[]> data;
+    size_t size;
+  };
+
+  std::vector<Chunk> chunks_;
+  Mark mark_;
+  size_t chunk_bytes_;
+  uint64_t total_allocated_ = 0;
+};
+
+/// The calling thread's arena. Worksteal workers, the main thread, and any
+/// caller of the ILP substrate each see a private instance.
+Arena& ThisThreadArena();
+
+/// RAII bump-position scope: everything allocated from `arena` while the
+/// scope is alive is reclaimed when it closes. Scopes nest LIFO.
+class ArenaScope {
+ public:
+  explicit ArenaScope(Arena& arena)
+      : arena_(arena), mark_(arena.Position()) {}
+  ~ArenaScope() { arena_.Rewind(mark_); }
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+ private:
+  Arena& arena_;
+  Arena::Mark mark_;
+};
+
+/// std::allocator-compatible handle so standard containers can live in an
+/// arena. deallocate is a no-op: storage dies with the enclosing ArenaScope.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  ArenaAllocator() noexcept : arena_(&ThisThreadArena()) {}
+  explicit ArenaAllocator(Arena* arena) noexcept : arena_(arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) noexcept  // NOLINT
+      : arena_(other.arena()) {}
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(arena_->Allocate(n * sizeof(T), alignof(T)));
+  }
+  void deallocate(T*, size_t) noexcept {}
+
+  Arena* arena() const { return arena_; }
+
+  friend bool operator==(const ArenaAllocator& a, const ArenaAllocator& b) {
+    return a.arena_ == b.arena_;
+  }
+  friend bool operator!=(const ArenaAllocator& a, const ArenaAllocator& b) {
+    return a.arena_ != b.arena_;
+  }
+
+ private:
+  template <typename U>
+  friend class ArenaAllocator;
+
+  Arena* arena_;
+};
+
+template <typename T>
+using ArenaVector = std::vector<T, ArenaAllocator<T>>;
+
+}  // namespace xicc

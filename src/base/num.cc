@@ -1,0 +1,131 @@
+#include "base/num.h"
+
+namespace xicc {
+
+namespace {
+
+/// A canonical Rational fits the small tier when both words fit int64 and
+/// the numerator avoids the excluded INT64_MIN (den is positive, so only
+/// the numerator can hit it).
+bool FitsSmall(const Rational& r, int64_t* n, int64_t* d) {
+  if (!r.num().FitsInt64() || !r.den().FitsInt64()) return false;
+  const int64_t rn = r.num().ToInt64();
+  if (rn == INT64_MIN) return false;
+  *n = rn;
+  *d = r.den().ToInt64();
+  return true;
+}
+
+}  // namespace
+
+Num::Num(BigInt v) {
+  if (v.FitsInt64() && v.ToInt64() != INT64_MIN) {
+    n_ = v.ToInt64();
+    d_ = 1;
+  } else {
+    InitBig(Rational(std::move(v)));
+  }
+}
+
+Num::Num(BigInt num, BigInt den) {
+  Rational r(std::move(num), std::move(den));
+  int64_t n, d;
+  if (FitsSmall(r, &n, &d)) {
+    n_ = n;
+    d_ = d;
+  } else {
+    InitBig(std::move(r));
+  }
+}
+
+Num::Num(const Rational& r) {
+  int64_t n, d;
+  if (FitsSmall(r, &n, &d)) {
+    n_ = n;
+    d_ = d;
+  } else {
+    InitBig(r);
+  }
+}
+
+void Num::SetFromRational(Rational r, bool inputs_small) {
+  NumCounters& counters = ThisThreadNumCounters();
+  if (!is_small()) delete big_;
+  int64_t n, d;
+  if (FitsSmall(r, &n, &d)) {
+    n_ = n;
+    d_ = d;
+    if (!inputs_small) ++counters.demotions;
+  } else {
+    InitBig(std::move(r));
+    if (inputs_small) ++counters.promotions;
+  }
+}
+
+void Num::AddSlow(const Num& rhs) {
+  ++ThisThreadNumCounters().big_ops;
+  const bool inputs_small = is_small() && rhs.is_small();
+  SetFromRational(ToRational() + rhs.ToRational(), inputs_small);
+}
+
+void Num::SubSlow(const Num& rhs) {
+  ++ThisThreadNumCounters().big_ops;
+  const bool inputs_small = is_small() && rhs.is_small();
+  SetFromRational(ToRational() - rhs.ToRational(), inputs_small);
+}
+
+void Num::MulSlow(const Num& rhs) {
+  ++ThisThreadNumCounters().big_ops;
+  const bool inputs_small = is_small() && rhs.is_small();
+  SetFromRational(ToRational() * rhs.ToRational(), inputs_small);
+}
+
+void Num::DivSlow(const Num& rhs) {
+  ++ThisThreadNumCounters().big_ops;
+  const bool inputs_small = is_small() && rhs.is_small();
+  SetFromRational(ToRational() / rhs.ToRational(), inputs_small);
+}
+
+int Num::CompareSlow(const Num& lhs, const Num& rhs) {
+  return Rational::Compare(lhs.ToRational(), rhs.ToRational());
+}
+
+Num Num::Floor() const {
+  if (is_small()) {
+    int64_t q = n_ / d_;
+    if (n_ % d_ != 0 && n_ < 0) --q;  // |q| shrank, so no overflow.
+    return Num(q, 1, RawTag());
+  }
+  return Num(big_->Floor());
+}
+
+Num Num::Ceil() const {
+  if (is_small()) {
+    int64_t q = n_ / d_;
+    if (n_ % d_ != 0 && n_ > 0) ++q;
+    return Num(q, 1, RawTag());
+  }
+  return Num(big_->Ceil());
+}
+
+std::string Num::ToString() const {
+  if (!is_small()) return big_->ToString();
+  std::string out = std::to_string(n_);
+  if (d_ != 1) out += "/" + std::to_string(d_);
+  return out;
+}
+
+bool Num::RepOk() const {
+  if (is_small()) {
+    if (d_ <= 0 || n_ == INT64_MIN) return false;
+    if (n_ == 0) return d_ == 1;
+    return internal::Gcd64(internal::Mag64(n_),
+                           static_cast<uint64_t>(d_)) == 1;
+  }
+  // Big tier: Rational keeps itself canonical; the rep bug to catch is a
+  // value that should have been demoted.
+  int64_t n, d;
+  return !FitsSmall(*big_, &n, &d);
+}
+
+}  // namespace xicc

@@ -1,8 +1,11 @@
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -10,27 +13,45 @@
 
 namespace xicc {
 
+/// The machine's hardware thread count (1 if the runtime cannot tell).
+/// Callers size CPU-bound pools with this instead of touching <thread>
+/// directly, keeping raw concurrency primitives confined to src/base/.
+inline size_t HardwareConcurrency() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<size_t>(n);
+}
+
 /// A small work-stealing thread pool for coarse-grained search tasks (the
-/// parallel top of the conditional case-split tree).
+/// parallel top of the conditional case-split tree, batch query stripes).
 ///
-/// Each worker owns a deque: it pops its own work from the front (LIFO-ish
-/// locality for DFS prefixes) and, when empty, steals from the back of a
-/// sibling's deque. Tasks are distributed round-robin at submission. The
-/// task count here is tiny (≤ 2^levels), so one lock guards the deques —
-/// the stealing discipline is about load balance, not lock-free throughput:
-/// a worker stuck in a deep subtree keeps its siblings busy with the tasks
-/// it never got to.
+/// Each worker owns a deque shard: it pops its own work from the front
+/// (LIFO-ish locality for DFS prefixes) and, when empty, steals from the
+/// back of a sibling's shard. Tasks are distributed round-robin at
+/// submission. Shards are individually locked and cache-line padded
+/// (alignas(64)), so two workers touching adjacent deque tops never
+/// false-share a line and never contend on one global lock — under the
+/// sharded scheme the only shared write traffic on the task fast path is
+/// the `pending_` counter.
 ///
-/// Locking discipline (machine-checked by -DXICC_THREAD_SAFETY=ON): every
-/// queue/counter field is guarded by `mu_`; tasks run with `mu_` released;
-/// the destructor drains every queued task before joining (workers only
-/// exit on `stopping_` when no task is findable anywhere).
+/// Sleep/wake runs on a separate `sleep_mu_` with a generation counter
+/// (`signals_`): Submit bumps the generation under the sleep lock after
+/// publishing the task, and a worker that found every shard empty re-checks
+/// the generation under the same lock before blocking — a submission that
+/// raced the worker's empty scan is therefore never lost, the worker just
+/// rescans.
+///
+/// Locking discipline (machine-checked by -DXICC_THREAD_SAFETY=ON): each
+/// shard's queue is guarded by that shard's mutex; `signals_` by
+/// `sleep_mu_`; `pending_` / `stopping_` are atomics. Tasks run with no
+/// lock held. The destructor drains every queued task before joining
+/// (workers only exit on `stopping_` when nothing is pending anywhere).
 class WorkStealingPool {
  public:
   explicit WorkStealingPool(size_t num_threads)
-      : queues_(num_threads == 0 ? 1 : num_threads) {
-    workers_.reserve(queues_.size());
-    for (size_t i = 0; i < queues_.size(); ++i) {
+      : num_shards_(num_threads == 0 ? 1 : num_threads),
+        shards_(new Shard[num_shards_]) {
+    workers_.reserve(num_shards_);
+    for (size_t i = 0; i < num_shards_; ++i) {
       workers_.emplace_back([this, i] { WorkerLoop(i); });
     }
   }
@@ -39,79 +60,126 @@ class WorkStealingPool {
   WorkStealingPool& operator=(const WorkStealingPool&) = delete;
 
   ~WorkStealingPool() {
+    stopping_.store(true, std::memory_order_release);
     {
-      MutexLock lock(&mu_);
-      stopping_ = true;
+      MutexLock lock(&sleep_mu_);
+      ++signals_;
     }
     wake_.NotifyAll();
     for (std::thread& worker : workers_) worker.join();
   }
 
   /// Enqueues a task. Safe from any thread, including pool workers.
-  void Submit(std::function<void()> task) XICC_EXCLUDES(mu_) {
+  void Submit(std::function<void()> task) XICC_EXCLUDES(sleep_mu_) {
+    // pending_ rises before the task is findable: a worker that takes and
+    // finishes it can only ever decrement a counter that already includes
+    // it, so Wait never observes a transient zero.
+    pending_.fetch_add(1, std::memory_order_acq_rel);
+    const size_t shard =
+        next_shard_.fetch_add(1, std::memory_order_relaxed) % num_shards_;
     {
-      MutexLock lock(&mu_);
-      queues_[next_queue_++ % queues_.size()].push_back(std::move(task));
-      ++pending_;
+      MutexLock lock(&shards_[shard].mu);
+      shards_[shard].queue.push_back(std::move(task));
+    }
+    {
+      MutexLock lock(&sleep_mu_);
+      ++signals_;
     }
     wake_.NotifyOne();
   }
 
   /// Blocks until every submitted task has finished running.
-  void Wait() XICC_EXCLUDES(mu_) {
-    MutexLock lock(&mu_);
-    while (pending_ != 0) drained_.Wait(&mu_);
+  void Wait() XICC_EXCLUDES(sleep_mu_) {
+    MutexLock lock(&sleep_mu_);
+    while (pending_.load(std::memory_order_acquire) != 0) {
+      drained_.Wait(&sleep_mu_);
+    }
   }
 
  private:
+  /// One worker's deque plus its lock, padded to a cache line so adjacent
+  /// shards' hot tops never false-share.
+  struct alignas(64) Shard {
+    Mutex mu;
+    std::deque<std::function<void()>> queue XICC_GUARDED_BY(mu);
+  };
+
   /// Pops the worker's own front task or steals a sibling's back task;
-  /// returns an empty function when no task is findable anywhere.
-  std::function<void()> TakeTask(size_t self) XICC_REQUIRES(mu_) {
-    std::function<void()> task;
-    if (!queues_[self].empty()) {
-      task = std::move(queues_[self].front());
-      queues_[self].pop_front();
-      return task;
-    }
-    for (size_t k = 1; k < queues_.size(); ++k) {
-      std::deque<std::function<void()>>& victim =
-          queues_[(self + k) % queues_.size()];
-      if (!victim.empty()) {
-        task = std::move(victim.back());
-        victim.pop_back();
+  /// returns an empty function when no task is findable anywhere. Takes each
+  /// shard lock individually — an empty scan is a point-in-time answer,
+  /// which is why the caller re-checks `signals_` before sleeping.
+  std::function<void()> TryTake(size_t self) {
+    {
+      MutexLock lock(&shards_[self].mu);
+      if (!shards_[self].queue.empty()) {
+        std::function<void()> task = std::move(shards_[self].queue.front());
+        shards_[self].queue.pop_front();
         return task;
       }
     }
-    return task;
+    for (size_t k = 1; k < num_shards_; ++k) {
+      Shard& victim = shards_[(self + k) % num_shards_];
+      MutexLock lock(&victim.mu);
+      if (!victim.queue.empty()) {
+        std::function<void()> task = std::move(victim.queue.back());
+        victim.queue.pop_back();
+        return task;
+      }
+    }
+    return {};
   }
 
-  void WorkerLoop(size_t self) XICC_EXCLUDES(mu_) {
-    mu_.Lock();
+  void WorkerLoop(size_t self) XICC_EXCLUDES(sleep_mu_) {
+    uint64_t seen = 0;
     for (;;) {
-      std::function<void()> task = TakeTask(self);
+      std::function<void()> task = TryTake(self);
       if (task) {
-        mu_.Unlock();
         task();
-        mu_.Lock();
-        if (--pending_ == 0) drained_.NotifyAll();
+        if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          // Last task out: wake Wait()ers, and wake siblings so a stopping
+          // pool with in-flight-submitted work re-evaluates its exit
+          // condition.
+          MutexLock lock(&sleep_mu_);
+          ++signals_;
+          drained_.NotifyAll();
+          wake_.NotifyAll();
+        }
         continue;
       }
-      if (stopping_) break;
-      wake_.Wait(&mu_);
+      MutexLock lock(&sleep_mu_);
+      if (signals_ != seen) {
+        // A submission (or stop) landed after our empty scan; rescan before
+        // daring to sleep — this is the lost-wakeup guard.
+        seen = signals_;
+        continue;
+      }
+      if (stopping_.load(std::memory_order_acquire) &&
+          pending_.load(std::memory_order_acquire) == 0) {
+        break;
+      }
+      wake_.Wait(&sleep_mu_);
+      seen = signals_;
     }
-    mu_.Unlock();
   }
 
-  Mutex mu_;
-  CondVar wake_;
-  CondVar drained_;
-  std::vector<std::deque<std::function<void()>>> queues_ XICC_GUARDED_BY(mu_);
+  const size_t num_shards_;
+  /// Heap array (not vector) because Shard is neither movable nor copyable.
+  std::unique_ptr<Shard[]> shards_;
   /// Written only by the constructor and joined by the destructor, both of
   /// which run strictly before/after any worker — no guard needed.
   std::vector<std::thread> workers_;
-  size_t next_queue_ XICC_GUARDED_BY(mu_) = 0;
-  size_t pending_ XICC_GUARDED_BY(mu_) = 0;
-  bool stopping_ XICC_GUARDED_BY(mu_) = false;
+
+  std::atomic<size_t> next_shard_{0};
+  std::atomic<size_t> pending_{0};
+  std::atomic<bool> stopping_{false};
+
+  Mutex sleep_mu_;
+  CondVar wake_;
+  CondVar drained_;
+  /// Wake generation: bumped under sleep_mu_ by every Submit, drain, and
+  /// stop, so a worker can tell "nothing changed since my empty scan" from
+  /// "a task appeared while I was between the scan and the lock".
+  uint64_t signals_ XICC_GUARDED_BY(sleep_mu_) = 0;
 };
 
 }  // namespace xicc

@@ -13,12 +13,15 @@ struct BatchOptions {
   /// round-robin over N sessions sharing the one CompiledDtd; per-query
   /// verdicts/results are deterministic either way (each query's answer
   /// depends only on its own constraint set), only the intra-worker memo
-  /// locality differs.
+  /// locality differs. Requests beyond the hardware thread count are clamped
+  /// to it — oversubscribing a CPU-bound batch only adds scheduler overhead.
   size_t num_threads = 1;
   /// Options applied by every worker session.
   ConsistencyOptions check;
-  /// Per-worker memo capacity (identical repeated queries hit within their
-  /// worker).
+  /// Per-worker memo contribution: the workers share ONE hash-sharded
+  /// SharedSigmaMemo of `num_threads × memo_capacity` entries, so an
+  /// identical query hits no matter which stripe answered it first. 0 turns
+  /// memoization (and canonical-key hashing) off in every worker.
   size_t memo_capacity = 128;
 };
 

@@ -5,7 +5,9 @@
 #include <optional>
 #include <utility>
 
+#include "base/arena.h"
 #include "base/debug.h"
+#include "base/num.h"
 #include "base/thread_annotations.h"
 #include "base/worksteal.h"
 #include "ilp/audit.h"
@@ -164,6 +166,14 @@ class CaseSplitSolver {
 
   Result<IlpSolution> Run() {
     const auto start = std::chrono::steady_clock::now();
+    // Two-tier arithmetic + arena traffic: everything this solve does on the
+    // calling thread (leaf ILPs, presolve probes, the sequential DFS) lands
+    // in this thread's counters, so one delta at the end captures it without
+    // double-counting the nested SolveIlp's own accounting. Pool workers
+    // measure their own thread-local deltas and flush them atomically (see
+    // RunSearch).
+    counters_before_ = ThisThreadNumCounters();
+    arena_before_ = ThisThreadArena().total_allocated();
 
     // The base basis: factorized cold exactly once — taken from the caller's
     // cross-round context when available (the connectivity-cut loop re-enters
@@ -219,6 +229,7 @@ class CaseSplitSolver {
         out.cuts_added = cuts_;
         out.warm_starts = warm_starts_;
         out.cold_restarts = cold_restarts_;
+        FillNumStats(&out);
         out.wall_ms = ElapsedMs(start);
         return out;
       }
@@ -356,18 +367,28 @@ class CaseSplitSolver {
     std::atomic<size_t> cold_restarts{0};
     std::atomic<size_t> cuts{0};
     std::atomic<size_t> ilp_nodes{0};
+    std::atomic<uint64_t> small_ops{0};
+    std::atomic<uint64_t> big_ops{0};
+    std::atomic<uint64_t> promotions{0};
+    std::atomic<uint64_t> demotions{0};
+    std::atomic<uint64_t> arena_bytes{0};
     {
       WorkStealingPool pool(threads);
       for (size_t mask = 0; mask < num_tasks; ++mask) {
         // Bit i of `mask` picks conditional i's resolution; enumeration
         // order matches the sequential DFS (conclusion side first).
         pool.Submit([this, mask, levels, root, shared, &pivots, &warm_starts,
-                     &cold_restarts, &cuts, &ilp_nodes] {
+                     &cold_restarts, &cuts, &ilp_nodes, &small_ops, &big_ops,
+                     &promotions, &demotions, &arena_bytes] {
           if (shared->found.load(std::memory_order_relaxed) ||
               shared->failed.load(std::memory_order_relaxed) ||
               shared->budget_hit.load(std::memory_order_relaxed)) {
             return;
           }
+          // Thread-local arithmetic/arena deltas per task: several tasks run
+          // back-to-back on one pool thread, so each brackets its own slice.
+          const NumCounters num_before = ThisThreadNumCounters();
+          const uint64_t bytes_before = ThisThreadArena().total_allocated();
           LinearSystem local = *work_;
           for (size_t level = 0; level < levels; ++level) {
             const Conditional& cond = active_[level];
@@ -386,6 +407,18 @@ class CaseSplitSolver {
                                   std::memory_order_relaxed);
           cuts.fetch_add(worker.cuts, std::memory_order_relaxed);
           ilp_nodes.fetch_add(worker.ilp_nodes, std::memory_order_relaxed);
+          const NumCounters& num_after = ThisThreadNumCounters();
+          small_ops.fetch_add(num_after.small_ops - num_before.small_ops,
+                              std::memory_order_relaxed);
+          big_ops.fetch_add(num_after.big_ops - num_before.big_ops,
+                            std::memory_order_relaxed);
+          promotions.fetch_add(num_after.promotions - num_before.promotions,
+                               std::memory_order_relaxed);
+          demotions.fetch_add(num_after.demotions - num_before.demotions,
+                              std::memory_order_relaxed);
+          arena_bytes.fetch_add(
+              ThisThreadArena().total_allocated() - bytes_before,
+              std::memory_order_relaxed);
         });
       }
       pool.Wait();
@@ -395,6 +428,11 @@ class CaseSplitSolver {
     cold_restarts_ += cold_restarts.load();
     cuts_ += cuts.load();
     nodes_ += ilp_nodes.load();
+    worker_small_ops_ += small_ops.load();
+    worker_big_ops_ += big_ops.load();
+    worker_promotions_ += promotions.load();
+    worker_demotions_ += demotions.load();
+    worker_arena_bytes_ += arena_bytes.load();
   }
 
   void FlushWorker(const SplitWorker& worker) {
@@ -411,6 +449,24 @@ class CaseSplitSolver {
     out->cuts_added = cuts_;
     out->warm_starts = warm_starts_;
     out->cold_restarts = cold_restarts_;
+    FillNumStats(out);
+  }
+
+  /// Calling-thread delta since Run() started, plus whatever the pool
+  /// workers flushed. Leaf SolveIlp calls report their own slices too, but
+  /// those slices are *contained* in this thread's running counters, so the
+  /// delta counts them exactly once.
+  void FillNumStats(IlpSolution* out) const {
+    const NumCounters& now = ThisThreadNumCounters();
+    out->num_small_ops =
+        now.small_ops - counters_before_.small_ops + worker_small_ops_;
+    out->num_big_ops = now.big_ops - counters_before_.big_ops + worker_big_ops_;
+    out->num_promotions =
+        now.promotions - counters_before_.promotions + worker_promotions_;
+    out->num_demotions =
+        now.demotions - counters_before_.demotions + worker_demotions_;
+    out->arena_bytes = ThisThreadArena().total_allocated() - arena_before_ +
+                       worker_arena_bytes_;
   }
 
   Result<IlpSolution> AssembleInfeasible(
@@ -422,6 +478,7 @@ class CaseSplitSolver {
     out.cuts_added = cuts_;
     out.warm_starts = warm_starts_;
     out.cold_restarts = cold_restarts_;
+    FillNumStats(&out);
     out.wall_ms = ElapsedMs(start);
     return out;
   }
@@ -440,6 +497,16 @@ class CaseSplitSolver {
   size_t cuts_ = 0;
   size_t warm_starts_ = 0;
   size_t cold_restarts_ = 0;
+
+  // Two-tier arithmetic accounting (see Run/FillNumStats): calling-thread
+  // baselines plus the pool workers' flushed deltas.
+  NumCounters counters_before_;
+  uint64_t arena_before_ = 0;
+  uint64_t worker_small_ops_ = 0;
+  uint64_t worker_big_ops_ = 0;
+  uint64_t worker_promotions_ = 0;
+  uint64_t worker_demotions_ = 0;
+  uint64_t worker_arena_bytes_ = 0;
 };
 
 }  // namespace

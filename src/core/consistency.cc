@@ -149,6 +149,11 @@ Result<ConsistencyResult> CheckConsistency(const Dtd& dtd,
       result.stats.lp_pivots = solved->lp_pivots;
       result.stats.warm_starts = solved->warm_starts;
       result.stats.cold_restarts = solved->cold_restarts;
+      result.stats.num_small_ops = solved->num_small_ops;
+      result.stats.num_big_ops = solved->num_big_ops;
+      result.stats.num_promotions = solved->num_promotions;
+      result.stats.num_demotions = solved->num_demotions;
+      result.stats.arena_bytes = solved->arena_bytes;
       result.stats.ilp_wall_ms = solved->wall_ms;
       result.consistent = solved->feasible;
       if (!result.consistent) {
@@ -186,6 +191,11 @@ Result<ConsistencyResult> CheckConsistency(const Dtd& dtd,
       result.stats.lp_pivots = solved->lp_pivots;
       result.stats.warm_starts = solved->warm_starts;
       result.stats.cold_restarts = solved->cold_restarts;
+      result.stats.num_small_ops = solved->num_small_ops;
+      result.stats.num_big_ops = solved->num_big_ops;
+      result.stats.num_promotions = solved->num_promotions;
+      result.stats.num_demotions = solved->num_demotions;
+      result.stats.arena_bytes = solved->arena_bytes;
       result.stats.ilp_wall_ms = solved->wall_ms;
       result.consistent = solved->feasible;
       if (!result.consistent) {

@@ -51,6 +51,16 @@ struct ConsistencyStats {
   /// node's basis, vs. those that fell back to a cold phase-1 solve.
   size_t warm_starts = 0;
   size_t cold_restarts = 0;
+  /// Two-tier exact arithmetic (base/num.h): pivot-loop operations served by
+  /// the packed 64-bit small tier vs the BigInt big tier, plus the tier
+  /// transitions. num_promotions / num_small_ops is the promotion rate.
+  uint64_t num_small_ops = 0;
+  uint64_t num_big_ops = 0;
+  uint64_t num_promotions = 0;
+  uint64_t num_demotions = 0;
+  /// Per-thread arena traffic (cumulative bytes bumped, not footprint)
+  /// consumed by the check's solves.
+  uint64_t arena_bytes = 0;
   /// Wall time spent inside the ILP search (case-split + branch-and-bound).
   double ilp_wall_ms = 0.0;  // xicc-lint: allow(exact-arithmetic)
 

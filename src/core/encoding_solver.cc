@@ -87,6 +87,11 @@ Result<IlpSolution> SolveEncodingSystemInPlace(
     solved->cuts_added += accumulated.cuts_added;
     solved->warm_starts += accumulated.warm_starts;
     solved->cold_restarts += accumulated.cold_restarts;
+    solved->num_small_ops += accumulated.num_small_ops;
+    solved->num_big_ops += accumulated.num_big_ops;
+    solved->num_promotions += accumulated.num_promotions;
+    solved->num_demotions += accumulated.num_demotions;
+    solved->arena_bytes += accumulated.arena_bytes;
     solved->wall_ms += accumulated.wall_ms;
     if (!solved->feasible) return solved;
 

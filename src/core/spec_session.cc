@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <functional>
 #include <set>
 #include <utility>
 
@@ -181,13 +182,63 @@ Result<std::shared_ptr<const CompiledDtd>> CompileDtd(const Dtd& dtd) {
   return std::shared_ptr<const CompiledDtd>(std::move(out));
 }
 
+SharedSigmaMemo::SharedSigmaMemo(size_t capacity, size_t num_shards)
+    : capacity_(capacity),
+      num_shards_(num_shards == 0
+                      ? 1
+                      : (capacity != 0 && num_shards > capacity ? capacity
+                                                                : num_shards)),
+      per_shard_capacity_(
+          capacity == 0 ? 0 : (capacity + num_shards_ - 1) / num_shards_),
+      shards_(new MemoShard[num_shards_]) {}
+
+SharedSigmaMemo::MemoShard& SharedSigmaMemo::ShardFor(const std::string& key) {
+  return shards_[std::hash<std::string>{}(key) % num_shards_];
+}
+
+bool SharedSigmaMemo::Lookup(const std::string& key, ConsistencyResult* out) {
+  MemoShard& shard = ShardFor(key);
+  MutexLock lock(&shard.mu);
+  auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) return false;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
+  *out = it->second.result;
+  return true;
+}
+
+size_t SharedSigmaMemo::Store(const std::string& key,
+                              const ConsistencyResult& result) {
+  if (capacity_ == 0) return 0;
+  MemoShard& shard = ShardFor(key);
+  MutexLock lock(&shard.mu);
+  if (shard.entries.count(key) > 0) return 0;
+  size_t evicted = 0;
+  if (shard.entries.size() >= per_shard_capacity_) {
+    shard.entries.erase(shard.lru.back());
+    shard.lru.pop_back();
+    evicted = 1;
+  }
+  shard.lru.push_front(key);
+  shard.entries.emplace(key, MemoEntry{result, shard.lru.begin()});
+  return evicted;
+}
+
 SpecSession::SpecSession(std::shared_ptr<const CompiledDtd> compiled,
                          const ConsistencyOptions& options,
                          size_t memo_capacity)
+    : SpecSession(std::move(compiled), options,
+                  memo_capacity == 0
+                      ? nullptr
+                      : std::make_shared<SharedSigmaMemo>(memo_capacity,
+                                                          /*num_shards=*/1)) {}
+
+SpecSession::SpecSession(std::shared_ptr<const CompiledDtd> compiled,
+                         const ConsistencyOptions& options,
+                         std::shared_ptr<SharedSigmaMemo> memo)
     : compiled_(std::move(compiled)),
       options_(options),
       system_(compiled_->skeleton.system),
-      memo_capacity_(memo_capacity) {
+      memo_(std::move(memo)) {
   warm_.base_tableau = compiled_->skeleton_tableau;
   warm_.valid = compiled_->skeleton_tableau_valid;
 }
@@ -198,14 +249,19 @@ Result<ConsistencyResult> SpecSession::Check(const ConstraintSet& sigma) {
   for (const Constraint& c : sigma.constraints()) combined.Add(c);
   ++stats_.queries;
 
-  const std::string key = CanonicalKey(combined);
-  if (const ConsistencyResult* hit = MemoLookup(key)) {
-    ++stats_.memo_hits;
-    ConsistencyResult out = *hit;
-    out.stats.memo_hits = 1;
-    out.stats.memo_misses = 0;
-    out.stats.compile_ms = 0.0;
-    return out;
+  // With memoization off the canonical key is never needed — rendering and
+  // sorting the combined set is measurable on large Σ, so skip it outright.
+  std::string key;
+  if (memo_ != nullptr) {
+    key = CanonicalKey(combined);
+    ConsistencyResult hit;
+    if (memo_->Lookup(key, &hit)) {
+      ++stats_.memo_hits;
+      hit.stats.memo_hits = 1;
+      hit.stats.memo_misses = 0;
+      hit.stats.compile_ms = 0.0;
+      return hit;
+    }
   }
   ++stats_.memo_misses;
 
@@ -221,7 +277,7 @@ Result<ConsistencyResult> SpecSession::Check(const ConstraintSet& sigma) {
       result->stats.compile_ms = compiled_->compile_ms;
       charged_compile_ = true;
     }
-    MemoStore(key, *result);
+    if (memo_ != nullptr) stats_.memo_evictions += memo_->Store(key, *result);
   }
   return result;
 }
@@ -366,6 +422,11 @@ Result<ConsistencyResult> SpecSession::CheckDelta(const ConstraintSet& encoded,
   result.stats.lp_pivots = solved->lp_pivots;
   result.stats.warm_starts = solved->warm_starts;
   result.stats.cold_restarts = solved->cold_restarts;
+  result.stats.num_small_ops = solved->num_small_ops;
+  result.stats.num_big_ops = solved->num_big_ops;
+  result.stats.num_promotions = solved->num_promotions;
+  result.stats.num_demotions = solved->num_demotions;
+  result.stats.arena_bytes = solved->arena_bytes;
   result.stats.ilp_wall_ms = solved->wall_ms;
   result.consistent = solved->feasible;
   if (!result.consistent) {
@@ -578,26 +639,6 @@ void SpecSession::Rollback() {
   }
   warm_.base_tableau = compiled_->skeleton_tableau;
   warm_.valid = compiled_->skeleton_tableau_valid;
-}
-
-const ConsistencyResult* SpecSession::MemoLookup(const std::string& key) {
-  auto it = memo_.find(key);
-  if (it == memo_.end()) return nullptr;
-  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
-  return &it->second.result;
-}
-
-void SpecSession::MemoStore(const std::string& key,
-                            const ConsistencyResult& result) {
-  if (memo_capacity_ == 0) return;
-  if (memo_.count(key) > 0) return;
-  if (memo_.size() >= memo_capacity_) {
-    memo_.erase(lru_.back());
-    lru_.pop_back();
-    ++stats_.memo_evictions;
-  }
-  lru_.push_front(key);
-  memo_.emplace(key, MemoEntry{result, lru_.begin()});
 }
 
 }  // namespace xicc

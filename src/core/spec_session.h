@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "base/thread_annotations.h"
 #include "core/consistency.h"
 #include "core/implication.h"
 #include "core/witness.h"
@@ -76,6 +77,51 @@ struct SpecSessionStats {
   size_t memo_evictions = 0;
 };
 
+/// Thread-safe LRU memo of canonicalized-Σ keys → consistency results,
+/// hash-sharded so concurrent sessions (CheckBatch worker stripes) share
+/// cached verdicts without contending on one lock. Each shard is a
+/// cache-line-padded Mutex + map + LRU list; a key lives in exactly the
+/// shard its hash picks, so two lookups collide only when they hash to the
+/// same shard. Capacity is split evenly across shards (per-shard LRU — an
+/// approximation of global LRU that never takes two locks).
+class SharedSigmaMemo {
+ public:
+  /// `capacity` = total entries across shards (0 = memoization off);
+  /// `num_shards` is clamped to [1, capacity].
+  explicit SharedSigmaMemo(size_t capacity, size_t num_shards = 8);
+
+  size_t capacity() const { return capacity_; }
+
+  /// Copies the cached result into `*out` and refreshes the entry's LRU
+  /// position; false on miss.
+  bool Lookup(const std::string& key, ConsistencyResult* out);
+
+  /// Inserts (first writer wins — a duplicate store is a no-op, the results
+  /// are identical by determinism). Returns the number of entries evicted
+  /// (0 or 1) so callers can tally evictions.
+  size_t Store(const std::string& key, const ConsistencyResult& result);
+
+ private:
+  struct MemoEntry {
+    ConsistencyResult result;
+    std::list<std::string>::iterator lru_pos;
+  };
+  /// Padded to a cache line: adjacent shards' mutexes must not false-share.
+  struct alignas(64) MemoShard {
+    Mutex mu;
+    std::map<std::string, MemoEntry> entries XICC_GUARDED_BY(mu);
+    std::list<std::string> lru XICC_GUARDED_BY(mu);  // Front = most recent.
+  };
+
+  MemoShard& ShardFor(const std::string& key);
+
+  size_t capacity_;
+  size_t num_shards_;
+  size_t per_shard_capacity_;
+  /// Heap array (not vector): MemoShard is neither movable nor copyable.
+  std::unique_ptr<MemoShard[]> shards_;
+};
+
 /// A consistency-checking session against one compiled DTD.
 ///
 /// The session owns ONE mutable copy of the skeleton system; each Check
@@ -98,9 +144,18 @@ struct SpecSessionStats {
 /// are cheap (one LinearSystem + one tableau copy, no solving).
 class SpecSession {
  public:
+  /// Private memo of `memo_capacity` entries (0 = memoization off, and the
+  /// session skips canonical-key hashing entirely).
   explicit SpecSession(std::shared_ptr<const CompiledDtd> compiled,
                        const ConsistencyOptions& options = {},
                        size_t memo_capacity = 128);
+
+  /// Shares `memo` with other sessions (CheckBatch worker stripes): repeated
+  /// queries hit regardless of which session answered first. A null memo
+  /// disables memoization, same as capacity 0.
+  SpecSession(std::shared_ptr<const CompiledDtd> compiled,
+              const ConsistencyOptions& options,
+              std::shared_ptr<SharedSigmaMemo> memo);
 
   const CompiledDtd& compiled() const { return *compiled_; }
   const ConsistencyOptions& options() const { return options_; }
@@ -130,11 +185,6 @@ class SpecSession {
   const SpecSessionStats& stats() const { return stats_; }
 
  private:
-  struct MemoEntry {
-    ConsistencyResult result;
-    std::list<std::string>::iterator lru_pos;
-  };
-
   enum class DeltaKind {
     /// A linear-cell query with min_witness_nodes > 0: C_Σ = ∅, only the
     /// size row rides the trail; method/explanations stay linear-cell.
@@ -160,8 +210,6 @@ class SpecSession {
 
   /// Cache plumbing around the dispatch.
   Result<ConsistencyResult> CheckUncached(const ConstraintSet& combined);
-  const ConsistencyResult* MemoLookup(const std::string& key);
-  void MemoStore(const std::string& key, const ConsistencyResult& result);
 
   std::shared_ptr<const CompiledDtd> compiled_;
   ConsistencyOptions options_;
@@ -177,9 +225,10 @@ class SpecSession {
   /// system_ (rendered via ToString); CheckDelta skips re-pushing these.
   std::set<std::string> encoded_committed_;
 
-  size_t memo_capacity_;
-  std::map<std::string, MemoEntry> memo_;
-  std::list<std::string> lru_;  // Front = most recently used.
+  /// Null when memoization is off — Check then skips computing the
+  /// canonical key altogether (rendering + sorting the combined set costs
+  /// real time on large Σ, so capacity 0 must not pay for hashing it).
+  std::shared_ptr<SharedSigmaMemo> memo_;
 
   SpecSessionStats stats_;
   bool charged_compile_ = false;  // compile_ms reported on the first query.

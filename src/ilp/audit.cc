@@ -4,7 +4,7 @@
 #include <vector>
 
 #include "base/bigint.h"
-#include "base/rational.h"
+#include "base/num.h"
 
 namespace xicc {
 
@@ -15,11 +15,17 @@ std::string RowCol(size_t row, size_t col) {
 }
 
 /// Canonical-form check for one exact cell: positive denominator, fully
-/// reduced. A cell that fails this was produced by arithmetic outside the
-/// Rational class's normalizing operations — the exactness invariant the
-/// NP-upper-bound encodings depend on.
-void CheckCell(const Rational& value, const std::string& where,
+/// reduced, and a well-formed two-tier representation (RepOk catches a
+/// big-tier value that should have demoted — a leak of BigInt arithmetic
+/// into cells the small tier can serve). A cell that fails this was
+/// produced by arithmetic outside Num's normalizing operations — the
+/// exactness invariant the NP-upper-bound encodings depend on.
+void CheckCell(const Num& value, const std::string& where,
                std::vector<std::string>* out) {
+  if (!value.RepOk()) {
+    out->push_back("ill-formed two-tier representation at " + where);
+    return;
+  }
   if (value.den().sign() <= 0) {
     out->push_back("non-positive denominator at " + where);
     return;
@@ -144,11 +150,11 @@ std::vector<std::string> AuditTableau(const LinearSystem& system,
 
   // Unit-column property: a basic column carries 1 in its own row and 0
   // everywhere else — the algebraic core of "x_B = rhs − Σ nonbasic terms".
-  const Rational one(BigInt(1));
+  const Num one(1);
   for (size_t j = 0; j < cols; ++j) {
     if (basic_in[j] < 0) continue;
     for (size_t i = 0; i < m; ++i) {
-      const Rational& cell = tableau.rows[i][j];
+      const Num& cell = tableau.rows[i][j];
       if (i == static_cast<size_t>(basic_in[j])) {
         if (!(cell == one)) {
           out.push_back("basic column " + std::to_string(j) +

@@ -36,9 +36,11 @@ std::vector<std::string> AuditTrail(
 ///    degenerate);
 ///  - the export is primal feasible (rhs ≥ 0 — infeasible re-solves must
 ///    never fold back into a kept tableau);
-///  - every cell is an exact Rational in canonical form (positive
-///    denominator, reduced) — the invariant that catches any floating-point
-///    or un-normalized arithmetic leaking into a pivot.
+///  - every cell is an exact Num in canonical form (positive denominator,
+///    reduced, and with a well-formed two-tier representation — a big-tier
+///    value that fits the small words is a demotion bug) — the invariant
+///    that catches any floating-point or un-normalized arithmetic leaking
+///    into a pivot.
 std::vector<std::string> AuditTableau(const LinearSystem& system,
                                       const LpTableau& tableau);
 

@@ -4,7 +4,7 @@
 
 namespace xicc {
 
-LinearExpr& LinearExpr::Add(VarId var, BigInt coeff) {
+LinearExpr& LinearExpr::Add(VarId var, Num coeff) {
   if (coeff.is_zero()) return *this;
   auto it = terms_.find(var);
   if (it == terms_.end()) {
@@ -16,7 +16,7 @@ LinearExpr& LinearExpr::Add(VarId var, BigInt coeff) {
   return *this;
 }
 
-LinearExpr& LinearExpr::AddConstant(const BigInt& value) {
+LinearExpr& LinearExpr::AddConstant(const Num& value) {
   constant_ += value;
   return *this;
 }
@@ -26,10 +26,12 @@ VarId LinearSystem::AddVariable(std::string name) {
   return static_cast<VarId>(names_.size()) - 1;
 }
 
-void LinearSystem::AddConstraint(const LinearExpr& expr, RelOp op,
-                                 BigInt rhs) {
+void LinearSystem::AddConstraint(const LinearExpr& expr, RelOp op, Num rhs) {
   LinearConstraint c;
-  c.coeffs = expr.terms();
+  c.coeffs.reserve(expr.terms().size());
+  for (const auto& [var, coeff] : expr.terms()) {
+    c.coeffs.emplace_back(var, coeff);  // std::map iterates VarId-sorted.
+  }
   c.op = op;
   c.rhs = std::move(rhs);
   c.rhs -= expr.constant();
@@ -65,10 +67,10 @@ BigInt LinearSystem::MaxAbsValue() const {
   BigInt max(1);
   for (const LinearConstraint& c : constraints_) {
     for (const auto& [var, coeff] : c.coeffs) {
-      BigInt abs = coeff.Abs();
+      BigInt abs = coeff.num().Abs();
       if (abs > max) max = abs;
     }
-    BigInt abs = c.rhs.Abs();
+    BigInt abs = c.rhs.num().Abs();
     if (abs > max) max = abs;
   }
   return max;
@@ -83,7 +85,7 @@ std::string LinearSystem::ToString() const {
     for (const auto& [var, coeff] : c.coeffs) {
       if (!first) line += " + ";
       first = false;
-      if (coeff != BigInt(1)) line += coeff.ToString() + "*";
+      if (coeff != Num(1)) line += coeff.ToString() + "*";
       line += names_[var];
     }
     if (first) line += "0";

@@ -2,9 +2,11 @@
 
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "base/bigint.h"
+#include "base/num.h"
 #include "base/status.h"
 
 namespace xicc {
@@ -13,29 +15,30 @@ namespace xicc {
 using VarId = int;
 
 /// A linear combination of variables plus a constant term. Terms with the
-/// same variable are merged; zero-coefficient terms are dropped.
+/// same variable are merged; zero-coefficient terms are dropped. Builders
+/// pass BigInt (or int64) coefficients, which convert to the two-tier Num.
 class LinearExpr {
  public:
   LinearExpr() = default;
-  explicit LinearExpr(BigInt constant) : constant_(std::move(constant)) {}
+  explicit LinearExpr(Num constant) : constant_(std::move(constant)) {}
 
   /// Adds coeff · var.
-  LinearExpr& Add(VarId var, BigInt coeff);
-  LinearExpr& AddConstant(const BigInt& value);
+  LinearExpr& Add(VarId var, Num coeff);
+  LinearExpr& AddConstant(const Num& value);
 
-  const std::map<VarId, BigInt>& terms() const { return terms_; }
-  const BigInt& constant() const { return constant_; }
+  const std::map<VarId, Num>& terms() const { return terms_; }
+  const Num& constant() const { return constant_; }
 
   /// Convenience: the expression consisting of a single variable.
   static LinearExpr Var(VarId var) {
     LinearExpr e;
-    e.Add(var, BigInt(1));
+    e.Add(var, Num(1));
     return e;
   }
 
  private:
-  std::map<VarId, BigInt> terms_;
-  BigInt constant_;
+  std::map<VarId, Num> terms_;
+  Num constant_;
 };
 
 enum class RelOp {
@@ -45,10 +48,13 @@ enum class RelOp {
 };
 
 /// One row: expr (op) rhs, with rhs folded together with expr's constant.
+/// Coefficients are a flat vector sorted by VarId — one allocation per row
+/// instead of a map node (plus BigInt limbs) per term, which is what makes
+/// trail push/pop and whole-system copies in the case-split fan-out cheap.
 struct LinearConstraint {
-  std::map<VarId, BigInt> coeffs;
+  std::vector<std::pair<VarId, Num>> coeffs;
   RelOp op;
-  BigInt rhs;
+  Num rhs;
 };
 
 /// A system of linear constraints over nonnegative integer variables — the
@@ -60,9 +66,10 @@ class LinearSystem {
   VarId AddVariable(std::string name);
 
   /// Adds `expr (op) rhs`. The expression's constant is moved to the rhs.
-  void AddConstraint(const LinearExpr& expr, RelOp op, BigInt rhs);
+  void AddConstraint(const LinearExpr& expr, RelOp op, Num rhs);
 
-  /// Adds an already-assembled row (used by the cut generator).
+  /// Adds an already-assembled row (used by the cut generator). `coeffs`
+  /// must be sorted by VarId with no duplicates or zeros.
   void AddRaw(LinearConstraint constraint) {
     constraints_.push_back(std::move(constraint));
   }
@@ -79,7 +86,8 @@ class LinearSystem {
   }
 
   /// Largest absolute value among coefficients and right-hand sides — the
-  /// `a` of the Papadimitriou bound.
+  /// `a` of the Papadimitriou bound. Rows are integral (the cut generator
+  /// clears denominators), so this is the largest |numerator|.
   BigInt MaxAbsValue() const;
 
   /// Trail checkpointing: since rows and variables are only ever appended,

@@ -2,28 +2,35 @@
 
 #include <cassert>
 
+#include "base/arena.h"
+
 namespace xicc {
 
 namespace {
 
-/// Dense phase-1 tableau over exact rationals.
+/// Dense phase-1 tableau over the two-tier exact Num, backed by the calling
+/// thread's bump arena: a solve allocates one flat cell block, pivots in
+/// place (small-tier cells never touch any allocator), and the enclosing
+/// ArenaScope reclaims everything wholesale on exit.
 ///
 /// Layout: rows 0..m-1 are constraints, row m is the phase-1 objective
 /// (reduced costs). Columns 0..total-1 are variables (structural, then
 /// slack, then artificial); column `total` is the rhs.
 class Tableau {
  public:
-  Tableau(size_t rows, size_t cols)
-      : cols_(cols), cells_(rows * cols) {}
+  Tableau(Arena* arena, size_t rows, size_t cols)
+      : cols_(cols), cells_(rows * cols, Num(), ArenaAllocator<Num>(arena)) {}
 
-  Rational& At(size_t row, size_t col) { return cells_[row * cols_ + col]; }
-  const Rational& At(size_t row, size_t col) const {
+  Num& At(size_t row, size_t col) { return cells_[row * cols_ + col]; }
+  const Num& At(size_t row, size_t col) const {
     return cells_[row * cols_ + col];
   }
+  Num* Row(size_t row) { return cells_.data() + row * cols_; }
+  const Num* Row(size_t row) const { return cells_.data() + row * cols_; }
 
  private:
   size_t cols_;
-  std::vector<Rational> cells_;
+  ArenaVector<Num> cells_;
 };
 
 }  // namespace
@@ -31,6 +38,11 @@ class Tableau {
 LpResult SolveLpFeasibility(const LinearSystem& system, LpTableau* tableau) {
   const size_t m = system.NumConstraints();
   const size_t n = system.NumVariables();
+
+  // All scratch for this solve — the dense tableau — lives in the thread's
+  // arena and dies when this scope closes. Only the exported LpTableau and
+  // LpResult (regular vectors) survive.
+  ArenaScope scratch(ThisThreadArena());
 
   // Column plan: structural, then one slack per inequality, then artificials
   // for rows whose slack cannot seed the basis.
@@ -63,7 +75,7 @@ LpResult SolveLpFeasibility(const LinearSystem& system, LpTableau* tableau) {
   size_t num_artificial = 0;
   for (size_t i = 0; i < m; ++i) {
     const LinearConstraint& c = system.constraints()[i];
-    bool rhs_negative = c.rhs.is_negative();
+    bool rhs_negative = c.rhs.sign() < 0;
     plan[i].negate = rhs_negative;
     // After negation the slack coefficient is +1 for (kLe, rhs ≥ 0) and for
     // (kGe, rhs < 0); only then can the slack start basic.
@@ -77,27 +89,26 @@ LpResult SolveLpFeasibility(const LinearSystem& system, LpTableau* tableau) {
   const size_t total = num_structural_slack + num_artificial;
   const size_t rhs_col = total;
 
-  Tableau tab(m + 1, total + 1);
+  Tableau tab(&ThisThreadArena(), m + 1, total + 1);
   std::vector<int> basis(m);
   size_t next_artificial = num_structural_slack;
   for (size_t i = 0; i < m; ++i) {
     const LinearConstraint& c = system.constraints()[i];
     int sign = plan[i].negate ? -1 : 1;
     for (const auto& [var, coeff] : c.coeffs) {
-      tab.At(i, static_cast<size_t>(var)) =
-          Rational(sign < 0 ? -coeff : coeff);
+      tab.At(i, static_cast<size_t>(var)) = sign < 0 ? -coeff : coeff;
     }
-    tab.At(i, rhs_col) = Rational(plan[i].negate ? -c.rhs : c.rhs);
+    tab.At(i, rhs_col) = plan[i].negate ? -c.rhs : c.rhs;
     if (slack_col[i] >= 0) {
       // Original slack sign: +1 for ≤, −1 for ≥; then the row negation.
       int slack_sign = (c.op == RelOp::kLe ? 1 : -1) * sign;
-      tab.At(i, static_cast<size_t>(slack_col[i])) = Rational(slack_sign);
+      tab.At(i, static_cast<size_t>(slack_col[i])) = Num(slack_sign);
     }
     if (plan[i].use_slack) {
       basis[i] = slack_col[i];
     } else {
       plan[i].artificial_col = static_cast<int>(next_artificial);
-      tab.At(i, next_artificial) = Rational(1);
+      tab.At(i, next_artificial) = Num(1);
       basis[i] = static_cast<int>(next_artificial);
       ++next_artificial;
     }
@@ -108,7 +119,7 @@ LpResult SolveLpFeasibility(const LinearSystem& system, LpTableau* tableau) {
   // non-artificial columns; the objective value sits in the rhs cell.
   for (size_t j = 0; j <= rhs_col; ++j) {
     if (j >= num_structural_slack && j < total) continue;  // Artificial.
-    Rational sum;
+    Num sum;
     for (size_t i = 0; i < m; ++i) {
       if (!plan[i].use_slack) sum += tab.At(i, j);
     }
@@ -130,10 +141,10 @@ LpResult SolveLpFeasibility(const LinearSystem& system, LpTableau* tableau) {
     if (entering == total) break;  // Optimal.
 
     size_t pivot_row = m;
-    Rational best_ratio;
+    Num best_ratio;
     for (size_t i = 0; i < m; ++i) {
       if (tab.At(i, entering).sign() <= 0) continue;
-      Rational ratio = tab.At(i, rhs_col) / tab.At(i, entering);
+      Num ratio = tab.At(i, rhs_col) / tab.At(i, entering);
       if (pivot_row == m || ratio < best_ratio ||
           (ratio == best_ratio && basis[i] < basis[pivot_row])) {
         pivot_row = i;
@@ -143,21 +154,23 @@ LpResult SolveLpFeasibility(const LinearSystem& system, LpTableau* tableau) {
     if (pivot_row == m) break;  // Phase-1 cannot be unbounded; defensive.
 
     ++result.pivots;
-    Rational pivot = tab.At(pivot_row, entering);
+    Num* pivot_cells = tab.Row(pivot_row);
+    const Num pivot = pivot_cells[entering];
     for (size_t j = 0; j <= rhs_col; ++j) {
-      Rational& cell = tab.At(pivot_row, j);
+      Num& cell = pivot_cells[j];
       if (!cell.is_zero()) cell /= pivot;
     }
     for (size_t i = 0; i <= m; ++i) {
       if (i == pivot_row) continue;
-      Rational factor = tab.At(i, entering);
+      Num* cells = tab.Row(i);
+      const Num factor = cells[entering];
       if (factor.is_zero()) continue;
       for (size_t j = 0; j <= rhs_col; ++j) {
         // The tableaus of the cardinality encodings are sparse; skipping
         // zero cells in the pivot row is the single biggest speedup here.
-        const Rational& p = tab.At(pivot_row, j);
+        const Num& p = pivot_cells[j];
         if (p.is_zero()) continue;
-        tab.At(i, j) -= factor * p;
+        cells[j] -= factor * p;
       }
     }
     basis[pivot_row] = static_cast<int>(entering);
@@ -188,25 +201,27 @@ LpResult SolveLpFeasibility(const LinearSystem& system, LpTableau* tableau) {
       }
       if (entering == num_structural_slack) continue;  // Redundant row.
       ++result.pivots;
-      Rational pivot = tab.At(i, entering);
+      Num* pivot_cells = tab.Row(i);
+      const Num pivot = pivot_cells[entering];
       for (size_t j = 0; j <= rhs_col; ++j) {
-        Rational& cell = tab.At(i, j);
+        Num& cell = pivot_cells[j];
         if (!cell.is_zero()) cell /= pivot;
       }
       for (size_t r = 0; r <= m; ++r) {
         if (r == i) continue;
-        Rational factor = tab.At(r, entering);
+        Num* cells = tab.Row(r);
+        const Num factor = cells[entering];
         if (factor.is_zero()) continue;
         for (size_t j = 0; j <= rhs_col; ++j) {
-          const Rational& p = tab.At(i, j);
+          const Num& p = pivot_cells[j];
           if (p.is_zero()) continue;
-          tab.At(r, j) -= factor * p;
+          cells[j] -= factor * p;
         }
       }
       basis[i] = static_cast<int>(entering);
     }
   }
-  result.values.assign(n, Rational());
+  result.values.assign(n, Num());
   for (size_t i = 0; i < m; ++i) {
     if (basis[i] >= 0 && static_cast<size_t>(basis[i]) < n) {
       result.values[basis[i]] = tab.At(i, rhs_col);
@@ -216,8 +231,8 @@ LpResult SolveLpFeasibility(const LinearSystem& system, LpTableau* tableau) {
   if (tableau != nullptr) {
     tableau->columns = columns;
     tableau->basis.assign(m, -1);
-    tableau->rows.assign(m, std::vector<Rational>(num_structural_slack));
-    tableau->rhs.assign(m, Rational());
+    tableau->rows.assign(m, std::vector<Num>(num_structural_slack));
+    tableau->rhs.assign(m, Num());
     tableau->num_constraints = m;
     for (size_t i = 0; i < m; ++i) {
       // Rows still basic in an artificial are degenerate (value 0) and are
@@ -275,13 +290,17 @@ WarmResult ReSolveLpFeasibilityDual(const LinearSystem& system,
   const size_t total = old_cols + appended.size();
   const size_t rhs_col = total;
 
-  std::vector<std::vector<Rational>> tab(rows,
-                                         std::vector<Rational>(total + 1));
+  // The private working copy pivots in arena scratch; only the final fold-
+  // back below touches the caller's (regular-vector) tableau.
+  ArenaScope scratch(ThisThreadArena());
+  Tableau tab(&ThisThreadArena(), rows, total + 1);
   std::vector<int> basis(tableau->basis.begin(), tableau->basis.end());
   basis.reserve(rows);
   for (size_t i = 0; i < old_rows; ++i) {
-    for (size_t j = 0; j < old_cols; ++j) tab[i][j] = tableau->rows[i][j];
-    tab[i][rhs_col] = tableau->rhs[i];
+    Num* cells = tab.Row(i);
+    const std::vector<Num>& src = tableau->rows[i];
+    for (size_t j = 0; j < old_cols; ++j) cells[j] = src[j];
+    cells[rhs_col] = tableau->rhs[i];
   }
 
   for (size_t r = 0; r < appended.size(); ++r) {
@@ -292,19 +311,19 @@ WarmResult ReSolveLpFeasibilityDual(const LinearSystem& system,
     // ≤-half: expr + s = rhs. ≥-half, negated so the surplus comes out +1:
     // −expr + s = −rhs.
     const int sign = plan.sub_sign < 0 ? 1 : -1;
-    std::vector<Rational>& cells = tab[row];
+    Num* cells = tab.Row(row);
     for (const auto& [var, coeff] : c.coeffs) {
-      cells[static_cast<size_t>(var)] = Rational(sign < 0 ? -coeff : coeff);
+      cells[static_cast<size_t>(var)] = sign < 0 ? -coeff : coeff;
     }
-    cells[slack] = Rational(1);
-    cells[rhs_col] = Rational(sign < 0 ? -c.rhs : c.rhs);
+    cells[slack] = Num(1);
+    cells[rhs_col] = sign < 0 ? -c.rhs : c.rhs;
     // Price out the parent's basic variables so basic columns stay unit.
     // Parent rows carry zeros in the fresh slack columns, so elimination
     // never spills into other appended rows.
     for (size_t i = 0; i < old_rows; ++i) {
-      const Rational factor = cells[static_cast<size_t>(basis[i])];
+      const Num factor = cells[static_cast<size_t>(basis[i])];
       if (factor.is_zero()) continue;
-      const std::vector<Rational>& pivot_row = tab[i];
+      const Num* pivot_row = tab.Row(i);
       for (size_t j = 0; j <= rhs_col; ++j) {
         if (pivot_row[j].is_zero()) continue;
         cells[j] -= factor * pivot_row[j];
@@ -322,17 +341,17 @@ WarmResult ReSolveLpFeasibilityDual(const LinearSystem& system,
   for (;;) {
     int leaving = -1;
     for (size_t i = 0; i < rows; ++i) {
-      if (tab[i][rhs_col].sign() < 0 &&
+      if (tab.At(i, rhs_col).sign() < 0 &&
           (leaving < 0 || basis[i] < basis[leaving])) {
         leaving = static_cast<int>(i);
       }
     }
     if (leaving < 0) break;  // Primal feasible again.
 
-    const std::vector<Rational>& leaving_row = tab[leaving];
+    Num* pivot_cells = tab.Row(leaving);
     size_t entering = total;
     for (size_t j = 0; j < total; ++j) {
-      if (leaving_row[j].sign() < 0) {
+      if (pivot_cells[j].sign() < 0) {
         entering = j;
         break;
       }
@@ -349,16 +368,15 @@ WarmResult ReSolveLpFeasibilityDual(const LinearSystem& system,
     }
     ++out.lp.pivots;
 
-    std::vector<Rational>& pivot_cells = tab[leaving];
-    const Rational pivot = pivot_cells[entering];
+    const Num pivot = pivot_cells[entering];
     for (size_t j = 0; j <= rhs_col; ++j) {
-      Rational& cell = pivot_cells[j];
+      Num& cell = pivot_cells[j];
       if (!cell.is_zero()) cell /= pivot;
     }
     for (size_t i = 0; i < rows; ++i) {
       if (i == static_cast<size_t>(leaving)) continue;
-      std::vector<Rational>& cells = tab[i];
-      const Rational factor = cells[entering];
+      Num* cells = tab.Row(i);
+      const Num factor = cells[entering];
       if (factor.is_zero()) continue;
       for (size_t j = 0; j <= rhs_col; ++j) {
         if (pivot_cells[j].is_zero()) continue;
@@ -370,15 +388,16 @@ WarmResult ReSolveLpFeasibilityDual(const LinearSystem& system,
 
   out.status = WarmStatus::kOk;
   out.lp.feasible = true;
-  out.lp.values.assign(n, Rational());
+  out.lp.values.assign(n, Num());
   for (size_t i = 0; i < rows; ++i) {
     if (static_cast<size_t>(basis[i]) < n) {
-      out.lp.values[basis[i]] = tab[i][rhs_col];
+      out.lp.values[basis[i]] = tab.At(i, rhs_col);
     }
   }
 
   // Fold the extended state back into `tableau` so the next warm re-solve
-  // (or a Gomory derivation) starts from here.
+  // (or a Gomory derivation) starts from here. Copies, not moves — the
+  // tableau's vectors must outlive this solve's arena scope.
   for (const NewRow& plan : appended) {
     tableau->columns.push_back({LpColumnInfo::Kind::kSlack,
                                 static_cast<int>(plan.constraint),
@@ -388,9 +407,11 @@ WarmResult ReSolveLpFeasibilityDual(const LinearSystem& system,
   tableau->rhs.resize(rows);
   tableau->rows.resize(rows);
   for (size_t i = 0; i < rows; ++i) {
-    tableau->rhs[i] = tab[i][rhs_col];
-    tab[i].resize(total);
-    tableau->rows[i] = std::move(tab[i]);
+    tableau->rhs[i] = tab.At(i, rhs_col);
+    std::vector<Num>& dst = tableau->rows[i];
+    dst.resize(total);
+    const Num* cells = tab.Row(i);
+    for (size_t j = 0; j < total; ++j) dst[j] = cells[j];
   }
   tableau->num_constraints = m_new;
   return out;
@@ -447,17 +468,17 @@ WarmResult ReSolveLpFeasibilityDualInPlace(const LinearSystem& system,
     const NewRow& plan = appended[r];
     const LinearConstraint& c = system.constraints()[plan.constraint];
     const int sign = plan.sub_sign < 0 ? 1 : -1;
-    std::vector<Rational>& cells = tableau->rows[row];
-    cells.assign(total, Rational());
+    std::vector<Num>& cells = tableau->rows[row];
+    cells.assign(total, Num());
     for (const auto& [var, coeff] : c.coeffs) {
-      cells[static_cast<size_t>(var)] = Rational(sign < 0 ? -coeff : coeff);
+      cells[static_cast<size_t>(var)] = sign < 0 ? -coeff : coeff;
     }
-    cells[slack] = Rational(1);
-    tableau->rhs[row] = Rational(sign < 0 ? -c.rhs : c.rhs);
+    cells[slack] = Num(1);
+    tableau->rhs[row] = sign < 0 ? -c.rhs : c.rhs;
     for (size_t i = 0; i < old_rows; ++i) {
-      const Rational factor = cells[static_cast<size_t>(basis[i])];
+      const Num factor = cells[static_cast<size_t>(basis[i])];
       if (factor.is_zero()) continue;
-      const std::vector<Rational>& pivot_row = tableau->rows[i];
+      const std::vector<Num>& pivot_row = tableau->rows[i];
       for (size_t j = 0; j < total; ++j) {
         if (pivot_row[j].is_zero()) continue;
         cells[j] -= factor * pivot_row[j];
@@ -485,7 +506,7 @@ WarmResult ReSolveLpFeasibilityDualInPlace(const LinearSystem& system,
     }
     if (leaving < 0) break;  // Primal feasible again.
 
-    std::vector<Rational>& pivot_cells = tableau->rows[leaving];
+    std::vector<Num>& pivot_cells = tableau->rows[leaving];
     size_t entering = total;
     for (size_t j = 0; j < total; ++j) {
       if (pivot_cells[j].sign() < 0) {
@@ -506,16 +527,16 @@ WarmResult ReSolveLpFeasibilityDualInPlace(const LinearSystem& system,
     }
     ++out.lp.pivots;
 
-    const Rational pivot = pivot_cells[entering];
+    const Num pivot = pivot_cells[entering];
     for (size_t j = 0; j < total; ++j) {
-      Rational& cell = pivot_cells[j];
+      Num& cell = pivot_cells[j];
       if (!cell.is_zero()) cell /= pivot;
     }
     if (!tableau->rhs[leaving].is_zero()) tableau->rhs[leaving] /= pivot;
     for (size_t i = 0; i < rows; ++i) {
       if (i == static_cast<size_t>(leaving)) continue;
-      std::vector<Rational>& cells = tableau->rows[i];
-      const Rational factor = cells[entering];
+      std::vector<Num>& cells = tableau->rows[i];
+      const Num factor = cells[entering];
       if (factor.is_zero()) continue;
       for (size_t j = 0; j < total; ++j) {
         if (pivot_cells[j].is_zero()) continue;
@@ -530,7 +551,7 @@ WarmResult ReSolveLpFeasibilityDualInPlace(const LinearSystem& system,
 
   out.status = WarmStatus::kOk;
   out.lp.feasible = true;
-  out.lp.values.assign(n, Rational());
+  out.lp.values.assign(n, Num());
   for (size_t i = 0; i < rows; ++i) {
     if (static_cast<size_t>(basis[i]) < n) {
       out.lp.values[basis[i]] = tableau->rhs[i];

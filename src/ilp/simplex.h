@@ -2,7 +2,7 @@
 
 #include <vector>
 
-#include "base/rational.h"
+#include "base/num.h"
 #include "ilp/linear_system.h"
 
 namespace xicc {
@@ -35,8 +35,8 @@ struct LpTableau {
   /// artificial still in the basis — rows like that are unusable for cuts
   /// and poison warm re-solves (the artificial column is not exported).
   std::vector<int> basis;
-  std::vector<std::vector<Rational>> rows;  ///< Per row, per column.
-  std::vector<Rational> rhs;
+  std::vector<std::vector<Num>> rows;  ///< Per row, per column.
+  std::vector<Num> rhs;
   /// How many rows of the originating LinearSystem this tableau covers.
   /// A warm re-solve treats system rows past this index as appended.
   size_t num_constraints = 0;
@@ -46,7 +46,7 @@ struct LpTableau {
 struct LpResult {
   bool feasible = false;
   /// Values for the system's original variables when feasible.
-  std::vector<Rational> values;
+  std::vector<Num> values;
   /// Pivot count, for the solver statistics.
   size_t pivots = 0;
 };
@@ -106,8 +106,8 @@ WarmResult ReSolveLpFeasibilityDual(const LinearSystem& system,
 
 /// Same decision and the same basis mathematics as ReSolveLpFeasibilityDual,
 /// but pivots directly inside `tableau` instead of on a private dense copy
-/// that is folded back afterwards — the copy (and its one-allocation-per-
-/// nonzero-Rational burst) is the dominant cost of a re-solve whose appended
+/// that is folded back afterwards — the copy burst is the dominant cost of
+/// a re-solve whose appended
 /// rows need only a handful of pivots, which is exactly the Σ-delta session
 /// profile. The price is the failure contract: on kUnusableBasis the tableau
 /// is untouched, but on kPivotLimit — and on an exact kOk infeasible

@@ -1,9 +1,11 @@
 #include "ilp/solver.h"
 
 #include <chrono>
+#include <memory>
 #include <optional>
 #include <utility>
 
+#include "base/arena.h"
 #include "base/debug.h"
 #include "ilp/audit.h"
 #include "ilp/simplex.h"
@@ -21,8 +23,8 @@ BigInt PapadimitriouBound(size_t num_constraints, size_t num_variables,
 namespace {
 
 /// Fractional part f(x) = x - ⌊x⌋ ∈ [0, 1).
-Rational Frac(const Rational& value) {
-  return value - Rational(value.Floor());
+Num Frac(const Num& value) {
+  return value - value.Floor();
 }
 
 /// Derives a Gomory fractional cut from a basis row with fractional rhs.
@@ -40,13 +42,13 @@ std::optional<LinearConstraint> DeriveGomoryCut(const LinearSystem& system,
   // Pick the usable fractional row whose rhs fraction is closest to 1/2
   // (strongest cut).
   int best_row = -1;
-  Rational best_score;
-  const Rational half(BigInt(1), BigInt(2));
+  Num best_score;
+  const Num half(BigInt(1), BigInt(2));
   for (size_t i = 0; i < tableau.rhs.size(); ++i) {
     if (tableau.basis[i] < 0) continue;  // Artificial still basic.
-    Rational f = Frac(tableau.rhs[i]);
+    Num f = Frac(tableau.rhs[i]);
     if (f.is_zero()) continue;
-    Rational score = f <= half ? f : Rational(BigInt(1)) - f;
+    Num score = f <= half ? f : Num(1) - f;
     if (best_row < 0 || score > best_score) {
       best_row = static_cast<int>(i);
       best_score = score;
@@ -54,13 +56,13 @@ std::optional<LinearConstraint> DeriveGomoryCut(const LinearSystem& system,
   }
   if (best_row < 0) return std::nullopt;
 
-  const std::vector<Rational>& row = tableau.rows[best_row];
-  Rational rhs = Frac(tableau.rhs[best_row]);
+  const std::vector<Num>& row = tableau.rows[best_row];
+  Num rhs = Frac(tableau.rhs[best_row]);
   // Accumulate structural coefficients; slack columns substitute to
   // structural terms plus a constant folded into the rhs.
-  std::map<VarId, Rational> coeffs;
+  std::map<VarId, Num> coeffs;
   for (size_t j = 0; j < row.size(); ++j) {
-    Rational f = Frac(row[j]);
+    Num f = Frac(row[j]);
     if (f.is_zero()) continue;
     const LpColumnInfo& column = tableau.columns[j];
     if (column.kind == LpColumnInfo::Kind::kStructural) {
@@ -73,31 +75,34 @@ std::optional<LinearConstraint> DeriveGomoryCut(const LinearSystem& system,
     const LinearConstraint& c = system.constraints()[column.index];
     int sign = column.sub_sign;
     for (const auto& [var, coeff] : c.coeffs) {
-      Rational term = f * Rational(coeff);
+      Num term = f * coeff;
       coeffs[var] += sign < 0 ? -term : term;
     }
     // f·s contributes f·(∓rhs_k) as a constant on the left; move it right.
-    Rational constant = f * Rational(c.rhs);
+    Num constant = f * c.rhs;
     rhs += sign < 0 ? -constant : constant;
   }
 
   // Clear denominators: multiply by the LCM.
   BigInt lcm(1);
-  auto fold = [&lcm](const Rational& value) {
-    BigInt g = BigInt::Gcd(lcm, value.den());
-    lcm = lcm / g * value.den();
+  auto fold = [&lcm](const Num& value) {
+    BigInt den = value.den();
+    BigInt g = BigInt::Gcd(lcm, den);
+    lcm = lcm / g * den;
   };
   for (const auto& [var, value] : coeffs) fold(value);
   fold(rhs);
 
   LinearConstraint cut;
   cut.op = RelOp::kGe;
-  const Rational scale((lcm));
+  const Num scale{BigInt(lcm)};
+  cut.coeffs.reserve(coeffs.size());
   for (const auto& [var, value] : coeffs) {
-    Rational scaled = value * scale;
-    if (!scaled.is_zero()) cut.coeffs[var] = scaled.num();
+    Num scaled = value * scale;
+    // std::map iteration keeps the flat row VarId-sorted, as AddRaw requires.
+    if (!scaled.is_zero()) cut.coeffs.emplace_back(var, scaled.num());
   }
-  cut.rhs = (rhs * scale).num();
+  cut.rhs = Num((rhs * scale).num());
   return cut;
 }
 
@@ -113,6 +118,12 @@ class BranchAndBound {
 
   Result<IlpSolution> Run() {
     const auto start = std::chrono::steady_clock::now();
+    // Snapshot the calling thread's two-tier arithmetic and arena counters;
+    // the deltas at exit are this solve's own traffic. Nested solvers (the
+    // case-split search, the connectivity cut loop) take their snapshots at
+    // their own boundaries, so nobody double-counts.
+    const NumCounters counters_before = ThisThreadNumCounters();
+    const uint64_t arena_before = ThisThreadArena().total_allocated();
     if (options_.apply_papadimitriou_bound) {
       // Upper-bound every variable by the minimal-solution bound, making
       // the search space finite — but only when the bound is cheap to carry
@@ -136,6 +147,15 @@ class BranchAndBound {
           " branch-and-bound nodes");
     }
     solution_.feasible = found;
+    const NumCounters& counters_after = ThisThreadNumCounters();
+    solution_.num_small_ops = counters_after.small_ops - counters_before.small_ops;
+    solution_.num_big_ops = counters_after.big_ops - counters_before.big_ops;
+    solution_.num_promotions =
+        counters_after.promotions - counters_before.promotions;
+    solution_.num_demotions =
+        counters_after.demotions - counters_before.demotions;
+    solution_.arena_bytes =
+        ThisThreadArena().total_allocated() - arena_before;
     solution_.wall_ms =
         std::chrono::duration<double, std::milli>(  // xicc-lint: allow(exact-arithmetic)
             std::chrono::steady_clock::now() - start)
@@ -144,6 +164,30 @@ class BranchAndBound {
   }
 
  private:
+  /// RAII handle on a tableau from the node free list; the destructor
+  /// returns it (with all its vector capacity) for the next node to reuse.
+  class PooledTableau {
+   public:
+    explicit PooledTableau(BranchAndBound* owner) : owner_(owner) {
+      if (owner_->tableau_pool_.empty()) {
+        tab_ = std::make_unique<LpTableau>();
+      } else {
+        tab_ = std::move(owner_->tableau_pool_.back());
+        owner_->tableau_pool_.pop_back();
+      }
+    }
+    ~PooledTableau() {
+      owner_->tableau_pool_.push_back(std::move(tab_));
+    }
+    PooledTableau(const PooledTableau&) = delete;
+    PooledTableau& operator=(const PooledTableau&) = delete;
+    LpTableau* get() { return tab_.get(); }
+
+   private:
+    BranchAndBound* owner_;
+    std::unique_ptr<LpTableau> tab_;
+  };
+
   /// One LP solve of the current work_ state into `tab`. When `try_warm`,
   /// `tab` must hold a feasible ancestor basis of a row-prefix of work_ —
   /// the appended rows go through the dual-simplex re-solve; any warm
@@ -194,15 +238,19 @@ class BranchAndBound {
   }
 
   bool ExploreWithCuts(const LpTableau* parent) {
-    LpTableau local;
-    LpTableau* tab = &local;
+    // Node tableaus come from a free list: releasing back to it keeps the
+    // row vectors' capacities, so the per-node `*tab = *parent` copy settles
+    // into zero allocator traffic once the tree depth has been visited once.
+    // (LpTableau itself must stay heap-vector-backed — parents are shared
+    // down the DFS and outlive any one node's arena scope.)
+    PooledTableau local(this);
+    LpTableau* tab = local.get();
     bool try_warm = parent != nullptr;
     if (try_warm) {
       // The sibling still needs `parent`, so every node works on a copy. The
-      // root may copy into the caller's scratch tableau instead of a fresh
-      // stack-local — with warmed vector capacity that copy allocates
-      // nothing, where a cold duplicate of a dense rational tableau is an
-      // allocation per nonzero entry.
+      // root may copy into the caller's scratch tableau instead of a pooled
+      // one — re-passing the same scratch across solves keeps its capacity
+      // warm from call to call, not just node to node.
       if (parent == hint_ && options_.root_scratch != nullptr) {
         tab = options_.root_scratch;
       }
@@ -226,7 +274,7 @@ class BranchAndBound {
       if (fractional < 0) {
         solution_.values.clear();
         solution_.values.reserve(lp.values.size());
-        for (const Rational& v : lp.values) {
+        for (const Num& v : lp.values) {
           solution_.values.push_back(v.num());
         }
         return true;
@@ -239,7 +287,7 @@ class BranchAndBound {
       lp = SolveNodeLp(tab, /*try_warm=*/true);
     }
 
-    const Rational value = lp.values[fractional];
+    const Num value = lp.values[fractional];
     work_.PushCheckpoint();
     work_.AddConstraint(LinearExpr::Var(fractional), RelOp::kLe,
                         value.Floor());
@@ -258,6 +306,7 @@ class BranchAndBound {
   IlpOptions options_;
   const LpTableau* hint_;
   IlpSolution solution_;
+  std::vector<std::unique_ptr<LpTableau>> tableau_pool_;
   bool budget_hit_ = false;
 };
 

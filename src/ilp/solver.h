@@ -60,6 +60,17 @@ struct IlpSolution {
   /// LP solves that ran the cold phase-1 path (root nodes, disabled warm
   /// start, or warm-basis fallbacks).
   size_t cold_restarts = 0;
+  /// Two-tier exact arithmetic (base/num.h), this solve's share: operations
+  /// served by the packed small tier vs the BigInt tier, and the transitions
+  /// between them. promotions/small_ops is the promotion rate the benches
+  /// report.
+  uint64_t num_small_ops = 0;
+  uint64_t num_big_ops = 0;
+  uint64_t num_promotions = 0;
+  uint64_t num_demotions = 0;
+  /// Bytes of per-thread arena scratch consumed by this solve (cumulative
+  /// traffic, not footprint — see Arena::total_allocated).
+  uint64_t arena_bytes = 0;
   /// Wall-clock time spent inside the solve.
   double wall_ms = 0.0;  // xicc-lint: allow(exact-arithmetic)
 };

@@ -153,6 +153,10 @@ void PrintStats(const ConsistencyStats& stats, std::ostream& out) {
       << " ilp nodes, " << stats.lp_pivots << " lp pivots ("
       << stats.warm_starts << " warm / " << stats.cold_restarts
       << " cold), ilp " << stats.ilp_wall_ms << " ms\n";
+  out << "arithmetic: " << stats.num_small_ops << " small ops, "
+      << stats.num_big_ops << " big ops, " << stats.num_promotions
+      << " promotions / " << stats.num_demotions << " demotions, arena "
+      << stats.arena_bytes << " bytes\n";
   out << "session:    compile " << stats.compile_ms << " ms, "
       << stats.sigma_delta_checks << " sigma-delta, " << stats.memo_hits
       << " memo hits, " << stats.memo_misses << " memo misses\n";
@@ -322,6 +326,11 @@ int CmdBatch(const std::vector<std::string>& args, std::ostream& out,
     total.lp_pivots += item.result.stats.lp_pivots;
     total.warm_starts += item.result.stats.warm_starts;
     total.cold_restarts += item.result.stats.cold_restarts;
+    total.num_small_ops += item.result.stats.num_small_ops;
+    total.num_big_ops += item.result.stats.num_big_ops;
+    total.num_promotions += item.result.stats.num_promotions;
+    total.num_demotions += item.result.stats.num_demotions;
+    total.arena_bytes += item.result.stats.arena_bytes;
     total.ilp_wall_ms += item.result.stats.ilp_wall_ms;
   }
   out << "queries:    " << results.size() << "\n";
@@ -333,6 +342,10 @@ int CmdBatch(const std::vector<std::string>& args, std::ostream& out,
         << total.lp_pivots << " lp pivots (" << total.warm_starts
         << " warm / " << total.cold_restarts << " cold), ilp "
         << total.ilp_wall_ms << " ms\n";
+    out << "arithmetic: " << total.num_small_ops << " small ops, "
+        << total.num_big_ops << " big ops, " << total.num_promotions
+        << " promotions / " << total.num_demotions << " demotions, arena "
+        << total.arena_bytes << " bytes\n";
   }
   if (any_error) return kError;
   return all_consistent ? kOk : kNegative;

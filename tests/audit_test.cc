@@ -120,7 +120,7 @@ TEST(AuditTableauTest, SolverExportIsClean) {
 
 TEST(AuditTableauTest, RejectsNegativeRhs) {
   TableauFixture fx;
-  fx.tableau.rhs[fx.BasicRow()] = Rational(BigInt(-1));
+  fx.tableau.rhs[fx.BasicRow()] = Num(-1);
   EXPECT_TRUE(Mentions(AuditTableau(fx.system, fx.tableau), "negative rhs"))
       << Joined(AuditTableau(fx.system, fx.tableau));
 }
@@ -129,7 +129,7 @@ TEST(AuditTableauTest, RejectsBrokenUnitColumn) {
   TableauFixture fx;
   const size_t row = fx.BasicRow();
   const int col = fx.tableau.basis[row];
-  fx.tableau.rows[row][col] = Rational(BigInt(2));
+  fx.tableau.rows[row][col] = Num(2);
   EXPECT_TRUE(Mentions(AuditTableau(fx.system, fx.tableau),
                        "not unit in its own row"))
       << Joined(AuditTableau(fx.system, fx.tableau));
@@ -139,7 +139,7 @@ TEST(AuditTableauTest, RejectsBrokenUnitColumn) {
   const size_t other = (fy.BasicRow() + 1) % fy.tableau.rows.size();
   ASSERT_NE(other, fy.BasicRow());
   fy.tableau.rows[other][fy.tableau.basis[fy.BasicRow()]] =
-      Rational(BigInt(1));
+      Num(1);
   EXPECT_TRUE(Mentions(AuditTableau(fy.system, fy.tableau),
                        "nonzero entry outside its row"))
       << Joined(AuditTableau(fy.system, fy.tableau));
@@ -163,7 +163,7 @@ TEST(AuditTableauTest, RejectsNondegenerateArtificialRow) {
   TableauFixture fx;
   const size_t row = fx.BasicRow();
   fx.tableau.basis[row] = -1;  // Artificial still basic...
-  fx.tableau.rhs[row] = Rational(BigInt(2));  // ...at a nonzero value.
+  fx.tableau.rhs[row] = Num(2);  // ...at a nonzero value.
   EXPECT_TRUE(Mentions(AuditTableau(fx.system, fx.tableau),
                        "artificial-basic row"))
       << Joined(AuditTableau(fx.system, fx.tableau));

@@ -70,7 +70,7 @@ TEST(ConditionalSolverTest, ThreadCountsAgreeOnDirectSystems) {
       for (const LinearConstraint& c : enc->system.constraints()) {
         BigInt lhs(0);
         for (const auto& [var, coef] : c.coeffs) {
-          lhs += coef * solved->values[var];
+          lhs += coef.num() * solved->values[var];
         }
         switch (c.op) {
           case RelOp::kLe:
@@ -87,12 +87,12 @@ TEST(ConditionalSolverTest, ThreadCountsAgreeOnDirectSystems) {
       for (const Conditional& cond : enc->conditionals) {
         BigInt premise(0);
         for (const auto& [var, coef] : cond.premise.terms()) {
-          premise += coef * solved->values[var];
+          premise += coef.num() * solved->values[var];
         }
         if (premise > BigInt(0)) {
           BigInt conclusion(0);
           for (const auto& [var, coef] : cond.conclusion.terms()) {
-            conclusion += coef * solved->values[var];
+            conclusion += coef.num() * solved->values[var];
           }
           EXPECT_GT(conclusion, BigInt(0));
         }

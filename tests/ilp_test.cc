@@ -53,7 +53,7 @@ TEST(SimplexTest, TrivialFeasible) {
   sys.AddConstraint(LinearExpr::Var(x), RelOp::kGe, BigInt(3));
   LpResult lp = SolveLpFeasibility(sys);
   ASSERT_TRUE(lp.feasible);
-  EXPECT_GE(lp.values[x], Rational(3));
+  EXPECT_GE(lp.values[x], Num(3));
 }
 
 TEST(SimplexTest, InfeasibleBounds) {
@@ -88,8 +88,8 @@ TEST(SimplexTest, EqualitySystem) {
   sys.AddConstraint(diff, RelOp::kEq, BigInt(4));
   LpResult lp = SolveLpFeasibility(sys);
   ASSERT_TRUE(lp.feasible);
-  EXPECT_EQ(lp.values[x], Rational(7));
-  EXPECT_EQ(lp.values[y], Rational(3));
+  EXPECT_EQ(lp.values[x], Num(7));
+  EXPECT_EQ(lp.values[y], Num(3));
 }
 
 TEST(SimplexTest, FractionalVertex) {
@@ -101,7 +101,7 @@ TEST(SimplexTest, FractionalVertex) {
   sys.AddConstraint(expr, RelOp::kEq, BigInt(5));
   LpResult lp = SolveLpFeasibility(sys);
   ASSERT_TRUE(lp.feasible);
-  EXPECT_EQ(lp.values[x], Rational(BigInt(5), BigInt(2)));
+  EXPECT_EQ(lp.values[x], Num(BigInt(5), BigInt(2)));
 }
 
 TEST(SimplexTest, SolutionSatisfiesAllConstraints) {
@@ -121,11 +121,11 @@ TEST(SimplexTest, SolutionSatisfiesAllConstraints) {
     LpResult lp = SolveLpFeasibility(sys);
     if (!lp.feasible) continue;
     for (const LinearConstraint& c : sys.constraints()) {
-      Rational lhs;
+      Num lhs;
       for (const auto& [var, coef] : c.coeffs) {
-        lhs += Rational(coef) * lp.values[var];
+        lhs += coef * lp.values[var];
       }
-      Rational bound((c.rhs));
+      const Num& bound = c.rhs;
       switch (c.op) {
         case RelOp::kLe:
           EXPECT_LE(lhs, bound);
@@ -280,7 +280,7 @@ TEST_P(IlpPropertyTest, SolutionsSatisfyTheSystem) {
     for (const LinearConstraint& c : sys.constraints()) {
       BigInt lhs(0);
       for (const auto& [var, coef] : c.coeffs) {
-        lhs += coef * solution->values[var];
+        lhs += coef.num() * solution->values[var];
       }
       switch (c.op) {
         case RelOp::kLe:
@@ -370,11 +370,11 @@ TEST(SimplexTest, DualReSolveMatchesColdOnAppendedRows) {
     if (warm.lp.feasible) {
       // The warm vertex satisfies every row.
       for (const LinearConstraint& c : sys.constraints()) {
-        Rational lhs;
+        Num lhs;
         for (const auto& [var, coef] : c.coeffs) {
-          lhs += Rational(coef) * warm.lp.values[var];
+          lhs += coef * warm.lp.values[var];
         }
-        Rational rhs{c.rhs};
+        const Num& rhs = c.rhs;
         switch (c.op) {
           case RelOp::kLe:
             EXPECT_TRUE(lhs <= rhs);
@@ -445,7 +445,7 @@ TEST_P(WarmColdEquivalenceTest, VerdictsIdenticalSolutionsChecked) {
       for (const LinearConstraint& c : sys.constraints()) {
         BigInt lhs(0);
         for (const auto& [var, coef] : c.coeffs) {
-          lhs += coef * solution->values[var];
+          lhs += coef.num() * solution->values[var];
         }
         switch (c.op) {
           case RelOp::kLe:

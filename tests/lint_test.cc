@@ -31,9 +31,11 @@ TEST(LintRulesTest, RuleTableIsComplete) {
     EXPECT_FALSE(std::string(rule.summary).empty()) << rule.name;
   }
   EXPECT_EQ(names,
-            (std::vector<std::string>{"exact-arithmetic", "no-nondeterminism",
-                                      "raw-concurrency", "void-discard",
-                                      "pragma-once", "include-layering"}));
+            (std::vector<std::string>{"exact-arithmetic",
+                                      "raw-coefficient-words",
+                                      "no-nondeterminism", "raw-concurrency",
+                                      "void-discard", "pragma-once",
+                                      "include-layering"}));
 }
 
 TEST(LintRulesTest, ExactArithmeticFlagsOnlyVerdictDirs) {
@@ -42,7 +44,8 @@ TEST(LintRulesTest, ExactArithmeticFlagsOnlyVerdictDirs) {
   ASSERT_EQ(issues.size(), 1u);
   EXPECT_EQ(issues[0].ToString(),
             "src/ilp/foo.h:2: [exact-arithmetic] 'double' in a verdict path: "
-            "the ILP/simplex core is exact BigInt/Rational arithmetic only");
+            "the ILP/simplex core is exact BigInt/Rational/Num (two-tier) "
+            "arithmetic only");
 
   // Same token in core/ is flagged; in xml/ (not a verdict path) it is not.
   EXPECT_EQ(RuleNames(LintFile("src/core/foo.cc", "float f;\n")),
@@ -51,6 +54,23 @@ TEST(LintRulesTest, ExactArithmeticFlagsOnlyVerdictDirs) {
 
   // Identifier boundaries: "double_entry" is not the token "double".
   EXPECT_TRUE(LintFile("src/ilp/foo.cc", "int double_entry = 0;\n").empty());
+}
+
+TEST(LintRulesTest, RawCoefficientWordsBansBareInt64InIlp) {
+  // A bare int64_t on a coefficient path in src/ilp/ is flagged...
+  EXPECT_EQ(RuleNames(LintFile("src/ilp/foo.cc", "int64_t coeff = a * b;\n")),
+            std::vector<std::string>{"raw-coefficient-words"});
+  // ...but the sanctioned cast of a dimension is not, nor is uint64_t (a
+  // counter, not a coefficient), nor int64_t outside src/ilp/.
+  EXPECT_TRUE(LintFile("src/ilp/foo.cc",
+                       "BigInt m(static_cast<int64_t>(rows));\n")
+                  .empty());
+  EXPECT_TRUE(LintFile("src/ilp/foo.cc", "uint64_t ops = 0;\n").empty());
+  EXPECT_TRUE(LintFile("src/core/foo.cc", "int64_t fine = 0;\n").empty());
+  // Suppression works like every other rule.
+  EXPECT_TRUE(LintFile("src/ilp/foo.cc",
+                       "int64_t raw;  // xicc-lint: allow(raw-coefficient-words)\n")
+                  .empty());
 }
 
 TEST(LintRulesTest, NoNondeterminismFlagsRandomSources) {

@@ -1,0 +1,230 @@
+// Tests for the two-tier exact number (base/num.h): differential chains
+// against the pure-BigInt Rational it must agree with bit-for-bit, the
+// INT64-boundary promotions that move values onto the big tier, and the
+// canonical-form invariants (reduced, positive denominator, canonical zero)
+// that every tier transition must preserve. RepOk is asserted after every
+// operation — a big-tier value that fits the small words is a demotion bug,
+// an unreduced small value a canonicalization bug.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "base/bigint.h"
+#include "base/num.h"
+#include "base/rational.h"
+
+namespace xicc {
+namespace {
+
+Rational MakeRational(int64_t num, int64_t den) {
+  return Rational(BigInt(num), BigInt(den));
+}
+
+Num MakeNum(int64_t num, int64_t den) {
+  return Num(BigInt(num), BigInt(den));
+}
+
+/// Exact agreement with the reference Rational, via the string rendering
+/// both types canonicalize to.
+void ExpectAgrees(const Num& value, const Rational& reference,
+                  const std::string& context) {
+  EXPECT_TRUE(value.RepOk()) << context << ": " << value.ToString();
+  EXPECT_EQ(value.ToString(), reference.ToString()) << context;
+  EXPECT_EQ(Rational::Compare(value.ToRational(), reference), 0) << context;
+}
+
+// ------------------------------------------------------ Canonical form.
+
+TEST(NumTest, ConstructionCanonicalizes) {
+  EXPECT_EQ(MakeNum(2, 4).ToString(), "1/2");
+  EXPECT_EQ(MakeNum(-2, 4).ToString(), "-1/2");
+  EXPECT_EQ(MakeNum(2, -4).ToString(), "-1/2");   // Sign moves to the top.
+  EXPECT_EQ(MakeNum(-2, -4).ToString(), "1/2");
+  EXPECT_EQ(MakeNum(0, -7).ToString(), "0");      // Canonical zero is 0/1.
+  EXPECT_EQ(MakeNum(42, 6).ToString(), "7");
+  EXPECT_TRUE(MakeNum(42, 6).is_integer());
+  EXPECT_TRUE(MakeNum(0, 9).is_zero());
+  for (const Num& n : {MakeNum(2, 4), MakeNum(-9, 3), MakeNum(0, -7)}) {
+    EXPECT_TRUE(n.RepOk()) << n.ToString();
+  }
+}
+
+TEST(NumTest, GcdCanonicalizationSurvivesArithmetic) {
+  // 1/6 + 1/10 = 4/15: the naive cross-multiplication gives 16/60, which
+  // the reduced-gcd scheme must bring to lowest terms.
+  Num sum = MakeNum(1, 6);
+  sum += MakeNum(1, 10);
+  EXPECT_EQ(sum.ToString(), "4/15");
+  EXPECT_TRUE(sum.RepOk());
+
+  // 3/4 * 8/9 = 2/3 via cross-reduction.
+  Num prod = MakeNum(3, 4);
+  prod *= MakeNum(8, 9);
+  EXPECT_EQ(prod.ToString(), "2/3");
+  EXPECT_TRUE(prod.RepOk());
+
+  // x - x and 0 * x land exactly on the canonical zero.
+  Num diff = MakeNum(7, 13);
+  diff -= MakeNum(7, 13);
+  EXPECT_TRUE(diff.is_zero());
+  EXPECT_EQ(diff.ToString(), "0");
+  Num zero = MakeNum(0, 1);
+  zero *= MakeNum(-5, 3);
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_TRUE(zero.RepOk());
+}
+
+// ------------------------------------------------- Boundary promotions.
+
+TEST(NumTest, Int64BoundaryPromotesLosslessly) {
+  const int64_t max = std::numeric_limits<int64_t>::max();
+  const NumCounters before = ThisThreadNumCounters();
+
+  // max + max overflows the small adder and must promote, not wrap.
+  Num doubled(max);
+  EXPECT_TRUE(doubled.is_small());
+  doubled += Num(max);
+  EXPECT_FALSE(doubled.is_small());
+  ExpectAgrees(doubled, Rational(BigInt(max) + BigInt(max)),
+               "max+max");
+
+  // max * max likewise.
+  Num squared(max);
+  squared *= Num(max);
+  EXPECT_FALSE(squared.is_small());
+  ExpectAgrees(squared, Rational(BigInt(max) * BigInt(max)),
+               "max*max");
+
+  const NumCounters after = ThisThreadNumCounters();
+  EXPECT_GE(after.promotions - before.promotions, 2u);
+}
+
+TEST(NumTest, Int64MinLivesOnTheBigTier) {
+  // INT64_MIN has no small-tier negation, so it is excluded from the small
+  // domain outright — construction, negation, and arithmetic must all keep
+  // the representation well-formed.
+  const int64_t min = std::numeric_limits<int64_t>::min();
+  Num value(min);
+  EXPECT_FALSE(value.is_small());
+  EXPECT_TRUE(value.RepOk());
+  ExpectAgrees(value, Rational(BigInt(min)), "INT64_MIN");
+
+  Num negated = -value;
+  EXPECT_TRUE(negated.RepOk());
+  EXPECT_EQ(negated.ToString(), "9223372036854775808");
+
+  // min/2 fits the small tier again: the divide demotes.
+  Num halved = value;
+  halved /= Num(2);
+  EXPECT_TRUE(halved.is_small());
+  EXPECT_EQ(halved.ToString(), "-4611686018427387904");
+}
+
+TEST(NumTest, BigResultsThatFitDemote) {
+  const int64_t max = std::numeric_limits<int64_t>::max();
+  Num value(max);
+  value += Num(max);  // Promoted.
+  ASSERT_FALSE(value.is_small());
+  const NumCounters before = ThisThreadNumCounters();
+  value -= Num(max);  // Fits again: must come back to the small tier.
+  EXPECT_TRUE(value.is_small());
+  EXPECT_EQ(value.ToString(), std::to_string(max));
+  const NumCounters after = ThisThreadNumCounters();
+  EXPECT_GE(after.demotions - before.demotions, 1u);
+}
+
+// ------------------------------------------------- Differential chains.
+
+TEST(NumTest, RandomOperationChainsAgreeWithRational) {
+  // 10^5 random operations split over independent chains (fresh start every
+  // 50 steps so a big value doesn't trap the whole run on the big tier).
+  // Every step applies the same op to the Num chain and the pure-Rational
+  // reference and demands exact agreement; operand magnitudes are biased
+  // across word-boundary scales so the chains cross tiers both ways.
+  std::mt19937_64 rng(20260806);
+  std::uniform_int_distribution<int> op_dist(0, 4);
+  std::uniform_int_distribution<int> scale_dist(0, 2);
+  std::uniform_int_distribution<int64_t> small_dist(-999, 999);
+  std::uniform_int_distribution<int64_t> word_dist(
+      std::numeric_limits<int64_t>::min() / 2,
+      std::numeric_limits<int64_t>::max() / 2);
+  std::uniform_int_distribution<int64_t> edge_dist(
+      std::numeric_limits<int64_t>::max() - 999,
+      std::numeric_limits<int64_t>::max());
+
+  constexpr size_t kTotalOps = 100000;
+  constexpr size_t kChainLength = 50;
+  size_t ops = 0;
+  size_t chain = 0;
+  while (ops < kTotalOps) {
+    ++chain;
+    Num value(1);
+    Rational reference(BigInt(1));
+    for (size_t step = 0; step < kChainLength && ops < kTotalOps;
+         ++step, ++ops) {
+      int64_t raw_num;
+      switch (scale_dist(rng)) {
+        case 0: raw_num = small_dist(rng); break;
+        case 1: raw_num = word_dist(rng); break;
+        default: raw_num = edge_dist(rng); break;
+      }
+      int64_t raw_den = small_dist(rng);
+      if (raw_den == 0) raw_den = 1;
+      const Num operand = MakeNum(raw_num, raw_den);
+      const Rational operand_ref = MakeRational(raw_num, raw_den);
+
+      const int op = op_dist(rng);
+      const std::string context = "chain " + std::to_string(chain) +
+                                  " step " + std::to_string(step) + " op " +
+                                  std::to_string(op) + " operand " +
+                                  operand.ToString();
+      switch (op) {
+        case 0:
+          value += operand;
+          reference = reference + operand_ref;
+          break;
+        case 1:
+          value -= operand;
+          reference = reference - operand_ref;
+          break;
+        case 2:
+          value *= operand;
+          reference = reference * operand_ref;
+          break;
+        case 3:
+          if (operand.is_zero()) continue;
+          value /= operand;
+          reference = reference / operand_ref;
+          break;
+        default: {
+          // Comparison + floor/ceil as read-only probes of the same state.
+          EXPECT_EQ(Num::Compare(value, operand),
+                    Rational::Compare(reference, operand_ref))
+              << context;
+          EXPECT_EQ(value.Floor().ToString(), reference.Floor().ToString())
+              << context;
+          EXPECT_EQ(value.Ceil().ToString(), reference.Ceil().ToString())
+              << context;
+          break;
+        }
+      }
+      ASSERT_TRUE(value.RepOk()) << context << " -> " << value.ToString();
+      ASSERT_EQ(value.ToString(), reference.ToString()) << context;
+    }
+  }
+  EXPECT_EQ(ops, kTotalOps);
+
+  // The mixed-scale chains must actually have exercised both tiers.
+  const NumCounters& counters = ThisThreadNumCounters();
+  EXPECT_GT(counters.small_ops, 0u);
+  EXPECT_GT(counters.big_ops, 0u);
+  EXPECT_GT(counters.promotions, 0u);
+  EXPECT_GT(counters.demotions, 0u);
+}
+
+}  // namespace
+}  // namespace xicc
