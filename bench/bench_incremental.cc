@@ -157,6 +157,66 @@ void RunBatchAblation(bench::JsonReport& report) {
   }
 }
 
+void RunDeadlineDegradation(bench::JsonReport& report) {
+  bench::Header("degraded batch: 50 ms per-item deadline over a spiked mix");
+  // The mix: feasible Σ's plus one deliberately exploding multi-split LIP
+  // encoding (hundreds of ms unrestrained). Under a 50 ms per-item deadline
+  // the batch must quarantine the spike and finish everything else — CI's
+  // bench-smoke gates on the wall clock staying under 2 s.
+  workloads::LipEncoding spike = workloads::EncodeLipAsConsistency(
+      workloads::RandomLip(/*seed=*/3, /*rows=*/12, /*cols=*/24,
+                           /*ones_per_row=*/3));
+  auto compiled = CompileDtd(spike.dtd);
+  if (!compiled.ok()) std::abort();
+
+  std::vector<ConstraintSet> queries;
+  for (int i = 0; i < 7; ++i) {
+    queries.push_back(i % 2 == 0 ? ConstraintSet{}
+                                 : workloads::AllKeysSigma(spike.dtd));
+  }
+  queries.push_back(spike.sigma);  // The spike rides last.
+
+  BatchOptions options;
+  options.num_threads = 2;
+  options.check.build_witness = false;
+  options.item_timeout_ms = 50;
+  options.deadline_retry_factor = 4;
+
+  BatchDegradedStats degraded;
+  std::vector<BatchItemResult> results;
+  // One timed run, not best-of-N: the deadline makes the wall clock the
+  // contract, and re-running would just re-pay the spike's full budget.
+  double wall_ms = bench::TimeMs(
+      [&] { results = CheckBatch(*compiled, queries, options, &degraded); });
+
+  size_t ok = 0;
+  for (const BatchItemResult& item : results) {
+    if (item.status.ok()) ++ok;
+  }
+  // The spike must actually have been quarantined on deadline; a silent
+  // pass means the workload stopped exploding and the bench is vacuous.
+  if (degraded.deadline_exceeded == 0) std::abort();
+  if (ok != queries.size() - 1) std::abort();
+
+  std::printf("%10s %12s %12s %12s %10s\n", "queries", "ok", "deadline",
+              "retries", "wall(ms)");
+  std::printf("%10zu %12zu %12zu %12zu %10.3f\n", queries.size(), ok,
+              static_cast<size_t>(degraded.deadline_exceeded),
+              static_cast<size_t>(degraded.retries), wall_ms);
+  report.AddRow("degraded")
+      .Set("queries", queries.size())
+      .Set("completed_ok", ok)
+      .Set("item_timeout_ms", static_cast<size_t>(options.item_timeout_ms))
+      .Set("deadline_exceeded", static_cast<size_t>(degraded.deadline_exceeded))
+      .Set("cancelled", static_cast<size_t>(degraded.cancelled))
+      .Set("resource_exhausted",
+           static_cast<size_t>(degraded.resource_exhausted))
+      .Set("retries", static_cast<size_t>(degraded.retries))
+      .Set("retry_rescues", static_cast<size_t>(degraded.retry_rescues))
+      .Set("quarantined", static_cast<size_t>(degraded.quarantined))
+      .Set("wall_ms", wall_ms);
+}
+
 void RunMemoAblation(bench::JsonReport& report) {
   bench::Header("memo: repeated Σ within a session, capacity 0 vs 128");
   Dtd dtd = workloads::CatalogDtd(6);
@@ -204,6 +264,7 @@ int main() {
   xicc::bench::JsonReport report("incremental");
   xicc::RunAuthoringAblation(report);
   xicc::RunBatchAblation(report);
+  xicc::RunDeadlineDegradation(report);
   xicc::RunMemoAblation(report);
   report.Write();
   return 0;

@@ -1,14 +1,22 @@
 #!/usr/bin/env python3
-"""CI gate on batch parallel scaling.
+"""CI gates on batch parallel scaling and deadline degradation.
 
-Reads the `scaling` section bench_incremental writes into
-BENCH_incremental.json (one row per thread count: threads, batch_ms,
-speedup_vs_1thread_x) and fails the build if adding threads LOSES
-throughput: the 4-thread batch must be at least as fast as the 1-thread
-batch, modulo a small noise tolerance. This is the regression the
-cache-line-padded deque shards and the per-thread arenas exist to prevent
-— a refactor that reintroduces a shared hot line or a global-allocator
-stampede shows up here as 4-thread speedup < 1.
+Reads BENCH_incremental.json and fails the build if either contract broke:
+
+1. `scaling` section (one row per thread count: threads, batch_ms,
+   speedup_vs_1thread_x): adding threads must not LOSE throughput — the
+   4-thread batch must be at least as fast as the 1-thread batch, modulo a
+   small noise tolerance. This is the regression the cache-line-padded
+   deque shards and the per-thread arenas exist to prevent — a refactor
+   that reintroduces a shared hot line or a global-allocator stampede
+   shows up here as 4-thread speedup < 1.
+
+2. `degraded` section (one row: a batch with a 50 ms per-item deadline
+   over feasible queries plus one deliberately exploding item): the whole
+   batch must terminate under 2 s wall. A deadline that doesn't actually
+   bound the wall clock — a missed stop poll in the pivot loop, a worker
+   that sleeps through the cancel wake — shows up here as a multi-second
+   (or hung) run.
 
 Usage: check_batch_scaling.py [BENCH_incremental.json]
 """
@@ -20,6 +28,43 @@ import sys
 # (the failure mode this gate exists for) costs far more than 5%.
 TOLERANCE = 0.95
 GATE_THREADS = 4
+
+# The exploding item alone takes ~500 ms unrestrained; the 50 ms deadline
+# plus one escalated retry should finish the whole batch in well under a
+# second. 2 s leaves slack for loaded CI runners while still catching a
+# deadline that silently stopped bounding anything.
+DEGRADED_WALL_LIMIT_MS = 2000.0
+
+
+def check_degraded(report, path) -> int:
+    rows = [r for r in report.get("rows", []) if r.get("section") == "degraded"]
+    if not rows:
+        print(
+            f"error: {path} has no `degraded` row — bench_incremental's "
+            "deadline-degradation section didn't run",
+            file=sys.stderr,
+        )
+        return 2
+    status = 0
+    for row in rows:
+        wall = row["wall_ms"]
+        print(
+            f"  degraded batch: {row['queries']} queries, "
+            f"{row['completed_ok']} ok, {row['deadline_exceeded']} deadline, "
+            f"{row['retries']} retries, {wall:.1f} ms wall"
+        )
+        if wall >= DEGRADED_WALL_LIMIT_MS:
+            print(
+                f"FAIL: {row['item_timeout_ms']} ms-deadline batch took "
+                f"{wall:.1f} ms wall (limit {DEGRADED_WALL_LIMIT_MS:.0f}) — "
+                "the deadline is not bounding the batch; suspect a missing "
+                "stop poll or a worker sleeping through cancellation.",
+                file=sys.stderr,
+            )
+            status = 1
+    if status == 0:
+        print(f"OK: degraded batch wall < {DEGRADED_WALL_LIMIT_MS:.0f} ms")
+    return status
 
 
 def main() -> int:
@@ -61,7 +106,7 @@ def main() -> int:
 
     print(f"OK: {GATE_THREADS}-thread speedup {gated:.3f}x >= "
           f"{base:.3f}x * {TOLERANCE}")
-    return 0
+    return check_degraded(report, path)
 
 
 if __name__ == "__main__":

@@ -371,6 +371,10 @@ const std::vector<LintRuleInfo>& LintRules() {
        "no naked std::mutex/std::thread outside src/base/ (use "
        "base/thread_annotations.h)",
        false},
+      {"raw-blocking",
+       "no raw sleeps or unbounded CondVar waits outside the sanctioned "
+       "base/ blocking primitives (worksteal, deadline, thread_annotations)",
+       false},
       {"void-discard", "no (void) swallowing of call results", false},
       {"pragma-once", "headers open with #pragma once", true},
       {"include-layering", "quoted includes respect the layer order", false},
@@ -415,6 +419,29 @@ std::vector<LintIssue> LintFile(const std::string& rel_path,
                  "outside src/base/: use the annotated primitives in "
                  "base/thread_annotations.h and base/worksteal.h so the "
                  "thread-safety analysis sees every lock"},
+                rel_path, &out);
+  }
+  // Blocking primitives are quarantined: every sleep or CondVar wait in the
+  // codebase must live where cancellation can reach it (the worksteal
+  // generation protocol, the cancellable SleepFor, the annotated WaitFor).
+  // A raw sleep_for or an unbounded wait anywhere else is a thread a
+  // CancelToken cannot wake — the exact shape of the lost-wakeup bugs this
+  // rule exists to keep out. HasToken treats ':' as part of a qualified
+  // name, so the std::-qualified forms are listed separately.
+  if (!dir.empty() && rel_path != "src/base/worksteal.h" &&
+      rel_path != "src/base/deadline.h" &&
+      rel_path != "src/base/deadline.cc" &&
+      rel_path != "src/base/thread_annotations.h") {
+    CheckTokens(lines,
+                {"raw-blocking",
+                 {"sleep_for", "sleep_until", "this_thread",
+                  "std::this_thread::sleep_for",
+                  "std::this_thread::sleep_until", "usleep", "nanosleep",
+                  "CondVar"},
+                 "blocks a thread where no CancelToken can wake it: sleep "
+                 "with base/deadline.h SleepFor, wait inside "
+                 "base/worksteal.h, or bound the wait with CondVar::WaitFor "
+                 "in base/"},
                 rel_path, &out);
   }
   CheckVoidDiscard(lines, rel_path, &out);

@@ -5,6 +5,8 @@
 #include <memory>
 #include <vector>
 
+#include "base/faults.h"
+
 namespace xicc {
 
 /// Chunked bump allocator for solver scratch.
@@ -33,6 +35,13 @@ class Arena {
   /// `align` must be a power of two no larger than alignof(max_align_t)
   /// (chunks come from new char[], which guarantees exactly that much).
   void* Allocate(size_t bytes, size_t align) {
+    if (XICC_FAULT_FIRES(kArenaAlloc) && mark_.chunk < chunks_.size()) {
+      // Injected allocation pressure: abandon the current tail and force
+      // the chunk-advance/growth path below, as a fragmented or failing
+      // upstream allocator would.
+      ++mark_.chunk;
+      mark_.offset = 0;
+    }
     for (;;) {
       if (mark_.chunk < chunks_.size()) {
         Chunk& chunk = chunks_[mark_.chunk];

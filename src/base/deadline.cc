@@ -1,0 +1,52 @@
+#include "base/deadline.h"
+
+namespace xicc {
+
+bool SleepFor(int64_t ms, const CancelToken* cancel) {
+  if (cancel != nullptr && cancel->Cancelled()) return true;
+  const Deadline until = Deadline::After(ms);
+  Mutex mu;
+  CondVar cv;
+  MutexLock lock(&mu);
+  for (;;) {
+    const int64_t left = until.RemainingMs();
+    if (left == 0) return cancel != nullptr && cancel->Cancelled();
+    // Short bounded waits so a cancel is observed within one slice even
+    // without a wake callback; nobody notifies this private CondVar.
+    const int64_t slice = left < 10 ? left : 10;
+    const bool notified = cv.WaitFor(&mu, slice);
+    (void)notified;  // xicc-lint: allow(void-discard)
+    if (cancel != nullptr && cancel->Cancelled()) return true;
+  }
+}
+
+CancelTimer::CancelTimer(CancelToken* token, int64_t delay_ms) {
+  thread_ = std::thread([this, token, delay_ms] {
+    const Deadline until = Deadline::After(delay_ms);
+    bool fire = false;
+    {
+      MutexLock lock(&mu_);
+      while (!disarmed_) {
+        const int64_t left = until.RemainingMs();
+        if (left == 0) break;
+        const bool notified = cv_.WaitFor(&mu_, left);
+        (void)notified;  // xicc-lint: allow(void-discard)
+      }
+      fire = !disarmed_;
+    }
+    // Cancel outside mu_: wake callbacks take their own locks and must not
+    // nest inside the timer's.
+    if (fire) token->Cancel();
+  });
+}
+
+CancelTimer::~CancelTimer() {
+  {
+    MutexLock lock(&mu_);
+    disarmed_ = true;
+  }
+  cv_.NotifyAll();
+  thread_.join();
+}
+
+}  // namespace xicc

@@ -1,0 +1,101 @@
+#pragma once
+
+// XICC_FAULTS: deterministic fault injection for robustness testing.
+//
+// Configure with -DXICC_FAULTS=ON and drive with the XICC_FAULTS=<seed>
+// environment variable (or programmatically via faults::SetConfig in
+// tests). Probe points sit on the paths a production deployment fears:
+//
+//   kNumPromote   forces the two-tier Num off its small fast path, so every
+//                 op takes the promote/demote BigInt route (value-preserving
+//                 by construction — the slow path recomputes exactly).
+//   kArenaAlloc   forces the per-thread arena onto its chunk-growth path,
+//                 simulating allocation pressure / fragmentation.
+//   kSimplexPivot fires inside the simplex pivot loops: optionally cancels
+//                 a registered CancelToken at the Nth pivot (exercising the
+//                 real cancellation plumbing end to end, workers' wakeups
+//                 included) and/or sleeps to simulate a slow pivot.
+//   kBnbNode      same, at branch-and-bound node granularity.
+//
+// Seed-driven sites (kNumPromote, kArenaAlloc) fire periodically with a
+// period derived from the seed, so ctest stays green under any seed — the
+// faults stress representation paths, never verdicts. The disruptive sites
+// (injected cancel, slow pivot) fire only when explicitly configured, via
+// SetConfig or the XICC_FAULT_CANCEL_AT_PIVOT / XICC_FAULT_CANCEL_AT_NODE /
+// XICC_FAULT_SLOW_PIVOT_EVERY / XICC_FAULT_SLOW_PIVOT_MS variables.
+//
+// In a normal build every probe compiles to the constant `false` — zero
+// cost, no atomics, no branches survive optimization.
+
+#include <cstdint>
+
+#if defined(XICC_FAULTS) && XICC_FAULTS
+#define XICC_FAULTS_ENABLED 1
+#else
+#define XICC_FAULTS_ENABLED 0
+#endif
+
+namespace xicc {
+
+class CancelToken;
+
+namespace faults {
+
+enum class Site : int {
+  kNumPromote = 0,
+  kArenaAlloc = 1,
+  kSimplexPivot = 2,
+  kBnbNode = 3,
+};
+inline constexpr int kSiteCount = 4;
+
+#if XICC_FAULTS_ENABLED
+
+struct FaultConfig {
+  /// Drives the value-preserving sites; 0 disables them.
+  uint64_t seed = 0;
+  /// Cancel the registered token at the Nth kSimplexPivot probe (0: never).
+  uint64_t cancel_at_pivot = 0;
+  /// Cancel the registered token at the Nth kBnbNode probe (0: never).
+  uint64_t cancel_at_node = 0;
+  /// Sleep at every Nth kSimplexPivot probe (0: never)…
+  uint64_t slow_pivot_every = 0;
+  /// …for this long.
+  int64_t slow_pivot_ms = 1;
+};
+
+/// Replaces the active configuration (first use otherwise reads the
+/// environment) and zeroes the probe counters.
+void SetConfig(const FaultConfig& config);
+FaultConfig GetConfig();
+
+/// Per-site probe hit counts since the last SetConfig/ResetCounters.
+void ResetCounters();
+uint64_t Hits(Site site);
+
+/// Counts the probe and returns true when the site's value-preserving fault
+/// fires; disruptive side effects (cancel, sleep) happen inside.
+bool Probe(Site site);
+
+/// The token the injected-cancel faults fire on; nullptr unregisters. The
+/// token must stay alive until unregistered.
+void RegisterCancelTarget(CancelToken* token);
+
+#endif  // XICC_FAULTS_ENABLED
+
+}  // namespace faults
+}  // namespace xicc
+
+#if XICC_FAULTS_ENABLED
+#define XICC_FAULT_FIRES(site) \
+  (::xicc::faults::Probe(::xicc::faults::Site::site))
+#else
+#define XICC_FAULT_FIRES(site) false
+#endif
+
+/// Statement form for pure probe points (counting / side effects only).
+#define XICC_FAULT_PROBE(site)      \
+  do {                              \
+    if (XICC_FAULT_FIRES(site)) {   \
+    }                               \
+  } while (0)

@@ -7,6 +7,7 @@
 
 #include "base/bigint.h"
 #include "base/debug.h"
+#include "base/faults.h"
 #include "base/rational.h"
 
 namespace xicc {
@@ -234,7 +235,10 @@ class Num {
 
   Num& operator+=(const Num& rhs) {
     XICC_NUM_AUDIT_PREP(ToRational() + rhs.ToRational());
-    if (is_small() && rhs.is_small()) {
+    // The fault probe (fault builds only) forces the slow promote/demote
+    // route: the slow path recomputes the exact value, so injected
+    // "overflow" stresses the representation without touching verdicts.
+    if (is_small() && rhs.is_small() && !XICC_FAULT_FIRES(kNumPromote)) {
       int64_t n, d;
       if (internal::SmallAdd(n_, d_, rhs.n_, rhs.d_, &n, &d)) {
         n_ = n;
@@ -251,7 +255,7 @@ class Num {
 
   Num& operator-=(const Num& rhs) {
     XICC_NUM_AUDIT_PREP(ToRational() - rhs.ToRational());
-    if (is_small() && rhs.is_small()) {
+    if (is_small() && rhs.is_small() && !XICC_FAULT_FIRES(kNumPromote)) {
       // rhs.n_ ≠ INT64_MIN by the small-tier invariant, so −rhs is safe.
       int64_t n, d;
       if (internal::SmallAdd(n_, d_, -rhs.n_, rhs.d_, &n, &d)) {
@@ -269,7 +273,7 @@ class Num {
 
   Num& operator*=(const Num& rhs) {
     XICC_NUM_AUDIT_PREP(ToRational() * rhs.ToRational());
-    if (is_small() && rhs.is_small()) {
+    if (is_small() && rhs.is_small() && !XICC_FAULT_FIRES(kNumPromote)) {
       int64_t n, d;
       if (internal::SmallMul(n_, d_, rhs.n_, rhs.d_, &n, &d)) {
         n_ = n;
@@ -287,7 +291,7 @@ class Num {
   /// rhs must be nonzero.
   Num& operator/=(const Num& rhs) {
     XICC_NUM_AUDIT_PREP(ToRational() / rhs.ToRational());
-    if (is_small() && rhs.is_small()) {
+    if (is_small() && rhs.is_small() && !XICC_FAULT_FIRES(kNumPromote)) {
       // Reciprocal of c/d is d/c with the sign moved to the numerator;
       // d > 0 ≤ INT64_MAX so −d never overflows, c ≠ INT64_MIN likewise.
       const int64_t rn = rhs.n_ < 0 ? -rhs.d_ : rhs.d_;

@@ -14,6 +14,10 @@ const char* StatusCodeName(StatusCode code) {
       return "undecidable-class";
     case StatusCode::kResourceExhausted:
       return "resource-exhausted";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline-exceeded";
+    case StatusCode::kCancelled:
+      return "cancelled";
     case StatusCode::kInternal:
       return "internal";
   }

@@ -23,6 +23,12 @@ enum class StatusCode {
   /// A resource limit (node budget, solver iterations) was exhausted before
   /// the analysis finished.
   kResourceExhausted,
+  /// A wall-clock deadline expired before the analysis finished. Like
+  /// kResourceExhausted this is NOT a verdict: a timed-out check never says
+  /// consistent or inconsistent, it reports partial progress and stops.
+  kDeadlineExceeded,
+  /// The caller (or a fault probe) cooperatively cancelled the analysis.
+  kCancelled,
   /// Internal invariant violation; indicates a bug in the library.
   kInternal,
 };
@@ -54,6 +60,12 @@ class [[nodiscard]] Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

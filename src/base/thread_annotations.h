@@ -11,7 +11,9 @@
 // that build proves the locking discipline of the parallel case-split
 // search, CheckBatch, and the work-stealing pool at compile time.
 
+#include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <mutex>
 
 #if defined(__clang__) && defined(__has_attribute)
@@ -109,6 +111,15 @@ class CondVar {
   CondVar& operator=(const CondVar&) = delete;
 
   void Wait(Mutex* mu) XICC_REQUIRES(mu) { cv_.wait(*mu); }
+
+  /// Bounded wait: returns false when `timeout_ms` elapsed without a
+  /// notification, true on (possibly spurious) wakeup. This is the primitive
+  /// every cancellable sleep in the library is built on — xicc_lint's
+  /// raw-blocking rule bans unbounded waits and raw sleeps elsewhere.
+  bool WaitFor(Mutex* mu, int64_t timeout_ms) XICC_REQUIRES(mu) {
+    return cv_.wait_for(*mu, std::chrono::milliseconds(timeout_ms)) ==
+           std::cv_status::no_timeout;
+  }
 
   void NotifyOne() { cv_.notify_one(); }
   void NotifyAll() { cv_.notify_all(); }

@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "base/deadline.h"
 #include "base/thread_annotations.h"
 
 namespace xicc {
@@ -45,14 +46,40 @@ inline size_t HardwareConcurrency() {
 /// `sleep_mu_`; `pending_` / `stopping_` are atomics. Tasks run with no
 /// lock held. The destructor drains every queued task before joining
 /// (workers only exit on `stopping_` when nothing is pending anywhere).
+///
+/// Cancellation: constructed with a CancelToken the pool becomes
+/// abandonable — once the token fires, queued-but-unstarted tasks are
+/// drained WITHOUT running (in-flight tasks finish; they are expected to
+/// poll the same token), later Submits are dropped on arrival, and workers
+/// exit once nothing is pending. Cancel() wakes parked workers through a
+/// registered wake callback that bumps the same `signals_` generation a
+/// Submit would — the callback is what closes the lost-wakeup window where
+/// a worker checks the cancel flag, finds it clear, and then parks on the
+/// old generation. The token must outlive the pool.
 class WorkStealingPool {
  public:
-  explicit WorkStealingPool(size_t num_threads)
+  explicit WorkStealingPool(size_t num_threads,
+                            const CancelToken* cancel = nullptr)
       : num_shards_(num_threads == 0 ? 1 : num_threads),
-        shards_(new Shard[num_shards_]) {
+        shards_(new Shard[num_shards_]),
+        cancel_(cancel) {
+    alive_.store(num_shards_, std::memory_order_release);
     workers_.reserve(num_shards_);
     for (size_t i = 0; i < num_shards_; ++i) {
       workers_.emplace_back([this, i] { WorkerLoop(i); });
+    }
+    if (cancel_ != nullptr) {
+      // Mirrors Submit's wake protocol: generation bump under the sleep
+      // lock, then broadcast. A worker that raced the flag check either
+      // sees the new generation before parking or is woken by the notify.
+      cancel_callback_id_ = cancel_->AddWakeCallback([this] {
+        {
+          MutexLock lock(&sleep_mu_);
+          ++signals_;
+        }
+        wake_.NotifyAll();
+        drained_.NotifyAll();
+      });
     }
   }
 
@@ -60,6 +87,9 @@ class WorkStealingPool {
   WorkStealingPool& operator=(const WorkStealingPool&) = delete;
 
   ~WorkStealingPool() {
+    // Unregister first: RemoveWakeCallback is a barrier, so after it
+    // returns no callback can touch this pool's members again.
+    if (cancel_ != nullptr) cancel_->RemoveWakeCallback(cancel_callback_id_);
     stopping_.store(true, std::memory_order_release);
     {
       MutexLock lock(&sleep_mu_);
@@ -69,8 +99,22 @@ class WorkStealingPool {
     for (std::thread& worker : workers_) worker.join();
   }
 
-  /// Enqueues a task. Safe from any thread, including pool workers.
+  /// Workers that have not yet exited. Only a cancelled (or stopping) pool
+  /// lets workers exit; the cancellation regression tests poll this to
+  /// prove Cancel() actually wakes parked workers.
+  size_t WorkersAlive() const {
+    return alive_.load(std::memory_order_acquire);
+  }
+
+  bool Cancelled() const {
+    return cancel_ != nullptr && cancel_->Cancelled();
+  }
+
+  /// Enqueues a task. Safe from any thread, including pool workers. On a
+  /// cancelled pool the task is dropped on arrival (never counted, never
+  /// run) — the pool is draining, not accepting.
   void Submit(std::function<void()> task) XICC_EXCLUDES(sleep_mu_) {
+    if (Cancelled()) return;
     // pending_ rises before the task is findable: a worker that takes and
     // finishes it can only ever decrement a counter that already includes
     // it, so Wait never observes a transient zero.
@@ -88,10 +132,15 @@ class WorkStealingPool {
     wake_.NotifyOne();
   }
 
-  /// Blocks until every submitted task has finished running.
+  /// Blocks until every submitted task has finished running — or, on a
+  /// cancelled pool, until the drain is over (every worker exited). The
+  /// second arm covers the race where a Submit slipped past the cancel
+  /// check after the last worker left: the orphaned task is never run and
+  /// must not wedge the waiter.
   void Wait() XICC_EXCLUDES(sleep_mu_) {
     MutexLock lock(&sleep_mu_);
     while (pending_.load(std::memory_order_acquire) != 0) {
+      if (Cancelled() && alive_.load(std::memory_order_acquire) == 0) break;
       drained_.Wait(&sleep_mu_);
     }
   }
@@ -134,7 +183,9 @@ class WorkStealingPool {
     for (;;) {
       std::function<void()> task = TryTake(self);
       if (task) {
-        task();
+        // A cancelled pool drains without running: the drop still counts
+        // against pending_ so Wait()ers see the queue empty out.
+        if (!Cancelled()) task();
         if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
           // Last task out: wake Wait()ers, and wake siblings so a stopping
           // pool with in-flight-submitted work re-evaluates its exit
@@ -153,9 +204,13 @@ class WorkStealingPool {
         seen = signals_;
         continue;
       }
-      if (stopping_.load(std::memory_order_acquire) &&
+      if ((stopping_.load(std::memory_order_acquire) || Cancelled()) &&
           pending_.load(std::memory_order_acquire) == 0) {
-        break;
+        // Exiting under sleep_mu_: decrement-then-broadcast so a Wait()er
+        // blocked on a cancelled pool re-evaluates its drain predicate.
+        alive_.fetch_sub(1, std::memory_order_acq_rel);
+        drained_.NotifyAll();
+        return;
       }
       wake_.Wait(&sleep_mu_);
       seen = signals_;
@@ -172,6 +227,11 @@ class WorkStealingPool {
   std::atomic<size_t> next_shard_{0};
   std::atomic<size_t> pending_{0};
   std::atomic<bool> stopping_{false};
+  std::atomic<size_t> alive_{0};
+
+  /// Optional abandon switch (see class comment); outlives the pool.
+  const CancelToken* cancel_ = nullptr;
+  uint64_t cancel_callback_id_ = 0;
 
   Mutex sleep_mu_;
   CondVar wake_;

@@ -118,6 +118,15 @@ Result<Constraint> ParseConstraint(std::string_view line) {
 }
 
 Result<ConstraintSet> ParseConstraints(std::string_view input) {
+  // Constraint files are hand-written, one constraint per line; 16 MiB is
+  // far beyond any legitimate Σ and bounds what a hostile input can make
+  // Split materialize.
+  constexpr size_t kMaxInputBytes = 16 * 1024 * 1024;
+  if (input.size() > kMaxInputBytes) {
+    return Status::InvalidArgument(
+        "constraints input of " + std::to_string(input.size()) +
+        " bytes exceeds the limit of " + std::to_string(kMaxInputBytes));
+  }
   ConstraintSet out;
   int line_number = 0;
   for (const std::string& raw : Split(input, '\n')) {

@@ -8,21 +8,64 @@ namespace xicc {
 
 namespace {
 
-/// Runs queries `worker`, `worker + stride`, … through one session.
+/// Per-stripe retry tallies — the only degradation numbers that cannot be
+/// reconstructed from the final per-item statuses. Each worker owns its own
+/// instance; no locking.
+struct StripeRetries {
+  size_t retries = 0;
+  size_t rescues = 0;
+};
+
+/// Runs queries `worker`, `worker + stride`, … through one session. Items
+/// that end without a verdict (deadline, cancel, per-item input errors) are
+/// quarantined into their slot — with partial statistics — and the stripe
+/// keeps draining.
 void RunStripe(const std::shared_ptr<const CompiledDtd>& compiled,
                const std::vector<ConstraintSet>& queries,
                const BatchOptions& options,
                const std::shared_ptr<SharedSigmaMemo>& memo, size_t worker,
-               size_t stride, std::vector<BatchItemResult>* results) {
+               size_t stride, std::vector<BatchItemResult>* results,
+               StripeRetries* retries) {
   SpecSession session(compiled, options.check, memo);
   for (size_t i = worker; i < queries.size(); i += stride) {
-    Result<ConsistencyResult> checked = session.Check(queries[i]);
     BatchItemResult& slot = (*results)[i];
+    if (options.cancel != nullptr && options.cancel->Cancelled()) {
+      // Leave the pre-filled kCancelled sentinel in every remaining slot;
+      // re-deriving fresh deadlines after a cancel would be busywork.
+      return;
+    }
+    // Arm this item's stop: the shared batch cancel plus a fresh per-item
+    // deadline. The deadline starts when the item starts, not when the
+    // batch does — a slow predecessor must not starve its successors.
+    StopSignal stop;
+    stop.cancel = options.cancel;
+    if (options.item_timeout_ms > 0) {
+      stop.deadline = Deadline::After(options.item_timeout_ms);
+    }
+    session.SetStop(stop);
+    Result<ConsistencyResult> checked = session.Check(queries[i]);
+    if (!checked.ok() &&
+        checked.status().code() == StatusCode::kDeadlineExceeded &&
+        options.deadline_retry_factor > 0 &&
+        !(options.cancel != nullptr && options.cancel->Cancelled())) {
+      // One retry at the escalated budget: rescues the merely-unlucky item
+      // (cold memo, slow warm-up) without letting a genuinely exploding one
+      // hold the stripe past factor+1 budgets.
+      ++retries->retries;
+      stop.deadline = Deadline::After(
+          options.item_timeout_ms *
+          static_cast<int64_t>(options.deadline_retry_factor));
+      session.SetStop(stop);
+      checked = session.Check(queries[i]);
+      if (checked.ok()) ++retries->rescues;
+    }
     if (checked.ok()) {
       slot.status = Status::Ok();
       slot.result = std::move(*checked);
+      slot.partial = ConsistencyStats{};
     } else {
       slot.status = checked.status();
+      slot.partial = session.LastPartialStats();
     }
   }
 }
@@ -31,9 +74,19 @@ void RunStripe(const std::shared_ptr<const CompiledDtd>& compiled,
 
 std::vector<BatchItemResult> CheckBatch(
     std::shared_ptr<const CompiledDtd> compiled,
-    const std::vector<ConstraintSet>& queries, const BatchOptions& options) {
+    const std::vector<ConstraintSet>& queries, const BatchOptions& options,
+    BatchDegradedStats* degraded) {
   std::vector<BatchItemResult> results(queries.size());
+  if (degraded != nullptr) *degraded = BatchDegradedStats{};
   if (queries.empty()) return results;
+
+  // Pre-fill every slot with the cancelled sentinel: a cancelled pool drains
+  // queued stripe tasks WITHOUT running them, and those stripes' items must
+  // not read as OK-with-empty-result.
+  for (BatchItemResult& slot : results) {
+    slot.status =
+        Status::Cancelled("the batch was cancelled before this query ran");
+  }
 
   size_t threads = options.num_threads == 0 ? 1 : options.num_threads;
   if (threads > queries.size()) threads = queries.size();
@@ -50,20 +103,49 @@ std::vector<BatchItemResult> CheckBatch(
   if (options.memo_capacity > 0) {
     memo = std::make_shared<SharedSigmaMemo>(threads * options.memo_capacity);
   }
+  std::vector<StripeRetries> retries(threads);
   if (threads <= 1) {
-    RunStripe(compiled, queries, options, memo, 0, 1, &results);
-    return results;
+    RunStripe(compiled, queries, options, memo, 0, 1, &results, &retries[0]);
+  } else {
+    // Each worker writes only its own stripe's slots, so the result vector
+    // needs no locking; the pool is just transport for the N stripes. The
+    // batch cancel token rides into the pool too: Cancel() wakes parked
+    // workers and drops unstarted stripes, so Wait() returns promptly.
+    WorkStealingPool pool(threads, options.cancel);
+    for (size_t worker = 0; worker < threads; ++worker) {
+      pool.Submit([&, worker] {
+        RunStripe(compiled, queries, options, memo, worker, threads, &results,
+                  &retries[worker]);
+      });
+    }
+    pool.Wait();
   }
 
-  // Each worker writes only its own stripe's slots, so the result vector
-  // needs no locking; the pool is just transport for the N stripes.
-  WorkStealingPool pool(threads);
-  for (size_t worker = 0; worker < threads; ++worker) {
-    pool.Submit([&, worker] {
-      RunStripe(compiled, queries, options, memo, worker, threads, &results);
-    });
+  if (degraded != nullptr) {
+    for (const StripeRetries& r : retries) {
+      degraded->retries += r.retries;
+      degraded->retry_rescues += r.rescues;
+    }
+    // Status-code tallies come from the final slots — that also counts
+    // items whose stripe task was dropped by a cancelled pool.
+    for (const BatchItemResult& slot : results) {
+      if (slot.status.ok()) continue;
+      ++degraded->quarantined;
+      switch (slot.status.code()) {
+        case StatusCode::kDeadlineExceeded:
+          ++degraded->deadline_exceeded;
+          break;
+        case StatusCode::kCancelled:
+          ++degraded->cancelled;
+          break;
+        case StatusCode::kResourceExhausted:
+          ++degraded->resource_exhausted;
+          break;
+        default:
+          break;
+      }
+    }
   }
-  pool.Wait();
   return results;
 }
 

@@ -3,6 +3,7 @@
 #include <memory>
 #include <vector>
 
+#include "base/deadline.h"
 #include "core/spec_session.h"
 
 namespace xicc {
@@ -23,6 +24,23 @@ struct BatchOptions {
   /// identical query hits no matter which stripe answered it first. 0 turns
   /// memoization (and canonical-key hashing) off in every worker.
   size_t memo_capacity = 128;
+  /// Per-item wall-clock budget in milliseconds (0 = none). An item whose
+  /// check outlives its deadline is recorded kDeadlineExceeded — with the
+  /// partial statistics of how far the search got — and the stripe moves on
+  /// to the next item: one exploding query degrades to one degraded row,
+  /// never a wedged batch.
+  int64_t item_timeout_ms = 0;
+  /// A deadline-exceeded item is retried once at `deadline_retry_factor ×
+  /// item_timeout_ms` before being quarantined (0 disables the retry). The
+  /// escalated budget rescues items that were merely unlucky — a cold memo,
+  /// a slow first pivot phase — without letting a genuinely exploding item
+  /// hold its stripe for more than factor+1 budgets.
+  size_t deadline_retry_factor = 4;
+  /// Optional batch-level cancel switch; must outlive the call. Firing it
+  /// stops in-flight checks at their next poll, drops not-yet-started
+  /// stripes (their items are recorded kCancelled), and wakes any parked
+  /// pool workers — CheckBatch then returns instead of wedging.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Per-query outcome. `status` carries per-query failures (e.g. a query
@@ -31,15 +49,38 @@ struct BatchOptions {
 struct BatchItemResult {
   Status status;
   ConsistencyResult result;
+  /// For items WITHOUT a verdict (kDeadlineExceeded / kCancelled /
+  /// kResourceExhausted): the statistics the check accumulated before it
+  /// was stopped — nodes explored, pivots, deepest search level. Zero for
+  /// successful items (their stats live in `result.stats`).
+  ConsistencyStats partial;
+};
+
+/// Degradation tallies for one CheckBatch run — the "what did we give up
+/// on, and did the safety nets work" section of the batch report.
+struct BatchDegradedStats {
+  /// Items recorded without a verdict, by terminal status code.
+  size_t deadline_exceeded = 0;
+  size_t cancelled = 0;
+  size_t resource_exhausted = 0;
+  /// Escalated-budget re-runs attempted after a first deadline miss, and
+  /// how many of them produced a verdict after all.
+  size_t retries = 0;
+  size_t retry_rescues = 0;
+  /// Items quarantined with any non-OK status while their stripe kept
+  /// draining (includes the three counters above plus per-item input
+  /// errors).
+  size_t quarantined = 0;
 };
 
 /// Answers many consistency queries against one compiled DTD — the batch
 /// shape of Corollary 4.11's fixed-DTD workflow. Worker w handles queries
 /// w, w + N, w + 2N, … with its own SpecSession; the CompiledDtd is shared
 /// read-only (its artifacts are immutable and its frozen DFAs thread-safe).
+/// `degraded`, when non-null, receives the run's degradation tallies.
 std::vector<BatchItemResult> CheckBatch(
     std::shared_ptr<const CompiledDtd> compiled,
     const std::vector<ConstraintSet>& queries,
-    const BatchOptions& options = {});
+    const BatchOptions& options = {}, BatchDegradedStats* degraded = nullptr);
 
 }  // namespace xicc

@@ -25,10 +25,17 @@ namespace {
 struct SearchShared {
   const std::vector<Conditional>* active = nullptr;
   IlpOptions options;
+  /// Armed stop signal shared by every worker (null when unarmed); points at
+  /// the solver's options, which outlive the search.
+  const StopSignal* stop = nullptr;
   std::atomic<size_t> nodes{0};
   std::atomic<bool> found{false};
   std::atomic<bool> budget_hit{false};
   std::atomic<bool> failed{false};
+  /// The stop signal fired somewhere in the search — deadline expiry, an
+  /// external cancel, or a leaf solve observing either. Not a failure: the
+  /// final status comes from the signal, with partial statistics attached.
+  std::atomic<bool> stopped{false};
   Mutex mu;
   /// `solution` carries feasible + values only (statistics are assembled
   /// from the aggregated counters); `error` is the first leaf failure.
@@ -51,6 +58,10 @@ class SplitWorker {
   /// cold).
   void Explore(size_t depth, const LpTableau* parent) {
     if (Done()) return;
+    if (shared_->stop != nullptr && shared_->stop->ShouldStop()) {
+      shared_->stopped.store(true, std::memory_order_relaxed);
+      return;
+    }
     XICC_DCHECK_AUDIT(AuditTrail(*system_));
     size_t node = shared_->nodes.fetch_add(1, std::memory_order_relaxed) + 1;
     if (shared_->options.max_nodes != 0 &&
@@ -65,8 +76,13 @@ class SplitWorker {
     bool have_tab = false;
     if (parent != nullptr && shared_->options.warm_start) {
       tab = *parent;
-      WarmResult warm = ReSolveLpFeasibilityDualInPlace(*system_, &tab);
+      WarmResult warm =
+          ReSolveLpFeasibilityDualInPlace(*system_, &tab, shared_->stop);
       pivots += warm.lp.pivots;
+      if (warm.status == WarmStatus::kAborted) {
+        shared_->stopped.store(true, std::memory_order_relaxed);
+        return;
+      }
       if (warm.status == WarmStatus::kOk) {
         ++warm_starts;
         if (!warm.lp.feasible) return;
@@ -75,8 +91,12 @@ class SplitWorker {
     }
     if (!have_tab) {
       ++cold_restarts;
-      LpResult lp = SolveLpFeasibility(*system_, &tab);
+      LpResult lp = SolveLpFeasibility(*system_, &tab, shared_->stop);
       pivots += lp.pivots;
+      if (lp.aborted) {
+        shared_->stopped.store(true, std::memory_order_relaxed);
+        return;
+      }
       if (!lp.feasible) return;
     }
 
@@ -84,9 +104,30 @@ class SplitWorker {
       // Fully resolved: the conditionals now hold for *any* solution of
       // `system`, so plain integer feasibility decides this leaf — its root
       // LP warm-seeded from the pruning basis just computed.
-      Result<IlpSolution> leaf =
-          SolveIlp(*system_, shared_->options, &tab);
+      IlpOptions leaf_options = shared_->options;
+      IlpSolution leaf_partial;
+      leaf_options.partial = &leaf_partial;
+      Result<IlpSolution> leaf = SolveIlp(*system_, leaf_options, &tab);
       if (!leaf.ok()) {
+        // A stopped leaf is the search being stopped, not failing: keep the
+        // work it did (flushed with this worker's counters) and let the
+        // solver report the stop status with partial statistics.
+        const StatusCode code = leaf.status().code();
+        if (code == StatusCode::kDeadlineExceeded ||
+            code == StatusCode::kCancelled) {
+          ilp_nodes += leaf_partial.nodes_explored;
+          pivots += leaf_partial.lp_pivots;
+          cuts += leaf_partial.cuts_added;
+          warm_starts += leaf_partial.warm_starts;
+          cold_restarts += leaf_partial.cold_restarts;
+          if (leaf_partial.max_depth > max_depth) {
+            max_depth = leaf_partial.max_depth;
+          }
+          MutexLock lock(&shared_->mu);
+          if (shared_->error.ok()) shared_->error = leaf.status();
+          shared_->stopped.store(true, std::memory_order_relaxed);
+          return;
+        }
         MutexLock lock(&shared_->mu);
         if (shared_->error.ok()) shared_->error = leaf.status();
         shared_->failed.store(true, std::memory_order_relaxed);
@@ -97,6 +138,7 @@ class SplitWorker {
       cuts += leaf->cuts_added;
       warm_starts += leaf->warm_starts;
       cold_restarts += leaf->cold_restarts;
+      if (leaf->max_depth > max_depth) max_depth = leaf->max_depth;
       if (leaf->feasible) {
         MutexLock lock(&shared_->mu);
         if (!shared_->found.load(std::memory_order_relaxed)) {
@@ -130,12 +172,14 @@ class SplitWorker {
   size_t cold_restarts = 0;
   size_t cuts = 0;
   size_t ilp_nodes = 0;  ///< Branch-and-bound nodes inside leaf solves.
+  size_t max_depth = 0;  ///< Deepest branch-and-bound node over all leaves.
 
  private:
   bool Done() const {
     return shared_->found.load(std::memory_order_relaxed) ||
            shared_->failed.load(std::memory_order_relaxed) ||
-           shared_->budget_hit.load(std::memory_order_relaxed);
+           shared_->budget_hit.load(std::memory_order_relaxed) ||
+           shared_->stopped.load(std::memory_order_relaxed);
   }
 
   SearchShared* shared_;
@@ -166,6 +210,7 @@ class CaseSplitSolver {
 
   Result<IlpSolution> Run() {
     const auto start = std::chrono::steady_clock::now();
+    if (options_.stop.Armed()) stop_ = &options_.stop;
     // Two-tier arithmetic + arena traffic: everything this solve does on the
     // calling thread (leaf ILPs, presolve probes, the sequential DFS) lands
     // in this thread's counters, so one delta at the end captures it without
@@ -193,8 +238,9 @@ class CaseSplitSolver {
       tab_ok = true;
     } else {
       ++cold_restarts_;
-      LpResult lp = SolveLpFeasibility(*work_, &base_tab);
+      LpResult lp = SolveLpFeasibility(*work_, &base_tab, stop_);
       pivots_ += lp.pivots;
+      if (lp.aborted) return NoVerdict(stop_->ToStatus(), nullptr, start);
       if (!lp.feasible) return AssembleInfeasible(start);
       tab_ok = true;
       base_ro = &base_tab;
@@ -217,10 +263,17 @@ class CaseSplitSolver {
       if (warm_ != nullptr && leaf_options.root_scratch == nullptr) {
         leaf_options.root_scratch = &warm_->root_scratch;
       }
+      // Private partial sink: a stopped leaf's work must fold into THIS
+      // solver's totals before they reach the caller's partial pointer.
+      IlpSolution leaf_partial;
+      leaf_options.partial = &leaf_partial;
       Result<IlpSolution> leaf =
           SolveIlp(*work_, leaf_options, tab_ok ? base_ro : nullptr);
       work_->PopCheckpoint();
-      if (!leaf.ok()) return leaf.status();
+      if (!leaf.ok()) {
+        Accumulate(leaf_partial);
+        return NoVerdict(leaf.status(), nullptr, start);
+      }
       if (leaf->feasible) {
         Accumulate(*leaf);
         IlpSolution out = std::move(*leaf);
@@ -229,6 +282,7 @@ class CaseSplitSolver {
         out.cuts_added = cuts_;
         out.warm_starts = warm_starts_;
         out.cold_restarts = cold_restarts_;
+        out.max_depth = max_depth_;
         FillNumStats(&out);
         out.wall_ms = ElapsedMs(start);
         return out;
@@ -248,10 +302,14 @@ class CaseSplitSolver {
     // probe is a push/solve/pop round on the one working system, re-solved
     // warm from the base basis.
     for (const Conditional& cond : conditionals_) {
+      if (stop_ != nullptr && stop_->ShouldStop()) {
+        return NoVerdict(stop_->ToStatus(), nullptr, start);
+      }
       work_->PushCheckpoint();
       work_->AddConstraint(cond.premise, RelOp::kEq, BigInt(0));
       bool premise_can_vanish = ProbeLp(base_tab, tab_ok);
       work_->PopCheckpoint();
+      if (stopped_) return NoVerdict(stop_->ToStatus(), nullptr, start);
       if (premise_can_vanish) {
         active_.push_back(cond);
         continue;
@@ -261,8 +319,11 @@ class CaseSplitSolver {
         // Extend the working basis over the freshly forced row so later
         // probes and the DFS root stay warm; on failure the basis simply
         // keeps covering its old prefix (still a valid warm seed).
-        WarmResult warm = ReSolveLpFeasibilityDual(*work_, &base_tab);
+        WarmResult warm = ReSolveLpFeasibilityDual(*work_, &base_tab, stop_);
         pivots_ += warm.lp.pivots;
+        if (warm.status == WarmStatus::kAborted) {
+          return NoVerdict(stop_->ToStatus(), nullptr, start);
+        }
         if (warm.status == WarmStatus::kOk) {
           ++warm_starts_;
           // Forced conclusions hold in every solution satisfying the
@@ -277,8 +338,11 @@ class CaseSplitSolver {
     SearchShared shared;
     shared.active = &active_;
     shared.options = options_;
-    // DFS leaf solves may run on pool threads — a shared scratch would race.
+    shared.stop = stop_;
+    // DFS leaf solves may run on pool threads — a shared scratch or a shared
+    // partial sink would race; workers keep private ones.
     shared.options.root_scratch = nullptr;
+    shared.options.partial = nullptr;
     RunSearch(&base_tab, tab_ok, &shared);
     XICC_DCHECK_AUDIT(AuditTrail(*work_));
 
@@ -295,9 +359,25 @@ class CaseSplitSolver {
       MutexLock lock(&shared.mu);
       return shared.error;
     }
+    if (shared.stopped.load()) {
+      // A worker observed the stop (or a leaf returned a stop status, kept
+      // in shared.error). The signal's own status wins so the caller sees
+      // why the check has no verdict.
+      Status status;
+      {
+        MutexLock lock(&shared.mu);
+        status = !shared.error.ok()
+                     ? shared.error
+                     : (stop_ != nullptr
+                            ? stop_->ToStatus()
+                            : Status::Cancelled("case-split was stopped"));
+      }
+      return NoVerdict(status, &shared, start);
+    }
     if (shared.budget_hit.load()) {
-      return Status::ResourceExhausted(
-          "conditional case-split exceeded node budget");
+      return NoVerdict(Status::ResourceExhausted(
+                           "conditional case-split exceeded node budget"),
+                       &shared, start);
     }
     IlpSolution out;
     out.feasible = false;
@@ -320,6 +400,7 @@ class CaseSplitSolver {
     cuts_ += partial.cuts_added;
     warm_starts_ += partial.warm_starts;
     cold_restarts_ += partial.cold_restarts;
+    if (partial.max_depth > max_depth_) max_depth_ = partial.max_depth;
   }
 
   /// LP feasibility of the current work_ state, warm from `base_tab` when
@@ -327,16 +408,24 @@ class CaseSplitSolver {
   bool ProbeLp(const LpTableau& base_tab, bool tab_ok) {
     if (tab_ok && options_.warm_start) {
       LpTableau probe = base_tab;
-      WarmResult warm = ReSolveLpFeasibilityDualInPlace(*work_, &probe);
+      WarmResult warm = ReSolveLpFeasibilityDualInPlace(*work_, &probe, stop_);
       pivots_ += warm.lp.pivots;
+      if (warm.status == WarmStatus::kAborted) {
+        stopped_ = true;
+        return false;  // Meaningless; the caller checks stopped_ first.
+      }
       if (warm.status == WarmStatus::kOk) {
         ++warm_starts_;
         return warm.lp.feasible;
       }
     }
     ++cold_restarts_;
-    LpResult lp = SolveLpFeasibility(*work_);
+    LpResult lp = SolveLpFeasibility(*work_, nullptr, stop_);
     pivots_ += lp.pivots;
+    if (lp.aborted) {
+      stopped_ = true;
+      return false;
+    }
     return lp.feasible;
   }
 
@@ -367,22 +456,32 @@ class CaseSplitSolver {
     std::atomic<size_t> cold_restarts{0};
     std::atomic<size_t> cuts{0};
     std::atomic<size_t> ilp_nodes{0};
+    std::atomic<size_t> deepest{0};
     std::atomic<uint64_t> small_ops{0};
     std::atomic<uint64_t> big_ops{0};
     std::atomic<uint64_t> promotions{0};
     std::atomic<uint64_t> demotions{0};
     std::atomic<uint64_t> arena_bytes{0};
     {
-      WorkStealingPool pool(threads);
+      // Constructed with the solve's cancel token (when any): Cancel() then
+      // wakes parked workers and the pool drains unstarted prefix tasks
+      // without running them — the fan-out itself honors the stop.
+      WorkStealingPool pool(threads,
+                            stop_ != nullptr ? stop_->cancel : nullptr);
       for (size_t mask = 0; mask < num_tasks; ++mask) {
         // Bit i of `mask` picks conditional i's resolution; enumeration
         // order matches the sequential DFS (conclusion side first).
         pool.Submit([this, mask, levels, root, shared, &pivots, &warm_starts,
-                     &cold_restarts, &cuts, &ilp_nodes, &small_ops, &big_ops,
-                     &promotions, &demotions, &arena_bytes] {
+                     &cold_restarts, &cuts, &ilp_nodes, &deepest, &small_ops,
+                     &big_ops, &promotions, &demotions, &arena_bytes] {
           if (shared->found.load(std::memory_order_relaxed) ||
               shared->failed.load(std::memory_order_relaxed) ||
-              shared->budget_hit.load(std::memory_order_relaxed)) {
+              shared->budget_hit.load(std::memory_order_relaxed) ||
+              shared->stopped.load(std::memory_order_relaxed)) {
+            return;
+          }
+          if (shared->stop != nullptr && shared->stop->ShouldStop()) {
+            shared->stopped.store(true, std::memory_order_relaxed);
             return;
           }
           // Thread-local arithmetic/arena deltas per task: several tasks run
@@ -407,6 +506,11 @@ class CaseSplitSolver {
                                   std::memory_order_relaxed);
           cuts.fetch_add(worker.cuts, std::memory_order_relaxed);
           ilp_nodes.fetch_add(worker.ilp_nodes, std::memory_order_relaxed);
+          size_t seen = deepest.load(std::memory_order_relaxed);
+          while (worker.max_depth > seen &&
+                 !deepest.compare_exchange_weak(seen, worker.max_depth,
+                                                std::memory_order_relaxed)) {
+          }
           const NumCounters& num_after = ThisThreadNumCounters();
           small_ops.fetch_add(num_after.small_ops - num_before.small_ops,
                               std::memory_order_relaxed);
@@ -428,6 +532,7 @@ class CaseSplitSolver {
     cold_restarts_ += cold_restarts.load();
     cuts_ += cuts.load();
     nodes_ += ilp_nodes.load();
+    if (deepest.load() > max_depth_) max_depth_ = deepest.load();
     worker_small_ops_ += small_ops.load();
     worker_big_ops_ += big_ops.load();
     worker_promotions_ += promotions.load();
@@ -441,6 +546,7 @@ class CaseSplitSolver {
     cold_restarts_ += worker.cold_restarts;
     cuts_ += worker.cuts;
     nodes_ += worker.ilp_nodes;
+    if (worker.max_depth > max_depth_) max_depth_ = worker.max_depth;
   }
 
   void FillStats(IlpSolution* out, const SearchShared& shared) {
@@ -449,7 +555,30 @@ class CaseSplitSolver {
     out->cuts_added = cuts_;
     out->warm_starts = warm_starts_;
     out->cold_restarts = cold_restarts_;
+    out->max_depth = max_depth_;
     FillNumStats(out);
+  }
+
+  /// Assembles the no-verdict exit: `status` says why there is no answer,
+  /// and the caller's partial sink (when given) receives everything counted
+  /// so far — the work already done is part of the contract.
+  Status NoVerdict(Status status, const SearchShared* shared,
+                   std::chrono::steady_clock::time_point start) {
+    if (options_.partial != nullptr) {
+      IlpSolution out;
+      out.feasible = false;
+      out.nodes_explored =
+          nodes_ + (shared != nullptr ? shared->nodes.load() : 0);
+      out.lp_pivots = pivots_;
+      out.cuts_added = cuts_;
+      out.warm_starts = warm_starts_;
+      out.cold_restarts = cold_restarts_;
+      out.max_depth = max_depth_;
+      FillNumStats(&out);
+      out.wall_ms = ElapsedMs(start);
+      *options_.partial = out;
+    }
+    return status;
   }
 
   /// Calling-thread delta since Run() started, plus whatever the pool
@@ -489,6 +618,11 @@ class CaseSplitSolver {
   std::vector<Conditional> active_;  // Survivors of presolve.
   IlpOptions options_;
   CaseSplitWarmContext* warm_;
+  /// Non-null iff options_.stop is armed; points into options_.
+  const StopSignal* stop_ = nullptr;
+  /// Set when a presolve-phase LP solve was aborted by the stop signal
+  /// (ProbeLp cannot return the fact any other way).
+  bool stopped_ = false;
 
   // Statistics accumulated outside the DFS (optimistic leaf, presolve) and
   // flushed from workers after it.
@@ -497,6 +631,7 @@ class CaseSplitSolver {
   size_t cuts_ = 0;
   size_t warm_starts_ = 0;
   size_t cold_restarts_ = 0;
+  size_t max_depth_ = 0;
 
   // Two-tier arithmetic accounting (see Run/FillNumStats): calling-thread
   // baselines plus the pool workers' flushed deltas.

@@ -17,7 +17,26 @@ EncodingSolveOptions ToSolveOptions(const ConsistencyOptions& options) {
                      ? EncodingStrategy::kCaseSplit
                      : EncodingStrategy::kBigM;
   out.ilp = options.ilp;
+  // The check-level stop signal overrides whatever the caller left on the
+  // inner ILP options — one knob arms the whole stack.
+  if (options.stop.Armed()) out.ilp.stop = options.stop;
   return out;
+}
+
+/// Copies an ILP solution's counters into the check's stats block — used on
+/// verdicts and (via the partial sink) on stopped/exhausted exits alike.
+void FillIlpStats(const IlpSolution& solved, ConsistencyStats* stats) {
+  stats->ilp_nodes = solved.nodes_explored;
+  stats->lp_pivots = solved.lp_pivots;
+  stats->warm_starts = solved.warm_starts;
+  stats->cold_restarts = solved.cold_restarts;
+  stats->search_depth = solved.max_depth;
+  stats->num_small_ops = solved.num_small_ops;
+  stats->num_big_ops = solved.num_big_ops;
+  stats->num_promotions = solved.num_promotions;
+  stats->num_demotions = solved.num_demotions;
+  stats->arena_bytes = solved.arena_bytes;
+  stats->ilp_wall_ms = solved.wall_ms;
 }
 
 /// Installs Σ_τ ext(τ) ≥ min_witness_nodes when a minimum size is asked for.
@@ -77,6 +96,14 @@ Status AttachWitness(const Dtd& dtd, const ConstraintSet& sigma,
 Result<ConsistencyResult> CheckConsistency(const Dtd& dtd,
                                            const ConstraintSet& sigma,
                                            const ConsistencyOptions& options) {
+  // An already-expired deadline (or pre-fired cancel) exits before any
+  // compilation work; the partial report is honestly all-zero.
+  if (options.stop.Armed() && options.stop.ShouldStop()) {
+    if (options.partial_stats != nullptr) {
+      *options.partial_stats = ConsistencyStats{};
+    }
+    return options.stop.ToStatus();
+  }
   XICC_RETURN_IF_ERROR(sigma.CheckAgainst(dtd));
   ConstraintSet normalized = sigma.Normalize();
 
@@ -105,9 +132,19 @@ Result<ConsistencyResult> CheckConsistency(const Dtd& dtd,
         XICC_ASSIGN_OR_RETURN(CardinalityEncoding enc,
                               BuildCardinalityEncoding(dtd, ConstraintSet()));
         ApplyMinimumSize(options, &enc);
-        XICC_ASSIGN_OR_RETURN(
-            IlpSolution solved,
-            SolveEncodingSystem(enc, enc.system, ToSolveOptions(options)));
+        IlpSolution partial;
+        EncodingSolveOptions solve_options = ToSolveOptions(options);
+        solve_options.ilp.partial = &partial;
+        Result<IlpSolution> sized =
+            SolveEncodingSystem(enc, enc.system, solve_options);
+        if (!sized.ok()) {
+          if (options.partial_stats != nullptr) {
+            FillIlpStats(partial, &result.stats);
+            *options.partial_stats = result.stats;
+          }
+          return sized.status();
+        }
+        IlpSolution solved = std::move(*sized);
         result.consistent = solved.feasible;
         if (!result.consistent) {
           result.explanation =
@@ -139,22 +176,22 @@ Result<ConsistencyResult> CheckConsistency(const Dtd& dtd,
       result.stats.system_constraints =
           enc.system.NumConstraints() + enc.conditionals.size();
 
+      IlpSolution partial;
+      EncodingSolveOptions solve_options = ToSolveOptions(options);
+      solve_options.ilp.partial = &partial;
       Result<IlpSolution> solved =
-          SolveEncodingSystem(enc, enc.system, ToSolveOptions(options));
-      if (!solved.ok()) return solved.status();
+          SolveEncodingSystem(enc, enc.system, solve_options);
+      if (!solved.ok()) {
+        if (options.partial_stats != nullptr) {
+          FillIlpStats(partial, &result.stats);
+          *options.partial_stats = result.stats;
+        }
+        return solved.status();
+      }
       result.method = options.strategy == SolveStrategy::kCaseSplit
                           ? "ilp-case-split"
                           : "ilp-big-m";
-      result.stats.ilp_nodes = solved->nodes_explored;
-      result.stats.lp_pivots = solved->lp_pivots;
-      result.stats.warm_starts = solved->warm_starts;
-      result.stats.cold_restarts = solved->cold_restarts;
-      result.stats.num_small_ops = solved->num_small_ops;
-      result.stats.num_big_ops = solved->num_big_ops;
-      result.stats.num_promotions = solved->num_promotions;
-      result.stats.num_demotions = solved->num_demotions;
-      result.stats.arena_bytes = solved->arena_bytes;
-      result.stats.ilp_wall_ms = solved->wall_ms;
+      FillIlpStats(*solved, &result.stats);
       result.consistent = solved->feasible;
       if (!result.consistent) {
         result.explanation =
@@ -183,20 +220,20 @@ Result<ConsistencyResult> CheckConsistency(const Dtd& dtd,
       result.stats.system_constraints =
           enc.base.system.NumConstraints() + enc.base.conditionals.size();
 
-      Result<IlpSolution> solved = SolveEncodingSystem(
-          enc.base, enc.base.system, ToSolveOptions(options));
-      if (!solved.ok()) return solved.status();
+      IlpSolution partial;
+      EncodingSolveOptions solve_options = ToSolveOptions(options);
+      solve_options.ilp.partial = &partial;
+      Result<IlpSolution> solved =
+          SolveEncodingSystem(enc.base, enc.base.system, solve_options);
+      if (!solved.ok()) {
+        if (options.partial_stats != nullptr) {
+          FillIlpStats(partial, &result.stats);
+          *options.partial_stats = result.stats;
+        }
+        return solved.status();
+      }
       result.method = "set-representation";
-      result.stats.ilp_nodes = solved->nodes_explored;
-      result.stats.lp_pivots = solved->lp_pivots;
-      result.stats.warm_starts = solved->warm_starts;
-      result.stats.cold_restarts = solved->cold_restarts;
-      result.stats.num_small_ops = solved->num_small_ops;
-      result.stats.num_big_ops = solved->num_big_ops;
-      result.stats.num_promotions = solved->num_promotions;
-      result.stats.num_demotions = solved->num_demotions;
-      result.stats.arena_bytes = solved->arena_bytes;
-      result.stats.ilp_wall_ms = solved->wall_ms;
+      FillIlpStats(*solved, &result.stats);
       result.consistent = solved->feasible;
       if (!result.consistent) {
         result.explanation =

@@ -3,6 +3,7 @@
 #include <optional>
 #include <string>
 
+#include "base/deadline.h"
 #include "constraints/constraint.h"
 #include "core/cardinality_encoding.h"
 #include "core/set_representation.h"
@@ -23,6 +24,8 @@ enum class SolveStrategy {
   kBigM,
 };
 
+struct ConsistencyStats;
+
 struct ConsistencyOptions {
   SolveStrategy strategy = SolveStrategy::kCaseSplit;
   /// Materialize a witness document when consistent.
@@ -40,6 +43,16 @@ struct ConsistencyOptions {
   IlpOptions ilp;
   SetRepresentationOptions set_representation;
   WitnessOptions witness;
+  /// Cooperative stop for the whole check: deadline and/or cancel token,
+  /// threaded into every ILP layer below (polled per branch-and-bound node,
+  /// per cut round, and every 64 simplex pivots). When it fires the check
+  /// returns kDeadlineExceeded / kCancelled — NEVER a consistency verdict;
+  /// a timed-out check has not decided anything.
+  StopSignal stop;
+  /// When non-null and the check ends without a verdict (stop fired,
+  /// resource budget tripped), receives the statistics accumulated so far:
+  /// nodes explored, pivots, deepest search node reached.
+  ConsistencyStats* partial_stats = nullptr;
 };
 
 struct ConsistencyStats {
@@ -51,6 +64,9 @@ struct ConsistencyStats {
   /// node's basis, vs. those that fell back to a cold phase-1 solve.
   size_t warm_starts = 0;
   size_t cold_restarts = 0;
+  /// Deepest branch-and-bound node reached (best-so-far depth): the most
+  /// useful single number in a partial report of a stopped search.
+  size_t search_depth = 0;
   /// Two-tier exact arithmetic (base/num.h): pivot-loop operations served by
   /// the packed 64-bit small tier vs the BigInt big tier, plus the tier
   /// transitions. num_promotions / num_small_ops is the promotion rate.

@@ -46,6 +46,24 @@ std::set<std::string> PhantomSupport(const CardinalityEncoding& encoding,
   return phantom;
 }
 
+/// Adds `from`'s statistics into `into` (values/feasible untouched) — used
+/// both to chain connectivity rounds and to hand earlier rounds' work to the
+/// caller's partial sink when a later round is stopped.
+void FoldStats(const IlpSolution& from, IlpSolution* into) {
+  into->nodes_explored += from.nodes_explored;
+  into->lp_pivots += from.lp_pivots;
+  into->cuts_added += from.cuts_added;
+  into->warm_starts += from.warm_starts;
+  into->cold_restarts += from.cold_restarts;
+  if (from.max_depth > into->max_depth) into->max_depth = from.max_depth;
+  into->num_small_ops += from.num_small_ops;
+  into->num_big_ops += from.num_big_ops;
+  into->num_promotions += from.num_promotions;
+  into->num_demotions += from.num_demotions;
+  into->arena_bytes += from.arena_bytes;
+  into->wall_ms += from.wall_ms;
+}
+
 }  // namespace
 
 bool SupportIsConnected(const CardinalityEncoding& encoding,
@@ -75,24 +93,30 @@ Result<IlpSolution> SolveEncodingSystemInPlace(
   CaseSplitWarmContext local_warm;
   if (warm == nullptr) warm = &local_warm;
   for (size_t round = 0; round < options.max_connectivity_rounds; ++round) {
+    // Per-round stop poll: a round can only end by solving, so checking
+    // between rounds plus the solver's own internal polls bounds the
+    // overshoot past a deadline by one poll interval, not one round.
+    if (options.ilp.stop.Armed() && options.ilp.stop.ShouldStop()) {
+      if (options.ilp.partial != nullptr) {
+        FoldStats(accumulated, options.ilp.partial);
+      }
+      return options.ilp.stop.ToStatus();
+    }
     Result<IlpSolution> solved =
         options.strategy == EncodingStrategy::kCaseSplit
             ? SolveWithConditionalsInPlace(system, conditionals, options.ilp,
                                            warm)
             : SolveIlp(ApplyBigMLinearization(*system, conditionals),
                        options.ilp);
-    if (!solved.ok()) return solved.status();
-    solved->nodes_explored += accumulated.nodes_explored;
-    solved->lp_pivots += accumulated.lp_pivots;
-    solved->cuts_added += accumulated.cuts_added;
-    solved->warm_starts += accumulated.warm_starts;
-    solved->cold_restarts += accumulated.cold_restarts;
-    solved->num_small_ops += accumulated.num_small_ops;
-    solved->num_big_ops += accumulated.num_big_ops;
-    solved->num_promotions += accumulated.num_promotions;
-    solved->num_demotions += accumulated.num_demotions;
-    solved->arena_bytes += accumulated.arena_bytes;
-    solved->wall_ms += accumulated.wall_ms;
+    if (!solved.ok()) {
+      // The inner solver reported only its own round into the partial sink;
+      // fold in what the earlier rounds already did.
+      if (options.ilp.partial != nullptr) {
+        FoldStats(accumulated, options.ilp.partial);
+      }
+      return solved.status();
+    }
+    FoldStats(accumulated, &*solved);
     if (!solved->feasible) return solved;
 
     std::set<std::string> phantom = PhantomSupport(encoding, *solved);

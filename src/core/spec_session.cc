@@ -30,7 +30,24 @@ EncodingSolveOptions ToSolveOptions(const ConsistencyOptions& options) {
                      ? EncodingStrategy::kCaseSplit
                      : EncodingStrategy::kBigM;
   out.ilp = options.ilp;
+  // One knob arms the whole stack, mirroring consistency.cc.
+  if (options.stop.Armed()) out.ilp.stop = options.stop;
   return out;
+}
+
+/// Mirrors consistency.cc: one ILP solution's counters into a stats block.
+void FillIlpStats(const IlpSolution& solved, ConsistencyStats* stats) {
+  stats->ilp_nodes = solved.nodes_explored;
+  stats->lp_pivots = solved.lp_pivots;
+  stats->warm_starts = solved.warm_starts;
+  stats->cold_restarts = solved.cold_restarts;
+  stats->search_depth = solved.max_depth;
+  stats->num_small_ops = solved.num_small_ops;
+  stats->num_big_ops = solved.num_big_ops;
+  stats->num_promotions = solved.num_promotions;
+  stats->num_demotions = solved.num_demotions;
+  stats->arena_bytes = solved.arena_bytes;
+  stats->ilp_wall_ms = solved.wall_ms;
 }
 
 /// Canonical cache key: the normalized constraints rendered and sorted, so
@@ -241,9 +258,16 @@ SpecSession::SpecSession(std::shared_ptr<const CompiledDtd> compiled,
       memo_(std::move(memo)) {
   warm_.base_tableau = compiled_->skeleton_tableau;
   warm_.valid = compiled_->skeleton_tableau_valid;
+  // Every no-verdict exit — Σ-delta or fresh fallback — reports its partial
+  // work into the session's own sink, exposed via LastPartialStats().
+  options_.partial_stats = &last_partial_;
 }
 
 Result<ConsistencyResult> SpecSession::Check(const ConstraintSet& sigma) {
+  if (options_.stop.Armed() && options_.stop.ShouldStop()) {
+    last_partial_ = ConsistencyStats{};
+    return options_.stop.ToStatus();
+  }
   XICC_RETURN_IF_ERROR(sigma.CheckAgainst(compiled_->dtd));
   ConstraintSet combined = committed_;
   for (const Constraint& c : sigma.constraints()) combined.Add(c);
@@ -405,29 +429,29 @@ Result<ConsistencyResult> SpecSession::CheckDelta(const ConstraintSet& encoded,
   result.stats.system_constraints =
       system_.NumConstraints() + conditionals.size();
 
+  IlpSolution partial;
+  EncodingSolveOptions solve_options = ToSolveOptions(options_);
+  solve_options.ilp.partial = &partial;
   Result<IlpSolution> solved = SolveEncodingSystemInPlace(
-      sk, &system_, conditionals, ToSolveOptions(options_), &warm_);
+      sk, &system_, conditionals, solve_options, &warm_);
   XICC_DCHECK_AUDIT(AuditTrail(system_));
   if (warm_.valid) {
     XICC_DCHECK_AUDIT(AuditTableau(system_, warm_.base_tableau));
   }
-  if (!solved.ok()) return solved.status();
+  if (!solved.ok()) {
+    // A stopped or exhausted delta check still reports the work it did;
+    // the trail itself unwinds via `scope` exactly as on a verdict.
+    FillIlpStats(partial, &result.stats);
+    last_partial_ = result.stats;
+    return solved.status();
+  }
 
   if (kind == DeltaKind::kCardinality) {
     result.method = options_.strategy == SolveStrategy::kCaseSplit
                         ? "ilp-case-split"
                         : "ilp-big-m";
   }
-  result.stats.ilp_nodes = solved->nodes_explored;
-  result.stats.lp_pivots = solved->lp_pivots;
-  result.stats.warm_starts = solved->warm_starts;
-  result.stats.cold_restarts = solved->cold_restarts;
-  result.stats.num_small_ops = solved->num_small_ops;
-  result.stats.num_big_ops = solved->num_big_ops;
-  result.stats.num_promotions = solved->num_promotions;
-  result.stats.num_demotions = solved->num_demotions;
-  result.stats.arena_bytes = solved->arena_bytes;
-  result.stats.ilp_wall_ms = solved->wall_ms;
+  FillIlpStats(*solved, &result.stats);
   result.consistent = solved->feasible;
   if (!result.consistent) {
     result.explanation =

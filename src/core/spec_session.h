@@ -160,6 +160,17 @@ class SpecSession {
   const CompiledDtd& compiled() const { return *compiled_; }
   const ConsistencyOptions& options() const { return options_; }
 
+  /// Arms (or replaces) the stop signal every later query runs under — the
+  /// per-item deadline hook CheckBatch uses between items. Pass a default
+  /// StopSignal to disarm.
+  void SetStop(const StopSignal& stop) { options_.stop = stop; }
+
+  /// Statistics of the most recent query that ended WITHOUT a verdict
+  /// (kDeadlineExceeded / kCancelled / kResourceExhausted): how many nodes,
+  /// pivots, and search levels the stopped check got through. Meaningful
+  /// only immediately after a failed Check/Implies.
+  const ConsistencyStats& LastPartialStats() const { return last_partial_; }
+
   /// Consistency of committed() ∪ `sigma` over the compiled DTD. Same
   /// dispatch as CheckConsistency (Figure 5), with the NP cells answered by
   /// the Σ-delta path and the linear cells by the precomputed facts.
@@ -231,6 +242,10 @@ class SpecSession {
   std::shared_ptr<SharedSigmaMemo> memo_;
 
   SpecSessionStats stats_;
+  /// Sink for no-verdict statistics (see LastPartialStats); options_'s
+  /// partial_stats pointer is re-aimed here at construction so the fresh
+  /// CheckConsistency fallback fills it too.
+  ConsistencyStats last_partial_;
   bool charged_compile_ = false;  // compile_ms reported on the first query.
 };
 

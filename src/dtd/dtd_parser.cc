@@ -9,11 +9,25 @@ namespace xicc {
 
 namespace {
 
+/// Content-model groups recurse one C++ frame per nesting level; bounding
+/// the level turns `((((...))))` bombs into kInvalidArgument instead of a
+/// stack overflow. Deeper nesting than this has no modelling value — the
+/// Section 4.1 simplification flattens to depth ≤ 2 anyway.
+constexpr size_t kMaxGroupDepth = 256;
+/// DTDs are hand-written schemas, not documents; 16 MiB is far beyond any
+/// legitimate one.
+constexpr size_t kMaxInputBytes = 16 * 1024 * 1024;
+
 class Parser {
  public:
   explicit Parser(std::string_view input) : input_(input) {}
 
   Result<Dtd> Parse() {
+    if (input_.size() > kMaxInputBytes) {
+      return Status::InvalidArgument(
+          "dtd input of " + std::to_string(input_.size()) +
+          " bytes exceeds the limit of " + std::to_string(kMaxInputBytes));
+    }
     SkipMisc();
     if (Consume("<!DOCTYPE")) {
       SkipSpace();
@@ -129,15 +143,15 @@ class Parser {
       return Error("ANY content is outside the model of the paper");
     }
     if (AtEnd() || Peek() != '(') return Error("expected content model");
-    return ParseGroupOrAtom();
+    return ParseGroupOrAtom(/*depth=*/1);
   }
 
   /// cp ::= (name | group) ('?' | '*' | '+')?
-  Result<RegexPtr> ParseCp() {
+  Result<RegexPtr> ParseCp(size_t depth) {
     SkipSpace();
     RegexPtr base;
     if (!AtEnd() && Peek() == '(') {
-      XICC_ASSIGN_OR_RETURN(base, ParseGroupOrAtom());
+      XICC_ASSIGN_OR_RETURN(base, ParseGroupOrAtom(depth + 1));
     } else if (Consume("#PCDATA")) {
       base = Regex::Str();
     } else {
@@ -166,11 +180,16 @@ class Parser {
   }
 
   /// group ::= '(' cp ((',' cp)* | ('|' cp)*) ')' occurrence?
-  Result<RegexPtr> ParseGroupOrAtom() {
+  Result<RegexPtr> ParseGroupOrAtom(size_t depth) {
+    if (depth > kMaxGroupDepth) {
+      return Status::InvalidArgument(
+          "content-model group nesting exceeds the depth limit of " +
+          std::to_string(kMaxGroupDepth));
+    }
     if (!Consume("(")) return Error("expected '('");
     SkipSpace();
     std::vector<RegexPtr> parts;
-    XICC_ASSIGN_OR_RETURN(RegexPtr first, ParseCp());
+    XICC_ASSIGN_OR_RETURN(RegexPtr first, ParseCp(depth));
     parts.push_back(std::move(first));
     SkipSpace();
     char sep = '\0';
@@ -181,7 +200,7 @@ class Parser {
         return Error("cannot mix ',' and '|' in one group");
       }
       Advance();
-      XICC_ASSIGN_OR_RETURN(RegexPtr next, ParseCp());
+      XICC_ASSIGN_OR_RETURN(RegexPtr next, ParseCp(depth));
       parts.push_back(std::move(next));
       SkipSpace();
     }

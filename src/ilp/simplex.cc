@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "base/arena.h"
+#include "base/faults.h"
 
 namespace xicc {
 
@@ -35,7 +36,8 @@ class Tableau {
 
 }  // namespace
 
-LpResult SolveLpFeasibility(const LinearSystem& system, LpTableau* tableau) {
+LpResult SolveLpFeasibility(const LinearSystem& system, LpTableau* tableau,
+                            const StopSignal* stop) {
   const size_t m = system.NumConstraints();
   const size_t n = system.NumVariables();
 
@@ -131,6 +133,14 @@ LpResult SolveLpFeasibility(const LinearSystem& system, LpTableau* tableau) {
   // Simplex iterations with Bland's rule (smallest entering index; ratio
   // ties broken by smallest basic index) — guarantees no cycling.
   for (;;) {
+    XICC_FAULT_PROBE(kSimplexPivot);
+    // Bounded-cost stop poll: every 64 pivots, two loads and (when a
+    // deadline is armed) one clock read — noise next to a dense pivot.
+    if (stop != nullptr && (result.pivots & 63) == 0 && stop->ShouldStop()) {
+      result.aborted = true;
+      result.feasible = false;
+      return result;
+    }
     size_t entering = total;
     for (size_t j = 0; j < total; ++j) {
       if (tab.At(m, j).sign() < 0) {
@@ -251,7 +261,8 @@ LpResult SolveLpFeasibility(const LinearSystem& system, LpTableau* tableau) {
 }
 
 WarmResult ReSolveLpFeasibilityDual(const LinearSystem& system,
-                                    LpTableau* tableau) {
+                                    LpTableau* tableau,
+                                    const StopSignal* stop) {
   WarmResult out;
   const size_t n = system.NumVariables();
   const size_t m_new = system.NumConstraints();
@@ -339,6 +350,11 @@ WarmResult ReSolveLpFeasibilityDual(const LinearSystem& system,
   // time, never correctness.
   const size_t pivot_cap = 200 + 16 * rows;
   for (;;) {
+    XICC_FAULT_PROBE(kSimplexPivot);
+    if (stop != nullptr && (out.lp.pivots & 63) == 0 && stop->ShouldStop()) {
+      out.status = WarmStatus::kAborted;
+      return out;
+    }
     int leaving = -1;
     for (size_t i = 0; i < rows; ++i) {
       if (tab.At(i, rhs_col).sign() < 0 &&
@@ -418,7 +434,8 @@ WarmResult ReSolveLpFeasibilityDual(const LinearSystem& system,
 }
 
 WarmResult ReSolveLpFeasibilityDualInPlace(const LinearSystem& system,
-                                           LpTableau* tableau) {
+                                           LpTableau* tableau,
+                                           const StopSignal* stop) {
   WarmResult out;
   const size_t n = system.NumVariables();
   const size_t m_new = system.NumConstraints();
@@ -497,6 +514,13 @@ WarmResult ReSolveLpFeasibilityDualInPlace(const LinearSystem& system,
   // Dual simplex with Bland's rule, pivoting the tableau's own rows.
   const size_t pivot_cap = 200 + 16 * rows;
   for (;;) {
+    XICC_FAULT_PROBE(kSimplexPivot);
+    // Aborting leaves the tableau mid-pivot — same discard contract as
+    // kPivotLimit, already honored by every in-place caller.
+    if (stop != nullptr && (out.lp.pivots & 63) == 0 && stop->ShouldStop()) {
+      out.status = WarmStatus::kAborted;
+      return out;
+    }
     int leaving = -1;
     for (size_t i = 0; i < rows; ++i) {
       if (tableau->rhs[i].sign() < 0 &&

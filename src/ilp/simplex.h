@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "base/deadline.h"
 #include "base/num.h"
 #include "ilp/linear_system.h"
 
@@ -45,6 +46,10 @@ struct LpTableau {
 /// Outcome of an LP-relaxation feasibility check.
 struct LpResult {
   bool feasible = false;
+  /// True when the solve was stopped by its StopSignal (deadline expiry or
+  /// cancellation) before reaching a verdict. `feasible` is then
+  /// meaningless and MUST NOT be read as "infeasible".
+  bool aborted = false;
   /// Values for the system's original variables when feasible.
   std::vector<Num> values;
   /// Pivot count, for the solver statistics.
@@ -61,8 +66,12 @@ struct LpResult {
 ///
 /// When `tableau` is non-null and the LP is feasible, the final basis rows
 /// are exported for Gomory cut generation and warm re-solving.
+///
+/// `stop` (optional) is polled every 64 pivots; an armed signal that fires
+/// returns with `aborted` set and no verdict.
 LpResult SolveLpFeasibility(const LinearSystem& system,
-                            LpTableau* tableau = nullptr);
+                            LpTableau* tableau = nullptr,
+                            const StopSignal* stop = nullptr);
 
 /// Why a warm re-solve could not be served from the given basis.
 enum class WarmStatus {
@@ -73,6 +82,11 @@ enum class WarmStatus {
   /// The anti-cycling backstop tripped; `lp.pivots` still reports the work
   /// spent so callers can account for it before falling back cold.
   kPivotLimit,
+  /// The StopSignal fired mid-pivot (deadline or cancel). No verdict; the
+  /// caller must NOT fall back to a cold solve — the point of stopping is
+  /// to stop. In-place variant: the tableau is mid-pivot, as for
+  /// kPivotLimit.
+  kAborted,
 };
 
 struct WarmResult {
@@ -102,7 +116,8 @@ struct WarmResult {
 /// the caller must fall back to SolveLpFeasibility; verdicts are identical
 /// either way, warm start only changes who does the pivoting.
 WarmResult ReSolveLpFeasibilityDual(const LinearSystem& system,
-                                    LpTableau* tableau);
+                                    LpTableau* tableau,
+                                    const StopSignal* stop = nullptr);
 
 /// Same decision and the same basis mathematics as ReSolveLpFeasibilityDual,
 /// but pivots directly inside `tableau` instead of on a private dense copy
@@ -115,6 +130,7 @@ WarmResult ReSolveLpFeasibilityDual(const LinearSystem& system,
 /// by a cold solve. Callers that keep their basis across failed re-solves
 /// (e.g. the presolve forced-row extension) stay on the copying variant.
 WarmResult ReSolveLpFeasibilityDualInPlace(const LinearSystem& system,
-                                           LpTableau* tableau);
+                                           LpTableau* tableau,
+                                           const StopSignal* stop = nullptr);
 
 }  // namespace xicc

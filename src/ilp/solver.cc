@@ -7,6 +7,7 @@
 
 #include "base/arena.h"
 #include "base/debug.h"
+#include "base/faults.h"
 #include "ilp/audit.h"
 #include "ilp/simplex.h"
 
@@ -114,7 +115,11 @@ class BranchAndBound {
  public:
   BranchAndBound(const LinearSystem& system, const IlpOptions& options,
                  const LpTableau* warm_hint)
-      : work_(system), options_(options), hint_(warm_hint) {}
+      : work_(system), options_(options), hint_(warm_hint) {
+    // Point at the member copy, not the caller's struct: options_ outlives
+    // every poll, and an unarmed signal stays entirely off the hot path.
+    if (options_.stop.Armed()) stop_ = &options_.stop;
+  }
 
   Result<IlpSolution> Run() {
     const auto start = std::chrono::steady_clock::now();
@@ -140,12 +145,7 @@ class BranchAndBound {
         }
       }
     }
-    bool found = Explore(/*parent=*/hint_);
-    if (!found && budget_hit_) {
-      return Status::ResourceExhausted(
-          "ILP search exceeded " + std::to_string(options_.max_nodes) +
-          " branch-and-bound nodes");
-    }
+    bool found = Explore(/*parent=*/hint_, /*depth=*/0);
     solution_.feasible = found;
     const NumCounters& counters_after = ThisThreadNumCounters();
     solution_.num_small_ops = counters_after.small_ops - counters_before.small_ops;
@@ -160,6 +160,19 @@ class BranchAndBound {
         std::chrono::duration<double, std::milli>(  // xicc-lint: allow(exact-arithmetic)
             std::chrono::steady_clock::now() - start)
             .count();
+    // No-verdict exits still hand the work done back through `partial` —
+    // a stopped check reports how far it got, never what it concluded.
+    if (!found && stopped_) {
+      if (options_.partial != nullptr) *options_.partial = solution_;
+      return stop_ != nullptr ? stop_->ToStatus()
+                              : Status::Cancelled("ILP search was stopped");
+    }
+    if (!found && budget_hit_) {
+      if (options_.partial != nullptr) *options_.partial = solution_;
+      return Status::ResourceExhausted(
+          "ILP search exceeded " + std::to_string(options_.max_nodes) +
+          " branch-and-bound nodes");
+    }
     return std::move(solution_);
   }
 
@@ -196,8 +209,16 @@ class BranchAndBound {
     if (try_warm && options_.warm_start) {
       // In-place re-solve: `tab` is this node's private (or scratch) copy,
       // and every failure path below overwrites it with a cold solve.
-      WarmResult warm = ReSolveLpFeasibilityDualInPlace(work_, tab);
+      WarmResult warm = ReSolveLpFeasibilityDualInPlace(work_, tab, stop_);
       solution_.lp_pivots += warm.lp.pivots;
+      if (warm.status == WarmStatus::kAborted) {
+        // The stop fired mid-pivot. No cold fallback — the point of
+        // stopping is to stop, not to finish the node another way.
+        stopped_ = true;
+        LpResult aborted;
+        aborted.aborted = true;
+        return aborted;
+      }
       if (warm.status == WarmStatus::kOk) {
         ++solution_.warm_starts;
         // The folded-back warm tableau must satisfy the same invariants as
@@ -209,8 +230,12 @@ class BranchAndBound {
       }
     }
     ++solution_.cold_restarts;
-    LpResult lp = SolveLpFeasibility(work_, tab);
+    LpResult lp = SolveLpFeasibility(work_, tab, stop_);
     solution_.lp_pivots += lp.pivots;
+    if (lp.aborted) {
+      stopped_ = true;
+      return lp;
+    }
     if (lp.feasible && tab != nullptr) {
       XICC_DCHECK_AUDIT(AuditTableau(work_, *tab));
     }
@@ -220,24 +245,32 @@ class BranchAndBound {
   /// Returns true when an integer solution was found (stored in solution_).
   /// `parent` is the parent node's final tableau (null at the root); work_
   /// already contains this node's branch row.
-  bool Explore(const LpTableau* parent) {
+  bool Explore(const LpTableau* parent, size_t depth) {
+    // Fault site: under XICC_FAULTS a configured probe cancels the
+    // registered token right here, exercising the very poll below.
+    XICC_FAULT_PROBE(kBnbNode);
+    if (stopped_ || (stop_ != nullptr && stop_->ShouldStop())) {
+      stopped_ = true;
+      return false;
+    }
     if (options_.max_nodes != 0 &&
         solution_.nodes_explored >= options_.max_nodes) {
       budget_hit_ = true;
       return false;
     }
     ++solution_.nodes_explored;
+    if (depth > solution_.max_depth) solution_.max_depth = depth;
     XICC_DCHECK_AUDIT(AuditTrail(work_));
 
     // Gomory cuts derived here stay pushed for the whole subtree (they are
     // valid under the current branches) and are undone when the node exits.
     work_.PushCheckpoint();
-    bool found = ExploreWithCuts(parent);
+    bool found = ExploreWithCuts(parent, depth);
     work_.PopCheckpoint();
     return found;
   }
 
-  bool ExploreWithCuts(const LpTableau* parent) {
+  bool ExploreWithCuts(const LpTableau* parent, size_t depth) {
     // Node tableaus come from a free list: releasing back to it keeps the
     // row vectors' capacities, so the per-node `*tab = *parent` copy settles
     // into zero allocator traffic once the tree depth has been visited once.
@@ -280,6 +313,12 @@ class BranchAndBound {
         return true;
       }
       if (round == options_.max_cut_rounds) break;
+      // Cut rounds can chain many LP solves at one node; poll between them
+      // so a node stuck strengthening cuts still honors the deadline.
+      if (stopped_ || (stop_ != nullptr && stop_->ShouldStop())) {
+        stopped_ = true;
+        return false;
+      }
       std::optional<LinearConstraint> cut = DeriveGomoryCut(work_, *tab);
       if (!cut.has_value()) break;
       work_.AddRaw(std::move(*cut));
@@ -291,13 +330,13 @@ class BranchAndBound {
     work_.PushCheckpoint();
     work_.AddConstraint(LinearExpr::Var(fractional), RelOp::kLe,
                         value.Floor());
-    bool found = Explore(tab);
+    bool found = Explore(tab, depth + 1);
     work_.PopCheckpoint();
     if (found) return true;
     work_.PushCheckpoint();
     work_.AddConstraint(LinearExpr::Var(fractional), RelOp::kGe,
                         value.Ceil());
-    found = Explore(tab);
+    found = Explore(tab, depth + 1);
     work_.PopCheckpoint();
     return found;
   }
@@ -305,9 +344,15 @@ class BranchAndBound {
   LinearSystem work_;
   IlpOptions options_;
   const LpTableau* hint_;
+  /// Non-null iff options_.stop is armed; points into options_.
+  const StopSignal* stop_ = nullptr;
   IlpSolution solution_;
   std::vector<std::unique_ptr<LpTableau>> tableau_pool_;
   bool budget_hit_ = false;
+  /// The stop signal fired (observed at a node, a cut round, or inside a
+  /// pivot loop). Distinct from budget_hit_: a budget trip is a resource
+  /// verdict, a stop is the caller changing its mind.
+  bool stopped_ = false;
 };
 
 }  // namespace

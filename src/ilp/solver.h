@@ -3,12 +3,14 @@
 #include <vector>
 
 #include "base/bigint.h"
+#include "base/deadline.h"
 #include "base/status.h"
 #include "ilp/linear_system.h"
 
 namespace xicc {
 
 struct LpTableau;
+struct IlpSolution;
 
 struct IlpOptions {
   /// Hard cap on branch & bound nodes; exceeding it yields
@@ -45,6 +47,17 @@ struct IlpOptions {
   /// outlive the solve, must not alias `warm_hint`, and must never be shared
   /// across concurrent solves.
   LpTableau* root_scratch = nullptr;
+  /// Cooperative stop: a deadline and/or cancel token polled at bounded
+  /// cost — once per branch-and-bound node, once per Gomory cut round, and
+  /// every 64 pivots inside the LP substrate. When it fires the solve
+  /// returns kDeadlineExceeded / kCancelled, never a verdict: a stopped
+  /// check is not "infeasible".
+  StopSignal stop;
+  /// When non-null and the solve ends without a verdict (the stop signal
+  /// fired or the node budget tripped), receives the statistics accumulated
+  /// so far — nodes explored, pivots, deepest node reached — with
+  /// `feasible` false.
+  IlpSolution* partial = nullptr;
 };
 
 struct IlpSolution {
@@ -55,6 +68,9 @@ struct IlpSolution {
   size_t nodes_explored = 0;
   size_t lp_pivots = 0;
   size_t cuts_added = 0;
+  /// Deepest branch-and-bound node reached (root = 0) — the best-so-far
+  /// depth reported with partial statistics when a solve is stopped.
+  size_t max_depth = 0;
   /// LP solves served incrementally from a parent basis (dual simplex).
   size_t warm_starts = 0;
   /// LP solves that ran the cold phase-1 path (root nodes, disabled warm

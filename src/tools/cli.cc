@@ -2,8 +2,10 @@
 
 #include <cstdlib>
 #include <fstream>
+#include <optional>
 #include <sstream>
 
+#include "base/deadline.h"
 #include "constraints/constraint_parser.h"
 #include "constraints/id_idref.h"
 #include "core/batch.h"
@@ -30,9 +32,10 @@ constexpr int kError = 2;
 constexpr const char* kUsage = R"(usage: xicc <command> ...
 
   check    <dtd> <constraints> [--witness FILE] [--min-nodes N] [--big-m]
-           [--stats]
+           [--stats] [--timeout-ms N] [--cancel-after N]
            Is the specification consistent? (exit 0 yes / 1 no)
   batch    <dtd> <queries> [--threads N] [--big-m] [--stats]
+           [--timeout-ms N] [--cancel-after N]
            Answer many consistency queries against one compiled DTD.
            <queries> holds constraint blocks separated by lines of `---`;
            the DTD is compiled once and shared by all worker sessions.
@@ -62,6 +65,13 @@ Constraint syntax (one per line):
   fk subject(taught_by) => teacher(name)
   inclusion a(x) <= b(y)
   !key a(x)          !inclusion a(x) <= b(y)
+
+--timeout-ms bounds one check's wall clock (for batch: EACH query's,
+measured from when that query starts). A check that outlives its budget
+reports "no verdict" with the partial search statistics — it never turns
+into a consistency answer. --cancel-after arms a timer that cancels the
+whole run after N ms; batch returns promptly, keeping every verdict
+that finished and recording the rest as cancelled.
 
 --stats prints the solver counters behind a verdict (system size, ILP
 nodes, warm/cold LP solves, compile-vs-query time, sigma-delta and memo
@@ -130,6 +140,37 @@ Result<XmlSpec> LoadSpec(const std::string& dtd_path,
   return XmlSpec::Parse(dtd_text, sigma_text);
 }
 
+/// Parses an optional positive-integer flag; 0 means "not given".
+Result<int64_t> PositiveMsFlag(const ParsedArgs& parsed,
+                               const std::string& name) {
+  auto it = parsed.flags.find(name);
+  if (it == parsed.flags.end()) return int64_t{0};
+  char* end = nullptr;
+  long n = std::strtol(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0' || n < 1) {
+    return Status::InvalidArgument(name + " needs a positive integer (ms)");
+  }
+  return static_cast<int64_t>(n);
+}
+
+/// The --timeout-ms / --cancel-after plumbing shared by check and batch:
+/// owns the cancel token and its timer so the StopSignal pointers given to
+/// the solver stack stay valid for the command's whole run.
+struct StopPlumbing {
+  CancelToken token;
+  std::optional<CancelTimer> timer;  // Armed iff --cancel-after was given.
+  int64_t timeout_ms = 0;
+  int64_t cancel_after_ms = 0;
+
+  Status Arm(const ParsedArgs& parsed) {
+    XICC_ASSIGN_OR_RETURN(timeout_ms, PositiveMsFlag(parsed, "--timeout-ms"));
+    XICC_ASSIGN_OR_RETURN(cancel_after_ms,
+                          PositiveMsFlag(parsed, "--cancel-after"));
+    if (cancel_after_ms > 0) timer.emplace(&token, cancel_after_ms);
+    return Status::Ok();
+  }
+};
+
 Result<ConsistencyOptions> OptionsFromFlags(const ParsedArgs& parsed) {
   ConsistencyOptions options;
   if (parsed.flags.count("--big-m")) {
@@ -152,7 +193,8 @@ void PrintStats(const ConsistencyStats& stats, std::ostream& out) {
       << stats.system_constraints << " rows, " << stats.ilp_nodes
       << " ilp nodes, " << stats.lp_pivots << " lp pivots ("
       << stats.warm_starts << " warm / " << stats.cold_restarts
-      << " cold), ilp " << stats.ilp_wall_ms << " ms\n";
+      << " cold), depth " << stats.search_depth << ", ilp "
+      << stats.ilp_wall_ms << " ms\n";
   out << "arithmetic: " << stats.num_small_ops << " small ops, "
       << stats.num_big_ops << " big ops, " << stats.num_promotions
       << " promotions / " << stats.num_demotions << " demotions, arena "
@@ -168,7 +210,9 @@ int CmdCheck(const std::vector<std::string>& args, std::ostream& out,
                           {{"--witness", true},
                            {"--min-nodes", true},
                            {"--big-m", false},
-                           {"--stats", false}});
+                           {"--stats", false},
+                           {"--timeout-ms", true},
+                           {"--cancel-after", true}});
   if (!parsed.ok() || parsed->positional.size() != 2) {
     err << (parsed.ok() ? std::string("check needs <dtd> <constraints>")
                         : parsed.status().message())
@@ -185,8 +229,31 @@ int CmdCheck(const std::vector<std::string>& args, std::ostream& out,
     err << options.status() << "\n";
     return kError;
   }
+  StopPlumbing plumbing;
+  Status armed = plumbing.Arm(*parsed);
+  if (!armed.ok()) {
+    err << armed << "\n";
+    return kError;
+  }
+  ConsistencyStats partial;
+  if (plumbing.timeout_ms > 0 || plumbing.cancel_after_ms > 0) {
+    if (plumbing.timeout_ms > 0) {
+      options->stop.deadline = Deadline::After(plumbing.timeout_ms);
+    }
+    options->stop.cancel = &plumbing.token;
+    options->partial_stats = &partial;
+  }
   auto result = spec->CheckConsistent(*options);
   if (!result.ok()) {
+    const StatusCode code = result.status().code();
+    if (code == StatusCode::kDeadlineExceeded ||
+        code == StatusCode::kCancelled) {
+      // A stopped check has decided nothing; report how far it got, never
+      // a verdict.
+      err << "no verdict: " << result.status().message() << "\n";
+      if (parsed->flags.count("--stats")) PrintStats(partial, err);
+      return kError;
+    }
     err << result.status() << "\n";
     return kError;
   }
@@ -246,7 +313,9 @@ int CmdBatch(const std::vector<std::string>& args, std::ostream& out,
   auto parsed = ParseArgs(args, 1,
                           {{"--threads", true},
                            {"--big-m", false},
-                           {"--stats", false}});
+                           {"--stats", false},
+                           {"--timeout-ms", true},
+                           {"--cancel-after", true}});
   if (!parsed.ok() || parsed->positional.size() != 2) {
     err << (parsed.ok() ? std::string("batch needs <dtd> <queries>")
                         : parsed.status().message())
@@ -292,13 +361,23 @@ int CmdBatch(const std::vector<std::string>& args, std::ostream& out,
     }
     options.num_threads = static_cast<size_t>(n);
   }
+  StopPlumbing plumbing;
+  Status armed = plumbing.Arm(*parsed);
+  if (!armed.ok()) {
+    err << armed << "\n";
+    return kError;
+  }
+  options.item_timeout_ms = plumbing.timeout_ms;
+  if (plumbing.cancel_after_ms > 0) options.cancel = &plumbing.token;
 
   auto compiled = CompileDtd(*dtd);
   if (!compiled.ok()) {
     err << compiled.status() << "\n";
     return kError;
   }
-  std::vector<BatchItemResult> results = CheckBatch(*compiled, queries, options);
+  BatchDegradedStats degraded;
+  std::vector<BatchItemResult> results =
+      CheckBatch(*compiled, queries, options, &degraded);
 
   bool any_error = false;
   bool all_consistent = true;
@@ -306,7 +385,18 @@ int CmdBatch(const std::vector<std::string>& args, std::ostream& out,
   for (size_t i = 0; i < results.size(); ++i) {
     const BatchItemResult& item = results[i];
     if (!item.status.ok()) {
-      out << "[" << i << "] error: " << item.status.message() << "\n";
+      out << "[" << i << "] error: " << item.status.message();
+      const StatusCode code = item.status.code();
+      if (code == StatusCode::kDeadlineExceeded ||
+          code == StatusCode::kCancelled ||
+          code == StatusCode::kResourceExhausted) {
+        // The quarantined item's partial progress, inline: enough to see
+        // whether the budget was merely tight or the query truly explodes.
+        out << " (partial: " << item.partial.ilp_nodes << " ilp nodes, "
+            << item.partial.lp_pivots << " lp pivots, depth "
+            << item.partial.search_depth << ")";
+      }
+      out << "\n";
       any_error = true;
       continue;
     }
@@ -346,6 +436,11 @@ int CmdBatch(const std::vector<std::string>& args, std::ostream& out,
         << total.num_big_ops << " big ops, " << total.num_promotions
         << " promotions / " << total.num_demotions << " demotions, arena "
         << total.arena_bytes << " bytes\n";
+    out << "degraded:   " << degraded.quarantined << " quarantined ("
+        << degraded.deadline_exceeded << " deadline, " << degraded.cancelled
+        << " cancelled, " << degraded.resource_exhausted << " exhausted), "
+        << degraded.retries << " retries / " << degraded.retry_rescues
+        << " rescued\n";
   }
   if (any_error) return kError;
   return all_consistent ? kOk : kNegative;

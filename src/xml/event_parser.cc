@@ -8,20 +8,34 @@ namespace xicc {
 
 namespace {
 
+constexpr size_t kDefaultMaxDepth = 256;
+constexpr size_t kDefaultMaxInputBytes = 64 * 1024 * 1024;
+
 /// Recursive-descent XML parser over a string_view cursor, emitting events.
 class EventParser {
  public:
   EventParser(std::string_view input, const XmlParseOptions& options,
               XmlEventHandler* handler)
-      : input_(input), options_(options), handler_(handler) {}
+      : input_(input), options_(options), handler_(handler) {
+    if (options_.max_depth == 0) options_.max_depth = kDefaultMaxDepth;
+    if (options_.max_input_bytes == 0) {
+      options_.max_input_bytes = kDefaultMaxInputBytes;
+    }
+  }
 
   Status Parse() {
+    if (input_.size() > options_.max_input_bytes) {
+      return Status::InvalidArgument(
+          "xml input of " + std::to_string(input_.size()) +
+          " bytes exceeds the limit of " +
+          std::to_string(options_.max_input_bytes));
+    }
     SkipProlog();
     if (AtEnd() || Peek() != '<') {
       return Error("expected root element");
     }
     XICC_ASSIGN_OR_RETURN(std::string root_name, ParseOpenTagName());
-    XICC_RETURN_IF_ERROR(ParseElementRest(root_name));
+    XICC_RETURN_IF_ERROR(ParseElementRest(root_name, /*depth=*/1));
     SkipMisc();
     if (!AtEnd()) return Error("content after root element");
     return Status::Ok();
@@ -159,8 +173,16 @@ class EventParser {
   }
 
   /// Parses attributes, then either '/>' or '>' + content + '</name>',
-  /// emitting Start/Text/End events along the way.
-  Status ParseElementRest(const std::string& name) {
+  /// emitting Start/Text/End events along the way. `depth` counts element
+  /// nesting (root = 1): each level is one C++ recursion frame, so the
+  /// max_depth check here is what turns a pathologically deep document into
+  /// kInvalidArgument instead of a stack overflow.
+  Status ParseElementRest(const std::string& name, size_t depth) {
+    if (depth > options_.max_depth) {
+      return Status::InvalidArgument(
+          "xml element nesting exceeds the depth limit of " +
+          std::to_string(options_.max_depth));
+    }
     std::vector<std::pair<std::string, std::string>> attrs;
     for (;;) {
       SkipSpace();
@@ -183,10 +205,10 @@ class EventParser {
       attrs.emplace_back(std::move(attr_name), std::move(attr_value));
     }
     XICC_RETURN_IF_ERROR(handler_->StartElement(name, attrs));
-    return ParseContent(name);
+    return ParseContent(name, depth);
   }
 
-  Status ParseContent(const std::string& name) {
+  Status ParseContent(const std::string& name, size_t depth) {
     std::string text;
     auto flush_text = [&]() -> Status {
       if (text.empty()) return Status::Ok();
@@ -229,7 +251,7 @@ class EventParser {
         }
         XICC_RETURN_IF_ERROR(flush_text());
         XICC_ASSIGN_OR_RETURN(std::string child_name, ParseOpenTagName());
-        XICC_RETURN_IF_ERROR(ParseElementRest(child_name));
+        XICC_RETURN_IF_ERROR(ParseElementRest(child_name, depth + 1));
       } else if (Peek() == '&') {
         Advance();
         XICC_ASSIGN_OR_RETURN(std::string expanded, ParseReference());

@@ -14,6 +14,13 @@ struct XmlParseOptions {
   /// elements). The paper's model has no mixed content, so this is on by
   /// default.
   bool skip_whitespace_text = true;
+  /// Maximum element nesting depth. The parser recurses per element level,
+  /// so this bounds the C++ stack; exceeding it is kInvalidArgument, never
+  /// a stack overflow. 0 = the built-in default (256).
+  size_t max_depth = 0;
+  /// Maximum accepted input size in bytes; larger inputs are rejected with
+  /// kInvalidArgument before any parsing. 0 = the built-in default (64 MiB).
+  size_t max_input_bytes = 0;
 };
 
 /// SAX-style event sink for ParseXmlEvents. Returning a non-OK status from

@@ -7,11 +7,13 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "base/deadline.h"
 #include "constraints/evaluator.h"
 #include "core/batch.h"
 #include "core/consistency.h"
@@ -167,6 +169,147 @@ TEST(BatchTest, SharedCompiledDtdHammeredFromManyThreads) {
   for (size_t t = 0; t < kThreads; ++t) {
     EXPECT_TRUE(failures[t].empty()) << "thread " << t << ": " << failures[t];
   }
+}
+
+/// A consistent LIP spec whose solve takes hundreds of milliseconds — the
+/// deliberately exploding item for the degradation tests (a 50 ms budget
+/// plus one escalated retry still cannot finish it).
+workloads::LipEncoding ExplodingSpec() {
+  return workloads::EncodeLipAsConsistency(
+      workloads::RandomLip(/*seed=*/3, /*rows=*/12, /*cols=*/24,
+                           /*ones_per_row=*/3));
+}
+
+TEST(BatchTest, DeadlineQuarantinesOnlyTheExplodingItem) {
+  workloads::LipEncoding spec = ExplodingSpec();
+  auto compiled = CompileDtd(spec.dtd);
+  ASSERT_TRUE(compiled.ok()) << compiled.status();
+
+  std::vector<ConstraintSet> queries;
+  queries.push_back(ConstraintSet());               // trivial
+  queries.push_back(workloads::AllKeysSigma(spec.dtd));  // keys-only cell
+  queries.push_back(spec.sigma);                    // the exploding one
+  queries.push_back(ConstraintSet());               // must still be answered
+
+  // Baseline: no budgets, every item gets a verdict.
+  std::vector<BatchItemResult> baseline =
+      CheckBatch(*compiled, queries, BatchOptions{});
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_TRUE(baseline[i].status.ok()) << "item " << i;
+  }
+
+  BatchOptions options;
+  options.num_threads = 2;
+  options.item_timeout_ms = 50;
+  options.deadline_retry_factor = 2;  // One retry at 100 ms — still dies.
+  BatchDegradedStats degraded;
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<BatchItemResult> results =
+      CheckBatch(*compiled, queries, options, &degraded);
+  const int64_t wall_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  // One exploding query degrades to one degraded row, never a wedged (or
+  // even slow) batch: everything must finish well under the 2 s bar even
+  // with the escalated retry included.
+  EXPECT_LT(wall_ms, 2'000);
+
+  ASSERT_EQ(results.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (i == 2) continue;
+    ASSERT_TRUE(results[i].status.ok())
+        << "item " << i << " lost its verdict to a sibling's deadline: "
+        << results[i].status;
+    EXPECT_EQ(results[i].result.consistent, baseline[i].result.consistent)
+        << "item " << i;
+  }
+  EXPECT_EQ(results[2].status.code(), StatusCode::kDeadlineExceeded);
+  // The quarantined row reports how far its search got.
+  EXPECT_GT(results[2].partial.lp_pivots, 0u);
+
+  EXPECT_EQ(degraded.deadline_exceeded, 1u);
+  EXPECT_EQ(degraded.quarantined, 1u);
+  EXPECT_EQ(degraded.retries, 1u);
+  EXPECT_EQ(degraded.retry_rescues, 0u);
+  EXPECT_EQ(degraded.cancelled, 0u);
+}
+
+TEST(BatchTest, ResourceExhaustedItemRecordedAndStripeContinues) {
+  workloads::LipEncoding spec = ExplodingSpec();
+  auto compiled = CompileDtd(spec.dtd);
+  ASSERT_TRUE(compiled.ok());
+
+  std::vector<ConstraintSet> queries;
+  queries.push_back(spec.sigma);       // exhausts the node budget
+  queries.push_back(ConstraintSet());  // linear cell, no ILP: must survive
+
+  BatchOptions options;
+  options.check.ilp.max_nodes = 1;
+  BatchDegradedStats degraded;
+  std::vector<BatchItemResult> results =
+      CheckBatch(*compiled, queries, options, &degraded);
+
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].status.code(), StatusCode::kResourceExhausted);
+  EXPECT_GT(results[0].partial.lp_pivots, 0u);
+  ASSERT_TRUE(results[1].status.ok()) << results[1].status;
+  EXPECT_TRUE(results[1].result.consistent);
+  EXPECT_EQ(degraded.resource_exhausted, 1u);
+  EXPECT_EQ(degraded.quarantined, 1u);
+  EXPECT_EQ(degraded.deadline_exceeded, 0u);
+}
+
+TEST(BatchTest, CancelStopsTheBatchPromptlyKeepingNothingWedged) {
+  workloads::LipEncoding spec = ExplodingSpec();
+  auto compiled = CompileDtd(spec.dtd);
+  ASSERT_TRUE(compiled.ok());
+  std::vector<ConstraintSet> queries(6, spec.sigma);
+
+  CancelToken token;
+  CancelTimer timer(&token, 30);
+  BatchOptions options;
+  options.num_threads = 2;
+  options.cancel = &token;
+  BatchDegradedStats degraded;
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<BatchItemResult> results =
+      CheckBatch(*compiled, queries, options, &degraded);
+  const int64_t wall_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  // Six ~500 ms solves would take seconds; the 30 ms cancel must stop the
+  // in-flight checks at their next poll and drop the queued stripes.
+  EXPECT_LT(wall_ms, 2'000);
+  ASSERT_EQ(results.size(), queries.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].status.code(), StatusCode::kCancelled)
+        << "item " << i << ": " << results[i].status;
+  }
+  EXPECT_EQ(degraded.cancelled, queries.size());
+  EXPECT_EQ(degraded.quarantined, queries.size());
+}
+
+TEST(BatchTest, PreCancelledBatchReturnsAllCancelledSentinels) {
+  Dtd dtd = workloads::CatalogDtd(1);
+  auto compiled = CompileDtd(dtd);
+  ASSERT_TRUE(compiled.ok());
+  std::vector<ConstraintSet> queries(3, workloads::AllKeysSigma(dtd));
+
+  CancelToken token;
+  token.Cancel();
+  BatchOptions options;
+  options.num_threads = 2;
+  options.cancel = &token;
+  BatchDegradedStats degraded;
+  std::vector<BatchItemResult> results =
+      CheckBatch(*compiled, queries, options, &degraded);
+  ASSERT_EQ(results.size(), 3u);
+  for (const BatchItemResult& item : results) {
+    EXPECT_EQ(item.status.code(), StatusCode::kCancelled);
+  }
+  EXPECT_EQ(degraded.cancelled, 3u);
 }
 
 TEST(BatchTest, EmptyBatchAndThreadClamping) {

@@ -180,5 +180,19 @@ TEST(ConstraintParserTest, ErrorsNameTheLine) {
             std::string::npos);
 }
 
+
+TEST(ConstraintParserLimitsTest, OversizedInputIsRejected) {
+  // 17 MiB of comment lines: over the 16 MiB cap, rejected up front with
+  // kInvalidArgument (not a parse error — nothing was parsed).
+  std::string big;
+  big.reserve(17 * 1024 * 1024);
+  while (big.size() < 17 * 1024 * 1024) {
+    big += "# padding padding padding padding padding padding padding\n";
+  }
+  auto sigma = ParseConstraints(big);
+  ASSERT_FALSE(sigma.ok());
+  EXPECT_EQ(sigma.status().code(), StatusCode::kInvalidArgument);
+}
+
 }  // namespace
 }  // namespace xicc

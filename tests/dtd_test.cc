@@ -226,5 +226,26 @@ TEST(DtdParserTest, RoundTripThroughToString) {
   }
 }
 
+
+TEST(DtdParserLimitsTest, GroupNestingBombIsRejectedNotOverflowed) {
+  // (((((...a...))))) 100k deep: each level is a ParseGroupOrAtom frame.
+  constexpr size_t kDepth = 100'000;
+  std::string bomb = "<!ELEMENT r ";
+  bomb += std::string(kDepth, '(');
+  bomb += "a";
+  bomb += std::string(kDepth, ')');
+  bomb += ">";
+  auto dtd = ParseDtd(bomb);
+  ASSERT_FALSE(dtd.ok());
+  EXPECT_EQ(dtd.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DtdParserLimitsTest, ReasonableNestingStillParses) {
+  auto dtd = ParseDtd("<!ELEMENT r ((((a, b) | c)*, d)?)>"
+                      "<!ELEMENT a EMPTY><!ELEMENT b EMPTY>"
+                      "<!ELEMENT c EMPTY><!ELEMENT d EMPTY>");
+  ASSERT_TRUE(dtd.ok()) << dtd.status();
+}
+
 }  // namespace
 }  // namespace xicc

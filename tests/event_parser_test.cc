@@ -135,5 +135,47 @@ TEST(GlushkovStepwiseTest, StepwiseMatchesBatch) {
   }
 }
 
+
+TEST(EventParserTest, DepthBombIsRejectedNotOverflowed) {
+  // 100k nested elements: one C++ recursion frame each would blow the
+  // stack; the limit must turn this into a clean kInvalidArgument.
+  constexpr size_t kDepth = 100'000;
+  std::string bomb;
+  bomb.reserve(kDepth * 7);
+  for (size_t i = 0; i < kDepth; ++i) bomb += "<a>";
+  for (size_t i = 0; i < kDepth; ++i) bomb += "</a>";
+  RecordingHandler handler;
+  Status status = ParseXmlEvents(bomb, &handler);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EventParserTest, DepthLimitIsConfigurable) {
+  RecordingHandler deep_handler;
+  XmlParseOptions tight;
+  tight.max_depth = 2;
+  Status too_deep =
+      ParseXmlEvents("<a><b><c/></b></a>", &deep_handler, tight);
+  ASSERT_FALSE(too_deep.ok());
+  EXPECT_EQ(too_deep.code(), StatusCode::kInvalidArgument);
+
+  RecordingHandler ok_handler;
+  XmlParseOptions enough;
+  enough.max_depth = 3;
+  EXPECT_TRUE(ParseXmlEvents("<a><b><c/></b></a>", &ok_handler, enough).ok());
+}
+
+TEST(EventParserTest, OversizedInputIsRejectedUpFront) {
+  XmlParseOptions options;
+  options.max_input_bytes = 64;
+  std::string big = "<a>" + std::string(128, 'x') + "</a>";
+  RecordingHandler handler;
+  Status status = ParseXmlEvents(big, &handler, options);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  // Rejected before parsing: the handler never saw an event.
+  EXPECT_TRUE(handler.events.empty());
+}
+
 }  // namespace
 }  // namespace xicc

@@ -34,8 +34,8 @@ TEST(LintRulesTest, RuleTableIsComplete) {
             (std::vector<std::string>{"exact-arithmetic",
                                       "raw-coefficient-words",
                                       "no-nondeterminism", "raw-concurrency",
-                                      "void-discard", "pragma-once",
-                                      "include-layering"}));
+                                      "raw-blocking", "void-discard",
+                                      "pragma-once", "include-layering"}));
 }
 
 TEST(LintRulesTest, ExactArithmeticFlagsOnlyVerdictDirs) {
@@ -107,6 +107,39 @@ TEST(LintRulesTest, RawConcurrencyBannedOutsideBase) {
   EXPECT_TRUE(LintFile("src/base/foo.cc", "std::mutex mu;\n").empty());
   // Qualified-name boundary: xicc::Mutex and my_mutex are not std::mutex.
   EXPECT_TRUE(LintFile("src/core/foo.cc", "Mutex mu;\nint my_mutex;\n")
+                  .empty());
+}
+
+TEST(LintRulesTest, RawBlockingBannedOutsideSanctionedFiles) {
+  // A raw sleep anywhere a CancelToken cannot wake it is flagged — even in
+  // base/ files other than the sanctioned blocking primitives.
+  EXPECT_EQ(RuleNames(LintFile(
+                "src/core/foo.cc",
+                "std::this_thread::sleep_for(std::chrono::seconds(1));\n")),
+            std::vector<std::string>{"raw-blocking"});
+  EXPECT_EQ(RuleNames(LintFile("src/base/arena.h",
+                               "#pragma once\nusleep(100);\n")),
+            std::vector<std::string>{"raw-blocking"});
+  // An unbounded CondVar wait outside the sanctioned files is the
+  // lost-wakeup shape this rule exists for.
+  EXPECT_EQ(RuleNames(LintFile("src/ilp/foo.cc", "CondVar cv;\n")),
+            std::vector<std::string>{"raw-blocking"});
+
+  // The sanctioned blocking primitives themselves are exempt: that is
+  // where sleeps and waits are wired to cancellation.
+  EXPECT_TRUE(LintFile("src/base/worksteal.h",
+                       "#pragma once\ncv.Wait(&mu); CondVar done;\n")
+                  .empty());
+  EXPECT_TRUE(LintFile("src/base/deadline.cc", "CondVar cv;\n").empty());
+  EXPECT_TRUE(LintFile("src/base/thread_annotations.h",
+                       "#pragma once\nclass CondVar {};\n")
+                  .empty());
+  // SleepFor (base/deadline.h) is the sanctioned cancellable sleep — its
+  // callers are fine anywhere.
+  EXPECT_TRUE(LintFile("src/core/foo.cc", "SleepFor(10, cancel);\n").empty());
+  // Suppressions work as usual.
+  EXPECT_TRUE(LintFile("src/core/foo.cc",
+                       "CondVar cv;  // xicc-lint: allow(raw-blocking)\n")
                   .empty());
 }
 
