@@ -3,13 +3,27 @@
 
 Reads BENCH_incremental.json and fails the build if either contract broke:
 
-1. `scaling` section (one row per thread count: threads, batch_ms,
-   speedup_vs_1thread_x): adding threads must not LOSE throughput — the
-   4-thread batch must be at least as fast as the 1-thread batch, modulo a
-   small noise tolerance. This is the regression the cache-line-padded
-   deque shards and the per-thread arenas exist to prevent — a refactor
-   that reintroduces a shared hot line or a global-allocator stampede
-   shows up here as 4-thread speedup < 1.
+1. `scaling` section (one row per thread count over the large mixed batch,
+   carrying threads, workers_effective, hardware_threads, batch_ms,
+   speedup_vs_1thread_x, and the stage-timer fields): the gate is
+   HARDWARE-AWARE, because the bench clamps its worker pool to the machine
+   width and a 1-core runner cannot produce a speedup no matter how clean
+   the hot path is.
+
+     - hardware >= 4 cores: the 4-thread batch must reach at least
+       SPEEDUP_FLOOR_4T (2.5x) over the 1-thread batch — the real scaling
+       contract the chunked scheduler, session pool, and sharded memo
+       exist to meet. 8-thread scaling (target 4x) is reported as an
+       ADVISORY row only; small CI shapes oversubscribe too easily for it
+       to gate.
+     - hardware < 4 cores: the floor is unenforceable, so the gate falls
+       back to the legacy no-regression check — adding threads must not
+       LOSE throughput (>= TOLERANCE x the 1-thread baseline). The clamp
+       is printed so the log says WHY the floor was skipped.
+
+   Every row must carry the stage-timer fields (stage_solve_ms etc.);
+   their absence means the profiling layer was disconnected, which is
+   itself a failure — an unattributable future regression.
 
 2. `degraded` section (one row: a batch with a 50 ms per-item deadline
    over feasible queries plus one deliberately exploding item): the whole
@@ -28,6 +42,18 @@ import sys
 # (the failure mode this gate exists for) costs far more than 5%.
 TOLERANCE = 0.95
 GATE_THREADS = 4
+SPEEDUP_FLOOR_4T = 2.5
+ADVISORY_THREADS = 8
+ADVISORY_TARGET_8T = 4.0
+
+STAGE_FIELDS = (
+    "stage_session_setup_ms",
+    "stage_memo_key_ms",
+    "stage_memo_lookup_ms",
+    "stage_memo_store_ms",
+    "stage_solve_ms",
+    "stage_result_write_ms",
+)
 
 # The exploding item alone takes ~500 ms unrestrained; the 50 ms deadline
 # plus one escalated retry should finish the whole batch in well under a
@@ -67,11 +93,7 @@ def check_degraded(report, path) -> int:
     return status
 
 
-def main() -> int:
-    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_incremental.json"
-    with open(path) as fh:
-        report = json.load(fh)
-
+def check_scaling(report, path) -> int:
     scaling = {
         row["threads"]: row
         for row in report.get("rows", [])
@@ -85,27 +107,91 @@ def main() -> int:
         )
         return 2
 
-    base = scaling[1]["speedup_vs_1thread_x"]  # 1.0 by construction.
-    gated = scaling[GATE_THREADS]["speedup_vs_1thread_x"]
     for threads in sorted(scaling):
         row = scaling[threads]
         print(
-            f"  {threads} thread(s): {row['batch_ms']:.3f} ms, "
-            f"{row['speedup_vs_1thread_x']:.3f}x vs 1-thread"
+            f"  {threads} thread(s): {row['batch_ms']:.3f} ms best "
+            f"(mean {row.get('mean_ms', float('nan')):.3f} ± "
+            f"{row.get('stddev_ms', float('nan')):.3f}), "
+            f"{row['speedup_vs_1thread_x']:.3f}x vs 1-thread, "
+            f"workers={row.get('workers_effective', '?')}"
         )
 
-    if gated < base * TOLERANCE:
+    # The profiling layer is part of the contract: a scaling regression
+    # without stage attribution is undiagnosable from CI logs alone.
+    gate_row = scaling[GATE_THREADS]
+    missing = [f for f in STAGE_FIELDS if f not in gate_row]
+    if missing:
         print(
-            f"FAIL: {GATE_THREADS}-thread batch speedup {gated:.3f}x is below "
-            f"the 1-thread baseline {base:.3f}x (tolerance {TOLERANCE}) — "
-            "parallelism is losing throughput; suspect deque-shard or "
-            "allocator contention.",
+            f"FAIL: scaling rows are missing stage-timer fields {missing} — "
+            "the per-stage profiling layer is disconnected from the bench.",
             file=sys.stderr,
         )
         return 1
 
-    print(f"OK: {GATE_THREADS}-thread speedup {gated:.3f}x >= "
-          f"{base:.3f}x * {TOLERANCE}")
+    hardware = int(gate_row.get("hardware_threads", 0))
+    base = scaling[1]["speedup_vs_1thread_x"]  # 1.0 by construction.
+    gated = gate_row["speedup_vs_1thread_x"]
+
+    if hardware >= GATE_THREADS:
+        if gated < SPEEDUP_FLOOR_4T:
+            print(
+                f"FAIL: {GATE_THREADS}-thread batch speedup {gated:.3f}x is "
+                f"below the {SPEEDUP_FLOOR_4T}x floor on a {hardware}-thread "
+                "machine — the chunked scheduler / sharded memo / session "
+                "pool are not delivering; check the stage_*_ms columns for "
+                "where the time went.",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"OK: {GATE_THREADS}-thread speedup {gated:.3f}x >= "
+            f"{SPEEDUP_FLOOR_4T}x floor (hardware: {hardware} threads)"
+        )
+    else:
+        # Narrow runner: the pool is clamped to the hardware width and the
+        # floor is unreachable by construction. Fall back to no-regression.
+        print(
+            f"note: hardware has {hardware} thread(s) < {GATE_THREADS} — "
+            f"the {SPEEDUP_FLOOR_4T}x floor is unenforceable here "
+            "(workers are clamped to hardware width); applying the "
+            "no-regression check instead."
+        )
+        if gated < base * TOLERANCE:
+            print(
+                f"FAIL: {GATE_THREADS}-thread batch speedup {gated:.3f}x is "
+                f"below the 1-thread baseline {base:.3f}x (tolerance "
+                f"{TOLERANCE}) — parallelism is losing throughput even "
+                "clamped; suspect scheduler or allocator overhead.",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"OK: {GATE_THREADS}-thread speedup {gated:.3f}x >= "
+            f"{base:.3f}x * {TOLERANCE} (no-regression fallback)"
+        )
+
+    # 8-thread advisory: reported, never gating.
+    adv = scaling.get(ADVISORY_THREADS)
+    if adv is not None:
+        reached = adv["speedup_vs_1thread_x"]
+        verdict = "meets" if reached >= ADVISORY_TARGET_8T else "below"
+        print(
+            f"advisory: {ADVISORY_THREADS}-thread speedup {reached:.3f}x "
+            f"{verdict} the {ADVISORY_TARGET_8T}x target "
+            f"(hardware: {hardware} threads; informational only)"
+        )
+    return 0
+
+
+def main() -> int:
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_incremental.json"
+    with open(path) as fh:
+        report = json.load(fh)
+
+    status = check_scaling(report, path)
+    if status:
+        return status
     return check_degraded(report, path)
 
 

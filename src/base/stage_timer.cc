@@ -1,0 +1,25 @@
+#include "base/stage_timer.h"
+
+namespace xicc {
+
+const char* StageName(Stage stage) {
+  switch (stage) {
+    case Stage::kSessionSetup:
+      return "session_setup";
+    case Stage::kMemoKey:
+      return "memo_key";
+    case Stage::kMemoLookup:
+      return "memo_lookup";
+    case Stage::kMemoStore:
+      return "memo_store";
+    case Stage::kSolve:
+      return "solve";
+    case Stage::kResultWrite:
+      return "result_write";
+    case Stage::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+}  // namespace xicc

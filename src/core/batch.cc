@@ -1,5 +1,6 @@
 #include "core/batch.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "base/worksteal.h"
@@ -8,32 +9,103 @@ namespace xicc {
 
 namespace {
 
-/// Per-stripe retry tallies — the only degradation numbers that cannot be
-/// reconstructed from the final per-item statuses. Each worker owns its own
-/// instance; no locking.
-struct StripeRetries {
-  size_t retries = 0;
-  size_t rescues = 0;
+/// Uniform view over the single-DTD and multi-DTD entry points, so the
+/// scheduler below has exactly one implementation. No copies: both shapes
+/// are referenced in place.
+struct QueryView {
+  const std::vector<ConstraintSet>* single = nullptr;
+  const std::vector<BatchQuery>* multi = nullptr;
+
+  size_t size() const {
+    return single != nullptr ? single->size() : multi->size();
+  }
+  size_t DtdIndex(size_t i) const {
+    return single != nullptr ? 0 : (*multi)[i].dtd_index;
+  }
+  const ConstraintSet& Sigma(size_t i) const {
+    return single != nullptr ? (*single)[i] : (*multi)[i].sigma;
+  }
 };
 
-/// Runs queries `worker`, `worker + stride`, … through one session. Items
-/// that end without a verdict (deadline, cancel, per-item input errors) are
-/// quarantined into their slot — with partial statistics — and the stripe
-/// keeps draining.
-void RunStripe(const std::shared_ptr<const CompiledDtd>& compiled,
-               const std::vector<ConstraintSet>& queries,
-               const BatchOptions& options,
-               const std::shared_ptr<SharedSigmaMemo>& memo, size_t worker,
-               size_t stride, std::vector<BatchItemResult>* results,
-               StripeRetries* retries) {
-  SpecSession session(compiled, options.check, memo);
-  for (size_t i = worker; i < queries.size(); i += stride) {
-    BatchItemResult& slot = (*results)[i];
-    if (options.cancel != nullptr && options.cancel->Cancelled()) {
-      // Leave the pre-filled kCancelled sentinel in every remaining slot;
-      // re-deriving fresh deadlines after a cancel would be busywork.
-      return;
+/// One chunk of work: a run of query indices, all against the same DTD.
+struct Chunk {
+  size_t dtd_index = 0;
+  std::vector<size_t> items;
+};
+
+/// Per-chunk tallies — owned by exactly one pool task, merged after the
+/// pool drains. Retry counts cannot be reconstructed from final statuses;
+/// session acquire outcomes feed the setup-amortization stats.
+struct ChunkTally {
+  size_t retries = 0;
+  size_t rescues = 0;
+  size_t session_reused = 0;  // 1 if the chunk ran on a pooled session.
+  size_t session_created = 0;
+};
+
+/// A free-list of reusable worker sessions over one CompiledDtd. Chunks
+/// acquire at start and release at end, so the lock is taken twice per
+/// CHUNK (not per query) and held for O(1) pointer work — session setup
+/// (the skeleton + tableau copy inside the SpecSession constructor) is
+/// paid once per worker per DTD in the steady state, not once per stripe.
+class SessionPool {
+ public:
+  SessionPool(std::shared_ptr<const CompiledDtd> compiled,
+              const ConsistencyOptions& check,
+              std::shared_ptr<SharedSigmaMemo> memo)
+      : compiled_(std::move(compiled)), check_(check), memo_(std::move(memo)) {}
+
+  std::unique_ptr<SpecSession> Acquire(ChunkTally* tally) {
+    {
+      MutexLock lock(&mu_);
+      if (!free_.empty()) {
+        std::unique_ptr<SpecSession> session = std::move(free_.back());
+        free_.pop_back();
+        tally->session_reused = 1;
+        return session;
+      }
     }
+    tally->session_created = 1;
+    return std::make_unique<SpecSession>(compiled_, check_, memo_);
+  }
+
+  void Release(std::unique_ptr<SpecSession> session) {
+    MutexLock lock(&mu_);
+    free_.push_back(std::move(session));
+  }
+
+  /// Post-drain aggregation: every session ever created is back in the
+  /// free list once the pool has no tasks in flight.
+  template <typename Fn>
+  void ForEachSession(Fn fn) {
+    MutexLock lock(&mu_);
+    for (const std::unique_ptr<SpecSession>& session : free_) fn(*session);
+  }
+
+ private:
+  std::shared_ptr<const CompiledDtd> compiled_;
+  ConsistencyOptions check_;
+  std::shared_ptr<SharedSigmaMemo> memo_;
+  Mutex mu_;
+  std::vector<std::unique_ptr<SpecSession>> free_ XICC_GUARDED_BY(mu_);
+};
+
+/// Runs one chunk's queries through one pooled session. Items that end
+/// without a verdict (deadline, cancel, per-item input errors) are
+/// quarantined into their slot — with partial statistics — and the chunk
+/// keeps draining.
+void RunChunk(const QueryView& queries, const Chunk& chunk,
+              const BatchOptions& options, SessionPool* pool,
+              std::vector<BatchItemResult>* results, ChunkTally* tally) {
+  if (options.cancel != nullptr && options.cancel->Cancelled()) {
+    // Leave the pre-filled kCancelled sentinel in every slot; re-deriving
+    // fresh deadlines after a cancel would be busywork.
+    return;
+  }
+  std::unique_ptr<SpecSession> session = pool->Acquire(tally);
+  for (size_t i : chunk.items) {
+    BatchItemResult& slot = (*results)[i];
+    if (options.cancel != nullptr && options.cancel->Cancelled()) break;
     // Arm this item's stop: the shared batch cancel plus a fresh per-item
     // deadline. The deadline starts when the item starts, not when the
     // batch does — a slow predecessor must not starve its successors.
@@ -42,46 +114,49 @@ void RunStripe(const std::shared_ptr<const CompiledDtd>& compiled,
     if (options.item_timeout_ms > 0) {
       stop.deadline = Deadline::After(options.item_timeout_ms);
     }
-    session.SetStop(stop);
-    Result<ConsistencyResult> checked = session.Check(queries[i]);
+    session->SetStop(stop);
+    Result<ConsistencyResult> checked = session->Check(queries.Sigma(i));
     if (!checked.ok() &&
         checked.status().code() == StatusCode::kDeadlineExceeded &&
         options.deadline_retry_factor > 0 &&
         !(options.cancel != nullptr && options.cancel->Cancelled())) {
       // One retry at the escalated budget: rescues the merely-unlucky item
       // (cold memo, slow warm-up) without letting a genuinely exploding one
-      // hold the stripe past factor+1 budgets.
-      ++retries->retries;
+      // hold the chunk past factor+1 budgets.
+      ++tally->retries;
       stop.deadline = Deadline::After(
           options.item_timeout_ms *
           static_cast<int64_t>(options.deadline_retry_factor));
-      session.SetStop(stop);
-      checked = session.Check(queries[i]);
-      if (checked.ok()) ++retries->rescues;
+      session->SetStop(stop);
+      checked = session->Check(queries.Sigma(i));
+      if (checked.ok()) ++tally->rescues;
     }
+    StageTimer write_timer(&session->stage_tally(), Stage::kResultWrite);
     if (checked.ok()) {
       slot.status = Status::Ok();
       slot.result = std::move(*checked);
       slot.partial = ConsistencyStats{};
     } else {
       slot.status = checked.status();
-      slot.partial = session.LastPartialStats();
+      slot.partial = session->LastPartialStats();
     }
   }
+  // Disarm before pooling: the next chunk arms its own stop signal.
+  session->SetStop(StopSignal{});
+  pool->Release(std::move(session));
 }
 
-}  // namespace
-
-std::vector<BatchItemResult> CheckBatch(
-    std::shared_ptr<const CompiledDtd> compiled,
-    const std::vector<ConstraintSet>& queries, const BatchOptions& options,
-    BatchDegradedStats* degraded) {
+std::vector<BatchItemResult> CheckBatchImpl(
+    const std::vector<std::shared_ptr<const CompiledDtd>>& compiled,
+    const QueryView& queries, const BatchOptions& options,
+    BatchDegradedStats* degraded, BatchRunStats* run) {
   std::vector<BatchItemResult> results(queries.size());
   if (degraded != nullptr) *degraded = BatchDegradedStats{};
-  if (queries.empty()) return results;
+  if (run != nullptr) *run = BatchRunStats{};
+  if (queries.size() == 0) return results;
 
   // Pre-fill every slot with the cancelled sentinel: a cancelled pool drains
-  // queued stripe tasks WITHOUT running them, and those stripes' items must
+  // queued chunk tasks WITHOUT running them, and those chunks' items must
   // not read as OK-with-empty-result.
   for (BatchItemResult& slot : results) {
     slot.status =
@@ -93,41 +168,113 @@ std::vector<BatchItemResult> CheckBatch(
   // Oversubscription never helps a CPU-bound batch: extra workers only add
   // context switches and deque contention, which shows up as the 4-thread
   // run losing to the 1-thread run on small machines. Cap the pool at the
-  // hardware width (verdicts are thread-count-independent by contract).
+  // hardware width (verdicts are thread-count-independent by contract) —
+  // and REPORT the clamp through BatchRunStats, so a flat scaling curve on
+  // a narrow machine is attributable instead of mysterious.
   const size_t hardware = HardwareConcurrency();
   if (threads > hardware) threads = hardware;
-  // One memo across every stripe (hash-sharded, so workers only collide on
-  // keys that share a shard); null when memoization is off so sessions skip
-  // canonical-key hashing entirely.
-  std::shared_ptr<SharedSigmaMemo> memo;
-  if (options.memo_capacity > 0) {
-    memo = std::make_shared<SharedSigmaMemo>(threads * options.memo_capacity);
+
+  // Resolve the chunk size: enough chunks that work-stealing can rebalance
+  // around a slow item (~8 per worker), but each chunk big enough that one
+  // session acquire amortizes over its items.
+  size_t chunk_size = options.chunk_size;
+  if (chunk_size == 0) {
+    chunk_size = std::max<size_t>(1, queries.size() / (threads * 8));
   }
-  std::vector<StripeRetries> retries(threads);
+
+  // Per-DTD session pools, each with its own shared memo (the canonical
+  // memo key is Σ-only, so sharing a memo across DTDs would cross-serve
+  // verdicts between different schemas).
+  std::vector<std::unique_ptr<SessionPool>> pools;
+  pools.reserve(compiled.size());
+  for (const std::shared_ptr<const CompiledDtd>& artifact : compiled) {
+    std::shared_ptr<SharedSigmaMemo> memo;
+    if (options.memo_capacity > 0) {
+      memo = std::make_shared<SharedSigmaMemo>(
+          threads * options.memo_capacity,
+          /*num_shards=*/std::max<size_t>(16, threads * 4));
+    }
+    pools.push_back(
+        std::make_unique<SessionPool>(artifact, options.check, memo));
+  }
+
+  // Build chunks: group indices by DTD (preserving batch order within each
+  // group) and split every group into runs of `chunk_size`. Out-of-range
+  // dtd_index values quarantine immediately — per-item failure, never a
+  // batch abort.
+  std::vector<Chunk> chunks;
+  {
+    std::vector<std::vector<size_t>> by_dtd(compiled.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      const size_t dtd = queries.DtdIndex(i);
+      if (dtd >= compiled.size()) {
+        results[i].status = Status::InvalidArgument(
+            "query references DTD index " + std::to_string(dtd) +
+            " but the batch has " + std::to_string(compiled.size()) +
+            " compiled DTD(s)");
+        continue;
+      }
+      by_dtd[dtd].push_back(i);
+    }
+    for (size_t dtd = 0; dtd < by_dtd.size(); ++dtd) {
+      const std::vector<size_t>& indices = by_dtd[dtd];
+      for (size_t begin = 0; begin < indices.size(); begin += chunk_size) {
+        const size_t end = std::min(indices.size(), begin + chunk_size);
+        Chunk chunk;
+        chunk.dtd_index = dtd;
+        chunk.items.assign(indices.begin() + begin, indices.begin() + end);
+        chunks.push_back(std::move(chunk));
+      }
+    }
+  }
+
+  std::vector<ChunkTally> tallies(chunks.size());
   if (threads <= 1) {
-    RunStripe(compiled, queries, options, memo, 0, 1, &results, &retries[0]);
+    for (size_t c = 0; c < chunks.size(); ++c) {
+      RunChunk(queries, chunks[c], options, pools[chunks[c].dtd_index].get(),
+               &results, &tallies[c]);
+    }
   } else {
-    // Each worker writes only its own stripe's slots, so the result vector
-    // needs no locking; the pool is just transport for the N stripes. The
+    // Each chunk writes only its own items' slots, so the result vector
+    // needs no locking; the pool is just transport for the chunks. The
     // batch cancel token rides into the pool too: Cancel() wakes parked
-    // workers and drops unstarted stripes, so Wait() returns promptly.
+    // workers and drops unstarted chunks, so Wait() returns promptly.
     WorkStealingPool pool(threads, options.cancel);
-    for (size_t worker = 0; worker < threads; ++worker) {
-      pool.Submit([&, worker] {
-        RunStripe(compiled, queries, options, memo, worker, threads, &results,
-                  &retries[worker]);
+    for (size_t c = 0; c < chunks.size(); ++c) {
+      pool.Submit([&, c] {
+        RunChunk(queries, chunks[c], options, pools[chunks[c].dtd_index].get(),
+                 &results, &tallies[c]);
       });
     }
     pool.Wait();
   }
 
+  if (run != nullptr) {
+    run->workers = threads;
+    run->hardware_threads = hardware;
+    run->chunks = chunks.size();
+    run->chunk_size = chunk_size;
+    for (const ChunkTally& tally : tallies) {
+      run->session_reuses += tally.session_reused;
+      run->sessions_created += tally.session_created;
+    }
+    for (const std::unique_ptr<SessionPool>& pool : pools) {
+      pool->ForEachSession([&](const SpecSession& session) {
+        run->stages.Merge(session.stage_tally());
+        run->memo_hits += session.stats().memo_hits;
+        run->memo_misses += session.stats().memo_misses;
+        run->memo_evictions += session.stats().memo_evictions;
+      });
+    }
+  }
+
   if (degraded != nullptr) {
-    for (const StripeRetries& r : retries) {
-      degraded->retries += r.retries;
-      degraded->retry_rescues += r.rescues;
+    for (const ChunkTally& tally : tallies) {
+      degraded->retries += tally.retries;
+      degraded->retry_rescues += tally.rescues;
     }
     // Status-code tallies come from the final slots — that also counts
-    // items whose stripe task was dropped by a cancelled pool.
+    // items whose chunk task was dropped by a cancelled pool.
     for (const BatchItemResult& slot : results) {
       if (slot.status.ok()) continue;
       ++degraded->quarantined;
@@ -147,6 +294,28 @@ std::vector<BatchItemResult> CheckBatch(
     }
   }
   return results;
+}
+
+}  // namespace
+
+std::vector<BatchItemResult> CheckBatch(
+    std::shared_ptr<const CompiledDtd> compiled,
+    const std::vector<ConstraintSet>& queries, const BatchOptions& options,
+    BatchDegradedStats* degraded, BatchRunStats* run) {
+  std::vector<std::shared_ptr<const CompiledDtd>> artifacts;
+  artifacts.push_back(std::move(compiled));
+  QueryView view;
+  view.single = &queries;
+  return CheckBatchImpl(artifacts, view, options, degraded, run);
+}
+
+std::vector<BatchItemResult> CheckBatchMulti(
+    const std::vector<std::shared_ptr<const CompiledDtd>>& compiled,
+    const std::vector<BatchQuery>& queries, const BatchOptions& options,
+    BatchDegradedStats* degraded, BatchRunStats* run) {
+  QueryView view;
+  view.multi = &queries;
+  return CheckBatchImpl(compiled, view, options, degraded, run);
 }
 
 }  // namespace xicc

@@ -4,26 +4,37 @@
 #include <vector>
 
 #include "base/deadline.h"
+#include "base/stage_timer.h"
 #include "core/spec_session.h"
 
 namespace xicc {
 
 struct BatchOptions {
   /// Worker count. 1 (the default) runs one session sequentially — fully
-  /// deterministic, including statistics. With N > 1 the queries are striped
-  /// round-robin over N sessions sharing the one CompiledDtd; per-query
-  /// verdicts/results are deterministic either way (each query's answer
-  /// depends only on its own constraint set), only the intra-worker memo
-  /// locality differs. Requests beyond the hardware thread count are clamped
-  /// to it — oversubscribing a CPU-bound batch only adds scheduler overhead.
+  /// deterministic, including statistics. With N > 1 the queries are split
+  /// into chunks scheduled over a work-stealing pool of N workers sharing
+  /// the CompiledDtd(s); per-query verdicts/results are deterministic
+  /// either way (each query's answer depends only on its own constraint
+  /// set), only memo locality differs. Requests beyond the hardware thread
+  /// count are clamped to it — oversubscribing a CPU-bound batch only adds
+  /// scheduler overhead.
   size_t num_threads = 1;
   /// Options applied by every worker session.
   ConsistencyOptions check;
   /// Per-worker memo contribution: the workers share ONE hash-sharded
-  /// SharedSigmaMemo of `num_threads × memo_capacity` entries, so an
-  /// identical query hits no matter which stripe answered it first. 0 turns
+  /// SharedSigmaMemo of `num_threads × memo_capacity` entries PER DTD, so
+  /// an identical query hits no matter which chunk answered it first (and
+  /// never leaks across DTDs — the canonical key is Σ-only). 0 turns
   /// memoization (and canonical-key hashing) off in every worker.
   size_t memo_capacity = 128;
+  /// Queries per scheduled chunk (0 = auto: enough chunks for ~8 steals
+  /// per worker, so one slow chunk rebalances). Each pool task runs one
+  /// chunk through one REUSED worker session, so a chunk amortizes the
+  /// session-setup cost (skeleton + tableau copy) over its items — the fix
+  /// for tiny items whose per-stripe setup dwarfed their solve time. Chunk
+  /// ranges are contiguous, so two workers never interleave writes within
+  /// a cache line of the result vector.
+  size_t chunk_size = 0;
   /// Per-item wall-clock budget in milliseconds (0 = none). An item whose
   /// check outlives its deadline is recorded kDeadlineExceeded — with the
   /// partial statistics of how far the search got — and the stripe moves on
@@ -67,20 +78,71 @@ struct BatchDegradedStats {
   /// how many of them produced a verdict after all.
   size_t retries = 0;
   size_t retry_rescues = 0;
-  /// Items quarantined with any non-OK status while their stripe kept
+  /// Items quarantined with any non-OK status while their chunk kept
   /// draining (includes the three counters above plus per-item input
   /// errors).
   size_t quarantined = 0;
 };
 
+/// Where one CheckBatch run's time went and how it was scheduled — the
+/// "why doesn't this scale" section of the batch report. All numbers are
+/// aggregated single-threadedly after the pool drains; per-worker session
+/// tallies are merged into `stages`.
+struct BatchRunStats {
+  /// Effective pool width after the query-count and hardware clamps. When
+  /// this is smaller than the requested num_threads the scaling curve is
+  /// flat BY CONSTRUCTION — benches must report it so a 1-core runner's
+  /// speedup ≈ 1.0 reads as a clamp, not a contention mystery.
+  size_t workers = 0;
+  /// HardwareConcurrency() at run time, for the same honesty reason.
+  size_t hardware_threads = 0;
+  /// Scheduled chunks and the resolved items-per-chunk target.
+  size_t chunks = 0;
+  size_t chunk_size = 0;
+  /// Worker sessions constructed vs. chunks served by a reused session —
+  /// sessions_created × session_setup_ms is the amortized setup bill.
+  size_t sessions_created = 0;
+  size_t session_reuses = 0;
+  /// Shared-memo traffic summed over every worker session.
+  size_t memo_hits = 0;
+  size_t memo_misses = 0;
+  size_t memo_evictions = 0;
+  /// Per-stage wall time summed over every worker session (stage_timer.h
+  /// taxonomy: session setup, memo key/lookup/store, solve, result write).
+  /// With W workers busy the stage sums can legitimately approach W × the
+  /// batch wall time.
+  StageTally stages;
+};
+
 /// Answers many consistency queries against one compiled DTD — the batch
-/// shape of Corollary 4.11's fixed-DTD workflow. Worker w handles queries
-/// w, w + N, w + 2N, … with its own SpecSession; the CompiledDtd is shared
-/// read-only (its artifacts are immutable and its frozen DFAs thread-safe).
-/// `degraded`, when non-null, receives the run's degradation tallies.
+/// shape of Corollary 4.11's fixed-DTD workflow. Queries are split into
+/// contiguous chunks scheduled over a work-stealing pool; each chunk runs
+/// through a pooled, reused SpecSession, and the CompiledDtd is shared
+/// read-only (its artifacts are immutable and its frozen DFAs
+/// thread-safe). `degraded` and `run`, when non-null, receive the run's
+/// degradation tallies and scheduling/stage attribution.
 std::vector<BatchItemResult> CheckBatch(
     std::shared_ptr<const CompiledDtd> compiled,
     const std::vector<ConstraintSet>& queries,
-    const BatchOptions& options = {}, BatchDegradedStats* degraded = nullptr);
+    const BatchOptions& options = {}, BatchDegradedStats* degraded = nullptr,
+    BatchRunStats* run = nullptr);
+
+/// One query of a heterogeneous batch: `dtd_index` picks which of the
+/// batch's compiled DTDs `sigma` is checked against.
+struct BatchQuery {
+  size_t dtd_index = 0;
+  ConstraintSet sigma;
+};
+
+/// The multi-DTD batch front-end: many compiled DTDs in flight within one
+/// call, each query routed to its DTD's session pool and per-DTD shared
+/// memo. Chunks never span DTDs (a chunk's session is bound to one
+/// artifact), but chunks of different DTDs run concurrently on the same
+/// worker pool. An out-of-range dtd_index quarantines that item with
+/// kInvalidArgument; the rest of the batch is unaffected.
+std::vector<BatchItemResult> CheckBatchMulti(
+    const std::vector<std::shared_ptr<const CompiledDtd>>& compiled,
+    const std::vector<BatchQuery>& queries, const BatchOptions& options = {},
+    BatchDegradedStats* degraded = nullptr, BatchRunStats* run = nullptr);
 
 }  // namespace xicc

@@ -90,6 +90,18 @@ struct ConsistencyStats {
   /// Memo-cache hits/misses for canonicalized Σ within a session.
   size_t memo_hits = 0;
   size_t memo_misses = 0;
+
+  // Stage attribution (base/stage_timer.h taxonomy) — timing only, never a
+  // verdict. Zero outside the SpecSession / CheckBatch paths.
+  /// Session construction cost (skeleton + tableau copy), charged like
+  /// compile_ms to the session's first answered query.
+  double session_setup_ms = 0.0;  // xicc-lint: allow(exact-arithmetic)
+  /// Rendering + sorting this query's canonical Σ memo key.
+  double memo_key_ms = 0.0;  // xicc-lint: allow(exact-arithmetic)
+  /// Shared-memo lookup: shard lock wait + hold (payload copies excluded).
+  double memo_lookup_ms = 0.0;  // xicc-lint: allow(exact-arithmetic)
+  /// Shared-memo store: payload snapshot + shard lock wait + hold.
+  double memo_store_ms = 0.0;  // xicc-lint: allow(exact-arithmetic)
 };
 
 struct ConsistencyResult {

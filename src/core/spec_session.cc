@@ -201,10 +201,12 @@ Result<std::shared_ptr<const CompiledDtd>> CompileDtd(const Dtd& dtd) {
 
 SharedSigmaMemo::SharedSigmaMemo(size_t capacity, size_t num_shards)
     : capacity_(capacity),
-      num_shards_(num_shards == 0
+      num_shards_(capacity == 0
                       ? 1
-                      : (capacity != 0 && num_shards > capacity ? capacity
-                                                                : num_shards)),
+                      : (num_shards == 0
+                             ? 1
+                             : (num_shards > capacity ? capacity
+                                                      : num_shards))),
       per_shard_capacity_(
           capacity == 0 ? 0 : (capacity + num_shards_ - 1) / num_shards_),
       shards_(new MemoShard[num_shards_]) {}
@@ -213,31 +215,93 @@ SharedSigmaMemo::MemoShard& SharedSigmaMemo::ShardFor(const std::string& key) {
   return shards_[std::hash<std::string>{}(key) % num_shards_];
 }
 
-bool SharedSigmaMemo::Lookup(const std::string& key, ConsistencyResult* out) {
+std::shared_ptr<const ConsistencyResult> SharedSigmaMemo::LookupShared(
+    const std::string& key) {
+  // The capacity-0 bypass: no hashing, no shard touch, no counters — a
+  // memo-off batch must not pay for the machinery it turned off.
+  if (capacity_ == 0) return nullptr;
   MemoShard& shard = ShardFor(key);
-  MutexLock lock(&shard.mu);
-  auto it = shard.entries.find(key);
-  if (it == shard.entries.end()) return false;
-  shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
-  *out = it->second.result;
+  std::shared_ptr<const ConsistencyResult> found;
+  {
+    MutexLock lock(&shard.mu);
+    auto it = shard.entries.find(key);
+    if (it != shard.entries.end()) {
+      // O(1) recency touch — no LRU list to splice under the lock.
+      it->second.stamp = ++shard.clock;
+      found = it->second.result;
+    }
+  }
+  if (found != nullptr) {
+    shard.hits.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    shard.misses.fetch_add(1, std::memory_order_relaxed);
+  }
+  return found;
+}
+
+bool SharedSigmaMemo::Lookup(const std::string& key, ConsistencyResult* out) {
+  std::shared_ptr<const ConsistencyResult> found = LookupShared(key);
+  if (found == nullptr) return false;
+  *out = *found;  // Payload copy outside every lock.
   return true;
 }
 
 size_t SharedSigmaMemo::Store(const std::string& key,
                               const ConsistencyResult& result) {
   if (capacity_ == 0) return 0;
+  // The payload copy (stats, strings, possibly a witness tree) happens
+  // before the lock; a racing duplicate store wastes one copy, which is the
+  // right trade against serializing every reader behind a big memcpy.
+  auto value = std::make_shared<const ConsistencyResult>(result);
   MemoShard& shard = ShardFor(key);
-  MutexLock lock(&shard.mu);
-  if (shard.entries.count(key) > 0) return 0;
   size_t evicted = 0;
-  if (shard.entries.size() >= per_shard_capacity_) {
-    shard.entries.erase(shard.lru.back());
-    shard.lru.pop_back();
-    evicted = 1;
+  bool inserted = false;
+  {
+    MutexLock lock(&shard.mu);
+    auto [it, fresh] = shard.entries.try_emplace(key);
+    inserted = fresh;
+    if (fresh) {
+      it->second.result = std::move(value);
+      it->second.stamp = ++shard.clock;
+      if (shard.entries.size() > per_shard_capacity_) {
+        // Evict the stalest entry (min stamp). O(shard entries), but only
+        // on the insert-at-capacity path — hits never pay for it.
+        auto victim = shard.entries.end();
+        for (auto e = shard.entries.begin(); e != shard.entries.end(); ++e) {
+          if (e == it) continue;
+          if (victim == shard.entries.end() ||
+              e->second.stamp < victim->second.stamp) {
+            victim = e;
+          }
+        }
+        if (victim != shard.entries.end()) {
+          shard.entries.erase(victim);
+          evicted = 1;
+        }
+      }
+    }
   }
-  shard.lru.push_front(key);
-  shard.entries.emplace(key, MemoEntry{result, shard.lru.begin()});
+  if (inserted) {
+    shard.stores.fetch_add(1, std::memory_order_relaxed);
+    if (evicted != 0) shard.evictions.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    shard.duplicate_stores.fetch_add(1, std::memory_order_relaxed);
+  }
   return evicted;
+}
+
+SharedSigmaMemo::Stats SharedSigmaMemo::TotalStats() const {
+  Stats total;
+  for (size_t i = 0; i < num_shards_; ++i) {
+    const MemoShard& shard = shards_[i];
+    total.hits += shard.hits.load(std::memory_order_relaxed);
+    total.misses += shard.misses.load(std::memory_order_relaxed);
+    total.stores += shard.stores.load(std::memory_order_relaxed);
+    total.duplicate_stores +=
+        shard.duplicate_stores.load(std::memory_order_relaxed);
+    total.evictions += shard.evictions.load(std::memory_order_relaxed);
+  }
+  return total;
 }
 
 SpecSession::SpecSession(std::shared_ptr<const CompiledDtd> compiled,
@@ -254,8 +318,12 @@ SpecSession::SpecSession(std::shared_ptr<const CompiledDtd> compiled,
                          std::shared_ptr<SharedSigmaMemo> memo)
     : compiled_(std::move(compiled)),
       options_(options),
-      system_(compiled_->skeleton.system),
       memo_(std::move(memo)) {
+  // The skeleton system + tableau copies are the per-session setup cost the
+  // batch scheduler amortizes over chunks; time them so a batch run can
+  // attribute setup vs. solve (Stage::kSessionSetup in the tally).
+  StageTimer timer(&stage_tally_, Stage::kSessionSetup);
+  system_ = compiled_->skeleton.system;
   warm_.base_tableau = compiled_->skeleton_tableau;
   warm_.valid = compiled_->skeleton_tableau_valid;
   // Every no-verdict exit — Σ-delta or fresh fallback — reports its partial
@@ -275,33 +343,60 @@ Result<ConsistencyResult> SpecSession::Check(const ConstraintSet& sigma) {
 
   // With memoization off the canonical key is never needed — rendering and
   // sorting the combined set is measurable on large Σ, so skip it outright.
+  double memo_key_ms = 0.0;     // xicc-lint: allow(exact-arithmetic)
+  double memo_lookup_ms = 0.0;  // xicc-lint: allow(exact-arithmetic)
   std::string key;
   if (memo_ != nullptr) {
-    key = CanonicalKey(combined);
-    ConsistencyResult hit;
-    if (memo_->Lookup(key, &hit)) {
+    {
+      StageTimer timer(&stage_tally_, Stage::kMemoKey, &memo_key_ms);
+      key = CanonicalKey(combined);
+    }
+    std::shared_ptr<const ConsistencyResult> cached;
+    {
+      // Lock wait + hold + refcount bump; the payload copy below is
+      // deliberately OUTSIDE this timer so memo_lookup_ms is lock time,
+      // not memcpy time.
+      StageTimer timer(&stage_tally_, Stage::kMemoLookup, &memo_lookup_ms);
+      cached = memo_->LookupShared(key);
+    }
+    if (cached != nullptr) {
       ++stats_.memo_hits;
+      ConsistencyResult hit = *cached;
       hit.stats.memo_hits = 1;
       hit.stats.memo_misses = 0;
       hit.stats.compile_ms = 0.0;
+      hit.stats.session_setup_ms = 0.0;
+      hit.stats.memo_key_ms = memo_key_ms;
+      hit.stats.memo_lookup_ms = memo_lookup_ms;
+      hit.stats.memo_store_ms = 0.0;
       return hit;
     }
   }
   ++stats_.memo_misses;
 
   XICC_DCHECK_AUDIT(AuditCompiledDtd(*compiled_));
-  Result<ConsistencyResult> result = CheckUncached(combined);
+  Result<ConsistencyResult> result = [&] {
+    StageTimer timer(&stage_tally_, Stage::kSolve);
+    return CheckUncached(combined);
+  }();
   // The query must leave the shared artifact untouched and the session trail
   // balanced (every push the solve made was popped).
   XICC_DCHECK_AUDIT(AuditCompiledDtd(*compiled_));
   XICC_DCHECK_AUDIT(AuditTrail(system_));
   if (result.ok()) {
     result->stats.memo_misses = 1;
+    result->stats.memo_key_ms = memo_key_ms;
+    result->stats.memo_lookup_ms = memo_lookup_ms;
     if (!charged_compile_) {
       result->stats.compile_ms = compiled_->compile_ms;
+      result->stats.session_setup_ms = stage_tally_.MsFor(Stage::kSessionSetup);
       charged_compile_ = true;
     }
-    if (memo_ != nullptr) stats_.memo_evictions += memo_->Store(key, *result);
+    if (memo_ != nullptr) {
+      StageTimer timer(&stage_tally_, Stage::kMemoStore,
+                       &result->stats.memo_store_ms);
+      stats_.memo_evictions += memo_->Store(key, *result);
+    }
   }
   return result;
 }

@@ -1,12 +1,13 @@
 #pragma once
 
-#include <list>
-#include <map>
+#include <atomic>
 #include <memory>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "base/stage_timer.h"
 #include "base/thread_annotations.h"
 #include "core/consistency.h"
 #include "core/implication.h"
@@ -77,40 +78,75 @@ struct SpecSessionStats {
   size_t memo_evictions = 0;
 };
 
-/// Thread-safe LRU memo of canonicalized-Σ keys → consistency results,
-/// hash-sharded so concurrent sessions (CheckBatch worker stripes) share
-/// cached verdicts without contending on one lock. Each shard is a
-/// cache-line-padded Mutex + map + LRU list; a key lives in exactly the
-/// shard its hash picks, so two lookups collide only when they hash to the
-/// same shard. Capacity is split evenly across shards (per-shard LRU — an
-/// approximation of global LRU that never takes two locks).
+/// Thread-safe memo of canonicalized-Σ keys → consistency results,
+/// hash-sharded so concurrent sessions (CheckBatch worker chunks) share
+/// cached verdicts without contending on one lock. The hot hit path is
+/// read-mostly by construction: entries hold their payload behind a
+/// `shared_ptr<const ConsistencyResult>`, so a Lookup's critical section is
+/// a hash find + an O(1) stamp write + a refcount bump — the payload copy
+/// (method string, stats, possibly a whole witness tree) happens OUTSIDE
+/// the shard lock. Recency is a per-entry stamp from a shard-local clock
+/// (second-chance/CLOCK flavor) instead of an LRU list: no splice, no list
+/// node churn, and eviction pays an O(shard-entries) min-stamp scan only on
+/// the rare insert-at-capacity path. Capacity is split evenly across
+/// shards; hit/miss/store/eviction counters are exact (atomic, never
+/// sampled) so concurrency tests can assert accounting to the last lookup.
 class SharedSigmaMemo {
  public:
+  /// Exact cross-shard totals. hits + misses equals the number of Lookup /
+  /// LookupShared calls against a capacity > 0 memo; a capacity-0 memo
+  /// bypasses shards, hashing, and counters entirely.
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t stores = 0;
+    uint64_t duplicate_stores = 0;
+    uint64_t evictions = 0;
+  };
+
   /// `capacity` = total entries across shards (0 = memoization off);
   /// `num_shards` is clamped to [1, capacity].
-  explicit SharedSigmaMemo(size_t capacity, size_t num_shards = 8);
+  explicit SharedSigmaMemo(size_t capacity, size_t num_shards = 16);
 
   size_t capacity() const { return capacity_; }
 
-  /// Copies the cached result into `*out` and refreshes the entry's LRU
-  /// position; false on miss.
+  /// The read-mostly hit path: returns the cached payload (shared,
+  /// immutable) or null on miss. The shard lock covers O(1) work only.
+  std::shared_ptr<const ConsistencyResult> LookupShared(
+      const std::string& key);
+
+  /// Copies the cached result into `*out`; false on miss. The copy is made
+  /// outside every lock (convenience wrapper over LookupShared).
   bool Lookup(const std::string& key, ConsistencyResult* out);
 
   /// Inserts (first writer wins — a duplicate store is a no-op, the results
-  /// are identical by determinism). Returns the number of entries evicted
-  /// (0 or 1) so callers can tally evictions.
+  /// are identical by determinism). The payload copy is made before the
+  /// shard lock is taken. Returns the number of entries evicted (0 or 1)
+  /// so callers can tally evictions.
   size_t Store(const std::string& key, const ConsistencyResult& result);
+
+  /// Sums the per-shard counters. Exact at quiescence (no in-flight
+  /// Lookup/Store), which is when tests and stats reporters read it.
+  Stats TotalStats() const;
 
  private:
   struct MemoEntry {
-    ConsistencyResult result;
-    std::list<std::string>::iterator lru_pos;
+    std::shared_ptr<const ConsistencyResult> result;
+    /// Shard-clock value of the last touch; the insert-at-capacity scan
+    /// evicts the minimum (approximate LRU without list maintenance).
+    uint64_t stamp = 0;
   };
   /// Padded to a cache line: adjacent shards' mutexes must not false-share.
   struct alignas(64) MemoShard {
     Mutex mu;
-    std::map<std::string, MemoEntry> entries XICC_GUARDED_BY(mu);
-    std::list<std::string> lru XICC_GUARDED_BY(mu);  // Front = most recent.
+    std::unordered_map<std::string, MemoEntry> entries XICC_GUARDED_BY(mu);
+    uint64_t clock XICC_GUARDED_BY(mu) = 0;
+    /// Exact accounting, bumped outside the lock (atomics lose nothing).
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+    std::atomic<uint64_t> stores{0};
+    std::atomic<uint64_t> duplicate_stores{0};
+    std::atomic<uint64_t> evictions{0};
   };
 
   MemoShard& ShardFor(const std::string& key);
@@ -170,6 +206,14 @@ class SpecSession {
   /// pivots, and search levels the stopped check got through. Meaningful
   /// only immediately after a failed Check/Implies.
   const ConsistencyStats& LastPartialStats() const { return last_partial_; }
+
+  /// Session-cumulative per-stage wall-time attribution: setup (skeleton +
+  /// tableau copy), memo key rendering, memo lookup/store lock time, solve.
+  /// CheckBatch merges worker sessions' tallies into its BatchRunStats; the
+  /// non-const overload lets the batch front-end charge its own stages
+  /// (result writes) to the session doing the work.
+  const StageTally& stage_tally() const { return stage_tally_; }
+  StageTally& stage_tally() { return stage_tally_; }
 
   /// Consistency of committed() ∪ `sigma` over the compiled DTD. Same
   /// dispatch as CheckConsistency (Figure 5), with the NP cells answered by
@@ -242,6 +286,9 @@ class SpecSession {
   std::shared_ptr<SharedSigmaMemo> memo_;
 
   SpecSessionStats stats_;
+  /// Per-stage wall-time tally (see stage_tally()). Single-owner: the
+  /// session is not thread-safe, so neither is its tally.
+  StageTally stage_tally_;
   /// Sink for no-verdict statistics (see LastPartialStats); options_'s
   /// partial_stats pointer is re-aimed here at construction so the fresh
   /// CheckConsistency fallback fills it too.

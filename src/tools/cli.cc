@@ -34,7 +34,7 @@ constexpr const char* kUsage = R"(usage: xicc <command> ...
   check    <dtd> <constraints> [--witness FILE] [--min-nodes N] [--big-m]
            [--stats] [--timeout-ms N] [--cancel-after N]
            Is the specification consistent? (exit 0 yes / 1 no)
-  batch    <dtd> <queries> [--threads N] [--big-m] [--stats]
+  batch    <dtd> <queries> [--threads N] [--chunk N] [--big-m] [--stats]
            [--timeout-ms N] [--cancel-after N]
            Answer many consistency queries against one compiled DTD.
            <queries> holds constraint blocks separated by lines of `---`;
@@ -202,6 +202,9 @@ void PrintStats(const ConsistencyStats& stats, std::ostream& out) {
   out << "session:    compile " << stats.compile_ms << " ms, "
       << stats.sigma_delta_checks << " sigma-delta, " << stats.memo_hits
       << " memo hits, " << stats.memo_misses << " memo misses\n";
+  out << "stages:     setup " << stats.session_setup_ms << " ms, memo key "
+      << stats.memo_key_ms << " ms, lookup " << stats.memo_lookup_ms
+      << " ms, store " << stats.memo_store_ms << " ms\n";
 }
 
 int CmdCheck(const std::vector<std::string>& args, std::ostream& out,
@@ -312,6 +315,7 @@ int CmdBatch(const std::vector<std::string>& args, std::ostream& out,
              std::ostream& err) {
   auto parsed = ParseArgs(args, 1,
                           {{"--threads", true},
+                           {"--chunk", true},
                            {"--big-m", false},
                            {"--stats", false},
                            {"--timeout-ms", true},
@@ -361,6 +365,16 @@ int CmdBatch(const std::vector<std::string>& args, std::ostream& out,
     }
     options.num_threads = static_cast<size_t>(n);
   }
+  auto chunk_flag = parsed->flags.find("--chunk");
+  if (chunk_flag != parsed->flags.end()) {
+    char* end = nullptr;
+    long n = std::strtol(chunk_flag->second.c_str(), &end, 10);
+    if (end == chunk_flag->second.c_str() || *end != '\0' || n < 1) {
+      err << "--chunk needs a positive integer\n";
+      return kError;
+    }
+    options.chunk_size = static_cast<size_t>(n);
+  }
   StopPlumbing plumbing;
   Status armed = plumbing.Arm(*parsed);
   if (!armed.ok()) {
@@ -376,8 +390,9 @@ int CmdBatch(const std::vector<std::string>& args, std::ostream& out,
     return kError;
   }
   BatchDegradedStats degraded;
+  BatchRunStats run;
   std::vector<BatchItemResult> results =
-      CheckBatch(*compiled, queries, options, &degraded);
+      CheckBatch(*compiled, queries, options, &degraded, &run);
 
   bool any_error = false;
   bool all_consistent = true;
@@ -441,6 +456,19 @@ int CmdBatch(const std::vector<std::string>& args, std::ostream& out,
         << " cancelled, " << degraded.resource_exhausted << " exhausted), "
         << degraded.retries << " retries / " << degraded.retry_rescues
         << " rescued\n";
+    out << "schedule:   " << run.workers << " workers (hardware "
+        << run.hardware_threads << "), " << run.chunks << " chunks of "
+        << run.chunk_size << ", " << run.sessions_created
+        << " sessions created / " << run.session_reuses << " reused, memo "
+        << run.memo_hits << " hits / " << run.memo_misses << " misses / "
+        << run.memo_evictions << " evicted\n";
+    out << "stages:    ";
+    for (size_t s = 0; s < static_cast<size_t>(Stage::kCount); ++s) {
+      const Stage stage = static_cast<Stage>(s);
+      out << " " << StageName(stage) << " " << run.stages.MsFor(stage)
+          << " ms";
+    }
+    out << "\n";
   }
   if (any_error) return kError;
   return all_consistent ? kOk : kNegative;

@@ -212,6 +212,75 @@ ConstraintSet RandomUnarySigma(const Dtd& dtd, uint64_t seed, size_t keys,
   return sigma;
 }
 
+std::vector<ConstraintSet> SigmaDeltaBatch(const Dtd& dtd, uint64_t seed,
+                                           size_t count,
+                                           size_t min_constraints,
+                                           size_t max_constraints,
+                                           size_t dup_percent) {
+  assert(min_constraints >= 1 && max_constraints >= min_constraints);
+  assert(dup_percent <= 100);
+  std::mt19937_64 rng(seed);
+  std::vector<std::pair<std::string, std::string>> pairs =
+      dtd.AllAttributePairs();
+  std::vector<ConstraintSet> batch;
+  batch.reserve(count);
+  if (pairs.empty()) return batch;
+  std::uniform_int_distribution<size_t> pair_dist(0, pairs.size() - 1);
+  std::uniform_int_distribution<size_t> size_dist(min_constraints,
+                                                  max_constraints);
+  std::uniform_int_distribution<size_t> pct(0, 99);
+  for (size_t q = 0; q < count; ++q) {
+    if (!batch.empty() && pct(rng) < dup_percent) {
+      std::uniform_int_distribution<size_t> prev(0, batch.size() - 1);
+      batch.push_back(batch[prev(rng)]);
+      continue;
+    }
+    ConstraintSet sigma;
+    const size_t total = size_dist(rng);
+    // Roughly half keys, half foreign keys; at least one key so the FK
+    // targets have a chance of being keyed (the realistic NP-cell shape).
+    const size_t keys = total / 2 + 1;
+    for (size_t i = 0; i < keys && sigma.constraints().size() < total; ++i) {
+      const auto& [type, attr] = pairs[pair_dist(rng)];
+      sigma.Add(Constraint::Key(type, {attr}));
+    }
+    while (sigma.constraints().size() < total) {
+      const auto& [type1, attr1] = pairs[pair_dist(rng)];
+      const auto& [type2, attr2] = pairs[pair_dist(rng)];
+      sigma.Add(Constraint::ForeignKey(type1, {attr1}, type2, {attr2}));
+    }
+    batch.push_back(std::move(sigma));
+  }
+  return batch;
+}
+
+MultiDtdBatchWorkload MultiDtdBatch(uint64_t seed, size_t dtd_count,
+                                    size_t queries_per_dtd) {
+  assert(dtd_count >= 1);
+  MultiDtdBatchWorkload workload;
+  workload.dtds.reserve(dtd_count);
+  std::vector<std::vector<ConstraintSet>> per_dtd(dtd_count);
+  for (size_t d = 0; d < dtd_count; ++d) {
+    // Alternate the two naturalistic families at growing sizes so the DTDs
+    // genuinely differ (different element names, different skeleton sizes).
+    Dtd dtd = (d % 2 == 0) ? CatalogDtd(2 + d) : AuctionDtd(1 + d / 2);
+    per_dtd[d] = SigmaDeltaBatch(dtd, seed + d, queries_per_dtd,
+                                 /*min_constraints=*/1, /*max_constraints=*/4,
+                                 /*dup_percent=*/25);
+    workload.dtds.push_back(std::move(dtd));
+  }
+  // Round-robin interleave, so consecutive queries usually target different
+  // DTDs and the batch scheduler has to regroup them into per-DTD chunks.
+  for (size_t q = 0; q < queries_per_dtd; ++q) {
+    for (size_t d = 0; d < dtd_count; ++d) {
+      if (q < per_dtd[d].size()) {
+        workload.queries.emplace_back(d, std::move(per_dtd[d][q]));
+      }
+    }
+  }
+  return workload;
+}
+
 BinaryLipInstance RandomLip(uint64_t seed, size_t rows, size_t cols,
                             size_t ones_per_row) {
   assert(cols >= 1 && ones_per_row >= 1 && ones_per_row <= cols);

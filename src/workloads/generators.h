@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "constraints/constraint.h"
@@ -55,6 +56,30 @@ Dtd RandomDtd(uint64_t seed, size_t elements, size_t attrs_per_element);
 /// `fks` unary foreign keys over randomly chosen attribute pairs.
 ConstraintSet RandomUnarySigma(const Dtd& dtd, uint64_t seed, size_t keys,
                                size_t fks);
+
+/// Seeded batch of Σ-deltas over one DTD — the CheckBatch scaling workload.
+/// Sizes are mixed on purpose (|Σ| drawn uniformly from
+/// [min_constraints, max_constraints], keys and foreign keys mixed), so a
+/// batch contains both tiny items that stress per-item overhead and larger
+/// items that stress the solver. `dup_percent` of the items (0–100) repeat
+/// an earlier item verbatim, giving the shared memo a realistic hit mix.
+std::vector<ConstraintSet> SigmaDeltaBatch(const Dtd& dtd, uint64_t seed,
+                                           size_t count,
+                                           size_t min_constraints,
+                                           size_t max_constraints,
+                                           size_t dup_percent);
+
+/// Heterogeneous batch input: several DTDs with queries routed to each —
+/// the CheckBatchMulti workload. `queries` pairs a DTD index with its Σ;
+/// query order interleaves the DTDs round-robin so chunking has to split
+/// per DTD. Kept core-free (plain indices, not core/batch.h types) so the
+/// workload library stays usable from benches and tests alike.
+struct MultiDtdBatchWorkload {
+  std::vector<Dtd> dtds;
+  std::vector<std::pair<size_t, ConstraintSet>> queries;
+};
+MultiDtdBatchWorkload MultiDtdBatch(uint64_t seed, size_t dtd_count,
+                                    size_t queries_per_dtd);
 
 /// A 0/1 linear system A·x = 1 (every row sums to exactly one over chosen
 /// columns) — the LIP variant of Theorem 4.7.

@@ -8,7 +8,9 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "constraints/evaluator.h"
@@ -406,6 +408,119 @@ TEST(SpecSessionTest, EmptyLanguageDtdCompilesAndAnswers) {
   ASSERT_TRUE(via_session.ok());
   EXPECT_FALSE(via_session->consistent);
   EXPECT_EQ(fresh->explanation, via_session->explanation);
+}
+
+TEST(SpecSessionMemoTest, ConcurrentStressKeepsExactAccounting) {
+  // 16 threads hammer one small sharded memo with colliding keys — hits,
+  // misses, stores, duplicate stores, and evictions all in flight at once.
+  // The memo's counters are exact by contract (atomic, never sampled), so
+  // at quiescence the books must balance to the last operation, and every
+  // payload ever returned must match the key it was stored under. TSan
+  // runs this binary in CI, so the lock-free-read path is exercised under
+  // the race detector, not just under load.
+  constexpr size_t kThreads = 16;
+  constexpr size_t kOpsPerThread = 400;
+  constexpr size_t kKeySpace = 48;
+  // Capacity far below the key space, few shards: every shard sees
+  // insert-at-capacity evictions while other threads read it.
+  SharedSigmaMemo memo(/*capacity=*/12, /*num_shards=*/4);
+
+  std::vector<size_t> lookups(kThreads, 0);
+  std::vector<size_t> observed_hits(kThreads, 0);
+  std::vector<size_t> store_attempts(kThreads, 0);
+  std::vector<std::string> payload_errors(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t op = 0; op < kOpsPerThread; ++op) {
+        // Deterministic per-thread walk over a shared key space; odd ops
+        // store, even ops look up, so both paths interleave on every key.
+        const size_t k = (t * 131 + op * 17) % kKeySpace;
+        const std::string key = "sigma-" + std::to_string(k);
+        if (op % 2 == 0) {
+          ++lookups[t];
+          std::shared_ptr<const ConsistencyResult> found =
+              memo.LookupShared(key);
+          if (found != nullptr) {
+            ++observed_hits[t];
+            if (found->explanation != key) {
+              payload_errors[t] = "key " + key + " returned payload for " +
+                                  found->explanation;
+              return;
+            }
+          }
+        } else {
+          ++store_attempts[t];
+          ConsistencyResult result;
+          result.consistent = true;
+          result.explanation = key;  // Payload-integrity marker.
+          memo.Store(key, result);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  size_t total_lookups = 0, total_observed_hits = 0, total_stores = 0;
+  for (size_t t = 0; t < kThreads; ++t) {
+    EXPECT_TRUE(payload_errors[t].empty())
+        << "thread " << t << ": " << payload_errors[t];
+    total_lookups += lookups[t];
+    total_observed_hits += observed_hits[t];
+    total_stores += store_attempts[t];
+  }
+  const SharedSigmaMemo::Stats stats = memo.TotalStats();
+  // Exact accounting: every lookup is a hit or a miss, every store attempt
+  // an insert or a duplicate, and what the threads saw is what was counted.
+  EXPECT_EQ(stats.hits + stats.misses, total_lookups);
+  EXPECT_EQ(stats.hits, total_observed_hits);
+  EXPECT_EQ(stats.stores + stats.duplicate_stores, total_stores);
+  // Far more inserts than capacity → evictions must have happened, and
+  // never more than there were inserts.
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_LE(stats.evictions, stats.stores);
+  // The colliding key space guarantees both hits and duplicate stores.
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.duplicate_stores, 0u);
+}
+
+TEST(SpecSessionMemoTest, CapacityZeroBypassesFromEveryWorker) {
+  // The PR-4 contract, now under concurrency: a capacity-0 memo is a true
+  // bypass — no shard locks, no hashing, no counters — no matter how many
+  // workers hit it at once. Every lookup must miss, every store must be a
+  // no-op, and the books must read all-zero afterwards (a nonzero counter
+  // would mean the bypass path regressed into touching shard state).
+  constexpr size_t kThreads = 16;
+  SharedSigmaMemo memo(/*capacity=*/0);
+  EXPECT_EQ(memo.capacity(), 0u);
+
+  std::vector<int> saw_phantom(kThreads, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t op = 0; op < 200; ++op) {
+        const std::string key = "k" + std::to_string(op % 8);
+        ConsistencyResult result;
+        result.explanation = key;
+        if (memo.Store(key, result) != 0) saw_phantom[t] = 1;
+        if (memo.LookupShared(key) != nullptr) saw_phantom[t] = 1;
+        ConsistencyResult out;
+        if (memo.Lookup(key, &out)) saw_phantom[t] = 1;
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (size_t t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(saw_phantom[t], 0) << "thread " << t;
+  }
+  const SharedSigmaMemo::Stats stats = memo.TotalStats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.stores, 0u);
+  EXPECT_EQ(stats.duplicate_stores, 0u);
+  EXPECT_EQ(stats.evictions, 0u);
 }
 
 }  // namespace
