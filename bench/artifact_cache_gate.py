@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""CI gate on artifact warm-start: parity is absolute, speedup is floored.
+
+Reads the `artifact_warm` rows of BENCH_incremental.json (one row per bench
+DTD family, carrying artifact_bytes, cold_compile_ms, warm_load_ms,
+speedup_x, source, format_version, verdicts_identical) and fails the build
+if the persistence layer's contract broke:
+
+1. PARITY (hard, every row): `verdicts_identical` must be true — a decoded
+   artifact that checks a Σ differently from a fresh compile is silent
+   corruption of the checker itself, and no speedup excuses it.
+
+2. LOAD PATH (hard, every row): `source` must be "mmap" or "disk-cache".
+   A "cold" source means the store/load cycle silently fell back to
+   recompilation, which would make every timing below meaningless.
+
+3. SPEEDUP FLOOR (hard): every row must load at least MIN_SPEEDUP_ALL (3x)
+   faster than cold compile, and every LARGE family — artifact above
+   LARGE_BYTES (16 MiB), where fixed per-load costs (open, mmap, header
+   validation) are fully amortized — must reach LARGE_SPEEDUP_FLOOR (10x).
+   Small DTDs legitimately sit lower: cold compile grows superlinearly in
+   DTD size while artifact load grows ~linearly, so the ratio the cache
+   exists for shows up at scale (catalog-64 measures 14-15x; mid-size
+   families hover near 10x, too close to the line to gate without making
+   CI flaky on timer noise). A large family under 10x means a per-byte
+   cost crept into the warm path (checksum slowdown, a decode loop gone
+   quadratic, an accidental deep verify).
+
+Usage: artifact_cache_gate.py [BENCH_incremental.json]
+"""
+
+import json
+import sys
+
+MIN_SPEEDUP_ALL = 3.0
+LARGE_SPEEDUP_FLOOR = 10.0
+LARGE_BYTES = 16 * 1024 * 1024
+
+REQUIRED_FIELDS = (
+    "dtd",
+    "artifact_bytes",
+    "cold_compile_ms",
+    "warm_load_ms",
+    "speedup_x",
+    "source",
+    "verdicts_identical",
+)
+
+
+def main() -> int:
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_incremental.json"
+    with open(path) as fh:
+        report = json.load(fh)
+
+    rows = [
+        r for r in report.get("rows", []) if r.get("section") == "artifact_warm"
+    ]
+    if not rows:
+        print(
+            f"error: {path} has no `artifact_warm` rows — bench_incremental's "
+            "warm-start section didn't run",
+            file=sys.stderr,
+        )
+        return 2
+
+    status = 0
+    large_rows = 0
+    for row in rows:
+        missing = [f for f in REQUIRED_FIELDS if f not in row]
+        if missing:
+            print(
+                f"FAIL: artifact_warm row {row.get('dtd', '?')} is missing "
+                f"fields {missing} — the bench and the gate have drifted.",
+                file=sys.stderr,
+            )
+            status = 1
+            continue
+
+        large = row["artifact_bytes"] >= LARGE_BYTES
+        large_rows += large
+        print(
+            f"  {row['dtd']}: {row['artifact_bytes'] / 1e6:.2f} MB, "
+            f"cold {row['cold_compile_ms']:.2f} ms -> warm "
+            f"{row['warm_load_ms']:.2f} ms ({row['speedup_x']:.2f}x, "
+            f"source={row['source']}{', large' if large else ''})"
+        )
+
+        if not row["verdicts_identical"]:
+            print(
+                f"FAIL: {row['dtd']} loaded artifact produced different "
+                "verdicts than a fresh compile — the persistence layer is "
+                "corrupting the checker; nothing else in this gate matters "
+                "until parity is restored.",
+                file=sys.stderr,
+            )
+            status = 1
+        if row["source"] not in ("mmap", "disk-cache"):
+            print(
+                f"FAIL: {row['dtd']} warm load reported source "
+                f"'{row['source']}' — the store/load cycle fell back to "
+                "recompilation instead of reading the artifact.",
+                file=sys.stderr,
+            )
+            status = 1
+        if row["speedup_x"] < MIN_SPEEDUP_ALL:
+            print(
+                f"FAIL: {row['dtd']} warm load is only {row['speedup_x']:.2f}x "
+                f"faster than cold compile (floor {MIN_SPEEDUP_ALL}x for every "
+                "family) — a fixed cost bloated the load path.",
+                file=sys.stderr,
+            )
+            status = 1
+        if large and row["speedup_x"] < LARGE_SPEEDUP_FLOOR:
+            print(
+                f"FAIL: {row['dtd']} ({row['artifact_bytes'] / 1e6:.2f} MB) "
+                f"warm load is {row['speedup_x']:.2f}x, below the "
+                f"{LARGE_SPEEDUP_FLOOR}x floor for large artifacts — a "
+                "per-byte cost crept into the warm path (checksum, decode "
+                "loop, or an accidental deep verify).",
+                file=sys.stderr,
+            )
+            status = 1
+
+    if large_rows == 0:
+        print(
+            "FAIL: no artifact_warm row is large enough "
+            f"(>= {LARGE_BYTES / 1e6:.0f} MB) to exercise the "
+            f"{LARGE_SPEEDUP_FLOOR}x floor — the bench families shrank.",
+            file=sys.stderr,
+        )
+        status = 1
+
+    if status == 0:
+        print(
+            f"OK: {len(rows)} families at parity, all >= {MIN_SPEEDUP_ALL}x, "
+            f"{large_rows} large families >= {LARGE_SPEEDUP_FLOOR}x"
+        )
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,12 +6,17 @@
 // counts if both sides answer the same thing — and the speedup column is the
 // headline number for EXPERIMENTS.md.
 
+#include <unistd.h>
+
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "core/artifact.h"
+#include "core/artifact_cache.h"
 #include "core/batch.h"
 #include "core/consistency.h"
 #include "core/incremental.h"
@@ -362,6 +367,83 @@ void RunDeadlineDegradation(bench::JsonReport& report) {
       .Set("wall_ms", wall_ms);
 }
 
+/// Cold-vs-artifact-warm startup: CompileDtd from scratch vs loading the
+/// persisted artifact (core/artifact.h) for the same DTD. The loaded bundle
+/// must answer a representative Σ with the same verdict as a fresh check
+/// (parity is asserted, not sampled), and the speedup column is what the CI
+/// artifact-cache gate (bench/artifact_cache_gate.py) enforces a floor on.
+void RunArtifactWarmStart(bench::JsonReport& report) {
+  bench::Header("artifact warm start: cold CompileDtd vs persisted artifact");
+  char dir_template[] = "/tmp/xicc-bench-artifacts.XXXXXX";
+  const char* dir = ::mkdtemp(dir_template);
+  if (dir == nullptr) std::abort();
+
+  std::printf("%12s %10s %12s %12s %10s %8s\n", "dtd", "bytes", "cold(ms)",
+              "warm(ms)", "speedup", "source");
+  struct Family {
+    const char* name;
+    Dtd dtd;
+    uint64_t seed;
+  };
+  std::vector<Family> families;
+  families.push_back({"catalog-8", workloads::CatalogDtd(8), 23});
+  families.push_back({"catalog-16", workloads::CatalogDtd(16), 31});
+  families.push_back({"catalog-32", workloads::CatalogDtd(32), 37});
+  families.push_back({"catalog-64", workloads::CatalogDtd(64), 43});
+  families.push_back({"auction-4", workloads::AuctionDtd(4), 47});
+  families.push_back({"auction-32", workloads::AuctionDtd(32), 53});
+  for (Family& family : families) {
+    double cold_ms = bench::BestTimeMs(3, [&] {
+      auto compiled = CompileDtd(family.dtd);
+      if (!compiled.ok()) std::abort();
+    });
+
+    const std::string path =
+        std::string(dir) + "/" + ArtifactFileName(family.dtd);
+    {
+      auto compiled = CompileDtd(family.dtd);
+      if (!compiled.ok()) std::abort();
+      if (!StoreCompiledDtd(**compiled, path).ok()) std::abort();
+    }
+
+    ArtifactLoadInfo info;
+    std::shared_ptr<const CompiledDtd> loaded;
+    double warm_ms = bench::BestTimeMs(5, [&] {
+      auto r = LoadCompiledDtd(path, &info);
+      if (!r.ok()) std::abort();
+      loaded = std::move(*r);
+    });
+
+    // Parity: the loaded bundle must answer like a fresh pipeline.
+    ConstraintSet sigma =
+        workloads::RandomUnarySigma(family.dtd, family.seed, 4, 4);
+    ConsistencyOptions check;
+    check.build_witness = false;
+    auto fresh = CheckConsistency(family.dtd, sigma, check);
+    if (!fresh.ok()) std::abort();
+    SpecSession session(loaded, check);
+    auto warm = session.Check(sigma);
+    if (!warm.ok()) std::abort();
+    if (warm->consistent != fresh->consistent) std::abort();
+
+    double speedup = warm_ms > 0 ? cold_ms / warm_ms : 0.0;
+    const char* source = info.mmap ? "mmap" : "disk-cache";
+    std::printf("%12s %10zu %12.3f %12.3f %9.2fx %8s\n", family.name,
+                info.bytes, cold_ms, warm_ms, speedup, source);
+    report.AddRow("artifact_warm")
+        .Set("dtd", family.name)
+        .Set("artifact_bytes", info.bytes)
+        .Set("cold_compile_ms", cold_ms)
+        .Set("warm_load_ms", warm_ms)
+        .Set("speedup_x", speedup)
+        .Set("source", source)
+        .Set("format_version", static_cast<size_t>(kArtifactFormatVersion))
+        .Set("verdicts_identical", true);
+    std::remove(path.c_str());
+  }
+  ::rmdir(dir);
+}
+
 void RunMemoAblation(bench::JsonReport& report) {
   bench::Header("memo: repeated Σ within a session, capacity 0 vs 128");
   Dtd dtd = workloads::CatalogDtd(6);
@@ -408,6 +490,7 @@ int main() {
       "one build plus n deltas.\n");
   xicc::bench::JsonReport report("incremental");
   xicc::RunAuthoringAblation(report);
+  xicc::RunArtifactWarmStart(report);
   xicc::RunBatchAblation(report);
   xicc::RunLargeBatchScaling(report);
   xicc::RunMultiDtdBatch(report);

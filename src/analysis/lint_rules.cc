@@ -375,6 +375,11 @@ const std::vector<LintRuleInfo>& LintRules() {
        "no raw sleeps or unbounded CondVar waits outside the sanctioned "
        "base/ blocking primitives (worksteal, deadline, thread_annotations)",
        false},
+      {"raw-deserialization",
+       "no memcpy-into-struct or reinterpret_cast decoding outside "
+       "base/serde — bytes become values only through its bounds-checked, "
+       "checksummed readers",
+       false},
       {"void-discard", "no (void) swallowing of call results", false},
       {"pragma-once", "headers open with #pragma once", true},
       {"include-layering", "quoted includes respect the layer order", false},
@@ -442,6 +447,21 @@ std::vector<LintIssue> LintFile(const std::string& rel_path,
                  "with base/deadline.h SleepFor, wait inside "
                  "base/worksteal.h, or bound the wait with CondVar::WaitFor "
                  "in base/"},
+                rel_path, &out);
+  }
+  // Byte reinterpretation is quarantined in base/serde: its Reader/Cursor
+  // validate bounds, alignment, and checksums before any typed view is
+  // handed out, so a memcpy-into-struct or reinterpret_cast decode anywhere
+  // else is an unaudited parser — exactly how a corrupt artifact would turn
+  // from a clean kInvalidArgument into UB.
+  if (!dir.empty() && rel_path != "src/base/serde.h" &&
+      rel_path != "src/base/serde.cc") {
+    CheckTokens(lines,
+                {"raw-deserialization",
+                 {"memcpy", "std::memcpy", "reinterpret_cast"},
+                 "outside base/serde: deserialize through serde::Cursor / "
+                 "serde::Reader (bounds-checked, checksummed) instead of raw "
+                 "byte reinterpretation"},
                 rel_path, &out);
   }
   CheckVoidDiscard(lines, rel_path, &out);

@@ -21,6 +21,10 @@ namespace xicc {
 ///                      src/base/ — concurrency goes through the annotated
 ///                      primitives in base/thread_annotations.h so Clang
 ///                      thread-safety analysis sees every lock.
+///   raw-deserialization  no memcpy-into-struct or reinterpret_cast
+///                      decoding outside src/base/serde.{h,cc} — bytes
+///                      become structured values only through the
+///                      bounds-checked, checksummed serde readers.
 ///   void-discard       no `(void)Call(...)` swallowing of return values:
 ///                      Status / Result<T> are [[nodiscard]], and a cast
 ///                      that mutes the compiler must instead carry an

@@ -348,6 +348,28 @@ class Num {
   /// "7" for integers, "7/3" otherwise — same grammar as Rational.
   std::string ToString() const;
 
+  /// Serialization access (core/artifact): when small, stores the canonical
+  /// (numerator, denominator) words and returns true; big-tier values
+  /// return false and serialize via ToString.
+  bool SmallWords(int64_t* n, int64_t* d) const {
+    if (!is_small()) return false;
+    *n = n_;
+    *d = d_;
+    return true;
+  }
+
+  /// Trusted deserialization entry (core/artifact): (n, d) must be the
+  /// canonical small-tier words previously produced by SmallWords — d > 0,
+  /// gcd(|n|, d) == 1, n != INT64_MIN. The caller validates the cheap word
+  /// invariants before calling (artifact checksums make a violation
+  /// unreachable from disk corruption); full canonicality is re-audited in
+  /// XICC_AUDIT builds only, keeping warm loads free of gcd work.
+  static Num FromCanonicalWords(int64_t n, int64_t d) {
+    Num out(n, d, RawTag());
+    XICC_DCHECK(out.RepOk());
+    return out;
+  }
+
   /// Representation invariant, for the XICC_AUDIT tableau auditor: the
   /// small tier is canonical and excludes INT64_MIN; the big tier holds
   /// only values that genuinely need it (a demotable big is a rep bug).

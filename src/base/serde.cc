@@ -1,0 +1,468 @@
+#include "base/serde.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <utility>
+
+#include "base/debug.h"
+
+namespace xicc::serde {
+
+// Flat sections store host-layout records; the format is defined as
+// little-endian. Every supported target (x86-64, aarch64) is LE — a
+// big-endian port would add per-field record encoders here.
+static_assert(std::endian::native == std::endian::little,
+              "base/serde flat sections require a little-endian host");
+
+uint64_t Fnv1a64(const void* data, size_t size, uint64_t seed) {
+  constexpr uint64_t kPrime = 1099511628211ULL;
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= p[i];
+    h *= kPrime;
+  }
+  return h;
+}
+
+uint64_t SectionDigest(const void* data, size_t size) {
+  constexpr uint64_t kPrime = 1099511628211ULL;
+  const auto* p = static_cast<const unsigned char*>(data);
+  // Lane seeds differ so a 64-byte block of zeros in a different lane
+  // rotation cannot alias; each lane is plain word-granular FNV-1a. Eight
+  // lanes keep the multiply ports saturated despite the 5-cycle latency of
+  // each lane's dependency chain.
+  uint64_t lane[8];
+  for (int k = 0; k < 8; ++k) lane[k] = kFnvOffsetBasis + k;
+  size_t i = 0;
+  for (; i + 64 <= size; i += 64) {
+    uint64_t w[8];
+    std::memcpy(w, p + i, 64);
+    for (int k = 0; k < 8; ++k) {
+      lane[k] ^= w[k];
+      lane[k] *= kPrime;
+    }
+  }
+  uint64_t h = Fnv1a64(lane, sizeof(lane));
+  // Tail (< 64 bytes) plus the total size, so payloads differing only in
+  // trailing zeros cannot collide.
+  h = Fnv1a64(p + i, size - i, h);
+  const uint64_t total = size;
+  return Fnv1a64(&total, sizeof(total), h);
+}
+
+namespace {
+
+void AppendU32(std::string* out, uint32_t v) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+  out->push_back(static_cast<char>((v >> 16) & 0xff));
+  out->push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  AppendU32(out, static_cast<uint32_t>(v & 0xffffffffULL));
+  AppendU32(out, static_cast<uint32_t>(v >> 32));
+}
+
+uint32_t DecodeU32(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<uint32_t>(b[0]) | (static_cast<uint32_t>(b[1]) << 8) |
+         (static_cast<uint32_t>(b[2]) << 16) |
+         (static_cast<uint32_t>(b[3]) << 24);
+}
+
+uint64_t DecodeU64(const char* p) {
+  return static_cast<uint64_t>(DecodeU32(p)) |
+         (static_cast<uint64_t>(DecodeU32(p + 4)) << 32);
+}
+
+uint64_t Align8(uint64_t n) { return (n + 7) & ~uint64_t{7}; }
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Writer
+
+Writer::Writer(const char* magic, uint32_t version, uint64_t content_key)
+    : version_(version), content_key_(content_key) {
+  std::memcpy(magic_, magic, kMagicSize);
+}
+
+void Writer::BeginSection(uint32_t tag) {
+  XICC_DCHECK(!in_section_);
+  // Sections start 8-aligned so flat arrays inside them can rely on the
+  // payload base alignment (header + table are multiples of 8).
+  while (payload_.size() % 8 != 0) payload_.push_back('\0');
+  in_section_ = true;
+  section_start_ = payload_.size();
+  sections_.push_back(Section{tag, section_start_, 0, 0, 0});
+}
+
+void Writer::EndSection() {
+  XICC_DCHECK(in_section_);
+  in_section_ = false;
+  Section& sec = sections_.back();
+  sec.size = payload_.size() - section_start_;
+  // Digest coverage includes the trailing alignment padding, so every
+  // payload byte of the finished container is protected by some checksum.
+  while (payload_.size() % 8 != 0) payload_.push_back('\0');
+  sec.padded_size = payload_.size() - section_start_;
+  sec.digest =
+      SectionDigest(payload_.data() + section_start_, sec.padded_size);
+}
+
+void Writer::U8(uint8_t v) {
+  XICC_DCHECK(in_section_);
+  payload_.push_back(static_cast<char>(v));
+}
+
+void Writer::U32(uint32_t v) {
+  XICC_DCHECK(in_section_);
+  AppendU32(&payload_, v);
+}
+
+void Writer::U64(uint64_t v) {
+  XICC_DCHECK(in_section_);
+  AppendU64(&payload_, v);
+}
+
+void Writer::Str(std::string_view s) {
+  U32(static_cast<uint32_t>(s.size()));
+  RawBytes(s);
+}
+
+void Writer::RawBytes(std::string_view bytes) {
+  XICC_DCHECK(in_section_);
+  payload_.append(bytes.data(), bytes.size());
+}
+
+void Writer::AlignTo8() {
+  XICC_DCHECK(in_section_);
+  while ((payload_.size() - section_start_) % 8 != 0) payload_.push_back('\0');
+}
+
+std::string Writer::Finish() && {
+  XICC_DCHECK(!in_section_);
+  const uint64_t table_size = sections_.size() * kSectionEntrySize;
+  const uint64_t payload_base = kHeaderSize + table_size;
+  const uint64_t total_size = payload_base + Align8(payload_.size());
+
+  std::string out;
+  out.reserve(total_size);
+  out.append(magic_, kMagicSize);
+  AppendU32(&out, kEndianSentinel);
+  AppendU32(&out, version_);
+  AppendU32(&out, static_cast<uint32_t>(sections_.size()));
+  AppendU32(&out, 0);  // reserved
+  AppendU64(&out, content_key_);
+  AppendU64(&out, total_size);
+  // Digest placeholder; filled below once the table is appended.
+  const size_t digest_pos = out.size();
+  AppendU64(&out, 0);
+
+  for (const Section& sec : sections_) {
+    AppendU32(&out, sec.tag);
+    AppendU32(&out, 0);  // reserved
+    AppendU64(&out, payload_base + sec.offset);
+    AppendU64(&out, sec.size);
+    AppendU64(&out, sec.digest);
+  }
+
+  // Header digest covers the header bytes before the digest field plus the
+  // whole section table.
+  uint64_t digest = Fnv1a64(out.data(), digest_pos);
+  digest = Fnv1a64(out.data() + kHeaderSize, table_size, digest);
+  char encoded[8];
+  std::string tmp;
+  tmp.reserve(8);
+  AppendU64(&tmp, digest);
+  std::memcpy(encoded, tmp.data(), 8);
+  out.replace(digest_pos, 8, encoded, 8);
+
+  out.append(payload_);
+  out.resize(total_size, '\0');
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Cursor
+
+void Cursor::Fail(const char* reason) {
+  if (!status_.ok()) return;
+  status_ = Status::InvalidArgument(std::string(what_) + ": " + reason +
+                                    " at offset " + std::to_string(pos_));
+}
+
+uint8_t Cursor::U8() {
+  if (!status_.ok()) return 0;
+  if (bytes_.size() - pos_ < 1) {
+    Fail("truncated u8");
+    return 0;
+  }
+  return static_cast<uint8_t>(bytes_[pos_++]);
+}
+
+uint32_t Cursor::U32() {
+  if (!status_.ok()) return 0;
+  if (bytes_.size() - pos_ < 4) {
+    Fail("truncated u32");
+    return 0;
+  }
+  const uint32_t v = DecodeU32(bytes_.data() + pos_);
+  pos_ += 4;
+  return v;
+}
+
+uint64_t Cursor::U64() {
+  if (!status_.ok()) return 0;
+  if (bytes_.size() - pos_ < 8) {
+    Fail("truncated u64");
+    return 0;
+  }
+  const uint64_t v = DecodeU64(bytes_.data() + pos_);
+  pos_ += 8;
+  return v;
+}
+
+std::string Cursor::Str() {
+  const uint32_t size = U32();
+  return std::string(RawBytes(size));
+}
+
+std::string_view Cursor::RawBytes(size_t size) {
+  if (!status_.ok()) return {};
+  if (bytes_.size() - pos_ < size) {
+    Fail("truncated byte range");
+    return {};
+  }
+  const std::string_view v = bytes_.substr(pos_, size);
+  pos_ += size;
+  return v;
+}
+
+void Cursor::AlignTo8() {
+  if (!status_.ok()) return;
+  while (pos_ % 8 != 0) {
+    if (pos_ >= bytes_.size()) {
+      Fail("truncated alignment padding");
+      return;
+    }
+    ++pos_;
+  }
+}
+
+Status Cursor::Finish() const {
+  if (!status_.ok()) return status_;
+  // Trailing bytes beyond the last read must be alignment zeros only; a
+  // decoder that leaves real data unconsumed has a format mismatch.
+  for (size_t i = pos_; i < bytes_.size(); ++i) {
+    if (bytes_[i] != '\0') {
+      return Status::InvalidArgument(std::string(what_) +
+                                     ": trailing bytes after decode");
+    }
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+
+Result<Reader> Reader::Open(std::string_view bytes, const char* magic,
+                            uint32_t expected_version) {
+  if (bytes.size() < kHeaderSize) {
+    return Status::InvalidArgument("artifact truncated: " +
+                                   std::to_string(bytes.size()) +
+                                   " bytes, header needs " +
+                                   std::to_string(kHeaderSize));
+  }
+  if (std::memcmp(bytes.data(), magic, kMagicSize) != 0) {
+    return Status::InvalidArgument("artifact magic mismatch");
+  }
+  const uint32_t endian = DecodeU32(bytes.data() + 8);
+  if (endian == kForeignEndianSentinel) {
+    return Status::InvalidArgument(
+        "artifact written on a foreign-endian host");
+  }
+  if (endian != kEndianSentinel) {
+    return Status::InvalidArgument("artifact endianness sentinel corrupt");
+  }
+  const uint32_t version = DecodeU32(bytes.data() + 12);
+  if (version != expected_version) {
+    return Status::InvalidArgument(
+        "artifact format version mismatch: file v" + std::to_string(version) +
+        ", reader expects v" + std::to_string(expected_version));
+  }
+  const uint32_t section_count = DecodeU32(bytes.data() + 16);
+  const uint64_t content_key = DecodeU64(bytes.data() + 24);
+  const uint64_t total_size = DecodeU64(bytes.data() + 32);
+  const uint64_t stored_digest = DecodeU64(bytes.data() + 40);
+  if (total_size != bytes.size()) {
+    return Status::InvalidArgument(
+        "artifact size mismatch: header says " + std::to_string(total_size) +
+        ", buffer has " + std::to_string(bytes.size()));
+  }
+  const uint64_t table_size =
+      static_cast<uint64_t>(section_count) * kSectionEntrySize;
+  if (table_size > bytes.size() - kHeaderSize) {
+    return Status::InvalidArgument("artifact section table overruns buffer");
+  }
+  uint64_t digest = Fnv1a64(bytes.data(), 40);
+  digest = Fnv1a64(bytes.data() + kHeaderSize, table_size, digest);
+  if (digest != stored_digest) {
+    return Status::InvalidArgument("artifact header checksum mismatch");
+  }
+
+  Reader reader;
+  reader.bytes_ = bytes;
+  reader.content_key_ = content_key;
+  reader.sections_.reserve(section_count);
+  for (uint32_t i = 0; i < section_count; ++i) {
+    const char* entry = bytes.data() + kHeaderSize + i * kSectionEntrySize;
+    const uint32_t tag = DecodeU32(entry);
+    const uint64_t offset = DecodeU64(entry + 8);
+    const uint64_t size = DecodeU64(entry + 16);
+    const uint64_t sec_digest = DecodeU64(entry + 24);
+    const uint64_t padded = Align8(size);
+    if (offset % 8 != 0 || offset > bytes.size() ||
+        padded > bytes.size() - offset) {
+      return Status::InvalidArgument("artifact section " + std::to_string(i) +
+                                     " overruns buffer");
+    }
+    for (const SectionEntry& prev : reader.sections_) {
+      if (prev.tag == tag) {
+        return Status::InvalidArgument("artifact has duplicate section tag " +
+                                       std::to_string(tag));
+      }
+    }
+    if (SectionDigest(bytes.data() + offset, padded) != sec_digest) {
+      return Status::InvalidArgument("artifact section " + std::to_string(i) +
+                                     " checksum mismatch");
+    }
+    reader.sections_.push_back(SectionEntry{tag, offset, size});
+  }
+  return reader;
+}
+
+bool Reader::HasSection(uint32_t tag) const {
+  for (const SectionEntry& sec : sections_) {
+    if (sec.tag == tag) return true;
+  }
+  return false;
+}
+
+Result<Cursor> Reader::Section(uint32_t tag, std::string_view what) const {
+  for (const SectionEntry& sec : sections_) {
+    if (sec.tag == tag) {
+      return Cursor(bytes_.substr(sec.offset, sec.size), what);
+    }
+  }
+  return Status::InvalidArgument("artifact is missing section tag " +
+                                 std::to_string(tag));
+}
+
+// ---------------------------------------------------------------------------
+// Files
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    if (data_ != nullptr) ::munmap(data_, size_);
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr) ::munmap(data_, size_);
+}
+
+Result<MappedFile> MappedFile::Map(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::InvalidArgument("cannot open " + path + ": " +
+                                   std::strerror(errno));
+  }
+  struct stat st = {};
+  if (::fstat(fd, &st) != 0) {
+    const Status err = Status::InvalidArgument("cannot stat " + path + ": " +
+                                               std::strerror(errno));
+    ::close(fd);
+    return err;
+  }
+  MappedFile mapped;
+  mapped.size_ = static_cast<size_t>(st.st_size);
+  if (mapped.size_ > 0) {
+    // MAP_POPULATE prefaults the whole file in one syscall — the checksum
+    // pass touches every page anyway, and batched fault-in is much cheaper
+    // than ~size/4096 on-demand minor faults on the load path.
+    void* data = ::mmap(nullptr, mapped.size_, PROT_READ,
+                        MAP_PRIVATE | MAP_POPULATE, fd, 0);
+    if (data == MAP_FAILED) {
+      data = ::mmap(nullptr, mapped.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    }
+    if (data == MAP_FAILED) {
+      const Status err = Status::InvalidArgument(
+          "cannot mmap " + path + ": " + std::strerror(errno));
+      ::close(fd);
+      return err;
+    }
+    mapped.data_ = data;
+  }
+  ::close(fd);
+  return mapped;
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::FILE* fh = std::fopen(path.c_str(), "rb");
+  if (fh == nullptr) {
+    return Status::InvalidArgument("cannot open " + path + ": " +
+                                   std::strerror(errno));
+  }
+  std::string out;
+  char buf[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), fh)) > 0) {
+    out.append(buf, n);
+  }
+  const bool failed = std::ferror(fh) != 0;
+  std::fclose(fh);
+  if (failed) {
+    return Status::InvalidArgument("error reading " + path);
+  }
+  return out;
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view bytes) {
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  std::FILE* fh = std::fopen(tmp.c_str(), "wb");
+  if (fh == nullptr) {
+    return Status::InvalidArgument("cannot create " + tmp + ": " +
+                                   std::strerror(errno));
+  }
+  const size_t written = std::fwrite(bytes.data(), 1, bytes.size(), fh);
+  const bool flushed = std::fflush(fh) == 0;
+  std::fclose(fh);
+  if (written != bytes.size() || !flushed) {
+    std::remove(tmp.c_str());
+    return Status::InvalidArgument("short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const Status err = Status::InvalidArgument(
+        "cannot rename " + tmp + " -> " + path + ": " + std::strerror(errno));
+    std::remove(tmp.c_str());
+    return err;
+  }
+  return Status::Ok();
+}
+
+}  // namespace xicc::serde

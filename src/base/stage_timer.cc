@@ -16,6 +16,10 @@ const char* StageName(Stage stage) {
       return "solve";
     case Stage::kResultWrite:
       return "result_write";
+    case Stage::kArtifactLoad:
+      return "artifact_load";
+    case Stage::kArtifactStore:
+      return "artifact_store";
     case Stage::kCount:
       break;
   }

@@ -41,6 +41,12 @@ enum class Stage : size_t {
   kSolve,
   /// Writing the finished result into the batch's result slot.
   kResultWrite,
+  /// Loading a CompiledDtd artifact (header validation, section decode,
+  /// mmap fix-ups, digest recompute) instead of compiling from scratch.
+  kArtifactLoad,
+  /// Serializing + persisting a freshly compiled CompiledDtd to the
+  /// artifact cache (encode, checksum, atomic file write).
+  kArtifactStore,
   kCount
 };
 

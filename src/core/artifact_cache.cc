@@ -1,0 +1,149 @@
+#include "core/artifact_cache.h"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <cerrno>
+#include <utility>
+
+namespace xicc {
+
+namespace {
+
+// Best-effort mkdir -p for a single level plus parents. Races with other
+// processes creating the same directories are benign (EEXIST).
+Status EnsureDir(const std::string& dir) {
+  std::string prefix;
+  prefix.reserve(dir.size());
+  for (size_t i = 0; i <= dir.size(); ++i) {
+    if (i < dir.size() && dir[i] != '/') {
+      prefix.push_back(dir[i]);
+      continue;
+    }
+    if (i < dir.size()) prefix.push_back('/');
+    if (prefix.empty() || prefix == "/") continue;
+    if (::mkdir(prefix.c_str(), 0777) != 0 && errno != EEXIST) {
+      return Status::Internal("mkdir failed for artifact cache dir: " + prefix);
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+const char* ArtifactSourceName(ArtifactSource source) {
+  switch (source) {
+    case ArtifactSource::kCold:
+      return "cold";
+    case ArtifactSource::kMemory:
+      return "memory";
+    case ArtifactSource::kDiskCache:
+      return "disk-cache";
+    case ArtifactSource::kMmap:
+      return "mmap";
+  }
+  return "unknown";
+}
+
+ArtifactCache::ArtifactCache(Options options)
+    : options_(std::move(options)) {
+  if (options_.memory_capacity == 0) options_.memory_capacity = 1;
+}
+
+std::string ArtifactCache::DiskPathFor(const Dtd& dtd) const {
+  if (options_.dir.empty()) return "";
+  return options_.dir + "/" + ArtifactFileName(dtd);
+}
+
+std::shared_ptr<const CompiledDtd> ArtifactCache::MemoryGet(uint64_t key) {
+  MutexLock lock(&mu_);
+  auto it = memory_.find(key);
+  if (it == memory_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second.first);
+  ++stats_.memory_hits;
+  return it->second.second;
+}
+
+void ArtifactCache::MemoryPut(uint64_t key,
+                              std::shared_ptr<const CompiledDtd> compiled) {
+  MutexLock lock(&mu_);
+  auto it = memory_.find(key);
+  if (it != memory_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second.first);
+    it->second.second = std::move(compiled);
+    return;
+  }
+  lru_.push_front(key);
+  memory_.emplace(key, std::make_pair(lru_.begin(), std::move(compiled)));
+  while (memory_.size() > options_.memory_capacity) {
+    memory_.erase(lru_.back());
+    lru_.pop_back();
+  }
+}
+
+Result<ArtifactCache::Lookup> ArtifactCache::GetOrCompile(const Dtd& dtd,
+                                                          StageTally* tally) {
+  const uint64_t key = DtdContentHash(dtd);
+
+  if (std::shared_ptr<const CompiledDtd> hit = MemoryGet(key)) {
+    return Lookup{std::move(hit), ArtifactSource::kMemory};
+  }
+
+  const std::string path = DiskPathFor(dtd);
+  bool had_corrupt_file = false;
+  struct stat st;
+  const bool on_disk = !path.empty() && ::stat(path.c_str(), &st) == 0;
+  if (on_disk) {
+    ArtifactLoadInfo info;
+    Result<std::shared_ptr<const CompiledDtd>> loaded = [&] {
+      StageTimer timer(tally, Stage::kArtifactLoad);
+      return LoadCompiledDtd(path, &info);
+    }();
+    if (loaded.ok()) {
+      // The artifact's content key was verified against its own decoded
+      // DTD; this check pins it to the DTD the CALLER asked for, so a file
+      // renamed into the wrong cache slot cannot serve a foreign bundle.
+      if (DtdContentHash(loaded.value()->dtd) == key) {
+        std::shared_ptr<const CompiledDtd> compiled =
+            std::move(loaded).value();
+        MemoryPut(key, compiled);
+        {
+          MutexLock lock(&mu_);
+          ++stats_.disk_hits;
+        }
+        return Lookup{std::move(compiled), info.mmap
+                                               ? ArtifactSource::kMmap
+                                               : ArtifactSource::kDiskCache};
+      }
+      had_corrupt_file = true;
+    } else {
+      // The file exists but failed to load or validate — recompile and
+      // replace it below.
+      had_corrupt_file = true;
+    }
+  }
+
+  XICC_ASSIGN_OR_RETURN(std::shared_ptr<const CompiledDtd> compiled,
+                        CompileDtd(dtd));
+  if (!path.empty()) {
+    StageTimer timer(tally, Stage::kArtifactStore);
+    Status stored = EnsureDir(options_.dir);
+    if (stored.ok()) stored = StoreCompiledDtd(*compiled, path);
+    MutexLock lock(&mu_);
+    if (!stored.ok()) ++stats_.store_failures;
+  }
+  MemoryPut(key, compiled);
+  {
+    MutexLock lock(&mu_);
+    ++stats_.cold_compiles;
+    if (had_corrupt_file) ++stats_.corrupt_rejected;
+  }
+  return Lookup{std::move(compiled), ArtifactSource::kCold};
+}
+
+ArtifactCacheStats ArtifactCache::stats() const {
+  MutexLock lock(&mu_);
+  return stats_;
+}
+
+}  // namespace xicc

@@ -1,0 +1,111 @@
+#pragma once
+
+// Content-addressed cache of CompiledDtd artifacts.
+//
+// The lookup chain for GetOrCompile(D) is
+//
+//   in-memory LRU  →  disk artifact (mmap warm start)  →  cold CompileDtd
+//
+// keyed by DtdContentHash(D) under the current kArtifactFormatVersion (the
+// version is baked into the file name, so a format bump makes every stale
+// artifact an automatic miss — old files are never even opened). A disk hit
+// that fails any of the three integrity layers (core/artifact.h) is treated
+// as a miss: the DTD is recompiled and the corrupt file is overwritten with
+// a fresh artifact. Every path out of GetOrCompile yields a usable bundle;
+// cache trouble degrades performance, never correctness.
+//
+// Thread safety: all public methods are safe to call concurrently. The
+// mutex guards only the LRU index and stats — compiles, loads, and stores
+// run unlocked, so two threads racing on the same uncached DTD may both
+// compile; both results are identical (CompileDtd is deterministic) and the
+// last insert wins.
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "base/stage_timer.h"
+#include "base/status.h"
+#include "base/thread_annotations.h"
+#include "core/artifact.h"
+#include "core/spec_session.h"
+#include "dtd/dtd.h"
+
+namespace xicc {
+
+/// Where GetOrCompile found the bundle — reported so benches and --stats
+/// can attribute warm starts.
+enum class ArtifactSource {
+  kCold,       ///< Compiled from scratch this call.
+  kMemory,     ///< In-memory LRU hit; no disk touched.
+  kDiskCache,  ///< Loaded from the disk cache via buffered read.
+  kMmap,       ///< Loaded from the disk cache via zero-copy mmap.
+};
+
+/// Stable lowercase name ("cold", "memory", "disk-cache", "mmap") for JSON
+/// config rows and --stats lines.
+const char* ArtifactSourceName(ArtifactSource source);
+
+/// Monotonic counters, readable at any time via ArtifactCache::stats().
+struct ArtifactCacheStats {
+  uint64_t memory_hits = 0;
+  uint64_t disk_hits = 0;
+  uint64_t cold_compiles = 0;
+  /// Disk artifacts that existed but failed validation (truncation, bit
+  /// flips, version skew, digest mismatch) and were recompiled + replaced.
+  uint64_t corrupt_rejected = 0;
+  /// StoreCompiledDtd failures (ENOSPC, permissions). Non-fatal: the
+  /// compiled bundle is still returned and kept in the memory tier.
+  uint64_t store_failures = 0;
+};
+
+class ArtifactCache {
+ public:
+  struct Options {
+    /// Artifact directory; created on first store if missing. Empty
+    /// disables the disk tier (memory LRU only).
+    std::string dir;
+    /// Max CompiledDtd bundles retained in the memory tier. The bundles
+    /// are shared_ptr-held, so eviction never invalidates live sessions.
+    size_t memory_capacity = 16;
+  };
+
+  explicit ArtifactCache(Options options);
+
+  struct Lookup {
+    std::shared_ptr<const CompiledDtd> compiled;
+    ArtifactSource source = ArtifactSource::kCold;
+  };
+
+  /// The bundle for `dtd`, from the fastest tier that has it. On a cold
+  /// compile the artifact is persisted to the disk tier (best-effort) and
+  /// inserted into the memory tier. Fails only if CompileDtd itself fails.
+  /// `tally`, when non-null, receives kArtifactLoad / kArtifactStore stage
+  /// time for the disk traffic this call performed.
+  Result<Lookup> GetOrCompile(const Dtd& dtd, StageTally* tally = nullptr);
+
+  ArtifactCacheStats stats() const;
+
+  /// The disk path GetOrCompile would use for `dtd` ("" if the disk tier
+  /// is disabled). Exposed for the CLI's `compile` verb and tests.
+  std::string DiskPathFor(const Dtd& dtd) const;
+
+ private:
+  std::shared_ptr<const CompiledDtd> MemoryGet(uint64_t key);
+  void MemoryPut(uint64_t key, std::shared_ptr<const CompiledDtd> compiled);
+
+  Options options_;
+  mutable Mutex mu_;
+  /// LRU: front = most recent. The map holds list iterators for O(log n)
+  /// touch; capacity is small so this is never hot.
+  std::list<uint64_t> lru_ XICC_GUARDED_BY(mu_);
+  std::map<uint64_t,
+           std::pair<std::list<uint64_t>::iterator,
+                     std::shared_ptr<const CompiledDtd>>>
+      memory_ XICC_GUARDED_BY(mu_);
+  ArtifactCacheStats stats_ XICC_GUARDED_BY(mu_);
+};
+
+}  // namespace xicc

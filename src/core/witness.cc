@@ -59,6 +59,50 @@ class DerivationCosts {
  public:
   explicit DerivationCosts(const Dtd& dtd) { Compute(dtd); }
 
+  /// Artifact-load path: rebuilds the AST tables against `dtd` (cheap, one
+  /// walk) and re-attaches a previously computed snapshot instead of
+  /// running the Dijkstra pass. `*status` reports a snapshot that doesn't
+  /// fit the DTD's shape.
+  DerivationCosts(const Dtd& dtd, const MinimalTreePlan::Snapshot& snapshot,
+                  Status* status) {
+    BuildAst(dtd);
+    size_t next = 0;
+    for (AstNode& node : nodes_) {
+      if (node.regex->kind() != Regex::Kind::kUnion) continue;
+      if (next >= snapshot.union_chosen.size()) {
+        *status = Status::InvalidArgument(
+            "minimal-tree snapshot has too few union choices");
+        return;
+      }
+      const int8_t chosen = snapshot.union_chosen[next++];
+      if (chosen < -1 || chosen > 1) {
+        *status = Status::InvalidArgument(
+            "minimal-tree snapshot has an out-of-range union choice");
+        return;
+      }
+      node.chosen = chosen;
+    }
+    if (next != snapshot.union_chosen.size()) {
+      *status = Status::InvalidArgument(
+          "minimal-tree snapshot has too many union choices");
+      return;
+    }
+    type_cost_ = snapshot.type_cost;
+    for (const AstNode& node : nodes_) record_of_[node.regex] = &node;
+    *status = Status::Ok();
+  }
+
+  MinimalTreePlan::Snapshot TakeSnapshot() const {
+    MinimalTreePlan::Snapshot snapshot;
+    snapshot.type_cost = type_cost_;
+    for (const AstNode& node : nodes_) {
+      if (node.regex->kind() == Regex::Kind::kUnion) {
+        snapshot.union_chosen.push_back(static_cast<int8_t>(node.chosen));
+      }
+    }
+    return snapshot;
+  }
+
   bool Derivable(const std::string& type) const {
     return TypeCost(type) < kInfiniteCost;
   }
@@ -89,8 +133,7 @@ class DerivationCosts {
     return it == type_cost_.end() ? kInfiniteCost : it->second;
   }
 
-  void Compute(const Dtd& dtd) {
-    // Build AST tables.
+  void BuildAst(const Dtd& dtd) {
     std::function<int(const Regex&, const std::string&)> build =
         [&](const Regex& regex, const std::string& owner) -> int {
       int id = static_cast<int>(nodes_.size());
@@ -121,6 +164,10 @@ class DerivationCosts {
       nodes_[root].is_content_root = true;
       content_root_[type] = root;
     }
+  }
+
+  void Compute(const Dtd& dtd) {
+    BuildAst(dtd);
 
     // Min-heap of (cost, ast node id).
     using Entry = std::pair<int64_t, int>;
@@ -260,11 +307,28 @@ Result<XmlTree> BuildMinimalTree(const Dtd& dtd) {
 
 struct MinimalTreePlan::Impl {
   explicit Impl(const Dtd& dtd) : costs(dtd) {}
+  Impl(const Dtd& dtd, const Snapshot& snapshot, Status* status)
+      : costs(dtd, snapshot, status) {}
   DerivationCosts costs;
 };
 
 MinimalTreePlan::MinimalTreePlan(const Dtd& dtd)
     : impl_(std::make_unique<Impl>(dtd)) {}
+MinimalTreePlan::MinimalTreePlan() = default;
+
+MinimalTreePlan::Snapshot MinimalTreePlan::TakeSnapshot() const {
+  return impl_->costs.TakeSnapshot();
+}
+
+Result<MinimalTreePlan> MinimalTreePlan::FromSnapshot(
+    const Dtd& dtd, const Snapshot& snapshot) {
+  Status status;
+  MinimalTreePlan plan;
+  plan.impl_ = std::make_unique<Impl>(dtd, snapshot, &status);
+  if (!status.ok()) return status;
+  return plan;
+}
+
 MinimalTreePlan::~MinimalTreePlan() = default;
 MinimalTreePlan::MinimalTreePlan(MinimalTreePlan&&) noexcept = default;
 MinimalTreePlan& MinimalTreePlan::operator=(MinimalTreePlan&&) noexcept =

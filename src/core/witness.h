@@ -40,7 +40,30 @@ class MinimalTreePlan {
   /// the DTD this plan was built from (or a copy sharing its regex ASTs).
   Result<XmlTree> Build(const Dtd& dtd) const;
 
+  /// Pointer-free image of the plan for artifact serialization
+  /// (core/artifact). The expansion consults exactly two things beyond the
+  /// DTD itself: the per-type minimal costs and, for each union node, which
+  /// side the Dijkstra pass settled first. `union_chosen` lists that choice
+  /// (-1 unsettled, 0 left, 1 right) for every union node in the
+  /// deterministic AST walk order (dtd.elements() in order, children
+  /// left-then-right), so it can be re-attached to a freshly parsed copy of
+  /// the same DTD without re-running the shortest-derivation pass.
+  struct Snapshot {
+    std::map<std::string, int64_t> type_cost;
+    std::vector<int8_t> union_chosen;
+  };
+  Snapshot TakeSnapshot() const;
+
+  /// Rebuilds a plan from `snapshot` against `dtd`, which must be
+  /// structurally identical to the DTD the snapshot was taken from (the
+  /// artifact layer guarantees this via the content hash). Rejects a
+  /// snapshot whose union count or choice values don't fit the DTD.
+  static Result<MinimalTreePlan> FromSnapshot(const Dtd& dtd,
+                                              const Snapshot& snapshot);
+
  private:
+  MinimalTreePlan();
+
   struct Impl;
   std::unique_ptr<Impl> impl_;
 };

@@ -25,6 +25,12 @@ CompiledContentModels CompiledContentModels::Build(const Dtd& dtd,
   return out;
 }
 
+void CompiledContentModels::InsertLoaded(
+    const std::string& type,
+    std::shared_ptr<const ContentModelMatcher> matcher) {
+  matchers_.insert_or_assign(type, std::move(matcher));
+}
+
 const ContentModelMatcher* CompiledContentModels::MatcherFor(
     const std::string& type) const {
   auto it = matchers_.find(type);

@@ -41,6 +41,19 @@ class CompiledContentModels {
 
   size_t size() const { return matchers_.size(); }
 
+  /// Artifact-load hook (core/artifact): installs an already-frozen matcher
+  /// for `type`, as Build would have. The matcher must be frozen; types the
+  /// artifact omits (freeze-cap overflows at compile time) simply stay
+  /// absent, preserving MatcherFor's nullptr contract.
+  void InsertLoaded(const std::string& type,
+                    std::shared_ptr<const ContentModelMatcher> matcher);
+
+  /// Iteration for artifact serialization, in deterministic (sorted) order.
+  const std::map<std::string, std::shared_ptr<const ContentModelMatcher>>&
+  matchers() const {
+    return matchers_;
+  }
+
  private:
   // shared_ptr so CompiledContentModels itself stays cheaply copyable while
   // the (large) frozen DFAs are built exactly once.

@@ -105,6 +105,16 @@ int ContentModelMatcher::Step(int state, const std::string& symbol) const {
   // was just consumed; from the start state the enterable positions are
   // `first`, afterwards the union of `follow`.
   if (state == kDeadState) return kDeadState;
+  if (flat_) {
+    // Flat-loaded matcher: dense row lookup, pure reads. A symbol with no
+    // column has no position anywhere in the model and always dies; a
+    // column hit implies the tables are non-empty (FromFrozenView checks).
+    auto it = flat_col_.find(symbol);
+    if (it == flat_col_.end()) return kDeadState;
+    if (state == kStartState) return flat_start_[it->second];
+    return flat_transitions_[static_cast<size_t>(state) * flat_col_.size() +
+                             static_cast<size_t>(it->second)];
+  }
   if (frozen_) {
     // Every reachable (state, position-symbol) transition was materialized
     // by Freeze(); a lookup miss can only mean a symbol with no position,
@@ -163,6 +173,126 @@ bool ContentModelMatcher::AcceptsAt(int state) const {
   if (state == kStartState) return nullable_;
   if (state == kDeadState) return false;
   return accepting_[state];
+}
+
+ContentModelMatcher::DenseFrozen ContentModelMatcher::ExportFrozen() const {
+  DenseFrozen out;
+  out.symbols = symbols_;
+  out.nullable = nullable_;
+  if (flat_) {
+    out.alphabet.reserve(flat_col_.size());
+    for (const auto& [symbol, col] : flat_col_) {
+      (void)col;  // flat_col_ maps the sorted alphabet to 0..n-1 in order.
+      out.alphabet.push_back(symbol);
+    }
+    out.num_states = flat_num_states_;
+    out.accepting.assign(accepting_.begin(), accepting_.end());
+    out.start_row.assign(flat_start_, flat_start_ + out.alphabet.size());
+    out.transitions.assign(
+        flat_transitions_,
+        flat_transitions_ + flat_num_states_ * out.alphabet.size());
+    return out;
+  }
+  // Map-backed frozen matcher: densify. Columns are the sorted distinct
+  // position symbols (the same alphabet Freeze closed over); any symbol
+  // outside it steps to the dead state and needs no column.
+  const std::set<std::string> alphabet(symbols_.begin(), symbols_.end());
+  out.alphabet.assign(alphabet.begin(), alphabet.end());
+  out.num_states = states_.size();
+  out.accepting.assign(accepting_.begin(), accepting_.end());
+  out.start_row.reserve(out.alphabet.size());
+  for (const std::string& symbol : out.alphabet) {
+    auto it = frozen_start_.find(symbol);
+    out.start_row.push_back(it == frozen_start_.end()
+                                ? kDeadState
+                                : static_cast<int32_t>(it->second));
+  }
+  out.transitions.reserve(out.num_states * out.alphabet.size());
+  for (size_t state = 0; state < out.num_states; ++state) {
+    for (const std::string& symbol : out.alphabet) {
+      auto it = transitions_[state].find(symbol);
+      out.transitions.push_back(it == transitions_[state].end()
+                                    ? kDeadState
+                                    : static_cast<int32_t>(it->second));
+    }
+  }
+  return out;
+}
+
+Result<std::shared_ptr<const ContentModelMatcher>>
+ContentModelMatcher::FromFrozenView(FrozenView view) {
+  const size_t cols = view.alphabet.size();
+  // The caps are far above anything Freeze(4096) can produce; they exist so
+  // the size product below cannot overflow on hostile counts.
+  constexpr size_t kMaxDim = size_t{1} << 24;
+  if (view.num_states > kMaxDim || cols > kMaxDim) {
+    return Status::InvalidArgument("frozen view dimensions implausible");
+  }
+  // Columns are identified positionally; the canonical order is sorted, and
+  // accepting anything else would let one automaton have two encodings.
+  for (size_t i = 1; i < cols; ++i) {
+    if (view.alphabet[i - 1] >= view.alphabet[i]) {
+      return Status::InvalidArgument("frozen view alphabet not sorted");
+    }
+  }
+  const size_t cells = view.num_states * cols;
+  if (cols > 0 && view.start_row == nullptr) {
+    return Status::InvalidArgument("frozen view missing start row");
+  }
+  if (cells > 0 && view.transitions == nullptr) {
+    return Status::InvalidArgument("frozen view missing transition table");
+  }
+  if (view.accepting.size() != view.num_states) {
+    return Status::InvalidArgument("frozen view accepting/state count skew");
+  }
+  // Range-check every state id so a decoded table can never index out of
+  // bounds, whatever the file contained.
+  const auto in_range = [&](int32_t s) {
+    return s >= kDeadState && s < static_cast<int32_t>(view.num_states);
+  };
+  for (size_t i = 0; i < cols; ++i) {
+    if (!in_range(view.start_row[i])) {
+      return Status::InvalidArgument("frozen view start state out of range");
+    }
+  }
+  for (size_t i = 0; i < cells; ++i) {
+    if (!in_range(view.transitions[i])) {
+      return Status::InvalidArgument("frozen view transition out of range");
+    }
+  }
+
+  auto matcher = std::shared_ptr<ContentModelMatcher>(
+      new ContentModelMatcher());
+  matcher->symbols_ = std::move(view.symbols);
+  matcher->nullable_ = view.nullable;
+  matcher->accepting_.assign(view.accepting.begin(), view.accepting.end());
+  matcher->flat_ = true;
+  matcher->frozen_ = true;
+  matcher->flat_num_states_ = view.num_states;
+  int col = 0;
+  for (const std::string& symbol : view.alphabet) {
+    auto [it, inserted] = matcher->flat_col_.emplace(symbol, col++);
+    (void)it;
+    if (!inserted) {
+      return Status::InvalidArgument("frozen view has duplicate alphabet");
+    }
+  }
+  if (view.backing != nullptr) {
+    // Zero-copy: borrow the artifact mapping and keep it alive.
+    matcher->backing_ = std::move(view.backing);
+    matcher->flat_start_ = view.start_row;
+    matcher->flat_transitions_ = view.transitions;
+  } else {
+    // No owner to borrow from — copy the tables into the matcher.
+    matcher->owned_tables_.reserve(cols + cells);
+    matcher->owned_tables_.assign(view.start_row, view.start_row + cols);
+    matcher->owned_tables_.insert(matcher->owned_tables_.end(),
+                                  view.transitions,
+                                  view.transitions + cells);
+    matcher->flat_start_ = matcher->owned_tables_.data();
+    matcher->flat_transitions_ = matcher->owned_tables_.data() + cols;
+  }
+  return std::shared_ptr<const ContentModelMatcher>(std::move(matcher));
 }
 
 bool ContentModelMatcher::Matches(const std::vector<std::string>& word) const {

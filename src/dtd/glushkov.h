@@ -1,10 +1,13 @@
 #pragma once
 
+#include <cstdint>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "base/status.h"
 #include "dtd/regex.h"
 
 namespace xicc {
@@ -49,7 +52,51 @@ class ContentModelMatcher {
   /// Number of positions (NFA states minus the initial state).
   size_t PositionCount() const { return symbols_.size(); }
 
+  /// Dense export of a frozen automaton for artifact serialization
+  /// (core/artifact): `transitions` is row-major [num_states x
+  /// alphabet.size()], column j steps on alphabet[j], kDeadState (-1)
+  /// encodes death; `start_row` is the start state's row. Requires
+  /// frozen(); works for both map-backed and flat-loaded matchers.
+  struct DenseFrozen {
+    std::vector<std::string> symbols;    // Position symbols (PositionCount).
+    std::vector<std::string> alphabet;   // Sorted distinct symbols.
+    std::vector<int32_t> start_row;      // [alphabet.size()]
+    std::vector<int32_t> transitions;    // [num_states * alphabet.size()]
+    size_t num_states = 0;
+    std::vector<bool> accepting;         // [num_states]
+    bool nullable = false;
+  };
+  DenseFrozen ExportFrozen() const;
+
+  /// A frozen automaton whose transition tables live in externally owned
+  /// memory — the zero-copy view a mmap'd artifact hands out. `backing`
+  /// keeps that memory alive for the matcher's lifetime; when it is null
+  /// the tables are copied instead of referenced.
+  struct FrozenView {
+    std::vector<std::string> symbols;
+    std::vector<std::string> alphabet;
+    const int32_t* start_row = nullptr;   // [alphabet.size()]
+    const int32_t* transitions = nullptr; // [num_states * alphabet.size()]
+    size_t num_states = 0;
+    std::vector<bool> accepting;
+    bool nullable = false;
+    std::shared_ptr<const void> backing;
+  };
+
+  /// Reconstructs a frozen matcher from a deserialized view, validating
+  /// every state id is in [kDeadState, num_states) so a corrupt (but
+  /// checksum-colliding) table can never index out of bounds. The result is
+  /// immutable and thread-safe like any frozen matcher.
+  static Result<std::shared_ptr<const ContentModelMatcher>> FromFrozenView(
+      FrozenView view);
+
+  /// True for matchers rebuilt by FromFrozenView (flat transition tables,
+  /// possibly borrowing artifact memory).
+  bool frozen_flat() const { return flat_; }
+
  private:
+  ContentModelMatcher() = default;
+
   using PositionSet = std::set<int>;
 
   /// DFA state id for a position set, creating it on first sight.
@@ -68,6 +115,17 @@ class ContentModelMatcher {
   mutable std::vector<std::map<std::string, int>> transitions_;
   std::map<std::string, int> frozen_start_;  // Start transitions, frozen only.
   bool frozen_ = false;
+
+  // Flat frozen representation (FromFrozenView): dense row-major tables,
+  // symbol resolved to a column via flat_col_. Null in matchers built from
+  // a regex. When owned_tables_ is empty the pointers borrow from backing_.
+  bool flat_ = false;
+  std::map<std::string, int> flat_col_;
+  const int32_t* flat_start_ = nullptr;
+  const int32_t* flat_transitions_ = nullptr;
+  size_t flat_num_states_ = 0;
+  std::vector<int32_t> owned_tables_;
+  std::shared_ptr<const void> backing_;
 };
 
 }  // namespace xicc

@@ -8,6 +8,8 @@
 #include "base/deadline.h"
 #include "constraints/constraint_parser.h"
 #include "constraints/id_idref.h"
+#include "core/artifact.h"
+#include "core/artifact_cache.h"
 #include "core/batch.h"
 #include "core/cardinality_encoding.h"
 #include "core/closure.h"
@@ -33,12 +35,19 @@ constexpr const char* kUsage = R"(usage: xicc <command> ...
 
   check    <dtd> <constraints> [--witness FILE] [--min-nodes N] [--big-m]
            [--stats] [--timeout-ms N] [--cancel-after N]
+           [--artifact-cache DIR]
            Is the specification consistent? (exit 0 yes / 1 no)
   batch    <dtd> <queries> [--threads N] [--chunk N] [--big-m] [--stats]
-           [--timeout-ms N] [--cancel-after N]
+           [--timeout-ms N] [--cancel-after N] [--artifact-cache DIR]
            Answer many consistency queries against one compiled DTD.
            <queries> holds constraint blocks separated by lines of `---`;
            the DTD is compiled once and shared by all worker sessions.
+  compile  <dtd> [--artifact-cache DIR] [--out FILE]
+           Compile the DTD into a persistent artifact (grammar facts,
+           frozen DFAs, minimal-tree plan, LP skeleton + warm-start basis)
+           and store it in the cache directory and/or an explicit file.
+           Later check/batch runs with --artifact-cache DIR warm-start
+           from the artifact instead of recompiling.
   implies  <dtd> <constraints> <phi> [--counterexample FILE]
            Does the specification imply the constraint <phi>?
   validate <dtd> <constraints> <document.xml> [--stream]
@@ -72,6 +81,12 @@ reports "no verdict" with the partial search statistics — it never turns
 into a consistency answer. --cancel-after arms a timer that cancels the
 whole run after N ms; batch returns promptly, keeping every verdict
 that finished and recording the rest as cancelled.
+
+--artifact-cache names a directory of compiled-DTD artifacts keyed by DTD
+content hash. A hit mmaps the artifact (integrity-checked: container
+checksums, content key, and a recomputed semantic digest) instead of
+compiling; a miss or a corrupt file falls back to a cold compile and
+(re)writes the artifact. Cache trouble never changes verdicts.
 
 --stats prints the solver counters behind a verdict (system size, ILP
 nodes, warm/cold LP solves, compile-vs-query time, sigma-delta and memo
@@ -215,7 +230,8 @@ int CmdCheck(const std::vector<std::string>& args, std::ostream& out,
                            {"--big-m", false},
                            {"--stats", false},
                            {"--timeout-ms", true},
-                           {"--cancel-after", true}});
+                           {"--cancel-after", true},
+                           {"--artifact-cache", true}});
   if (!parsed.ok() || parsed->positional.size() != 2) {
     err << (parsed.ok() ? std::string("check needs <dtd> <constraints>")
                         : parsed.status().message())
@@ -246,7 +262,24 @@ int CmdCheck(const std::vector<std::string>& args, std::ostream& out,
     options->stop.cancel = &plumbing.token;
     options->partial_stats = &partial;
   }
-  auto result = spec->CheckConsistent(*options);
+  // With --artifact-cache the check routes through a SpecSession over the
+  // cached CompiledDtd (verdict-identical to CheckConsistent's dispatch);
+  // without it, the classic compile-inline path.
+  auto cache_flag = parsed->flags.find("--artifact-cache");
+  std::optional<SpecSession> session;
+  std::optional<ArtifactSource> artifact_source;
+  auto result = [&]() -> Result<ConsistencyResult> {
+    if (cache_flag == parsed->flags.end()) {
+      return spec->CheckConsistent(*options);
+    }
+    ArtifactCache cache(ArtifactCache::Options{cache_flag->second, 16});
+    XICC_ASSIGN_OR_RETURN(ArtifactCache::Lookup lookup,
+                          cache.GetOrCompile(spec->dtd));
+    artifact_source = lookup.source;
+    session.emplace(std::move(lookup.compiled), *options);
+    return session->Check(spec->constraints);
+  }();
+  if (session.has_value() && !result.ok()) partial = session->LastPartialStats();
   if (!result.ok()) {
     const StatusCode code = result.status().code();
     if (code == StatusCode::kDeadlineExceeded ||
@@ -269,6 +302,10 @@ int CmdCheck(const std::vector<std::string>& args, std::ostream& out,
   }
   if (parsed->flags.count("--stats")) {
     PrintStats(result->stats, out);
+    if (artifact_source.has_value()) {
+      out << "artifact:   " << ArtifactSourceName(*artifact_source) << " ("
+          << cache_flag->second << ")\n";
+    }
   }
   auto witness_flag = parsed->flags.find("--witness");
   if (witness_flag != parsed->flags.end() && result->witness.has_value()) {
@@ -319,7 +356,8 @@ int CmdBatch(const std::vector<std::string>& args, std::ostream& out,
                            {"--big-m", false},
                            {"--stats", false},
                            {"--timeout-ms", true},
-                           {"--cancel-after", true}});
+                           {"--cancel-after", true},
+                           {"--artifact-cache", true}});
   if (!parsed.ok() || parsed->positional.size() != 2) {
     err << (parsed.ok() ? std::string("batch needs <dtd> <queries>")
                         : parsed.status().message())
@@ -384,7 +422,17 @@ int CmdBatch(const std::vector<std::string>& args, std::ostream& out,
   options.item_timeout_ms = plumbing.timeout_ms;
   if (plumbing.cancel_after_ms > 0) options.cancel = &plumbing.token;
 
-  auto compiled = CompileDtd(*dtd);
+  auto cache_flag = parsed->flags.find("--artifact-cache");
+  std::optional<ArtifactSource> artifact_source;
+  StageTally artifact_tally;
+  auto compiled = [&]() -> Result<std::shared_ptr<const CompiledDtd>> {
+    if (cache_flag == parsed->flags.end()) return CompileDtd(*dtd);
+    ArtifactCache cache(ArtifactCache::Options{cache_flag->second, 16});
+    XICC_ASSIGN_OR_RETURN(ArtifactCache::Lookup lookup,
+                          cache.GetOrCompile(*dtd, &artifact_tally));
+    artifact_source = lookup.source;
+    return std::move(lookup.compiled);
+  }();
   if (!compiled.ok()) {
     err << compiled.status() << "\n";
     return kError;
@@ -393,6 +441,9 @@ int CmdBatch(const std::vector<std::string>& args, std::ostream& out,
   BatchRunStats run;
   std::vector<BatchItemResult> results =
       CheckBatch(*compiled, queries, options, &degraded, &run);
+  // Charge the pre-batch artifact traffic to the run's stage report, so
+  // the stages line sums to the whole command, not just the pool section.
+  run.stages.Merge(artifact_tally);
 
   bool any_error = false;
   bool all_consistent = true;
@@ -441,6 +492,12 @@ int CmdBatch(const std::vector<std::string>& args, std::ostream& out,
   out << "queries:    " << results.size() << "\n";
   if (parsed->flags.count("--stats")) {
     out << "compile:    " << (*compiled)->compile_ms << " ms (once)\n";
+    if (artifact_source.has_value()) {
+      out << "artifact:   " << ArtifactSourceName(*artifact_source) << " ("
+          << cache_flag->second << "), load "
+          << artifact_tally.MsFor(Stage::kArtifactLoad) << " ms, store "
+          << artifact_tally.MsFor(Stage::kArtifactStore) << " ms\n";
+    }
     out << "totals:     " << total.sigma_delta_checks << " sigma-delta, "
         << total.memo_hits << " memo hits, " << total.memo_misses
         << " memo misses, " << total.ilp_nodes << " ilp nodes, "
@@ -472,6 +529,77 @@ int CmdBatch(const std::vector<std::string>& args, std::ostream& out,
   }
   if (any_error) return kError;
   return all_consistent ? kOk : kNegative;
+}
+
+int CmdCompile(const std::vector<std::string>& args, std::ostream& out,
+               std::ostream& err) {
+  auto parsed = ParseArgs(args, 1,
+                          {{"--artifact-cache", true}, {"--out", true}});
+  if (!parsed.ok() || parsed->positional.size() != 1) {
+    err << (parsed.ok() ? std::string("compile needs <dtd>")
+                        : parsed.status().message())
+        << "\n";
+    return kError;
+  }
+  auto cache_flag = parsed->flags.find("--artifact-cache");
+  auto out_flag = parsed->flags.find("--out");
+  if (cache_flag == parsed->flags.end() && out_flag == parsed->flags.end()) {
+    err << "compile needs --artifact-cache DIR and/or --out FILE\n";
+    return kError;
+  }
+  auto dtd_text = ReadFile(parsed->positional[0]);
+  if (!dtd_text.ok()) {
+    err << dtd_text.status() << "\n";
+    return kError;
+  }
+  auto dtd = ParseDtd(*dtd_text);
+  if (!dtd.ok()) {
+    err << dtd.status() << "\n";
+    return kError;
+  }
+
+  std::shared_ptr<const CompiledDtd> compiled;
+  StageTally tally;
+  char key_hex[17];
+  std::snprintf(key_hex, sizeof(key_hex), "%016llx",
+                static_cast<unsigned long long>(DtdContentHash(*dtd)));
+  out << "content:    " << key_hex << " (format v" << kArtifactFormatVersion
+      << ")\n";
+  if (cache_flag != parsed->flags.end()) {
+    ArtifactCache cache(ArtifactCache::Options{cache_flag->second, 1});
+    auto lookup = cache.GetOrCompile(*dtd, &tally);
+    if (!lookup.ok()) {
+      err << lookup.status() << "\n";
+      return kError;
+    }
+    compiled = std::move(lookup->compiled);
+    out << "artifact:   " << cache.DiskPathFor(*dtd) << " ("
+        << ArtifactSourceName(lookup->source) << ")\n";
+    if (cache.stats().store_failures > 0) {
+      err << "warning: artifact could not be stored in '"
+          << cache_flag->second << "'\n";
+    }
+  } else {
+    auto fresh = CompileDtd(*dtd);
+    if (!fresh.ok()) {
+      err << fresh.status() << "\n";
+      return kError;
+    }
+    compiled = std::move(*fresh);
+  }
+  if (out_flag != parsed->flags.end()) {
+    StageTimer timer(&tally, Stage::kArtifactStore);
+    Status stored = StoreCompiledDtd(*compiled, out_flag->second);
+    if (!stored.ok()) {
+      err << stored << "\n";
+      return kError;
+    }
+    out << "artifact:   " << out_flag->second << "\n";
+  }
+  out << "compile:    " << compiled->compile_ms << " ms, load "
+      << tally.MsFor(Stage::kArtifactLoad) << " ms, store "
+      << tally.MsFor(Stage::kArtifactStore) << " ms\n";
+  return kOk;
 }
 
 int CmdImplies(const std::vector<std::string>& args, std::ostream& out,
@@ -808,6 +936,7 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
   const std::string& command = args[0];
   if (command == "check") return CmdCheck(args, out, err);
   if (command == "batch") return CmdBatch(args, out, err);
+  if (command == "compile") return CmdCompile(args, out, err);
   if (command == "implies") return CmdImplies(args, out, err);
   if (command == "validate") return CmdValidate(args, out, err);
   if (command == "witness") return CmdWitness(args, out, err);

@@ -13,6 +13,7 @@ namespace tools {
 /// implied", "document rejected"), 2 usage or input error.
 ///
 /// Subcommands:
+///   compile  <dtd> [--artifact-cache DIR] [--out FILE]
 ///   check    <dtd> <constraints> [--witness FILE] [--min-nodes N] [--big-m]
 ///   implies  <dtd> <constraints> <phi> [--counterexample FILE]
 ///   validate <dtd> <constraints> <document.xml>

@@ -34,8 +34,9 @@ TEST(LintRulesTest, RuleTableIsComplete) {
             (std::vector<std::string>{"exact-arithmetic",
                                       "raw-coefficient-words",
                                       "no-nondeterminism", "raw-concurrency",
-                                      "raw-blocking", "void-discard",
-                                      "pragma-once", "include-layering"}));
+                                      "raw-blocking", "raw-deserialization",
+                                      "void-discard", "pragma-once",
+                                      "include-layering"}));
 }
 
 TEST(LintRulesTest, ExactArithmeticFlagsOnlyVerdictDirs) {
@@ -140,6 +141,42 @@ TEST(LintRulesTest, RawBlockingBannedOutsideSanctionedFiles) {
   // Suppressions work as usual.
   EXPECT_TRUE(LintFile("src/core/foo.cc",
                        "CondVar cv;  // xicc-lint: allow(raw-blocking)\n")
+                  .empty());
+}
+
+TEST(LintRulesTest, RawDeserializationQuarantinedInSerde) {
+  // memcpy-into-struct decoding outside base/serde is an unaudited parser.
+  auto issues =
+      LintFile("src/core/foo.cc", "memcpy(&header, bytes, sizeof(header));\n");
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].ToString(),
+            "src/core/foo.cc:1: [raw-deserialization] 'memcpy' outside "
+            "base/serde: deserialize through serde::Cursor / serde::Reader "
+            "(bounds-checked, checksummed) instead of raw byte "
+            "reinterpretation");
+
+  // reinterpret_cast decoding is the same hazard, in every directory.
+  EXPECT_EQ(RuleNames(LintFile(
+                "src/tools/foo.cc",
+                "auto* rec = reinterpret_cast<const Record*>(p);\n")),
+            std::vector<std::string>{"raw-deserialization"});
+  // base/serde.{h,cc} is the one audited home for byte reinterpretation —
+  // but the exemption is those two files, not all of base/.
+  EXPECT_TRUE(LintFile("src/base/serde.h",
+                       "#pragma once\nstd::memcpy(&v, p, sizeof(v));\n")
+                  .empty());
+  EXPECT_TRUE(
+      LintFile("src/base/serde.cc", "reinterpret_cast<const T*>(p);\n")
+          .empty());
+  EXPECT_EQ(RuleNames(LintFile("src/base/foo.cc",
+                               "memcpy(&v, p, sizeof(v));\n")),
+            std::vector<std::string>{"raw-deserialization"});
+  // Comments and strings are not code, and suppression works as usual.
+  EXPECT_TRUE(LintFile("src/core/foo.cc", "// avoids a memcpy here\n")
+                  .empty());
+  EXPECT_TRUE(LintFile("src/core/foo.cc",
+                       "reinterpret_cast<const char*>(d);  "
+                       "// xicc-lint: allow(raw-deserialization)\n")
                   .empty());
 }
 
