@@ -1,0 +1,189 @@
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/analyze.h"
+#include "analysis/source_model.h"
+
+namespace xicc {
+
+namespace {
+
+bool TypeMentionsArena(const std::string& type) {
+  return type.find("ArenaVector") != std::string::npos ||
+         type.find("ArenaAllocator") != std::string::npos;
+}
+
+}  // namespace
+
+void AnalyzeArenaEscape(const SourceModel& model,
+                        std::vector<Finding>* findings) {
+  // ---- Members: arena-backed containers in a class outlive every
+  // ArenaScope by construction. ----
+  for (const SourceFile& file : model.files) {
+    if (file.rel_path == "src/base/arena.h") continue;  // The primitives.
+    for (const MemberDecl& member : file.members) {
+      if (!TypeMentionsArena(member.type)) continue;
+      if (file.Suppressed(member.line, "arena-escape")) continue;
+      Finding f;
+      f.rule = "arena-escape";
+      f.file = file.rel_path;
+      f.line = member.line;
+      f.message = "member '" + member.class_name + "::" + member.name +
+                  "' is arena-backed (" + member.type +
+                  "): it outlives any ArenaScope, so its memory is rewound "
+                  "out from under it";
+      f.context = "member " + member.class_name + "::" + member.name;
+      findings->push_back(f);
+    }
+  }
+
+  // ---- Locals: ArenaVector / Allocate results escaping the function that
+  // owns the ArenaScope via `return` or stores into members / out-params.
+  for (const SourceFile& file : model.files) {
+    if (file.rel_path == "src/base/arena.h") continue;
+    const std::vector<Token>& tokens = file.tokens;
+    for (const FunctionInfo& fn : file.functions) {
+      if (!fn.is_definition || fn.body_end <= fn.body_begin) continue;
+      // Does this function own a scope? Only then is the function boundary
+      // the lifetime boundary.
+      bool owns_scope = false;
+      std::set<std::string> arena_vars;
+      for (size_t i = fn.body_begin + 1; i + 1 < fn.body_end; ++i) {
+        if (tokens[i].text == "ArenaScope" &&
+            tokens[i + 1].kind == Token::Kind::kIdent) {
+          owns_scope = true;
+        }
+        if (tokens[i].text == "ArenaVector") {
+          // `ArenaVector < T > name` — the name follows the template group.
+          size_t p = i + 1;
+          if (p < fn.body_end && tokens[p].text == "<") {
+            int angle = 0;
+            for (; p < fn.body_end; ++p) {
+              if (tokens[p].text == "<") ++angle;
+              if (tokens[p].text == ">" && --angle == 0) break;
+            }
+            ++p;
+          }
+          if (p < fn.body_end && tokens[p].kind == Token::Kind::kIdent) {
+            arena_vars.insert(tokens[p].text);
+          }
+        }
+        // `auto* p = arena.Allocate...` / `= ThisThreadArena().Allocate`:
+        // the declared name left of '=' joins the arena set.
+        if (tokens[i].text == "Allocate" && i + 1 < fn.body_end &&
+            tokens[i + 1].text == "(") {
+          for (size_t q = i; q > fn.body_begin; --q) {
+            if (tokens[q].text == "=") {
+              if (tokens[q - 1].kind == Token::Kind::kIdent) {
+                arena_vars.insert(tokens[q - 1].text);
+              }
+              break;
+            }
+            if (tokens[q].text == ";" || tokens[q].text == "{") break;
+          }
+        }
+      }
+      if (!owns_scope || arena_vars.empty()) continue;
+
+      // Statement scan for escapes.
+      size_t stmt_begin = fn.body_begin + 1;
+      for (size_t i = fn.body_begin + 1; i <= fn.body_end; ++i) {
+        const std::string& t = tokens[i].text;
+        if (t != ";" && t != "{" && t != "}") continue;
+        const size_t begin = stmt_begin;
+        const size_t end = i;
+        stmt_begin = i + 1;
+        if (t != ";" || begin >= end) continue;
+
+        auto rhs_mentions_arena = [&](size_t from, size_t to) -> std::string {
+          for (size_t p = from; p < to; ++p) {
+            if (tokens[p].kind == Token::Kind::kIdent &&
+                arena_vars.count(tokens[p].text) > 0) {
+              // `var.size()` etc. produce values, not aliases; `var`,
+              // `var.data()`, `&var` alias arena memory.
+              if (p + 2 < to && tokens[p + 1].text == "." &&
+                  tokens[p + 2].text == "size") {
+                continue;
+              }
+              return tokens[p].text;
+            }
+          }
+          return "";
+        };
+
+        Finding f;
+        f.rule = "arena-escape";
+        f.file = file.rel_path;
+        const std::string where =
+            fn.class_name.empty() ? fn.name : fn.class_name + "::" + fn.name;
+
+        // `return <arena-var> ...;`
+        if (tokens[begin].text == "return") {
+          const std::string var = rhs_mentions_arena(begin + 1, end);
+          if (var.empty()) continue;
+          const size_t line = tokens[begin].line;
+          if (file.Suppressed(line, "arena-escape")) continue;
+          f.line = line;
+          f.message = "'" + var + "' is arena-backed and returned from " +
+                      where +
+                      ", whose ArenaScope rewinds that memory on exit";
+          f.context = where + " returns " + var;
+          findings->push_back(f);
+          continue;
+        }
+
+        // Assignment whose LHS outlives the scope: `member_ = ...`,
+        // `out->field = ...`, `*out = ...` with an arena var on the RHS.
+        size_t eq = begin;
+        int depth = 0;
+        for (; eq < end; ++eq) {
+          const std::string& e = tokens[eq].text;
+          if (e == "(" || e == "[") ++depth;
+          if (e == ")" || e == "]") --depth;
+          if (depth == 0 && e == "=" &&
+              (eq + 1 >= end || tokens[eq + 1].text != "=") &&
+              (eq == begin || tokens[eq - 1].text != "!" )) {
+            break;
+          }
+        }
+        if (eq >= end || eq == begin) continue;
+        const std::string var = rhs_mentions_arena(eq + 1, end);
+        if (var.empty()) continue;
+        // Judge the LHS: a member (trailing underscore), a deref'd
+        // out-param, or a pointer chain store escapes the frame.
+        bool escapes = false;
+        std::string lhs_desc;
+        for (size_t p = begin; p < eq; ++p) {
+          const std::string& e = tokens[p].text;
+          if (tokens[p].kind == Token::Kind::kIdent && !e.empty() &&
+              e.back() == '_') {
+            escapes = true;
+          }
+          if (e == "->" || (p == begin && e == "*")) escapes = true;
+          if (!lhs_desc.empty()) lhs_desc += ' ';
+          lhs_desc += e;
+        }
+        // A declaration (`Type x = ...`) introduces a local alias, which is
+        // fine: two leading identifiers before the name mean a type is
+        // present.
+        if (eq >= begin + 3 && tokens[begin].kind == Token::Kind::kIdent &&
+            tokens[eq - 1].kind == Token::Kind::kIdent &&
+            tokens[begin].text != tokens[eq - 1].text && !escapes) {
+          continue;
+        }
+        if (!escapes) continue;
+        const size_t line = tokens[begin].line;
+        if (file.Suppressed(line, "arena-escape")) continue;
+        f.line = line;
+        f.message = "'" + var + "' is arena-backed but stored into '" +
+                    lhs_desc + "' in " + where +
+                    ", which outlives the ArenaScope that owns the memory";
+        f.context = where + " stores " + var;
+        findings->push_back(f);
+      }
+    }
+  }
+}
+
+}  // namespace xicc

@@ -10,140 +10,14 @@
 #include <string>
 #include <vector>
 
+#include "analysis/source_model.h"
+
 namespace xicc {
 
 namespace {
 
 bool IsIdentChar(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-/// One physical line, pre-digested for the rules.
-struct Line {
-  std::string code;  ///< Comments, string and char literals blanked out.
-  std::string raw;
-  std::set<std::string> allows;  ///< Rules suppressed on this line.
-};
-
-/// Collects every `xicc-lint: allow(a, b)` rule name on the line.
-void CollectAllows(Line* line) {
-  const std::string tag = "xicc-lint: allow(";
-  size_t at = line->raw.find(tag);
-  while (at != std::string::npos) {
-    const size_t open = at + tag.size();
-    const size_t close = line->raw.find(')', open);
-    if (close == std::string::npos) break;
-    std::string name;
-    for (size_t i = open; i <= close; ++i) {
-      const char c = line->raw[i];
-      if (c == ',' || c == ')') {
-        const size_t first = name.find_first_not_of(' ');
-        const size_t last = name.find_last_not_of(' ');
-        if (first != std::string::npos) {
-          line->allows.insert(name.substr(first, last - first + 1));
-        }
-        name.clear();
-      } else {
-        name.push_back(c);
-      }
-    }
-    at = line->raw.find(tag, close);
-  }
-}
-
-/// Splits `content` into lines with comments, string literals (including
-/// multi-line raw strings), and char literals blanked out in `code`;
-/// suppressions are collected from the full raw text of each line.
-std::vector<Line> Digest(const std::string& content) {
-  std::vector<Line> lines(1);
-  enum class State { kCode, kLineComment, kBlockComment, kQuote, kRawString };
-  State state = State::kCode;
-  char quote = 0;
-  bool escaped = false;
-  std::string raw_terminator;  // ")delim\"" of the active raw string.
-  size_t block_open_at = 0;    // Index of the '/' that opened the comment.
-  const size_t n = content.size();
-
-  for (size_t i = 0; i < n; ++i) {
-    const char c = content[i];
-    if (c == '\n') {
-      CollectAllows(&lines.back());
-      // Line comments and (unterminated) ordinary literals end at newline;
-      // block comments and raw strings continue.
-      if (state == State::kLineComment || state == State::kQuote) {
-        state = State::kCode;
-      }
-      lines.emplace_back();
-      continue;
-    }
-    Line& cur = lines.back();
-    cur.raw.push_back(c);
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && i + 1 < n && content[i + 1] == '/') {
-          state = State::kLineComment;
-          cur.code.push_back(' ');
-        } else if (c == '/' && i + 1 < n && content[i + 1] == '*') {
-          state = State::kBlockComment;
-          block_open_at = i;
-          cur.code.push_back(' ');
-        } else if (c == '\'' && i > 0 &&
-                   std::isdigit(static_cast<unsigned char>(content[i - 1]))) {
-          cur.code.push_back(c);  // Digit separator, not a char literal.
-        } else if (c == '"' && i > 0 && content[i - 1] == 'R') {
-          // R"delim( ... )delim" — find the delimiter.
-          size_t open = content.find('(', i + 1);
-          raw_terminator =
-              ")" + content.substr(i + 1, open == std::string::npos
-                                              ? 0
-                                              : open - i - 1) +
-              "\"";
-          state = State::kRawString;
-          cur.code.push_back('"');
-        } else if (c == '"' || c == '\'') {
-          state = State::kQuote;
-          quote = c;
-          escaped = false;
-          cur.code.push_back(c);
-        } else {
-          cur.code.push_back(c);
-        }
-        break;
-      case State::kLineComment:
-      case State::kBlockComment:
-        cur.code.push_back(' ');
-        if (state == State::kBlockComment && c == '/' && i > 0 &&
-            content[i - 1] == '*' && i >= block_open_at + 3) {
-          state = State::kCode;
-        }
-        break;
-      case State::kQuote:
-        if (escaped) {
-          escaped = false;
-          cur.code.push_back(' ');
-        } else if (c == '\\') {
-          escaped = true;
-          cur.code.push_back(' ');
-        } else if (c == quote) {
-          state = State::kCode;
-          cur.code.push_back(quote);
-        } else {
-          cur.code.push_back(' ');
-        }
-        break;
-      case State::kRawString:
-        cur.code.push_back(' ');
-        if (c == '"' &&
-            i + 1 >= raw_terminator.size() &&
-            content.compare(i + 1 - raw_terminator.size(),
-                            raw_terminator.size(), raw_terminator) == 0) {
-          state = State::kCode;
-        }
-        break;
-    }
-  }
-  CollectAllows(&lines.back());
-  return lines;
 }
 
 /// True when `code` contains `token` as a whole word (identifier
@@ -163,49 +37,13 @@ bool HasToken(const std::string& code, const std::string& token) {
   return false;
 }
 
-/// Top-level directory of a repo-relative "src/..." path, or "" if the file
-/// is not under src/.
-std::string SrcDir(const std::string& rel_path) {
-  const std::string prefix = "src/";
-  if (rel_path.compare(0, prefix.size(), prefix) != 0) return "";
-  size_t slash = rel_path.find('/', prefix.size());
-  if (slash == std::string::npos) return "";
-  return rel_path.substr(prefix.size(), slash - prefix.size());
-}
-
-bool IsHeader(const std::string& rel_path) {
-  return rel_path.size() > 2 &&
-         rel_path.compare(rel_path.size() - 2, 2, ".h") == 0;
-}
-
-/// The dependency layering: which src/ directories each directory's quoted
-/// includes may name. Kept in one place so the rule and the docs agree.
-const std::map<std::string, std::set<std::string>>& LayerMap() {
-  static const std::map<std::string, std::set<std::string>> kLayers = {
-      {"base", {"base"}},
-      {"analysis", {"base", "analysis"}},
-      {"xml", {"base", "xml"}},
-      {"ilp", {"base", "ilp"}},
-      {"dtd", {"base", "xml", "dtd"}},
-      {"constraints", {"base", "xml", "dtd", "constraints"}},
-      {"relational", {"base", "xml", "dtd", "constraints", "relational"}},
-      {"core", {"base", "xml", "dtd", "constraints", "ilp", "core"}},
-      {"workloads",
-       {"base", "xml", "dtd", "constraints", "ilp", "core", "workloads"}},
-      {"tools",
-       {"base", "analysis", "xml", "ilp", "dtd", "constraints", "relational",
-        "core", "workloads", "tools"}},
-  };
-  return kLayers;
-}
-
 struct TokenRule {
   const char* rule;
   std::vector<const char*> tokens;
   const char* message;
 };
 
-void CheckTokens(const std::vector<Line>& lines, const TokenRule& spec,
+void CheckTokens(const std::vector<SourceLine>& lines, const TokenRule& spec,
                  const std::string& rel_path, std::vector<LintIssue>* out) {
   for (size_t k = 0; k < lines.size(); ++k) {
     if (lines[k].allows.count(spec.rule) > 0) continue;
@@ -220,7 +58,7 @@ void CheckTokens(const std::vector<Line>& lines, const TokenRule& spec,
   }
 }
 
-bool LineSuppressed(const std::vector<Line>& lines, size_t k,
+bool LineSuppressed(const std::vector<SourceLine>& lines, size_t k,
                     const char* rule) {
   if (lines[k].allows.count(rule) > 0) return true;
   return k > 0 && lines[k - 1].allows.count(rule) > 0;
@@ -232,7 +70,7 @@ bool LineSuppressed(const std::vector<Line>& lines, size_t k,
 /// add/mul silently wraps. `static_cast<int64_t>` stays legal: casting a
 /// size_t dimension for BigInt construction is bookkeeping, not coefficient
 /// arithmetic.
-void CheckRawCoefficientWords(const std::vector<Line>& lines,
+void CheckRawCoefficientWords(const std::vector<SourceLine>& lines,
                               const std::string& rel_path,
                               std::vector<LintIssue>* out) {
   const std::string token = "int64_t";
@@ -271,7 +109,7 @@ void CheckRawCoefficientWords(const std::vector<Line>& lines,
 
 /// `(void)Identifier(...)` — a muted call. `(void)param;` (no call) is the
 /// accepted unused-parameter idiom and is not flagged.
-void CheckVoidDiscard(const std::vector<Line>& lines,
+void CheckVoidDiscard(const std::vector<SourceLine>& lines,
                       const std::string& rel_path,
                       std::vector<LintIssue>* out) {
   for (size_t k = 0; k < lines.size(); ++k) {
@@ -300,7 +138,7 @@ void CheckVoidDiscard(const std::vector<Line>& lines,
   }
 }
 
-void CheckPragmaOnce(const std::vector<Line>& lines,
+void CheckPragmaOnce(const std::vector<SourceLine>& lines,
                      const std::string& rel_path,
                      std::vector<LintIssue>* out) {
   for (size_t k = 0; k < lines.size(); ++k) {
@@ -316,12 +154,12 @@ void CheckPragmaOnce(const std::vector<Line>& lines,
   }
 }
 
-void CheckIncludeLayering(const std::vector<Line>& lines,
+void CheckIncludeLayering(const std::vector<SourceLine>& lines,
                           const std::string& dir,
                           const std::string& rel_path,
                           std::vector<LintIssue>* out) {
-  auto it = LayerMap().find(dir);
-  if (it == LayerMap().end()) return;
+  auto it = LintLayerMap().find(dir);
+  if (it == LintLayerMap().end()) return;
   const std::set<std::string>& allowed = it->second;
   for (size_t k = 0; k < lines.size(); ++k) {
     const std::string& raw = lines[k].raw;
@@ -336,7 +174,7 @@ void CheckIncludeLayering(const std::vector<Line>& lines,
     size_t slash = path.find('/');
     if (slash == std::string::npos) continue;  // Same-directory include.
     std::string target = path.substr(0, slash);
-    if (LayerMap().count(target) == 0) continue;  // Not a src/ layer.
+    if (LintLayerMap().count(target) == 0) continue;  // Not a src/ layer.
     if (allowed.count(target) > 0) continue;
     if (LineSuppressed(lines, k, "include-layering")) continue;
     out->push_back({rel_path, k + 1, "include-layering",
@@ -387,11 +225,30 @@ const std::vector<LintRuleInfo>& LintRules() {
   return kRules;
 }
 
-std::vector<LintIssue> LintFile(const std::string& rel_path,
-                                const std::string& content) {
+const std::map<std::string, std::set<std::string>>& LintLayerMap() {
+  static const std::map<std::string, std::set<std::string>> kLayers = {
+      {"base", {"base"}},
+      {"analysis", {"base", "analysis"}},
+      {"xml", {"base", "xml"}},
+      {"ilp", {"base", "ilp"}},
+      {"dtd", {"base", "xml", "dtd"}},
+      {"constraints", {"base", "xml", "dtd", "constraints"}},
+      {"relational", {"base", "xml", "dtd", "constraints", "relational"}},
+      {"core", {"base", "xml", "dtd", "constraints", "ilp", "core"}},
+      {"workloads",
+       {"base", "xml", "dtd", "constraints", "ilp", "core", "workloads"}},
+      {"tools",
+       {"base", "analysis", "xml", "ilp", "dtd", "constraints", "relational",
+        "core", "workloads", "tools"}},
+  };
+  return kLayers;
+}
+
+std::vector<LintIssue> LintSourceFile(const SourceFile& file) {
   std::vector<LintIssue> out;
-  const std::vector<Line> lines = Digest(content);
-  const std::string dir = SrcDir(rel_path);
+  const std::vector<SourceLine>& lines = file.lines;
+  const std::string& rel_path = file.rel_path;
+  const std::string& dir = file.dir;
 
   if (dir == "ilp" || dir == "core") {
     CheckTokens(lines,
@@ -465,7 +322,7 @@ std::vector<LintIssue> LintFile(const std::string& rel_path,
                 rel_path, &out);
   }
   CheckVoidDiscard(lines, rel_path, &out);
-  if (IsHeader(rel_path) && !dir.empty()) {
+  if (file.is_header && !dir.empty()) {
     CheckPragmaOnce(lines, rel_path, &out);
   }
   if (!dir.empty()) {
@@ -477,10 +334,17 @@ std::vector<LintIssue> LintFile(const std::string& rel_path,
   return out;
 }
 
+std::vector<LintIssue> LintFile(const std::string& rel_path,
+                                const std::string& content) {
+  return LintSourceFile(BuildSourceFile(rel_path, content));
+}
+
 std::string ApplyLintFixes(const std::string& rel_path,
                            const std::string& content, bool* changed) {
   *changed = false;
-  if (!IsHeader(rel_path) || SrcDir(rel_path).empty()) return content;
+  if (!SourceIsHeader(rel_path) || SourceSrcDir(rel_path).empty()) {
+    return content;
+  }
 
   // Only fix files that actually violate pragma-once.
   bool violates = false;
@@ -559,51 +423,25 @@ std::string ApplyLintFixes(const std::string& rel_path,
 Result<LintRunReport> RunLint(const std::string& root, bool fix) {
   namespace fs = std::filesystem;
   LintRunReport report;
-  const fs::path src = fs::path(root) / "src";
-  std::error_code ec;
-  if (!fs::is_directory(src, ec)) {
-    return Status::InvalidArgument("no src/ directory under '" + root + "'");
-  }
+  XICC_ASSIGN_OR_RETURN(SourceModel model, BuildSourceModelFromDisk(root));
 
-  std::vector<fs::path> files;
-  for (auto it = fs::recursive_directory_iterator(src, ec);
-       it != fs::recursive_directory_iterator(); it.increment(ec)) {
-    if (ec) {
-      return Status::Internal("walking '" + src.string() +
-                              "': " + ec.message());
-    }
-    if (!it->is_regular_file()) continue;
-    const std::string ext = it->path().extension().string();
-    if (ext == ".h" || ext == ".cc") files.push_back(it->path());
-  }
-  std::sort(files.begin(), files.end());
-
-  for (const fs::path& path : files) {
-    std::ifstream in(path, std::ios::binary);
-    if (!in) {
-      return Status::Internal("cannot read '" + path.string() + "'");
-    }
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    std::string content = buffer.str();
+  for (SourceFile& file : model.files) {
     ++report.files_scanned;
-
-    const std::string rel =
-        fs::relative(path, fs::path(root), ec).generic_string();
     if (fix) {
       bool changed = false;
-      std::string fixed = ApplyLintFixes(rel, content, &changed);
+      std::string fixed = ApplyLintFixes(file.rel_path, file.content, &changed);
       if (changed) {
+        const fs::path path = fs::path(root) / file.rel_path;
         std::ofstream outf(path, std::ios::binary | std::ios::trunc);
         if (!outf) {
           return Status::Internal("cannot rewrite '" + path.string() + "'");
         }
         outf << fixed;
-        content = std::move(fixed);
+        file = BuildSourceFile(file.rel_path, fixed);
         ++report.files_fixed;
       }
     }
-    std::vector<LintIssue> issues = LintFile(rel, content);
+    std::vector<LintIssue> issues = LintSourceFile(file);
     report.issues.insert(report.issues.end(), issues.begin(), issues.end());
   }
   return report;

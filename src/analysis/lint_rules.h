@@ -1,8 +1,11 @@
 #pragma once
 
+#include <map>
+#include <set>
 #include <string>
 #include <vector>
 
+#include "analysis/source_model.h"
 #include "base/status.h"
 
 namespace xicc {
@@ -39,6 +42,10 @@ namespace xicc {
 /// `allow(rule-a, rule-b)`) silences those rules on its own line and on the
 /// immediately following line, so a standalone comment can cover a long
 /// statement. Suppressions are deliberate, greppable exceptions.
+///
+/// Since the xicc_analyze refactor the rules run over the shared source
+/// model (analysis/source_model.h): one digestion and one walk of the repo
+/// feeds lint and the semantic engines alike.
 
 struct LintIssue {
   std::string file;  ///< Repo-relative path, forward slashes.
@@ -59,6 +66,14 @@ struct LintRuleInfo {
 /// Every rule the linter knows, for --list-rules and the tests.
 const std::vector<LintRuleInfo>& LintRules();
 
+/// The dependency layering: which src/ directories each directory's quoted
+/// includes may name. Shared with the include-graph engine so the pairwise
+/// rule and the whole-graph matrix cannot disagree.
+const std::map<std::string, std::set<std::string>>& LintLayerMap();
+
+/// Lints one pre-built source-model file.
+std::vector<LintIssue> LintSourceFile(const SourceFile& file);
+
 /// Lints one file's contents. `rel_path` (repo-relative, forward slashes)
 /// decides which directory-scoped rules apply; files outside src/ only get
 /// the path-independent rules.
@@ -76,7 +91,7 @@ struct LintRunReport {
   size_t files_fixed = 0;
 };
 
-/// Walks `root`/src for .h/.cc files (sorted, deterministic) and lints each;
+/// Walks `root`/src via the shared source-model pass and lints each file;
 /// with `fix`, rewrites fixable files in place before reporting what
 /// remains. Fails only on I/O errors — lint findings are data, not errors.
 Result<LintRunReport> RunLint(const std::string& root, bool fix);

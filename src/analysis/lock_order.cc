@@ -1,0 +1,437 @@
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/analyze.h"
+#include "analysis/source_model.h"
+
+namespace xicc {
+
+namespace {
+
+/// A lock-acquisition site inside a function body: the qualified lock name
+/// and the brace depth at which its RAII guard (or manual Lock) lives.
+struct HeldLock {
+  std::string name;
+  int depth = 0;
+  size_t line = 0;
+};
+
+/// Last identifier of a type string ("std :: unique_ptr < Shard [ ] >" →
+/// "Shard"): the class a member handle points into. Uppercase-initial
+/// identifiers win so `unique_ptr` does not shadow `Shard`.
+std::string TypeClass(const std::string& type) {
+  std::string last_upper;
+  std::string last_any;
+  std::string word;
+  auto flush = [&]() {
+    if (word.empty()) return;
+    if (std::isupper(static_cast<unsigned char>(word[0])) != 0) {
+      last_upper = word;
+    }
+    last_any = word;
+    word.clear();
+  };
+  for (char c : type) {
+    if (std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      word.push_back(c);
+    } else {
+      flush();
+    }
+  }
+  flush();
+  return last_upper.empty() ? last_any : last_upper;
+}
+
+/// The class that owns a mutex member named `field`, given that the lock
+/// expression's base object has class `owner_guess` — confirmed against the
+/// model's mutex declarations, falling back to the guess.
+std::string QualifyLock(const SourceModel& model, const std::string& owner,
+                        const std::string& field) {
+  for (const SourceFile& file : model.files) {
+    for (const MutexDecl& mutex : file.mutexes) {
+      if (mutex.name != field) continue;
+      if (mutex.class_name == owner) {
+        return owner.empty() ? field : owner + "::" + field;
+      }
+    }
+  }
+  // No exact class match: if the field names a unique mutex anywhere, use
+  // its declared owner (covers locals aliased through references).
+  std::string unique_owner;
+  int hits = 0;
+  for (const SourceFile& file : model.files) {
+    for (const MutexDecl& mutex : file.mutexes) {
+      if (mutex.name != field) continue;
+      ++hits;
+      unique_owner = mutex.class_name;
+    }
+  }
+  if (hits == 1) {
+    return unique_owner.empty() ? field : unique_owner + "::" + field;
+  }
+  return owner.empty() ? field : owner + "::" + field;
+}
+
+/// Resolves the class of the identifier `base` used inside `fn` of `file`:
+/// function-local declarations, parameters, then members of the enclosing
+/// class.
+std::string BaseClass(const SourceModel& model, const SourceFile& file,
+                      const FunctionInfo& fn, const std::string& base,
+                      size_t use_at) {
+  const std::vector<Token>& tokens = file.tokens;
+  // Local declaration `Type base` (or `Type & base`, `Type * base`) before
+  // the use site.
+  for (size_t i = fn.body_begin + 1; i + 1 < use_at; ++i) {
+    if (tokens[i + 1].text != base) continue;
+    const Token& prev = tokens[i];
+    size_t type_at = i;
+    if (prev.text == "&" || prev.text == "*" || prev.text == ">") {
+      while (type_at > fn.body_begin &&
+             tokens[type_at].kind != Token::Kind::kIdent) {
+        --type_at;
+      }
+    }
+    if (tokens[type_at].kind == Token::Kind::kIdent &&
+        std::isupper(static_cast<unsigned char>(tokens[type_at].text[0])) !=
+            0) {
+      return tokens[type_at].text;
+    }
+  }
+  // Parameter: `... Type [*&] base [,)]` in the signature text.
+  {
+    const std::string& params = fn.params;
+    const std::string needle = " " + base;
+    size_t at = params.find(needle);
+    while (at != std::string::npos) {
+      const size_t after = at + needle.size();
+      if (after >= params.size() || params[after] == ' ') {
+        // Scan left for the nearest uppercase-initial word.
+        std::string left = params.substr(0, at);
+        const std::string cls = TypeClass(left);
+        if (!cls.empty() &&
+            std::isupper(static_cast<unsigned char>(cls[0])) != 0) {
+          return cls;
+        }
+        break;
+      }
+      at = params.find(needle, at + 1);
+    }
+  }
+  // Member of the enclosing class.
+  for (const SourceFile& f : model.files) {
+    for (const MemberDecl& member : f.members) {
+      if (member.name == base && member.class_name == fn.class_name) {
+        return TypeClass(member.type);
+      }
+    }
+  }
+  // Unique member of that name anywhere (out-of-line definitions whose class
+  // body lives in the header).
+  std::string unique_cls;
+  int hits = 0;
+  for (const SourceFile& f : model.files) {
+    for (const MemberDecl& member : f.members) {
+      if (member.name != base) continue;
+      ++hits;
+      unique_cls = TypeClass(member.type);
+    }
+  }
+  if (hits == 1) return unique_cls;
+  return fn.class_name;
+}
+
+/// Resolves a lock expression (the tokens between `(` and `)` of a MutexLock
+/// constructor, or the chain before `.Lock()`) to a qualified lock name.
+std::string ResolveLockExpr(const SourceModel& model, const SourceFile& file,
+                            const FunctionInfo& fn, size_t begin, size_t end) {
+  const std::vector<Token>& tokens = file.tokens;
+  // Collect the expression's identifiers at bracket depth zero, dropping
+  // index groups (`shards_[self]` → `shards_`).
+  std::vector<std::pair<std::string, size_t>> idents;  // (text, token index)
+  std::vector<std::string> seps;  // Separator BEFORE idents[k] (k >= 1).
+  int bracket = 0;
+  std::string pending_sep;
+  for (size_t i = begin; i < end; ++i) {
+    const std::string& t = tokens[i].text;
+    if (t == "[" || t == "(") {
+      ++bracket;
+      continue;
+    }
+    if (t == "]" || t == ")") {
+      --bracket;
+      continue;
+    }
+    if (bracket > 0) continue;
+    if (tokens[i].kind == Token::Kind::kIdent) {
+      if (!idents.empty()) seps.push_back(pending_sep);
+      idents.emplace_back(t, i);
+      pending_sep.clear();
+    } else if (t == "." || t == "->" || t == "::") {
+      pending_sep = t;
+    }
+  }
+  if (idents.empty()) return "";
+  const std::string field = idents.back().first;
+  if (idents.size() == 1) {
+    return QualifyLock(model, fn.class_name, field);
+  }
+  // `Class::member` spelled explicitly.
+  if (seps.back() == "::") {
+    return idents[idents.size() - 2].first + "::" + field;
+  }
+  const std::string& base = idents[idents.size() - 2].first;
+  const std::string owner =
+      BaseClass(model, file, fn, base, idents[idents.size() - 2].second);
+  return QualifyLock(model, owner, field);
+}
+
+}  // namespace
+
+void AnalyzeLockOrder(const SourceModel& model, LockGraph* graph,
+                      std::vector<Finding>* findings) {
+  // ---- Nodes: every declared Mutex. ----
+  std::map<std::string, size_t> node_index;
+  for (const SourceFile& file : model.files) {
+    for (const MutexDecl& mutex : file.mutexes) {
+      LockGraph::Node node;
+      node.name = mutex.class_name.empty()
+                      ? mutex.name
+                      : mutex.class_name + "::" + mutex.name;
+      node.file = file.rel_path;
+      node.line = mutex.line;
+      node.leaf = mutex.leaf;
+      if (node_index.count(node.name) == 0) {
+        node_index[node.name] = graph->nodes.size();
+        graph->nodes.push_back(node);
+      }
+    }
+  }
+
+  std::set<std::string> edge_keys;
+  auto add_edge = [&](const std::string& from, const std::string& to,
+                      const std::string& file, size_t line,
+                      const std::string& kind) {
+    const std::string key = from + "\t" + to;
+    if (edge_keys.count(key) > 0) return;
+    edge_keys.insert(key);
+    graph->edges.push_back({from, to, file, line, kind});
+  };
+
+  // ---- Annotation edges: `acquired_after` lists "X comes first". ----
+  for (const SourceFile& file : model.files) {
+    for (const MutexDecl& mutex : file.mutexes) {
+      const std::string self = mutex.class_name.empty()
+                                   ? mutex.name
+                                   : mutex.class_name + "::" + mutex.name;
+      for (const std::string& before : mutex.acquired_after) {
+        add_edge(before, self, file.rel_path, mutex.line, "annotation");
+      }
+    }
+  }
+
+  // ---- Nesting edges: MutexLock guards and manual .Lock() calls. ----
+  for (const SourceFile& file : model.files) {
+    if (file.rel_path == "src/base/thread_annotations.h") {
+      continue;  // The primitives themselves, not users of them.
+    }
+    const std::vector<Token>& tokens = file.tokens;
+    for (const FunctionInfo& fn : file.functions) {
+      if (!fn.is_definition || fn.body_end <= fn.body_begin) continue;
+      std::vector<HeldLock> held;
+      int depth = 0;
+      for (size_t i = fn.body_begin + 1; i < fn.body_end; ++i) {
+        const std::string& t = tokens[i].text;
+        if (t == "{") {
+          ++depth;
+          continue;
+        }
+        if (t == "}") {
+          --depth;
+          while (!held.empty() && held.back().depth > depth) {
+            held.pop_back();
+          }
+          continue;
+        }
+        std::string acquired;
+        size_t acquired_line = 0;
+        if (t == "MutexLock" && i + 2 < fn.body_end &&
+            tokens[i + 1].kind == Token::Kind::kIdent &&
+            tokens[i + 2].text == "(") {
+          // `MutexLock guard(&expr);`
+          size_t close = i + 2;
+          int paren = 0;
+          for (; close < fn.body_end; ++close) {
+            if (tokens[close].text == "(") ++paren;
+            if (tokens[close].text == ")" && --paren == 0) break;
+          }
+          acquired = ResolveLockExpr(model, file, fn, i + 3, close);
+          acquired_line = tokens[i].line;
+          i = close;
+        } else if ((t == "Lock" || t == "Unlock") && i + 1 < fn.body_end &&
+                   tokens[i + 1].text == "(" && i > fn.body_begin + 1 &&
+                   (tokens[i - 1].text == "." || tokens[i - 1].text == "->")) {
+          // Manual `expr.Lock()` / `expr.Unlock()`: scan the chain left.
+          size_t start = i - 1;
+          int bracket = 0;
+          while (start > fn.body_begin) {
+            const std::string& p = tokens[start - 1].text;
+            if (p == "]" || p == ")") {
+              ++bracket;
+              --start;
+              continue;
+            }
+            if (p == "[" || p == "(") {
+              if (bracket == 0) break;
+              --bracket;
+              --start;
+              continue;
+            }
+            if (bracket > 0 || p == "." || p == "->" || p == "::" ||
+                tokens[start - 1].kind == Token::Kind::kIdent) {
+              --start;
+              continue;
+            }
+            break;
+          }
+          const std::string name =
+              ResolveLockExpr(model, file, fn, start, i - 1);
+          if (t == "Unlock") {
+            for (size_t h = held.size(); h-- > 0;) {
+              if (held[h].name == name) {
+                held.erase(held.begin() + static_cast<long>(h));
+                break;
+              }
+            }
+            continue;
+          }
+          acquired = name;
+          acquired_line = tokens[i].line;
+        }
+        if (acquired.empty()) continue;
+        if (file.Suppressed(acquired_line, "lock-order")) {
+          held.push_back({acquired, depth, acquired_line});
+          continue;
+        }
+        for (const HeldLock& h : held) {
+          if (h.name == acquired) {
+            Finding f;
+            f.rule = "lock-order";
+            f.file = file.rel_path;
+            f.line = acquired_line;
+            f.message = "'" + acquired + "' acquired while already held (" +
+                        file.rel_path + ":" + std::to_string(h.line) +
+                        "): self-deadlock on a non-reentrant Mutex";
+            f.context = fn.name + " self:" + acquired;
+            findings->push_back(f);
+            continue;
+          }
+          add_edge(h.name, acquired, file.rel_path, acquired_line, "nesting");
+        }
+        held.push_back({acquired, depth, acquired_line});
+      }
+    }
+  }
+
+  // Nodes referenced only by edges (locks outside the model, e.g. from
+  // fixture snippets) still join the graph so cycles are closed.
+  for (const LockGraph::Edge& edge : graph->edges) {
+    for (const std::string& name : {edge.from, edge.to}) {
+      if (node_index.count(name) == 0) {
+        node_index[name] = graph->nodes.size();
+        graph->nodes.push_back({name, "", 0, false});
+      }
+    }
+  }
+
+  // ---- Leaf violations: an edge OUT of a lock-leaf lock. ----
+  for (const LockGraph::Edge& edge : graph->edges) {
+    const LockGraph::Node& from = graph->nodes[node_index[edge.from]];
+    if (!from.leaf || edge.kind != "nesting") continue;
+    Finding f;
+    f.rule = "lock-order";
+    f.file = edge.file;
+    f.line = edge.line;
+    f.message = "'" + edge.to + "' acquired while holding '" + edge.from +
+                "', which is annotated lock-leaf (no lock may nest inside "
+                "it)";
+    f.context = "leaf:" + edge.from + ">" + edge.to;
+    findings->push_back(f);
+  }
+
+  // ---- Cycle detection (iterative DFS, deterministic order). ----
+  std::map<std::string, std::vector<const LockGraph::Edge*>> adj;
+  for (const LockGraph::Edge& edge : graph->edges) {
+    adj[edge.from].push_back(&edge);
+  }
+  std::set<std::string> done;
+  std::set<std::string> reported_cycles;
+  for (const LockGraph::Node& root : graph->nodes) {
+    if (done.count(root.name) > 0) continue;
+    // Path-based DFS.
+    std::vector<std::pair<std::string, size_t>> stack;  // (node, next child)
+    std::set<std::string> on_path;
+    stack.emplace_back(root.name, 0);
+    on_path.insert(root.name);
+    while (!stack.empty()) {
+      auto& [name, next] = stack.back();
+      const std::vector<const LockGraph::Edge*>& out = adj[name];
+      if (next >= out.size()) {
+        done.insert(name);
+        on_path.erase(name);
+        stack.pop_back();
+        continue;
+      }
+      const LockGraph::Edge* edge = out[next++];
+      if (on_path.count(edge->to) > 0) {
+        // Reconstruct the cycle path from the stack.
+        std::vector<std::string> cycle;
+        bool in_cycle = false;
+        for (const auto& [n, unused] : stack) {
+          if (n == edge->to) in_cycle = true;
+          if (in_cycle) cycle.push_back(n);
+        }
+        cycle.push_back(edge->to);
+        std::string path;
+        for (const std::string& n : cycle) {
+          if (!path.empty()) path += " -> ";
+          path += n;
+        }
+        // Canonicalize: report each cycle once regardless of entry point.
+        std::vector<std::string> sorted(cycle.begin(), cycle.end() - 1);
+        std::sort(sorted.begin(), sorted.end());
+        std::string canon;
+        for (const std::string& n : sorted) canon += n + "|";
+        if (reported_cycles.count(canon) == 0) {
+          reported_cycles.insert(canon);
+          Finding f;
+          f.rule = "lock-order";
+          f.file = edge->file.empty() ? "LOCK_ORDER.md" : edge->file;
+          f.line = edge->line;
+          f.message =
+              "lock-order cycle: " + path +
+              " — two threads taking these in opposite order deadlock";
+          f.context = "cycle:" + canon;
+          findings->push_back(f);
+        }
+        continue;
+      }
+      if (done.count(edge->to) > 0) continue;
+      stack.emplace_back(edge->to, 0);
+      on_path.insert(edge->to);
+    }
+  }
+
+  std::sort(graph->nodes.begin(), graph->nodes.end(),
+            [](const LockGraph::Node& a, const LockGraph::Node& b) {
+              return a.name < b.name;
+            });
+  std::sort(graph->edges.begin(), graph->edges.end(),
+            [](const LockGraph::Edge& a, const LockGraph::Edge& b) {
+              return a.from != b.from ? a.from < b.from : a.to < b.to;
+            });
+}
+
+}  // namespace xicc

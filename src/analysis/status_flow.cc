@@ -1,0 +1,149 @@
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/analyze.h"
+#include "analysis/source_model.h"
+
+namespace xicc {
+
+namespace {
+
+/// True when a function's return-type text is Status or Result<...>
+/// (possibly xicc::-qualified).
+bool ReturnsStatusLike(const std::string& return_type) {
+  std::string first;
+  size_t at = 0;
+  // Skip a leading `xicc ::`.
+  const std::string ns = "xicc ::";
+  if (return_type.compare(0, ns.size(), ns) == 0) at = ns.size();
+  while (at < return_type.size() && return_type[at] == ' ') ++at;
+  while (at < return_type.size() && return_type[at] != ' ') {
+    first.push_back(return_type[at++]);
+  }
+  return first == "Status" || first == "Result";
+}
+
+}  // namespace
+
+void AnalyzeStatusFlow(const SourceModel& model,
+                       std::vector<Finding>* findings) {
+  // ---- Every function name that returns Status/Result (decls included, so
+  // headers teach us about callees defined elsewhere). ----
+  std::set<std::string> returners;
+  for (const SourceFile& file : model.files) {
+    for (const FunctionInfo& fn : file.functions) {
+      if (ReturnsStatusLike(fn.return_type)) returners.insert(fn.name);
+    }
+  }
+  if (returners.empty()) return;
+
+  // ---- Scan expression statements in every body. ----
+  for (const SourceFile& file : model.files) {
+    const std::vector<Token>& tokens = file.tokens;
+    for (const FunctionInfo& fn : file.functions) {
+      if (!fn.is_definition || fn.body_end <= fn.body_begin) continue;
+      size_t stmt_begin = fn.body_begin + 1;
+      for (size_t i = fn.body_begin + 1; i <= fn.body_end; ++i) {
+        const std::string& t = tokens[i].text;
+        if (t != ";" && t != "{" && t != "}") continue;
+        size_t begin = stmt_begin;
+        const size_t end = i;  // Exclusive.
+        stmt_begin = i + 1;
+        if (t != ";" || begin >= end) continue;
+        // `if (...) Foo();` — strip leading control keywords + condition.
+        while (begin < end) {
+          const std::string& head = tokens[begin].text;
+          if (head == "else") {
+            ++begin;
+            continue;
+          }
+          if ((head == "if" || head == "while" || head == "for" ||
+               head == "switch") &&
+              begin + 1 < end && tokens[begin + 1].text == "(") {
+            int paren = 0;
+            size_t close = begin + 1;
+            for (; close < end; ++close) {
+              if (tokens[close].text == "(") ++paren;
+              if (tokens[close].text == ")" && --paren == 0) break;
+            }
+            begin = close + 1;
+            continue;
+          }
+          break;
+        }
+        if (begin >= end) continue;
+        if (tokens[begin].kind != Token::Kind::kIdent) continue;
+        if (tokens[begin].text == "return" || tokens[begin].text == "co_return")
+          continue;
+        // The statement must be a bare call chain:
+        //   ident (:: ident)* ( args ) [ (. | ->) ident ( args ) ]* ;
+        // Anything else (assignment, declaration, arithmetic) disqualifies.
+        std::string last_callee;
+        size_t last_callee_at = 0;
+        size_t p = begin;
+        bool bare_call = false;
+        // Leading qualified name.
+        if (tokens[p].kind != Token::Kind::kIdent) continue;
+        std::string head_name = tokens[p].text;
+        ++p;
+        while (p + 1 < end && tokens[p].text == "::" &&
+               tokens[p + 1].kind == Token::Kind::kIdent) {
+          head_name = tokens[p + 1].text;
+          p += 2;
+        }
+        while (p < end) {
+          if (tokens[p].text == "(") {
+            last_callee = head_name;
+            last_callee_at = p - 1;
+            int paren = 0;
+            for (; p < end; ++p) {
+              if (tokens[p].text == "(") ++paren;
+              if (tokens[p].text == ")" && --paren == 0) break;
+            }
+            if (p >= end) break;  // Unbalanced: not a statement we judge.
+            ++p;
+            bare_call = true;
+            // Optional `.Next(...)` / `->Next(...)` continuation.
+            if (p + 1 < end &&
+                (tokens[p].text == "." || tokens[p].text == "->") &&
+                tokens[p + 1].kind == Token::Kind::kIdent) {
+              head_name = tokens[p + 1].text;
+              p += 2;
+              bare_call = false;  // Needs its own call to stay bare.
+              continue;
+            }
+            break;
+          }
+          if ((tokens[p].text == "." || tokens[p].text == "->" ||
+               tokens[p].text == "::") &&
+              p + 1 < end && tokens[p + 1].kind == Token::Kind::kIdent) {
+            head_name = tokens[p + 1].text;
+            p += 2;
+            continue;
+          }
+          bare_call = false;
+          break;
+        }
+        if (!bare_call || p < end) continue;  // Trailing tokens: not bare.
+        if (last_callee.empty() || returners.count(last_callee) == 0) continue;
+        const size_t line = tokens[last_callee_at].line;
+        if (file.Suppressed(line, "status-drop")) continue;
+        Finding f;
+        f.rule = "status-drop";
+        f.file = file.rel_path;
+        f.line = line;
+        const std::string where =
+            fn.class_name.empty() ? fn.name : fn.class_name + "::" + fn.name;
+        f.message = "result of '" + last_callee +
+                    "' (returns Status/Result) is dropped in " + where +
+                    ": branch on it, return it, or consume it explicitly";
+        f.context = where + " drops " + last_callee;
+        findings->push_back(f);
+      }
+    }
+  }
+}
+
+}  // namespace xicc

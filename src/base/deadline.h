@@ -160,7 +160,7 @@ class CancelTimer {
   CancelTimer& operator=(const CancelTimer&) = delete;
 
  private:
-  Mutex mu_;
+  Mutex mu_;  // xicc-analyze: lock-leaf
   CondVar cv_;
   bool disarmed_ XICC_GUARDED_BY(mu_) = false;
   std::thread thread_;

@@ -59,6 +59,17 @@
 /// (deadlock prevention for self-locking entry points).
 #define XICC_EXCLUDES(...) XICC_TSA_ATTRIBUTE_(locks_excluded(__VA_ARGS__))
 
+/// Lock-ordering anchors on a Mutex member: this lock is only ever acquired
+/// AFTER (resp. BEFORE) the listed locks. Clang enforces the order for
+/// same-class members; xicc_analyze's lock-order engine reads the same
+/// annotations (plus `// xicc-analyze: acquired-after(Class::member)`
+/// comments for cross-class edges Clang cannot express) and folds them into
+/// the global acquisition graph behind LOCK_ORDER.md.
+#define XICC_ACQUIRED_AFTER(...) \
+  XICC_TSA_ATTRIBUTE_(acquired_after(__VA_ARGS__))
+#define XICC_ACQUIRED_BEFORE(...) \
+  XICC_TSA_ATTRIBUTE_(acquired_before(__VA_ARGS__))
+
 /// Returns a reference to the named capability (for accessors).
 #define XICC_RETURN_CAPABILITY(x) XICC_TSA_ATTRIBUTE_(lock_returned(x))
 

@@ -149,7 +149,7 @@ class WorkStealingPool {
   /// One worker's deque plus its lock, padded to a cache line so adjacent
   /// shards' hot tops never false-share.
   struct alignas(64) Shard {
-    Mutex mu;
+    Mutex mu;  // xicc-analyze: lock-leaf
     std::deque<std::function<void()>> queue XICC_GUARDED_BY(mu);
   };
 
@@ -233,6 +233,9 @@ class WorkStealingPool {
   const CancelToken* cancel_ = nullptr;
   uint64_t cancel_callback_id_ = 0;
 
+  /// Taken inside CancelToken::Cancel()'s callback sweep, which runs under
+  /// the token's own lock — so the token's lock always comes first.
+  // xicc-analyze: acquired-after(CancelToken::mu_)
   Mutex sleep_mu_;
   CondVar wake_;
   CondVar drained_;

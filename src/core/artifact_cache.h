@@ -97,7 +97,7 @@ class ArtifactCache {
   void MemoryPut(uint64_t key, std::shared_ptr<const CompiledDtd> compiled);
 
   Options options_;
-  mutable Mutex mu_;
+  mutable Mutex mu_;  // xicc-analyze: lock-leaf
   /// LRU: front = most recent. The map holds list iterators for O(log n)
   /// touch; capacity is small so this is never hot.
   std::list<uint64_t> lru_ XICC_GUARDED_BY(mu_);

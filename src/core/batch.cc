@@ -86,7 +86,7 @@ class SessionPool {
   std::shared_ptr<const CompiledDtd> compiled_;
   ConsistencyOptions check_;
   std::shared_ptr<SharedSigmaMemo> memo_;
-  Mutex mu_;
+  Mutex mu_;  // xicc-analyze: lock-leaf
   std::vector<std::unique_ptr<SpecSession>> free_ XICC_GUARDED_BY(mu_);
 };
 

@@ -36,7 +36,7 @@ struct SearchShared {
   /// external cancel, or a leaf solve observing either. Not a failure: the
   /// final status comes from the signal, with partial statistics attached.
   std::atomic<bool> stopped{false};
-  Mutex mu;
+  Mutex mu;  // xicc-analyze: lock-leaf
   /// `solution` carries feasible + values only (statistics are assembled
   /// from the aggregated counters); `error` is the first leaf failure.
   IlpSolution solution XICC_GUARDED_BY(mu);

@@ -138,7 +138,7 @@ class SharedSigmaMemo {
   };
   /// Padded to a cache line: adjacent shards' mutexes must not false-share.
   struct alignas(64) MemoShard {
-    Mutex mu;
+    Mutex mu;  // xicc-analyze: lock-leaf
     std::unordered_map<std::string, MemoEntry> entries XICC_GUARDED_BY(mu);
     uint64_t clock XICC_GUARDED_BY(mu) = 0;
     /// Exact accounting, bumped outside the lock (atomics lose nothing).

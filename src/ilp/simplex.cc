@@ -31,6 +31,8 @@ class Tableau {
 
  private:
   size_t cols_;
+  // Tableau is only ever a local inside the solve's own ArenaScope, so the
+  // member cannot outlive the scope. xicc-lint: allow(arena-escape)
   ArenaVector<Num> cells_;
 };
 
