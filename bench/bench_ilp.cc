@@ -15,6 +15,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <utility>
 #include <vector>
 
 #include "base/arena.h"
@@ -49,8 +50,9 @@ double Pr3Baseline(const std::string& row) {
 
 void RunLpSection(bench::JsonReport& report) {
   bench::Header("cold LP factorization of the Ψ(D,∅) skeleton");
-  std::printf("%16s %8s %8s %12s %12s %10s %10s %10s\n", "dtd", "rows",
-              "cols", "time(ms)", "pivots", "vs-pr3", "promo", "arena(B)");
+  std::printf("%16s %8s %8s %12s %12s %12s %10s %10s %8s\n", "dtd", "rows",
+              "cols", "time(ms)", "dense(ms)", "pivots", "vs-pr3", "vs-dense",
+              "nnz");
   struct Case {
     const char* name;
     Dtd dtd;
@@ -65,8 +67,7 @@ void RunLpSection(bench::JsonReport& report) {
                                  c.dtd.AllAttributePairs());
     if (!encoding.ok()) std::abort();
     const LinearSystem& sys = encoding->system;
-    size_t pivots = 0;
-    bool feasible = false;
+    LpResult kept;
     // Tier/arena tallies for one representative solve (thread-local deltas).
     uint64_t small_ops = 0, big_ops = 0, promotions = 0, arena_bytes = 0;
     double ms = bench::BestTimeMs(5, [&] {
@@ -78,24 +79,51 @@ void RunLpSection(bench::JsonReport& report) {
       big_ops = after.big_ops - before.big_ops;
       promotions = after.promotions - before.promotions;
       arena_bytes = ThisThreadArena().total_allocated() - bytes_before;
-      pivots = lp.pivots;
-      feasible = lp.feasible;
+      kept = std::move(lp);
     });
-    if (!feasible) std::abort();
+    if (!kept.feasible) std::abort();
+
+    // Dense-Bland reference solve of the same system: the seed kernel the
+    // sparse one replaced, timed under identical conditions. The verdict
+    // must agree — the kernel swap is a performance change, not a semantic
+    // one.
+    bool dense_feasible = false;
+    double dense_ms = bench::BestTimeMs(5, [&] {
+      LpResult lp = SolveLpFeasibilityDenseBland(sys);
+      dense_feasible = lp.feasible;
+    });
+    if (dense_feasible != kept.feasible) std::abort();
+    const double speedup_vs_dense =  // xicc-lint: allow(exact-arithmetic)
+        ms > 0 ? dense_ms / ms : 0.0;
+
     const std::string row = std::string("lp:") + c.name;
     double base = Pr3Baseline(row);
     const double promo_rate =  // xicc-lint: allow(exact-arithmetic)
         small_ops > 0 ? static_cast<double>(promotions) / small_ops : 0.0;
-    std::printf("%16s %8zu %8zu %12.3f %12zu %9.2fx %10.2e %10zu\n", c.name,
-                sys.NumConstraints(), sys.NumVariables(), ms, pivots,
-                base > 0 ? base / ms : 0.0, promo_rate,
-                static_cast<size_t>(arena_bytes));
+    const double nnz_density =  // xicc-lint: allow(exact-arithmetic)
+        kept.total_cells > 0
+            ? static_cast<double>(kept.nnz_cells) / kept.total_cells
+            : 0.0;
+    std::printf("%16s %8zu %8zu %12.3f %12.3f %12zu %9.2fx %9.2fx %8.4f\n",
+                c.name, sys.NumConstraints(), sys.NumVariables(), ms, dense_ms,
+                kept.pivots, base > 0 ? base / ms : 0.0, speedup_vs_dense,
+                nnz_density);
     report.AddRow("lp")
         .Set("dtd", c.name)
         .Set("rows", sys.NumConstraints())
         .Set("cols", sys.NumVariables())
         .Set("time_ms", ms)
-        .Set("pivots", pivots)
+        .Set("dense_time_ms", dense_ms)
+        .Set("speedup_vs_dense_x", speedup_vs_dense)
+        .Set("pivots", kept.pivots)
+        .Set("dantzig_pivots", kept.dantzig_pivots)
+        .Set("bland_pivots", kept.bland_pivots)
+        .Set("bland_fallbacks", kept.bland_fallbacks)
+        .Set("nnz_density", nnz_density)
+        .Set("fill_in", kept.fill_in)
+        .Set("fast_rows", kept.fast_rows)
+        .Set("fast_row_promotions", kept.fast_row_promotions)
+        .Set("verdicts_identical", dense_feasible == kept.feasible)
         .Set("pr3_baseline_ms", base)
         .Set("speedup_vs_pr3_x", base > 0 ? base / ms : 0.0)
         .Set("small_ops", small_ops)
@@ -130,15 +158,18 @@ void RunConsistencySection(bench::JsonReport& report) {
     size_t pivots = 0;
     uint64_t small_ops = 0, big_ops = 0, promotions = 0, demotions = 0;
     uint64_t arena_bytes = 0;
+    LpKernelStats kernel;
     std::vector<char> verdicts(queries.size());
     double ms = bench::BestTimeMs(3, [&] {
       pivots = 0;
       small_ops = big_ops = promotions = demotions = arena_bytes = 0;
+      kernel = LpKernelStats();
       for (size_t i = 0; i < queries.size(); ++i) {
         auto r = CheckConsistency(c.dtd, queries[i], check);
         if (!r.ok()) std::abort();
         verdicts[i] = r->consistent ? 1 : 0;
         pivots += r->stats.lp_pivots;
+        kernel.Add(r->stats.lp_kernel);
         small_ops += r->stats.num_small_ops;
         big_ops += r->stats.num_big_ops;
         promotions += r->stats.num_promotions;
@@ -177,6 +208,16 @@ void RunConsistencySection(bench::JsonReport& report) {
         .Set("promotion_rate", promo_rate)
         .Set("demotions", demotions)
         .Set("arena_bytes", arena_bytes)
+        .Set("dantzig_pivots", kernel.dantzig_pivots)
+        .Set("bland_pivots", kernel.bland_pivots)
+        .Set("bland_fallbacks", kernel.bland_fallbacks)
+        .Set("fill_in", kernel.fill_in)
+        .Set("nnz_density",  // xicc-lint: allow(exact-arithmetic)
+             kernel.total_cells > 0
+                 ? static_cast<double>(kernel.nnz_cells) / kernel.total_cells
+                 : 0.0)
+        .Set("fast_rows", kernel.fast_rows)
+        .Set("fast_row_promotions", kernel.fast_row_promotions)
         .Set("verdicts_identical", verdicts_identical);
   }
 }

@@ -220,6 +220,10 @@ void RunLargeBatchScaling(bench::JsonReport& report) {
         .Set("threads", threads)
         .Set("workers_effective", run.workers)
         .Set("hardware_threads", run.hardware_threads)
+        // A multi-thread request that the pool clamped to one worker cannot
+        // scale by construction; the row says so explicitly instead of
+        // leaving the gate script to infer it from hardware_threads.
+        .Set("advisory", threads > 1 && run.workers <= 1)
         .Set("queries", queries.size())
         .Set("reps", static_cast<size_t>(kReps))
         .Set("batch_ms", best)

@@ -176,6 +176,34 @@ void BM_SimplexFeasibility(benchmark::State& state) {
 }
 BENCHMARK(BM_SimplexFeasibility)->Arg(4)->Arg(16)->Arg(64);
 
+void BM_SimplexSparseVsDense(benchmark::State& state) {
+  // The same transportation-like system as BM_SimplexFeasibility, solved by
+  // the sparse pricing-driven kernel (arg bit 0 clear) or by the dense
+  // Bland reference it replaced (arg bit 0 set) — side-by-side rows expose
+  // the kernel swap's gain at each size.
+  const int n = static_cast<int>(state.range(0));
+  const bool dense = state.range(1) != 0;
+  LinearSystem sys;
+  for (int i = 0; i < n; ++i) sys.AddVariable("x" + std::to_string(i));
+  for (int i = 0; i + 1 < n; ++i) {
+    LinearExpr expr;
+    expr.Add(i, BigInt(1)).Add(i + 1, BigInt(-1));
+    sys.AddConstraint(expr, RelOp::kLe, BigInt(1));
+  }
+  LinearExpr total;
+  for (int i = 0; i < n; ++i) total.Add(i, BigInt(1));
+  sys.AddConstraint(total, RelOp::kGe, BigInt(n));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dense ? SolveLpFeasibilityDenseBland(sys)
+                                   : SolveLpFeasibility(sys));
+  }
+}
+BENCHMARK(BM_SimplexSparseVsDense)
+    ->Args({16, 0})
+    ->Args({16, 1})
+    ->Args({64, 0})
+    ->Args({64, 1});
+
 }  // namespace
 }  // namespace xicc
 

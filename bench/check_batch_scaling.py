@@ -129,6 +129,20 @@ def check_scaling(report, path) -> int:
         )
         return 1
 
+    # A row the bench itself marked advisory means the pool clamped the
+    # multi-thread request down to ONE worker: no parallelism ever ran, so
+    # neither the speedup floor nor the no-regression fallback measures
+    # anything real. Skip the speedup gate outright (the stage-field check
+    # above still applies — profiling must stay connected even clamped).
+    if gate_row.get("advisory", False):
+        print(
+            f"skip: {GATE_THREADS}-thread row is advisory "
+            f"(workers_effective="
+            f"{gate_row.get('workers_effective', '?')} — the pool clamped "
+            "the request to one worker); no speedup gate applies."
+        )
+        return 0
+
     hardware = int(gate_row.get("hardware_threads", 0))
     base = scaling[1]["speedup_vs_1thread_x"]  # 1.0 by construction.
     gated = gate_row["speedup_vs_1thread_x"]

@@ -30,6 +30,13 @@ inline NumCounters& ThisThreadNumCounters() { return g_num_counters; }
 
 namespace internal {
 
+/// The machine word of Num's small tier. Exported so structure-of-arrays
+/// fast lanes (the sparse simplex kernel keeps per-row numerator/denominator
+/// word arrays) can name the coefficient word without spelling a raw integer
+/// type — all arithmetic on Words MUST go through the overflow-checked
+/// SmallAdd/SmallMul primitives below, never bare operators.
+using Word = int64_t;
+
 /// |v| as an unsigned word; well-defined for INT64_MIN too.
 inline uint64_t Mag64(int64_t v) {
   return v < 0 ? ~static_cast<uint64_t>(v) + 1 : static_cast<uint64_t>(v);

@@ -79,6 +79,7 @@ class SplitWorker {
       WarmResult warm =
           ReSolveLpFeasibilityDualInPlace(*system_, &tab, shared_->stop);
       pivots += warm.lp.pivots;
+      kernel.Add(warm.lp);
       if (warm.status == WarmStatus::kAborted) {
         shared_->stopped.store(true, std::memory_order_relaxed);
         return;
@@ -93,6 +94,7 @@ class SplitWorker {
       ++cold_restarts;
       LpResult lp = SolveLpFeasibility(*system_, &tab, shared_->stop);
       pivots += lp.pivots;
+      kernel.Add(lp);
       if (lp.aborted) {
         shared_->stopped.store(true, std::memory_order_relaxed);
         return;
@@ -120,6 +122,7 @@ class SplitWorker {
           cuts += leaf_partial.cuts_added;
           warm_starts += leaf_partial.warm_starts;
           cold_restarts += leaf_partial.cold_restarts;
+          kernel.Add(leaf_partial.lp_kernel);
           if (leaf_partial.max_depth > max_depth) {
             max_depth = leaf_partial.max_depth;
           }
@@ -138,6 +141,7 @@ class SplitWorker {
       cuts += leaf->cuts_added;
       warm_starts += leaf->warm_starts;
       cold_restarts += leaf->cold_restarts;
+      kernel.Add(leaf->lp_kernel);
       if (leaf->max_depth > max_depth) max_depth = leaf->max_depth;
       if (leaf->feasible) {
         MutexLock lock(&shared_->mu);
@@ -173,6 +177,7 @@ class SplitWorker {
   size_t cuts = 0;
   size_t ilp_nodes = 0;  ///< Branch-and-bound nodes inside leaf solves.
   size_t max_depth = 0;  ///< Deepest branch-and-bound node over all leaves.
+  LpKernelStats kernel;  ///< Sparse LP kernel counters (DESIGN.md §12).
 
  private:
   bool Done() const {
@@ -240,6 +245,7 @@ class CaseSplitSolver {
       ++cold_restarts_;
       LpResult lp = SolveLpFeasibility(*work_, &base_tab, stop_);
       pivots_ += lp.pivots;
+      kernel_.Add(lp);
       if (lp.aborted) return NoVerdict(stop_->ToStatus(), nullptr, start);
       if (!lp.feasible) return AssembleInfeasible(start);
       tab_ok = true;
@@ -282,6 +288,7 @@ class CaseSplitSolver {
         out.cuts_added = cuts_;
         out.warm_starts = warm_starts_;
         out.cold_restarts = cold_restarts_;
+        out.lp_kernel = kernel_;
         out.max_depth = max_depth_;
         FillNumStats(&out);
         out.wall_ms = ElapsedMs(start);
@@ -321,6 +328,7 @@ class CaseSplitSolver {
         // keeps covering its old prefix (still a valid warm seed).
         WarmResult warm = ReSolveLpFeasibilityDual(*work_, &base_tab, stop_);
         pivots_ += warm.lp.pivots;
+        kernel_.Add(warm.lp);
         if (warm.status == WarmStatus::kAborted) {
           return NoVerdict(stop_->ToStatus(), nullptr, start);
         }
@@ -400,6 +408,7 @@ class CaseSplitSolver {
     cuts_ += partial.cuts_added;
     warm_starts_ += partial.warm_starts;
     cold_restarts_ += partial.cold_restarts;
+    kernel_.Add(partial.lp_kernel);
     if (partial.max_depth > max_depth_) max_depth_ = partial.max_depth;
   }
 
@@ -410,6 +419,7 @@ class CaseSplitSolver {
       LpTableau probe = base_tab;
       WarmResult warm = ReSolveLpFeasibilityDualInPlace(*work_, &probe, stop_);
       pivots_ += warm.lp.pivots;
+      kernel_.Add(warm.lp);
       if (warm.status == WarmStatus::kAborted) {
         stopped_ = true;
         return false;  // Meaningless; the caller checks stopped_ first.
@@ -422,6 +432,7 @@ class CaseSplitSolver {
     ++cold_restarts_;
     LpResult lp = SolveLpFeasibility(*work_, nullptr, stop_);
     pivots_ += lp.pivots;
+    kernel_.Add(lp);
     if (lp.aborted) {
       stopped_ = true;
       return false;
@@ -462,6 +473,11 @@ class CaseSplitSolver {
     std::atomic<uint64_t> promotions{0};
     std::atomic<uint64_t> demotions{0};
     std::atomic<uint64_t> arena_bytes{0};
+    // The eight sparse-kernel counters travel as one struct under a leaf
+    // mutex instead of eight more atomics — the flush runs once per prefix
+    // task, never inside a pivot loop.
+    Mutex kernel_mu;  // xicc-analyze: lock-leaf
+    LpKernelStats kernel_delta;
     {
       // Constructed with the solve's cancel token (when any): Cancel() then
       // wakes parked workers and the pool drains unstarted prefix tasks
@@ -473,7 +489,8 @@ class CaseSplitSolver {
         // order matches the sequential DFS (conclusion side first).
         pool.Submit([this, mask, levels, root, shared, &pivots, &warm_starts,
                      &cold_restarts, &cuts, &ilp_nodes, &deepest, &small_ops,
-                     &big_ops, &promotions, &demotions, &arena_bytes] {
+                     &big_ops, &promotions, &demotions, &arena_bytes,
+                     &kernel_mu, &kernel_delta] {
           if (shared->found.load(std::memory_order_relaxed) ||
               shared->failed.load(std::memory_order_relaxed) ||
               shared->budget_hit.load(std::memory_order_relaxed) ||
@@ -506,6 +523,10 @@ class CaseSplitSolver {
                                   std::memory_order_relaxed);
           cuts.fetch_add(worker.cuts, std::memory_order_relaxed);
           ilp_nodes.fetch_add(worker.ilp_nodes, std::memory_order_relaxed);
+          {
+            MutexLock lock(&kernel_mu);
+            kernel_delta.Add(worker.kernel);
+          }
           size_t seen = deepest.load(std::memory_order_relaxed);
           while (worker.max_depth > seen &&
                  !deepest.compare_exchange_weak(seen, worker.max_depth,
@@ -532,6 +553,7 @@ class CaseSplitSolver {
     cold_restarts_ += cold_restarts.load();
     cuts_ += cuts.load();
     nodes_ += ilp_nodes.load();
+    kernel_.Add(kernel_delta);
     if (deepest.load() > max_depth_) max_depth_ = deepest.load();
     worker_small_ops_ += small_ops.load();
     worker_big_ops_ += big_ops.load();
@@ -546,6 +568,7 @@ class CaseSplitSolver {
     cold_restarts_ += worker.cold_restarts;
     cuts_ += worker.cuts;
     nodes_ += worker.ilp_nodes;
+    kernel_.Add(worker.kernel);
     if (worker.max_depth > max_depth_) max_depth_ = worker.max_depth;
   }
 
@@ -555,6 +578,7 @@ class CaseSplitSolver {
     out->cuts_added = cuts_;
     out->warm_starts = warm_starts_;
     out->cold_restarts = cold_restarts_;
+    out->lp_kernel = kernel_;
     out->max_depth = max_depth_;
     FillNumStats(out);
   }
@@ -573,6 +597,7 @@ class CaseSplitSolver {
       out.cuts_added = cuts_;
       out.warm_starts = warm_starts_;
       out.cold_restarts = cold_restarts_;
+      out.lp_kernel = kernel_;
       out.max_depth = max_depth_;
       FillNumStats(&out);
       out.wall_ms = ElapsedMs(start);
@@ -607,6 +632,7 @@ class CaseSplitSolver {
     out.cuts_added = cuts_;
     out.warm_starts = warm_starts_;
     out.cold_restarts = cold_restarts_;
+    out.lp_kernel = kernel_;
     FillNumStats(&out);
     out.wall_ms = ElapsedMs(start);
     return out;
@@ -632,6 +658,7 @@ class CaseSplitSolver {
   size_t warm_starts_ = 0;
   size_t cold_restarts_ = 0;
   size_t max_depth_ = 0;
+  LpKernelStats kernel_;
 
   // Two-tier arithmetic accounting (see Run/FillNumStats): calling-thread
   // baselines plus the pool workers' flushed deltas.

@@ -31,6 +31,7 @@ void FillIlpStats(const IlpSolution& solved, ConsistencyStats* stats) {
   stats->warm_starts = solved.warm_starts;
   stats->cold_restarts = solved.cold_restarts;
   stats->search_depth = solved.max_depth;
+  stats->lp_kernel = solved.lp_kernel;
   stats->num_small_ops = solved.num_small_ops;
   stats->num_big_ops = solved.num_big_ops;
   stats->num_promotions = solved.num_promotions;

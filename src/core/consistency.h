@@ -67,6 +67,11 @@ struct ConsistencyStats {
   /// Deepest branch-and-bound node reached (best-so-far depth): the most
   /// useful single number in a partial report of a stopped search.
   size_t search_depth = 0;
+  /// Sparse LP kernel counters (DESIGN.md §12) summed over every LP solve
+  /// of the check: pricing-rule pivot split, Dantzig→Bland degeneracy
+  /// fallbacks, fill-in, initial tableau density, and the int64 fast lane's
+  /// row/promotion tallies.
+  LpKernelStats lp_kernel;
   /// Two-tier exact arithmetic (base/num.h): pivot-loop operations served by
   /// the packed 64-bit small tier vs the BigInt big tier, plus the tier
   /// transitions. num_promotions / num_small_ops is the promotion rate.

@@ -55,6 +55,7 @@ void FoldStats(const IlpSolution& from, IlpSolution* into) {
   into->cuts_added += from.cuts_added;
   into->warm_starts += from.warm_starts;
   into->cold_restarts += from.cold_restarts;
+  into->lp_kernel.Add(from.lp_kernel);
   if (from.max_depth > into->max_depth) into->max_depth = from.max_depth;
   into->num_small_ops += from.num_small_ops;
   into->num_big_ops += from.num_big_ops;

@@ -181,4 +181,70 @@ std::vector<std::string> AuditTableau(const LinearSystem& system,
   return out;
 }
 
+std::vector<std::string> AuditFastLaneOp(char op, internal::Word a,
+                                         internal::Word b, internal::Word c,
+                                         internal::Word d, internal::Word rn,
+                                         internal::Word rd) {
+  std::vector<std::string> out;
+  const std::string what = std::string("fast-lane ") + op + " of " +
+                           std::to_string(a) + "/" + std::to_string(b) +
+                           " and " + std::to_string(c) + "/" +
+                           std::to_string(d) + " -> " + std::to_string(rn) +
+                           "/" + std::to_string(rd);
+  if (rd <= 0) {
+    out.push_back("non-positive denominator in " + what);
+    return out;
+  }
+  if (rn == INT64_MIN) {
+    out.push_back("INT64_MIN numerator (non-canonical small word) in " + what);
+    return out;
+  }
+  const bool reduced =
+      rn == 0 ? rd == 1
+              : internal::Gcd64(internal::Mag64(rn),
+                                static_cast<uint64_t>(rd)) == 1;
+  if (!reduced) out.push_back("unreduced fast-lane words in " + what);
+  const Rational lhs{BigInt(a), BigInt(b)};
+  const Rational rhs{BigInt(c), BigInt(d)};
+  const Rational expect = op == '*' ? lhs * rhs : lhs + rhs;
+  if (!(expect == Rational(BigInt(rn), BigInt(rd)))) {
+    out.push_back("Rational recomputation disagrees with " + what);
+  }
+  return out;
+}
+
+std::vector<std::string> AuditRowSupport(const std::vector<Num>& cells,
+                                         size_t width,
+                                         const std::vector<int>& support,
+                                         size_t row) {
+  std::vector<std::string> out;
+  std::vector<bool> listed(width, false);
+  int prev = -1;
+  for (int j : support) {
+    if (j <= prev) {
+      out.push_back("support of row " + std::to_string(row) +
+                    " is not strictly increasing at column " +
+                    std::to_string(j));
+    }
+    prev = j;
+    if (j < 0 || static_cast<size_t>(j) >= width) {
+      out.push_back("support of row " + std::to_string(row) +
+                    " names column " + std::to_string(j) + " outside width " +
+                    std::to_string(width));
+      continue;
+    }
+    listed[static_cast<size_t>(j)] = true;
+    if (cells[static_cast<size_t>(j)].is_zero()) {
+      out.push_back("zero cell listed in support at " + RowCol(row, j));
+    }
+  }
+  for (size_t j = 0; j < width; ++j) {
+    if (!listed[j] && !cells[j].is_zero()) {
+      out.push_back("nonzero cell missing from support at " +
+                    RowCol(row, j));
+    }
+  }
+  return out;
+}
+
 }  // namespace xicc

@@ -44,4 +44,24 @@ std::vector<std::string> AuditTrail(
 std::vector<std::string> AuditTableau(const LinearSystem& system,
                                       const LpTableau& tableau);
 
+/// Fast-lane recomputation — the XICC_NUM_AUDIT twin for the sparse kernel's
+/// structure-of-arrays small-word lane: redo a/b ∘ c/d (`op` is '*' or '+')
+/// in pure BigInt-backed Rational arithmetic and check that the fast-lane
+/// result rn/rd matches it exactly and is in canonical small-tier form
+/// (positive denominator, reduced, numerator != INT64_MIN). The overflow
+/// intrinsics guard the representation; this guards the mathematics.
+std::vector<std::string> AuditFastLaneOp(char op, internal::Word a,
+                                         internal::Word b, internal::Word c,
+                                         internal::Word d, internal::Word rn,
+                                         internal::Word rd);
+
+/// Support-list invariant of one sparse kernel row: `support` holds strictly
+/// increasing column indices naming exactly the nonzero cells of
+/// `cells[0..width)` (the rhs cell sits past `width` and is tracked outside
+/// the supports).
+std::vector<std::string> AuditRowSupport(const std::vector<Num>& cells,
+                                         size_t width,
+                                         const std::vector<int>& support,
+                                         size_t row);
+
 }  // namespace xicc

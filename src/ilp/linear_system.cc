@@ -76,6 +76,12 @@ BigInt LinearSystem::MaxAbsValue() const {
   return max;
 }
 
+size_t LinearSystem::NumNonzeros() const {
+  size_t nnz = 0;
+  for (const LinearConstraint& c : constraints_) nnz += c.coeffs.size();
+  return nnz;
+}
+
 std::string LinearSystem::ToString() const {
   std::vector<std::string> lines;
   lines.reserve(constraints_.size());

@@ -90,6 +90,11 @@ class LinearSystem {
   /// clears denominators), so this is the largest |numerator|.
   BigInt MaxAbsValue() const;
 
+  /// Total stored coefficients across all rows — the numerator of the
+  /// nonzero density the sparse simplex kernel and the benches report
+  /// (coefficient lists carry no zeros, so stored == nonzero).
+  size_t NumNonzeros() const;
+
   /// Trail checkpointing: since rows and variables are only ever appended,
   /// a checkpoint is the pair of current sizes and popping truncates back to
   /// it. This lets branch-and-bound, the Gomory cut loop, the case-split DFS

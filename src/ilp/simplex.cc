@@ -1,13 +1,25 @@
 #include "ilp/simplex.h"
 
 #include <cassert>
+#include <utility>
+#include <vector>
 
 #include "base/arena.h"
+#include "base/debug.h"
 #include "base/faults.h"
+#include "ilp/audit.h"
 
 namespace xicc {
 
 namespace {
+
+using internal::Word;
+
+thread_local LpPricingConfig g_lp_pricing_config;
+
+// ---------------------------------------------------------------------------
+// Dense reference kernel (SolveLpFeasibilityDenseBland).
+// ---------------------------------------------------------------------------
 
 /// Dense phase-1 tableau over the two-tier exact Num, backed by the calling
 /// thread's bump arena: a solve allocates one flat cell block, pivots in
@@ -17,9 +29,9 @@ namespace {
 /// Layout: rows 0..m-1 are constraints, row m is the phase-1 objective
 /// (reduced costs). Columns 0..total-1 are variables (structural, then
 /// slack, then artificial); column `total` is the rhs.
-class Tableau {
+class DenseTableau {
  public:
-  Tableau(Arena* arena, size_t rows, size_t cols)
+  DenseTableau(Arena* arena, size_t rows, size_t cols)
       : cols_(cols), cells_(rows * cols, Num(), ArenaAllocator<Num>(arena)) {}
 
   Num& At(size_t row, size_t col) { return cells_[row * cols_ + col]; }
@@ -31,21 +43,375 @@ class Tableau {
 
  private:
   size_t cols_;
-  // Tableau is only ever a local inside the solve's own ArenaScope, so the
-  // member cannot outlive the scope. xicc-lint: allow(arena-escape)
+  // DenseTableau is only ever a local inside the solve's own ArenaScope, so
+  // the member cannot outlive the scope. xicc-lint: allow(arena-escape)
   ArenaVector<Num> cells_;
 };
 
+// ---------------------------------------------------------------------------
+// Sparse pricing-driven kernel (SolveLpFeasibility).
+// ---------------------------------------------------------------------------
+
+/// Sparse phase-1 working state. Same row/column layout as DenseTableau
+/// (rows 0..m-1 constraints, row m the objective; column `total` = cols-1 is
+/// the rhs), but with two departures that make a pivot cost O(nnz) instead
+/// of O(m·n):
+///
+///  - Each row carries a sorted packed list of its nonzero columns (the rhs
+///    cell is tracked outside the supports). Pivot row-updates and entering
+///    selection walk supports; elimination merges the pivot row's support
+///    into the target's incrementally, counting fill-in.
+///
+///  - Two arithmetic lanes per row. The fast lane (default) keeps canonical
+///    small-tier word pairs in structure-of-arrays numerator/denominator
+///    arrays and runs the exact SmallAdd/SmallMul primitives Num's small
+///    tier uses, so a fast cell is bit-identical to the Num it stands for
+///    and stays branch-light (no tier dispatch per cell). The first op whose
+///    result leaves the small domain promotes the whole row — sticky for the
+///    rest of the solve — to an exact Num lane, and the op re-runs there.
+class SparseKernel {
+ public:
+  SparseKernel(Arena* arena, size_t rows, size_t cols)
+      : rows_(rows),
+        cols_(cols),
+        nums_(rows * cols, 0, ArenaAllocator<Word>(arena)),
+        dens_(rows * cols, 1, ArenaAllocator<Word>(arena)),
+        exact_(rows),
+        support_(rows) {}
+
+  size_t rows() const { return rows_; }
+  std::vector<int>& support(size_t i) { return support_[i]; }
+  const std::vector<int>& support(size_t i) const { return support_[i]; }
+  bool IsFast(size_t i) const { return exact_[i].empty(); }
+
+  bool IsZero(size_t i, size_t j) const {
+    return exact_[i].empty() ? nums_[i * cols_ + j] == 0
+                             : exact_[i][j].is_zero();
+  }
+  int SignAt(size_t i, size_t j) const {
+    if (exact_[i].empty()) {
+      const Word n = nums_[i * cols_ + j];
+      return n < 0 ? -1 : (n > 0 ? 1 : 0);
+    }
+    return exact_[i][j].sign();
+  }
+  Num Get(size_t i, size_t j) const {
+    if (exact_[i].empty()) {
+      return Num::FromCanonicalWords(nums_[i * cols_ + j],
+                                     dens_[i * cols_ + j]);
+    }
+    return exact_[i][j];
+  }
+
+  /// Construction-time store. Rows start fast; only a coefficient outside
+  /// the small domain promotes here.
+  void InitCell(size_t i, size_t j, const Num& value, LpResult* stats) {
+    if (exact_[i].empty()) {
+      Word n = 0;
+      Word d = 1;
+      if (value.SmallWords(&n, &d)) {
+        NumRow(i)[j] = n;
+        DenRow(i)[j] = d;
+        return;
+      }
+      PromoteRow(i, stats);
+    }
+    exact_[i][j] = value;
+  }
+
+  /// One full pivot at (pivot_row, entering): normalize the pivot row, then
+  /// eliminate the entering column from every other row (objective row
+  /// included), walking only the pivot row's support.
+  void PivotApply(size_t pivot_row, size_t entering, LpResult* stats) {
+    ScaleRow(pivot_row, Get(pivot_row, entering), stats);
+    for (size_t i = 0; i < rows_; ++i) {
+      if (i == pivot_row) continue;
+      if (IsZero(i, entering)) continue;
+      const Num factor = Get(i, entering);
+      AxpyRow(i, pivot_row, factor, stats);
+    }
+  }
+
+  /// Support + canonical-word invariants of every row, for XICC_DCHECK_AUDIT
+  /// at solve checkpoints.
+  std::vector<std::string> AuditSupports() const {
+    std::vector<std::string> out;
+    std::vector<Num> dense(cols_);
+    for (size_t i = 0; i < rows_; ++i) {
+      for (size_t j = 0; j < cols_; ++j) dense[j] = Get(i, j);
+      std::vector<std::string> row_out =
+          AuditRowSupport(dense, cols_ - 1, support_[i], i);
+      out.insert(out.end(), row_out.begin(), row_out.end());
+    }
+    return out;
+  }
+
+ private:
+  Word* NumRow(size_t i) { return nums_.data() + i * cols_; }
+  Word* DenRow(size_t i) { return dens_.data() + i * cols_; }
+
+  /// Whole-row fast→exact promotion; sticky for the rest of the solve.
+  void PromoteRow(size_t i, LpResult* stats) {
+    std::vector<Num>& cells = exact_[i];
+    cells.reserve(cols_);
+    const Word* n = NumRow(i);
+    const Word* d = DenRow(i);
+    for (size_t j = 0; j < cols_; ++j) {
+      cells.push_back(Num::FromCanonicalWords(n[j], d[j]));
+    }
+    ++stats->fast_row_promotions;
+  }
+
+  /// row /= pivot over the row's support and rhs. Support cells are nonzero
+  /// by invariant, so the fast path runs no zero tests at all.
+  void ScaleRow(size_t i, const Num& pivot, LpResult* stats) {
+    const std::vector<int>& sup = support_[i];
+    const size_t rhs = cols_ - 1;
+    size_t k = 0;  // Support cells [0, k) (then the rhs) already scaled.
+    Word pn = 0;
+    Word pd = 1;
+    if (exact_[i].empty() && pivot.SmallWords(&pn, &pd)) {
+      // The reciprocal of a canonical word pair is canonical once the sign
+      // moves to the numerator (pn is never INT64_MIN, so -pn is safe).
+      const Word inv_n = pn < 0 ? -pd : pd;
+      const Word inv_d = pn < 0 ? -pn : pn;
+      Word* nr = NumRow(i);
+      Word* dr = DenRow(i);
+      for (; k <= sup.size(); ++k) {
+        const size_t j = k < sup.size() ? static_cast<size_t>(sup[k]) : rhs;
+        Word n = 0;
+        Word d = 1;
+        if (!internal::SmallMul(nr[j], dr[j], inv_n, inv_d, &n, &d)) break;
+        XICC_DCHECK_AUDIT(AuditFastLaneOp('*', nr[j], dr[j], inv_n, inv_d,
+                                          n, d));
+        nr[j] = n;
+        dr[j] = d;
+      }
+      if (k > sup.size()) return;
+      // Overflow at support cell k (or the rhs): cells before k are already
+      // scaled, so promote and finish from k in the exact lane.
+      PromoteRow(i, stats);
+    }
+    std::vector<Num>& cells = exact_[i];
+    for (; k <= sup.size(); ++k) {
+      const size_t j = k < sup.size() ? static_cast<size_t>(sup[k]) : rhs;
+      if (!cells[j].is_zero()) cells[j] /= pivot;
+    }
+  }
+
+  /// row_i -= factor · row_p over row_p's support (+ rhs), then merges the
+  /// supports and counts fill-in.
+  void AxpyRow(size_t i, size_t p, const Num& factor, LpResult* stats) {
+    const std::vector<int>& psup = support_[p];
+    const size_t rhs = cols_ - 1;
+    size_t k = 0;  // Support cells [0, k) (then the rhs) already updated.
+    Word fn = 0;
+    Word fd = 1;
+    if (exact_[i].empty() && exact_[p].empty() &&
+        factor.SmallWords(&fn, &fd)) {
+      Word* ni = NumRow(i);
+      Word* di = DenRow(i);
+      const Word* np = NumRow(p);
+      const Word* dp = DenRow(p);
+      for (; k <= psup.size(); ++k) {
+        const size_t j = k < psup.size() ? static_cast<size_t>(psup[k]) : rhs;
+        Word tn = 0;
+        Word td = 1;
+        Word n = 0;
+        Word d = 1;
+        // SmallMul never yields INT64_MIN, so -tn below stays canonical.
+        if (!internal::SmallMul(fn, fd, np[j], dp[j], &tn, &td)) break;
+        if (!internal::SmallAdd(ni[j], di[j], -tn, td, &n, &d)) break;
+        XICC_DCHECK_AUDIT(AuditFastLaneOp('*', fn, fd, np[j], dp[j], tn, td));
+        XICC_DCHECK_AUDIT(AuditFastLaneOp('+', ni[j], di[j], -tn, td, n, d));
+        ni[j] = n;
+        di[j] = d;
+      }
+      if (k > psup.size()) {
+        MergeSupport(i, p, stats);
+        return;
+      }
+      PromoteRow(i, stats);
+    } else if (exact_[i].empty()) {
+      // Pivot row exact or factor big: the target leaves the fast lane too.
+      PromoteRow(i, stats);
+    }
+    std::vector<Num>& cells = exact_[i];
+    for (; k <= psup.size(); ++k) {
+      const size_t j = k < psup.size() ? static_cast<size_t>(psup[k]) : rhs;
+      const Num pj = Get(p, j);
+      if (pj.is_zero()) continue;  // Only the rhs cell can be zero here.
+      cells[j] -= factor * pj;
+    }
+    MergeSupport(i, p, stats);
+  }
+
+  /// support_i := sorted union of support_i and support_p minus cells that
+  /// cancelled to zero. Cells only in support_i were untouched by the axpy
+  /// and stay without a test; cells from support_p are tested, and the ones
+  /// absent from support_i that came out nonzero are fill-in.
+  void MergeSupport(size_t i, size_t p, LpResult* stats) {
+    const std::vector<int>& a = support_[i];
+    const std::vector<int>& b = support_[p];
+    merge_scratch_.clear();
+    size_t x = 0;
+    size_t y = 0;
+    while (x < a.size() || y < b.size()) {
+      if (y >= b.size() || (x < a.size() && a[x] < b[y])) {
+        merge_scratch_.push_back(a[x++]);
+        continue;
+      }
+      const bool fresh = x >= a.size() || a[x] > b[y];
+      const int col = b[y++];
+      if (!fresh) ++x;
+      if (!IsZero(i, static_cast<size_t>(col))) {
+        merge_scratch_.push_back(col);
+        if (fresh) ++stats->fill_in;
+      }
+    }
+    support_[i].swap(merge_scratch_);
+  }
+
+  size_t rows_;
+  size_t cols_;
+  // SparseKernel is only ever a local inside the solve's own ArenaScope, so
+  // the members cannot outlive the scope. xicc-lint: allow(arena-escape)
+  ArenaVector<Word> nums_;
+  // xicc-lint: allow(arena-escape)
+  ArenaVector<Word> dens_;
+  /// Exact lane; an empty inner vector means the row is still fast. Heap
+  /// storage — promotions are rare and must survive arena-free pivoting.
+  std::vector<std::vector<Num>> exact_;
+  std::vector<std::vector<int>> support_;
+  std::vector<int> merge_scratch_;
+};
+
+// ---------------------------------------------------------------------------
+// Sparse overlay for the dual (warm) re-solves.
+// ---------------------------------------------------------------------------
+
+/// Transient sorted nonzero-column lists over caller-owned dense Num rows —
+/// the arena working copy for the copying re-solve, the LpTableau's own rows
+/// for the in-place one (which is how the in-place variant keeps its no-copy
+/// advantage). Built once at entry for the cost of a single dense sweep,
+/// then maintained incrementally so every dual pivot touches only nonzeros.
+/// The rhs cells live outside the supports, one pointer per row.
+class SparseDualView {
+ public:
+  SparseDualView(size_t rows, size_t width)
+      : width_(width), rows_(rows), rhs_(rows), support_(rows) {}
+
+  void Attach(size_t i, Num* cells, Num* rhs) {
+    rows_[i] = cells;
+    rhs_[i] = rhs;
+  }
+
+  /// Dense sweep building row i's support from scratch.
+  void BuildSupport(size_t i) {
+    std::vector<int>& sup = support_[i];
+    sup.clear();
+    const Num* cells = rows_[i];
+    for (size_t j = 0; j < width_; ++j) {
+      if (!cells[j].is_zero()) sup.push_back(static_cast<int>(j));
+    }
+  }
+
+  const std::vector<int>& support(size_t i) const { return support_[i]; }
+  size_t fill_in() const { return fill_in_; }
+  size_t NnzCells() const {
+    size_t nnz = 0;
+    for (const std::vector<int>& sup : support_) nnz += sup.size();
+    return nnz;
+  }
+
+  /// target -= factor · source over source's support (+ rhs), merging
+  /// supports incrementally.
+  void Axpy(size_t target, size_t source, const Num& factor) {
+    Num* t = rows_[target];
+    const Num* s = rows_[source];
+    for (int j : support_[source]) {
+      t[static_cast<size_t>(j)] -= factor * s[static_cast<size_t>(j)];
+    }
+    if (!rhs_[source]->is_zero()) *rhs_[target] -= factor * *rhs_[source];
+    Merge(target, source);
+  }
+
+  /// Normalizes the leaving row by its pivot cell and eliminates column
+  /// `entering` from every other row. The caller updates the basis.
+  void ApplyPivot(size_t leaving, size_t entering) {
+    Num* p = rows_[leaving];
+    const Num pivot = p[entering];
+    for (int j : support_[leaving]) {
+      p[static_cast<size_t>(j)] /= pivot;  // Support cells are nonzero.
+    }
+    if (!rhs_[leaving]->is_zero()) *rhs_[leaving] /= pivot;
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      if (i == leaving) continue;
+      const Num factor = rows_[i][entering];
+      if (factor.is_zero()) continue;
+      Axpy(i, leaving, factor);
+    }
+  }
+
+  /// Support invariants of every attached row, for XICC_DCHECK_AUDIT.
+  std::vector<std::string> AuditSupports() const {
+    std::vector<std::string> out;
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      const std::vector<Num> dense(rows_[i], rows_[i] + width_);
+      std::vector<std::string> row_out =
+          AuditRowSupport(dense, width_, support_[i], i);
+      out.insert(out.end(), row_out.begin(), row_out.end());
+    }
+    return out;
+  }
+
+ private:
+  void Merge(size_t target, size_t source) {
+    const std::vector<int>& a = support_[target];
+    const std::vector<int>& b = support_[source];
+    const Num* cells = rows_[target];
+    merge_scratch_.clear();
+    size_t x = 0;
+    size_t y = 0;
+    while (x < a.size() || y < b.size()) {
+      if (y >= b.size() || (x < a.size() && a[x] < b[y])) {
+        merge_scratch_.push_back(a[x++]);
+        continue;
+      }
+      const bool fresh = x >= a.size() || a[x] > b[y];
+      const int col = b[y++];
+      if (!fresh) ++x;
+      if (!cells[static_cast<size_t>(col)].is_zero()) {
+        merge_scratch_.push_back(col);
+        if (fresh) ++fill_in_;
+      }
+    }
+    support_[target].swap(merge_scratch_);
+  }
+
+  size_t width_;
+  std::vector<Num*> rows_;
+  std::vector<Num*> rhs_;
+  std::vector<std::vector<int>> support_;
+  std::vector<int> merge_scratch_;
+  size_t fill_in_ = 0;
+};
+
 }  // namespace
+
+LpPricingConfig GetLpPricingConfig() { return g_lp_pricing_config; }
+void SetLpPricingConfig(const LpPricingConfig& config) {
+  g_lp_pricing_config = config;
+}
 
 LpResult SolveLpFeasibility(const LinearSystem& system, LpTableau* tableau,
                             const StopSignal* stop) {
   const size_t m = system.NumConstraints();
   const size_t n = system.NumVariables();
 
-  // All scratch for this solve — the dense tableau — lives in the thread's
-  // arena and dies when this scope closes. Only the exported LpTableau and
-  // LpResult (regular vectors) survive.
+  // All scratch for this solve — the kernel's word arrays — lives in the
+  // thread's arena and dies when this scope closes. Only the exported
+  // LpTableau and LpResult (regular vectors) survive.
   ArenaScope scratch(ThisThreadArena());
 
   // Column plan: structural, then one slack per inequality, then artificials
@@ -93,7 +459,264 @@ LpResult SolveLpFeasibility(const LinearSystem& system, LpTableau* tableau,
   const size_t total = num_structural_slack + num_artificial;
   const size_t rhs_col = total;
 
-  Tableau tab(&ThisThreadArena(), m + 1, total + 1);
+  LpResult result;
+  SparseKernel kernel(&ThisThreadArena(), m + 1, total + 1);
+  std::vector<int> basis(m);
+  size_t next_artificial = num_structural_slack;
+  for (size_t i = 0; i < m; ++i) {
+    const LinearConstraint& c = system.constraints()[i];
+    const int sign = plan[i].negate ? -1 : 1;
+    // Cells arrive in ascending column order (coeffs are var-sorted; slack
+    // and artificial columns sit past every structural id), so supports can
+    // be appended directly.
+    for (const auto& [var, coeff] : c.coeffs) {
+      if (coeff.is_zero()) continue;
+      kernel.InitCell(i, static_cast<size_t>(var),
+                      sign < 0 ? -coeff : coeff, &result);
+      kernel.support(i).push_back(static_cast<int>(var));
+    }
+    kernel.InitCell(i, rhs_col, plan[i].negate ? -c.rhs : c.rhs, &result);
+    if (slack_col[i] >= 0) {
+      // Original slack sign: +1 for ≤, −1 for ≥; then the row negation.
+      const int slack_sign = (c.op == RelOp::kLe ? 1 : -1) * sign;
+      kernel.InitCell(i, static_cast<size_t>(slack_col[i]), Num(slack_sign),
+                      &result);
+      kernel.support(i).push_back(slack_col[i]);
+    }
+    if (plan[i].use_slack) {
+      basis[i] = slack_col[i];
+    } else {
+      plan[i].artificial_col = static_cast<int>(next_artificial);
+      kernel.InitCell(i, next_artificial, Num(1), &result);
+      kernel.support(i).push_back(static_cast<int>(next_artificial));
+      basis[i] = static_cast<int>(next_artificial);
+      ++next_artificial;
+    }
+  }
+  for (size_t i = 0; i < m; ++i) result.nnz_cells += kernel.support(i).size();
+  result.total_cells = m * total;
+
+  // Phase-1 objective: minimize the sum of artificial variables. In tableau
+  // form the reduced-cost row is -(sum of artificial rows) over
+  // non-artificial columns; the objective value sits in the rhs cell.
+  {
+    std::vector<Num> objective(total + 1);
+    for (size_t i = 0; i < m; ++i) {
+      if (plan[i].use_slack) continue;
+      for (int j : kernel.support(i)) {
+        objective[static_cast<size_t>(j)] +=
+            kernel.Get(i, static_cast<size_t>(j));
+      }
+      objective[rhs_col] += kernel.Get(i, rhs_col);
+    }
+    for (size_t j = 0; j <= rhs_col; ++j) {
+      if (j >= num_structural_slack && j < total) continue;  // Artificial.
+      if (objective[j].is_zero()) continue;
+      kernel.InitCell(m, j, -objective[j], &result);
+      if (j < total) kernel.support(m).push_back(static_cast<int>(j));
+    }
+  }
+  XICC_DCHECK_AUDIT(kernel.AuditSupports());
+
+  // Simplex iterations. Entering selection is Dantzig pricing (most negative
+  // reduced cost over the objective row's support) until a degeneracy streak
+  // trips the Bland fallback; Bland's smallest-index rule cannot cycle, and
+  // it stays engaged until a pivot strictly improves the objective, which
+  // restores termination: an infinite run would have an all-degenerate tail,
+  // which locks Bland in permanently — contradiction. The ratio test
+  // (smallest ratio, ties to the smallest basic index) is unchanged from the
+  // dense reference.
+  const LpPricingConfig pricing = GetLpPricingConfig();
+  bool bland_mode = !pricing.dantzig;
+  size_t degenerate_streak = 0;
+  for (;;) {
+    XICC_FAULT_PROBE(kSimplexPivot);
+    // Bounded-cost stop poll: every 64 pivots, two loads and (when a
+    // deadline is armed) one clock read — noise next to a pivot.
+    if (stop != nullptr && (result.pivots & 63) == 0 && stop->ShouldStop()) {
+      result.aborted = true;
+      result.feasible = false;
+      return result;
+    }
+    if (pricing.pivot_cap != 0 && result.pivots >= pricing.pivot_cap) {
+      result.pivot_cap_hit = true;
+      result.aborted = true;
+      result.feasible = false;
+      return result;
+    }
+    size_t entering = total;
+    if (bland_mode) {
+      for (int j : kernel.support(m)) {
+        if (kernel.SignAt(m, static_cast<size_t>(j)) < 0) {
+          entering = static_cast<size_t>(j);
+          break;
+        }
+      }
+    } else {
+      Num best;
+      for (int j : kernel.support(m)) {
+        if (kernel.SignAt(m, static_cast<size_t>(j)) >= 0) continue;
+        Num value = kernel.Get(m, static_cast<size_t>(j));
+        if (entering == total || value < best) {
+          best = std::move(value);
+          entering = static_cast<size_t>(j);
+        }
+      }
+    }
+    if (entering == total) break;  // Optimal.
+
+    size_t pivot_row = m;
+    Num best_ratio;
+    for (size_t i = 0; i < m; ++i) {
+      if (kernel.SignAt(i, entering) <= 0) continue;
+      Num ratio = kernel.Get(i, rhs_col) / kernel.Get(i, entering);
+      if (pivot_row == m || ratio < best_ratio ||
+          (ratio == best_ratio && basis[i] < basis[pivot_row])) {
+        pivot_row = i;
+        best_ratio = std::move(ratio);
+      }
+    }
+    if (pivot_row == m) break;  // Phase-1 cannot be unbounded; defensive.
+
+    const bool degenerate = kernel.IsZero(pivot_row, rhs_col);
+    ++result.pivots;
+    if (bland_mode) {
+      ++result.bland_pivots;
+    } else {
+      ++result.dantzig_pivots;
+    }
+    kernel.PivotApply(pivot_row, entering, &result);
+    basis[pivot_row] = static_cast<int>(entering);
+    if (degenerate) {
+      ++degenerate_streak;
+      if (!bland_mode && pricing.dantzig &&
+          pricing.degenerate_streak_limit != 0 &&
+          degenerate_streak >= pricing.degenerate_streak_limit) {
+        bland_mode = true;
+        ++result.bland_fallbacks;
+      }
+    } else {
+      degenerate_streak = 0;
+      bland_mode = !pricing.dantzig;
+    }
+  }
+  XICC_DCHECK_AUDIT(kernel.AuditSupports());
+
+  // Feasible iff the artificial mass is zero (objective value = -tab(m,rhs)).
+  if (!kernel.IsZero(m, rhs_col)) {
+    result.feasible = false;
+    for (size_t i = 0; i <= m; ++i) {
+      if (kernel.IsFast(i)) ++result.fast_rows;
+    }
+    return result;
+  }
+  result.feasible = true;
+
+  // Drive degenerate artificials (basic at value 0 — routine for equality
+  // rows) out of the basis: pivot on the smallest nonzero structural/slack
+  // column in the row — the head of the support list, if it sits below the
+  // artificial block. The pivot is at rhs = 0, so no value or feasibility
+  // changes — it only makes the exported basis artificial-free, which the
+  // dual-simplex warm re-solve requires. A row with no such entry is a
+  // redundant constraint and keeps its artificial (basis[i] = -1 below).
+  if (tableau != nullptr) {
+    for (size_t i = 0; i < m; ++i) {
+      if (static_cast<size_t>(basis[i]) < num_structural_slack) continue;
+      const std::vector<int>& sup = kernel.support(i);
+      if (sup.empty() ||
+          sup.front() >= static_cast<int>(num_structural_slack)) {
+        continue;  // Redundant row.
+      }
+      const size_t entering = static_cast<size_t>(sup.front());
+      ++result.pivots;
+      ++result.bland_pivots;
+      kernel.PivotApply(i, entering, &result);
+      basis[i] = static_cast<int>(entering);
+    }
+    XICC_DCHECK_AUDIT(kernel.AuditSupports());
+  }
+  result.values.assign(n, Num());
+  for (size_t i = 0; i < m; ++i) {
+    if (basis[i] >= 0 && static_cast<size_t>(basis[i]) < n) {
+      result.values[basis[i]] = kernel.Get(i, rhs_col);
+    }
+  }
+  for (size_t i = 0; i <= m; ++i) {
+    if (kernel.IsFast(i)) ++result.fast_rows;
+  }
+
+  if (tableau != nullptr) {
+    tableau->columns = columns;
+    tableau->basis.assign(m, -1);
+    tableau->rows.assign(m, std::vector<Num>(num_structural_slack));
+    tableau->rhs.assign(m, Num());
+    tableau->num_constraints = m;
+    for (size_t i = 0; i < m; ++i) {
+      // Rows still basic in an artificial are degenerate (value 0) and are
+      // not exported for cuts; they also make the basis unusable for warm
+      // re-solves (the artificial column is not exported).
+      if (static_cast<size_t>(basis[i]) < num_structural_slack) {
+        tableau->basis[i] = basis[i];
+      }
+      std::vector<Num>& dst = tableau->rows[i];
+      for (int j : kernel.support(i)) {
+        if (static_cast<size_t>(j) < num_structural_slack) {
+          dst[static_cast<size_t>(j)] = kernel.Get(i, static_cast<size_t>(j));
+        }
+      }
+      tableau->rhs[i] = kernel.Get(i, rhs_col);
+    }
+  }
+  return result;
+}
+
+LpResult SolveLpFeasibilityDenseBland(const LinearSystem& system,
+                                      LpTableau* tableau,
+                                      const StopSignal* stop) {
+  const size_t m = system.NumConstraints();
+  const size_t n = system.NumVariables();
+
+  ArenaScope scratch(ThisThreadArena());
+
+  std::vector<LpColumnInfo> columns;
+  columns.reserve(n + m);
+  for (size_t j = 0; j < n; ++j) {
+    columns.push_back(
+        {LpColumnInfo::Kind::kStructural, static_cast<int>(j), 0});
+  }
+  std::vector<int> slack_col(m, -1);
+  for (size_t i = 0; i < m; ++i) {
+    const RelOp op = system.constraints()[i].op;
+    if (op != RelOp::kEq) {
+      slack_col[i] = static_cast<int>(columns.size());
+      columns.push_back({LpColumnInfo::Kind::kSlack, static_cast<int>(i),
+                         op == RelOp::kLe ? -1 : 1});
+    }
+  }
+  const size_t num_structural_slack = columns.size();
+
+  struct RowPlan {
+    bool negate = false;
+    bool use_slack = false;
+    int artificial_col = -1;
+  };
+  std::vector<RowPlan> plan(m);
+  size_t num_artificial = 0;
+  for (size_t i = 0; i < m; ++i) {
+    const LinearConstraint& c = system.constraints()[i];
+    bool rhs_negative = c.rhs.sign() < 0;
+    plan[i].negate = rhs_negative;
+    if (c.op == RelOp::kLe) {
+      plan[i].use_slack = !rhs_negative;
+    } else if (c.op == RelOp::kGe) {
+      plan[i].use_slack = rhs_negative;
+    }
+    if (!plan[i].use_slack) ++num_artificial;
+  }
+  const size_t total = num_structural_slack + num_artificial;
+  const size_t rhs_col = total;
+
+  DenseTableau tab(&ThisThreadArena(), m + 1, total + 1);
   std::vector<int> basis(m);
   size_t next_artificial = num_structural_slack;
   for (size_t i = 0; i < m; ++i) {
@@ -104,7 +727,6 @@ LpResult SolveLpFeasibility(const LinearSystem& system, LpTableau* tableau,
     }
     tab.At(i, rhs_col) = plan[i].negate ? -c.rhs : c.rhs;
     if (slack_col[i] >= 0) {
-      // Original slack sign: +1 for ≤, −1 for ≥; then the row negation.
       int slack_sign = (c.op == RelOp::kLe ? 1 : -1) * sign;
       tab.At(i, static_cast<size_t>(slack_col[i])) = Num(slack_sign);
     }
@@ -118,9 +740,6 @@ LpResult SolveLpFeasibility(const LinearSystem& system, LpTableau* tableau,
     }
   }
 
-  // Phase-1 objective: minimize the sum of artificial variables. In tableau
-  // form the reduced-cost row is -(sum of artificial rows) over
-  // non-artificial columns; the objective value sits in the rhs cell.
   for (size_t j = 0; j <= rhs_col; ++j) {
     if (j >= num_structural_slack && j < total) continue;  // Artificial.
     Num sum;
@@ -136,8 +755,6 @@ LpResult SolveLpFeasibility(const LinearSystem& system, LpTableau* tableau,
   // ties broken by smallest basic index) — guarantees no cycling.
   for (;;) {
     XICC_FAULT_PROBE(kSimplexPivot);
-    // Bounded-cost stop poll: every 64 pivots, two loads and (when a
-    // deadline is armed) one clock read — noise next to a dense pivot.
     if (stop != nullptr && (result.pivots & 63) == 0 && stop->ShouldStop()) {
       result.aborted = true;
       result.feasible = false;
@@ -166,6 +783,7 @@ LpResult SolveLpFeasibility(const LinearSystem& system, LpTableau* tableau,
     if (pivot_row == m) break;  // Phase-1 cannot be unbounded; defensive.
 
     ++result.pivots;
+    ++result.bland_pivots;
     Num* pivot_cells = tab.Row(pivot_row);
     const Num pivot = pivot_cells[entering];
     for (size_t j = 0; j <= rhs_col; ++j) {
@@ -188,19 +806,12 @@ LpResult SolveLpFeasibility(const LinearSystem& system, LpTableau* tableau,
     basis[pivot_row] = static_cast<int>(entering);
   }
 
-  // Feasible iff the artificial mass is zero (objective value = -tab(m,rhs)).
   if (!tab.At(m, rhs_col).is_zero()) {
     result.feasible = false;
     return result;
   }
   result.feasible = true;
 
-  // Drive degenerate artificials (basic at value 0 — routine for equality
-  // rows) out of the basis: pivot on any nonzero structural/slack entry in
-  // the row. The pivot is at rhs = 0, so no value or feasibility changes —
-  // it only makes the exported basis artificial-free, which the dual-simplex
-  // warm re-solve requires. A row with no such entry is a redundant
-  // constraint and keeps its artificial (basis[i] = -1 below).
   if (tableau != nullptr) {
     for (size_t i = 0; i < m; ++i) {
       if (static_cast<size_t>(basis[i]) < num_structural_slack) continue;
@@ -213,6 +824,7 @@ LpResult SolveLpFeasibility(const LinearSystem& system, LpTableau* tableau,
       }
       if (entering == num_structural_slack) continue;  // Redundant row.
       ++result.pivots;
+      ++result.bland_pivots;
       Num* pivot_cells = tab.Row(i);
       const Num pivot = pivot_cells[entering];
       for (size_t j = 0; j <= rhs_col; ++j) {
@@ -247,9 +859,6 @@ LpResult SolveLpFeasibility(const LinearSystem& system, LpTableau* tableau,
     tableau->rhs.assign(m, Num());
     tableau->num_constraints = m;
     for (size_t i = 0; i < m; ++i) {
-      // Rows still basic in an artificial are degenerate (value 0) and are
-      // not exported for cuts; they also make the basis unusable for warm
-      // re-solves (the artificial column is not exported).
       if (static_cast<size_t>(basis[i]) < num_structural_slack) {
         tableau->basis[i] = basis[i];
       }
@@ -301,19 +910,28 @@ WarmResult ReSolveLpFeasibilityDual(const LinearSystem& system,
   }
   const size_t rows = old_rows + appended.size();
   const size_t total = old_cols + appended.size();
-  const size_t rhs_col = total;
 
   // The private working copy pivots in arena scratch; only the final fold-
-  // back below touches the caller's (regular-vector) tableau.
+  // back below touches the caller's (regular-vector) tableau. Cells and rhs
+  // are separate flat blocks so the sparse overlay sees a uniform layout
+  // across both warm variants.
   ArenaScope scratch(ThisThreadArena());
-  Tableau tab(&ThisThreadArena(), rows, total + 1);
+  ArenaVector<Num> cells_block(rows * total, Num(),
+                               ArenaAllocator<Num>(&ThisThreadArena()));
+  ArenaVector<Num> rhs_block(rows, Num(),
+                             ArenaAllocator<Num>(&ThisThreadArena()));
+  SparseDualView view(rows, total);
   std::vector<int> basis(tableau->basis.begin(), tableau->basis.end());
   basis.reserve(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    view.Attach(i, cells_block.data() + i * total, rhs_block.data() + i);
+  }
   for (size_t i = 0; i < old_rows; ++i) {
-    Num* cells = tab.Row(i);
+    Num* cells = cells_block.data() + i * total;
     const std::vector<Num>& src = tableau->rows[i];
     for (size_t j = 0; j < old_cols; ++j) cells[j] = src[j];
-    cells[rhs_col] = tableau->rhs[i];
+    rhs_block[i] = tableau->rhs[i];
+    view.BuildSupport(i);
   }
 
   for (size_t r = 0; r < appended.size(); ++r) {
@@ -324,32 +942,32 @@ WarmResult ReSolveLpFeasibilityDual(const LinearSystem& system,
     // ≤-half: expr + s = rhs. ≥-half, negated so the surplus comes out +1:
     // −expr + s = −rhs.
     const int sign = plan.sub_sign < 0 ? 1 : -1;
-    Num* cells = tab.Row(row);
+    Num* cells = cells_block.data() + row * total;
     for (const auto& [var, coeff] : c.coeffs) {
       cells[static_cast<size_t>(var)] = sign < 0 ? -coeff : coeff;
     }
     cells[slack] = Num(1);
-    cells[rhs_col] = sign < 0 ? -c.rhs : c.rhs;
+    rhs_block[row] = sign < 0 ? -c.rhs : c.rhs;
+    view.BuildSupport(row);
     // Price out the parent's basic variables so basic columns stay unit.
     // Parent rows carry zeros in the fresh slack columns, so elimination
     // never spills into other appended rows.
     for (size_t i = 0; i < old_rows; ++i) {
       const Num factor = cells[static_cast<size_t>(basis[i])];
       if (factor.is_zero()) continue;
-      const Num* pivot_row = tab.Row(i);
-      for (size_t j = 0; j <= rhs_col; ++j) {
-        if (pivot_row[j].is_zero()) continue;
-        cells[j] -= factor * pivot_row[j];
-      }
+      view.Axpy(row, i, factor);
     }
     basis.push_back(static_cast<int>(slack));
   }
+  out.lp.nnz_cells = view.NnzCells();
+  out.lp.total_cells = rows * total;
+  XICC_DCHECK_AUDIT(view.AuditSupports());
 
   // Dual simplex with Bland's rule: leaving row = infeasible row whose basic
   // column index is smallest; entering = smallest column with a negative
-  // entry in that row. The pivot cap is a defensive backstop — tripping it
-  // reports kPivotLimit and the caller re-solves cold, so it can only cost
-  // time, never correctness.
+  // entry in that row — the head scan of the leaving row's support. The
+  // pivot cap is a defensive backstop — tripping it reports kPivotLimit and
+  // the caller re-solves cold, so it can only cost time, never correctness.
   const size_t pivot_cap = 200 + 16 * rows;
   for (;;) {
     XICC_FAULT_PROBE(kSimplexPivot);
@@ -359,18 +977,19 @@ WarmResult ReSolveLpFeasibilityDual(const LinearSystem& system,
     }
     int leaving = -1;
     for (size_t i = 0; i < rows; ++i) {
-      if (tab.At(i, rhs_col).sign() < 0 &&
+      if (rhs_block[i].sign() < 0 &&
           (leaving < 0 || basis[i] < basis[leaving])) {
         leaving = static_cast<int>(i);
       }
     }
     if (leaving < 0) break;  // Primal feasible again.
 
-    Num* pivot_cells = tab.Row(leaving);
+    const Num* pivot_cells =
+        cells_block.data() + static_cast<size_t>(leaving) * total;
     size_t entering = total;
-    for (size_t j = 0; j < total; ++j) {
-      if (pivot_cells[j].sign() < 0) {
-        entering = j;
+    for (int j : view.support(static_cast<size_t>(leaving))) {
+      if (pivot_cells[static_cast<size_t>(j)].sign() < 0) {
+        entering = static_cast<size_t>(j);
         break;
       }
     }
@@ -385,37 +1004,26 @@ WarmResult ReSolveLpFeasibilityDual(const LinearSystem& system,
       return out;
     }
     ++out.lp.pivots;
-
-    const Num pivot = pivot_cells[entering];
-    for (size_t j = 0; j <= rhs_col; ++j) {
-      Num& cell = pivot_cells[j];
-      if (!cell.is_zero()) cell /= pivot;
-    }
-    for (size_t i = 0; i < rows; ++i) {
-      if (i == static_cast<size_t>(leaving)) continue;
-      Num* cells = tab.Row(i);
-      const Num factor = cells[entering];
-      if (factor.is_zero()) continue;
-      for (size_t j = 0; j <= rhs_col; ++j) {
-        if (pivot_cells[j].is_zero()) continue;
-        cells[j] -= factor * pivot_cells[j];
-      }
-    }
+    ++out.lp.bland_pivots;
+    view.ApplyPivot(static_cast<size_t>(leaving), entering);
     basis[leaving] = static_cast<int>(entering);
   }
+  out.lp.fill_in = view.fill_in();
+  XICC_DCHECK_AUDIT(view.AuditSupports());
 
   out.status = WarmStatus::kOk;
   out.lp.feasible = true;
   out.lp.values.assign(n, Num());
   for (size_t i = 0; i < rows; ++i) {
     if (static_cast<size_t>(basis[i]) < n) {
-      out.lp.values[basis[i]] = tab.At(i, rhs_col);
+      out.lp.values[basis[i]] = rhs_block[i];
     }
   }
 
   // Fold the extended state back into `tableau` so the next warm re-solve
   // (or a Gomory derivation) starts from here. Copies, not moves — the
-  // tableau's vectors must outlive this solve's arena scope.
+  // tableau's vectors must outlive this solve's arena scope. The supports
+  // say where the nonzeros are, so the fold-back writes only those.
   for (const NewRow& plan : appended) {
     tableau->columns.push_back({LpColumnInfo::Kind::kSlack,
                                 static_cast<int>(plan.constraint),
@@ -425,11 +1033,15 @@ WarmResult ReSolveLpFeasibilityDual(const LinearSystem& system,
   tableau->rhs.resize(rows);
   tableau->rows.resize(rows);
   for (size_t i = 0; i < rows; ++i) {
-    tableau->rhs[i] = tab.At(i, rhs_col);
+    // Num assignment deep-copies (the big tier reallocates on the heap), so
+    // nothing arena-backed escapes here. xicc-lint: allow(arena-escape)
+    tableau->rhs[i] = rhs_block[i];
     std::vector<Num>& dst = tableau->rows[i];
-    dst.resize(total);
-    const Num* cells = tab.Row(i);
-    for (size_t j = 0; j < total; ++j) dst[j] = cells[j];
+    dst.assign(total, Num());
+    const Num* cells = cells_block.data() + i * total;
+    for (int j : view.support(i)) {
+      dst[static_cast<size_t>(j)] = cells[static_cast<size_t>(j)];
+    }
   }
   tableau->num_constraints = m_new;
   return out;
@@ -472,10 +1084,8 @@ WarmResult ReSolveLpFeasibilityDualInPlace(const LinearSystem& system,
 
   // Extend the tableau in place: zero cells for the fresh slack columns in
   // the parent rows (resize default-constructs zeros), then one slack-basic
-  // row per appended half, priced out against the parent basis. Parent rows
-  // carry zeros in the fresh slack columns, so elimination never spills into
-  // other appended rows — construction only reads rows < old_rows, which
-  // stay untouched until the pivot loop below.
+  // row per appended half. All resizing happens before the sparse overlay
+  // attaches row pointers below — nothing may reallocate after that.
   for (size_t i = 0; i < old_rows; ++i) tableau->rows[i].resize(total);
   tableau->rows.resize(rows);
   tableau->rhs.resize(rows);
@@ -494,18 +1104,6 @@ WarmResult ReSolveLpFeasibilityDualInPlace(const LinearSystem& system,
     }
     cells[slack] = Num(1);
     tableau->rhs[row] = sign < 0 ? -c.rhs : c.rhs;
-    for (size_t i = 0; i < old_rows; ++i) {
-      const Num factor = cells[static_cast<size_t>(basis[i])];
-      if (factor.is_zero()) continue;
-      const std::vector<Num>& pivot_row = tableau->rows[i];
-      for (size_t j = 0; j < total; ++j) {
-        if (pivot_row[j].is_zero()) continue;
-        cells[j] -= factor * pivot_row[j];
-      }
-      if (!tableau->rhs[i].is_zero()) {
-        tableau->rhs[row] -= factor * tableau->rhs[i];
-      }
-    }
     basis.push_back(static_cast<int>(slack));
     tableau->columns.push_back({LpColumnInfo::Kind::kSlack,
                                 static_cast<int>(plan.constraint),
@@ -513,7 +1111,29 @@ WarmResult ReSolveLpFeasibilityDualInPlace(const LinearSystem& system,
   }
   tableau->num_constraints = m_new;
 
-  // Dual simplex with Bland's rule, pivoting the tableau's own rows.
+  SparseDualView view(rows, total);
+  for (size_t i = 0; i < rows; ++i) {
+    view.Attach(i, tableau->rows[i].data(), &tableau->rhs[i]);
+    view.BuildSupport(i);
+  }
+  // Price out the parent's basic variables from the appended rows so basic
+  // columns stay unit. Parent rows carry zeros in the fresh slack columns,
+  // so elimination never spills into other appended rows — it only reads
+  // rows < old_rows, which stay untouched until the pivot loop below.
+  for (size_t row = old_rows; row < rows; ++row) {
+    const std::vector<Num>& cells = tableau->rows[row];
+    for (size_t i = 0; i < old_rows; ++i) {
+      const Num factor = cells[static_cast<size_t>(basis[i])];
+      if (factor.is_zero()) continue;
+      view.Axpy(row, i, factor);
+    }
+  }
+  out.lp.nnz_cells = view.NnzCells();
+  out.lp.total_cells = rows * total;
+  XICC_DCHECK_AUDIT(view.AuditSupports());
+
+  // Dual simplex with Bland's rule, pivoting the tableau's own rows through
+  // the sparse overlay.
   const size_t pivot_cap = 200 + 16 * rows;
   for (;;) {
     XICC_FAULT_PROBE(kSimplexPivot);
@@ -532,11 +1152,12 @@ WarmResult ReSolveLpFeasibilityDualInPlace(const LinearSystem& system,
     }
     if (leaving < 0) break;  // Primal feasible again.
 
-    std::vector<Num>& pivot_cells = tableau->rows[leaving];
+    const std::vector<Num>& pivot_cells =
+        tableau->rows[static_cast<size_t>(leaving)];
     size_t entering = total;
-    for (size_t j = 0; j < total; ++j) {
-      if (pivot_cells[j].sign() < 0) {
-        entering = j;
+    for (int j : view.support(static_cast<size_t>(leaving))) {
+      if (pivot_cells[static_cast<size_t>(j)].sign() < 0) {
+        entering = static_cast<size_t>(j);
         break;
       }
     }
@@ -552,28 +1173,12 @@ WarmResult ReSolveLpFeasibilityDualInPlace(const LinearSystem& system,
       return out;
     }
     ++out.lp.pivots;
-
-    const Num pivot = pivot_cells[entering];
-    for (size_t j = 0; j < total; ++j) {
-      Num& cell = pivot_cells[j];
-      if (!cell.is_zero()) cell /= pivot;
-    }
-    if (!tableau->rhs[leaving].is_zero()) tableau->rhs[leaving] /= pivot;
-    for (size_t i = 0; i < rows; ++i) {
-      if (i == static_cast<size_t>(leaving)) continue;
-      std::vector<Num>& cells = tableau->rows[i];
-      const Num factor = cells[entering];
-      if (factor.is_zero()) continue;
-      for (size_t j = 0; j < total; ++j) {
-        if (pivot_cells[j].is_zero()) continue;
-        cells[j] -= factor * pivot_cells[j];
-      }
-      if (!tableau->rhs[leaving].is_zero()) {
-        tableau->rhs[i] -= factor * tableau->rhs[leaving];
-      }
-    }
+    ++out.lp.bland_pivots;
+    view.ApplyPivot(static_cast<size_t>(leaving), entering);
     basis[leaving] = static_cast<int>(entering);
   }
+  out.lp.fill_in = view.fill_in();
+  XICC_DCHECK_AUDIT(view.AuditSupports());
 
   out.status = WarmStatus::kOk;
   out.lp.feasible = true;

@@ -54,6 +54,99 @@ struct LpResult {
   std::vector<Num> values;
   /// Pivot count, for the solver statistics.
   size_t pivots = 0;
+
+  // ---- Sparse-kernel instrumentation (see DESIGN.md §12). ----
+  /// Pivots priced by each rule. Warm (dual) re-solves are always Bland, so
+  /// there dantzig_pivots stays 0; pivots == dantzig_pivots + bland_pivots
+  /// (drive-out pivots of degenerate artificials count as Bland — they use
+  /// the same smallest-index selection).
+  size_t dantzig_pivots = 0;
+  size_t bland_pivots = 0;
+  /// How many times a degeneracy streak forced the Dantzig→Bland fallback.
+  size_t bland_fallbacks = 0;
+  /// Cells that went zero→nonzero under pivot elimination — the sparsity
+  /// the kernel loses as the solve progresses.
+  size_t fill_in = 0;
+  /// Nonzero / total coefficient cells of the initial tableau (constraint
+  /// rows, rhs excluded): nnz_cells / total_cells is the density the
+  /// benches report.
+  size_t nnz_cells = 0;
+  size_t total_cells = 0;
+  /// Structure-of-arrays int64 fast lane: rows still on packed words at the
+  /// end of the solve, and rows that overflowed into the exact Num lane.
+  size_t fast_rows = 0;
+  size_t fast_row_promotions = 0;
+  /// True when LpPricingConfig::pivot_cap stopped the solve (test harness
+  /// only; `aborted` is set too, so no verdict was reached).
+  bool pivot_cap_hit = false;
+};
+
+/// The sparse-kernel counters of LpResult in aggregable form, for solves
+/// that sum many LP calls (branch-and-bound, case-split, sessions).
+struct LpKernelStats {
+  size_t dantzig_pivots = 0;
+  size_t bland_pivots = 0;
+  size_t bland_fallbacks = 0;
+  size_t fill_in = 0;
+  size_t nnz_cells = 0;
+  size_t total_cells = 0;
+  size_t fast_rows = 0;
+  size_t fast_row_promotions = 0;
+
+  void Add(const LpResult& lp) {
+    dantzig_pivots += lp.dantzig_pivots;
+    bland_pivots += lp.bland_pivots;
+    bland_fallbacks += lp.bland_fallbacks;
+    fill_in += lp.fill_in;
+    nnz_cells += lp.nnz_cells;
+    total_cells += lp.total_cells;
+    fast_rows += lp.fast_rows;
+    fast_row_promotions += lp.fast_row_promotions;
+  }
+  void Add(const LpKernelStats& other) {
+    dantzig_pivots += other.dantzig_pivots;
+    bland_pivots += other.bland_pivots;
+    bland_fallbacks += other.bland_fallbacks;
+    fill_in += other.fill_in;
+    nnz_cells += other.nnz_cells;
+    total_cells += other.total_cells;
+    fast_rows += other.fast_rows;
+    fast_row_promotions += other.fast_row_promotions;
+  }
+};
+
+/// Tuning knobs of the cold solve's entering-variable pricing. Thread-local
+/// (ScopedLpPricingConfig below) so tests can pin a rule without threading a
+/// parameter through every caller; production code never touches it.
+struct LpPricingConfig {
+  /// Dantzig pricing (most negative reduced cost) with the degeneracy
+  /// fallback below; false = pure Bland from the first pivot.
+  bool dantzig = true;
+  /// Consecutive degenerate pivots tolerated before falling back to Bland's
+  /// rule (which cannot cycle). 0 disables the fallback — tests use that to
+  /// demonstrate that pure Dantzig cycles on the regression fixture.
+  size_t degenerate_streak_limit = 16;
+  /// Hard pivot cap for tests hunting cycles; 0 = uncapped. Tripping it
+  /// returns with `aborted` and `pivot_cap_hit` set.
+  size_t pivot_cap = 0;
+};
+
+LpPricingConfig GetLpPricingConfig();
+void SetLpPricingConfig(const LpPricingConfig& config);
+
+/// RAII override of this thread's pricing config, for tests.
+class ScopedLpPricingConfig {
+ public:
+  explicit ScopedLpPricingConfig(const LpPricingConfig& config)
+      : saved_(GetLpPricingConfig()) {
+    SetLpPricingConfig(config);
+  }
+  ~ScopedLpPricingConfig() { SetLpPricingConfig(saved_); }
+  ScopedLpPricingConfig(const ScopedLpPricingConfig&) = delete;
+  ScopedLpPricingConfig& operator=(const ScopedLpPricingConfig&) = delete;
+
+ private:
+  LpPricingConfig saved_;
 };
 
 /// Decides feasibility of the LP relaxation of `system` (variables rational,
@@ -72,6 +165,15 @@ struct LpResult {
 LpResult SolveLpFeasibility(const LinearSystem& system,
                             LpTableau* tableau = nullptr,
                             const StopSignal* stop = nullptr);
+
+/// The pre-sparse reference solver: dense row-major tableau, always-Bland
+/// pricing, all-Num arithmetic — byte-for-byte the algorithm the sparse
+/// kernel replaced. Kept as the differential-fuzz oracle and the dense
+/// baseline the benches time the sparse kernel against; production callers
+/// use SolveLpFeasibility.
+LpResult SolveLpFeasibilityDenseBland(const LinearSystem& system,
+                                      LpTableau* tableau = nullptr,
+                                      const StopSignal* stop = nullptr);
 
 /// Why a warm re-solve could not be served from the given basis.
 enum class WarmStatus {

@@ -201,6 +201,12 @@ class BranchAndBound {
     std::unique_ptr<LpTableau> tab_;
   };
 
+  /// Folds one LP solve's kernel counters into the running solution stats.
+  void TallyLpCounters(const LpResult& lp) {
+    solution_.lp_pivots += lp.pivots;
+    solution_.lp_kernel.Add(lp);
+  }
+
   /// One LP solve of the current work_ state into `tab`. When `try_warm`,
   /// `tab` must hold a feasible ancestor basis of a row-prefix of work_ —
   /// the appended rows go through the dual-simplex re-solve; any warm
@@ -210,7 +216,7 @@ class BranchAndBound {
       // In-place re-solve: `tab` is this node's private (or scratch) copy,
       // and every failure path below overwrites it with a cold solve.
       WarmResult warm = ReSolveLpFeasibilityDualInPlace(work_, tab, stop_);
-      solution_.lp_pivots += warm.lp.pivots;
+      TallyLpCounters(warm.lp);
       if (warm.status == WarmStatus::kAborted) {
         // The stop fired mid-pivot. No cold fallback — the point of
         // stopping is to stop, not to finish the node another way.
@@ -231,7 +237,7 @@ class BranchAndBound {
     }
     ++solution_.cold_restarts;
     LpResult lp = SolveLpFeasibility(work_, tab, stop_);
-    solution_.lp_pivots += lp.pivots;
+    TallyLpCounters(lp);
     if (lp.aborted) {
       stopped_ = true;
       return lp;

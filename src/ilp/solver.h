@@ -6,6 +6,7 @@
 #include "base/deadline.h"
 #include "base/status.h"
 #include "ilp/linear_system.h"
+#include "ilp/simplex.h"
 
 namespace xicc {
 
@@ -76,6 +77,11 @@ struct IlpSolution {
   /// LP solves that ran the cold phase-1 path (root nodes, disabled warm
   /// start, or warm-basis fallbacks).
   size_t cold_restarts = 0;
+  /// Sparse LP kernel (DESIGN.md §12), summed over every LP solve of this
+  /// ILP solve: pivots priced by each rule, Dantzig→Bland degeneracy
+  /// fallbacks, fill-in, tableau density, and the int64 fast lane's
+  /// row/promotion tallies.
+  LpKernelStats lp_kernel;
   /// Two-tier exact arithmetic (base/num.h), this solve's share: operations
   /// served by the packed small tier vs the BigInt tier, and the transitions
   /// between them. promotions/small_ops is the promotion rate the benches

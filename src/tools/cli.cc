@@ -203,6 +203,16 @@ Result<ConsistencyOptions> OptionsFromFlags(const ParsedArgs& parsed) {
   return options;
 }
 
+/// One line of sparse-LP-kernel counters (DESIGN.md §12), shared by the
+/// per-check and batch-total stats blocks.
+void PrintLpKernel(const LpKernelStats& k, std::ostream& out) {
+  out << "lp kernel:  " << k.dantzig_pivots << " dantzig / " << k.bland_pivots
+      << " bland pivots, " << k.bland_fallbacks << " fallbacks, fill-in "
+      << k.fill_in << ", nnz " << k.nnz_cells << "/" << k.total_cells
+      << " cells, fast rows " << k.fast_rows << " (" << k.fast_row_promotions
+      << " promoted)\n";
+}
+
 void PrintStats(const ConsistencyStats& stats, std::ostream& out) {
   out << "stats:      " << stats.system_variables << " vars, "
       << stats.system_constraints << " rows, " << stats.ilp_nodes
@@ -214,6 +224,7 @@ void PrintStats(const ConsistencyStats& stats, std::ostream& out) {
       << stats.num_big_ops << " big ops, " << stats.num_promotions
       << " promotions / " << stats.num_demotions << " demotions, arena "
       << stats.arena_bytes << " bytes\n";
+  PrintLpKernel(stats.lp_kernel, out);
   out << "session:    compile " << stats.compile_ms << " ms, "
       << stats.sigma_delta_checks << " sigma-delta, " << stats.memo_hits
       << " memo hits, " << stats.memo_misses << " memo misses\n";
@@ -486,6 +497,7 @@ int CmdBatch(const std::vector<std::string>& args, std::ostream& out,
     total.num_big_ops += item.result.stats.num_big_ops;
     total.num_promotions += item.result.stats.num_promotions;
     total.num_demotions += item.result.stats.num_demotions;
+    total.lp_kernel.Add(item.result.stats.lp_kernel);
     total.arena_bytes += item.result.stats.arena_bytes;
     total.ilp_wall_ms += item.result.stats.ilp_wall_ms;
   }
@@ -508,6 +520,7 @@ int CmdBatch(const std::vector<std::string>& args, std::ostream& out,
         << total.num_big_ops << " big ops, " << total.num_promotions
         << " promotions / " << total.num_demotions << " demotions, arena "
         << total.arena_bytes << " bytes\n";
+    PrintLpKernel(total.lp_kernel, out);
     out << "degraded:   " << degraded.quarantined << " quarantined ("
         << degraded.deadline_exceeded << " deadline, " << degraded.cancelled
         << " cancelled, " << degraded.resource_exhausted << " exhausted), "

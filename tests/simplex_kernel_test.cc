@@ -1,0 +1,221 @@
+// Sparse pricing-driven kernel (DESIGN.md §12): the anti-cycling contract
+// of the Dantzig→Bland degeneracy fallback, randomized differential parity
+// against the dense-Bland reference solver, and the kernel's
+// instrumentation counters.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "base/bigint.h"
+#include "base/num.h"
+#include "ilp/linear_system.h"
+#include "ilp/simplex.h"
+
+namespace xicc {
+namespace {
+
+// ------------------------------------------------------- Anti-cycling.
+
+/// The Beale/Chvátal cycling LP (Chvátal, "Linear Programming", ch. 3)
+/// mapped into phase-1 form. Rows are scaled ×2 to integer coefficients,
+/// x4/x5 play the example's slack columns as structural variables, and the
+/// last row is a driver whose coefficients make the artificial column sums
+/// — and therefore the initial phase-1 reduced-cost row — equal the
+/// example's objective. Every rhs is 0, so every pivot is degenerate and
+/// Dantzig pricing with the example's tie-breaks revisits the same basis
+/// forever; Bland's rule walks out in a handful of pivots.
+LinearSystem CyclingFixture() {
+  LinearSystem sys;
+  for (int i = 0; i < 6; ++i) sys.AddVariable("x" + std::to_string(i));
+  auto add_row = [&sys](std::initializer_list<int> coeffs) {
+    LinearExpr expr;
+    int var = 0;
+    for (int c : coeffs) {
+      if (c != 0) expr.Add(var, BigInt(c));
+      ++var;
+    }
+    sys.AddConstraint(expr, RelOp::kEq, BigInt(0));
+  };
+  add_row({1, -11, -5, 18, 2, 0});
+  add_row({1, -3, -1, 2, 0, 2});
+  add_row({8, -43, -3, -44, -2, -2});
+  return sys;
+}
+
+TEST(AntiCyclingTest, PureDantzigCyclesOnTheFixture) {
+  LinearSystem sys = CyclingFixture();
+  LpPricingConfig pure;
+  pure.dantzig = true;
+  pure.degenerate_streak_limit = 0;  // Fallback disabled.
+  pure.pivot_cap = 1000;
+  ScopedLpPricingConfig guard(pure);
+  LpResult lp = SolveLpFeasibility(sys);
+  // Without the fallback the solve spins on degenerate pivots until the cap
+  // trips — the failure mode the fallback exists to rule out.
+  EXPECT_TRUE(lp.pivot_cap_hit);
+  EXPECT_TRUE(lp.aborted);
+  EXPECT_EQ(lp.pivots, 1000u);
+  EXPECT_EQ(lp.bland_fallbacks, 0u);
+}
+
+TEST(AntiCyclingTest, DegeneracyFallbackTerminatesTheFixture) {
+  LinearSystem sys = CyclingFixture();
+  LpResult lp = SolveLpFeasibility(sys);  // Default pricing config.
+  ASSERT_FALSE(lp.aborted);
+  EXPECT_TRUE(lp.feasible);  // x = 0 satisfies every row.
+  // The degeneracy streak must actually have fired the fallback, and the
+  // fallback's Bland pivots finished the solve.
+  EXPECT_GE(lp.bland_fallbacks, 1u);
+  EXPECT_GE(lp.bland_pivots, 1u);
+  EXPECT_EQ(lp.pivots, lp.dantzig_pivots + lp.bland_pivots);
+}
+
+TEST(AntiCyclingTest, BlandOnlyConfigTerminatesTheFixture) {
+  LinearSystem sys = CyclingFixture();
+  LpPricingConfig bland;
+  bland.dantzig = false;
+  ScopedLpPricingConfig guard(bland);
+  LpResult lp = SolveLpFeasibility(sys);
+  ASSERT_FALSE(lp.aborted);
+  EXPECT_TRUE(lp.feasible);
+  EXPECT_EQ(lp.dantzig_pivots, 0u);
+  EXPECT_EQ(lp.pivots, lp.bland_pivots);
+}
+
+TEST(AntiCyclingTest, DenseReferenceAgreesOnTheFixture) {
+  LinearSystem sys = CyclingFixture();
+  LpResult dense = SolveLpFeasibilityDenseBland(sys);
+  ASSERT_FALSE(dense.aborted);
+  EXPECT_TRUE(dense.feasible);
+}
+
+// ------------------------------------------------- Differential fuzz.
+
+/// True iff `values` (one Num per structural variable, all expected ≥ 0)
+/// satisfies every constraint of `sys` exactly.
+bool SatisfiesSystem(const LinearSystem& sys, const std::vector<Num>& values) {
+  for (const Num& v : values) {
+    if (v.sign() < 0) return false;
+  }
+  for (const LinearConstraint& c : sys.constraints()) {
+    Num lhs;
+    for (const auto& [var, coeff] : c.coeffs) {
+      lhs += coeff * values[static_cast<size_t>(var)];
+    }
+    const Num& rhs = c.rhs;
+    switch (c.op) {
+      case RelOp::kLe:
+        if (!(lhs <= rhs)) return false;
+        break;
+      case RelOp::kGe:
+        if (!(lhs >= rhs)) return false;
+        break;
+      case RelOp::kEq:
+        if (!(lhs == rhs)) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+TEST(SimplexDifferentialTest, SparseKernelMatchesDenseBlandOnRandomSystems) {
+  std::mt19937_64 rng(0x51CC);
+  std::uniform_int_distribution<int> nvars(1, 4);
+  std::uniform_int_distribution<int> nrows(1, 4);
+  std::uniform_int_distribution<int> coef(-4, 4);
+  std::uniform_int_distribution<int> rhs_val(-6, 6);
+  std::uniform_int_distribution<int> op_kind(0, 2);
+
+  size_t feasible = 0, infeasible = 0;
+  constexpr int kTrials = 10000;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const int nv = nvars(rng);
+    const int nr = nrows(rng);
+    LinearSystem sys;
+    for (int v = 0; v < nv; ++v) sys.AddVariable("x" + std::to_string(v));
+    for (int r = 0; r < nr; ++r) {
+      LinearExpr expr;
+      for (int v = 0; v < nv; ++v) {
+        const int c = coef(rng);
+        if (c != 0) expr.Add(v, BigInt(c));
+      }
+      const int k = op_kind(rng);
+      const RelOp op =
+          k == 0 ? RelOp::kLe : (k == 1 ? RelOp::kGe : RelOp::kEq);
+      sys.AddConstraint(expr, op, BigInt(rhs_val(rng)));
+    }
+
+    LpResult sparse = SolveLpFeasibility(sys);
+    LpResult dense = SolveLpFeasibilityDenseBland(sys);
+    ASSERT_FALSE(sparse.aborted) << "trial " << trial;
+    ASSERT_FALSE(dense.aborted) << "trial " << trial;
+    ASSERT_EQ(sparse.feasible, dense.feasible)
+        << "verdict divergence at trial " << trial << ":\n"
+        << sys.ToString();
+    if (sparse.feasible) {
+      ++feasible;
+      ASSERT_TRUE(SatisfiesSystem(sys, sparse.values))
+          << "sparse vertex violates the system at trial " << trial << ":\n"
+          << sys.ToString();
+      ASSERT_TRUE(SatisfiesSystem(sys, dense.values))
+          << "dense vertex violates the system at trial " << trial << ":\n"
+          << sys.ToString();
+    } else {
+      ++infeasible;
+    }
+    // The split instrumentation must always reconcile with the total.
+    ASSERT_EQ(sparse.pivots, sparse.dantzig_pivots + sparse.bland_pivots)
+        << "trial " << trial;
+  }
+  // Both verdicts must actually be exercised, or the generator is broken.
+  EXPECT_GT(feasible, 0u);
+  EXPECT_GT(infeasible, 0u);
+}
+
+// ------------------------------------------------------ Instrumentation.
+
+TEST(SparseKernelStatsTest, DensityCountersMatchTheSystem) {
+  // x0 + x1 <= 5 and x0 - x2 >= 1: the ≥ row needs an artificial; the
+  // initial constraint block is 2 rows × (3 structural + 2 slack + 1
+  // artificial) = 12 cells, of which the nonzeros are 2 structural + 1
+  // slack in row 0 and 2 structural + 1 slack + 1 artificial in row 1.
+  LinearSystem sys;
+  VarId x0 = sys.AddVariable("x0");
+  VarId x1 = sys.AddVariable("x1");
+  sys.AddVariable("x2");
+  LinearExpr a;
+  a.Add(x0, BigInt(1)).Add(x1, BigInt(1));
+  sys.AddConstraint(a, RelOp::kLe, BigInt(5));
+  LinearExpr b;
+  b.Add(x0, BigInt(1)).Add(2, BigInt(-1));
+  sys.AddConstraint(b, RelOp::kGe, BigInt(1));
+
+  LpResult lp = SolveLpFeasibility(sys);
+  ASSERT_TRUE(lp.feasible);
+  EXPECT_EQ(lp.total_cells, 12u);
+  EXPECT_EQ(lp.nnz_cells, 7u);
+  EXPECT_EQ(sys.NumNonzeros(), 4u);
+  // These tiny coefficients never leave the int64 fast lane.
+  EXPECT_EQ(lp.fast_row_promotions, 0u);
+  EXPECT_GT(lp.fast_rows, 0u);
+}
+
+TEST(SparseKernelStatsTest, ScopedPricingConfigRestores) {
+  const LpPricingConfig before = GetLpPricingConfig();
+  {
+    LpPricingConfig override_config;
+    override_config.dantzig = false;
+    override_config.pivot_cap = 7;
+    ScopedLpPricingConfig guard(override_config);
+    EXPECT_FALSE(GetLpPricingConfig().dantzig);
+    EXPECT_EQ(GetLpPricingConfig().pivot_cap, 7u);
+  }
+  EXPECT_EQ(GetLpPricingConfig().dantzig, before.dantzig);
+  EXPECT_EQ(GetLpPricingConfig().pivot_cap, before.pivot_cap);
+}
+
+}  // namespace
+}  // namespace xicc
