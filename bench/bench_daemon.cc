@@ -1,0 +1,187 @@
+// Daemon round-trip throughput and latency: one-shot consistency checks
+// over the newline-delimited JSON protocol, swept across worker-pool
+// widths and against a cold vs artifact-warm compiled-DTD cache.
+//
+// What the numbers mean:
+//   - rps / p50 / p99 at workers ∈ {1, 4, 8}: how the poll-driven I/O
+//     thread + worker pool scales when every request carries the full
+//     DTD text (parse + artifact lookup + keys-only solve per call).
+//   - cold vs warm: a cold server compiles the DTD on first sight; a warm
+//     one mmaps the artifact a previous server instance persisted. The
+//     first-call latency column isolates that compile-vs-load delta; the
+//     steady-state columns show the in-memory tier hiding it thereafter.
+//
+// Results land in BENCH_daemon.json for EXPERIMENTS.md.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "base/worksteal.h"
+#include "bench/bench_util.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "tests/daemon_harness.h"
+
+namespace xicc {
+namespace {
+
+using net::Client;
+using net::ClientOptions;
+using net::JsonValue;
+using net::OneShotCheckReq;
+using net::Server;
+using net::ServerOptions;
+using net::TextSpec;
+
+constexpr size_t kClients = 8;
+constexpr size_t kCallsPerClient = 150;
+
+struct LoadPoint {
+  size_t workers = 0;
+  bool warm = false;
+  double first_call_ms = 0.0;  ///< Compile (cold) or artifact load (warm).
+  double rps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  size_t calls = 0;
+  size_t errors = 0;
+};
+
+double Percentile(std::vector<double>* sorted_ms, double q) {
+  if (sorted_ms->empty()) return 0.0;
+  const size_t index = static_cast<size_t>(
+      q * static_cast<double>(sorted_ms->size() - 1) + 0.5);
+  return (*sorted_ms)[std::min(index, sorted_ms->size() - 1)];
+}
+
+/// One measured configuration: start a server, hammer it with kClients
+/// synchronous callers, drain, and fold the latencies.
+LoadPoint RunPoint(size_t workers, const std::string& artifact_dir,
+                   bool warm, const TextSpec& spec) {
+  LoadPoint point;
+  point.workers = workers;
+  point.warm = warm;
+
+  ServerOptions options;
+  options.workers = workers;
+  options.max_connections = kClients + 4;
+  options.max_inflight = kClients * 2;
+  options.artifact_dir = artifact_dir;
+  auto started = Server::Start(options);
+  if (!started.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n",
+                 started.status().message().c_str());
+    std::abort();
+  }
+  std::unique_ptr<Server> server = std::move(*started);
+
+  // First call, alone on the connection: the compile-or-load cost.
+  {
+    ClientOptions copts;
+    copts.port = server->port();
+    auto client = Client::Connect(copts);
+    if (!client.ok()) std::abort();
+    point.first_call_ms = bench::TimeMs([&] {
+      auto response = client->Call(OneShotCheckReq(/*id=*/0, spec));
+      if (!response.ok() || !response->GetBool("ok", false)) std::abort();
+    });
+  }
+
+  std::vector<std::vector<double>> latencies(kClients);
+  std::vector<size_t> errors(kClients, 0);
+  const double wall_ms = bench::TimeMs([&] {
+    WorkStealingPool pool(kClients);
+    for (size_t c = 0; c < kClients; ++c) {
+      pool.Submit([c, port = server->port(), &spec, &latencies, &errors] {
+        ClientOptions copts;
+        copts.port = port;
+        auto client = Client::Connect(copts);
+        if (!client.ok()) {
+          errors[c] = kCallsPerClient;
+          return;
+        }
+        latencies[c].reserve(kCallsPerClient);
+        for (size_t i = 0; i < kCallsPerClient; ++i) {
+          const double ms = bench::TimeMs([&] {
+            auto response = client->Call(
+                OneShotCheckReq(static_cast<int64_t>(i + 1), spec));
+            if (!response.ok() || !response->GetBool("ok", false)) {
+              ++errors[c];
+            }
+          });
+          latencies[c].push_back(ms);
+        }
+      });
+    }
+    // Pool destructor joins every caller.
+  });
+
+  std::vector<double> all;
+  for (size_t c = 0; c < kClients; ++c) {
+    all.insert(all.end(), latencies[c].begin(), latencies[c].end());
+    point.errors += errors[c];
+  }
+  std::sort(all.begin(), all.end());
+  point.calls = all.size();
+  point.rps = wall_ms > 0.0
+                  ? static_cast<double>(all.size()) * 1000.0 / wall_ms
+                  : 0.0;
+  point.p50_ms = Percentile(&all, 0.50);
+  point.p99_ms = Percentile(&all, 0.99);
+
+  server->RequestShutdown();
+  server->Wait();
+  return point;
+}
+
+void Run() {
+  bench::JsonReport report("daemon");
+  const TextSpec spec = net::EasySpec();
+
+  // A throwaway server run populates the artifact directory so the "warm"
+  // points start from a persisted compiled-DTD artifact, the way a
+  // restarted production daemon would.
+  char dir_template[] = "/tmp/xicc_bench_daemon_XXXXXX";
+  const char* artifact_dir = mkdtemp(dir_template);
+  if (artifact_dir == nullptr) std::abort();
+  (void)RunPoint(/*workers=*/1, artifact_dir, /*warm=*/false, spec);
+
+  bench::Header("xiccd one-shot check throughput (8 clients, easy spec)");
+  std::printf("%8s %6s %12s %12s %10s %10s %8s\n", "workers", "cache",
+              "first(ms)", "rps", "p50(ms)", "p99(ms)", "errors");
+  for (bool warm : {false, true}) {
+    for (size_t workers : {size_t{1}, size_t{4}, size_t{8}}) {
+      const LoadPoint point =
+          RunPoint(workers, warm ? artifact_dir : "", warm, spec);
+      std::printf("%8zu %6s %12.3f %12.1f %10.3f %10.3f %8zu\n",
+                  point.workers, warm ? "warm" : "cold", point.first_call_ms,
+                  point.rps, point.p50_ms, point.p99_ms, point.errors);
+      report.AddRow("load_point")
+          .Set("workers", point.workers)
+          .Set("artifact_warm", point.warm)
+          .Set("first_call_ms", point.first_call_ms)
+          .Set("rps", point.rps)
+          .Set("p50_ms", point.p50_ms)
+          .Set("p99_ms", point.p99_ms)
+          .Set("calls", point.calls)
+          .Set("errors", point.errors);
+      if (point.errors > 0) {
+        std::fprintf(stderr, "bench_daemon: %zu failed calls at workers=%zu\n",
+                     point.errors, point.workers);
+        std::abort();
+      }
+    }
+  }
+  report.Write();
+}
+
+}  // namespace
+}  // namespace xicc
+
+int main() {
+  xicc::Run();
+  return 0;
+}

@@ -235,11 +235,12 @@ const std::map<std::string, std::set<std::string>>& LintLayerMap() {
       {"constraints", {"base", "xml", "dtd", "constraints"}},
       {"relational", {"base", "xml", "dtd", "constraints", "relational"}},
       {"core", {"base", "xml", "dtd", "constraints", "ilp", "core"}},
+      {"net", {"base", "xml", "dtd", "constraints", "ilp", "core", "net"}},
       {"workloads",
        {"base", "xml", "dtd", "constraints", "ilp", "core", "workloads"}},
       {"tools",
        {"base", "analysis", "xml", "ilp", "dtd", "constraints", "relational",
-        "core", "workloads", "tools"}},
+        "core", "net", "workloads", "tools"}},
   };
   return kLayers;
 }
@@ -304,6 +305,24 @@ std::vector<LintIssue> LintSourceFile(const SourceFile& file) {
                  "with base/deadline.h SleepFor, wait inside "
                  "base/worksteal.h, or bound the wait with CondVar::WaitFor "
                  "in base/"},
+                rel_path, &out);
+  }
+  // Raw socket syscalls are quarantined in base/socket.*: its wrappers are
+  // where EINTR retries live, where EAGAIN becomes a first-class result,
+  // and where the XICC_FAULTS net probes are planted — a bare ::recv or
+  // ::poll anywhere else is an I/O wait that cancellation, shutdown, and
+  // fault injection cannot reach.
+  if (!dir.empty() && rel_path != "src/base/socket.h" &&
+      rel_path != "src/base/socket.cc") {
+    CheckTokens(lines,
+                {"raw-blocking",
+                 {"::socket", "::accept", "::accept4", "::recv", "::send",
+                  "::connect", "::bind", "::listen", "::setsockopt",
+                  "::getsockopt", "::getsockname", "::shutdown", "::poll"},
+                 "raw socket syscall outside base/socket.*: go through the "
+                 "EINTR-safe, fault-probed wrappers (Fd, ReadSome/WriteSome, "
+                 "AcceptOne, PollFds) so every network wait stays bounded "
+                 "and injectable"},
                 rel_path, &out);
   }
   // Byte reinterpretation is quarantined in base/serde: its Reader/Cursor

@@ -37,6 +37,13 @@ const std::set<std::string>& WorkAnchors() {
       "Check",
       "Implies",
       "Pivot",
+      // src/net: admitting a frame to the worker pool and executing a
+      // request are the daemon's fan-out points; every I/O-thread loop that
+      // can reach them must observe cancellation (the Dispatch admission
+      // path polls the connection's token, so loops calling it inherit the
+      // poll).
+      "Dispatch",
+      "HandleRequest",
       // The fault-injection probes are placed exactly at the unbounded hot
       // sites (pivot iterations, branch-and-bound nodes); a loop that does
       // its work inline — like the simplex pivot loops — calls no solver
@@ -66,7 +73,7 @@ bool WorkLoopAnnotated(const SourceFile& file, size_t line) {
 constexpr size_t kPollWindow = 64;
 
 bool InScope(const SourceFile& file) {
-  return file.dir == "ilp" || file.dir == "core";
+  return file.dir == "ilp" || file.dir == "core" || file.dir == "net";
 }
 
 struct LoopSite {

@@ -36,6 +36,8 @@ struct State {
   std::atomic<uint64_t> cancel_at_node{0};
   std::atomic<uint64_t> slow_pivot_every{0};
   std::atomic<int64_t> slow_pivot_ms{1};
+  std::atomic<uint64_t> net_fault_every{0};
+  std::atomic<uint64_t> file_write_error_every{0};
   std::atomic<CancelToken*> cancel_target{nullptr};
 
   State() {
@@ -46,6 +48,8 @@ struct State {
     config.slow_pivot_every = EnvU64("XICC_FAULT_SLOW_PIVOT_EVERY");
     const uint64_t ms = EnvU64("XICC_FAULT_SLOW_PIVOT_MS");
     if (ms != 0) config.slow_pivot_ms = static_cast<int64_t>(ms);
+    config.net_fault_every = EnvU64("XICC_FAULT_NET_EVERY");
+    config.file_write_error_every = EnvU64("XICC_FAULT_FILE_WRITE_EVERY");
     Install(config);
   }
 
@@ -56,16 +60,31 @@ struct State {
     slow_pivot_every.store(config.slow_pivot_every,
                            std::memory_order_relaxed);
     slow_pivot_ms.store(config.slow_pivot_ms, std::memory_order_relaxed);
+    net_fault_every.store(config.net_fault_every, std::memory_order_relaxed);
+    file_write_error_every.store(config.file_write_error_every,
+                                 std::memory_order_relaxed);
     for (int s = 0; s < kSiteCount; ++s) {
       hits[s].store(0, std::memory_order_relaxed);
       const bool value_site = s == static_cast<int>(Site::kNumPromote) ||
                               s == static_cast<int>(Site::kArenaAlloc);
-      const uint64_t p =
-          config.seed == 0 || !value_site
-              ? 0
-              : 2 + Mix(config.seed ^ (static_cast<uint64_t>(s) *
-                                       0xd1342543de82ef95ull)) %
-                        127;
+      const bool net_site = s >= static_cast<int>(Site::kNetAccept) &&
+                            s <= static_cast<int>(Site::kFrameDecode);
+      uint64_t p = 0;
+      if (value_site && config.seed != 0) {
+        p = 2 + Mix(config.seed ^ (static_cast<uint64_t>(s) *
+                                   0xd1342543de82ef95ull)) %
+                    127;
+      } else if (net_site && config.net_fault_every != 0) {
+        // Stagger the four net sites so one configured period does not fire
+        // every probe class in lockstep; the offset keeps each site's
+        // effective period within [every, every + 16].
+        p = config.net_fault_every +
+            Mix(config.net_fault_every ^
+                (static_cast<uint64_t>(s) * 0x9e3779b97f4a7c15ull)) %
+                17;
+      } else if (s == static_cast<int>(Site::kFileWrite)) {
+        p = config.file_write_error_every;
+      }
       period[s].store(p, std::memory_order_relaxed);
     }
   }
@@ -89,6 +108,9 @@ FaultConfig GetConfig() {
   config.slow_pivot_every =
       s.slow_pivot_every.load(std::memory_order_relaxed);
   config.slow_pivot_ms = s.slow_pivot_ms.load(std::memory_order_relaxed);
+  config.net_fault_every = s.net_fault_every.load(std::memory_order_relaxed);
+  config.file_write_error_every =
+      s.file_write_error_every.load(std::memory_order_relaxed);
   return config;
 }
 
@@ -113,7 +135,12 @@ bool Probe(Site site) {
               1, std::memory_order_relaxed);
   switch (site) {
     case Site::kNumPromote:
-    case Site::kArenaAlloc: {
+    case Site::kArenaAlloc:
+    case Site::kNetAccept:
+    case Site::kNetRead:
+    case Site::kNetWrite:
+    case Site::kFrameDecode:
+    case Site::kFileWrite: {
       const uint64_t p =
           s.period[static_cast<int>(site)].load(std::memory_order_relaxed);
       return p != 0 && count % p == 0;

@@ -46,8 +46,23 @@ enum class Site : int {
   kArenaAlloc = 1,
   kSimplexPivot = 2,
   kBnbNode = 3,
+  /// Network-facing probes on the xiccd daemon's I/O paths. Firing one
+  /// injects a TRANSIENT failure the server must absorb into a structured
+  /// error or a clean connection teardown — never a hang, a leak, or UB.
+  /// They fire only when net_fault_every is configured (SetConfig or
+  /// XICC_FAULT_NET_EVERY), so the rest of the suite is unaffected by a
+  /// bare XICC_FAULTS seed; the chaos soak derives its period from the
+  /// seed itself.
+  kNetAccept = 4,
+  kNetRead = 5,
+  kNetWrite = 6,
+  kFrameDecode = 7,
+  /// Forces WriteFileAtomic onto its failure path (simulated ENOSPC): the
+  /// temp file must be cleaned up and a kUnavailable status returned.
+  /// Fires only when file_write_error_every is configured.
+  kFileWrite = 8,
 };
-inline constexpr int kSiteCount = 4;
+inline constexpr int kSiteCount = 9;
 
 #if XICC_FAULTS_ENABLED
 
@@ -62,6 +77,13 @@ struct FaultConfig {
   uint64_t slow_pivot_every = 0;
   /// …for this long.
   int64_t slow_pivot_ms = 1;
+  /// Fire each net site (kNetAccept/kNetRead/kNetWrite/kFrameDecode) at a
+  /// site-dependent period derived from this value (0: never). Also
+  /// settable via XICC_FAULT_NET_EVERY.
+  uint64_t net_fault_every = 0;
+  /// Fire kFileWrite every Nth probe (0: never). Also settable via
+  /// XICC_FAULT_FILE_WRITE_EVERY.
+  uint64_t file_write_error_every = 0;
 };
 
 /// Replaces the active configuration (first use otherwise reads the

@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "base/debug.h"
+#include "base/faults.h"
 
 namespace xicc::serde {
 
@@ -446,18 +447,28 @@ Status WriteFileAtomic(const std::string& path, std::string_view bytes) {
   const std::string tmp = path + ".tmp." + std::to_string(::getpid());
   std::FILE* fh = std::fopen(tmp.c_str(), "wb");
   if (fh == nullptr) {
-    return Status::InvalidArgument("cannot create " + tmp + ": " +
-                                   std::strerror(errno));
+    // No temp file exists yet, so there is nothing to clean up. Unavailable,
+    // not InvalidArgument: an unwritable cache dir is an environmental
+    // condition the caller may retry or degrade around, not a bad input.
+    return Status::Unavailable("cannot create " + tmp + ": " +
+                               std::strerror(errno));
   }
-  const size_t written = std::fwrite(bytes.data(), 1, bytes.size(), fh);
+  size_t written = std::fwrite(bytes.data(), 1, bytes.size(), fh);
+  if (XICC_FAULT_FIRES(kFileWrite)) written = 0;  // Simulated ENOSPC.
   const bool flushed = std::fflush(fh) == 0;
-  std::fclose(fh);
-  if (written != bytes.size() || !flushed) {
+  // fclose can surface the buffered write's real error (ENOSPC, EIO) after
+  // fwrite/fflush reported success; treating it as advisory would leave a
+  // truncated temp file to be renamed over a good artifact.
+  const bool closed = std::fclose(fh) == 0;
+  if (written != bytes.size() || !flushed || !closed) {
+    const Status err =
+        Status::Unavailable("short write to " + tmp + ": " +
+                            std::strerror(errno != 0 ? errno : ENOSPC));
     std::remove(tmp.c_str());
-    return Status::InvalidArgument("short write to " + tmp);
+    return err;
   }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    const Status err = Status::InvalidArgument(
+    const Status err = Status::Unavailable(
         "cannot rename " + tmp + " -> " + path + ": " + std::strerror(errno));
     std::remove(tmp.c_str());
     return err;

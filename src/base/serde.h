@@ -270,7 +270,11 @@ Result<std::string> ReadFileToString(const std::string& path);
 
 /// Durably replaces `path` with `bytes`: writes a sibling temp file, then
 /// renames over the target, so concurrent readers see either the old or the
-/// new artifact, never a torn one.
+/// new artifact, never a torn one. Every failure (unwritable dir, short
+/// write / ENOSPC, failed rename) removes the temp file before returning —
+/// the cache dir never accumulates orphaned `*.tmp` files — and reports
+/// kUnavailable: the condition is environmental and retryable, and callers
+/// (the artifact cache) degrade to serving from memory.
 Status WriteFileAtomic(const std::string& path, std::string_view bytes);
 
 }  // namespace xicc::serde

@@ -1,0 +1,322 @@
+#include "base/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "base/deadline.h"
+#include "base/faults.h"
+
+namespace xicc {
+namespace net {
+
+namespace {
+
+Status ErrnoStatus(const std::string& what) {
+  return Status::Unavailable(what + ": " + std::strerror(errno));
+}
+
+Status MakeNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return ErrnoStatus("fcntl(O_NONBLOCK)");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+void Fd::Close() {
+  if (fd_ < 0) return;
+  // POSIX leaves the fd state unspecified after EINTR from close; retrying
+  // risks closing a recycled descriptor, so close once and move on — the
+  // kernel releases the descriptor either way on Linux.
+  ::close(fd_);
+  fd_ = -1;
+}
+
+IoResult ReadSome(const Fd& fd, char* buf, size_t cap) {
+  IoResult result;
+  if (XICC_FAULT_FIRES(kNetRead)) {
+    result.status = IoStatus::kError;
+    result.err = ECONNRESET;  // Injected transient: peer reset mid-read.
+    return result;
+  }
+  for (;;) {
+    const ssize_t n = ::read(fd.get(), buf, cap);
+    if (n > 0) {
+      result.bytes = static_cast<size_t>(n);
+      return result;
+    }
+    if (n == 0) {
+      result.status = IoStatus::kEof;
+      return result;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      result.status = IoStatus::kWouldBlock;
+      return result;
+    }
+    result.status = IoStatus::kError;
+    result.err = errno;
+    return result;
+  }
+}
+
+IoResult WriteSome(const Fd& fd, const char* buf, size_t len) {
+  IoResult result;
+  if (XICC_FAULT_FIRES(kNetWrite)) {
+    result.status = IoStatus::kError;
+    result.err = EPIPE;  // Injected transient: peer went away mid-write.
+    return result;
+  }
+  for (;;) {
+    // MSG_NOSIGNAL: a peer that closed mid-response must yield EPIPE, not a
+    // process-wide SIGPIPE.
+    const ssize_t n = ::send(fd.get(), buf, len, MSG_NOSIGNAL);
+    if (n >= 0) {
+      result.bytes = static_cast<size_t>(n);
+      return result;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      result.status = IoStatus::kWouldBlock;
+      return result;
+    }
+    result.status = IoStatus::kError;
+    result.err = errno;
+    return result;
+  }
+}
+
+Result<Fd> TcpListen(uint16_t port, int backlog) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return ErrnoStatus("socket");
+  const int one = 1;
+  if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) <
+      0) {
+    return ErrnoStatus("setsockopt(SO_REUSEADDR)");
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  // reinterpret_cast is the POSIX sockaddr calling convention, not byte
+  // decoding.  // xicc-lint: allow(raw-deserialization)
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) < 0) {  // xicc-lint: allow(raw-deserialization)
+    return ErrnoStatus("bind");
+  }
+  if (::listen(fd.get(), backlog) < 0) return ErrnoStatus("listen");
+  XICC_RETURN_IF_ERROR(MakeNonBlocking(fd.get()));
+  return fd;
+}
+
+Result<uint16_t> LocalPort(const Fd& listener) {
+  sockaddr_in addr;
+  socklen_t len = sizeof(addr);
+  // xicc-lint: allow(raw-deserialization)
+  if (::getsockname(listener.get(), reinterpret_cast<sockaddr*>(&addr),
+                    &len) < 0) {
+    return ErrnoStatus("getsockname");
+  }
+  return static_cast<uint16_t>(ntohs(addr.sin_port));
+}
+
+IoResult AcceptOne(const Fd& listener, Fd* out) {
+  IoResult result;
+  for (;;) {
+    const int fd =
+        ::accept4(listener.get(), nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd >= 0) {
+      if (XICC_FAULT_FIRES(kNetAccept)) {
+        // Injected transient accept failure: the connection is torn down
+        // immediately, as if the client aborted during the handshake. The
+        // listener stays healthy.
+        ::close(fd);
+        result.status = IoStatus::kError;
+        result.err = ECONNABORTED;
+        return result;
+      }
+      Fd accepted(fd);
+      const Status nb = MakeNonBlocking(fd);
+      if (!nb.ok()) {
+        result.status = IoStatus::kError;
+        result.err = errno;
+        return result;
+      }
+      const int one = 1;
+      // Best effort; latency tuning, not correctness.
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      *out = std::move(accepted);
+      return result;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      result.status = IoStatus::kWouldBlock;
+      return result;
+    }
+    // ECONNABORTED, EMFILE, ENFILE, ...: transient as far as the listener
+    // is concerned; report and let the accept loop continue.
+    result.status = IoStatus::kError;
+    result.err = errno;
+    return result;
+  }
+}
+
+Result<Fd> TcpConnect(uint16_t port, int64_t timeout_ms) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return ErrnoStatus("socket");
+  XICC_RETURN_IF_ERROR(MakeNonBlocking(fd.get()));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  // xicc-lint: allow(raw-deserialization)
+  const int rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                           sizeof(addr));
+  if (rc < 0 && errno != EINPROGRESS && errno != EINTR) {
+    return ErrnoStatus("connect");
+  }
+  if (rc < 0) {
+    // Await writability (= connect completion) in bounded slices so a
+    // deadline or shutdown can interleave.
+    const Deadline deadline = Deadline::After(timeout_ms);
+    for (;;) {
+      if (deadline.Expired()) {
+        return Status::Unavailable("connect timed out");
+      }
+      std::vector<PollEvent> events;
+      std::vector<PollFd> polled = {{fd.get(), false, true}};
+      XICC_ASSIGN_OR_RETURN(size_t n,
+                            PollFds(polled, deadline.RemainingMs(), &events));
+      if (n == 0) continue;
+      break;
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len) < 0) {
+      return ErrnoStatus("getsockopt(SO_ERROR)");
+    }
+    if (err != 0) {
+      return Status::Unavailable(std::string("connect: ") +
+                                 std::strerror(err));
+    }
+  }
+  const int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+Result<size_t> PollFds(const std::vector<PollFd>& fds, int64_t timeout_ms,
+                       std::vector<PollEvent>* out) {
+  std::vector<pollfd> raw;
+  raw.reserve(fds.size());
+  for (const PollFd& w : fds) {
+    pollfd p;
+    p.fd = w.fd;
+    p.events = static_cast<short>((w.want_read ? POLLIN : 0) |
+                                  (w.want_write ? POLLOUT : 0));
+    p.revents = 0;
+    raw.push_back(p);
+  }
+  // Bounded: the longest any caller can park here is one second; event
+  // loops run this inside a while that re-checks their stop conditions.
+  int64_t clamped = timeout_ms;
+  if (clamped < 0) clamped = 0;
+  if (clamped > 1000) clamped = 1000;
+  const int rc = ::poll(raw.data(), raw.size(), static_cast<int>(clamped));
+  if (rc < 0) {
+    if (errno == EINTR) return size_t{0};  // A signal is a wake, not a fault.
+    return ErrnoStatus("poll");
+  }
+  size_t count = 0;
+  for (const pollfd& p : raw) {
+    if (p.revents == 0) continue;
+    PollEvent event;
+    event.fd = p.fd;
+    event.readable = (p.revents & POLLIN) != 0;
+    event.writable = (p.revents & POLLOUT) != 0;
+    event.closed = (p.revents & (POLLHUP | POLLERR | POLLNVAL)) != 0;
+    out->push_back(event);
+    ++count;
+  }
+  return count;
+}
+
+void HalfCloseWrite(const Fd& fd) {
+  if (fd.valid()) ::shutdown(fd.get(), SHUT_WR);
+}
+
+Status WriteAll(const Fd& fd, std::string_view data, int64_t deadline_ms) {
+  const Deadline deadline = Deadline::After(deadline_ms);
+  size_t sent = 0;
+  while (sent < data.size()) {
+    if (deadline.Expired()) {
+      return Status::Unavailable(
+          "write stalled: peer not draining its socket");
+    }
+    const IoResult io = WriteSome(fd, data.data() + sent, data.size() - sent);
+    switch (io.status) {
+      case IoStatus::kOk:
+        sent += io.bytes;
+        break;
+      case IoStatus::kWouldBlock: {
+        std::vector<PollEvent> events;
+        std::vector<PollFd> polled = {{fd.get(), false, true}};
+        XICC_ASSIGN_OR_RETURN(
+            size_t n, PollFds(polled, deadline.RemainingMs(), &events));
+        // n == 0: timeout slice or EINTR — loop re-checks the deadline.
+        if (n > 0 && events[0].closed) {
+          return Status::Unavailable("peer closed while writing");
+        }
+        break;
+      }
+      case IoStatus::kEof:
+      case IoStatus::kError:
+        return Status::Unavailable(std::string("write failed: ") +
+                                   std::strerror(io.err));
+    }
+  }
+  return Status::Ok();
+}
+
+Result<WakePipe> WakePipe::Create() {
+  int fds[2];
+  if (::pipe2(fds, O_NONBLOCK | O_CLOEXEC) < 0) return ErrnoStatus("pipe2");
+  WakePipe pipe;
+  pipe.read_ = Fd(fds[0]);
+  pipe.write_ = Fd(fds[1]);
+  return pipe;
+}
+
+void WakePipe::Wake() const {
+  // Async-signal-safe: one non-blocking write; EAGAIN means a wake is
+  // already pending, which is exactly as good.
+  const char byte = 'w';
+  const ssize_t rc = ::write(write_.get(), &byte, 1);
+  (void)rc;  // xicc-lint: allow(void-discard)
+}
+
+void WakePipe::Drain() const {
+  char buf[64];
+  for (;;) {
+    const ssize_t n = ::read(read_.get(), buf, sizeof(buf));
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;
+    }
+  }
+}
+
+}  // namespace net
+}  // namespace xicc

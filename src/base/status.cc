@@ -18,6 +18,8 @@ const char* StatusCodeName(StatusCode code) {
       return "deadline-exceeded";
     case StatusCode::kCancelled:
       return "cancelled";
+    case StatusCode::kUnavailable:
+      return "unavailable";
     case StatusCode::kInternal:
       return "internal";
   }

@@ -29,6 +29,11 @@ enum class StatusCode {
   kDeadlineExceeded,
   /// The caller (or a fault probe) cooperatively cancelled the analysis.
   kCancelled,
+  /// The service (or a resource it depends on) is temporarily unable to
+  /// take the work — overload shed, drain in progress, or a transient I/O
+  /// failure such as a disk-full artifact store. Retryable after a backoff;
+  /// the daemon attaches retry_after_ms to responses carrying this code.
+  kUnavailable,
   /// Internal invariant violation; indicates a bug in the library.
   kInternal,
 };
@@ -66,6 +71,9 @@ class [[nodiscard]] Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

@@ -1,0 +1,164 @@
+#include "core/session_registry.h"
+
+#include <chrono>
+
+namespace xicc {
+
+SessionRegistry::SessionRegistry(const SessionRegistryLimits& limits)
+    : limits_(limits) {}
+
+SessionRegistry::~SessionRegistry() = default;
+
+int64_t SessionRegistry::NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void SessionRegistry::EraseLocked(
+    std::unordered_map<uint64_t, Entry>::iterator it) {
+  table_.erase(it);
+  --stats_.resident;
+}
+
+Result<uint64_t> SessionRegistry::Open(
+    std::shared_ptr<const CompiledDtd> compiled,
+    const ConsistencyOptions& options, size_t memo_capacity) {
+  // Construct outside the lock: session setup copies the skeleton system
+  // and tableau, which is real work the registry mutex must not serialize.
+  auto session =
+      std::make_unique<SpecSession>(std::move(compiled), options,
+                                    memo_capacity);
+  MutexLock lock(&mu_);
+  if (table_.size() >= limits_.max_sessions) {
+    // LRU-on-full: evict the least recently used session nobody holds.
+    auto victim = table_.end();
+    for (auto it = table_.begin(); it != table_.end(); ++it) {
+      if (it->second.busy) continue;
+      if (victim == table_.end() ||
+          it->second.lru_stamp < victim->second.lru_stamp) {
+        victim = it;
+      }
+    }
+    if (victim == table_.end()) {
+      return Status::Unavailable(
+          "session table full and every session is busy; retry");
+    }
+    EraseLocked(victim);
+    ++stats_.evicted;
+  }
+  const uint64_t id = next_id_++;
+  Entry entry;
+  entry.session = std::move(session);
+  entry.last_touch_ms = NowMs();
+  entry.lru_stamp = ++lru_clock_;
+  table_.emplace(id, std::move(entry));
+  ++stats_.opened;
+  ++stats_.resident;
+  return id;
+}
+
+Result<SpecSession*> SessionRegistry::Acquire(uint64_t id) {
+  MutexLock lock(&mu_);
+  auto it = table_.find(id);
+  if (it == table_.end()) {
+    return Status::InvalidArgument("unknown session " + std::to_string(id) +
+                                   " (closed, evicted, or never opened)");
+  }
+  Entry& entry = it->second;
+  if (entry.quarantined) {
+    return Status::Unavailable(
+        "session " + std::to_string(id) + " is quarantined after " +
+        std::to_string(entry.fault_streak) +
+        " consecutive faulting queries; close it and open a fresh one");
+  }
+  if (entry.busy) {
+    return Status::Unavailable("session " + std::to_string(id) +
+                               " is serving another request");
+  }
+  entry.busy = true;
+  entry.last_touch_ms = NowMs();
+  entry.lru_stamp = ++lru_clock_;
+  ++stats_.busy;
+  return entry.session.get();
+}
+
+void SessionRegistry::Release(uint64_t id, bool faulted) {
+  MutexLock lock(&mu_);
+  auto it = table_.find(id);
+  if (it == table_.end() || !it->second.busy) return;  // Defensive: no-op.
+  Entry& entry = it->second;
+  entry.busy = false;
+  --stats_.busy;
+  entry.last_touch_ms = NowMs();
+  entry.lru_stamp = ++lru_clock_;
+  if (entry.doomed) {
+    EraseLocked(it);
+    ++stats_.closed;
+    return;
+  }
+  if (faulted) {
+    ++entry.fault_streak;
+    if (limits_.quarantine_after_faults != 0 && !entry.quarantined &&
+        entry.fault_streak >= limits_.quarantine_after_faults) {
+      entry.quarantined = true;
+      ++stats_.quarantined;
+    }
+  } else {
+    entry.fault_streak = 0;
+  }
+}
+
+Status SessionRegistry::CloseSession(uint64_t id) {
+  MutexLock lock(&mu_);
+  auto it = table_.find(id);
+  if (it == table_.end()) {
+    return Status::InvalidArgument("unknown session " + std::to_string(id));
+  }
+  if (it->second.busy) {
+    it->second.doomed = true;  // Release() finishes the job.
+    return Status::Ok();
+  }
+  EraseLocked(it);
+  ++stats_.closed;
+  return Status::Ok();
+}
+
+size_t SessionRegistry::SweepIdle(int64_t now_ms) {
+  if (limits_.idle_ttl_ms <= 0) return 0;
+  MutexLock lock(&mu_);
+  size_t evicted = 0;
+  for (auto it = table_.begin(); it != table_.end();) {
+    Entry& entry = it->second;
+    if (!entry.busy && now_ms - entry.last_touch_ms > limits_.idle_ttl_ms) {
+      it = table_.erase(it);
+      --stats_.resident;
+      ++stats_.evicted;
+      ++evicted;
+    } else {
+      ++it;
+    }
+  }
+  return evicted;
+}
+
+void SessionRegistry::CloseAll() {
+  MutexLock lock(&mu_);
+  for (auto it = table_.begin(); it != table_.end();) {
+    if (it->second.busy) {
+      it->second.doomed = true;
+      ++it;
+    } else {
+      it = table_.erase(it);
+      --stats_.resident;
+      ++stats_.closed;
+    }
+  }
+}
+
+SessionRegistryStats SessionRegistry::stats() const {
+  MutexLock lock(&mu_);
+  return stats_;
+}
+
+}  // namespace xicc

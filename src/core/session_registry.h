@@ -1,0 +1,133 @@
+#pragma once
+
+// A bounded, self-healing table of long-lived SpecSessions — the core-layer
+// state store behind xiccd's session verbs, factored here (not in src/net)
+// because eviction, quarantine, and exclusive checkout are session
+// semantics, not transport semantics.
+//
+// Degradation model, in order of preference:
+//
+//   1. LRU idle eviction — a full table first evicts its least-recently
+//      used non-busy session (and a periodic sweep reclaims sessions idle
+//      past a TTL) before refusing work. Clients are expected to handle
+//      "unknown session" by reopening; the artifact behind the session is
+//      shared and cheap to re-bind.
+//   2. Quarantine — a session whose queries keep ending in faults
+//      (deadline/cancel/resource, `quarantine_faults` of them
+//      consecutively, a verdict resets the streak) stops being schedulable:
+//      Acquire answers kUnavailable without touching the SpecSession. This
+//      is the CheckBatch quarantine rule applied to interactive sessions —
+//      one pathological constraint stream cannot keep burning worker
+//      threads.
+//   3. Shedding — only when every resident session is busy or quarantined
+//      and nothing is evictable does Open refuse (kUnavailable, retryable).
+//
+// Thread-safety: the registry is fully thread-safe; the SpecSessions it
+// stores are NOT. The checkout protocol bridges that — Acquire hands out a
+// session exclusively (busy flag) and Release returns it — so any number
+// of pool workers can serve session verbs concurrently while each
+// SpecSession still sees the single-threaded discipline it requires. The
+// internal mutex is a leaf: no callee under it takes any other lock.
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "base/thread_annotations.h"
+#include "core/spec_session.h"
+
+namespace xicc {
+
+struct SessionRegistryLimits {
+  /// Resident-session cap; Open at the cap evicts the LRU idle session or
+  /// sheds.
+  size_t max_sessions = 256;
+  /// Consecutive faulting queries (deadline/cancelled/resource-exhausted)
+  /// after which a session is quarantined. 0 disables quarantine.
+  size_t quarantine_after_faults = 3;
+  /// Idle TTL for the periodic sweep (SweepIdle); 0 disables TTL eviction
+  /// (LRU-on-full still applies).
+  int64_t idle_ttl_ms = 300'000;
+};
+
+/// Cumulative counters (monotone) plus point-in-time gauges.
+struct SessionRegistryStats {
+  uint64_t opened = 0;
+  uint64_t closed = 0;
+  uint64_t evicted = 0;      ///< LRU-on-full + TTL sweep victims.
+  uint64_t quarantined = 0;  ///< Sessions that crossed the fault threshold.
+  size_t resident = 0;       ///< Gauge: sessions in the table now.
+  size_t busy = 0;           ///< Gauge: sessions checked out right now.
+};
+
+class SessionRegistry {
+ public:
+  explicit SessionRegistry(const SessionRegistryLimits& limits);
+  ~SessionRegistry();
+
+  SessionRegistry(const SessionRegistry&) = delete;
+  SessionRegistry& operator=(const SessionRegistry&) = delete;
+
+  /// Creates a session over `compiled` and returns its id (ids are never
+  /// reused). At capacity, evicts the LRU non-busy non-doomed session
+  /// first; if nothing is evictable, sheds with kUnavailable.
+  Result<uint64_t> Open(std::shared_ptr<const CompiledDtd> compiled,
+                        const ConsistencyOptions& options,
+                        size_t memo_capacity);
+
+  /// Exclusive checkout. Errors: kInvalidArgument (unknown id — closed,
+  /// evicted, or never existed), kUnavailable (busy: one request per
+  /// session at a time; or quarantined). On success the caller MUST pair
+  /// with Release; the session stays exclusively theirs until then.
+  Result<SpecSession*> Acquire(uint64_t id);
+
+  /// Returns a checked-out session. `faulted` = the query ended without a
+  /// verdict for a load-shaped reason (deadline/cancel/resource); a
+  /// `faulted` streak of quarantine_after_faults quarantines the session,
+  /// a non-faulted Release resets the streak. A session doomed by Close
+  /// while busy is destroyed here.
+  void Release(uint64_t id, bool faulted);
+
+  /// Closes a session. Busy sessions are marked doomed and die on Release
+  /// (Close never blocks). kInvalidArgument on unknown id.
+  Status CloseSession(uint64_t id);
+
+  /// TTL sweep: evicts every non-busy session idle for more than
+  /// idle_ttl_ms. `now_ms` is the caller's monotonic clock (NowMs());
+  /// returns the number evicted. No-op when idle_ttl_ms == 0.
+  size_t SweepIdle(int64_t now_ms);
+
+  /// Evicts everything not busy; dooms what is busy. After the owning
+  /// server has drained (no checkouts outstanding), the registry is empty.
+  void CloseAll();
+
+  SessionRegistryStats stats() const;
+
+  /// Monotonic milliseconds for SweepIdle callers (steady clock — wall
+  /// time never goes backwards on it).
+  static int64_t NowMs();
+
+ private:
+  struct Entry {
+    std::unique_ptr<SpecSession> session;
+    bool busy = false;
+    bool doomed = false;       // Close() arrived while busy.
+    bool quarantined = false;
+    size_t fault_streak = 0;
+    int64_t last_touch_ms = 0;
+    uint64_t lru_stamp = 0;    // Logical clock; min = least recently used.
+  };
+
+  /// Drops `it`'s entry (caller holds mu_). Precondition: !busy.
+  void EraseLocked(std::unordered_map<uint64_t, Entry>::iterator it)
+      XICC_REQUIRES(mu_);
+
+  const SessionRegistryLimits limits_;
+  mutable Mutex mu_;  // xicc-analyze: lock-leaf
+  std::unordered_map<uint64_t, Entry> table_ XICC_GUARDED_BY(mu_);
+  uint64_t next_id_ XICC_GUARDED_BY(mu_) = 1;
+  uint64_t lru_clock_ XICC_GUARDED_BY(mu_) = 0;
+  SessionRegistryStats stats_ XICC_GUARDED_BY(mu_);
+};
+
+}  // namespace xicc

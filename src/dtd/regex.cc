@@ -115,8 +115,23 @@ std::string Regex::ToString() const {
     case Kind::kElement:
       return name_;
     case Kind::kUnion:
+      // ε-branches render as '?', the only nested form ParseDtd accepts
+      // ("EMPTY" is a whole content spec, not an atom) — keeps
+      // Dtd::ToString() round-trippable through the parser.
+      if (right_->kind_ == Kind::kEpsilon) {
+        return "(" + left_->ToString() + ")?";
+      }
+      if (left_->kind_ == Kind::kEpsilon) {
+        return "(" + right_->ToString() + ")?";
+      }
       return "(" + left_->ToString() + " | " + right_->ToString() + ")";
     case Kind::kConcat:
+      if (left_->kind_ == Kind::kEpsilon) {
+        return "(" + right_->ToString() + ")";
+      }
+      if (right_->kind_ == Kind::kEpsilon) {
+        return "(" + left_->ToString() + ")";
+      }
       return "(" + left_->ToString() + ", " + right_->ToString() + ")";
     case Kind::kStar:
       return "(" + left_->ToString() + ")*";

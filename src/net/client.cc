@@ -1,0 +1,153 @@
+#include "net/client.h"
+
+#include <algorithm>
+
+namespace xicc {
+namespace net {
+
+namespace {
+
+/// splitmix64 — the repo's standard deterministic mixer; used here to
+/// decorrelate concurrent clients' backoff schedules reproducibly.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Result<Client> Client::Connect(const ClientOptions& options) {
+  Client client(options);
+  XICC_RETURN_IF_ERROR(client.EnsureConnected());
+  return client;
+}
+
+Status Client::EnsureConnected() {
+  if (fd_.valid()) return Status::Ok();
+  XICC_ASSIGN_OR_RETURN(fd_,
+                        TcpConnect(options_.port, options_.connect_timeout_ms));
+  // A fresh connection starts a fresh byte stream.
+  lines_ = std::make_unique<LineBuffer>(options_.max_line_bytes);
+  return Status::Ok();
+}
+
+void Client::ShutdownWrite() { HalfCloseWrite(fd_); }
+
+Result<JsonValue> Client::Call(const JsonValue& request) {
+  return CallRaw(request.Dump());
+}
+
+Result<JsonValue> Client::CallRaw(const std::string& line) {
+  XICC_RETURN_IF_ERROR(EnsureConnected());
+  return RoundTrip(line);
+}
+
+Result<JsonValue> Client::RoundTrip(const std::string& line) {
+  const Status sent = WriteAll(fd_, line + "\n", options_.io_timeout_ms);
+  if (!sent.ok()) {
+    Disconnect();
+    return sent;
+  }
+  const Deadline deadline = Deadline::After(options_.io_timeout_ms);
+  std::string response;
+  for (;;) {
+    const LineBuffer::Next next = lines_->NextLine(&response);
+    if (next == LineBuffer::Next::kLine) break;
+    if (next == LineBuffer::Next::kOversize) {
+      Disconnect();
+      return Status::Unavailable("oversize response frame");
+    }
+    if (deadline.Expired()) {
+      Disconnect();
+      return Status::Unavailable("timed out awaiting response");
+    }
+    std::vector<PollEvent> events;
+    std::vector<PollFd> wait = {{fd_.get(), true, false}};
+    XICC_ASSIGN_OR_RETURN(size_t n,
+                          PollFds(wait, deadline.RemainingMs(), &events));
+    if (n == 0) continue;  // Timeout slice/EINTR; deadline re-checked above.
+    char buf[16 * 1024];
+    const IoResult io = ReadSome(fd_, buf, sizeof(buf));
+    if (io.status == IoStatus::kOk) {
+      lines_->Append(buf, io.bytes);
+      continue;
+    }
+    if (io.status == IoStatus::kWouldBlock) continue;
+    Disconnect();
+    return Status::Unavailable(io.status == IoStatus::kEof
+                                   ? "connection closed by server"
+                                   : "connection reset");
+  }
+  Result<JsonValue> parsed = ParseJson(response);
+  if (!parsed.ok()) {
+    // The server never emits malformed JSON; garbage means the transport
+    // is compromised, so it is treated like a reset.
+    Disconnect();
+    return Status::Unavailable("unparseable response frame");
+  }
+  return parsed;
+}
+
+Result<JsonValue> Client::CallWithRetry(const JsonValue& request,
+                                        const RetryPolicy& policy,
+                                        RetryStats* stats) {
+  RetryStats local;
+  RetryStats& tally = stats != nullptr ? *stats : local;
+  tally = RetryStats();
+  const Deadline overall = policy.overall_deadline_ms > 0
+                               ? Deadline::After(policy.overall_deadline_ms)
+                               : Deadline::Infinite();
+  uint64_t jitter_state = policy.jitter_seed;
+  Status last = Status::Unavailable("no attempts made");
+  for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
+    if (policy.cancel != nullptr && policy.cancel->Cancelled()) {
+      return Status::Cancelled("retry loop cancelled");
+    }
+    if (overall.Expired()) break;
+    ++tally.attempts;
+    int64_t server_floor_ms = 0;
+    Result<JsonValue> response = Call(request);
+    if (response.ok()) {
+      if (response->GetString("error", "") != "UNAVAILABLE") {
+        return response;  // A result or a terminal error: done either way.
+      }
+      ++tally.unavailable;
+      server_floor_ms = response->GetInt("retry_after_ms", 0);
+      last = Status::Unavailable(response->GetString("message", "shed"));
+    } else if (response.status().code() == StatusCode::kUnavailable) {
+      ++tally.transport_failures;
+      last = response.status();
+    } else {
+      return response.status();  // Non-retryable transport problem.
+    }
+    if (attempt + 1 >= policy.max_attempts) break;
+    // Capped exponential backoff with full jitter in the upper half, floored
+    // by the server's own hint when it gave one.
+    int64_t backoff = policy.initial_backoff_ms;
+    for (int i = 0; i < attempt && backoff < policy.max_backoff_ms; ++i) {
+      backoff *= 2;
+    }
+    backoff = std::min(backoff, policy.max_backoff_ms);
+    jitter_state = Mix(jitter_state);
+    int64_t delay = backoff / 2 +
+                    static_cast<int64_t>(jitter_state %
+                                         static_cast<uint64_t>(
+                                             backoff / 2 + 1));
+    if (server_floor_ms > delay) {
+      delay = server_floor_ms;
+      ++tally.server_hints;
+    }
+    const int64_t remaining = overall.RemainingMs();
+    if (remaining != INT64_MAX && delay > remaining) break;
+    tally.backoff_slept_ms += delay;
+    if (SleepFor(delay, policy.cancel)) {
+      return Status::Cancelled("retry loop cancelled during backoff");
+    }
+  }
+  return last;
+}
+
+}  // namespace net
+}  // namespace xicc

@@ -1,0 +1,117 @@
+#pragma once
+
+// Client library for xiccd: one connection, synchronous call/response, and
+// a retrying wrapper that cooperates with the server's admission control.
+//
+// The retry loop implements the contract the daemon's UNAVAILABLE
+// responses assume:
+//
+//   - retry_after_ms from the server is honored as the floor for the next
+//     backoff (the server knows its drain/overload horizon; the client
+//     does not);
+//   - otherwise capped exponential backoff with deterministic jitter
+//     (seeded splitmix64 — reproducible in tests, decorrelated across
+//     clients by seed);
+//   - transport failures (connection refused/reset mid-call) count as
+//     UNAVAILABLE and trigger a reconnect before the next attempt;
+//   - INVALID_ARGUMENT / DEADLINE_EXCEEDED / CANCELLED are terminal — the
+//     request itself is wrong or spent, and retrying would duplicate work
+//     (none of the daemon's verbs are made idempotent-by-retry for a spent
+//     deadline).
+//
+// Blocking behavior: every wait is bounded (socket waits go through
+// base/socket.h PollFds slices; backoff sleeps through SleepFor with the
+// caller's optional CancelToken), so a caller can always cancel a retry
+// loop promptly.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "base/deadline.h"
+#include "base/socket.h"
+#include "base/status.h"
+#include "net/frame.h"
+#include "net/json.h"
+
+namespace xicc {
+namespace net {
+
+struct ClientOptions {
+  uint16_t port = 0;
+  int64_t connect_timeout_ms = 2'000;
+  /// Per-call budget for writing the request and reading the response.
+  int64_t io_timeout_ms = 30'000;
+  size_t max_line_bytes = 1 << 20;
+};
+
+struct RetryPolicy {
+  int max_attempts = 8;
+  int64_t initial_backoff_ms = 10;
+  int64_t max_backoff_ms = 1'000;
+  /// Deterministic jitter stream; give each concurrent client its own seed.
+  uint64_t jitter_seed = 1;
+  /// Overall wall budget across attempts and backoffs (0 = none).
+  int64_t overall_deadline_ms = 0;
+  /// Optional cooperative cancel for the whole retry loop.
+  const CancelToken* cancel = nullptr;
+};
+
+struct RetryStats {
+  int attempts = 0;
+  int unavailable = 0;       ///< UNAVAILABLE responses absorbed by backoff.
+  int transport_failures = 0;
+  int64_t backoff_slept_ms = 0;
+  int64_t server_hints = 0;  ///< Retries whose floor came from retry_after_ms.
+};
+
+class Client {
+ public:
+  /// Connects to 127.0.0.1:port.
+  static Result<Client> Connect(const ClientOptions& options);
+
+  Client(Client&&) noexcept = default;
+  Client& operator=(Client&&) noexcept = default;
+
+  bool connected() const { return fd_.valid(); }
+
+  /// Sends one request envelope, awaits its response line. Transport
+  /// failures (reset, EOF, io_timeout_ms) are kUnavailable and leave the
+  /// client disconnected; protocol-level errors are the parsed response
+  /// object, NOT a bad Status — the caller inspects "error"/"ok".
+  Result<JsonValue> Call(const JsonValue& request);
+
+  /// Same, but sends `line` verbatim (malformed-frame tests).
+  Result<JsonValue> CallRaw(const std::string& line);
+
+  /// Call with the retry contract described above. Reconnects as needed.
+  /// `stats`, when non-null, receives the loop's accounting. The final
+  /// Status is: the last UNAVAILABLE turned kUnavailable when attempts or
+  /// the overall budget run out; kCancelled if `policy.cancel` fired.
+  Result<JsonValue> CallWithRetry(const JsonValue& request,
+                                  const RetryPolicy& policy,
+                                  RetryStats* stats = nullptr);
+
+  /// Drops the connection (next CallWithRetry reconnects).
+  void Disconnect() { fd_.Close(); }
+
+  /// Half-closes the write side, leaving reads open — the "client gave up
+  /// mid-request" shape the chaos soak injects.
+  void ShutdownWrite();
+
+ private:
+  explicit Client(const ClientOptions& options)
+      : options_(options),
+        lines_(std::make_unique<LineBuffer>(options.max_line_bytes)) {}
+
+  Status EnsureConnected();
+  Result<JsonValue> RoundTrip(const std::string& line);
+
+  ClientOptions options_;
+  Fd fd_;
+  /// Heap-held so the Client stays movable (LineBuffer is not).
+  std::unique_ptr<LineBuffer> lines_;
+};
+
+}  // namespace net
+}  // namespace xicc

@@ -1,0 +1,52 @@
+#include "net/frame.h"
+
+namespace xicc {
+namespace net {
+
+void LineBuffer::Append(const char* data, size_t n) {
+  if (skipping_) {
+    // Discard until (and including) the newline that ends the oversize
+    // line, then resume buffering with whatever follows it.
+    for (size_t i = 0; i < n; ++i) {
+      if (data[i] == '\n') {
+        skipping_ = false;
+        buf_.append(data + i + 1, n - i - 1);
+        return;
+      }
+    }
+    return;  // Still inside the oversize line; all n bytes dropped.
+  }
+  buf_.append(data, n);
+}
+
+LineBuffer::Next LineBuffer::NextLine(std::string* line) {
+  const size_t nl = buf_.find('\n', scan_from_);
+  if (nl != std::string::npos) {
+    if (nl > max_) {
+      // The line completed but over the cap: drop it whole; the stream is
+      // already resynchronized at the byte after the newline.
+      buf_.erase(0, nl + 1);
+      scan_from_ = 0;
+      return Next::kOversize;
+    }
+    line->assign(buf_, 0, nl);
+    // Tolerate CRLF peers.
+    if (!line->empty() && line->back() == '\r') line->pop_back();
+    buf_.erase(0, nl + 1);
+    scan_from_ = 0;
+    return Next::kLine;
+  }
+  scan_from_ = buf_.size();
+  if (buf_.size() > max_) {
+    // Unterminated and already over the cap: report once, switch to skip
+    // mode until the newline eventually arrives.
+    buf_.clear();
+    scan_from_ = 0;
+    skipping_ = true;
+    return Next::kOversize;
+  }
+  return Next::kNeedMore;
+}
+
+}  // namespace net
+}  // namespace xicc

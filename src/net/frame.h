@@ -1,0 +1,55 @@
+#pragma once
+
+// Newline-delimited framing with bounded buffering and oversize recovery.
+//
+// xiccd speaks one JSON object per '\n'-terminated line. The frame layer
+// sits between the raw socket reads and the JSON parser and enforces the
+// protocol's byte-level fault-tolerance contract:
+//
+//   - A line longer than the cap is reported ONCE (Next::kOversize) and
+//     then discarded byte-by-byte until its terminating newline, so the
+//     buffer never grows past max_line_bytes + one read's worth and the
+//     connection resynchronizes on the next line instead of being dropped.
+//   - Bytes may arrive in any fragmentation (short reads, one byte at a
+//     time, many lines per read) — framing is a pure function of the byte
+//     stream, not of read boundaries.
+
+#include <cstddef>
+#include <string>
+
+namespace xicc {
+namespace net {
+
+class LineBuffer {
+ public:
+  explicit LineBuffer(size_t max_line_bytes) : max_(max_line_bytes) {}
+
+  /// Appends raw bytes from the transport.
+  void Append(const char* data, size_t n);
+
+  enum class Next {
+    kLine,      ///< `*line` holds a complete line (newline stripped).
+    kNeedMore,  ///< No complete line buffered; read more.
+    /// The current line exceeded max_line_bytes. Reported exactly once per
+    /// offending line; the line's bytes (those buffered and those still in
+    /// flight) are discarded through its terminating newline.
+    kOversize,
+  };
+
+  /// Pops the next complete line. Call in a loop until kNeedMore.
+  Next NextLine(std::string* line);
+
+  size_t buffered_bytes() const { return buf_.size(); }
+  /// True while discarding an oversize line's remainder.
+  bool skipping() const { return skipping_; }
+
+ private:
+  std::string buf_;
+  size_t max_;
+  size_t scan_from_ = 0;  // No '\n' before this offset; makes Append+
+                          // NextLine linear over the stream, not quadratic.
+  bool skipping_ = false;
+};
+
+}  // namespace net
+}  // namespace xicc

@@ -1,0 +1,501 @@
+#include "net/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace xicc {
+namespace net {
+
+JsonValue JsonValue::Bool(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::Int(int64_t i) {
+  JsonValue v;
+  v.kind_ = Kind::kInt;
+  v.int_ = i;
+  return v;
+}
+
+JsonValue JsonValue::Double(double d) {
+  JsonValue v;
+  v.kind_ = Kind::kDouble;
+  v.double_ = d;
+  return v;
+}
+
+JsonValue JsonValue::Str(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::Array() {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+JsonValue JsonValue::Object() {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+int64_t JsonValue::AsInt() const {
+  if (kind_ == Kind::kInt) return int_;
+  if (kind_ == Kind::kDouble) return static_cast<int64_t>(double_);
+  return 0;
+}
+
+double JsonValue::AsDouble() const {
+  if (kind_ == Kind::kDouble) return double_;
+  if (kind_ == Kind::kInt) return static_cast<double>(int_);
+  return 0.0;
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : object_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+int64_t JsonValue::GetInt(std::string_view key, int64_t fallback) const {
+  const JsonValue* v = Find(key);
+  return (v != nullptr && v->is_number()) ? v->AsInt() : fallback;
+}
+
+bool JsonValue::GetBool(std::string_view key, bool fallback) const {
+  const JsonValue* v = Find(key);
+  return (v != nullptr && v->is_bool()) ? v->AsBool() : fallback;
+}
+
+std::string JsonValue::GetString(std::string_view key,
+                                 std::string_view fallback) const {
+  const JsonValue* v = Find(key);
+  return (v != nullptr && v->is_string()) ? v->AsString()
+                                          : std::string(fallback);
+}
+
+JsonValue& JsonValue::Set(std::string_view key, JsonValue v) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kObject;
+  for (auto& [name, value] : object_) {
+    if (name == key) {
+      value = std::move(v);
+      return *this;
+    }
+  }
+  object_.emplace_back(std::string(key), std::move(v));
+  return *this;
+}
+
+JsonValue& JsonValue::Push(JsonValue v) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kArray;
+  array_.push_back(std::move(v));
+  return *this;
+}
+
+namespace {
+
+void AppendEscaped(std::string_view s, std::string* out) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+void JsonValue::DumpTo(std::string* out) const {
+  switch (kind_) {
+    case Kind::kNull:
+      out->append("null");
+      return;
+    case Kind::kBool:
+      out->append(bool_ ? "true" : "false");
+      return;
+    case Kind::kInt:
+      out->append(std::to_string(int_));
+      return;
+    case Kind::kDouble: {
+      if (!std::isfinite(double_)) {
+        out->append("null");  // JSON has no NaN/Inf; null is the honest gap.
+        return;
+      }
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.17g", double_);
+      out->append(buf);
+      return;
+    }
+    case Kind::kString:
+      AppendEscaped(string_, out);
+      return;
+    case Kind::kArray: {
+      out->push_back('[');
+      bool first = true;
+      for (const JsonValue& v : array_) {
+        if (!first) out->push_back(',');
+        first = false;
+        v.DumpTo(out);
+      }
+      out->push_back(']');
+      return;
+    }
+    case Kind::kObject: {
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [name, value] : object_) {
+        if (!first) out->push_back(',');
+        first = false;
+        AppendEscaped(name, out);
+        out->push_back(':');
+        value.DumpTo(out);
+      }
+      out->push_back('}');
+      return;
+    }
+  }
+}
+
+std::string JsonValue::Dump() const {
+  std::string out;
+  DumpTo(&out);
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent parser with an explicit depth budget (the recursion
+/// and the limit are the same counter, so the depth cap IS the stack-safety
+/// proof) and a node budget shared across the whole parse.
+class Parser {
+ public:
+  Parser(std::string_view text, const JsonLimits& limits)
+      : text_(text), limits_(limits) {}
+
+  Result<JsonValue> Parse() {
+    SkipWs();
+    JsonValue v;
+    XICC_RETURN_IF_ERROR(Value(&v, limits_.max_depth));
+    SkipWs();
+    if (pos_ != text_.size()) return ParseFail("trailing characters after value");
+    return v;
+  }
+
+ private:
+  Status ParseFail(const std::string& what) const {
+    return Status::InvalidArgument("json: " + what + " at byte " +
+                                   std::to_string(pos_));
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Eat(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ChargeNode() {
+    if (++nodes_ > limits_.max_nodes) return ParseFail("too many values");
+    return Status::Ok();
+  }
+
+  Status Value(JsonValue* out, size_t depth_budget) {
+    if (pos_ >= text_.size()) return ParseFail("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ObjectValue(out, depth_budget);
+      case '[':
+        return ArrayValue(out, depth_budget);
+      case '"': {
+        std::string s;
+        XICC_RETURN_IF_ERROR(StringValue(&s));
+        *out = JsonValue::Str(std::move(s));
+        return Status::Ok();
+      }
+      case 't':
+        return Literal("true", JsonValue::Bool(true), out);
+      case 'f':
+        return Literal("false", JsonValue::Bool(false), out);
+      case 'n':
+        return Literal("null", JsonValue::Null(), out);
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) return NumberValue(out);
+        return ParseFail(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  Status Literal(std::string_view word, JsonValue value, JsonValue* out) {
+    if (text_.substr(pos_, word.size()) != word) {
+      return ParseFail("malformed literal");
+    }
+    pos_ += word.size();
+    *out = std::move(value);
+    return Status::Ok();
+  }
+
+  Status ObjectValue(JsonValue* out, size_t depth_budget) {
+    if (depth_budget == 0) return ParseFail("nested too deeply");
+    ++pos_;  // '{'
+    *out = JsonValue::Object();
+    SkipWs();
+    if (Eat('}')) return Status::Ok();
+    for (;;) {
+      SkipWs();
+      std::string key;
+      XICC_RETURN_IF_ERROR(StringValue(&key));
+      SkipWs();
+      if (!Eat(':')) return ParseFail("expected ':' after object key");
+      SkipWs();
+      JsonValue member;
+      XICC_RETURN_IF_ERROR(ChargeNode());
+      XICC_RETURN_IF_ERROR(Value(&member, depth_budget - 1));
+      out->Set(key, std::move(member));
+      SkipWs();
+      if (Eat(',')) continue;
+      if (Eat('}')) return Status::Ok();
+      return ParseFail("expected ',' or '}' in object");
+    }
+  }
+
+  Status ArrayValue(JsonValue* out, size_t depth_budget) {
+    if (depth_budget == 0) return ParseFail("nested too deeply");
+    ++pos_;  // '['
+    *out = JsonValue::Array();
+    SkipWs();
+    if (Eat(']')) return Status::Ok();
+    for (;;) {
+      SkipWs();
+      JsonValue element;
+      XICC_RETURN_IF_ERROR(ChargeNode());
+      XICC_RETURN_IF_ERROR(Value(&element, depth_budget - 1));
+      out->Push(std::move(element));
+      SkipWs();
+      if (Eat(',')) continue;
+      if (Eat(']')) return Status::Ok();
+      return ParseFail("expected ',' or ']' in array");
+    }
+  }
+
+  Status StringValue(std::string* out) {
+    if (!Eat('"')) return ParseFail("expected string");
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return Status::Ok();
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return ParseFail("raw control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out->push_back('"');
+          break;
+        case '\\':
+          out->push_back('\\');
+          break;
+        case '/':
+          out->push_back('/');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'u': {
+          uint32_t code = 0;
+          XICC_RETURN_IF_ERROR(Hex4(&code));
+          // Surrogate pairs: decode \uD800-\uDBFF + \uDC00-\uDFFF into one
+          // code point; a lone surrogate is malformed input.
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              return ParseFail("unpaired surrogate");
+            }
+            pos_ += 2;
+            uint32_t low = 0;
+            XICC_RETURN_IF_ERROR(Hex4(&low));
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return ParseFail("unpaired surrogate");
+            }
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+          } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            return ParseFail("unpaired surrogate");
+          }
+          AppendUtf8(code, out);
+          break;
+        }
+        default:
+          return ParseFail("unknown escape");
+      }
+    }
+    return ParseFail("unterminated string");
+  }
+
+  Status Hex4(uint32_t* out) {
+    if (pos_ + 4 > text_.size()) return ParseFail("truncated \\u escape");
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return ParseFail("bad hex digit in \\u escape");
+      }
+    }
+    *out = value;
+    return Status::Ok();
+  }
+
+  static void AppendUtf8(uint32_t code, std::string* out) {
+    if (code < 0x80) {
+      out->push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  Status NumberValue(JsonValue* out) {
+    const size_t start = pos_;
+    if (Eat('-')) {
+      // sign consumed
+    }
+    if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+      return ParseFail("malformed number");
+    }
+    if (text_[pos_] == '0') {
+      ++pos_;  // No leading zeros: "0" may only be followed by . e E or end.
+    } else {
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    bool integral = true;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      integral = false;
+      ++pos_;
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        return ParseFail("malformed number");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        return ParseFail("malformed number");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    if (integral) {
+      errno = 0;
+      char* end = nullptr;
+      const long long v = std::strtoll(token.c_str(), &end, 10);
+      if (errno == 0 && end != nullptr && *end == '\0') {
+        *out = JsonValue::Int(v);
+        return Status::Ok();
+      }
+      // Out of int64 range: fall through to double like everyone else does.
+    }
+    errno = 0;
+    const double d = std::strtod(token.c_str(), nullptr);
+    if (!std::isfinite(d)) return ParseFail("number out of range");
+    *out = JsonValue::Double(d);
+    return Status::Ok();
+  }
+
+  std::string_view text_;
+  const JsonLimits& limits_;
+  size_t pos_ = 0;
+  size_t nodes_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> ParseJson(std::string_view text, const JsonLimits& limits) {
+  return Parser(text, limits).Parse();
+}
+
+}  // namespace net
+}  // namespace xicc

@@ -1,0 +1,119 @@
+#pragma once
+
+// Minimal JSON document model + limit-enforcing parser for the xiccd wire
+// protocol (one JSON object per line, both directions).
+//
+// The parser is the daemon's first line of fault tolerance: every byte that
+// arrives over a socket goes through ParseJson before anything else looks
+// at it, and ParseJson is total — malformed, truncated, hostile, or
+// absurdly nested input yields Status::InvalidArgument with a position,
+// never a crash, never unbounded recursion (depth is capped by
+// JsonLimits::max_depth, the recursion budget), never unbounded memory
+// (the frame layer caps line length before the parser ever runs).
+//
+// Scope: exactly what the protocol needs. Objects preserve insertion order
+// (responses render deterministically), numbers are int64 when they fit and
+// double otherwise, strings support the standard escapes plus \uXXXX
+// (decoded to UTF-8). No comments, no trailing commas, no NaN/Infinity —
+// anything RFC 8259 rejects, this parser rejects.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "base/status.h"
+
+namespace xicc {
+namespace net {
+
+/// One JSON value; a small tagged union. Copyable (trees are small —
+/// protocol envelopes, not documents).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  JsonValue() = default;
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b);
+  static JsonValue Int(int64_t i);
+  static JsonValue Double(double d);
+  static JsonValue Str(std::string s);
+  static JsonValue Array();
+  static JsonValue Object();
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_int() const { return kind_ == Kind::kInt; }
+  bool is_number() const {
+    return kind_ == Kind::kInt || kind_ == Kind::kDouble;
+  }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool AsBool() const { return bool_; }
+  /// kInt → the value; kDouble → truncated; anything else → 0.
+  int64_t AsInt() const;
+  double AsDouble() const;
+  const std::string& AsString() const { return string_; }
+  const std::vector<JsonValue>& AsArray() const { return array_; }
+  const std::vector<std::pair<std::string, JsonValue>>& AsObject() const {
+    return object_;
+  }
+
+  // -- Object access ------------------------------------------------------
+
+  /// The member named `key`, or nullptr if absent / not an object.
+  const JsonValue* Find(std::string_view key) const;
+  /// Typed convenience lookups with defaults; absent or wrong-typed members
+  /// yield the fallback (the caller validates required members explicitly).
+  int64_t GetInt(std::string_view key, int64_t fallback) const;
+  bool GetBool(std::string_view key, bool fallback) const;
+  std::string GetString(std::string_view key,
+                        std::string_view fallback) const;
+
+  // -- Building -----------------------------------------------------------
+
+  /// Appends (object) / replaces (existing key) a member. Self-converts a
+  /// null value to an object first, so builders can chain from {}.
+  JsonValue& Set(std::string_view key, JsonValue v);
+  /// Appends an element; self-converts null to array.
+  JsonValue& Push(JsonValue v);
+
+  /// Compact single-line serialization (no spaces). Object members render
+  /// in insertion order, so equal builds produce equal bytes.
+  std::string Dump() const;
+
+ private:
+  void DumpTo(std::string* out) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0.0;  // xicc-lint: allow(exact-arithmetic)
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+struct JsonLimits {
+  /// Maximum nesting depth of arrays/objects; exceeding it is
+  /// kInvalidArgument ("nested too deeply"), not a stack overflow.
+  size_t max_depth = 32;
+  /// Maximum total container slots (array elements + object members)
+  /// allocated by one parse; a bound on parser memory independent of the
+  /// frame-layer byte cap.
+  size_t max_nodes = 1 << 16;
+};
+
+/// Parses exactly one JSON value spanning all of `text` (leading/trailing
+/// whitespace allowed, trailing garbage rejected). Total: every failure is
+/// kInvalidArgument naming the byte offset.
+Result<JsonValue> ParseJson(std::string_view text,
+                            const JsonLimits& limits = {});
+
+}  // namespace net
+}  // namespace xicc

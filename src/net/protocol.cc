@@ -1,0 +1,233 @@
+#include "net/protocol.h"
+
+namespace xicc {
+namespace net {
+
+const char* VerbName(Verb v) {
+  switch (v) {
+    case Verb::kPing:
+      return "ping";
+    case Verb::kOpen:
+      return "open";
+    case Verb::kCheck:
+      return "check";
+    case Verb::kImplies:
+      return "implies";
+    case Verb::kCommit:
+      return "commit";
+    case Verb::kRollback:
+      return "rollback";
+    case Verb::kClose:
+      return "close";
+    case Verb::kBatch:
+      return "batch";
+    case Verb::kStats:
+      return "stats";
+    case Verb::kShutdown:
+      return "shutdown";
+  }
+  return "?";
+}
+
+namespace {
+
+Status Missing(const char* verb, const char* field) {
+  return Status::InvalidArgument(std::string(verb) + ": missing or " +
+                                 "mistyped required member \"" + field +
+                                 "\"");
+}
+
+Result<std::string> RequireString(const JsonValue& env, const char* verb,
+                                  const char* field) {
+  const JsonValue* v = env.Find(field);
+  if (v == nullptr || !v->is_string()) return Missing(verb, field);
+  return v->AsString();
+}
+
+Status ReadNonNegative(const JsonValue& env, const char* field,
+                       int64_t* out) {
+  const JsonValue* v = env.Find(field);
+  if (v == nullptr) return Status::Ok();
+  if (!v->is_int() || v->AsInt() < 0) {
+    return Status::InvalidArgument(std::string("member \"") + field +
+                                   "\" must be a non-negative integer");
+  }
+  *out = v->AsInt();
+  return Status::Ok();
+}
+
+Status ReadSize(const JsonValue& env, const char* field, size_t* out) {
+  int64_t v = -1;
+  XICC_RETURN_IF_ERROR(ReadNonNegative(env, field, &v));
+  if (v >= 0) *out = static_cast<size_t>(v);
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<Request> ParseRequest(const JsonValue& envelope) {
+  if (!envelope.is_object()) {
+    return Status::InvalidArgument("request must be a JSON object");
+  }
+  Request req;
+  if (const JsonValue* id = envelope.Find("id"); id != nullptr) {
+    req.id = *id;
+  }
+
+  const JsonValue* verb = envelope.Find("verb");
+  if (verb == nullptr || !verb->is_string()) {
+    return Status::InvalidArgument(
+        "request needs a string \"verb\" member "
+        "(ping|open|check|implies|commit|rollback|close|batch|stats|"
+        "shutdown)");
+  }
+  const std::string& name = verb->AsString();
+  if (name == "ping") {
+    req.verb = Verb::kPing;
+  } else if (name == "open") {
+    req.verb = Verb::kOpen;
+  } else if (name == "check") {
+    req.verb = Verb::kCheck;
+  } else if (name == "implies") {
+    req.verb = Verb::kImplies;
+  } else if (name == "commit") {
+    req.verb = Verb::kCommit;
+  } else if (name == "rollback") {
+    req.verb = Verb::kRollback;
+  } else if (name == "close") {
+    req.verb = Verb::kClose;
+  } else if (name == "batch") {
+    req.verb = Verb::kBatch;
+  } else if (name == "stats") {
+    req.verb = Verb::kStats;
+  } else if (name == "shutdown") {
+    req.verb = Verb::kShutdown;
+  } else {
+    return Status::InvalidArgument("unknown verb \"" + name + "\"");
+  }
+  const char* vn = VerbName(req.verb);
+
+  // Common optional members (validated wherever they appear).
+  if (const JsonValue* s = envelope.Find("session"); s != nullptr) {
+    if (!s->is_int() || s->AsInt() < 0) {
+      return Status::InvalidArgument(
+          "member \"session\" must be a non-negative integer");
+    }
+    req.session = static_cast<uint64_t>(s->AsInt());
+    req.has_session = true;
+  }
+  if (const JsonValue* d = envelope.Find("dtd"); d != nullptr) {
+    if (!d->is_string()) return Missing(vn, "dtd");
+    req.dtd = d->AsString();
+    req.has_dtd = true;
+  }
+  if (const JsonValue* s = envelope.Find("sigma"); s != nullptr) {
+    if (!s->is_string()) return Missing(vn, "sigma");
+    req.sigma = s->AsString();
+    req.has_sigma = true;
+  }
+  XICC_RETURN_IF_ERROR(ReadNonNegative(envelope, "timeout_ms",
+                                       &req.timeout_ms));
+  XICC_RETURN_IF_ERROR(ReadNonNegative(envelope, "item_timeout_ms",
+                                       &req.item_timeout_ms));
+  XICC_RETURN_IF_ERROR(ReadSize(envelope, "threads", &req.threads));
+  XICC_RETURN_IF_ERROR(ReadSize(envelope, "memo", &req.memo));
+  XICC_RETURN_IF_ERROR(
+      ReadSize(envelope, "min_witness_nodes", &req.min_witness_nodes));
+  req.build_witness = envelope.GetBool("witness", false);
+
+  // Per-verb required members.
+  switch (req.verb) {
+    case Verb::kPing:
+    case Verb::kStats:
+    case Verb::kShutdown:
+      break;
+    case Verb::kOpen:
+      if (!req.has_dtd) return Missing(vn, "dtd");
+      break;
+    case Verb::kCheck:
+      if (!req.has_sigma) return Missing(vn, "sigma");
+      if (!req.has_session && !req.has_dtd) {
+        return Status::InvalidArgument(
+            "check: needs either \"session\" or \"dtd\"");
+      }
+      break;
+    case Verb::kImplies: {
+      XICC_ASSIGN_OR_RETURN(req.phi, RequireString(envelope, vn, "phi"));
+      if (!req.has_session && !req.has_dtd) {
+        return Status::InvalidArgument(
+            "implies: needs either \"session\" or \"dtd\"");
+      }
+      break;
+    }
+    case Verb::kCommit:
+      if (!req.has_session) return Missing(vn, "session");
+      if (!req.has_sigma) return Missing(vn, "sigma");
+      break;
+    case Verb::kRollback:
+    case Verb::kClose:
+      if (!req.has_session) return Missing(vn, "session");
+      break;
+    case Verb::kBatch: {
+      if (!req.has_dtd) return Missing(vn, "dtd");
+      const JsonValue* sigmas = envelope.Find("sigmas");
+      if (sigmas == nullptr || !sigmas->is_array()) {
+        return Missing(vn, "sigmas");
+      }
+      req.sigmas.reserve(sigmas->AsArray().size());
+      for (const JsonValue& s : sigmas->AsArray()) {
+        if (!s.is_string()) {
+          return Status::InvalidArgument(
+              "batch: every \"sigmas\" element must be a string");
+        }
+        req.sigmas.push_back(s.AsString());
+      }
+      break;
+    }
+  }
+  return req;
+}
+
+const char* WireErrorClass(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return nullptr;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kParseError:
+    case StatusCode::kUndecidableClass:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case StatusCode::kCancelled:
+      return "CANCELLED";
+    case StatusCode::kUnavailable:
+    case StatusCode::kResourceExhausted:
+      return "UNAVAILABLE";
+    default:
+      return "INTERNAL";
+  }
+}
+
+JsonValue MakeErrorResponse(const JsonValue& id, const Status& status,
+                            int64_t retry_after_ms) {
+  JsonValue out = JsonValue::Object();
+  out.Set("id", id);
+  const char* wire = WireErrorClass(status.code());
+  out.Set("error", JsonValue::Str(wire == nullptr ? "INTERNAL" : wire));
+  out.Set("code", JsonValue::Str(StatusCodeName(status.code())));
+  out.Set("message", JsonValue::Str(std::string(status.message())));
+  if (retry_after_ms > 0) {
+    out.Set("retry_after_ms", JsonValue::Int(retry_after_ms));
+  }
+  return out;
+}
+
+JsonValue MakeOkResponse(const JsonValue& id) {
+  JsonValue out = JsonValue::Object();
+  out.Set("id", id);
+  out.Set("ok", JsonValue::Bool(true));
+  return out;
+}
+
+}  // namespace net
+}  // namespace xicc

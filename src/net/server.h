@@ -1,0 +1,150 @@
+#pragma once
+
+// xiccd's engine room: a poll-driven I/O thread feeding a work-stealing
+// worker pool, with admission control in front and graceful degradation
+// behind. See DESIGN.md §13 for the full failure-semantics contract; the
+// short version:
+//
+//   One I/O thread owns every socket. It accepts, reads, frames, and
+//   dispatches; it never parses JSON, never touches a SpecSession, and
+//   never blocks (its only wait is a bounded poll that includes a self-pipe
+//   so both RequestShutdown — async-signal-safe — and worker completions
+//   can interrupt it). Workers do everything else: parse, validate, solve,
+//   serialize, write. A connection's responses are serialized by a
+//   per-connection write lock; requests on DIFFERENT connections (and
+//   pipelined requests on one connection, up to the per-connection
+//   in-flight cap) run concurrently.
+//
+//   Admission happens before a request ever reaches the pool: a draining
+//   server, a full global in-flight window, or a full per-connection
+//   window answers UNAVAILABLE + retry_after_ms immediately from cheap
+//   atomic checks — overload costs O(1), not a thread. Connections beyond
+//   max_connections are told UNAVAILABLE and closed at accept.
+//
+//   Every request runs under StopSignal{deadline, connection cancel token}:
+//   timeout_ms arms the deadline; a client disconnect cancels the token, so
+//   an expensive check whose requester vanished stops burning CPU at the
+//   next solver poll point. DEADLINE_EXCEEDED responses carry the partial
+//   ConsistencyStats of the stopped search.
+//
+//   Shutdown drains: stop accepting, finish in-flight work under
+//   drain_deadline_ms, then cancel whatever remains, then join. Session
+//   state degrades by LRU/TTL eviction and fault quarantine
+//   (core/session_registry.h) before anything is refused.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "base/status.h"
+
+namespace xicc {
+namespace net {
+
+struct ServerOptions {
+  /// Loopback port; 0 picks an ephemeral port (read back with port()).
+  uint16_t port = 0;
+  /// Worker threads (0 = hardware concurrency).
+  size_t workers = 0;
+  /// Accepted-connection cap; excess accepts are shed at the door.
+  size_t max_connections = 256;
+  int listen_backlog = 64;
+  /// Global in-flight request cap (0 = 4 × workers).
+  size_t max_inflight = 0;
+  /// Pipelined in-flight requests per connection.
+  size_t per_connection_inflight = 8;
+  /// The retry_after_ms hint attached to shed responses.
+  int64_t retry_after_ms = 25;
+
+  /// Frame/parse limits (fault-tolerant I/O bounds).
+  size_t max_line_bytes = 1 << 20;
+  size_t max_json_depth = 32;
+  /// Ceiling clamped onto every request's timeout_ms (0 = no ceiling).
+  int64_t max_timeout_ms = 120'000;
+  /// A response write that cannot make progress for this long (peer not
+  /// reading) abandons the connection.
+  int64_t write_stall_ms = 5'000;
+
+  /// Session-table limits (core/session_registry.h).
+  size_t max_sessions = 256;
+  size_t quarantine_after_faults = 3;
+  int64_t idle_session_ttl_ms = 300'000;
+  /// Default memo capacity for sessions and one-shot checks.
+  size_t memo_capacity = 128;
+
+  /// Compiled-DTD artifact cache directory ("" = memory tier only).
+  std::string artifact_dir;
+  size_t artifact_memory_capacity = 16;
+
+  /// Drain budget: after RequestShutdown, in-flight requests get this long
+  /// to finish before they are cancelled.
+  int64_t drain_deadline_ms = 2'000;
+
+  /// Batch-verb ceilings.
+  size_t max_batch_items = 4096;
+  size_t max_batch_threads = 16;
+};
+
+/// Point-in-time server counters, all cumulative unless marked as a gauge.
+struct ServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_shed = 0;  ///< Told UNAVAILABLE and closed at accept.
+  uint64_t accept_faults = 0;     ///< Transient accept errors (incl. injected).
+  uint64_t requests = 0;          ///< Frames admitted to the pool.
+  uint64_t responses_ok = 0;
+  uint64_t responses_invalid_argument = 0;
+  uint64_t responses_deadline_exceeded = 0;
+  uint64_t responses_cancelled = 0;
+  uint64_t responses_unavailable = 0;
+  uint64_t responses_internal = 0;
+  uint64_t shed_requests = 0;     ///< UNAVAILABLE from admission control.
+  uint64_t malformed_frames = 0;  ///< JSON/envelope rejects (+ injected).
+  uint64_t oversize_frames = 0;
+  uint64_t disconnect_cancels = 0;  ///< Cancellations from peer disconnect.
+  uint64_t read_faults = 0;
+  uint64_t write_faults = 0;
+  uint64_t sessions_opened = 0;
+  uint64_t sessions_closed = 0;
+  uint64_t sessions_evicted = 0;
+  uint64_t sessions_quarantined = 0;
+  size_t open_connections = 0;  ///< Gauge.
+  size_t open_sessions = 0;     ///< Gauge.
+  size_t inflight = 0;          ///< Gauge.
+  bool draining = false;
+};
+
+class ServerImpl;
+
+/// A running daemon. Construction via Start binds, listens, and spins up
+/// the I/O thread and worker pool; destruction performs a full drain-and-
+/// join (equivalent to RequestShutdown() + Wait()).
+class Server {
+ public:
+  static Result<std::unique_ptr<Server>> Start(const ServerOptions& options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The bound port (useful with options.port == 0).
+  uint16_t port() const;
+
+  /// Begins the drain. Async-signal-safe (atomic flag + self-pipe write):
+  /// this is the SIGTERM handler's one permitted call.
+  void RequestShutdown();
+
+  /// Blocks until the drain completes and every thread has exited.
+  void Wait();
+
+  /// True once Wait() would return immediately.
+  bool Stopped() const;
+
+  ServerStats stats() const;
+
+ private:
+  explicit Server(std::unique_ptr<ServerImpl> impl);
+  std::unique_ptr<ServerImpl> impl_;
+};
+
+}  // namespace net
+}  // namespace xicc

@@ -1,5 +1,6 @@
 #include "tools/cli.h"
 
+#include <cerrno>
 #include <cstdlib>
 #include <fstream>
 #include <optional>
@@ -155,17 +156,36 @@ Result<XmlSpec> LoadSpec(const std::string& dtd_path,
   return XmlSpec::Parse(dtd_text, sigma_text);
 }
 
+/// Parses a flag value that must be an integer >= `min`. Rejects empty
+/// values, trailing junk ("10x"), and out-of-range magnitudes (ERANGE or
+/// beyond the int64 the callers store), each with a usage hint so the
+/// operator sees what shape was expected.
+Result<int64_t> ParseIntFlag(const std::string& name, const std::string& text,
+                             int64_t min, const std::string& expected) {
+  errno = 0;
+  char* end = nullptr;
+  long long n = std::strtoll(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') {
+    return Status::InvalidArgument(name + " needs " + expected + ", got '" +
+                                   text + "' (run `xicc` for usage)");
+  }
+  if (errno == ERANGE) {
+    return Status::InvalidArgument(name + " value '" + text +
+                                   "' is out of range (run `xicc` for usage)");
+  }
+  if (n < min) {
+    return Status::InvalidArgument(name + " needs " + expected + ", got '" +
+                                   text + "' (run `xicc` for usage)");
+  }
+  return static_cast<int64_t>(n);
+}
+
 /// Parses an optional positive-integer flag; 0 means "not given".
 Result<int64_t> PositiveMsFlag(const ParsedArgs& parsed,
                                const std::string& name) {
   auto it = parsed.flags.find(name);
   if (it == parsed.flags.end()) return int64_t{0};
-  char* end = nullptr;
-  long n = std::strtol(it->second.c_str(), &end, 10);
-  if (end == it->second.c_str() || *end != '\0' || n < 1) {
-    return Status::InvalidArgument(name + " needs a positive integer (ms)");
-  }
-  return static_cast<int64_t>(n);
+  return ParseIntFlag(name, it->second, 1, "a positive integer (ms)");
 }
 
 /// The --timeout-ms / --cancel-after plumbing shared by check and batch:
@@ -193,11 +213,9 @@ Result<ConsistencyOptions> OptionsFromFlags(const ParsedArgs& parsed) {
   }
   auto it = parsed.flags.find("--min-nodes");
   if (it != parsed.flags.end()) {
-    char* end = nullptr;
-    long n = std::strtol(it->second.c_str(), &end, 10);
-    if (end == it->second.c_str() || *end != '\0' || n < 0) {
-      return Status::InvalidArgument("--min-nodes needs a nonnegative integer");
-    }
+    XICC_ASSIGN_OR_RETURN(int64_t n,
+                          ParseIntFlag("--min-nodes", it->second, 0,
+                                       "a nonnegative integer"));
     options.min_witness_nodes = static_cast<size_t>(n);
   }
   return options;
@@ -406,23 +424,23 @@ int CmdBatch(const std::vector<std::string>& args, std::ostream& out,
   }
   auto threads_flag = parsed->flags.find("--threads");
   if (threads_flag != parsed->flags.end()) {
-    char* end = nullptr;
-    long n = std::strtol(threads_flag->second.c_str(), &end, 10);
-    if (end == threads_flag->second.c_str() || *end != '\0' || n < 1) {
-      err << "--threads needs a positive integer\n";
+    auto n = ParseIntFlag("--threads", threads_flag->second, 1,
+                          "a positive integer");
+    if (!n.ok()) {
+      err << n.status() << "\n";
       return kError;
     }
-    options.num_threads = static_cast<size_t>(n);
+    options.num_threads = static_cast<size_t>(*n);
   }
   auto chunk_flag = parsed->flags.find("--chunk");
   if (chunk_flag != parsed->flags.end()) {
-    char* end = nullptr;
-    long n = std::strtol(chunk_flag->second.c_str(), &end, 10);
-    if (end == chunk_flag->second.c_str() || *end != '\0' || n < 1) {
-      err << "--chunk needs a positive integer\n";
+    auto n = ParseIntFlag("--chunk", chunk_flag->second, 1,
+                          "a positive integer");
+    if (!n.ok()) {
+      err << n.status() << "\n";
       return kError;
     }
-    options.chunk_size = static_cast<size_t>(n);
+    options.chunk_size = static_cast<size_t>(*n);
   }
   StopPlumbing plumbing;
   Status armed = plumbing.Arm(*parsed);

@@ -444,6 +444,40 @@ TEST(StopPollTest, WorkLoopAnnotationForcesTheCheck) {
   EXPECT_TRUE(FindingsFor(good, "stop-poll").empty());
 }
 
+TEST(StopPollTest, NetDispatchLoopsMustObserveCancellation) {
+  // src/net is in scope: Dispatch/HandleRequest are the daemon's fan-out
+  // anchors, so an I/O loop that admits frames without ever checking the
+  // connection's token would keep feeding the pool through a cancel/drain.
+  const std::string unpolled =
+      "void Dispatch(int frame);\n"
+      "void PumpConnection(int* frames, int n) {\n"
+      "  for (int i = 0; i < n; ++i) {\n"
+      "    Dispatch(frames[i]);\n"
+      "  }\n"
+      "}\n";
+  SourceModel bad =
+      BuildSourceModelFromContents({{"src/net/pump.cc", unpolled}});
+  ASSERT_EQ(FindingsFor(bad, "stop-poll").size(), 1u);
+
+  const std::string polled =
+      "void Dispatch(int frame);\n"
+      "void PumpConnection(const CancelToken& cancel, int* frames, int n) {\n"
+      "  for (int i = 0; i < n; ++i) {\n"
+      "    if (cancel.Cancelled()) break;\n"
+      "    Dispatch(frames[i]);\n"
+      "  }\n"
+      "}\n";
+  SourceModel good =
+      BuildSourceModelFromContents({{"src/net/pump.cc", polled}});
+  EXPECT_TRUE(FindingsFor(good, "stop-poll").empty());
+
+  // The same loop shape outside the scoped directories is not the
+  // daemon's admission path and stays quiet.
+  SourceModel elsewhere =
+      BuildSourceModelFromContents({{"src/tools/pump.cc", unpolled}});
+  EXPECT_TRUE(FindingsFor(elsewhere, "stop-poll").empty());
+}
+
 TEST(StopPollTest, SuppressionSilencesTheLoop) {
   const std::string content =
       "Status SolveIlp(int x);\n"

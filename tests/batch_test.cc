@@ -235,6 +235,76 @@ TEST(BatchTest, DeadlineQuarantinesOnlyTheExplodingItem) {
   EXPECT_EQ(degraded.cancelled, 0u);
 }
 
+TEST(BatchTest, RetryFactorZeroDisablesTheEscalatedRetry) {
+  workloads::LipEncoding spec = ExplodingSpec();
+  auto compiled = CompileDtd(spec.dtd);
+  ASSERT_TRUE(compiled.ok()) << compiled.status();
+  std::vector<ConstraintSet> queries{spec.sigma};
+
+  BatchOptions options;
+  options.item_timeout_ms = 30;
+  options.deadline_retry_factor = 0;
+  BatchDegradedStats degraded;
+  std::vector<BatchItemResult> results =
+      CheckBatch(*compiled, queries, options, &degraded);
+
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(degraded.retries, 0u);
+  EXPECT_EQ(degraded.retry_rescues, 0u);
+  EXPECT_EQ(degraded.deadline_exceeded, 1u);
+  EXPECT_EQ(degraded.quarantined, 1u);
+}
+
+TEST(BatchTest, RetryFactorOneRetriesOnceAndNeverDoubleCounts) {
+  workloads::LipEncoding spec = ExplodingSpec();
+  auto compiled = CompileDtd(spec.dtd);
+  ASSERT_TRUE(compiled.ok()) << compiled.status();
+  std::vector<ConstraintSet> queries{spec.sigma};
+
+  // factor=1 re-runs at the SAME hopeless budget: the retry fires, times
+  // out again, and the item must be quarantined exactly once — two deadline
+  // misses on one item are one degraded row, not two.
+  BatchOptions options;
+  options.item_timeout_ms = 30;
+  options.deadline_retry_factor = 1;
+  BatchDegradedStats degraded;
+  std::vector<BatchItemResult> results =
+      CheckBatch(*compiled, queries, options, &degraded);
+
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(degraded.retries, 1u);  // exactly one, never a retry-of-a-retry
+  EXPECT_EQ(degraded.retry_rescues, 0u);
+  EXPECT_EQ(degraded.deadline_exceeded, 1u);
+  EXPECT_EQ(degraded.quarantined, 1u);
+}
+
+TEST(BatchTest, HugeRetryFactorRescuesTheUnluckyItem) {
+  workloads::LipEncoding spec = ExplodingSpec();
+  auto compiled = CompileDtd(spec.dtd);
+  ASSERT_TRUE(compiled.ok()) << compiled.status();
+  std::vector<ConstraintSet> queries{spec.sigma};
+
+  // 25 ms first budget is hopeless; 25 ms × 1000 = 25 s is plenty (the
+  // unbudgeted solve takes well under a second). The rescue must both
+  // produce the verdict and keep the quarantine tallies at zero.
+  BatchOptions options;
+  options.item_timeout_ms = 25;
+  options.deadline_retry_factor = 1000;
+  BatchDegradedStats degraded;
+  std::vector<BatchItemResult> results =
+      CheckBatch(*compiled, queries, options, &degraded);
+
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_TRUE(results[0].status.ok()) << results[0].status;
+  EXPECT_TRUE(results[0].result.consistent);
+  EXPECT_EQ(degraded.retries, 1u);
+  EXPECT_EQ(degraded.retry_rescues, 1u);
+  EXPECT_EQ(degraded.deadline_exceeded, 0u);
+  EXPECT_EQ(degraded.quarantined, 0u);
+}
+
 TEST(BatchTest, ResourceExhaustedItemRecordedAndStripeContinues) {
   workloads::LipEncoding spec = ExplodingSpec();
   auto compiled = CompileDtd(spec.dtd);

@@ -212,6 +212,90 @@ TEST_F(CliTest, IdrefsTranslation) {
   EXPECT_NE(out_.str().find("loan.of <= book.isbn"), std::string::npos);
 }
 
+// ----------------------------------------------- Numeric flag validation.
+// Every numeric flag must reject garbage with exit 2 and a usage hint —
+// never crash, never silently clamp, never run with a nonsense value.
+
+class CliFlagTest : public CliTest {
+ protected:
+  void SetUp() override {
+    CliTest::SetUp();
+    WriteFile(sigma_path_, "key teacher(name)\n");
+    queries_path_ = dir_ + ".queries";
+    WriteFile(queries_path_,
+              "key teacher(name)\n---\n"
+              "key teacher(name)\n!key teacher(name)\n");
+  }
+
+  // Runs `check` with one flag set to `value` and expects rejection that
+  // names the flag and points at the usage text.
+  void ExpectCheckRejects(const std::string& flag, const std::string& value) {
+    EXPECT_EQ(Run({"check", dtd_path_, sigma_path_, flag, value}), 2)
+        << flag << "=" << value;
+    EXPECT_NE(err_.str().find(flag), std::string::npos) << err_.str();
+    EXPECT_NE(err_.str().find("usage"), std::string::npos) << err_.str();
+  }
+
+  void ExpectBatchRejects(const std::string& flag, const std::string& value) {
+    EXPECT_EQ(Run({"batch", dtd_path_, queries_path_, flag, value}), 2)
+        << flag << "=" << value;
+    EXPECT_NE(err_.str().find(flag), std::string::npos) << err_.str();
+    EXPECT_NE(err_.str().find("usage"), std::string::npos) << err_.str();
+  }
+
+  std::string queries_path_;
+};
+
+TEST_F(CliFlagTest, TimeoutMsRejectsGarbage) {
+  ExpectCheckRejects("--timeout-ms", "-5");
+  ExpectCheckRejects("--timeout-ms", "0");
+  ExpectCheckRejects("--timeout-ms", "soon");
+  ExpectCheckRejects("--timeout-ms", "10x");
+  ExpectCheckRejects("--timeout-ms", "");
+  // Overflows long long: must be ERANGE-rejected, not wrapped or clamped.
+  ExpectCheckRejects("--timeout-ms", "99999999999999999999");
+  ExpectCheckRejects("--timeout-ms", "-99999999999999999999");
+}
+
+TEST_F(CliFlagTest, CancelAfterRejectsGarbage) {
+  ExpectCheckRejects("--cancel-after", "-1");
+  ExpectCheckRejects("--cancel-after", "1.5");
+  ExpectCheckRejects("--cancel-after", "99999999999999999999");
+}
+
+TEST_F(CliFlagTest, MinNodesRejectsGarbageButAcceptsZero) {
+  ExpectCheckRejects("--min-nodes", "-1");
+  ExpectCheckRejects("--min-nodes", "many");
+  ExpectCheckRejects("--min-nodes", "99999999999999999999");
+  // Zero is a legitimate "no minimum".
+  EXPECT_EQ(Run({"check", dtd_path_, sigma_path_, "--min-nodes", "0"}), 0);
+}
+
+TEST_F(CliFlagTest, BatchThreadsAndChunkRejectGarbage) {
+  ExpectBatchRejects("--threads", "0");
+  ExpectBatchRejects("--threads", "-2");
+  ExpectBatchRejects("--threads", "2.0");
+  ExpectBatchRejects("--threads", "99999999999999999999");
+  ExpectBatchRejects("--chunk", "0");
+  ExpectBatchRejects("--chunk", "nope");
+  ExpectBatchRejects("--chunk", "99999999999999999999");
+  // Batch item timeouts ride the same flag; garbage is caught there too.
+  ExpectBatchRejects("--timeout-ms", "1e9");
+}
+
+TEST_F(CliFlagTest, ValidFlagsStillWork) {
+  EXPECT_EQ(Run({"check", dtd_path_, sigma_path_, "--timeout-ms", "30000"}),
+            0);
+  // Exit 1: the second query block is inconsistent (negative verdict, not
+  // an error).
+  EXPECT_EQ(Run({"batch", dtd_path_, queries_path_, "--threads", "2",
+                 "--chunk", "1", "--timeout-ms", "30000"}),
+            1);
+  EXPECT_NE(out_.str().find(": consistent"), std::string::npos) << out_.str();
+  EXPECT_NE(out_.str().find(": inconsistent"), std::string::npos)
+      << out_.str();
+}
+
 }  // namespace
 }  // namespace tools
 }  // namespace xicc

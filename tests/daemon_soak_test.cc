@@ -1,0 +1,303 @@
+// The chaos soak: many concurrent clients drive the daemon with a random
+// mix of sessions, checks under mixed deadlines, batches, malformed and
+// truncated frames, abrupt disconnects, and overload — while (in the
+// XICC_FAULTS build) the net fault sites inject accept/read/write/
+// frame-decode failures underneath. The invariant under all of it, from
+// DESIGN.md §13:
+//
+//   Every request ends in exactly one of
+//     result | UNAVAILABLE | DEADLINE_EXCEEDED | CANCELLED | INVALID_ARGUMENT
+//   (never INTERNAL, never a hang, never a dropped connection without a
+//   transport-visible end), and after a drain the server's session and
+//   in-flight accounting returns to baseline.
+//
+// Randomness is deterministic (splitmix64 per client, fixed seeds) so a
+// failing soak replays. The CI daemon-soak job runs this same binary under
+// ASan with XICC_FAULTS seeds 1–4 and XICC_FAULT_NET_EVERY set, which the
+// fault layer picks up from the environment on first use.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/deadline.h"
+#include "base/faults.h"
+#include "base/worksteal.h"
+#include "daemon_harness.h"
+#include "net/client.h"
+#include "net/server.h"
+
+namespace xicc {
+namespace net {
+namespace {
+
+uint64_t Mix(uint64_t* state) {
+  *state += 0x9e3779b97f4a7c15ull;
+  uint64_t z = *state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+struct SoakTotals {
+  std::atomic<uint64_t> calls{0};           // protocol responses received
+  std::atomic<uint64_t> transport_ends{0};  // calls ended by the transport
+  std::atomic<uint64_t> oks{0};
+  std::atomic<uint64_t> unavailable{0};
+  std::atomic<uint64_t> deadline{0};
+  std::atomic<uint64_t> cancelled{0};
+  std::atomic<uint64_t> invalid{0};
+  std::atomic<uint64_t> sessions_opened{0};
+};
+
+/// One client's script: `ops` random operations against the daemon.
+/// Returns "" on success or the first invariant violation, so the main
+/// thread can FAIL with it (gtest assertions stay on the main thread).
+std::string RunClientScript(uint16_t port, uint64_t seed, int ops,
+                            const TextSpec& easy, const TextSpec& hard,
+                            SoakTotals* totals) {
+  uint64_t rng = seed;
+  ClientOptions copts;
+  copts.port = port;
+  copts.io_timeout_ms = 10'000;
+  copts.connect_timeout_ms = 2'000;
+
+  auto connect = [&]() -> std::unique_ptr<Client> {
+    // Accept faults and the connection cap shed at the door; ride them out.
+    for (int attempt = 0; attempt < 20; ++attempt) {
+      auto c = Client::Connect(copts);
+      if (c.ok()) return std::make_unique<Client>(std::move(*c));
+      SleepFor(2 + static_cast<int64_t>(Mix(&rng) % 8), nullptr);
+    }
+    return nullptr;
+  };
+
+  std::unique_ptr<Client> client = connect();
+  if (client == nullptr) return "could not connect at all";
+  std::vector<uint64_t> sessions;
+  int64_t next_id = 1;
+
+  // Classify one finished call against the closed outcome set.
+  auto absorb = [&](const Result<JsonValue>& resp) -> std::string {
+    if (!resp.ok()) {
+      // Transport end: reset/EOF/short-write/io-timeout/injected fault.
+      // kUnavailable is the client library's class for all of them;
+      // kCancelled/kDeadlineExceeded can come from retry policies.
+      totals->transport_ends.fetch_add(1);
+      const StatusCode code = resp.status().code();
+      if (code != StatusCode::kUnavailable &&
+          code != StatusCode::kCancelled &&
+          code != StatusCode::kDeadlineExceeded) {
+        return "transport end with unexpected status: " +
+               std::string(StatusCodeName(code));
+      }
+      // The connection is typically dead now; reconnect for the next op.
+      if (!client->connected()) {
+        auto fresh = connect();
+        if (fresh != nullptr) client = std::move(fresh);
+      }
+      return "";
+    }
+    totals->calls.fetch_add(1);
+    if (!IsClosedOutcome(*resp)) {
+      return "outcome outside the closed set: " + resp->Dump();
+    }
+    if (resp->GetBool("ok", false)) {
+      totals->oks.fetch_add(1);
+    } else {
+      const std::string err = resp->GetString("error", "");
+      if (err == "UNAVAILABLE") totals->unavailable.fetch_add(1);
+      if (err == "DEADLINE_EXCEEDED") totals->deadline.fetch_add(1);
+      if (err == "CANCELLED") totals->cancelled.fetch_add(1);
+      if (err == "INVALID_ARGUMENT") totals->invalid.fetch_add(1);
+    }
+    return "";
+  };
+
+  for (int op = 0; op < ops; ++op) {
+    const uint64_t dice = Mix(&rng) % 100;
+    std::string violation;
+    if (dice < 4) {
+      // Malformed frame: must answer INVALID_ARGUMENT, never drop.
+      violation = absorb(client->CallRaw("{\"verb\":\"chec"));
+    } else if (dice < 7) {
+      // Oversize frame (server cap is 8 KiB in this soak).
+      violation = absorb(client->CallRaw(std::string(10'000, 'z')));
+    } else if (dice < 11) {
+      // Truncated frame then half-close: the "client gave up mid-request"
+      // shape. No response is owed; reconnect after.
+      client->ShutdownWrite();
+      client->Disconnect();
+      auto fresh = connect();
+      if (fresh != nullptr) client = std::move(fresh);
+    } else if (dice < 15) {
+      // Abrupt disconnect, possibly with a request in flight (sent but
+      // never read) — exercises disconnect cancellation server-side.
+      client->Disconnect();
+      auto fresh = connect();
+      if (fresh != nullptr) client = std::move(fresh);
+    } else if (dice < 38) {
+      // Open a session; ride out shedding with the retry contract.
+      RetryPolicy policy;
+      policy.max_attempts = 6;
+      policy.initial_backoff_ms = 2;
+      policy.max_backoff_ms = 40;
+      policy.jitter_seed = Mix(&rng);
+      auto resp = client->CallWithRetry(OpenReq(next_id++, easy), policy);
+      violation = absorb(resp);
+      if (resp.ok() && resp->GetBool("ok", false)) {
+        sessions.push_back(
+            static_cast<uint64_t>(resp->GetInt("session", 0)));
+        totals->sessions_opened.fetch_add(1);
+        if (sessions.size() > 8) sessions.erase(sessions.begin());
+      }
+    } else if (dice < 60 && !sessions.empty()) {
+      // Session check; 1/3 of them against the hard gadget with a
+      // millisecond deadline (DEADLINE_EXCEEDED + fault-streak fodder).
+      const uint64_t sid = sessions[Mix(&rng) % sessions.size()];
+      const bool make_it_hurt = Mix(&rng) % 3 == 0;
+      // Hard sigma names elements of the hard DTD — against an easy-DTD
+      // session that is INVALID_ARGUMENT, which is also a soak outcome.
+      violation = absorb(client->Call(
+          CheckReq(next_id++, sid, make_it_hurt ? hard.sigma : easy.sigma,
+                   make_it_hurt ? 1 + static_cast<int64_t>(Mix(&rng) % 10)
+                                : 0)));
+    } else if (dice < 70 && !sessions.empty()) {
+      const uint64_t sid = sessions[Mix(&rng) % sessions.size()];
+      JsonValue req = Req(Mix(&rng) % 2 == 0 ? "commit" : "rollback",
+                          next_id++);
+      req.Set("session", JsonValue::Int(static_cast<int64_t>(sid)));
+      if (req.GetString("verb", "") == "commit") {
+        req.Set("sigma", JsonValue::Str(easy.sigma));
+      }
+      violation = absorb(client->Call(req));
+    } else if (dice < 80) {
+      // One-shot check under a mixed deadline.
+      const int64_t timeout =
+          Mix(&rng) % 4 == 0 ? 1 + static_cast<int64_t>(Mix(&rng) % 5) : 0;
+      violation = absorb(client->Call(OneShotCheckReq(
+          next_id++, timeout > 0 ? hard : easy, timeout)));
+    } else if (dice < 88) {
+      // Small batch with a per-item deadline.
+      JsonValue sigmas = JsonValue::Array();
+      const size_t n = 1 + Mix(&rng) % 3;
+      for (size_t i = 0; i < n; ++i) {
+        sigmas.Push(JsonValue::Str(easy.sigma));
+      }
+      JsonValue req = Req("batch", next_id++);
+      req.Set("dtd", JsonValue::Str(easy.dtd))
+          .Set("sigmas", sigmas)
+          .Set("item_timeout_ms", JsonValue::Int(50));
+      violation = absorb(client->Call(req));
+    } else if (dice < 94 && !sessions.empty()) {
+      const uint64_t sid = sessions[Mix(&rng) % sessions.size()];
+      JsonValue req = Req("close", next_id++);
+      req.Set("session", JsonValue::Int(static_cast<int64_t>(sid)));
+      violation = absorb(client->Call(req));
+    } else {
+      violation = absorb(
+          client->Call(Req(Mix(&rng) % 2 == 0 ? "ping" : "stats",
+                           next_id++)));
+    }
+    if (!violation.empty()) {
+      return "op " + std::to_string(op) + ": " + violation;
+    }
+  }
+  return "";
+}
+
+void RunSoak(size_t num_clients, int ops_per_client) {
+  ServerOptions options;
+  options.workers = 4;
+  options.max_connections = 64;
+  options.max_inflight = 12;
+  options.per_connection_inflight = 4;
+  options.max_sessions = 48;
+  options.quarantine_after_faults = 3;
+  options.max_line_bytes = 8 * 1024;
+  options.retry_after_ms = 5;
+  options.drain_deadline_ms = 1'000;
+  auto started = Server::Start(options);
+  ASSERT_TRUE(started.ok()) << started.status();
+  std::unique_ptr<Server> server = std::move(*started);
+
+  const TextSpec easy = EasySpec();
+  const TextSpec hard = HardSpec();
+  SoakTotals totals;
+  std::vector<std::string> violations(num_clients);
+  {
+    WorkStealingPool pool(num_clients);
+    for (size_t c = 0; c < num_clients; ++c) {
+      pool.Submit([c, port = server->port(), ops_per_client, &easy, &hard,
+                   &totals, &violations] {
+        violations[c] = RunClientScript(port, /*seed=*/c * 7919 + 1,
+                                        ops_per_client, easy, hard, &totals);
+      });
+    }
+    // Pool destructor joins every client script.
+  }
+  for (size_t c = 0; c < num_clients; ++c) {
+    EXPECT_EQ(violations[c], "") << "client " << c;
+  }
+
+  // Drain and audit the accounting baseline.
+  server->RequestShutdown();
+  server->Wait();
+  EXPECT_TRUE(server->Stopped());
+  const ServerStats stats = server->stats();
+  EXPECT_EQ(stats.responses_internal, 0u) << "INTERNAL leaked to the wire";
+  EXPECT_EQ(stats.inflight, 0u);
+  EXPECT_EQ(stats.open_sessions, 0u) << "sessions leaked past the drain";
+  EXPECT_GT(stats.requests, 0u);
+  EXPECT_GT(totals.calls.load() + totals.transport_ends.load(), 0u);
+  // The soak must have actually exercised the degradation machinery.
+  EXPECT_GT(totals.sessions_opened.load(), 50u)
+      << "soak did not open enough sessions to mean anything";
+
+  ::testing::Test::RecordProperty("soak_calls",
+                                  static_cast<int>(totals.calls.load()));
+  ::testing::Test::RecordProperty(
+      "soak_transport_ends",
+      static_cast<int>(totals.transport_ends.load()));
+  ::testing::Test::RecordProperty("soak_ok",
+                                  static_cast<int>(totals.oks.load()));
+  ::testing::Test::RecordProperty(
+      "soak_unavailable", static_cast<int>(totals.unavailable.load()));
+  ::testing::Test::RecordProperty("soak_deadline",
+                                  static_cast<int>(totals.deadline.load()));
+}
+
+/// The baseline soak. In a plain build no faults are injected (unless the
+/// XICC_FAULTS env drives them, as the CI daemon-soak job does); the chaos
+/// comes from concurrency, overload, hostile frames, and disconnects.
+TEST(DaemonSoakTest, RandomizedSoakHoldsTheClosedOutcomeSet) {
+  RunSoak(/*num_clients=*/8, /*ops_per_client=*/100);
+}
+
+#if XICC_FAULTS_ENABLED
+
+class FaultySoakFixture : public ::testing::Test {
+ protected:
+  void TearDown() override { faults::SetConfig(faults::FaultConfig{}); }
+};
+
+/// The same soak with the net fault sites firing: accepts abort, reads
+/// reset, writes break, frames rot — the closed outcome set must hold
+/// anyway. Period 97 ≈ a few percent of socket operations.
+TEST_F(FaultySoakFixture, InjectedNetFaultsStillHoldTheClosedOutcomeSet) {
+  faults::FaultConfig config;
+  config.seed = 1;
+  config.net_fault_every = 97;
+  faults::SetConfig(config);
+  RunSoak(/*num_clients=*/8, /*ops_per_client=*/60);
+}
+
+#endif  // XICC_FAULTS_ENABLED
+
+}  // namespace
+}  // namespace net
+}  // namespace xicc

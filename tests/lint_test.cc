@@ -144,6 +144,40 @@ TEST(LintRulesTest, RawBlockingBannedOutsideSanctionedFiles) {
                   .empty());
 }
 
+TEST(LintRulesTest, RawSocketSyscallsQuarantinedInBaseSocket) {
+  // A bare socket syscall outside base/socket.* is an I/O wait that
+  // cancellation, shutdown, and fault injection cannot reach.
+  EXPECT_EQ(RuleNames(LintFile("src/net/foo.cc",
+                               "int n = ::recv(fd, buf, len, 0);\n")),
+            std::vector<std::string>{"raw-blocking"});
+  EXPECT_EQ(RuleNames(LintFile("src/net/foo.cc",
+                               "::poll(fds.data(), fds.size(), 50);\n")),
+            std::vector<std::string>{"raw-blocking"});
+  EXPECT_EQ(RuleNames(LintFile("src/tools/foo.cc",
+                               "int s = ::socket(AF_INET, SOCK_STREAM, 0);\n"
+                               "::connect(s, addr, len);\n"))
+                .size(),
+            2u);
+  // The ::-qualified token is the rule's anchor: an unqualified identifier
+  // like a member function `accept` or a local named `poll_ms` is not a
+  // syscall and must not fire.
+  EXPECT_TRUE(
+      LintFile("src/net/foo.cc", "server.accept(conn);\nint poll_ms = 5;\n")
+          .empty());
+  // base/socket.* is the sanctioned home: EINTR retries and fault probes
+  // live there.
+  EXPECT_TRUE(LintFile("src/base/socket.h",
+                       "#pragma once\nint n = ::recv(fd, buf, len, 0);\n")
+                  .empty());
+  EXPECT_TRUE(
+      LintFile("src/base/socket.cc", "::poll(fds, n, timeout);\n").empty());
+  // Suppressions work as usual.
+  EXPECT_TRUE(LintFile("src/net/foo.cc",
+                       "::shutdown(fd, SHUT_WR);  "
+                       "// xicc-lint: allow(raw-blocking)\n")
+                  .empty());
+}
+
 TEST(LintRulesTest, RawDeserializationQuarantinedInSerde) {
   // memcpy-into-struct decoding outside base/serde is an unaudited parser.
   auto issues =

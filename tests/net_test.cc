@@ -1,0 +1,336 @@
+// Unit coverage for the daemon's byte-facing layers: the JSON document
+// model and limit-enforcing parser (net/json.h), newline framing with
+// oversize recovery (net/frame.h), and the protocol envelope / wire-error
+// mapping (net/protocol.h). The daemon-level suites (daemon_test,
+// daemon_soak_test) exercise the same code over real sockets; this suite
+// pins the byte-level contracts in isolation, where every fragmentation
+// and every malformed input is cheap to enumerate.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "net/frame.h"
+#include "net/json.h"
+#include "net/protocol.h"
+
+namespace xicc {
+namespace net {
+namespace {
+
+// ---------------------------------------------------------------------------
+// JSON: values and serialization
+// ---------------------------------------------------------------------------
+
+TEST(JsonValueTest, BuildersAndAccessors) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("b", JsonValue::Bool(true))
+      .Set("i", JsonValue::Int(-42))
+      .Set("s", JsonValue::Str("hi"))
+      .Set("n", JsonValue::Null());
+  EXPECT_TRUE(obj.GetBool("b", false));
+  EXPECT_EQ(obj.GetInt("i", 0), -42);
+  EXPECT_EQ(obj.GetString("s", ""), "hi");
+  EXPECT_NE(obj.Find("n"), nullptr);
+  EXPECT_TRUE(obj.Find("n")->is_null());
+  EXPECT_EQ(obj.Find("absent"), nullptr);
+  // Typed getters fall back on wrong types, they do not coerce.
+  EXPECT_EQ(obj.GetInt("s", 7), 7);
+  EXPECT_EQ(obj.GetString("i", "dflt"), "dflt");
+}
+
+TEST(JsonValueTest, SetSelfConvertsNullAndReplacesKeys) {
+  JsonValue v;  // null
+  v.Set("k", JsonValue::Int(1));
+  ASSERT_TRUE(v.is_object());
+  v.Set("k", JsonValue::Int(2));
+  EXPECT_EQ(v.GetInt("k", 0), 2);
+  EXPECT_EQ(v.AsObject().size(), 1u);
+
+  JsonValue a;  // null
+  a.Push(JsonValue::Int(1)).Push(JsonValue::Int(2));
+  ASSERT_TRUE(a.is_array());
+  EXPECT_EQ(a.AsArray().size(), 2u);
+}
+
+TEST(JsonValueTest, DumpIsDeterministicInsertionOrder) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("z", JsonValue::Int(1)).Set("a", JsonValue::Int(2));
+  EXPECT_EQ(obj.Dump(), "{\"z\":1,\"a\":2}");
+}
+
+TEST(JsonValueTest, DumpEscapesControlCharactersAndQuotes) {
+  JsonValue v = JsonValue::Str(std::string("a\"b\\c\n\t") + '\x01');
+  EXPECT_EQ(v.Dump(), "\"a\\\"b\\\\c\\n\\t\\u0001\"");
+}
+
+// ---------------------------------------------------------------------------
+// JSON: parser — happy paths
+// ---------------------------------------------------------------------------
+
+TEST(JsonParseTest, RoundTripsEnvelope) {
+  const std::string text =
+      "{\"verb\":\"check\",\"id\":7,\"sigma\":\"key a(id)\","
+      "\"timeout_ms\":250,\"nested\":{\"xs\":[1,2.5,true,null,\"s\"]}}";
+  auto v = ParseJson(text);
+  ASSERT_TRUE(v.ok()) << v.status();
+  EXPECT_EQ(v->GetString("verb", ""), "check");
+  EXPECT_EQ(v->GetInt("id", 0), 7);
+  const JsonValue* xs = v->Find("nested")->Find("xs");
+  ASSERT_NE(xs, nullptr);
+  ASSERT_EQ(xs->AsArray().size(), 5u);
+  EXPECT_TRUE(xs->AsArray()[1].is_number());
+  EXPECT_TRUE(xs->AsArray()[3].is_null());
+  // Dump → Parse → Dump is a fixed point.
+  EXPECT_EQ(ParseJson(v->Dump())->Dump(), v->Dump());
+}
+
+TEST(JsonParseTest, IntBoundariesAndDoubleFallback) {
+  auto max = ParseJson("9223372036854775807");
+  ASSERT_TRUE(max.ok());
+  EXPECT_TRUE(max->is_int());
+  EXPECT_EQ(max->AsInt(), INT64_MAX);
+  // One past int64 range: parsed, as a double.
+  auto over = ParseJson("9223372036854775808");
+  ASSERT_TRUE(over.ok());
+  EXPECT_TRUE(over->is_number());
+  EXPECT_FALSE(over->is_int());
+}
+
+TEST(JsonParseTest, UnicodeEscapesIncludingSurrogatePairs) {
+  auto v = ParseJson("\"\\u0041\\u00e9\\u20ac\\ud83d\\ude00\"");
+  ASSERT_TRUE(v.ok()) << v.status();
+  EXPECT_EQ(v->AsString(), "A\xC3\xA9\xE2\x82\xAC\xF0\x9F\x98\x80");
+}
+
+// ---------------------------------------------------------------------------
+// JSON: parser — totality over hostile input
+// ---------------------------------------------------------------------------
+
+TEST(JsonParseTest, MalformedInputsAreInvalidArgumentNeverCrash) {
+  const char* kBad[] = {
+      "",           "   ",        "{",           "}",
+      "[1,",        "{\"a\":}",   "{\"a\" 1}",   "{a:1}",
+      "tru",        "nul",        "+1",          "01",
+      "1.",         "1e",         ".5",          "\"unterminated",
+      "\"bad\\q\"", "\"\\u12\"",  "\"\\ud800\"", "\"\\ud800\\u0041\"",
+      "\x01",       "{} garbage", "[1] [2]",     "\"a\"\"b\"",
+      "nan",        "Infinity",   "[1,,2]",      "{\"a\":1,}",
+  };
+  for (const char* text : kBad) {
+    auto v = ParseJson(text);
+    EXPECT_FALSE(v.ok()) << "accepted: " << text;
+    EXPECT_EQ(v.status().code(), StatusCode::kInvalidArgument) << text;
+  }
+  // Raw control characters inside strings are rejected (RFC 8259 §7).
+  auto ctrl = ParseJson(std::string("\"a\nb\""));
+  EXPECT_FALSE(ctrl.ok());
+}
+
+TEST(JsonParseTest, DepthLimitIsAnErrorNotAStackOverflow) {
+  JsonLimits limits;
+  limits.max_depth = 8;
+  std::string deep;
+  for (int i = 0; i < 64; ++i) deep += '[';
+  for (int i = 0; i < 64; ++i) deep += ']';
+  auto v = ParseJson(deep, limits);
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kInvalidArgument);
+
+  // Exactly at the limit parses.
+  std::string ok;
+  for (int i = 0; i < 8; ++i) ok += '[';
+  for (int i = 0; i < 8; ++i) ok += ']';
+  EXPECT_TRUE(ParseJson(ok, limits).ok());
+}
+
+TEST(JsonParseTest, NodeBudgetBoundsParserMemory) {
+  JsonLimits limits;
+  limits.max_nodes = 10;
+  EXPECT_TRUE(ParseJson("[1,2,3]", limits).ok());
+  auto v = ParseJson("[1,2,3,4,5,6,7,8,9,10,11,12]", limits);
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+TEST(LineBufferTest, SplitsLinesRegardlessOfFragmentation) {
+  const std::string stream = "alpha\nbeta\r\ngamma\n";
+  // Feed the same stream one byte at a time and all at once; same lines.
+  for (size_t chunk : {size_t{1}, stream.size()}) {
+    LineBuffer lines(64);
+    std::vector<std::string> got;
+    for (size_t i = 0; i < stream.size(); i += chunk) {
+      lines.Append(stream.data() + i, std::min(chunk, stream.size() - i));
+      std::string line;
+      while (lines.NextLine(&line) == LineBuffer::Next::kLine) {
+        got.push_back(line);
+      }
+    }
+    ASSERT_EQ(got.size(), 3u) << "chunk=" << chunk;
+    EXPECT_EQ(got[0], "alpha");
+    EXPECT_EQ(got[1], "beta");  // CRLF-tolerant: '\r' stripped.
+    EXPECT_EQ(got[2], "gamma");
+  }
+}
+
+TEST(LineBufferTest, OversizeReportedOnceThenResynchronizes) {
+  LineBuffer lines(8);
+  const std::string big(100, 'x');
+  lines.Append(big.data(), big.size());
+  std::string line;
+  // Unterminated oversize: reported once, then kNeedMore while skipping.
+  EXPECT_EQ(lines.NextLine(&line), LineBuffer::Next::kOversize);
+  EXPECT_EQ(lines.NextLine(&line), LineBuffer::Next::kNeedMore);
+  EXPECT_TRUE(lines.skipping());
+  EXPECT_LE(lines.buffered_bytes(), 8u);
+
+  // More oversize bytes, then the newline, then a normal line: the normal
+  // line comes through — the connection survived.
+  lines.Append(big.data(), big.size());
+  lines.Append("\nok\n", 4);
+  EXPECT_EQ(lines.NextLine(&line), LineBuffer::Next::kLine);
+  EXPECT_EQ(line, "ok");
+  EXPECT_FALSE(lines.skipping());
+}
+
+TEST(LineBufferTest, CompletedOversizeLineDroppedWhole) {
+  LineBuffer lines(4);
+  const std::string stream = "toolongline\nab\n";
+  lines.Append(stream.data(), stream.size());
+  std::string line;
+  EXPECT_EQ(lines.NextLine(&line), LineBuffer::Next::kOversize);
+  EXPECT_EQ(lines.NextLine(&line), LineBuffer::Next::kLine);
+  EXPECT_EQ(line, "ab");
+  EXPECT_EQ(lines.NextLine(&line), LineBuffer::Next::kNeedMore);
+}
+
+TEST(LineBufferTest, EmptyLinesAreDelivered) {
+  LineBuffer lines(16);
+  lines.Append("\n\nx\n", 4);
+  std::string line;
+  EXPECT_EQ(lines.NextLine(&line), LineBuffer::Next::kLine);
+  EXPECT_EQ(line, "");
+  EXPECT_EQ(lines.NextLine(&line), LineBuffer::Next::kLine);
+  EXPECT_EQ(line, "");
+  EXPECT_EQ(lines.NextLine(&line), LineBuffer::Next::kLine);
+  EXPECT_EQ(line, "x");
+}
+
+// ---------------------------------------------------------------------------
+// Protocol envelopes
+// ---------------------------------------------------------------------------
+
+JsonValue Envelope(const std::string& text) {
+  auto v = ParseJson(text);
+  EXPECT_TRUE(v.ok()) << v.status();
+  return v.ok() ? *v : JsonValue::Null();
+}
+
+TEST(ProtocolTest, ParsesEveryVerb) {
+  struct Case {
+    const char* text;
+    Verb verb;
+  };
+  const Case kCases[] = {
+      {"{\"verb\":\"ping\"}", Verb::kPing},
+      {"{\"verb\":\"open\",\"dtd\":\"d\",\"memo\":4}", Verb::kOpen},
+      {"{\"verb\":\"check\",\"session\":3,\"sigma\":\"s\"}", Verb::kCheck},
+      {"{\"verb\":\"implies\",\"session\":3,\"phi\":\"p\"}", Verb::kImplies},
+      {"{\"verb\":\"commit\",\"session\":3,\"sigma\":\"s\"}", Verb::kCommit},
+      {"{\"verb\":\"rollback\",\"session\":3}", Verb::kRollback},
+      {"{\"verb\":\"close\",\"session\":3}", Verb::kClose},
+      {"{\"verb\":\"batch\",\"dtd\":\"d\",\"sigmas\":[\"a\",\"b\"]}",
+       Verb::kBatch},
+      {"{\"verb\":\"stats\"}", Verb::kStats},
+      {"{\"verb\":\"shutdown\"}", Verb::kShutdown},
+  };
+  for (const Case& c : kCases) {
+    auto req = ParseRequest(Envelope(c.text));
+    ASSERT_TRUE(req.ok()) << c.text << ": " << req.status();
+    EXPECT_EQ(req->verb, c.verb) << c.text;
+  }
+}
+
+TEST(ProtocolTest, MissingRequiredMembersAreNamed) {
+  struct Case {
+    const char* text;
+    const char* needle;  // substring the error message must carry
+  };
+  const Case kCases[] = {
+      {"{}", "verb"},
+      {"{\"verb\":\"frobnicate\"}", "frobnicate"},
+      {"{\"verb\":\"open\"}", "dtd"},
+      {"{\"verb\":\"check\",\"sigma\":\"s\"}", "session"},
+      {"{\"verb\":\"check\",\"session\":1}", "sigma"},
+      {"{\"verb\":\"implies\",\"session\":1}", "phi"},
+      {"{\"verb\":\"commit\",\"session\":1}", "sigma"},
+      {"{\"verb\":\"close\"}", "session"},
+      {"{\"verb\":\"batch\",\"sigmas\":[]}", "dtd"},
+      {"{\"verb\":\"batch\",\"dtd\":\"d\"}", "sigmas"},
+      // Wrong types, not just absence.
+      {"{\"verb\":\"check\",\"session\":\"one\",\"sigma\":\"s\"}", "session"},
+      {"{\"verb\":\"batch\",\"dtd\":\"d\",\"sigmas\":[1]}", "sigmas"},
+      {"[1,2,3]", "object"},
+  };
+  for (const Case& c : kCases) {
+    auto req = ParseRequest(Envelope(c.text));
+    ASSERT_FALSE(req.ok()) << "accepted: " << c.text;
+    EXPECT_EQ(req.status().code(), StatusCode::kInvalidArgument) << c.text;
+    EXPECT_NE(std::string(req.status().message()).find(c.needle),
+              std::string::npos)
+        << c.text << " → " << req.status().message();
+  }
+}
+
+TEST(ProtocolTest, IdIsEchoedVerbatimIncludingNonIntegers) {
+  auto req = ParseRequest(Envelope("{\"verb\":\"ping\",\"id\":\"abc-7\"}"));
+  ASSERT_TRUE(req.ok());
+  EXPECT_EQ(req->id.AsString(), "abc-7");
+  auto none = ParseRequest(Envelope("{\"verb\":\"ping\"}"));
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->id.is_null());
+}
+
+TEST(ProtocolTest, WireErrorClassIsAClosedTotalMap) {
+  EXPECT_STREQ(WireErrorClass(StatusCode::kInvalidArgument),
+               "INVALID_ARGUMENT");
+  EXPECT_STREQ(WireErrorClass(StatusCode::kParseError), "INVALID_ARGUMENT");
+  EXPECT_STREQ(WireErrorClass(StatusCode::kUndecidableClass),
+               "INVALID_ARGUMENT");
+  EXPECT_STREQ(WireErrorClass(StatusCode::kDeadlineExceeded),
+               "DEADLINE_EXCEEDED");
+  EXPECT_STREQ(WireErrorClass(StatusCode::kCancelled), "CANCELLED");
+  EXPECT_STREQ(WireErrorClass(StatusCode::kUnavailable), "UNAVAILABLE");
+  EXPECT_STREQ(WireErrorClass(StatusCode::kResourceExhausted), "UNAVAILABLE");
+  EXPECT_STREQ(WireErrorClass(StatusCode::kInternal), "INTERNAL");
+}
+
+TEST(ProtocolTest, ErrorResponseShape) {
+  JsonValue resp = MakeErrorResponse(JsonValue::Int(9),
+                                     Status::Unavailable("try later"),
+                                     /*retry_after_ms=*/40);
+  EXPECT_EQ(resp.GetInt("id", 0), 9);
+  EXPECT_EQ(resp.GetString("error", ""), "UNAVAILABLE");
+  EXPECT_EQ(resp.GetInt("retry_after_ms", 0), 40);
+  EXPECT_NE(resp.GetString("message", "").find("try later"),
+            std::string::npos);
+
+  // retry_after_ms attaches only when positive.
+  JsonValue plain = MakeErrorResponse(JsonValue::Null(),
+                                      Status::InvalidArgument("bad"));
+  EXPECT_EQ(plain.Find("retry_after_ms"), nullptr);
+  EXPECT_TRUE(plain.Find("id")->is_null());
+
+  JsonValue ok = MakeOkResponse(JsonValue::Int(3));
+  EXPECT_TRUE(ok.GetBool("ok", false));
+  EXPECT_EQ(ok.GetInt("id", 0), 3);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace xicc

@@ -8,9 +8,14 @@
 
 #include <gtest/gtest.h>
 
+#include <dirent.h>
+
 #include <cstdint>
+#include <cstdlib>
 #include <string>
 #include <vector>
+
+#include "base/faults.h"
 
 namespace xicc {
 namespace {
@@ -200,6 +205,65 @@ TEST(SerdeTest, FileRoundTripAtomicAndMapped) {
   ASSERT_TRUE(serde::WriteFileAtomic(path, std::move(w).Finish()).ok());
   EXPECT_EQ(mapped->view(), std::string_view(bytes));
 }
+
+std::vector<std::string> ListDir(const std::string& dir) {
+  std::vector<std::string> names;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return names;
+  while (dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name != "." && name != "..") names.push_back(name);
+  }
+  ::closedir(d);
+  return names;
+}
+
+TEST(SerdeTest, WriteFileAtomicUnwritableDestinationIsUnavailable) {
+  // An unwritable destination is an environmental condition, not a bad
+  // input: kUnavailable, so callers (the artifact cache) degrade to the
+  // memory tier instead of treating the write as a caller bug.
+  const Status status = serde::WriteFileAtomic(
+      testing::TempDir() + "serde_no_such_dir/nested/artifact.bin", "abc");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+}
+
+#if XICC_FAULTS_ENABLED
+
+TEST(SerdeTest, WriteFileAtomicFaultCleansUpTempAndPreservesOldFile) {
+  std::string pattern = testing::TempDir() + "serde_fault.XXXXXX";
+  const char* made = ::mkdtemp(pattern.data());
+  ASSERT_NE(made, nullptr);
+  const std::string dir = pattern;
+  const std::string path = dir + "/artifact.bin";
+
+  // A good artifact lands first.
+  ASSERT_TRUE(serde::WriteFileAtomic(path, "generation-1").ok());
+
+  // Every probe fires: the next write hits the simulated ENOSPC.
+  faults::FaultConfig config;
+  config.file_write_error_every = 1;
+  faults::SetConfig(config);
+  const Status faulted = serde::WriteFileAtomic(path, "generation-2");
+  faults::SetConfig(faults::FaultConfig{});
+
+  ASSERT_FALSE(faulted.ok());
+  EXPECT_EQ(faulted.code(), StatusCode::kUnavailable);
+  // The failed write left no temp file behind and never touched the old
+  // artifact — the whole point of the atomic protocol.
+  const std::vector<std::string> names = ListDir(dir);
+  ASSERT_EQ(names.size(), 1u) << "leftover temp file after faulted write";
+  EXPECT_EQ(names[0], "artifact.bin");
+  auto read_back = serde::ReadFileToString(path);
+  ASSERT_TRUE(read_back.ok());
+  EXPECT_EQ(*read_back, "generation-1");
+
+  // With the fault gone the same write goes through.
+  ASSERT_TRUE(serde::WriteFileAtomic(path, "generation-2").ok());
+  EXPECT_EQ(*serde::ReadFileToString(path), "generation-2");
+}
+
+#endif  // XICC_FAULTS_ENABLED
 
 TEST(SerdeTest, MapMissingFileFails) {
   auto mapped = serde::MappedFile::Map(testing::TempDir() +
